@@ -1,0 +1,68 @@
+//! Median — the basic continuous baseline (paper §2).
+//!
+//! The estimated value is the per-cell answer median (robust to spammers but
+//! blind to worker quality). Categorical cells fall back to the mode.
+
+use crate::method::naive_estimates;
+use crate::method::TruthMethod;
+use tcrowd_tabular::{AnswerLog, Schema, Value};
+
+/// Median of workers' answers per continuous cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MedianBaseline;
+
+impl TruthMethod for MedianBaseline {
+    fn name(&self) -> &'static str {
+        "Median"
+    }
+
+    fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
+        // Median for continuous, mode for categorical — exactly the naive
+        // aggregate shared by several bootstrap paths.
+        naive_estimates(schema, answers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{Answer, CellId, Column, ColumnType, WorkerId};
+
+    #[test]
+    fn median_resists_one_outlier() {
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![Column::new("x", ColumnType::Continuous { min: 0.0, max: 100.0 })],
+        );
+        let mut log = AnswerLog::new(1, 1);
+        for (w, v) in [(0u32, 10.0f64), (1, 11.0), (2, 95.0)] {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 0),
+                value: Value::Continuous(v),
+            });
+        }
+        let est = MedianBaseline.estimate(&schema, &log);
+        assert_eq!(est[0][0], Value::Continuous(11.0));
+    }
+
+    #[test]
+    fn even_count_averages_central_pair() {
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![Column::new("x", ColumnType::Continuous { min: 0.0, max: 100.0 })],
+        );
+        let mut log = AnswerLog::new(1, 1);
+        for (w, v) in [(0u32, 10.0f64), (1, 20.0)] {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 0),
+                value: Value::Continuous(v),
+            });
+        }
+        let est = MedianBaseline.estimate(&schema, &log);
+        assert_eq!(est[0][0], Value::Continuous(15.0));
+    }
+}

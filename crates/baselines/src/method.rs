@@ -1,0 +1,207 @@
+//! The common truth-inference interface and shared aggregation helpers.
+
+use std::collections::HashMap;
+use tcrowd_core::TCrowd;
+use tcrowd_stat::describe::median;
+use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value};
+
+/// A truth-inference method: estimates every cell of the table from the
+/// answer set (paper Definition 3).
+pub trait TruthMethod {
+    /// Display name (matches the rows of Table 7).
+    fn name(&self) -> &'static str;
+
+    /// Estimate the full table. Implementations must return an `N × M`
+    /// matrix whose values match the schema's column types.
+    fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>>;
+}
+
+/// Mode of the categorical answers on one cell; ties break to the smallest
+/// label; `None` when the cell has no answers.
+pub(crate) fn cell_mode(answers: &AnswerLog, cell: CellId) -> Option<u32> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for a in answers.for_cell(cell) {
+        *counts.entry(a.value.expect_categorical()).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(label, _)| label)
+}
+
+/// Median of the continuous answers on one cell; `None` when unanswered.
+pub(crate) fn cell_median(answers: &AnswerLog, cell: CellId) -> Option<f64> {
+    let vals: Vec<f64> = answers
+        .for_cell(cell)
+        .map(|a| a.value.expect_continuous())
+        .collect();
+    (!vals.is_empty()).then(|| median(&vals))
+}
+
+/// Column-level fallback for unanswered cells: global answer mode for
+/// categorical columns, global answer median (or the domain midpoint) for
+/// continuous ones.
+pub(crate) fn column_fallback(schema: &Schema, answers: &AnswerLog, j: usize) -> Value {
+    match schema.column_type(j) {
+        ColumnType::Categorical { .. } => {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for a in answers.all().iter().filter(|a| a.cell.col as usize == j) {
+                *counts.entry(a.value.expect_categorical()).or_default() += 1;
+            }
+            Value::Categorical(
+                counts
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                    .map(|(l, _)| l)
+                    .unwrap_or(0),
+            )
+        }
+        ColumnType::Continuous { min, max } => {
+            let vals: Vec<f64> = answers
+                .all()
+                .iter()
+                .filter(|a| a.cell.col as usize == j)
+                .map(|a| a.value.expect_continuous())
+                .collect();
+            Value::Continuous(if vals.is_empty() { 0.5 * (min + max) } else { median(&vals) })
+        }
+    }
+}
+
+/// Per-column z-score parameters `(mean, std)` from the answers (std floored).
+pub(crate) fn column_zscore(answers: &AnswerLog, j: usize) -> (f64, f64) {
+    let vals: Vec<f64> = answers
+        .all()
+        .iter()
+        .filter(|a| a.cell.col as usize == j)
+        .map(|a| a.value.expect_continuous())
+        .collect();
+    tcrowd_stat::describe::zscore_params(&vals)
+}
+
+/// Simple per-cell aggregation: mode for categorical cells, median for
+/// continuous cells, with column fallbacks. Several baselines bootstrap
+/// their truth estimates from this.
+pub(crate) fn naive_estimates(schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
+    (0..answers.rows() as u32)
+        .map(|i| {
+            (0..answers.cols() as u32)
+                .map(|j| {
+                    let cell = CellId::new(i, j);
+                    match schema.column_type(j as usize) {
+                        ColumnType::Categorical { .. } => cell_mode(answers, cell)
+                            .map(Value::Categorical)
+                            .unwrap_or_else(|| column_fallback(schema, answers, j as usize)),
+                        ColumnType::Continuous { .. } => cell_median(answers, cell)
+                            .map(Value::Continuous)
+                            .unwrap_or_else(|| column_fallback(schema, answers, j as usize)),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Adapter exposing the T-Crowd model (and its constrained variants) through
+/// the common [`TruthMethod`] interface, so the benchmark harness can loop
+/// over all Table 7 rows uniformly.
+pub struct TCrowdMethod {
+    /// The wrapped model.
+    pub model: TCrowd,
+    name: &'static str,
+}
+
+impl TCrowdMethod {
+    /// Full T-Crowd.
+    pub fn full() -> Self {
+        TCrowdMethod { model: TCrowd::default_full(), name: "T-Crowd" }
+    }
+
+    /// `TC-onlyCate` (categorical columns only).
+    pub fn only_categorical() -> Self {
+        TCrowdMethod { model: TCrowd::only_categorical(), name: "TC-onlyCate" }
+    }
+
+    /// `TC-onlyCont` (continuous columns only).
+    pub fn only_continuous() -> Self {
+        TCrowdMethod { model: TCrowd::only_continuous(), name: "TC-onlyCont" }
+    }
+}
+
+impl TruthMethod for TCrowdMethod {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
+        self.model.infer(schema, answers).estimates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{Answer, Column, WorkerId};
+
+    fn tiny() -> (Schema, AnswerLog) {
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![
+                Column::new("c", ColumnType::categorical_with_cardinality(3)),
+                Column::new("x", ColumnType::Continuous { min: 0.0, max: 10.0 }),
+            ],
+        );
+        let mut log = AnswerLog::new(2, 2);
+        for (w, l) in [(0u32, 1u32), (1, 1), (2, 2)] {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 0),
+                value: Value::Categorical(l),
+            });
+        }
+        for (w, x) in [(0u32, 2.0f64), (1, 4.0), (2, 9.0)] {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 1),
+                value: Value::Continuous(x),
+            });
+        }
+        (schema, log)
+    }
+
+    #[test]
+    fn cell_mode_and_median() {
+        let (_, log) = tiny();
+        assert_eq!(cell_mode(&log, CellId::new(0, 0)), Some(1));
+        assert_eq!(cell_mode(&log, CellId::new(1, 0)), None);
+        assert_eq!(cell_median(&log, CellId::new(0, 1)), Some(4.0));
+        assert_eq!(cell_median(&log, CellId::new(1, 1)), None);
+    }
+
+    #[test]
+    fn naive_estimates_fill_unanswered_cells() {
+        let (schema, log) = tiny();
+        let est = naive_estimates(&schema, &log);
+        assert_eq!(est[0][0], Value::Categorical(1));
+        assert_eq!(est[0][1], Value::Continuous(4.0));
+        // Row 1 has no answers: falls back to column-level aggregates.
+        assert_eq!(est[1][0], Value::Categorical(1));
+        assert_eq!(est[1][1], Value::Continuous(4.0));
+    }
+
+    #[test]
+    fn fallback_uses_domain_middle_when_column_empty() {
+        let (schema, _) = tiny();
+        let empty = AnswerLog::new(2, 2);
+        assert_eq!(column_fallback(&schema, &empty, 1), Value::Continuous(5.0));
+        assert_eq!(column_fallback(&schema, &empty, 0), Value::Categorical(0));
+    }
+
+    #[test]
+    fn tcrowd_method_names() {
+        assert_eq!(TCrowdMethod::full().name(), "T-Crowd");
+        assert_eq!(TCrowdMethod::only_categorical().name(), "TC-onlyCate");
+        assert_eq!(TCrowdMethod::only_continuous().name(), "TC-onlyCont");
+    }
+}

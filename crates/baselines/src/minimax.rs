@@ -1,0 +1,384 @@
+//! Minimax-Entropy truth inference (paper ref \[40\]: Zhou, Basu, Mao,
+//! Platt — *Learning from the wisdom of crowds by minimax entropy*, NIPS
+//! 2012) for categorical columns.
+//!
+//! The minimax-entropy principle models the probability that worker `u`
+//! answers label `l` on task `i` whose true label is `k` as a log-linear
+//! combination of a *worker* confusion parameter and a *task* confusion
+//! parameter:
+//!
+//! ```text
+//! P_{u,i}(a = l | t = k)  ∝  exp( σ_u[k][l] + τ_i[k][l] )
+//! ```
+//!
+//! The labels are inferred by maximising entropy over the answer
+//! distributions subject to matching the observed per-worker and per-task
+//! confusion moments, whose dual is exactly the above form. We solve the
+//! regularised dual by coordinate ascent: an E-step computes label
+//! posteriors under the current `σ, τ`, and an M-step takes gradient steps
+//! on `σ, τ` toward matching the expected and observed confusion counts
+//! (with an L2 penalty, the paper's Gaussian-prior regularisation).
+//!
+//! Like the other categorical-only baselines, continuous columns fall back
+//! to the per-cell median so the method still produces a full table.
+
+use crate::method::{naive_estimates, TruthMethod};
+use std::collections::HashMap;
+use tcrowd_stat::EPS;
+use tcrowd_tabular::{AnswerLog, ColumnType, Schema, Value, WorkerId};
+
+/// Minimax-Entropy estimator (categorical columns).
+#[derive(Debug, Clone, Copy)]
+pub struct MinimaxEntropy {
+    /// Outer EM-style iterations.
+    pub max_iters: usize,
+    /// Gradient steps per M-step.
+    pub grad_steps: usize,
+    /// Gradient step size.
+    pub learning_rate: f64,
+    /// L2 regularisation on the worker parameters `σ`.
+    pub l2_sigma: f64,
+    /// L2 regularisation on the task parameters `τ`. Much stronger than the
+    /// worker side: a task sees only a handful of answers, so an
+    /// under-regularised `τ_i` simply memorises them (the α/β weighting of
+    /// the NIPS paper's regularised dual).
+    pub l2_tau: f64,
+    /// Columns with more labels than this fall back to the naive estimate:
+    /// the confusion duals are `|L|²` per worker *and* per task, which is
+    /// both infeasible and statistically hopeless for huge label spaces.
+    pub max_cardinality: usize,
+}
+
+impl Default for MinimaxEntropy {
+    fn default() -> Self {
+        MinimaxEntropy {
+            max_iters: 15,
+            grad_steps: 8,
+            learning_rate: 0.3,
+            l2_sigma: 0.05,
+            l2_tau: 2.0,
+            max_cardinality: 24,
+        }
+    }
+}
+
+/// Per-column solver state; one independent model per categorical column
+/// (columns have different label sets, so moments do not mix).
+struct ColumnState {
+    l: usize,
+    /// Task posteriors, indexed by row.
+    posterior: HashMap<u32, Vec<f64>>,
+    /// `σ_u`, flattened `k * l + a`.
+    sigma: HashMap<WorkerId, Vec<f64>>,
+    /// `τ_i`, flattened `k * l + a`.
+    tau: HashMap<u32, Vec<f64>>,
+}
+
+impl ColumnState {
+    fn answer_logit(&self, w: WorkerId, i: u32, k: usize, a: usize) -> f64 {
+        let idx = k * self.l + a;
+        self.sigma.get(&w).map_or(0.0, |s| s[idx]) + self.tau.get(&i).map_or(0.0, |t| t[idx])
+    }
+
+    /// `P_{u,i}(a | k)` for all `a` (softmax row of the log-linear model).
+    fn answer_dist(&self, w: WorkerId, i: u32, k: usize) -> Vec<f64> {
+        let logits: Vec<f64> = (0..self.l).map(|a| self.answer_logit(w, i, k, a)).collect();
+        softmax(&logits)
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - m).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+#[allow(clippy::needless_range_loop)] // k/a index several parallel l×l tables
+impl MinimaxEntropy {
+    fn solve_column(&self, answers: &AnswerLog, j: usize, l: usize) -> HashMap<u32, Vec<f64>> {
+        // Collect the column's answers grouped by row.
+        let mut by_row: HashMap<u32, Vec<(WorkerId, usize)>> = HashMap::new();
+        for a in answers.all().iter().filter(|a| a.cell.col as usize == j) {
+            by_row
+                .entry(a.cell.row)
+                .or_default()
+                .push((a.worker, a.value.expect_categorical() as usize));
+        }
+        if by_row.is_empty() {
+            return HashMap::new();
+        }
+
+        // Initialise posteriors from vote shares; parameters at zero (the
+        // uniform model).
+        let mut state = ColumnState {
+            l,
+            posterior: by_row
+                .iter()
+                .map(|(&i, votes)| {
+                    let mut p = vec![1.0; l]; // add-one smoothing
+                    for &(_, a) in votes {
+                        p[a] += 1.0;
+                    }
+                    let t: f64 = p.iter().sum();
+                    p.iter_mut().for_each(|v| *v /= t);
+                    (i, p)
+                })
+                .collect(),
+            sigma: HashMap::new(),
+            tau: HashMap::new(),
+        };
+
+        for _ in 0..self.max_iters {
+            // ---- M-step: gradient ascent on the regularised dual.
+            for _ in 0..self.grad_steps {
+                let mut grad_sigma: HashMap<WorkerId, Vec<f64>> = HashMap::new();
+                let mut grad_tau: HashMap<u32, Vec<f64>> = HashMap::new();
+                for (&i, votes) in &by_row {
+                    let post = &state.posterior[&i];
+                    for &(w, a_obs) in votes {
+                        for k in 0..l {
+                            let pk = post[k];
+                            if pk <= EPS {
+                                continue;
+                            }
+                            let dist = state.answer_dist(w, i, k);
+                            for a in 0..l {
+                                // ∂/∂θ[k][a] = P(t=k)·(1{a=a_obs} − P(a|k)).
+                                let g = pk * ((a == a_obs) as i32 as f64 - dist[a]);
+                                grad_sigma.entry(w).or_insert_with(|| vec![0.0; l * l])
+                                    [k * l + a] += g;
+                                grad_tau.entry(i).or_insert_with(|| vec![0.0; l * l])
+                                    [k * l + a] += g;
+                            }
+                        }
+                    }
+                }
+                for (w, g) in grad_sigma {
+                    let s = state.sigma.entry(w).or_insert_with(|| vec![0.0; l * l]);
+                    for (sv, gv) in s.iter_mut().zip(g) {
+                        *sv += self.learning_rate * (gv - self.l2_sigma * *sv);
+                    }
+                }
+                for (i, g) in grad_tau {
+                    let t = state.tau.entry(i).or_insert_with(|| vec![0.0; l * l]);
+                    for (tv, gv) in t.iter_mut().zip(g) {
+                        *tv += self.learning_rate * (gv - self.l2_tau * *tv);
+                    }
+                }
+            }
+
+            // ---- E-step: label posteriors under the log-linear model.
+            for (&i, votes) in &by_row {
+                let mut log_p = vec![0.0; l]; // uniform prior
+                for &(w, a_obs) in votes {
+                    for k in 0..l {
+                        let dist = state.answer_dist(w, i, k);
+                        log_p[k] += dist[a_obs].max(EPS).ln();
+                    }
+                }
+                state.posterior.insert(i, softmax(&log_p));
+            }
+        }
+        state.posterior
+    }
+}
+
+impl TruthMethod for MinimaxEntropy {
+    fn name(&self) -> &'static str {
+        "Minimax-Entropy"
+    }
+
+    fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
+        let mut est = naive_estimates(schema, answers);
+        for j in schema.categorical_columns() {
+            let l = match schema.column_type(j) {
+                ColumnType::Categorical { labels } => labels.len(),
+                _ => unreachable!(),
+            };
+            if l < 2 || l > self.max_cardinality {
+                continue;
+            }
+            let posterior = self.solve_column(answers, j, l);
+            for (i, p) in posterior {
+                let best = p
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN posterior"))
+                    .map(|(k, _)| k as u32)
+                    .unwrap_or(0);
+                est[i as usize][j] = Value::Categorical(best);
+            }
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{evaluate, generate_dataset, Answer, CellId, GeneratorConfig};
+
+    #[test]
+    fn recovers_unanimous_labels() {
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![tcrowd_tabular::Column::new(
+                "c",
+                ColumnType::categorical_with_cardinality(3),
+            )],
+        );
+        let mut log = AnswerLog::new(2, 1);
+        for w in 0..4u32 {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 0),
+                value: Value::Categorical(2),
+            });
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(1, 0),
+                value: Value::Categorical(0),
+            });
+        }
+        let est = MinimaxEntropy::default().estimate(&schema, &log);
+        assert_eq!(est[0][0], Value::Categorical(2));
+        assert_eq!(est[1][0], Value::Categorical(0));
+    }
+
+    #[test]
+    fn outvotes_a_consistent_spammer() {
+        // Three good workers against two random-ish ones: the model should
+        // learn confusion parameters that discount the spammers.
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![tcrowd_tabular::Column::new(
+                "c",
+                ColumnType::categorical_with_cardinality(2),
+            )],
+        );
+        let rows = 12u32;
+        let mut log = AnswerLog::new(rows as usize, 1);
+        for i in 0..rows {
+            let truth = i % 2;
+            for w in 0..3u32 {
+                // Good workers: correct except worker 0 on row 0.
+                let v = if w == 0 && i == 0 { 1 - truth } else { truth };
+                log.push(Answer {
+                    worker: WorkerId(w),
+                    cell: CellId::new(i, 0),
+                    value: Value::Categorical(v),
+                });
+            }
+            // Two anti-correlated workers (always wrong).
+            for w in 3..5u32 {
+                log.push(Answer {
+                    worker: WorkerId(w),
+                    cell: CellId::new(i, 0),
+                    value: Value::Categorical(1 - truth),
+                });
+            }
+        }
+        let est = MinimaxEntropy::default().estimate(&schema, &log);
+        let correct = (0..rows)
+            .filter(|&i| est[i as usize][0] == Value::Categorical(i % 2))
+            .count();
+        assert!(correct >= 10, "only {correct}/{rows} recovered");
+    }
+
+    #[test]
+    fn beats_or_matches_majority_voting_on_dense_answers() {
+        // Minimax entropy learns an l×l confusion structure per worker and
+        // needs many answers per worker to pay for it (the NIPS paper's
+        // regime); with ~50 answers per (worker, column) it must match MV.
+        use crate::mv::MajorityVoting;
+        let mut mm_err = 0.0;
+        let mut mv_err = 0.0;
+        for seed in 0..3 {
+            let d = generate_dataset(
+                &GeneratorConfig {
+                    rows: 60,
+                    columns: 3,
+                    categorical_ratio: 1.0,
+                    num_workers: 7,
+                    answers_per_task: 6,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let mm = evaluate(
+                &d.schema,
+                &d.truth,
+                &MinimaxEntropy::default().estimate(&d.schema, &d.answers),
+            );
+            let mv = evaluate(
+                &d.schema,
+                &d.truth,
+                &MajorityVoting.estimate(&d.schema, &d.answers),
+            );
+            mm_err += mm.error_rate.unwrap();
+            mv_err += mv.error_rate.unwrap();
+        }
+        assert!(
+            mm_err <= mv_err + 0.02 * 3.0,
+            "minimax {} vs MV {}",
+            mm_err / 3.0,
+            mv_err / 3.0
+        );
+    }
+
+    #[test]
+    fn continuous_columns_fall_back_to_median() {
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 10,
+                columns: 2,
+                categorical_ratio: 0.0,
+                num_workers: 8,
+                answers_per_task: 3,
+                ..Default::default()
+            },
+            9,
+        );
+        let est = MinimaxEntropy::default().estimate(&d.schema, &d.answers);
+        let med = crate::median::MedianBaseline.estimate(&d.schema, &d.answers);
+        assert_eq!(est, med);
+    }
+
+    #[test]
+    fn oversized_label_spaces_fall_back_to_votes() {
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 10,
+                columns: 2,
+                categorical_ratio: 1.0,
+                num_workers: 8,
+                answers_per_task: 3,
+                cardinality_range: (4, 6),
+                ..Default::default()
+            },
+            3,
+        );
+        let capped = MinimaxEntropy { max_cardinality: 3, ..Default::default() };
+        let est = capped.estimate(&d.schema, &d.answers);
+        let naive = crate::mv::MajorityVoting.estimate(&d.schema, &d.answers);
+        assert_eq!(est, naive, "capped columns must fall back to the naive estimate");
+    }
+
+    #[test]
+    fn empty_log_is_handled() {
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![tcrowd_tabular::Column::new(
+                "c",
+                ColumnType::categorical_with_cardinality(2),
+            )],
+        );
+        let log = AnswerLog::new(3, 1);
+        let est = MinimaxEntropy::default().estimate(&schema, &log);
+        assert_eq!(est.len(), 3);
+    }
+}

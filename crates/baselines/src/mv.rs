@@ -1,0 +1,104 @@
+//! Majority Voting — the basic categorical baseline (paper §2).
+//!
+//! Every worker counts equally; the estimated label is the answer mode.
+//! Continuous cells fall back to the per-cell median so the method always
+//! returns a full table (Table 7 scores MV on error rate only).
+
+use crate::method::{cell_median, cell_mode, column_fallback, TruthMethod};
+use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value};
+
+/// Majority voting over categorical answers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVoting;
+
+impl TruthMethod for MajorityVoting {
+    fn name(&self) -> &'static str {
+        "Majority Voting"
+    }
+
+    fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
+        (0..answers.rows() as u32)
+            .map(|i| {
+                (0..answers.cols() as u32)
+                    .map(|j| {
+                        let cell = CellId::new(i, j);
+                        match schema.column_type(j as usize) {
+                            ColumnType::Categorical { .. } => cell_mode(answers, cell)
+                                .map(Value::Categorical)
+                                .unwrap_or_else(|| {
+                                    column_fallback(schema, answers, j as usize)
+                                }),
+                            ColumnType::Continuous { .. } => cell_median(answers, cell)
+                                .map(Value::Continuous)
+                                .unwrap_or_else(|| {
+                                    column_fallback(schema, answers, j as usize)
+                                }),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{generate_dataset, Answer, Column, GeneratorConfig, WorkerId};
+
+    #[test]
+    fn majority_wins() {
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![Column::new("c", ColumnType::categorical_with_cardinality(3))],
+        );
+        let mut log = AnswerLog::new(1, 1);
+        for (w, l) in [(0u32, 2u32), (1, 2), (2, 0)] {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 0),
+                value: Value::Categorical(l),
+            });
+        }
+        let est = MajorityVoting.estimate(&schema, &log);
+        assert_eq!(est[0][0], Value::Categorical(2));
+    }
+
+    #[test]
+    fn tie_breaks_to_smaller_label() {
+        let schema = Schema::new(
+            "t",
+            "k",
+            vec![Column::new("c", ColumnType::categorical_with_cardinality(3))],
+        );
+        let mut log = AnswerLog::new(1, 1);
+        for (w, l) in [(0u32, 2u32), (1, 1)] {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 0),
+                value: Value::Categorical(l),
+            });
+        }
+        let est = MajorityVoting.estimate(&schema, &log);
+        assert_eq!(est[0][0], Value::Categorical(1));
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_synthetic_data() {
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 60,
+                columns: 4,
+                categorical_ratio: 1.0,
+                num_workers: 20,
+                answers_per_task: 5,
+                ..Default::default()
+            },
+            11,
+        );
+        let est = MajorityVoting.estimate(&d.schema, &d.answers);
+        let rep = tcrowd_tabular::evaluate(&d.schema, &d.truth, &est);
+        assert!(rep.error_rate.unwrap() < 0.3);
+    }
+}

@@ -1,0 +1,218 @@
+//! TruthFinder (paper ref \[35\], Yin–Han–Yu) — iterative trust propagation
+//! between sources and facts, adapted to categorical crowdsourcing.
+//!
+//! Not part of Table 7 (the paper cites it as related work), but included for
+//! completeness of the truth-discovery roster: worker trustworthiness `t(u)`
+//! and fact confidence `s(f)` reinforce each other through
+//!
+//! ```text
+//! τ(u)  = −ln(1 − t(u))                       (trust score)
+//! σ(f)  = Σ_{u claims f} τ(u)                 (raw fact score)
+//! σ*(f) = σ(f) − ρ · Σ_{f' ≠ f} σ(f')         (mutual-exclusion adjustment)
+//! s(f)  = 1 / (1 + e^{−γ σ*(f)})              (fact confidence)
+//! t(u)  = mean of s(f) over u's claims
+//! ```
+//!
+//! Continuous cells fall back to the per-cell median.
+
+use crate::method::{naive_estimates, TruthMethod};
+use std::collections::HashMap;
+use tcrowd_stat::clamp_prob;
+use tcrowd_tabular::{AnswerLog, CellId, Schema, Value, WorkerId};
+
+/// TruthFinder estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct TruthFinder {
+    /// Dampening factor γ of the confidence sigmoid.
+    pub gamma: f64,
+    /// Mutual-exclusion weight ρ (labels of one cell exclude each other).
+    pub rho: f64,
+    /// Initial worker trustworthiness.
+    pub initial_trust: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the trust vector (cosine-style max change).
+    pub tol: f64,
+}
+
+impl Default for TruthFinder {
+    fn default() -> Self {
+        TruthFinder { gamma: 0.3, rho: 0.5, initial_trust: 0.9, max_iters: 50, tol: 1e-6 }
+    }
+}
+
+impl TruthMethod for TruthFinder {
+    fn name(&self) -> &'static str {
+        "TruthFinder"
+    }
+
+    fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
+        let mut est = naive_estimates(schema, answers);
+        if answers.is_empty() {
+            return est;
+        }
+        // Facts: (cell, label) pairs of categorical cells.
+        // claims[u] -> fact indices; supporters[f] -> workers.
+        let mut fact_index: HashMap<(CellId, u32), usize> = HashMap::new();
+        let mut fact_cells: Vec<(CellId, u32)> = Vec::new();
+        let mut claims: HashMap<WorkerId, Vec<usize>> = HashMap::new();
+        let mut supporters: Vec<Vec<WorkerId>> = Vec::new();
+        for a in answers.all() {
+            if let Value::Categorical(l) = a.value {
+                let f = *fact_index.entry((a.cell, l)).or_insert_with(|| {
+                    fact_cells.push((a.cell, l));
+                    supporters.push(Vec::new());
+                    fact_cells.len() - 1
+                });
+                supporters[f].push(a.worker);
+                claims.entry(a.worker).or_default().push(f);
+            }
+        }
+        if fact_cells.is_empty() {
+            return est; // all-continuous table
+        }
+        // Facts grouped per cell for the mutual-exclusion sum.
+        let mut cell_facts: HashMap<CellId, Vec<usize>> = HashMap::new();
+        for (f, (cell, _)) in fact_cells.iter().enumerate() {
+            cell_facts.entry(*cell).or_default().push(f);
+        }
+
+        let mut trust: HashMap<WorkerId, f64> = claims
+            .keys()
+            .map(|&w| (w, clamp_prob(self.initial_trust)))
+            .collect();
+        let mut confidence = vec![0.5f64; fact_cells.len()];
+        for _ in 0..self.max_iters {
+            // Fact scores from trust.
+            let tau: HashMap<WorkerId, f64> = trust
+                .iter()
+                .map(|(&w, &t)| (w, -(1.0 - clamp_prob(t)).ln()))
+                .collect();
+            let sigma: Vec<f64> = supporters
+                .iter()
+                .map(|ws| ws.iter().map(|w| tau[w]).sum())
+                .collect();
+            for facts in cell_facts.values() {
+                let total: f64 = facts.iter().map(|&f| sigma[f]).sum();
+                for &f in facts {
+                    let adjusted = sigma[f] - self.rho * (total - sigma[f]);
+                    confidence[f] = 1.0 / (1.0 + (-self.gamma * adjusted).exp());
+                }
+            }
+            // Trust from fact confidences.
+            let mut max_change = 0.0f64;
+            for (w, facts) in &claims {
+                let mean =
+                    facts.iter().map(|&f| confidence[f]).sum::<f64>() / facts.len() as f64;
+                let new = clamp_prob(mean);
+                let old = trust[w];
+                max_change = max_change.max((new - old).abs());
+                trust.insert(*w, new);
+            }
+            if max_change < self.tol {
+                break;
+            }
+        }
+
+        // Pick the most-confident fact per categorical cell.
+        for (cell, facts) in &cell_facts {
+            let best = facts
+                .iter()
+                .max_by(|&&a, &&b| confidence[a].partial_cmp(&confidence[b]).expect("NaN"))
+                .copied()
+                .expect("non-empty fact set");
+            est[cell.row as usize][cell.col as usize] = Value::Categorical(fact_cells[best].1);
+        }
+        // Continuous cells: the naive median fallback already in `est`.
+        let _ = schema;
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mv::MajorityVoting;
+    use tcrowd_tabular::{generate_dataset, GeneratorConfig, WorkerQualityConfig};
+
+    #[test]
+    fn truthfinder_competitive_with_mv_under_spammers() {
+        let mut tf_total = 0.0;
+        let mut mv_total = 0.0;
+        for seed in 0..3 {
+            let d = generate_dataset(
+                &GeneratorConfig {
+                    rows: 80,
+                    columns: 3,
+                    categorical_ratio: 1.0,
+                    num_workers: 16,
+                    answers_per_task: 5,
+                    quality: WorkerQualityConfig {
+                        median_phi: 0.2,
+                        sigma_ln_phi: 1.0,
+                        spammer_fraction: 0.25,
+                        spammer_factor: 40.0,
+                    },
+                    ..Default::default()
+                },
+                seed,
+            );
+            let tf = TruthFinder::default().estimate(&d.schema, &d.answers);
+            let mv = MajorityVoting.estimate(&d.schema, &d.answers);
+            tf_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &tf)
+                .error_rate
+                .unwrap();
+            mv_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &mv)
+                .error_rate
+                .unwrap();
+        }
+        assert!(
+            tf_total <= mv_total + 0.03,
+            "TruthFinder {} vs MV {}",
+            tf_total / 3.0,
+            mv_total / 3.0
+        );
+    }
+
+    #[test]
+    fn unanimous_fact_wins() {
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 10,
+                columns: 2,
+                categorical_ratio: 1.0,
+                num_workers: 6,
+                answers_per_task: 4,
+                quality: WorkerQualityConfig {
+                    median_phi: 0.01,
+                    sigma_ln_phi: 0.01,
+                    spammer_fraction: 0.0,
+                    spammer_factor: 1.0,
+                },
+                ..Default::default()
+            },
+            7,
+        );
+        let tf = TruthFinder::default().estimate(&d.schema, &d.answers);
+        let rep = tcrowd_tabular::evaluate(&d.schema, &d.truth, &tf);
+        assert!(rep.error_rate.unwrap() < 0.05);
+    }
+
+    #[test]
+    fn all_continuous_table_falls_back_to_median() {
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 8,
+                columns: 2,
+                categorical_ratio: 0.0,
+                num_workers: 6,
+                answers_per_task: 3,
+                ..Default::default()
+            },
+            2,
+        );
+        let tf = TruthFinder::default().estimate(&d.schema, &d.answers);
+        let naive = crate::method::naive_estimates(&d.schema, &d.answers);
+        assert_eq!(tf, naive);
+    }
+}

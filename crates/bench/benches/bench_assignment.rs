@@ -1,0 +1,44 @@
+//! Criterion bench behind Figure 11: per-arrival assignment cost of the
+//! inherent and structure-aware gain policies as the answer log grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcrowd_core::{
+    AssignmentContext, AssignmentPolicy, InherentGainPolicy, StructureAwarePolicy, TCrowd,
+};
+use tcrowd_tabular::{generate_dataset, GeneratorConfig, WorkerId};
+
+fn assignment_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_cost");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &ans in &[2usize, 5] {
+        let cfg = GeneratorConfig {
+            rows: 174,
+            columns: 7,
+            num_workers: 109,
+            answers_per_task: ans,
+            ..Default::default()
+        };
+        let d = generate_dataset(&cfg, 42);
+        let inference = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let ctx = AssignmentContext {
+            schema: &d.schema,
+            answers: &d.answers,
+            inference: Some(&inference),
+            max_answers_per_cell: None,
+            terminated: None,
+        };
+        group.bench_with_input(BenchmarkId::new("inherent", ans), &ctx, |b, ctx| {
+            let mut policy = InherentGainPolicy::default();
+            b.iter(|| std::hint::black_box(policy.select(WorkerId(9_999), 7, ctx)))
+        });
+        group.bench_with_input(BenchmarkId::new("structure_aware", ans), &ctx, |b, ctx| {
+            let mut policy = StructureAwarePolicy::default();
+            b.iter(|| std::hint::black_box(policy.select(WorkerId(9_999), 7, ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, assignment_cost);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Runtime comparison of all Table 7 truth-inference methods on the
+//! (simulated) Celebrity dataset — context for the efficiency discussion
+//! in §6.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcrowd_bench::table7_methods;
+use tcrowd_tabular::real_sim;
+
+fn baseline_runtimes(c: &mut Criterion) {
+    let d = real_sim::celebrity(1);
+    let mut group = c.benchmark_group("truth_methods_celebrity");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for method in table7_methods() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, m| b.iter(|| std::hint::black_box(m.estimate(&d.schema, &d.answers)).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baseline_runtimes);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench behind Figure 12(b): EM truth-inference runtime as a
+//! function of the answer-set size, plus the real-dataset fit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tcrowd_core::TCrowd;
+use tcrowd_tabular::{generate_dataset, real_sim, GeneratorConfig};
+
+fn inference_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &answers in &[1_000usize, 5_000, 20_000] {
+        let rows = (answers / 50).max(2);
+        let cfg = GeneratorConfig { rows, columns: 10, answers_per_task: 5, ..Default::default() };
+        let d = generate_dataset(&cfg, 7);
+        group.throughput(Throughput::Elements(d.answers.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(d.answers.len()),
+            &d,
+            |b, d| {
+                b.iter(|| {
+                    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+                    std::hint::black_box(r.iterations)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn inference_real_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_real");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for d in [real_sim::celebrity(1), real_sim::restaurant(1), real_sim::emotion(1)] {
+        group.throughput(Throughput::Elements(d.answers.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(&d.schema.name), &d, |b, d| {
+            b.iter(|| {
+                let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+                std::hint::black_box(r.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, inference_scaling, inference_real_datasets);
+criterion_main!(benches);

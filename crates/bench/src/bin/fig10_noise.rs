@@ -1,0 +1,54 @@
+//! Figure 10: robustness to answer noise on Celebrity — Error Rate
+//! (T-Crowd / CRH / ZenCrowd / GLAD / MV) and MNAD (T-Crowd / GTM / CRH /
+//! Median) as the perturbed-answer fraction γ grows from 10% to 40%.
+
+use tcrowd_baselines::{
+    Crh, Glad, Gtm, MajorityVoting, MedianBaseline, TCrowdMethod, TruthMethod, ZenCrowd,
+};
+use tcrowd_bench::{average_reports, emit, fmt_opt, reps};
+use tcrowd_tabular::noise::add_noise;
+use tcrowd_tabular::tsv::TsvTable;
+use tcrowd_tabular::{evaluate_with_answers, real_sim, QualityReport};
+
+fn main() {
+    let reps = reps();
+    let methods: Vec<Box<dyn TruthMethod>> = vec![
+        Box::new(TCrowdMethod::full()),
+        Box::new(Crh::default()),
+        Box::new(ZenCrowd::default()),
+        Box::new(Glad::default()),
+        Box::new(MajorityVoting),
+        Box::new(Gtm::default()),
+        Box::new(MedianBaseline),
+    ];
+    let mut table = TsvTable::new(&["gamma", "method", "error_rate", "mnad"]);
+    for gamma in [0.1, 0.2, 0.3, 0.4] {
+        let mut reports: Vec<Vec<QualityReport>> = vec![Vec::new(); methods.len()];
+        for seed in 0..reps as u64 {
+            let clean = real_sim::celebrity(seed);
+            let noisy = add_noise(&clean, gamma, seed * 997 + 13);
+            for (mi, m) in methods.iter().enumerate() {
+                let est = m.estimate(&noisy.schema, &noisy.answers);
+                reports[mi].push(evaluate_with_answers(
+                    &noisy.schema,
+                    &noisy.truth,
+                    &est,
+                    &noisy.answers,
+                ));
+            }
+        }
+        for (mi, m) in methods.iter().enumerate() {
+            let (er, mnad) = average_reports(&reports[mi]);
+            table.push_row(vec![
+                format!("{gamma}"),
+                m.name().to_string(),
+                fmt_opt(er),
+                fmt_opt(mnad),
+            ]);
+        }
+        eprintln!("gamma = {gamma} done");
+    }
+    emit(&table, "fig10_noise.tsv", &format!("Figure 10: noise robustness ({reps} seed(s))"));
+    println!("\nPaper shape to check: Error Rate rises with γ; MNAD *declines* (the answer-std");
+    println!("denominator grows faster than RMSE); T-Crowd stays at or ahead of the field.");
+}

@@ -1,0 +1,18 @@
+//! Figure 7: effect of the number of columns (5 → 50) on truth-inference
+//! effectiveness. More columns mean more answers per worker, so T-Crowd's
+//! unified worker quality gets sharper and both metrics should drift down.
+
+use tcrowd_bench::{emit, reps, synthetic_sweep};
+use tcrowd_tabular::GeneratorConfig;
+
+fn main() {
+    let table = synthetic_sweep(
+        "columns",
+        &[5.0, 10.0, 20.0, 30.0, 40.0, 50.0],
+        |m| GeneratorConfig { columns: m as usize, ..Default::default() },
+        reps(),
+    );
+    emit(&table, "fig7_columns.tsv", "Figure 7: effect of the number of columns");
+    println!("\nPaper shape to check: T-Crowd's Error Rate and MNAD decline as columns");
+    println!("grow and dominate CRH and the per-datatype specialists (GLAD/GTM).");
+}

@@ -1,0 +1,203 @@
+//! # tcrowd-bench
+//!
+//! The reproduction harness: shared plumbing for the per-table/per-figure
+//! binaries (`src/bin/*.rs`) and the Criterion benches (`benches/*.rs`).
+//!
+//! Every binary regenerates one table or figure of the paper, prints the
+//! same rows/series the paper reports, and writes a TSV under `results/`
+//! (override with `TCROWD_RESULTS_DIR`). Repetition counts are tuned for a
+//! laptop; raise `TCROWD_REPS` for tighter error bars.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use tcrowd_baselines::{
+    Accu, Catd, Crh, DawidSkene, Glad, Gtm, MajorityVoting, MedianBaseline, MinimaxEntropy,
+    PerColumnTCrowd, TCrowdMethod, TruthMethod, ZenCrowd,
+};
+use tcrowd_tabular::tsv::TsvTable;
+use tcrowd_tabular::{real_sim, Dataset, QualityReport};
+
+/// Where result TSVs go (`TCROWD_RESULTS_DIR`, default `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("TCROWD_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Repetitions per configuration (`TCROWD_REPS`, default 3; the paper uses
+/// 100 — raise it when error bars matter more than wall-clock).
+pub fn reps() -> usize {
+    std::env::var("TCROWD_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(3)
+}
+
+/// The three simulated real-world datasets (paper Table 6), in paper order.
+pub fn real_datasets(seed: u64) -> Vec<Dataset> {
+    vec![
+        real_sim::celebrity(seed),
+        real_sim::restaurant(seed),
+        real_sim::emotion(seed),
+    ]
+}
+
+/// All Table 7 truth-inference rows, in the paper's order.
+pub fn table7_methods() -> Vec<Box<dyn TruthMethod>> {
+    vec![
+        Box::new(TCrowdMethod::full()),
+        Box::new(Crh::default()),
+        Box::new(Catd::default()),
+        Box::new(MajorityVoting),
+        Box::new(DawidSkene::default()), // the paper's "EM" row
+        Box::new(Glad::default()),
+        Box::new(ZenCrowd::default()),
+        Box::new(TCrowdMethod::only_categorical()),
+        Box::new(PerColumnTCrowd::default()), // §1's central-claim ablation, extra row
+        Box::new(MinimaxEntropy::default()), // §2 ref [40], extra row
+        Box::new(Accu::default()),           // §2 ref [12] (AccuSim), extra row
+        Box::new(MedianBaseline),
+        Box::new(Gtm::default()),
+        Box::new(TCrowdMethod::only_continuous()),
+    ]
+}
+
+/// Per-cell 0/1 losses over the categorical cells of a table, in row-major
+/// cell order — the paired unit for the bootstrap significance test.
+pub fn categorical_losses(
+    schema: &tcrowd_tabular::Schema,
+    truth: &[Vec<tcrowd_tabular::Value>],
+    estimates: &[Vec<tcrowd_tabular::Value>],
+) -> Vec<f64> {
+    let mut losses = Vec::new();
+    for (t_row, e_row) in truth.iter().zip(estimates) {
+        for (j, (t, e)) in t_row.iter().zip(e_row).enumerate() {
+            if schema.column_type(j).is_categorical() {
+                losses.push((t != e) as i32 as f64);
+            }
+        }
+    }
+    losses
+}
+
+/// Render an optional metric (Table 7 leaves blanks for methods that do not
+/// apply to a datatype).
+pub fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "/".into())
+}
+
+/// Average the error rate and MNAD of several repetition reports.
+pub fn average_reports(reports: &[QualityReport]) -> (Option<f64>, Option<f64>) {
+    let avg = |pick: fn(&QualityReport) -> Option<f64>| -> Option<f64> {
+        let vals: Vec<f64> = reports.iter().filter_map(pick).collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    };
+    (avg(|r| r.error_rate), avg(|r| r.mnad))
+}
+
+/// Run the synthetic truth-inference sweep shared by Figs. 7–9: for every
+/// parameter value, generate `reps` datasets, fit T-Crowd / CRH / GLAD / GTM
+/// (the paper compares T-Crowd against CRH plus the per-datatype specialist)
+/// and emit one row per (value, method) with the averaged metrics.
+pub fn synthetic_sweep<F>(param: &str, values: &[f64], make_cfg: F, reps: usize) -> TsvTable
+where
+    F: Fn(f64) -> tcrowd_tabular::GeneratorConfig,
+{
+    use tcrowd_tabular::evaluate_with_answers;
+    let methods: Vec<Box<dyn TruthMethod>> = vec![
+        Box::new(TCrowdMethod::full()),
+        Box::new(Crh::default()),
+        Box::new(Glad::default()),
+        Box::new(Gtm::default()),
+    ];
+    let mut table = TsvTable::new(&[param, "method", "error_rate", "mnad"]);
+    for &v in values {
+        let cfg = make_cfg(v);
+        let mut reports: Vec<Vec<QualityReport>> = vec![Vec::new(); methods.len()];
+        for seed in 0..reps as u64 {
+            let d = tcrowd_tabular::generate_dataset(&cfg, seed * 101 + 7);
+            for (mi, m) in methods.iter().enumerate() {
+                let est = m.estimate(&d.schema, &d.answers);
+                reports[mi].push(evaluate_with_answers(&d.schema, &d.truth, &est, &d.answers));
+            }
+        }
+        for (mi, m) in methods.iter().enumerate() {
+            let (er, mnad) = average_reports(&reports[mi]);
+            table.push_row(vec![
+                format!("{v}"),
+                m.name().to_string(),
+                fmt_opt(er),
+                fmt_opt(mnad),
+            ]);
+        }
+        eprintln!("{param} = {v} done");
+    }
+    table
+}
+
+/// Print a table to stdout and persist it under [`results_dir`].
+pub fn emit(table: &TsvTable, file: &str, caption: &str) {
+    println!("\n== {caption} ==");
+    print!("{}", table.to_pretty_string());
+    let path = results_dir().join(file);
+    match table.write(&path) {
+        Ok(()) => println!("(written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_list_matches_table7_rows() {
+        let names: Vec<&str> = table7_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "T-Crowd",
+                "CRH",
+                "CATD",
+                "Majority Voting",
+                "D&S",
+                "GLAD",
+                "ZenCrowd",
+                "TC-onlyCate",
+                "TC-perColumn",
+                "Minimax-Entropy",
+                "AccuSim",
+                "Median",
+                "GTM",
+                "TC-onlyCont"
+            ]
+        );
+    }
+
+    #[test]
+    fn fmt_opt_renders_blanks() {
+        assert_eq!(fmt_opt(None), "/");
+        assert_eq!(fmt_opt(Some(0.12345)), "0.1235");
+    }
+
+    #[test]
+    fn average_reports_skips_missing() {
+        let a = QualityReport { error_rate: Some(0.1), mnad: None, columns: vec![] };
+        let b = QualityReport { error_rate: Some(0.3), mnad: Some(0.5), columns: vec![] };
+        let (er, mnad) = average_reports(&[a, b]);
+        assert!((er.unwrap() - 0.2).abs() < 1e-12);
+        assert!((mnad.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn datasets_come_in_paper_order() {
+        let names: Vec<String> = real_datasets(1)
+            .into_iter()
+            .map(|d| d.schema.name)
+            .collect();
+        assert_eq!(names, vec!["Celebrity", "Restaurant", "Emotion"]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Tiny flag parser — the CLI has four subcommands with a handful of
+//! `--flag value` options each, which does not justify an argument-parsing
+//! dependency outside the allowed set.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, `--flag value` pairs, bare `--switches`.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    ///
+    /// Grammar: `<command> (--name value | --switch)*`. A `--name` followed
+    /// by another `--…` token or end-of-input is a switch.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let command = argv.next().unwrap_or_default();
+        let mut args = Args { command, ..Default::default() };
+        let rest: Vec<String> = argv.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let tok = &rest[i];
+            let name = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected positional argument '{tok}'"))?;
+            if name.is_empty() {
+                return Err("empty flag '--'".into());
+            }
+            match rest.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    if args.values.insert(name.to_string(), v.clone()).is_some() {
+                        return Err(format!("duplicate flag --{name}"));
+                    }
+                    i += 2;
+                }
+                _ => {
+                    args.switches.push(name.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required `--name value` flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional `--name value` flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// An optional flag parsed into `T`, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    /// Whether a bare `--switch` was given.
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = parse(&["infer", "--schema", "s.tsv", "--only-cate", "--rows", "10"]).unwrap();
+        assert_eq!(a.command, "infer");
+        assert_eq!(a.require("schema").unwrap(), "s.tsv");
+        assert_eq!(a.get_parsed::<usize>("rows", 0).unwrap(), 10);
+        assert!(a.has_switch("only-cate"));
+        assert!(!a.has_switch("only-cont"));
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = parse(&["infer"]).unwrap();
+        assert!(a.require("schema").is_err());
+    }
+
+    #[test]
+    fn rejects_positional_and_duplicates() {
+        assert!(parse(&["x", "stray"]).is_err());
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn default_used_when_flag_absent() {
+        let a = parse(&["gen"]).unwrap();
+        assert_eq!(a.get_parsed::<f64>("ratio", 0.5).unwrap(), 0.5);
+        assert!(a.get_parsed::<usize>("rows", 1).is_ok());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag_name() {
+        let a = parse(&["gen", "--rows", "ten"]).unwrap();
+        let err = a.get_parsed::<usize>("rows", 0).unwrap_err();
+        assert!(err.contains("--rows"));
+    }
+}

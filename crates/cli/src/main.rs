@@ -1,0 +1,454 @@
+//! `tcrowd` — command-line front-end for the T-Crowd library.
+//!
+//! ```text
+//! tcrowd generate --rows 50 --cols 6 --out-dir demo/        # demo dataset
+//! tcrowd infer    --schema demo/table.schema.tsv --answers demo/table.answers.tsv \
+//!                 --rows 50 --out estimates.tsv [--workers workers.tsv]
+//!                 [--only-cate | --only-cont]
+//! tcrowd assign   --schema … --answers … --rows 50 --worker 7 --k 6
+//!                 [--inherent]            # default is structure-aware
+//! tcrowd evaluate --schema … --truth truth.tsv --estimates estimates.tsv
+//! ```
+//!
+//! All files use the TSV interchange format of `tcrowd_tabular::io`.
+
+mod args;
+
+use args::Args;
+use std::path::Path;
+use tcrowd_baselines::{EntropyPolicy, LoopingPolicy, QascaPolicy, RandomPolicy};
+use tcrowd_core::diagnostics;
+use tcrowd_core::{
+    AssignmentContext, AssignmentPolicy, EntityAwarePolicy, InherentGainPolicy, RowGrouping,
+    StructureAwarePolicy, TCrowd,
+};
+use tcrowd_sim::{ExperimentConfig, InferenceBackend, Runner, StoppingRule, WorkerPool, WorkerPoolConfig};
+use tcrowd_tabular::io;
+use tcrowd_tabular::{evaluate, generate_dataset, GeneratorConfig, WorkerId};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "infer" => cmd_infer(&args),
+        "assign" => cmd_assign(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "diagnose" => cmd_diagnose(&args),
+        "simulate" => cmd_simulate(&args),
+        "compare" => cmd_compare(&args),
+        "" | "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+tcrowd — effective crowdsourcing for tabular data (ICDE 2018)
+
+USAGE:
+  tcrowd generate --out-dir DIR [--rows N] [--cols M] [--ratio R]
+                  [--answers-per-task K] [--workers W] [--seed S]
+  tcrowd infer    --schema FILE --answers FILE --rows N --out FILE
+                  [--workers FILE] [--only-cate | --only-cont]
+                  [--exclude ID,ID,...]     # drop flagged workers first
+  tcrowd assign   --schema FILE --answers FILE --rows N --worker ID
+                  [--k K] [--inherent]
+  tcrowd evaluate --schema FILE --truth FILE --estimates FILE
+  tcrowd diagnose --schema FILE --answers FILE --rows N [--worst K]
+                  [--entity-groups G]       # fit §7 familiarity multipliers
+  tcrowd simulate [--rows N] [--cols M] [--ratio R] [--workers W]
+                  [--budget B] [--seed S] [--policy NAME] [--adaptive]
+                  [--out FILE]              # policy: structure-aware (default),
+                                            # inherent, entity, qasca, random,
+                                            # looping, entropy
+  tcrowd compare  [--rows N] [--cols M] [--budget B] [--seed S] [--out FILE]
+                  # runs every policy at equal budget, one series per policy";
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let dir = Path::new(args.require("out-dir")?);
+    let cfg = GeneratorConfig {
+        rows: args.get_parsed("rows", 50)?,
+        columns: args.get_parsed("cols", 6)?,
+        categorical_ratio: args.get_parsed("ratio", 0.5)?,
+        answers_per_task: args.get_parsed("answers-per-task", 4)?,
+        num_workers: args.get_parsed("workers", 25)?,
+        ..Default::default()
+    };
+    let seed = args.get_parsed("seed", 1u64)?;
+    let d = generate_dataset(&cfg, seed);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    io::write_schema(&d.schema, dir.join("table.schema.tsv")).map_err(|e| e.to_string())?;
+    io::write_answers(&d.schema, &d.answers, dir.join("table.answers.tsv"))
+        .map_err(|e| e.to_string())?;
+    io::write_table(&d.schema, &d.truth, dir.join("table.truth.tsv"))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rows × {} columns, {} answers from {} workers to {}",
+        d.rows(),
+        d.cols(),
+        d.answers.len(),
+        d.answers.num_workers(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn load_state(args: &Args) -> Result<(tcrowd_tabular::Schema, tcrowd_tabular::AnswerLog), String> {
+    let schema = io::read_schema(args.require("schema")?).map_err(|e| e.to_string())?;
+    let rows: usize = args.get_parsed("rows", 0)?;
+    if rows == 0 {
+        return Err("--rows is required (the answer file may omit trailing rows)".into());
+    }
+    let answers =
+        io::read_answers(&schema, rows, args.require("answers")?).map_err(|e| e.to_string())?;
+    Ok((schema, answers))
+}
+
+fn cmd_infer(args: &Args) -> Result<(), String> {
+    let (schema, mut answers) = load_state(args)?;
+    if let Some(list) = args.get("exclude") {
+        let ids: Result<Vec<WorkerId>, String> = list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<u32>()
+                    .map(WorkerId)
+                    .map_err(|_| format!("invalid worker id '{t}' in --exclude"))
+            })
+            .collect();
+        let ids = ids?;
+        let before = answers.len();
+        answers = answers.without_workers(&ids);
+        println!(
+            "excluded {} worker(s): {} of {} answers dropped",
+            ids.len(),
+            before - answers.len(),
+            before
+        );
+    }
+    let model = match (args.has_switch("only-cate"), args.has_switch("only-cont")) {
+        (true, true) => return Err("--only-cate and --only-cont are mutually exclusive".into()),
+        (true, false) => TCrowd::only_categorical(),
+        (false, true) => TCrowd::only_continuous(),
+        (false, false) => TCrowd::default_full(),
+    };
+    let result = model.infer(&schema, &answers);
+    io::write_table(&schema, &result.estimates(), args.require("out")?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "inferred {} cells from {} answers by {} workers (EM: {} iterations, converged = {})",
+        result.rows() * result.cols(),
+        answers.len(),
+        result.workers.len(),
+        result.iterations,
+        result.converged
+    );
+    if let Some(path) = args.get("workers") {
+        use std::io::Write;
+        let mut out = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| e.to_string())?,
+        );
+        writeln!(out, "worker\tphi\tquality\tanswers").map_err(|e| e.to_string())?;
+        let mut workers = result.workers.clone();
+        workers.sort();
+        for w in workers {
+            writeln!(
+                out,
+                "{}\t{:.6}\t{:.6}\t{}",
+                w.0,
+                result.phi_of(w).unwrap(),
+                result.quality_of(w).unwrap(),
+                answers.for_worker(w).count()
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        println!("worker report written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_assign(args: &Args) -> Result<(), String> {
+    let (schema, answers) = load_state(args)?;
+    let worker = WorkerId(args.get_parsed("worker", u32::MAX)?);
+    if worker.0 == u32::MAX {
+        return Err("missing required flag --worker".into());
+    }
+    let k: usize = args.get_parsed("k", schema.num_columns())?;
+    let inference = TCrowd::default_full().infer(&schema, &answers);
+    let ctx = AssignmentContext {
+        schema: &schema,
+        answers: &answers,
+        inference: Some(&inference),
+        max_answers_per_cell: None,
+        terminated: None,
+    };
+    let mut inherent = InherentGainPolicy::default();
+    let mut sa = StructureAwarePolicy::default();
+    let policy: &mut dyn AssignmentPolicy = if args.has_switch("inherent") {
+        &mut inherent
+    } else {
+        &mut sa
+    };
+    let picks = policy.select(worker, k, &ctx);
+    println!("policy: {}", policy.name());
+    println!("row\tcolumn");
+    for c in picks {
+        println!("{}\t{}", c.row, schema.columns[c.col as usize].name);
+    }
+    Ok(())
+}
+
+fn cmd_diagnose(args: &Args) -> Result<(), String> {
+    let (schema, answers) = load_state(args)?;
+    let result = TCrowd::default_full().infer(&schema, &answers);
+    println!(
+        "fit: {} answers, {} workers, EM {} iterations (converged = {})",
+        answers.len(),
+        result.workers.len(),
+        result.iterations,
+        result.converged
+    );
+    match diagnostics::quality_consistency(&schema, &answers, &result) {
+        Some(r) => println!("cross-attribute quality consistency: r = {r:.3}"),
+        None => println!("cross-attribute quality consistency: not enough data"),
+    }
+    match diagnostics::calibration(&schema, &answers, &result) {
+        Some(fit) => println!(
+            "quality calibration: r = {:.3}, slope = {:.3} (1.0 = perfectly calibrated)",
+            fit.r, fit.slope
+        ),
+        None => println!("quality calibration: not enough categorical data"),
+    }
+    let residuals = diagnostics::residual_report(&schema, &answers, &result);
+    if !residuals.is_empty() {
+        println!("\ncontinuous residuals (want mean 0, std 1, outliers < 0.5%):");
+        for r in residuals {
+            println!(
+                "  {:<16} mean {:>7.3}  std {:>6.3}  outliers {:>6.3}%",
+                schema.columns[r.column].name,
+                r.mean,
+                r.std,
+                100.0 * r.outlier_fraction
+            );
+        }
+    }
+    if let Some(g) = args.get("entity-groups") {
+        use tcrowd_core::entity::{EntityModel, EntityModelOptions};
+        let groups: usize = g.parse().map_err(|_| "invalid --entity-groups")?;
+        let model = EntityModel::fit(
+            &schema,
+            &answers,
+            &result,
+            &RowGrouping::Learned { groups, seed: 1 },
+            &EntityModelOptions::default(),
+        );
+        let findings = diagnostics::familiarity_findings(&model, 8);
+        println!("\nentity familiarity (λ > 1 = worker struggles with that row group):");
+        if findings.is_empty() {
+            println!("  no (worker, group) pair deviates from the global quality");
+        }
+        for f in findings {
+            println!("  worker {:<6} group {:<3} λ = {:.2}", f.worker.0, f.group, f.lambda);
+        }
+    }
+    let k = args.get_parsed("worst", 5usize)?;
+    println!("\nhighest-variance workers (candidates for exclusion):");
+    println!("worker\tphi\tquality\tanswers");
+    for (w, phi) in diagnostics::worst_workers(&result, k) {
+        println!(
+            "{}\t{:.4}\t{:.4}\t{}",
+            w.0,
+            phi,
+            result.quality_of(w).unwrap_or(0.0),
+            answers.for_worker(w).count()
+        );
+    }
+    Ok(())
+}
+
+/// Build a named assignment policy for the simulator commands.
+fn make_policy(name: &str, rows: usize, seed: u64) -> Result<Box<dyn AssignmentPolicy>, String> {
+    Ok(match name {
+        "structure-aware" => Box::new(StructureAwarePolicy::default()),
+        "inherent" => Box::new(InherentGainPolicy::default()),
+        "entity" => Box::new(EntityAwarePolicy::new(RowGrouping::Learned {
+            groups: (rows / 10).clamp(2, 8),
+            seed,
+        })),
+        "qasca" => Box::new(QascaPolicy),
+        "random" => Box::new(RandomPolicy::seeded(seed)),
+        "looping" => Box::new(LoopingPolicy::default()),
+        "entropy" => Box::new(EntropyPolicy),
+        other => {
+            return Err(format!(
+                "unknown policy '{other}' (expected structure-aware, inherent, entity, \
+                 qasca, random, looping or entropy)"
+            ))
+        }
+    })
+}
+
+/// Shared world construction for `simulate` and `compare`.
+fn sim_world(args: &Args, seed: u64) -> Result<(tcrowd_tabular::Dataset, WorkerPool), String> {
+    let rows = args.get_parsed("rows", 40usize)?;
+    let cfg = GeneratorConfig {
+        rows,
+        columns: args.get_parsed("cols", 5)?,
+        categorical_ratio: args.get_parsed("ratio", 0.5)?,
+        num_workers: args.get_parsed("workers", 25)?,
+        answers_per_task: 1,
+        ..Default::default()
+    };
+    let d = generate_dataset(&cfg, seed);
+    let pool = WorkerPool::new(
+        &d.schema,
+        &d.truth,
+        WorkerPoolConfig { num_workers: cfg.num_workers, ..Default::default() },
+        seed.wrapping_mul(31).wrapping_add(7),
+    );
+    Ok((d, pool))
+}
+
+fn write_series(
+    path: Option<&str>,
+    runs: &[tcrowd_sim::RunResult],
+) -> Result<(), String> {
+    use std::io::Write;
+    let mut out: Box<dyn Write> = match path {
+        Some(p) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| e.to_string())?,
+        )),
+        None => Box::new(std::io::stdout()),
+    };
+    writeln!(out, "policy	avg_answers	error_rate	mnad").map_err(|e| e.to_string())?;
+    for r in runs {
+        for pt in &r.points {
+            writeln!(
+                out,
+                "{}	{:.2}	{}	{}",
+                r.label,
+                pt.avg_answers,
+                pt.error_rate.map(|v| format!("{v:.4}")).unwrap_or_else(|| "/".into()),
+                pt.mnad.map(|v| format!("{v:.4}")).unwrap_or_else(|| "/".into()),
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let seed = args.get_parsed("seed", 1u64)?;
+    let (d, mut pool) = sim_world(args, seed)?;
+    let policy_name = args.get("policy").unwrap_or("structure-aware");
+    let mut policy = make_policy(policy_name, d.rows(), seed)?;
+    let runner = Runner::new(ExperimentConfig {
+        budget_avg_answers: args.get_parsed("budget", 4.0)?,
+        checkpoint_step: 0.5,
+        stopping: args.has_switch("adaptive").then(StoppingRule::default),
+        ..Default::default()
+    });
+    let backend = InferenceBackend::TCrowd(TCrowd::default_full());
+    let result = runner.run(policy_name, &mut pool, policy.as_mut(), &backend);
+    println!(
+        "{}: {} answers in {} HITs (${:.2}); final error rate {}, MNAD {}{}",
+        result.label,
+        result.total_answers,
+        result.total_hits,
+        result.total_cost,
+        result
+            .final_report
+            .error_rate
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "n/a".into()),
+        result
+            .final_report
+            .mnad
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "n/a".into()),
+        if result.terminated_cells > 0 {
+            format!("; {} cells settled early", result.terminated_cells)
+        } else {
+            String::new()
+        }
+    );
+    write_series(args.get("out"), std::slice::from_ref(&result))
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let seed = args.get_parsed("seed", 1u64)?;
+    let budget = args.get_parsed("budget", 4.0)?;
+    let backend = InferenceBackend::TCrowd(TCrowd::default_full());
+    let mut runs = Vec::new();
+    for name in ["structure-aware", "inherent", "entity", "qasca", "random", "looping", "entropy"] {
+        let (d, mut pool) = sim_world(args, seed)?;
+        let mut policy = make_policy(name, d.rows(), seed)?;
+        let runner = Runner::new(ExperimentConfig {
+            budget_avg_answers: budget,
+            checkpoint_step: 0.5,
+            ..Default::default()
+        });
+        let r = runner.run(name, &mut pool, policy.as_mut(), &backend);
+        println!(
+            "{:<16} error rate {}  MNAD {}",
+            r.label,
+            r.final_report
+                .error_rate
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "n/a".into()),
+            r.final_report
+                .mnad
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+        runs.push(r);
+    }
+    write_series(args.get("out"), &runs)
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let schema = io::read_schema(args.require("schema")?).map_err(|e| e.to_string())?;
+    let truth = io::read_table(&schema, args.require("truth")?).map_err(|e| e.to_string())?;
+    let estimates =
+        io::read_table(&schema, args.require("estimates")?).map_err(|e| e.to_string())?;
+    if truth.len() != estimates.len() {
+        return Err(format!(
+            "truth has {} rows but estimates has {}",
+            truth.len(),
+            estimates.len()
+        ));
+    }
+    let report = evaluate(&schema, &truth, &estimates);
+    match report.error_rate {
+        Some(er) => println!("error rate (categorical): {er:.4}"),
+        None => println!("error rate (categorical): n/a (no categorical columns)"),
+    }
+    match report.mnad {
+        Some(m) => println!("MNAD (continuous):        {m:.4}"),
+        None => println!("MNAD (continuous):        n/a (no continuous columns)"),
+    }
+    println!("\nper-column:");
+    for c in &report.columns {
+        match (c.error_rate, c.nad) {
+            (Some(er), _) => println!("  {:<16} error rate {er:.4}", c.name),
+            (_, Some(nad)) => {
+                println!("  {:<16} NAD {nad:.4} (RMSE {:.4})", c.name, c.rmse.unwrap())
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}

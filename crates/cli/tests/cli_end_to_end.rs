@@ -1,0 +1,265 @@
+//! End-to-end tests of the `tcrowd` binary: generate → infer → evaluate →
+//! assign, all through the real executable and the TSV interchange files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tcrowd"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("tcrowd_cli_tests")
+        .join(format!("{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_infer_evaluate_pipeline() {
+    let dir = workdir("pipeline");
+    let out = bin()
+        .args(["generate", "--out-dir"])
+        .arg(&dir)
+        .args(["--rows", "30", "--cols", "5", "--seed", "9"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let schema = dir.join("table.schema.tsv");
+    let answers = dir.join("table.answers.tsv");
+    let truth = dir.join("table.truth.tsv");
+    let estimates = dir.join("estimates.tsv");
+    for f in [&schema, &answers, &truth] {
+        assert!(f.exists(), "{} missing", f.display());
+    }
+
+    let out = bin()
+        .args(["infer", "--schema"])
+        .arg(&schema)
+        .args(["--answers"])
+        .arg(&answers)
+        .args(["--rows", "30", "--out"])
+        .arg(&estimates)
+        .args(["--workers"])
+        .arg(dir.join("workers.tsv"))
+        .output()
+        .expect("run infer");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("converged = true"), "{stdout}");
+    assert!(estimates.exists());
+    assert!(dir.join("workers.tsv").exists());
+
+    let out = bin()
+        .args(["evaluate", "--schema"])
+        .arg(&schema)
+        .args(["--truth"])
+        .arg(&truth)
+        .args(["--estimates"])
+        .arg(&estimates)
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error rate"), "{stdout}");
+    assert!(stdout.contains("MNAD"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn assign_lists_k_tasks() {
+    let dir = workdir("assign");
+    assert!(bin()
+        .args(["generate", "--out-dir"])
+        .arg(&dir)
+        .args(["--rows", "12", "--cols", "4", "--seed", "3"])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["assign", "--schema"])
+        .arg(dir.join("table.schema.tsv"))
+        .args(["--answers"])
+        .arg(dir.join("table.answers.tsv"))
+        .args(["--rows", "12", "--worker", "999", "--k", "5"])
+        .output()
+        .expect("run assign");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("structure-aware"), "{stdout}");
+    // Header + 5 task lines.
+    assert_eq!(stdout.lines().filter(|l| l.contains('\t')).count(), 6, "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diagnose_prints_model_health() {
+    let dir = workdir("diagnose");
+    assert!(bin()
+        .args(["generate", "--out-dir"])
+        .arg(&dir)
+        .args(["--rows", "40", "--cols", "5", "--seed", "5"])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["diagnose", "--schema"])
+        .arg(dir.join("table.schema.tsv"))
+        .args(["--answers"])
+        .arg(dir.join("table.answers.tsv"))
+        .args(["--rows", "40", "--worst", "3"])
+        .output()
+        .expect("run diagnose");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("quality calibration"), "{stdout}");
+    assert!(stdout.contains("continuous residuals"), "{stdout}");
+    assert!(stdout.contains("highest-variance workers"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors_and_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin().arg("infer").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--schema"));
+
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn constrained_inference_flags_are_exclusive() {
+    let dir = workdir("flags");
+    assert!(bin()
+        .args(["generate", "--out-dir"])
+        .arg(&dir)
+        .args(["--rows", "8", "--cols", "4"])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["infer", "--schema"])
+        .arg(dir.join("table.schema.tsv"))
+        .args(["--answers"])
+        .arg(dir.join("table.answers.tsv"))
+        .args(["--rows", "8", "--out"])
+        .arg(dir.join("est.tsv"))
+        .args(["--only-cate", "--only-cont"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_prints_summary_and_writes_series() {
+    let dir = workdir("simulate");
+    let series = dir.join("series.tsv");
+    let out = bin()
+        .args([
+            "simulate", "--rows", "15", "--cols", "3", "--budget", "2.5", "--seed", "3",
+            "--policy", "inherent", "--out",
+        ])
+        .arg(&series)
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inherent:"), "summary missing: {stdout}");
+    let tsv = std::fs::read_to_string(&series).unwrap();
+    assert!(tsv.starts_with("policy\tavg_answers\terror_rate\tmnad"));
+    assert!(tsv.lines().count() > 2, "series should contain checkpoints");
+}
+
+#[test]
+fn simulate_adaptive_reports_settled_cells() {
+    let out = bin()
+        .args([
+            "simulate", "--rows", "12", "--cols", "3", "--budget", "5", "--seed", "4",
+            "--adaptive",
+        ])
+        .output()
+        .expect("run simulate --adaptive");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("settled early"),
+        "adaptive run should settle some cells: {stdout}"
+    );
+}
+
+#[test]
+fn simulate_rejects_unknown_policy() {
+    let out = bin()
+        .args(["simulate", "--policy", "oracle"])
+        .output()
+        .expect("run simulate");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}
+
+#[test]
+fn compare_runs_every_policy() {
+    let dir = workdir("compare");
+    let series = dir.join("compare.tsv");
+    let out = bin()
+        .args(["compare", "--rows", "12", "--cols", "3", "--budget", "2", "--seed", "5", "--out"])
+        .arg(&series)
+        .output()
+        .expect("run compare");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for policy in ["structure-aware", "inherent", "entity", "qasca", "random", "looping", "entropy"] {
+        assert!(stdout.contains(policy), "missing policy {policy} in: {stdout}");
+    }
+    let tsv = std::fs::read_to_string(&series).unwrap();
+    assert!(tsv.contains("qasca\t"));
+}
+
+#[test]
+fn infer_exclude_drops_worker_answers() {
+    let dir = workdir("exclude");
+    let out = bin()
+        .args(["generate", "--out-dir"])
+        .arg(&dir)
+        .args(["--rows", "12", "--cols", "3", "--seed", "6"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let est = dir.join("est.tsv");
+    let out = bin()
+        .args(["infer", "--schema"])
+        .arg(dir.join("table.schema.tsv"))
+        .arg("--answers")
+        .arg(dir.join("table.answers.tsv"))
+        .args(["--rows", "12", "--exclude", "0,1", "--out"])
+        .arg(&est)
+        .output()
+        .expect("run infer --exclude");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("excluded 2 worker(s)"), "{stdout}");
+    assert!(est.exists());
+
+    let out = bin()
+        .args(["infer", "--schema"])
+        .arg(dir.join("table.schema.tsv"))
+        .arg("--answers")
+        .arg(dir.join("table.answers.tsv"))
+        .args(["--rows", "12", "--exclude", "zero", "--out"])
+        .arg(&est)
+        .output()
+        .expect("run infer with bad --exclude");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid worker id"));
+}

@@ -1,0 +1,833 @@
+//! The EM truth-inference engine (paper §4.3, Algorithm 1).
+//!
+//! Internal representation: answers are flattened into index-based records
+//! (worker index, row, column, z-scored value), truth posteriors live in a
+//! dense per-cell vector, and the parameters are optimised in log space
+//! (`ln α, ln β, ln φ`) so positivity is structural rather than enforced by
+//! projection.
+//!
+//! **Identifiability.** The likelihood only sees the product
+//! `α_i β_j φ_u`, which leaves a two-dimensional scale ambiguity. After every
+//! M-step the geometric means of `α` and `β` are renormalised to 1 and the
+//! scale is pushed into `φ`, so reported difficulties are relative and
+//! `φ_u` is the absolute per-worker variance.
+
+#![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
+use crate::model::{cat_answer_ln_likelihood, quality_dlnv, quality_from_variance};
+use crate::truth::TruthDist;
+use tcrowd_stat::normal::Normal;
+use tcrowd_stat::optimize::{gradient_ascent, AscentOptions};
+use tcrowd_stat::{clamp_prob, EPS};
+
+/// Options controlling the EM loop.
+#[derive(Debug, Clone, Copy)]
+pub struct EmOptions {
+    /// Maximum number of EM iterations (the paper observes convergence in
+    /// fewer than 20).
+    pub max_iters: usize,
+    /// Relative ELBO-improvement threshold for convergence (the paper uses
+    /// 1e-5 on parameter changes; an ELBO criterion is equivalent in practice
+    /// and cheaper to evaluate).
+    pub tol: f64,
+    /// Learn per-row difficulties `α_i` (disable for the ablation study).
+    pub learn_row_difficulty: bool,
+    /// Learn per-column difficulties `β_j` (disable for the ablation study).
+    pub learn_col_difficulty: bool,
+    /// Initial worker *quality* `q₀` (probability of a correct categorical
+    /// answer) before the first M-step. The corresponding variance is derived
+    /// through the inverse erf link, `φ₀ = (ε / (√2·erf⁻¹(q₀)))²`, so the
+    /// starting point is calibrated to whatever `ε` resolves to.
+    ///
+    /// This matters: a *fixed* starting `φ` can imply `q < 1/|L|` under a
+    /// small `ε`, which makes the first E-step treat every worker as
+    /// adversarial and flip the posterior of small-cardinality columns — a
+    /// local optimum EM never escapes. Must lie in `(0, 1)`.
+    pub init_quality: f64,
+    /// Strength (inverse variance) of the Gaussian prior on `ln φ`.
+    ///
+    /// Pure maximum-likelihood EM on categorical answers exhibits the
+    /// classic confidence spiral: a worker whose answers currently agree
+    /// with the posterior gets `q → 1`, which lets that single worker pin
+    /// cell posteriors, which further inflates their quality. A weak MAP
+    /// prior (`ln φ ~ N(ln φ₀, 1/strength)`, with `φ₀` from
+    /// [`EmOptions::init_quality`]) bounds the spiral without
+    /// noticeably biasing well-observed workers.
+    pub phi_prior_strength: f64,
+    /// Strength of the Gaussian priors on `ln α` and `ln β` (centred at 0 —
+    /// difficulties are multiplicative corrections, so the prior says
+    /// "average difficulty" until the data insists otherwise).
+    pub difficulty_prior_strength: f64,
+    /// Bounds on `ln φ` (and `ln α`, `ln β`) keeping the optimiser inside a
+    /// numerically sane box.
+    pub ln_param_bound: f64,
+    /// Split the E-step across threads (cells are independent). Results are
+    /// identical to the serial path; worthwhile for tables with many cells.
+    pub parallel_estep: bool,
+    /// Inner gradient-ascent configuration for the M-step.
+    pub mstep: AscentOptions,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions {
+            max_iters: 50,
+            tol: 1e-6,
+            learn_row_difficulty: true,
+            learn_col_difficulty: true,
+            init_quality: 0.7,
+            phi_prior_strength: 1.0,
+            difficulty_prior_strength: 4.0,
+            ln_param_bound: 12.0,
+            parallel_estep: false,
+            mstep: AscentOptions {
+                initial_step: 0.25,
+                max_iters: 25,
+                tol: 1e-8,
+                max_backtracks: 25,
+                growth: 1.4,
+            },
+        }
+    }
+}
+
+/// Column datatype as seen by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ColKind {
+    /// Categorical with the given cardinality.
+    Cat(u32),
+    /// Continuous (values are z-scored).
+    Cont,
+}
+
+/// One flattened answer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IntAnswer {
+    pub worker: u32,
+    pub row: u32,
+    pub col: u32,
+    /// Label for categorical columns (unused otherwise).
+    pub label: u32,
+    /// Z-scored value for continuous columns (unused otherwise).
+    pub value: f64,
+}
+
+/// The flattened problem instance the EM engine operates on.
+#[derive(Debug, Clone)]
+pub(crate) struct Workspace {
+    pub n_rows: usize,
+    pub n_cols: usize,
+    pub n_workers: usize,
+    pub col_kind: Vec<ColKind>,
+    pub answers: Vec<IntAnswer>,
+    /// Dense per-cell answer index (row-major).
+    pub by_cell: Vec<Vec<u32>>,
+    /// Quality window ε (Eq. 2), in z-score units.
+    pub epsilon: f64,
+}
+
+impl Workspace {
+    #[inline]
+    pub fn cell_slot(&self, row: u32, col: u32) -> usize {
+        row as usize * self.n_cols + col as usize
+    }
+}
+
+/// Fitted EM state.
+#[derive(Debug, Clone)]
+pub(crate) struct EmState {
+    pub ln_alpha: Vec<f64>,
+    pub ln_beta: Vec<f64>,
+    pub ln_phi: Vec<f64>,
+    /// Posterior truth distribution per cell (z-space), dense row-major.
+    pub truths: Vec<TruthDist>,
+    /// ELBO after every EM iteration (Fig. 12a's "objective value").
+    pub trace: Vec<f64>,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+impl EmState {
+    /// Effective answer variance `α_i β_j φ_u`.
+    #[inline]
+    pub fn effective_variance(&self, worker: u32, row: u32, col: u32) -> f64 {
+        (self.ln_alpha[row as usize] + self.ln_beta[col as usize] + self.ln_phi[worker as usize])
+            .exp()
+    }
+}
+
+const LN_2PI: f64 = 1.8378770664093453;
+
+/// The variance `φ₀` implied by the initial quality under window `epsilon`:
+/// inverts `q = erf(ε/√(2φ))`.
+pub(crate) fn initial_phi(epsilon: f64, init_quality: f64) -> f64 {
+    let q0 = init_quality.clamp(0.05, 0.99);
+    let x = tcrowd_stat::special::erf_inv(q0).max(EPS);
+    let phi = epsilon / (std::f64::consts::SQRT_2 * x);
+    (phi * phi).max(EPS)
+}
+
+/// Run the full EM loop (Algorithm 1) on a workspace.
+pub(crate) fn run_em(ws: &Workspace, opts: &EmOptions) -> EmState {
+    let mut state = EmState {
+        ln_alpha: vec![0.0; ws.n_rows],
+        ln_beta: vec![0.0; ws.n_cols],
+        ln_phi: vec![initial_phi(ws.epsilon, opts.init_quality).ln(); ws.n_workers],
+        truths: initial_truths(ws),
+        trace: Vec::new(),
+        iterations: 0,
+        converged: false,
+    };
+    if ws.answers.is_empty() {
+        // Nothing to learn; posteriors are the priors.
+        state.converged = true;
+        return state;
+    }
+
+    e_step(ws, &mut state, opts);
+    let mut elbo = compute_elbo(ws, &state, opts);
+    state.trace.push(elbo);
+
+    for iter in 1..=opts.max_iters {
+        m_step(ws, &mut state, opts);
+        e_step(ws, &mut state, opts);
+        let next = compute_elbo(ws, &state, opts);
+        state.trace.push(next);
+        state.iterations = iter;
+        if (next - elbo).abs() < opts.tol * (1.0 + elbo.abs()) {
+            state.converged = true;
+            elbo = next;
+            break;
+        }
+        elbo = next;
+    }
+    let _ = elbo;
+    renormalize(&mut state, opts);
+    state
+}
+
+/// Prior truth distributions: `N(0, 1)` in z-space for continuous cells,
+/// uniform for categorical cells.
+fn initial_truths(ws: &Workspace) -> Vec<TruthDist> {
+    let mut out = Vec::with_capacity(ws.n_rows * ws.n_cols);
+    for slot in 0..ws.n_rows * ws.n_cols {
+        let col = slot % ws.n_cols;
+        out.push(match ws.col_kind[col] {
+            ColKind::Cat(l) => TruthDist::uniform(l),
+            ColKind::Cont => TruthDist::Continuous(Normal::STANDARD),
+        });
+    }
+    out
+}
+
+/// Posterior of one cell under the current parameters (Eq. 4).
+fn cell_posterior(ws: &Workspace, state: &EmState, slot: usize) -> Option<TruthDist> {
+    let idx = &ws.by_cell[slot];
+    if idx.is_empty() {
+        return None; // posterior stays at the prior
+    }
+    let row = (slot / ws.n_cols) as u32;
+    let col = (slot % ws.n_cols) as u32;
+    Some(match ws.col_kind[col as usize] {
+        ColKind::Cont => {
+            let obs: Vec<(f64, f64)> = idx
+                .iter()
+                .map(|&i| {
+                    let a = &ws.answers[i as usize];
+                    (a.value, state.effective_variance(a.worker, row, col))
+                })
+                .collect();
+            TruthDist::Continuous(Normal::STANDARD.posterior_with_observations(&obs))
+        }
+        ColKind::Cat(l) => {
+            let l_us = l.max(1) as usize;
+            let mut ln_p = vec![0.0f64; l_us]; // uniform prior cancels
+            for &i in idx {
+                let a = &ws.answers[i as usize];
+                let v = state.effective_variance(a.worker, row, col);
+                let q = quality_from_variance(ws.epsilon, v);
+                for (z, lp) in ln_p.iter_mut().enumerate() {
+                    *lp += cat_answer_ln_likelihood(q, l, z as u32 == a.label);
+                }
+            }
+            let max = ln_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut p: Vec<f64> = ln_p.iter().map(|lp| (lp - max).exp()).collect();
+            let total: f64 = p.iter().sum();
+            for v in &mut p {
+                *v /= total;
+            }
+            TruthDist::Categorical(p)
+        }
+    })
+}
+
+/// E-step (Eq. 4): recompute every cell's posterior from the current
+/// parameters. Cells are independent, so with `opts.parallel_estep` the work
+/// is split across threads (the paper's §7 notes this acceleration); results
+/// are bit-identical to the serial path, which is tested.
+pub(crate) fn e_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
+    let n_slots = ws.n_rows * ws.n_cols;
+    let threads = if opts.parallel_estep {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        1
+    };
+    if threads <= 1 || n_slots < 256 {
+        for slot in 0..n_slots {
+            if let Some(t) = cell_posterior(ws, state, slot) {
+                state.truths[slot] = t;
+            }
+        }
+        return;
+    }
+    // Compute into a fresh buffer so `state` stays immutable while shared.
+    let mut fresh: Vec<Option<TruthDist>> = vec![None; n_slots];
+    let chunk = n_slots.div_ceil(threads);
+    let shared: &EmState = state;
+    std::thread::scope(|scope| {
+        for (c, out) in fresh.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                let base = c * chunk;
+                for (off, o) in out.iter_mut().enumerate() {
+                    *o = cell_posterior(ws, shared, base + off);
+                }
+            });
+        }
+    });
+    for (slot, t) in fresh.into_iter().enumerate() {
+        if let Some(t) = t {
+            state.truths[slot] = t;
+        }
+    }
+}
+
+/// Per-answer sufficient statistics cached for the M-step.
+struct MStepCache {
+    /// Continuous answers: `K = (a − T^µ)² + T^φ`.
+    cont_k: Vec<f64>,
+    /// Categorical answers: posterior probability that the answer is correct.
+    cat_p: Vec<f64>,
+}
+
+fn build_cache(ws: &Workspace, state: &EmState) -> MStepCache {
+    let mut cont_k = vec![0.0; ws.answers.len()];
+    let mut cat_p = vec![0.0; ws.answers.len()];
+    for (i, a) in ws.answers.iter().enumerate() {
+        let slot = ws.cell_slot(a.row, a.col);
+        match &state.truths[slot] {
+            TruthDist::Continuous(n) => {
+                let d = a.value - n.mean;
+                cont_k[i] = d * d + n.var;
+            }
+            TruthDist::Categorical(p) => {
+                cat_p[i] = clamp_prob(p.get(a.label as usize).copied().unwrap_or(0.0));
+            }
+        }
+    }
+    MStepCache { cont_k, cat_p }
+}
+
+/// M-step (Eq. 5): gradient ascent on the expected complete-data
+/// log-likelihood over the active log-parameters.
+fn m_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
+    let cache = build_cache(ws, state);
+    let learn_a = opts.learn_row_difficulty;
+    let learn_b = opts.learn_col_difficulty;
+    let na = if learn_a { ws.n_rows } else { 0 };
+    let nb = if learn_b { ws.n_cols } else { 0 };
+    let nu = ws.n_workers;
+
+    // Pack the active parameters.
+    let mut x0 = Vec::with_capacity(na + nb + nu);
+    if learn_a {
+        x0.extend_from_slice(&state.ln_alpha);
+    }
+    if learn_b {
+        x0.extend_from_slice(&state.ln_beta);
+    }
+    x0.extend_from_slice(&state.ln_phi);
+
+    let bound = opts.ln_param_bound;
+    let phi_center = initial_phi(ws.epsilon, opts.init_quality).ln();
+    let lam_phi = opts.phi_prior_strength;
+    let lam_diff = opts.difficulty_prior_strength;
+    let objective = |x: &[f64]| -> (f64, Vec<f64>) {
+        let (la, rest) = x.split_at(na);
+        let (lb, lp) = rest.split_at(nb);
+        let get_ln_v = |a: &IntAnswer| -> f64 {
+            let va = if learn_a { la[a.row as usize] } else { 0.0 };
+            let vb = if learn_b { lb[a.col as usize] } else { 0.0 };
+            va + vb + lp[a.worker as usize]
+        };
+        let mut q_val = 0.0;
+        let mut grad = vec![0.0; x.len()];
+        for (i, a) in ws.answers.iter().enumerate() {
+            let ln_v = get_ln_v(a).clamp(-bound, bound);
+            let v = ln_v.exp();
+            // g = ∂(per-answer term)/∂ln v — identical for α, β, φ.
+            let g = match ws.col_kind[a.col as usize] {
+                ColKind::Cont => {
+                    let k = cache.cont_k[i];
+                    q_val += -0.5 * (LN_2PI + ln_v) - k / (2.0 * v);
+                    -0.5 + k / (2.0 * v)
+                }
+                ColKind::Cat(l) => {
+                    let p = cache.cat_p[i];
+                    let q = quality_from_variance(ws.epsilon, v);
+                    q_val += p * q.ln() + (1.0 - p) * ((1.0 - q) / (l.max(2) - 1) as f64).ln();
+                    let dq = quality_dlnv(ws.epsilon, v);
+                    (p / q - (1.0 - p) / (1.0 - q)) * dq
+                }
+            };
+            if learn_a {
+                grad[a.row as usize] += g;
+            }
+            if learn_b {
+                grad[na + a.col as usize] += g;
+            }
+            grad[na + nb + a.worker as usize] += g;
+        }
+        // MAP priors (see field docs on EmOptions).
+        for (i, &v) in la.iter().enumerate() {
+            q_val -= 0.5 * lam_diff * v * v;
+            grad[i] -= lam_diff * v;
+        }
+        for (i, &v) in lb.iter().enumerate() {
+            q_val -= 0.5 * lam_diff * v * v;
+            grad[na + i] -= lam_diff * v;
+        }
+        for (i, &v) in lp.iter().enumerate() {
+            let d = v - phi_center;
+            q_val -= 0.5 * lam_phi * d * d;
+            grad[na + nb + i] -= lam_phi * d;
+        }
+        (q_val, grad)
+    };
+
+    let result = gradient_ascent(objective, &x0, &opts.mstep);
+    let x = result.params;
+    let (la, rest) = x.split_at(na);
+    let (lb, lp) = rest.split_at(nb);
+    if learn_a {
+        state.ln_alpha.copy_from_slice(la);
+    }
+    if learn_b {
+        state.ln_beta.copy_from_slice(lb);
+    }
+    state.ln_phi.copy_from_slice(lp);
+    for v in state
+        .ln_alpha
+        .iter_mut()
+        .chain(state.ln_beta.iter_mut())
+        .chain(state.ln_phi.iter_mut())
+    {
+        *v = v.clamp(-bound, bound);
+    }
+}
+
+/// Identifiability polish applied once after EM converges: set the geometric
+/// means of `α` and `β` to 1 and push the scale into `φ`. The likelihood only
+/// sees the product `αβφ`, so posteriors are unaffected; doing this *inside*
+/// the loop would fight the MAP priors and void the ELBO monotonicity
+/// guarantee, so it runs exactly once at the end.
+fn renormalize(state: &mut EmState, opts: &EmOptions) {
+    if opts.learn_row_difficulty {
+        let m = state.ln_alpha.iter().sum::<f64>() / state.ln_alpha.len().max(1) as f64;
+        for v in &mut state.ln_alpha {
+            *v -= m;
+        }
+        for v in &mut state.ln_phi {
+            *v += m;
+        }
+    }
+    if opts.learn_col_difficulty {
+        let m = state.ln_beta.iter().sum::<f64>() / state.ln_beta.len().max(1) as f64;
+        for v in &mut state.ln_beta {
+            *v -= m;
+        }
+        for v in &mut state.ln_phi {
+            *v += m;
+        }
+    }
+}
+
+/// The evidence lower bound of the MAP objective: expected complete-data
+/// log-likelihood plus posterior entropy plus the log-priors on the
+/// parameters. Monotone non-decreasing across EM iterations (each M-step
+/// only accepts improving steps, each E-step sets the posterior to the exact
+/// conditional), which is property-tested.
+pub(crate) fn compute_elbo(ws: &Workspace, state: &EmState, opts: &EmOptions) -> f64 {
+    let phi_center = initial_phi(ws.epsilon, opts.init_quality).ln();
+    let mut elbo = 0.0;
+    if opts.learn_row_difficulty {
+        elbo -= 0.5
+            * opts.difficulty_prior_strength
+            * state.ln_alpha.iter().map(|v| v * v).sum::<f64>();
+    }
+    if opts.learn_col_difficulty {
+        elbo -= 0.5
+            * opts.difficulty_prior_strength
+            * state.ln_beta.iter().map(|v| v * v).sum::<f64>();
+    }
+    elbo -= 0.5
+        * opts.phi_prior_strength
+        * state
+            .ln_phi
+            .iter()
+            .map(|v| (v - phi_center) * (v - phi_center))
+            .sum::<f64>();
+    for row in 0..ws.n_rows as u32 {
+        for col in 0..ws.n_cols as u32 {
+            let slot = ws.cell_slot(row, col);
+            let idx = &ws.by_cell[slot];
+            if idx.is_empty() {
+                continue;
+            }
+            match &state.truths[slot] {
+                TruthDist::Continuous(n) => {
+                    for &i in idx {
+                        let a = &ws.answers[i as usize];
+                        let v = state.effective_variance(a.worker, row, col);
+                        let d = a.value - n.mean;
+                        elbo += -0.5 * (LN_2PI + v.ln()) - (d * d + n.var) / (2.0 * v);
+                    }
+                    // Prior N(0,1) expectation + posterior entropy.
+                    elbo += -0.5 * LN_2PI - (n.mean * n.mean + n.var) / 2.0;
+                    elbo += n.differential_entropy();
+                }
+                TruthDist::Categorical(p) => {
+                    let l = match ws.col_kind[col as usize] {
+                        ColKind::Cat(l) => l,
+                        ColKind::Cont => unreachable!(),
+                    };
+                    for &i in idx {
+                        let a = &ws.answers[i as usize];
+                        let v = state.effective_variance(a.worker, row, col);
+                        let q = quality_from_variance(ws.epsilon, v);
+                        let pc = clamp_prob(p.get(a.label as usize).copied().unwrap_or(0.0));
+                        elbo += pc * cat_answer_ln_likelihood(q, l, true)
+                            + (1.0 - pc) * cat_answer_ln_likelihood(q, l, false);
+                    }
+                    // Uniform prior expectation + Shannon entropy.
+                    elbo += -(l.max(1) as f64).ln();
+                    elbo += tcrowd_stat::entropy::shannon(p);
+                }
+            }
+        }
+    }
+    elbo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tcrowd_stat::optimize::numerical_gradient;
+    use tcrowd_stat::sample::{sample_std_normal, sample_weighted};
+
+    /// Build a small synthetic workspace directly (bypassing the public API)
+    /// with known worker variances.
+    fn synth_workspace(
+        n_rows: usize,
+        cat_cols: usize,
+        cont_cols: usize,
+        phis: &[f64],
+        seed: u64,
+    ) -> (Workspace, Vec<Vec<f64>>, Vec<Vec<u32>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_cols = cat_cols + cont_cols;
+        let epsilon = 0.5;
+        let mut col_kind = vec![ColKind::Cat(4); cat_cols];
+        col_kind.extend(vec![ColKind::Cont; cont_cols]);
+        // Truths: cat labels and z-space continuous values.
+        let cat_truth: Vec<Vec<u32>> = (0..n_rows)
+            .map(|_| (0..cat_cols).map(|_| rng.gen_range(0..4)).collect())
+            .collect();
+        let cont_truth: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| (0..cont_cols).map(|_| sample_std_normal(&mut rng)).collect())
+            .collect();
+        let mut answers = Vec::new();
+        let mut by_cell = vec![Vec::new(); n_rows * n_cols];
+        for i in 0..n_rows {
+            for (w, &phi) in phis.iter().enumerate() {
+                for j in 0..n_cols {
+                    let (label, value) = if j < cat_cols {
+                        let q = quality_from_variance(epsilon, phi);
+                        let t = cat_truth[i][j];
+                        let lab = if rng.gen_range(0.0..1.0) < q {
+                            t
+                        } else {
+                            let w: Vec<f64> =
+                                (0..4).map(|z| if z == t { 0.0 } else { 1.0 }).collect();
+                            sample_weighted(&mut rng, &w) as u32
+                        };
+                        (lab, 0.0)
+                    } else {
+                        let t = cont_truth[i][j - cat_cols];
+                        (0, t + phi.sqrt() * sample_std_normal(&mut rng))
+                    };
+                    by_cell[i * n_cols + j].push(answers.len() as u32);
+                    answers.push(IntAnswer {
+                        worker: w as u32,
+                        row: i as u32,
+                        col: j as u32,
+                        label,
+                        value,
+                    });
+                }
+            }
+        }
+        (
+            Workspace {
+                n_rows,
+                n_cols,
+                n_workers: phis.len(),
+                col_kind,
+                answers,
+                by_cell,
+                epsilon,
+            },
+            cont_truth,
+            cat_truth,
+        )
+    }
+
+    #[test]
+    fn elbo_is_monotone_nondecreasing() {
+        let phis = [0.05, 0.2, 0.6, 2.0, 0.1];
+        let (ws, _, _) = synth_workspace(25, 2, 2, &phis, 3);
+        let state = run_em(&ws, &EmOptions::default());
+        for w in state.trace.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6 * (1.0 + w[0].abs()),
+                "ELBO decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(state.iterations >= 1);
+    }
+
+    #[test]
+    fn em_recovers_worker_ranking() {
+        // Workers with small true φ must come out with small fitted φ.
+        let phis = [0.05, 0.15, 0.4, 1.2, 3.0];
+        let (ws, _, _) = synth_workspace(60, 2, 2, &phis, 7);
+        let state = run_em(&ws, &EmOptions::default());
+        let fitted: Vec<f64> = state.ln_phi.iter().map(|l| l.exp()).collect();
+        // Spearman-ish check: order preserved pairwise for well-separated φ.
+        for i in 0..phis.len() {
+            for j in 0..phis.len() {
+                if phis[j] >= 4.0 * phis[i] {
+                    assert!(
+                        fitted[i] < fitted[j],
+                        "fitted φ ordering broken: true {} vs {} but fitted {} vs {}",
+                        phis[i],
+                        phis[j],
+                        fitted[i],
+                        fitted[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn em_recovers_continuous_truth_better_than_single_worker() {
+        let phis = [0.1, 0.3, 1.0, 2.5];
+        let (ws, cont_truth, _) = synth_workspace(50, 0, 3, &phis, 11);
+        let state = run_em(&ws, &EmOptions::default());
+        let mut se_est = 0.0;
+        let mut se_first = 0.0;
+        let mut n = 0.0;
+        for i in 0..ws.n_rows {
+            for j in 0..ws.n_cols {
+                let slot = i * ws.n_cols + j;
+                if let TruthDist::Continuous(post) = &state.truths[slot] {
+                    let t = cont_truth[i][j];
+                    se_est += (post.mean - t) * (post.mean - t);
+                    // First answer on the cell as the naive single-source estimate.
+                    let first = ws.answers[ws.by_cell[slot][0] as usize].value;
+                    se_first += (first - t) * (first - t);
+                    n += 1.0;
+                }
+            }
+        }
+        assert!(se_est / n < se_first / n, "EM should beat a single answer");
+    }
+
+    #[test]
+    fn em_recovers_categorical_truth() {
+        let phis = [0.08, 0.2, 0.5, 1.5];
+        let (ws, _, cat_truth) = synth_workspace(60, 3, 0, &phis, 13);
+        let state = run_em(&ws, &EmOptions::default());
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..ws.n_rows {
+            for j in 0..ws.n_cols {
+                if let TruthDist::Categorical(p) = &state.truths[i * ws.n_cols + j] {
+                    let est = p
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap()
+                        .0 as u32;
+                    total += 1;
+                    if est == cat_truth[i][j] {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        // Worker qualities here are (0.92, 0.74, 0.52, 0.32) on |L| = 4 with
+        // only 4 answers per cell; the Bayes-optimal accuracy with *known*
+        // parameters is itself below 0.95, so 0.85 is a tight bar.
+        assert!(acc > 0.85, "EM accuracy {acc}");
+    }
+
+    #[test]
+    fn mstep_gradient_matches_numeric() {
+        let phis = [0.1, 0.8];
+        let (ws, _, _) = synth_workspace(6, 1, 1, &phis, 5);
+        let mut state = EmState {
+            ln_alpha: vec![0.0; ws.n_rows],
+            ln_beta: vec![0.0; ws.n_cols],
+            ln_phi: vec![0.3f64.ln(); ws.n_workers],
+            truths: initial_truths(&ws),
+            trace: vec![],
+            iterations: 0,
+            converged: false,
+        };
+        e_step(&ws, &mut state, &EmOptions::default());
+        let cache = build_cache(&ws, &state);
+        // Re-create the m-step objective inline (full parameter set).
+        let (na, nb) = (ws.n_rows, ws.n_cols);
+        let f = |x: &[f64]| -> f64 {
+            let (la, rest) = x.split_at(na);
+            let (lb, lp) = rest.split_at(nb);
+            let mut q_val = 0.0;
+            for (i, a) in ws.answers.iter().enumerate() {
+                let v = (la[a.row as usize] + lb[a.col as usize] + lp[a.worker as usize]).exp();
+                match ws.col_kind[a.col as usize] {
+                    ColKind::Cont => {
+                        q_val += -0.5 * (LN_2PI + v.ln()) - cache.cont_k[i] / (2.0 * v);
+                    }
+                    ColKind::Cat(l) => {
+                        let p = cache.cat_p[i];
+                        let q = quality_from_variance(ws.epsilon, v);
+                        q_val +=
+                            p * q.ln() + (1.0 - p) * ((1.0 - q) / (l - 1) as f64).ln();
+                    }
+                }
+            }
+            q_val
+        };
+        // Analytic gradient via the same scatter logic as m_step.
+        let x: Vec<f64> = state
+            .ln_alpha
+            .iter()
+            .chain(state.ln_beta.iter())
+            .chain(state.ln_phi.iter())
+            .copied()
+            .collect();
+        let mut grad = vec![0.0; x.len()];
+        for (i, a) in ws.answers.iter().enumerate() {
+            let v = (x[a.row as usize]
+                + x[na + a.col as usize]
+                + x[na + nb + a.worker as usize])
+                .exp();
+            let g = match ws.col_kind[a.col as usize] {
+                ColKind::Cont => -0.5 + cache.cont_k[i] / (2.0 * v),
+                ColKind::Cat(_) => {
+                    let p = cache.cat_p[i];
+                    let q = quality_from_variance(ws.epsilon, v);
+                    (p / q - (1.0 - p) / (1.0 - q)) * quality_dlnv(ws.epsilon, v)
+                }
+            };
+            grad[a.row as usize] += g;
+            grad[na + a.col as usize] += g;
+            grad[na + nb + a.worker as usize] += g;
+        }
+        let numeric = numerical_gradient(f, &x, 1e-6);
+        for (k, (a, n)) in grad.iter().zip(&numeric).enumerate() {
+            assert!(
+                (a - n).abs() < 1e-4 * (1.0 + n.abs()),
+                "param {k}: analytic {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_workspace_converges_to_priors() {
+        let ws = Workspace {
+            n_rows: 3,
+            n_cols: 2,
+            n_workers: 0,
+            col_kind: vec![ColKind::Cat(3), ColKind::Cont],
+            answers: vec![],
+            by_cell: vec![Vec::new(); 6],
+            epsilon: 0.5,
+        };
+        let state = run_em(&ws, &EmOptions::default());
+        assert!(state.converged);
+        assert_eq!(state.truths.len(), 6);
+        assert_eq!(state.truths[0], TruthDist::uniform(3));
+    }
+
+    #[test]
+    fn difficulty_normalisation_holds() {
+        let phis = [0.1, 0.5, 1.0];
+        let (ws, _, _) = synth_workspace(20, 1, 1, &phis, 19);
+        let state = run_em(&ws, &EmOptions::default());
+        let ma: f64 = state.ln_alpha.iter().sum::<f64>() / state.ln_alpha.len() as f64;
+        let mb: f64 = state.ln_beta.iter().sum::<f64>() / state.ln_beta.len() as f64;
+        assert!(ma.abs() < 1e-9, "mean ln α = {ma}");
+        assert!(mb.abs() < 1e-9, "mean ln β = {mb}");
+    }
+
+    #[test]
+    fn ablation_flags_freeze_difficulties() {
+        let phis = [0.1, 0.5, 1.0];
+        let (ws, _, _) = synth_workspace(20, 1, 1, &phis, 23);
+        let opts = EmOptions {
+            learn_row_difficulty: false,
+            learn_col_difficulty: false,
+            ..Default::default()
+        };
+        let state = run_em(&ws, &opts);
+        assert!(state.ln_alpha.iter().all(|v| *v == 0.0));
+        assert!(state.ln_beta.iter().all(|v| *v == 0.0));
+        // φ must still have been learned (moved off the calibrated init).
+        let phi0 = initial_phi(ws.epsilon, opts.init_quality).ln();
+        assert!(state.ln_phi.iter().any(|v| (*v - phi0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn parallel_estep_matches_serial_exactly() {
+        let phis = [0.05, 0.2, 0.6, 2.0, 0.1, 0.4, 0.9, 1.5];
+        let (ws, _, _) = synth_workspace(40, 3, 3, &phis, 31);
+        let serial = run_em(&ws, &EmOptions::default());
+        let parallel = run_em(
+            &ws,
+            &EmOptions { parallel_estep: true, ..Default::default() },
+        );
+        assert_eq!(serial.iterations, parallel.iterations);
+        assert_eq!(serial.truths, parallel.truths, "posteriors must be bit-identical");
+        assert_eq!(serial.ln_phi, parallel.ln_phi);
+        assert_eq!(serial.trace, parallel.trace);
+    }
+
+    #[test]
+    fn converges_within_paper_iteration_budget() {
+        let phis = [0.05, 0.2, 0.6, 2.0, 0.1];
+        let (ws, _, _) = synth_workspace(40, 2, 2, &phis, 29);
+        let state = run_em(&ws, &EmOptions::default());
+        assert!(state.converged, "EM did not converge");
+        assert!(
+            state.iterations <= 30,
+            "took {} iterations (paper: < 20)",
+            state.iterations
+        );
+    }
+}

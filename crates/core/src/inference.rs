@@ -1,0 +1,550 @@
+//! Public truth-inference API: [`TCrowd`] and [`InferenceResult`].
+//!
+//! Wraps the EM engine with the practical plumbing the paper leaves implicit:
+//! per-column z-scoring of continuous answers (so one quality window `ε`
+//! spans heterogeneous domains), resolution of `ε` itself, the
+//! categorical-only / continuous-only constrained variants of Table 7, and
+//! mapping the fitted z-space posteriors back to the original scales.
+
+#![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
+use crate::em::{run_em, ColKind, EmOptions, IntAnswer, Workspace};
+use crate::model::quality_from_variance;
+use crate::truth::TruthDist;
+use std::collections::HashMap;
+use tcrowd_stat::describe::{median, std_dev, zscore_params};
+use tcrowd_stat::normal::Normal;
+use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value, WorkerId};
+
+/// How the quality window `ε` (Eq. 2) is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpsilonSpec {
+    /// Use this exact value (in z-score units).
+    Fixed(f64),
+    /// `ε = scale × median per-cell standard deviation` of the z-scored
+    /// continuous answers — an automatic calibration that keeps the erf link
+    /// in its informative range regardless of the data's noise-to-spread
+    /// ratio. Falls back to `0.5` when the table has no continuous cells
+    /// with ≥ 2 answers (where `ε` is a pure reparameterisation of `φ`).
+    AutoScale(f64),
+}
+
+impl Default for EpsilonSpec {
+    fn default() -> Self {
+        EpsilonSpec::AutoScale(1.0)
+    }
+}
+
+/// Which columns participate in inference — the constrained variants
+/// `TC-onlyCate` / `TC-onlyCont` of the paper's Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnFilter {
+    /// All columns (full T-Crowd).
+    #[default]
+    All,
+    /// Only categorical columns.
+    CategoricalOnly,
+    /// Only continuous columns.
+    ContinuousOnly,
+}
+
+impl ColumnFilter {
+    /// Whether column type `ty` participates under this filter.
+    pub fn includes(&self, ty: &ColumnType) -> bool {
+        match self {
+            ColumnFilter::All => true,
+            ColumnFilter::CategoricalOnly => ty.is_categorical(),
+            ColumnFilter::ContinuousOnly => !ty.is_categorical(),
+        }
+    }
+}
+
+/// Options for [`TCrowd`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TCrowdOptions {
+    /// Quality-window resolution.
+    pub epsilon: EpsilonSpec,
+    /// Column participation.
+    pub filter: ColumnFilter,
+    /// EM engine options.
+    pub em: EmOptions,
+}
+
+/// The T-Crowd truth-inference model (paper §4).
+#[derive(Debug, Clone, Default)]
+pub struct TCrowd {
+    opts: TCrowdOptions,
+}
+
+impl TCrowd {
+    /// Create a model with the given options.
+    pub fn new(opts: TCrowdOptions) -> Self {
+        TCrowd { opts }
+    }
+
+    /// Full T-Crowd with default options.
+    pub fn default_full() -> Self {
+        TCrowd::new(TCrowdOptions::default())
+    }
+
+    /// The `TC-onlyCate` constrained variant.
+    pub fn only_categorical() -> Self {
+        TCrowd::new(TCrowdOptions {
+            filter: ColumnFilter::CategoricalOnly,
+            ..Default::default()
+        })
+    }
+
+    /// The `TC-onlyCont` constrained variant.
+    pub fn only_continuous() -> Self {
+        TCrowd::new(TCrowdOptions {
+            filter: ColumnFilter::ContinuousOnly,
+            ..Default::default()
+        })
+    }
+
+    /// Run truth inference on an answer set (Definition 3 / Algorithm 1).
+    pub fn infer(&self, schema: &Schema, answers: &AnswerLog) -> InferenceResult {
+        assert_eq!(
+            schema.num_columns(),
+            answers.cols(),
+            "schema/answer-log column mismatch"
+        );
+        let n_rows = answers.rows();
+        let n_cols = answers.cols();
+
+        // Per-column z-scaling from the answers themselves.
+        let scalers: Vec<Option<(f64, f64)>> = (0..n_cols)
+            .map(|j| match schema.column_type(j) {
+                ColumnType::Continuous { .. } => {
+                    let col: Vec<f64> = answers
+                        .all()
+                        .iter()
+                        .filter(|a| a.cell.col as usize == j)
+                        .map(|a| a.value.expect_continuous())
+                        .collect();
+                    Some(zscore_params(&col))
+                }
+                ColumnType::Categorical { .. } => None,
+            })
+            .collect();
+
+        // Flatten the answers of the active columns, indexing workers densely.
+        let mut workers: Vec<WorkerId> = Vec::new();
+        let mut worker_index: HashMap<WorkerId, u32> = HashMap::new();
+        let mut flat: Vec<IntAnswer> = Vec::new();
+        let mut by_cell: Vec<Vec<u32>> = vec![Vec::new(); n_rows * n_cols];
+        for a in answers.all() {
+            let j = a.cell.col as usize;
+            if !self.opts.filter.includes(schema.column_type(j)) {
+                continue;
+            }
+            let widx = *worker_index.entry(a.worker).or_insert_with(|| {
+                workers.push(a.worker);
+                (workers.len() - 1) as u32
+            });
+            let (label, value) = match a.value {
+                Value::Categorical(l) => (l, 0.0),
+                Value::Continuous(x) => {
+                    let (m, s) = scalers[j].expect("continuous column has scaler");
+                    (0, (x - m) / s)
+                }
+            };
+            by_cell[a.cell.row as usize * n_cols + j].push(flat.len() as u32);
+            flat.push(IntAnswer {
+                worker: widx,
+                row: a.cell.row,
+                col: a.cell.col,
+                label,
+                value,
+            });
+        }
+
+        let col_kind: Vec<ColKind> = (0..n_cols)
+            .map(|j| match schema.column_type(j) {
+                ColumnType::Categorical { labels } => ColKind::Cat(labels.len() as u32),
+                ColumnType::Continuous { .. } => ColKind::Cont,
+            })
+            .collect();
+
+        // Resolve ε.
+        let epsilon = match self.opts.epsilon {
+            EpsilonSpec::Fixed(e) => {
+                assert!(e > 0.0, "epsilon must be positive");
+                e
+            }
+            EpsilonSpec::AutoScale(scale) => {
+                assert!(scale > 0.0, "epsilon scale must be positive");
+                let mut cell_stds = Vec::new();
+                for slot in 0..n_rows * n_cols {
+                    let j = slot % n_cols;
+                    if col_kind[j] != ColKind::Cont || by_cell[slot].len() < 2 {
+                        continue;
+                    }
+                    let vals: Vec<f64> = by_cell[slot]
+                        .iter()
+                        .map(|&i| flat[i as usize].value)
+                        .collect();
+                    cell_stds.push(std_dev(&vals));
+                }
+                if cell_stds.is_empty() {
+                    0.5
+                } else {
+                    (scale * median(&cell_stds)).max(1e-3)
+                }
+            }
+        };
+
+        let ws = Workspace {
+            n_rows,
+            n_cols,
+            n_workers: workers.len(),
+            col_kind,
+            answers: flat,
+            by_cell,
+            epsilon,
+        };
+        let state = run_em(&ws, &self.opts.em);
+
+        InferenceResult {
+            n_rows,
+            n_cols,
+            truths_z: state.truths.clone(),
+            scalers,
+            alpha: state.ln_alpha.iter().map(|v| v.exp()).collect(),
+            beta: state.ln_beta.iter().map(|v| v.exp()).collect(),
+            workers: workers.clone(),
+            worker_index: worker_index
+                .into_iter()
+                .map(|(w, i)| (w, i as usize))
+                .collect(),
+            phi: state.ln_phi.iter().map(|v| v.exp()).collect(),
+            epsilon,
+            objective_trace: state.trace,
+            iterations: state.iterations,
+            converged: state.converged,
+        }
+    }
+}
+
+/// The output of truth inference: per-cell posteriors, per-worker qualities,
+/// per-row/column difficulties, and diagnostics.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    n_rows: usize,
+    n_cols: usize,
+    /// Posterior truth distributions in z-space, dense row-major.
+    truths_z: Vec<TruthDist>,
+    /// Per-column `(mean, std)` for continuous columns.
+    scalers: Vec<Option<(f64, f64)>>,
+    /// Fitted row difficulties `α_i` (geometric mean 1).
+    pub alpha: Vec<f64>,
+    /// Fitted column difficulties `β_j` (geometric mean 1).
+    pub beta: Vec<f64>,
+    /// Workers in fitting order (parallel to [`Self::phi`]).
+    pub workers: Vec<WorkerId>,
+    worker_index: HashMap<WorkerId, usize>,
+    /// Fitted worker variances `φ_u` (z-space).
+    pub phi: Vec<f64>,
+    /// The resolved quality window `ε`.
+    pub epsilon: f64,
+    /// ELBO after each EM iteration (Fig. 12a).
+    pub objective_trace: Vec<f64>,
+    /// EM iterations performed.
+    pub iterations: usize,
+    /// Whether EM met its tolerance before the iteration cap.
+    pub converged: bool,
+}
+
+impl InferenceResult {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    #[inline]
+    fn slot(&self, cell: CellId) -> usize {
+        cell.row as usize * self.n_cols + cell.col as usize
+    }
+
+    /// The posterior truth distribution of a cell *in z-space* (the space the
+    /// assignment machinery works in).
+    #[inline]
+    pub fn truth_z(&self, cell: CellId) -> &TruthDist {
+        &self.truths_z[self.slot(cell)]
+    }
+
+    /// Replace the stored z-space posterior of a cell (used by the simulator
+    /// between full inference runs for cheap incremental refreshes).
+    pub fn set_truth_z(&mut self, cell: CellId, dist: TruthDist) {
+        let s = self.slot(cell);
+        self.truths_z[s] = dist;
+    }
+
+    /// The z-scaling `(mean, std)` of a continuous column.
+    #[inline]
+    pub fn scaler(&self, col: usize) -> Option<(f64, f64)> {
+        self.scalers[col]
+    }
+
+    /// The posterior truth distribution of a cell in the original scale.
+    pub fn truth(&self, cell: CellId) -> TruthDist {
+        match self.truth_z(cell) {
+            TruthDist::Categorical(p) => TruthDist::Categorical(p.clone()),
+            TruthDist::Continuous(n) => {
+                let (m, s) = self.scalers[cell.col as usize].expect("continuous scaler");
+                TruthDist::Continuous(Normal::new(m + s * n.mean, s * s * n.var))
+            }
+        }
+    }
+
+    /// Point estimate `T̂_ij` in the original scale.
+    pub fn estimate(&self, cell: CellId) -> Value {
+        self.truth(cell).estimate()
+    }
+
+    /// Point estimates for the whole table.
+    pub fn estimates(&self) -> Vec<Vec<Value>> {
+        (0..self.n_rows as u32)
+            .map(|i| {
+                (0..self.n_cols as u32)
+                    .map(|j| self.estimate(CellId::new(i, j)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Fitted variance `φ_u` of a worker, if the worker contributed answers.
+    pub fn phi_of(&self, worker: WorkerId) -> Option<f64> {
+        self.worker_index.get(&worker).map(|&i| self.phi[i])
+    }
+
+    /// Population-median `φ` — the prior used for workers not seen before.
+    pub fn median_phi(&self) -> f64 {
+        if self.phi.is_empty() {
+            0.3
+        } else {
+            median(&self.phi)
+        }
+    }
+
+    /// `φ_u`, falling back to the population median for unseen workers.
+    pub fn phi_or_prior(&self, worker: WorkerId) -> f64 {
+        self.phi_of(worker).unwrap_or_else(|| self.median_phi())
+    }
+
+    /// Unified quality `q_u = erf(ε/√(2φ_u))` (Eq. 2) of a worker.
+    pub fn quality_of(&self, worker: WorkerId) -> Option<f64> {
+        self.phi_of(worker)
+            .map(|phi| quality_from_variance(self.epsilon, phi))
+    }
+
+    /// Effective answer variance `α_i β_j φ_u` for a worker on a cell
+    /// (z-space), using the prior `φ` for unseen workers.
+    pub fn effective_variance(&self, worker: WorkerId, cell: CellId) -> f64 {
+        self.alpha[cell.row as usize] * self.beta[cell.col as usize] * self.phi_or_prior(worker)
+    }
+
+    /// Quality `q^u_ij` of a worker on a specific cell (§4.2).
+    pub fn cell_quality(&self, worker: WorkerId, cell: CellId) -> f64 {
+        quality_from_variance(self.epsilon, self.effective_variance(worker, cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{evaluate, generate_dataset, GeneratorConfig};
+
+    fn small_dataset(seed: u64) -> tcrowd_tabular::Dataset {
+        generate_dataset(
+            &GeneratorConfig {
+                rows: 40,
+                columns: 6,
+                num_workers: 25,
+                answers_per_task: 5,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn infer_produces_full_estimates() {
+        let d = small_dataset(1);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let est = r.estimates();
+        assert_eq!(est.len(), 40);
+        assert_eq!(est[0].len(), 6);
+        for (i, row) in est.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!(
+                    d.schema.column_type(j).accepts(v),
+                    "estimate at ({i},{j}) has wrong type"
+                );
+            }
+        }
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn inference_beats_first_answer_baseline() {
+        let d = small_dataset(2);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let report = evaluate(&d.schema, &d.truth, &r.estimates());
+
+        // Naive baseline: take the first answer of each cell.
+        let naive: Vec<Vec<Value>> = (0..d.rows() as u32)
+            .map(|i| {
+                (0..d.cols() as u32)
+                    .map(|j| {
+                        d.answers
+                            .for_cell(CellId::new(i, j))
+                            .next()
+                            .expect("answered")
+                            .value
+                    })
+                    .collect()
+            })
+            .collect();
+        let naive_report = evaluate(&d.schema, &d.truth, &naive);
+        assert!(report.error_rate.unwrap() < naive_report.error_rate.unwrap());
+        assert!(report.mnad.unwrap() < naive_report.mnad.unwrap());
+    }
+
+    #[test]
+    fn estimated_quality_correlates_with_true_quality() {
+        let d = small_dataset(3);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let mut est = Vec::new();
+        let mut truth = Vec::new();
+        for (&w, profile) in &d.worker_truth {
+            if let Some(phi) = r.phi_of(w) {
+                est.push(phi.ln());
+                truth.push(profile.phi.ln());
+            }
+        }
+        let rho = tcrowd_stat::describe::pearson(&est, &truth);
+        assert!(rho > 0.6, "phi correlation = {rho}");
+    }
+
+    #[test]
+    fn constrained_variants_only_touch_their_columns() {
+        let d = small_dataset(4);
+        let cat = TCrowd::only_categorical().infer(&d.schema, &d.answers);
+        // Continuous cells keep the z-space prior N(0,1) under onlyCate.
+        for j in d.schema.continuous_columns() {
+            let t = cat.truth_z(CellId::new(0, j as u32));
+            if let TruthDist::Continuous(n) = t {
+                assert_eq!((n.mean, n.var), (0.0, 1.0));
+            } else {
+                panic!("wrong variant");
+            }
+        }
+        // And categorical cells must have moved off the uniform prior.
+        let j0 = d.schema.categorical_columns()[0] as u32;
+        let t = cat.truth_z(CellId::new(0, j0));
+        if let TruthDist::Categorical(p) = t {
+            let max = p.iter().cloned().fold(0.0, f64::max);
+            assert!(max > 1.5 / p.len() as f64);
+        }
+    }
+
+    #[test]
+    fn epsilon_autoscale_is_positive_and_fixed_respected() {
+        let d = small_dataset(5);
+        let auto = TCrowd::default_full().infer(&d.schema, &d.answers);
+        assert!(auto.epsilon > 0.0);
+        let fixed = TCrowd::new(TCrowdOptions {
+            epsilon: EpsilonSpec::Fixed(0.77),
+            ..Default::default()
+        })
+        .infer(&d.schema, &d.answers);
+        assert_eq!(fixed.epsilon, 0.77);
+    }
+
+    #[test]
+    fn unseen_worker_gets_prior_phi() {
+        let d = small_dataset(6);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let unseen = WorkerId(9_999);
+        assert_eq!(r.phi_of(unseen), None);
+        assert!((r.phi_or_prior(unseen) - r.median_phi()).abs() < 1e-12);
+        assert!(r.quality_of(unseen).is_none());
+    }
+
+    #[test]
+    fn truth_rescaling_roundtrip() {
+        let d = small_dataset(7);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        for j in d.schema.continuous_columns() {
+            let cell = CellId::new(0, j as u32);
+            let (m, s) = r.scaler(j).unwrap();
+            if let (TruthDist::Continuous(z), TruthDist::Continuous(o)) =
+                (r.truth_z(cell).clone(), r.truth(cell))
+            {
+                assert!((o.mean - (m + s * z.mean)).abs() < 1e-9);
+                assert!((o.var - s * s * z.var).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_quality_uses_difficulty() {
+        let d = small_dataset(8);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let w = r.workers[0];
+        // Quality must decrease as the row difficulty multiplies up.
+        let (easy_row, hard_row) = {
+            let mut idx: Vec<usize> = (0..r.alpha.len()).collect();
+            idx.sort_by(|&a, &b| r.alpha[a].partial_cmp(&r.alpha[b]).unwrap());
+            (idx[0] as u32, *idx.last().unwrap() as u32)
+        };
+        let col = 0u32;
+        if r.alpha[easy_row as usize] < r.alpha[hard_row as usize] {
+            assert!(
+                r.cell_quality(w, CellId::new(easy_row, col))
+                    >= r.cell_quality(w, CellId::new(hard_row, col))
+            );
+        }
+    }
+
+    #[test]
+    fn easy_tasks_do_not_trigger_posterior_flips() {
+        // Regression: a small auto-scaled ε once made the *initial* worker
+        // quality fall below 1/|L|, so the first E-step anti-weighted every
+        // answer and flipped the posteriors of small-cardinality columns —
+        // EM then locked the inversion in. With the erf-calibrated
+        // initialisation T-Crowd must beat simple voting on easy tables.
+        for seed in [7u64, 108, 209] {
+            let d = generate_dataset(
+                &GeneratorConfig { avg_difficulty: 0.5, ..Default::default() },
+                seed,
+            );
+            let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+            let rep = evaluate(&d.schema, &d.truth, &r.estimates());
+            assert!(
+                rep.error_rate.unwrap() < 0.05,
+                "seed {seed}: easy-task error rate {} suggests flipped posteriors",
+                rep.error_rate.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_answer_log_yields_priors() {
+        let d = small_dataset(9);
+        let empty = AnswerLog::new(d.rows(), d.cols());
+        let r = TCrowd::default_full().infer(&d.schema, &empty);
+        assert!(r.converged);
+        assert_eq!(r.workers.len(), 0);
+        let est = r.estimates();
+        assert_eq!(est.len(), d.rows());
+    }
+}

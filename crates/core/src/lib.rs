@@ -1,0 +1,57 @@
+//! # tcrowd-core
+//!
+//! The T-Crowd core (ICDE 2018): unified EM truth inference over mixed
+//! categorical/continuous tables, and information-gain task assignment.
+//!
+//! ## Truth inference (paper §4)
+//!
+//! Worker `u` answers cell `c_ij` with an effective variance
+//! `φ^u_ij = α_i · β_j · φ_u` — the product of the row difficulty, the column
+//! difficulty and the worker's inherent variance. A continuous answer is
+//! drawn `a ~ N(T̂_ij, φ^u_ij)` (Eq. 1); a categorical answer is correct with
+//! probability `q^u_ij = erf(ε / √(2 φ^u_ij))` and otherwise uniform over the
+//! wrong labels (Eq. 2–3). The same `φ_u` appears in both datatypes — that is
+//! the "unified quality" contribution. Inference maximises the likelihood of
+//! the observed answers by EM (Algorithm 1): the E-step computes posterior
+//! truth distributions per cell (Eq. 4), the M-step fits `α, β, φ` by
+//! gradient ascent on the expected complete-data log-likelihood (Eq. 5).
+//!
+//! ## Task assignment (paper §5)
+//!
+//! Tasks are ranked by *information gain*: the expected drop in the truth
+//! distribution's entropy if the incoming worker answers the task (Eq. 6) —
+//! Shannon entropy for categorical cells, differential entropy for continuous
+//! cells; the *delta* form makes the two comparable. The *structure-aware*
+//! variant (Eq. 7–8) additionally conditions the worker's predicted error on
+//! the errors they already made on other attributes of the same row, through
+//! a pairwise correlation model (Tables 4–5).
+//!
+//! Entry points: [`TCrowd`] for inference, [`InherentGainPolicy`] /
+//! [`StructureAwarePolicy`] for assignment, and [`EntityAwarePolicy`] for the
+//! §7 entity-correlation extension.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod correlation;
+pub mod diagnostics;
+pub mod em;
+pub mod entity;
+pub mod gain;
+pub mod inference;
+pub mod model;
+pub mod online;
+pub mod truth;
+
+pub use assign::{
+    apply_answer_incrementally, expected_posterior, AssignmentContext, AssignmentPolicy,
+    BatchMode, InherentGainPolicy, StructureAwarePolicy,
+};
+pub use correlation::{CorrelationModel, ErrorObservation, PredictedError};
+pub use em::EmOptions;
+pub use entity::{EntityAwarePolicy, EntityModel, EntityModelOptions, RowGrouping};
+pub use gain::GainEstimator;
+pub use inference::{ColumnFilter, EpsilonSpec, InferenceResult, TCrowd, TCrowdOptions};
+pub use online::OnlineTCrowd;
+pub use truth::TruthDist;

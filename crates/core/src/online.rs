@@ -1,0 +1,193 @@
+//! Online truth inference: maintain estimates while answers stream in.
+//!
+//! A live platform (paper Fig. 1) interleaves answer collection with
+//! inference. Re-running full EM on every answer is wasteful — §5.1 already
+//! notes that one answer barely moves anything except the answered cell's
+//! posterior — so [`OnlineTCrowd`] applies each incoming answer as an
+//! incremental Bayesian update and re-fits the full model only every
+//! `refit_every` answers (or on demand). Between refits the worker/difficulty
+//! parameters are frozen; after a refit everything is exact again.
+
+use crate::assign::apply_answer_incrementally;
+use crate::inference::{InferenceResult, TCrowd};
+use tcrowd_tabular::{Answer, AnswerLog, Schema, Value};
+
+/// Streaming wrapper around [`TCrowd`].
+#[derive(Debug, Clone)]
+pub struct OnlineTCrowd {
+    model: TCrowd,
+    schema: Schema,
+    answers: AnswerLog,
+    result: InferenceResult,
+    since_refit: usize,
+    /// Full EM re-fit cadence, in answers (default 64).
+    pub refit_every: usize,
+}
+
+impl OnlineTCrowd {
+    /// Start from an existing answer set (runs one full fit).
+    pub fn new(model: TCrowd, schema: Schema, answers: AnswerLog) -> Self {
+        let result = model.infer(&schema, &answers);
+        OnlineTCrowd {
+            model,
+            schema,
+            answers,
+            result,
+            since_refit: 0,
+            refit_every: 64,
+        }
+    }
+
+    /// Start with an empty answer log for a `rows`-row table.
+    pub fn empty(model: TCrowd, schema: Schema, rows: usize) -> Self {
+        let answers = AnswerLog::new(rows, schema.num_columns());
+        Self::new(model, schema, answers)
+    }
+
+    /// Ingest one answer: `O(1)` incremental posterior update, with a full
+    /// EM re-fit every [`Self::refit_every`] answers. Returns `true` if this
+    /// answer triggered a re-fit.
+    pub fn add_answer(&mut self, answer: Answer) -> bool {
+        assert!(
+            self.schema
+                .column_type(answer.cell.col as usize)
+                .accepts(&answer.value),
+            "answer value does not match its column type"
+        );
+        self.answers.push(answer);
+        self.since_refit += 1;
+        if self.since_refit >= self.refit_every {
+            self.refit();
+            true
+        } else {
+            apply_answer_incrementally(
+                &mut self.result,
+                answer.worker,
+                answer.cell,
+                &answer.value,
+            );
+            false
+        }
+    }
+
+    /// Force a full EM re-fit now.
+    pub fn refit(&mut self) {
+        self.result = self.model.infer(&self.schema, &self.answers);
+        self.since_refit = 0;
+    }
+
+    /// The current inference state (possibly incrementally updated since the
+    /// last full fit).
+    pub fn result(&self) -> &InferenceResult {
+        &self.result
+    }
+
+    /// The accumulated answer log.
+    pub fn answers(&self) -> &AnswerLog {
+        &self.answers
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Current point estimates.
+    pub fn estimates(&self) -> Vec<Vec<Value>> {
+        self.result.estimates()
+    }
+
+    /// Answers ingested since the last full fit.
+    pub fn staleness(&self) -> usize {
+        self.since_refit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{evaluate, generate_dataset, GeneratorConfig};
+
+    fn dataset(seed: u64) -> tcrowd_tabular::Dataset {
+        generate_dataset(
+            &GeneratorConfig {
+                rows: 25,
+                columns: 4,
+                num_workers: 15,
+                answers_per_task: 4,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn streaming_matches_batch_after_refit() {
+        let d = dataset(1);
+        let mut online = OnlineTCrowd::empty(
+            TCrowd::default_full(),
+            d.schema.clone(),
+            d.rows(),
+        );
+        for &a in d.answers.all() {
+            online.add_answer(a);
+        }
+        online.refit();
+        let batch = TCrowd::default_full().infer(&d.schema, &d.answers);
+        assert_eq!(online.estimates(), batch.estimates());
+        assert_eq!(online.result().iterations, batch.iterations);
+    }
+
+    #[test]
+    fn refit_cadence_is_respected() {
+        let d = dataset(2);
+        let mut online =
+            OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        online.refit_every = 10;
+        let mut refits = 0;
+        for (i, &a) in d.answers.all().iter().enumerate() {
+            if online.add_answer(a) {
+                refits += 1;
+                assert_eq!(online.staleness(), 0);
+            }
+            assert!(online.staleness() <= 10, "staleness at answer {i}");
+        }
+        assert_eq!(refits, d.answers.len() / 10);
+    }
+
+    #[test]
+    fn incremental_estimates_stay_close_to_batch() {
+        // Between refits the estimates are approximate; they must still be
+        // useful (here: within a small error-rate gap of the batch fit).
+        let d = dataset(3);
+        let mut online =
+            OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        online.refit_every = usize::MAX; // never refit: pure incremental
+        for &a in d.answers.all() {
+            online.add_answer(a);
+        }
+        let online_rep = evaluate(&d.schema, &d.truth, &online.estimates());
+        let batch = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let batch_rep = evaluate(&d.schema, &d.truth, &batch.estimates());
+        assert!(
+            online_rep.error_rate.unwrap() <= batch_rep.error_rate.unwrap() + 0.15,
+            "incremental {} vs batch {}",
+            online_rep.error_rate.unwrap(),
+            batch_rep.error_rate.unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "column type")]
+    fn rejects_mistyped_answers() {
+        let d = dataset(4);
+        let mut online =
+            OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        // Column 0 is categorical in this layout.
+        online.add_answer(Answer {
+            worker: tcrowd_tabular::WorkerId(0),
+            cell: tcrowd_tabular::CellId::new(0, 0),
+            value: Value::Continuous(1.0),
+        });
+    }
+}

@@ -1,0 +1,179 @@
+//! Truth distributions `T_ij` (paper Eq. 4) and their uniform entropy (§5.1).
+
+use crate::model::cat_answer_likelihood;
+use tcrowd_stat::entropy::shannon;
+use tcrowd_stat::normal::Normal;
+use tcrowd_stat::EPS;
+use tcrowd_tabular::Value;
+
+/// The estimated distribution of one cell's truth.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TruthDist {
+    /// Continuous cell: `T ~ N(T^µ, T^φ)`.
+    Continuous(Normal),
+    /// Categorical cell: `P(T = z)` over the label set.
+    Categorical(Vec<f64>),
+}
+
+impl TruthDist {
+    /// Uniform prior over `cardinality` labels.
+    pub fn uniform(cardinality: u32) -> Self {
+        let k = cardinality.max(1) as usize;
+        TruthDist::Categorical(vec![1.0 / k as f64; k])
+    }
+
+    /// The uniform entropy `H(T)` of §5.1 — Shannon for categorical,
+    /// differential for continuous. The two are only comparable through
+    /// *differences*, which is all the information-gain machinery uses.
+    pub fn entropy(&self) -> f64 {
+        match self {
+            TruthDist::Continuous(n) => n.differential_entropy(),
+            TruthDist::Categorical(p) => shannon(p),
+        }
+    }
+
+    /// Point estimate `T̂` (paper, end of §4.3): the posterior mean for
+    /// continuous cells, the argmax label for categorical cells.
+    pub fn estimate(&self) -> Value {
+        match self {
+            TruthDist::Continuous(n) => Value::Continuous(n.mean),
+            TruthDist::Categorical(p) => {
+                let best = p
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
+                    .map(|(i, _)| i as u32)
+                    .unwrap_or(0);
+                Value::Categorical(best)
+            }
+        }
+    }
+
+    /// Posterior after one additional answer from a worker with effective
+    /// variance `variance` and (for categorical cells) quality `q`.
+    ///
+    /// This is the *incremental* update of §5.1: rather than re-running full
+    /// EM for every hypothetical answer, only the candidate cell's posterior
+    /// is refreshed with the new likelihood factor.
+    pub fn updated_with_answer(&self, answer: &Value, variance: f64, q: f64) -> TruthDist {
+        match (self, answer) {
+            (TruthDist::Continuous(n), Value::Continuous(a)) => {
+                TruthDist::Continuous(n.posterior_with_observation(*a, variance))
+            }
+            (TruthDist::Categorical(p), Value::Categorical(a)) => {
+                let l = p.len() as u32;
+                let mut out: Vec<f64> = p
+                    .iter()
+                    .enumerate()
+                    .map(|(z, pz)| pz * cat_answer_likelihood(q, l, z as u32 == *a))
+                    .collect();
+                let total: f64 = out.iter().sum();
+                if total > EPS {
+                    for v in &mut out {
+                        *v /= total;
+                    }
+                } else {
+                    out = vec![1.0 / p.len() as f64; p.len()];
+                }
+                TruthDist::Categorical(out)
+            }
+            _ => panic!("answer datatype does not match truth distribution"),
+        }
+    }
+
+    /// The probability the posterior assigns to `value` being the truth:
+    /// the posterior probability of the label, or the posterior density at
+    /// the point for continuous cells.
+    pub fn confidence_in(&self, value: &Value) -> f64 {
+        match (self, value) {
+            (TruthDist::Categorical(p), Value::Categorical(a)) => {
+                p.get(*a as usize).copied().unwrap_or(0.0)
+            }
+            (TruthDist::Continuous(n), Value::Continuous(x)) => n.pdf(*x),
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_prior_is_uniform() {
+        let t = TruthDist::uniform(4);
+        if let TruthDist::Categorical(p) = &t {
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|x| (x - 0.25).abs() < 1e-12));
+        } else {
+            panic!("wrong variant");
+        }
+        assert!((t.entropy() - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_picks_argmax_and_mean() {
+        let cat = TruthDist::Categorical(vec![0.2, 0.5, 0.3]);
+        assert_eq!(cat.estimate(), Value::Categorical(1));
+        let cont = TruthDist::Continuous(Normal::new(3.3, 1.0));
+        assert_eq!(cont.estimate(), Value::Continuous(3.3));
+    }
+
+    #[test]
+    fn categorical_update_shifts_mass_toward_answer() {
+        let prior = TruthDist::uniform(3);
+        let post = prior.updated_with_answer(&Value::Categorical(2), 0.1, 0.8);
+        if let TruthDist::Categorical(p) = &post {
+            assert!(p[2] > p[0] && p[2] > p[1]);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            // Exact posterior: 0.8 vs 0.1 vs 0.1.
+            assert!((p[2] - 0.8).abs() < 1e-9);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn low_quality_answer_barely_moves_posterior() {
+        let prior = TruthDist::Categorical(vec![0.6, 0.4]);
+        // q = 0.5 on a binary domain is an uninformative worker.
+        let post = prior.updated_with_answer(&Value::Categorical(1), 1.0, 0.5);
+        if let TruthDist::Categorical(p) = post {
+            assert!((p[0] - 0.6).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn continuous_update_reduces_entropy() {
+        let prior = TruthDist::Continuous(Normal::new(0.0, 4.0));
+        let post = prior.updated_with_answer(&Value::Continuous(1.0), 1.0, 0.9);
+        assert!(post.entropy() < prior.entropy());
+    }
+
+    #[test]
+    fn repeated_consistent_answers_converge_categorical() {
+        let mut t = TruthDist::uniform(5);
+        for _ in 0..20 {
+            t = t.updated_with_answer(&Value::Categorical(3), 0.2, 0.7);
+        }
+        if let TruthDist::Categorical(p) = &t {
+            assert!(p[3] > 0.999);
+        }
+        assert_eq!(t.estimate(), Value::Categorical(3));
+    }
+
+    #[test]
+    fn confidence_reads_the_right_entry() {
+        let cat = TruthDist::Categorical(vec![0.1, 0.9]);
+        assert!((cat.confidence_in(&Value::Categorical(1)) - 0.9).abs() < 1e-12);
+        assert_eq!(cat.confidence_in(&Value::Categorical(7)), 0.0);
+        let cont = TruthDist::Continuous(Normal::STANDARD);
+        assert!(cont.confidence_in(&Value::Continuous(0.0)) > 0.39);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_update_panics() {
+        TruthDist::uniform(2).updated_with_answer(&Value::Continuous(0.0), 1.0, 0.5);
+    }
+}

@@ -1,0 +1,333 @@
+//! Entity discovery from the crowd (paper §7, second future-work
+//! direction).
+//!
+//! §7: *"we plan to extend our approach to apply on tables for which
+//! entities are not known. In this case, entities should also be collected
+//! from the crowd."*
+//!
+//! Before any cell can be crowdsourced, the *rows* of the table must exist.
+//! This module simulates and solves that enumeration phase:
+//!
+//! * [`EntityUniverse`] models the unknown entity set with a popularity
+//!   skew (workers think of famous entities first — a Zipf-like recall
+//!   distribution) and a spurious-proposal rate (misremembered or invented
+//!   entities).
+//! * [`DiscoveryState`] aggregates proposals with support counting: an
+//!   entity enters the table once `min_support` *distinct* workers have
+//!   proposed it, which suppresses spurious singletons exactly the way
+//!   redundant answers suppress wrong cell values.
+//! * [`DiscoveryState::estimated_unseen_mass`] implements the Good–Turing
+//!   estimator `f₁ / n` (the fraction of proposals that were first sightings
+//!   is an estimate of the probability the *next* proposal is a new
+//!   entity), giving a principled stopping rule for the enumeration budget:
+//!   stop asking when the expected yield of another proposal drops below a
+//!   threshold.
+//!
+//! The discovered row set then feeds the ordinary T-Crowd pipeline (schema +
+//! `AnswerLog` over the discovered rows).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tcrowd_tabular::WorkerId;
+
+/// The hidden entity set workers draw proposals from.
+#[derive(Debug, Clone)]
+pub struct EntityUniverse {
+    /// Number of true entities.
+    pub num_entities: usize,
+    /// Zipf-like skew of entity popularity (0 = uniform recall; 1 ≈ classic
+    /// Zipf). Popular entities are proposed far more often.
+    pub popularity_skew: f64,
+    /// Probability a proposal is spurious (not a true entity). Spurious
+    /// proposals are drawn from a large junk space and rarely repeat.
+    pub p_spurious: f64,
+    /// Size of the junk space spurious proposals are drawn from.
+    pub spurious_space: usize,
+}
+
+impl Default for EntityUniverse {
+    fn default() -> Self {
+        EntityUniverse {
+            num_entities: 50,
+            popularity_skew: 0.8,
+            p_spurious: 0.1,
+            spurious_space: 10_000,
+        }
+    }
+}
+
+/// A proposal: either a true entity id (`0..num_entities`) or a spurious id
+/// (`num_entities..num_entities + spurious_space`).
+pub type EntityId = usize;
+
+/// Samples worker proposals from the universe.
+#[derive(Debug)]
+pub struct ProposalOracle {
+    universe: EntityUniverse,
+    /// Cumulative popularity distribution over true entities.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ProposalOracle {
+    /// Build the oracle (popularities `1/(rank+1)^skew`, normalised).
+    pub fn new(universe: EntityUniverse, seed: u64) -> Self {
+        let weights: Vec<f64> = (0..universe.num_entities)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(universe.popularity_skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ProposalOracle { universe, cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The universe being sampled.
+    pub fn universe(&self) -> &EntityUniverse {
+        &self.universe
+    }
+
+    /// One proposal from one worker.
+    pub fn propose(&mut self, _worker: WorkerId) -> EntityId {
+        if self.rng.gen::<f64>() < self.universe.p_spurious {
+            self.universe.num_entities + self.rng.gen_range(0..self.universe.spurious_space)
+        } else {
+            let u = self.rng.gen::<f64>();
+            self.cdf.partition_point(|&c| c < u).min(self.universe.num_entities - 1)
+        }
+    }
+}
+
+/// Aggregated discovery state: support counts and Good–Turing statistics.
+#[derive(Debug, Default)]
+pub struct DiscoveryState {
+    /// Distinct supporting workers per proposed entity.
+    support: HashMap<EntityId, Vec<WorkerId>>,
+    /// Total proposals seen.
+    proposals: usize,
+    /// Proposals that were the *first* sighting of their entity.
+    first_sightings: usize,
+}
+
+impl DiscoveryState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one proposal. Duplicate proposals by the same worker for the
+    /// same entity are counted toward Good–Turing `n` but not support.
+    pub fn record(&mut self, worker: WorkerId, entity: EntityId) {
+        self.proposals += 1;
+        match self.support.entry(entity) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.first_sightings += 1;
+                e.insert(vec![worker]);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if !e.get().contains(&worker) {
+                    e.get_mut().push(worker);
+                }
+            }
+        }
+    }
+
+    /// Total proposals recorded.
+    pub fn proposals(&self) -> usize {
+        self.proposals
+    }
+
+    /// Entities with at least `min_support` distinct proposers — the rows
+    /// the table will be built from.
+    pub fn accepted(&self, min_support: usize) -> Vec<EntityId> {
+        let mut rows: Vec<EntityId> = self
+            .support
+            .iter()
+            .filter(|(_, ws)| ws.len() >= min_support)
+            .map(|(&e, _)| e)
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Good–Turing estimate of the probability that the next proposal names
+    /// a not-yet-seen entity (`f₁ / n` with `f₁` = singleton *sightings*;
+    /// we use first-sighting counts, the streaming variant). 1.0 before any
+    /// data.
+    pub fn estimated_unseen_mass(&self) -> f64 {
+        if self.proposals == 0 {
+            return 1.0;
+        }
+        // Singletons: entities seen exactly once (by proposals, approximated
+        // by support-1 entries; duplicates by the same worker are rare).
+        let singletons = self.support.values().filter(|ws| ws.len() == 1).count();
+        (singletons as f64 / self.proposals as f64).min(1.0)
+    }
+
+    /// Convenience stopping test: the enumeration saturates once the
+    /// Good–Turing unseen mass drops below `threshold`.
+    ///
+    /// **Floor**: spurious proposals are (almost) always first sightings, so
+    /// the unseen mass converges to the spurious rate, not to zero — set the
+    /// threshold *above* the junk rate you expect from the crowd (e.g.
+    /// `p_spurious + 0.02`), or the enumeration will only stop on budget.
+    pub fn saturated(&self, threshold: f64) -> bool {
+        self.proposals > 0 && self.estimated_unseen_mass() < threshold
+    }
+
+    /// Precision/recall of the accepted set against a known universe
+    /// (evaluation only — real deployments have no oracle).
+    pub fn score(&self, min_support: usize, num_true: usize) -> (f64, f64) {
+        let accepted = self.accepted(min_support);
+        if accepted.is_empty() {
+            return (1.0, 0.0);
+        }
+        let hits = accepted.iter().filter(|&&e| e < num_true).count();
+        let precision = hits as f64 / accepted.len() as f64;
+        let recall = hits as f64 / num_true as f64;
+        (precision, recall)
+    }
+}
+
+/// Run the enumeration phase: `workers` take turns proposing entities until
+/// the Good–Turing unseen mass drops below `saturation` (or `max_proposals`
+/// is hit). Returns the final state.
+pub fn run_discovery(
+    oracle: &mut ProposalOracle,
+    num_workers: usize,
+    saturation: f64,
+    max_proposals: usize,
+) -> DiscoveryState {
+    let mut state = DiscoveryState::new();
+    let mut turn = 0u32;
+    while !state.saturated(saturation) && state.proposals() < max_proposals {
+        let worker = WorkerId(turn % num_workers as u32);
+        let entity = oracle.propose(worker);
+        state.record(worker, entity);
+        turn += 1;
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe(n: usize, p_spurious: f64) -> EntityUniverse {
+        EntityUniverse { num_entities: n, p_spurious, ..Default::default() }
+    }
+
+    #[test]
+    fn discovery_finds_most_entities_with_high_precision() {
+        // Threshold sits above the 10 % spurious floor (see `saturated`).
+        let mut oracle = ProposalOracle::new(universe(40, 0.1), 1);
+        let state = run_discovery(&mut oracle, 20, 0.13, 50_000);
+        let (precision, recall) = state.score(2, 40);
+        assert!(precision > 0.95, "precision {precision}");
+        assert!(recall > 0.8, "recall {recall}");
+    }
+
+    #[test]
+    fn support_threshold_filters_spurious_proposals() {
+        let mut oracle = ProposalOracle::new(universe(30, 0.3), 2);
+        let state = run_discovery(&mut oracle, 25, 0.33, 50_000);
+        let (p1, _) = state.score(1, 30);
+        let (p2, _) = state.score(2, 30);
+        assert!(
+            p2 > p1,
+            "support-2 precision {p2} must beat support-1 precision {p1}"
+        );
+        // Spurious junk almost never repeats, so support 2 is near-clean.
+        assert!(p2 > 0.9, "support-2 precision {p2}");
+    }
+
+    #[test]
+    fn unseen_mass_decreases_with_proposals() {
+        let mut oracle = ProposalOracle::new(universe(20, 0.05), 3);
+        let mut state = DiscoveryState::new();
+        for i in 0..60u32 {
+            let w = WorkerId(i % 10);
+            let e = oracle.propose(w);
+            state.record(w, e);
+        }
+        let early = state.estimated_unseen_mass();
+        for i in 60..1_200u32 {
+            let w = WorkerId(i % 10);
+            let e = oracle.propose(w);
+            state.record(w, e);
+        }
+        let late = state.estimated_unseen_mass();
+        assert!(
+            late < early,
+            "unseen mass must shrink: early {early}, late {late}"
+        );
+        assert!(late < 0.2);
+    }
+
+    #[test]
+    fn saturation_stops_before_budget_on_small_universes() {
+        let mut oracle = ProposalOracle::new(universe(10, 0.0), 4);
+        let state = run_discovery(&mut oracle, 10, 0.05, 100_000);
+        assert!(
+            state.proposals() < 100_000,
+            "a 10-entity universe must saturate quickly, used {}",
+            state.proposals()
+        );
+    }
+
+    #[test]
+    fn empty_state_conventions() {
+        let state = DiscoveryState::new();
+        assert_eq!(state.estimated_unseen_mass(), 1.0);
+        assert!(!state.saturated(0.5));
+        assert!(state.accepted(1).is_empty());
+        assert_eq!(state.score(1, 10), (1.0, 0.0));
+    }
+
+    #[test]
+    fn duplicate_proposals_by_one_worker_do_not_add_support() {
+        let mut state = DiscoveryState::new();
+        for _ in 0..5 {
+            state.record(WorkerId(0), 7);
+        }
+        assert!(state.accepted(2).is_empty());
+        state.record(WorkerId(1), 7);
+        assert_eq!(state.accepted(2), vec![7]);
+    }
+
+    #[test]
+    fn popularity_skew_slows_tail_discovery() {
+        // With strong skew, equal budgets discover fewer distinct entities.
+        let budget = 400;
+        let run = |skew: f64, seed: u64| {
+            let mut oracle = ProposalOracle::new(
+                EntityUniverse {
+                    num_entities: 100,
+                    popularity_skew: skew,
+                    p_spurious: 0.0,
+                    spurious_space: 1,
+                },
+                seed,
+            );
+            let mut state = DiscoveryState::new();
+            for i in 0..budget {
+                let w = WorkerId(i % 20);
+                let e = oracle.propose(w);
+                state.record(w, e);
+            }
+            state.accepted(1).len()
+        };
+        let flat: usize = (0..3).map(|s| run(0.0, s)).sum();
+        let skewed: usize = (0..3).map(|s| run(1.5, s)).sum();
+        assert!(
+            skewed < flat,
+            "skewed recall should find fewer distinct entities ({skewed} vs {flat})"
+        );
+    }
+}

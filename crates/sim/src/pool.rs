@@ -1,0 +1,408 @@
+//! The simulated crowd: a worker pool with long-tail quality, an arrival
+//! process, and an answer oracle.
+//!
+//! This is the substitution for the paper's live AMT deployment (see
+//! DESIGN.md §3): workers draw their inherent variance `φ_u` from the same
+//! long-tail population as the data generator, arrive in a reproducible
+//! sequence, and answer any cell they are assigned through the paper's own
+//! worker model (Eq. 1/3) with per-row/column difficulty and an optional
+//! row-familiarity effect. One familiarity coin is flipped per (worker, row)
+//! and cached, so a worker who "doesn't recognise" an entity stays degraded
+//! across that whole row no matter when its cells are assigned.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tcrowd_tabular::generator::{EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig};
+use tcrowd_tabular::real_sim::long_tail_phis;
+use tcrowd_tabular::{CellId, ColumnType, Schema, Value, WorkerId};
+
+/// How workers arrive at the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalOrder {
+    /// Rounds of a shuffled worker list: everyone participates roughly
+    /// equally (the paper keeps the worker sequence fixed across methods).
+    #[default]
+    ShuffledRounds,
+    /// Independent uniform draws (some workers may dominate).
+    UniformRandom,
+    /// Zipf-skewed participation: worker `u` arrives with probability
+    /// proportional to `1/(u+1)^skew`. Real AMT logs are strongly
+    /// heavy-tailed (the paper's Fig. 3 reads off the "25 workers who have
+    /// given the largest number of answers"); this reproduces that regime.
+    ZipfParticipation {
+        /// Skew exponent (0 = uniform; 1 ≈ classic Zipf).
+        skew: f64,
+    },
+}
+
+/// Configuration of the simulated crowd.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPoolConfig {
+    /// Number of workers in the pool.
+    pub num_workers: usize,
+    /// Quality population (long-tail `φ_u`).
+    pub quality: WorkerQualityConfig,
+    /// Optional row-familiarity effect.
+    pub familiarity: Option<RowFamiliarity>,
+    /// Optional entity-group familiarity (the §7 future-work extension: a
+    /// worker unfamiliar with a whole *category* of entities).
+    pub entity_groups: Option<EntityGroups>,
+    /// Quality window `ε` used for categorical answer synthesis (matches the
+    /// generator's convention).
+    pub epsilon: f64,
+    /// Arrival process.
+    pub arrival: ArrivalOrder,
+    /// Log-space spread of the row/column difficulty draws.
+    pub difficulty_sigma: f64,
+    /// Average cell difficulty `µ{α_i β_j}`.
+    pub avg_difficulty: f64,
+}
+
+impl Default for WorkerPoolConfig {
+    fn default() -> Self {
+        WorkerPoolConfig {
+            num_workers: 109,
+            quality: WorkerQualityConfig::default(),
+            familiarity: Some(RowFamiliarity::default()),
+            entity_groups: None,
+            epsilon: 0.5,
+            arrival: ArrivalOrder::default(),
+            difficulty_sigma: 0.35,
+            avg_difficulty: 1.0,
+        }
+    }
+}
+
+/// The simulated crowd bound to one table's ground truth.
+#[derive(Debug)]
+pub struct WorkerPool {
+    schema: Schema,
+    truth: Vec<Vec<Value>>,
+    cfg: WorkerPoolConfig,
+    phis: Vec<f64>,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    /// Cached familiarity multiplier per (worker, row).
+    fam_cache: HashMap<(WorkerId, u32), f64>,
+    /// Cached familiarity multiplier per (worker, entity group).
+    group_cache: HashMap<(WorkerId, usize), f64>,
+    answer_rng: StdRng,
+    arrival_rng: StdRng,
+    round: Vec<WorkerId>,
+    round_pos: usize,
+    /// Cumulative participation distribution (Zipf arrivals only).
+    zipf_cdf: Vec<f64>,
+}
+
+impl WorkerPool {
+    /// Build a pool for the given table; fully deterministic per seed.
+    pub fn new(
+        schema: &Schema,
+        truth: &[Vec<Value>],
+        cfg: WorkerPoolConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(cfg.num_workers > 0, "pool needs workers");
+        assert_eq!(
+            truth.first().map(|r| r.len()).unwrap_or(0),
+            schema.num_columns(),
+            "truth shape must match schema"
+        );
+        let phis = long_tail_phis(cfg.num_workers, &cfg.quality, seed ^ 0xA11CE);
+        // Row/column difficulties drawn through the generator's machinery so
+        // the oracle's population matches the synthetic datasets'.
+        let gen_cfg = GeneratorConfig {
+            rows: truth.len(),
+            columns: schema.num_columns(),
+            num_workers: cfg.num_workers,
+            avg_difficulty: cfg.avg_difficulty,
+            difficulty_sigma: cfg.difficulty_sigma,
+            quality: cfg.quality,
+            answers_per_task: 1,
+            ..Default::default()
+        };
+        let state = tcrowd_tabular::generator::draw_population(&gen_cfg, seed ^ 0xD1FF);
+        WorkerPool {
+            schema: schema.clone(),
+            truth: truth.to_vec(),
+            cfg,
+            phis,
+            alpha: state.alpha,
+            beta: state.beta,
+            fam_cache: HashMap::new(),
+            group_cache: HashMap::new(),
+            answer_rng: StdRng::seed_from_u64(seed ^ 0x0A5),
+            arrival_rng: StdRng::seed_from_u64(seed ^ 0xAB1),
+            round: Vec::new(),
+            round_pos: 0,
+            zipf_cdf: match cfg.arrival {
+                ArrivalOrder::ZipfParticipation { skew } => {
+                    let weights: Vec<f64> = (0..cfg.num_workers)
+                        .map(|u| 1.0 / ((u + 1) as f64).powf(skew))
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    let mut acc = 0.0;
+                    weights
+                        .iter()
+                        .map(|w| {
+                            acc += w / total;
+                            acc
+                        })
+                        .collect()
+                }
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.cfg.num_workers
+    }
+
+    /// True `φ_u` of a worker (simulation ground truth).
+    pub fn phi(&self, worker: WorkerId) -> f64 {
+        self.phis[worker.0 as usize]
+    }
+
+    /// The next arriving worker.
+    pub fn next_worker(&mut self) -> WorkerId {
+        match self.cfg.arrival {
+            ArrivalOrder::UniformRandom => {
+                WorkerId(self.arrival_rng.gen_range(0..self.cfg.num_workers as u32))
+            }
+            ArrivalOrder::ShuffledRounds => {
+                if self.round_pos >= self.round.len() {
+                    self.round = (0..self.cfg.num_workers as u32).map(WorkerId).collect();
+                    self.round.shuffle(&mut self.arrival_rng);
+                    self.round_pos = 0;
+                }
+                let w = self.round[self.round_pos];
+                self.round_pos += 1;
+                w
+            }
+            ArrivalOrder::ZipfParticipation { .. } => {
+                let u = self.arrival_rng.gen::<f64>();
+                WorkerId(self.zipf_cdf.partition_point(|&c| c < u)
+                    .min(self.cfg.num_workers - 1) as u32)
+            }
+        }
+    }
+
+    fn familiarity(&mut self, worker: WorkerId, row: u32) -> f64 {
+        let mut factor = match self.cfg.familiarity {
+            None => 1.0,
+            Some(rf) => {
+                let rng = &mut self.answer_rng;
+                *self.fam_cache.entry((worker, row)).or_insert_with(|| {
+                    if rng.gen_range(0.0..1.0) < rf.p_unfamiliar {
+                        rf.difficulty_factor
+                    } else {
+                        1.0
+                    }
+                })
+            }
+        };
+        if let Some(eg) = self.cfg.entity_groups {
+            let rng = &mut self.answer_rng;
+            factor *= *self
+                .group_cache
+                .entry((worker, eg.group_of(row as usize)))
+                .or_insert_with(|| {
+                    if rng.gen_range(0.0..1.0) < eg.p_unfamiliar {
+                        eg.difficulty_factor
+                    } else {
+                        1.0
+                    }
+                });
+        }
+        factor
+    }
+
+    /// The worker answers a cell (the external-HIT round trip).
+    pub fn answer(&mut self, worker: WorkerId, cell: CellId) -> Value {
+        let phi = self.phis[worker.0 as usize];
+        let fam = self.familiarity(worker, cell.row);
+        let variance =
+            self.alpha[cell.row as usize] * self.beta[cell.col as usize] * phi * fam;
+        tcrowd_tabular::generator::synthesize_answer(
+            &mut self.answer_rng,
+            &self.truth[cell.row as usize][cell.col as usize],
+            self.schema.column_type(cell.col as usize),
+            variance,
+            self.cfg.epsilon,
+        )
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The ground truth the oracle answers from.
+    pub fn truth(&self) -> &[Vec<Value>] {
+        &self.truth
+    }
+
+    /// Domain width of a continuous column (test/diagnostic helper).
+    pub fn domain_width(&self, col: usize) -> Option<f64> {
+        match self.schema.column_type(col) {
+            ColumnType::Continuous { min, max } => Some(max - min),
+            ColumnType::Categorical { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{generate_dataset, GeneratorConfig};
+
+    fn table(seed: u64) -> tcrowd_tabular::Dataset {
+        generate_dataset(
+            &GeneratorConfig {
+                rows: 20,
+                columns: 4,
+                num_workers: 10,
+                answers_per_task: 2,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn shuffled_rounds_cover_all_workers() {
+        let d = table(1);
+        let cfg = WorkerPoolConfig { num_workers: 12, ..Default::default() };
+        let mut pool = WorkerPool::new(&d.schema, &d.truth, cfg, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..12 {
+            seen.insert(pool.next_worker());
+        }
+        assert_eq!(seen.len(), 12, "one round covers every worker exactly once");
+    }
+
+    #[test]
+    fn answers_match_column_types() {
+        let d = table(2);
+        let mut pool = WorkerPool::new(&d.schema, &d.truth, WorkerPoolConfig::default(), 1);
+        for i in 0..d.rows() as u32 {
+            for j in 0..d.cols() as u32 {
+                let v = pool.answer(WorkerId(3), CellId::new(i, j));
+                assert!(d.schema.column_type(j as usize).accepts(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_deterministic_per_seed() {
+        let d = table(3);
+        let mk = || {
+            let mut p =
+                WorkerPool::new(&d.schema, &d.truth, WorkerPoolConfig::default(), 11);
+            (0..40)
+                .map(|i| {
+                    let w = p.next_worker();
+                    let c = CellId::new(i % d.rows() as u32, i % d.cols() as u32);
+                    (w, p.answer(w, c))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn good_workers_answer_better() {
+        let d = table(4);
+        let cfg = WorkerPoolConfig { familiarity: None, ..Default::default() };
+        let mut pool = WorkerPool::new(&d.schema, &d.truth, cfg, 5);
+        // Identify the best and worst worker by true phi.
+        let (mut best, mut worst) = (WorkerId(0), WorkerId(0));
+        for w in 0..pool.num_workers() as u32 {
+            if pool.phi(WorkerId(w)) < pool.phi(best) {
+                best = WorkerId(w);
+            }
+            if pool.phi(WorkerId(w)) > pool.phi(worst) {
+                worst = WorkerId(w);
+            }
+        }
+        assert!(pool.phi(best) < pool.phi(worst));
+        let col = d.schema.continuous_columns()[0];
+        let mut err = |w: WorkerId| {
+            let mut total = 0.0;
+            for rep in 0..200u32 {
+                let i = rep % d.rows() as u32;
+                let t = d.truth[i as usize][col].expect_continuous();
+                let a = pool
+                    .answer(w, CellId::new(i, col as u32))
+                    .expect_continuous();
+                total += (a - t).abs();
+            }
+            total / 200.0
+        };
+        let e_best = err(best);
+        let e_worst = err(worst);
+        assert!(
+            e_best < e_worst,
+            "best worker mean |err| {e_best} vs worst {e_worst}"
+        );
+    }
+
+    #[test]
+    fn familiarity_is_sticky_per_row() {
+        let d = table(5);
+        let cfg = WorkerPoolConfig {
+            familiarity: Some(RowFamiliarity { p_unfamiliar: 0.5, difficulty_factor: 100.0 }),
+            ..Default::default()
+        };
+        let mut pool = WorkerPool::new(&d.schema, &d.truth, cfg, 9);
+        // Touch every row once to populate the cache, then verify stability.
+        let w = WorkerId(2);
+        let before: Vec<f64> = (0..d.rows() as u32).map(|i| pool.familiarity(w, i)).collect();
+        let after: Vec<f64> = (0..d.rows() as u32).map(|i| pool.familiarity(w, i)).collect();
+        assert_eq!(before, after);
+        assert!(before.iter().any(|f| *f > 1.0), "some rows unfamiliar");
+        assert!(before.contains(&1.0), "some rows familiar");
+    }
+
+    #[test]
+    fn zipf_arrivals_are_heavy_tailed_and_deterministic() {
+        let d = tcrowd_tabular::generate_dataset(
+            &tcrowd_tabular::GeneratorConfig {
+                rows: 5,
+                columns: 2,
+                num_workers: 30,
+                answers_per_task: 1,
+                ..Default::default()
+            },
+            1,
+        );
+        let cfg = WorkerPoolConfig {
+            num_workers: 30,
+            arrival: ArrivalOrder::ZipfParticipation { skew: 1.2 },
+            ..Default::default()
+        };
+        let mut a = WorkerPool::new(&d.schema, &d.truth, cfg, 5);
+        let mut b = WorkerPool::new(&d.schema, &d.truth, cfg, 5);
+        let mut counts = vec![0usize; 30];
+        for _ in 0..3_000 {
+            let wa = a.next_worker();
+            assert_eq!(wa, b.next_worker(), "same seed, same arrivals");
+            counts[wa.0 as usize] += 1;
+        }
+        // Heavy tail: the most frequent worker dominates the median one.
+        let max = *counts.iter().max().unwrap();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[15];
+        assert!(
+            max > 4 * median.max(1),
+            "participation should be heavy-tailed (max {max}, median {median})"
+        );
+        // Every arrival is a valid worker id.
+        assert!(counts.iter().sum::<usize>() == 3_000);
+    }
+}

@@ -1,0 +1,216 @@
+//! Bivariate normal distribution with exact conditionals.
+//!
+//! Case (b) of the paper's correlation model (Table 5): when columns `j` and
+//! `k` are both continuous, the joint error distribution `P(e_j, e_k)` is a
+//! bivariate Gaussian, and the conditional used in Eq. 7 is
+//! `P(e_j | e_k = x) = N(μ_j + ρ σ_j/σ_k (x − μ_k), (1 − ρ²) σ_j²)`.
+
+use crate::normal::Normal;
+use crate::{clamp_var, EPS};
+
+/// A bivariate normal over `(x₁, x₂)` parameterised by means, variances and
+/// the correlation coefficient `ρ ∈ (−1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BivariateNormal {
+    /// Mean of the first component.
+    pub mean1: f64,
+    /// Mean of the second component.
+    pub mean2: f64,
+    /// Variance of the first component.
+    pub var1: f64,
+    /// Variance of the second component.
+    pub var2: f64,
+    /// Pearson correlation coefficient, clamped into `(−1, 1)`.
+    pub rho: f64,
+}
+
+impl BivariateNormal {
+    /// Maximum correlation magnitude retained after fitting; keeps the
+    /// conditional variance `(1−ρ²)σ²` bounded away from zero.
+    pub const RHO_CAP: f64 = 0.999;
+
+    /// Construct from raw parameters (variances floored, `ρ` clamped).
+    pub fn new(mean1: f64, mean2: f64, var1: f64, var2: f64, rho: f64) -> Self {
+        BivariateNormal {
+            mean1,
+            mean2,
+            var1: clamp_var(var1),
+            var2: clamp_var(var2),
+            rho: rho.clamp(-Self::RHO_CAP, Self::RHO_CAP),
+        }
+    }
+
+    /// Maximum-likelihood fit from paired samples.
+    ///
+    /// Fewer than two pairs (or degenerate marginals) yield an independent
+    /// standard-ish fit with `ρ = 0`, so a sparse correlation table degrades
+    /// gracefully to "no structural information" rather than failing.
+    pub fn mle(pairs: &[(f64, f64)]) -> Self {
+        if pairs.len() < 2 {
+            let (m1, m2) = pairs.first().copied().unwrap_or((0.0, 0.0));
+            return BivariateNormal::new(m1, m2, 1.0, 1.0, 0.0);
+        }
+        let n = pairs.len() as f64;
+        let mean1 = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean2 = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let mut v1 = 0.0;
+        let mut v2 = 0.0;
+        let mut cov = 0.0;
+        for &(a, b) in pairs {
+            let (da, db) = (a - mean1, b - mean2);
+            v1 += da * da;
+            v2 += db * db;
+            cov += da * db;
+        }
+        v1 /= n;
+        v2 /= n;
+        cov /= n;
+        let rho = if v1 <= EPS || v2 <= EPS {
+            0.0
+        } else {
+            cov / (v1.sqrt() * v2.sqrt())
+        };
+        BivariateNormal::new(mean1, mean2, v1.max(EPS), v2.max(EPS), rho)
+    }
+
+    /// Marginal distribution of the first component.
+    pub fn marginal1(&self) -> Normal {
+        Normal::new(self.mean1, self.var1)
+    }
+
+    /// Marginal distribution of the second component.
+    pub fn marginal2(&self) -> Normal {
+        Normal::new(self.mean2, self.var2)
+    }
+
+    /// Conditional distribution of the first component given `x₂ = x`.
+    ///
+    /// `N(μ₁ + ρ σ₁/σ₂ (x − μ₂), (1 − ρ²) σ₁²)` — the formula quoted verbatim
+    /// in §5.2 case (b).
+    pub fn conditional1_given2(&self, x: f64) -> Normal {
+        let s1 = self.var1.sqrt();
+        let s2 = self.var2.sqrt();
+        let mean = self.mean1 + self.rho * s1 / s2 * (x - self.mean2);
+        let var = (1.0 - self.rho * self.rho) * self.var1;
+        Normal::new(mean, var)
+    }
+
+    /// Conditional distribution of the second component given `x₁ = x`.
+    pub fn conditional2_given1(&self, x: f64) -> Normal {
+        let s1 = self.var1.sqrt();
+        let s2 = self.var2.sqrt();
+        let mean = self.mean2 + self.rho * s2 / s1 * (x - self.mean1);
+        let var = (1.0 - self.rho * self.rho) * self.var2;
+        Normal::new(mean, var)
+    }
+
+    /// Joint density at `(x₁, x₂)`.
+    pub fn pdf(&self, x1: f64, x2: f64) -> f64 {
+        let (s1, s2) = (self.var1.sqrt(), self.var2.sqrt());
+        let z1 = (x1 - self.mean1) / s1;
+        let z2 = (x2 - self.mean2) / s2;
+        let r = self.rho;
+        let det = 1.0 - r * r;
+        let q = (z1 * z1 - 2.0 * r * z1 * z2 + z2 * z2) / det;
+        (-0.5 * q).exp() / (2.0 * std::f64::consts::PI * s1 * s2 * det.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::sample_std_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn correlated_pairs(rho: f64, n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let z1 = sample_std_normal(&mut rng);
+                let z2 = sample_std_normal(&mut rng);
+                let x = 1.0 + 2.0 * z1;
+                let y = -0.5 + 0.8 * (rho * z1 + (1.0 - rho * rho).sqrt() * z2);
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mle_recovers_correlation() {
+        let pairs = correlated_pairs(0.7, 60_000, 5);
+        let fit = BivariateNormal::mle(&pairs);
+        assert!((fit.rho - 0.7).abs() < 0.02, "rho = {}", fit.rho);
+        assert!((fit.mean1 - 1.0).abs() < 0.05);
+        assert!((fit.mean2 + 0.5).abs() < 0.02);
+        assert!((fit.var1 - 4.0).abs() < 0.1);
+        assert!((fit.var2 - 0.64).abs() < 0.02);
+    }
+
+    #[test]
+    fn conditional_formula_paper_example() {
+        // §6.4.3: "if the error of StartTarget is 0, EndTarget error is
+        // N(0.28, 0.76); if it is 6, N(3.75, 0.76)" — verify our conditional
+        // produces a shifted mean with unchanged variance, as in that example.
+        let b = BivariateNormal::new(0.5, 0.3, 2.0, 1.5, 0.6);
+        let c0 = b.conditional1_given2(0.0);
+        let c6 = b.conditional1_given2(6.0);
+        assert!((c0.var - c6.var).abs() < 1e-12, "variance must not depend on x");
+        assert!(c6.mean > c0.mean, "positive rho shifts the mean up");
+        let expected_var = (1.0 - 0.36) * 2.0;
+        assert!((c0.var - expected_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_reduces_to_marginal_when_independent() {
+        let b = BivariateNormal::new(1.0, 2.0, 3.0, 4.0, 0.0);
+        let c = b.conditional1_given2(100.0);
+        let m = b.marginal1();
+        assert!((c.mean - m.mean).abs() < 1e-12);
+        assert!((c.var - m.var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_variance_shrinks_with_correlation() {
+        let weak = BivariateNormal::new(0.0, 0.0, 1.0, 1.0, 0.2);
+        let strong = BivariateNormal::new(0.0, 0.0, 1.0, 1.0, 0.9);
+        assert!(
+            strong.conditional1_given2(1.0).var < weak.conditional1_given2(1.0).var
+        );
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let b = BivariateNormal::new(0.0, 0.0, 1.0, 2.0, 0.5);
+        let steps = 200;
+        let (lo, hi) = (-8.0, 8.0);
+        let h = (hi - lo) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..steps {
+            for j in 0..steps {
+                let x = lo + (i as f64 + 0.5) * h;
+                let y = lo + (j as f64 + 0.5) * h;
+                integral += b.pdf(x, y) * h * h;
+            }
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn degenerate_fit_is_independent() {
+        let fit = BivariateNormal::mle(&[(1.0, 2.0)]);
+        assert_eq!(fit.rho, 0.0);
+        let empty = BivariateNormal::mle(&[]);
+        assert_eq!(empty.rho, 0.0);
+        // Constant column → rho must be 0, not NaN.
+        let constant = BivariateNormal::mle(&[(1.0, 5.0), (1.0, 6.0), (1.0, 7.0)]);
+        assert_eq!(constant.rho, 0.0);
+    }
+
+    #[test]
+    fn rho_is_capped() {
+        let b = BivariateNormal::new(0.0, 0.0, 1.0, 1.0, 1.0);
+        assert!(b.rho < 1.0);
+        assert!(b.conditional1_given2(0.0).var > 0.0);
+    }
+}

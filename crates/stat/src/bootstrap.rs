@@ -1,0 +1,183 @@
+//! Bootstrap resampling: percentile confidence intervals and the paired
+//! bootstrap test used to compare truth-inference methods cell-by-cell.
+//!
+//! Table 7 of the paper compares eleven methods on three datasets with a
+//! single number each; whether a 0.2-point gap is *meaningful* depends on
+//! the per-cell variance. The paired bootstrap answers that without any
+//! normality assumption: resample cells with replacement, recompute the mean
+//! loss difference between two methods on each resample, and read the
+//! significance off the resulting distribution. Deterministic for a given
+//! seed, like everything else in this workspace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a paired bootstrap comparison of two per-item loss vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedBootstrap {
+    /// Observed mean difference `mean(a) − mean(b)` (negative = `a` better
+    /// when losses are "lower is better").
+    pub mean_diff: f64,
+    /// Percentile confidence interval of the mean difference.
+    pub ci: (f64, f64),
+    /// Two-sided bootstrap p-value for `mean_diff = 0` (fraction of
+    /// resamples on the other side of zero, doubled and clamped).
+    pub p_value: f64,
+    /// Resamples drawn.
+    pub resamples: usize,
+}
+
+impl PairedBootstrap {
+    /// True when the interval excludes zero at the configured level.
+    pub fn significant(&self) -> bool {
+        self.ci.0 > 0.0 || self.ci.1 < 0.0
+    }
+}
+
+/// Percentile bootstrap confidence interval for `stat` over `data`.
+///
+/// `alpha = 0.05` gives a 95 % interval. Panics if `data` is empty or
+/// `n_resamples == 0`.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    stat: F,
+    n_resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> (f64, f64)
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!data.is_empty(), "bootstrap needs data");
+    assert!(n_resamples > 0, "bootstrap needs resamples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats: Vec<f64> = (0..n_resamples)
+        .map(|_| {
+            let resample: Vec<f64> =
+                (0..data.len()).map(|_| data[rng.gen_range(0..data.len())]).collect();
+            stat(&resample)
+        })
+        .collect();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    let lo = percentile(&stats, alpha / 2.0);
+    let hi = percentile(&stats, 1.0 - alpha / 2.0);
+    (lo, hi)
+}
+
+/// Paired bootstrap comparison of two per-item loss vectors (same items, so
+/// indices are resampled jointly). `alpha` controls the CI level.
+///
+/// Panics when the vectors are empty or of different lengths.
+pub fn paired_bootstrap(
+    a: &[f64],
+    b: &[f64],
+    n_resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> PairedBootstrap {
+    assert_eq!(a.len(), b.len(), "paired bootstrap needs paired losses");
+    assert!(!a.is_empty(), "paired bootstrap needs data");
+    assert!(n_resamples > 0, "bootstrap needs resamples");
+    let n = a.len();
+    let observed =
+        a.iter().sum::<f64>() / n as f64 - b.iter().sum::<f64>() / n as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut diffs: Vec<f64> = (0..n_resamples)
+        .map(|_| {
+            let mut d = 0.0;
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                d += a[i] - b[i];
+            }
+            d / n as f64
+        })
+        .collect();
+    diffs.sort_by(|x, y| x.partial_cmp(y).expect("NaN bootstrap diff"));
+    let ci = (percentile(&diffs, alpha / 2.0), percentile(&diffs, 1.0 - alpha / 2.0));
+    // Two-sided p: how often the resampled diff crosses zero.
+    let frac_le = diffs.iter().filter(|&&d| d <= 0.0).count() as f64 / diffs.len() as f64;
+    let frac_ge = diffs.iter().filter(|&&d| d >= 0.0).count() as f64 / diffs.len() as f64;
+    let p_value = (2.0 * frac_le.min(frac_ge)).min(1.0);
+    PairedBootstrap { mean_diff: observed, ci, p_value, resamples: n_resamples }
+}
+
+/// Linear-interpolated percentile of a sorted slice (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::mean;
+
+    #[test]
+    fn ci_contains_the_population_mean_for_a_clean_sample() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect(); // mean 4.5
+        let (lo, hi) = bootstrap_ci(&data, mean, 500, 0.05, 7);
+        assert!(lo < 4.5 && 4.5 < hi, "CI [{lo}, {hi}] should cover 4.5");
+        assert!(hi - lo < 1.0, "CI [{lo}, {hi}] too wide for n = 200");
+    }
+
+    #[test]
+    fn ci_is_deterministic_per_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&data, mean, 300, 0.05, 3);
+        let b = bootstrap_ci(&data, mean, 300, 0.05, 3);
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&data, mean, 300, 0.05, 4);
+        assert_ne!(a, c, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn clearly_separated_losses_are_significant() {
+        // Method A is wrong on 10 % of cells, method B on 40 %.
+        let a: Vec<f64> = (0..300).map(|i| (i % 10 == 0) as i32 as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| (i % 10 < 4) as i32 as f64).collect();
+        let r = paired_bootstrap(&a, &b, 1_000, 0.05, 11);
+        assert!(r.mean_diff < 0.0, "A should have lower loss");
+        assert!(r.significant(), "CI {:?} should exclude zero", r.ci);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn identical_losses_are_never_significant() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 3 == 0) as i32 as f64).collect();
+        let r = paired_bootstrap(&a, &a, 500, 0.05, 13);
+        assert_eq!(r.mean_diff, 0.0);
+        assert!(!r.significant());
+        assert!((r.p_value - 1.0).abs() < 1e-12, "identical vectors: p = {}", r.p_value);
+    }
+
+    #[test]
+    fn tiny_noise_differences_are_not_significant() {
+        // Same loss pattern shifted by one index: same mean, paired noise.
+        let a: Vec<f64> = (0..200).map(|i| (i % 7 == 0) as i32 as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| ((i + 1) % 7 == 0) as i32 as f64).collect();
+        let r = paired_bootstrap(&a, &b, 1_000, 0.05, 17);
+        assert!(!r.significant(), "equal-mean vectors must not be significant: {:?}", r.ci);
+        assert!(r.p_value > 0.2, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 0.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&sorted, 0.5), 2.0);
+        assert!((percentile(&sorted, 0.125) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn mismatched_lengths_panic() {
+        paired_bootstrap(&[1.0], &[1.0, 2.0], 10, 0.05, 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding) and the
+//! adjusted Rand index.
+//!
+//! Used by the entity-correlation extension (paper §7's future-work
+//! direction): rows are clustered by the error profiles workers exhibit on
+//! them, so that "a worker may be more familiar with celebrities starring in
+//! a certain category of films" becomes a learnable structure. Feature
+//! vectors may contain `NaN` for missing entries (a worker who never answered
+//! a row); distances and centroid updates are computed over the observed
+//! coordinates only, rescaled to the full dimensionality.
+
+use crate::EPS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The output of [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster label per input point, in `0..k`.
+    pub assignment: Vec<usize>,
+    /// Final centroids, `k × dims`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared point-to-centroid distances (missing-aware).
+    pub inertia: f64,
+    /// Lloyd iterations until convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Squared distance over co-observed coordinates, scaled to full
+/// dimensionality; `None` when the pair shares no observed coordinate.
+fn missing_aware_dist2(a: &[f64], b: &[f64]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut seen = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            sum += (x - y) * (x - y);
+            seen += 1;
+        }
+    }
+    if seen == 0 {
+        None
+    } else {
+        Some(sum * a.len() as f64 / seen as f64)
+    }
+}
+
+/// K-means++ seeding: the first centroid is uniform, each next one is drawn
+/// with probability proportional to its squared distance from the chosen set.
+fn seed_centroids(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .filter_map(|c| missing_aware_dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .map(|d| if d.is_finite() { d } else { 1.0 })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= EPS {
+            // All points coincide with a centroid; fall back to uniform.
+            centroids.push(data[rng.gen_range(0..data.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut pick = data.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push(data[pick].clone());
+    }
+    centroids
+}
+
+/// Run k-means over `data` (points may contain `NaN` for missing features).
+///
+/// Deterministic for a given `seed`. Empty clusters are re-seeded with the
+/// point farthest from its centroid. Panics if `data` is empty, `k == 0`, or
+/// the points have inconsistent dimensionality.
+pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> KMeansResult {
+    assert!(!data.is_empty(), "kmeans needs at least one point");
+    assert!(k >= 1, "kmeans needs k >= 1");
+    let dims = data[0].len();
+    assert!(
+        data.iter().all(|p| p.len() == dims),
+        "inconsistent dimensionality"
+    );
+    let k = k.min(data.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = seed_centroids(data, k, &mut rng);
+    let mut assignment = vec![0usize; data.len()];
+    let mut iterations = 0;
+
+    for iter in 0..max_iter.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = (0..k)
+                .map(|c| (c, missing_aware_dist2(p, &centroids[c]).unwrap_or(f64::INFINITY)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance"))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step: per-coordinate mean over observed values.
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![vec![0usize; dims]; k];
+        let mut members = vec![0usize; k];
+        for (p, &c) in data.iter().zip(&assignment) {
+            members[c] += 1;
+            for (d, &x) in p.iter().enumerate() {
+                if x.is_finite() {
+                    sums[c][d] += x;
+                    counts[c][d] += 1;
+                }
+            }
+        }
+        for c in 0..k {
+            if members[c] == 0 {
+                // Re-seed the empty cluster with the worst-fit point.
+                let far = data
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        let di = missing_aware_dist2(p, &centroids[assignment[*i]]).unwrap_or(0.0);
+                        let dj = missing_aware_dist2(q, &centroids[assignment[*j]]).unwrap_or(0.0);
+                        di.partial_cmp(&dj).expect("NaN distance")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty data");
+                centroids[c] = data[far].clone();
+                continue;
+            }
+            for d in 0..dims {
+                if counts[c][d] > 0 {
+                    centroids[c][d] = sums[c][d] / counts[c][d] as f64;
+                }
+                // A coordinate never observed in this cluster keeps its
+                // previous value, so distances remain well-defined.
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = data
+        .iter()
+        .zip(&assignment)
+        .filter_map(|(p, &c)| missing_aware_dist2(p, &centroids[c]))
+        .sum();
+    KMeansResult { assignment, centroids, inertia, iterations }
+}
+
+/// Adjusted Rand index between two labelings of the same points.
+///
+/// 1.0 for identical partitions (up to label permutation), ≈0 for independent
+/// ones; can be negative for worse-than-chance agreement.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let kb = b.iter().max().map(|&m| m + 1).unwrap_or(0);
+    let mut table = vec![vec![0usize; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_ij: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
+    let sum_a: f64 = table.iter().map(|row| choose2(row.iter().sum())).sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum()))
+        .sum();
+    let total = choose2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() <= EPS {
+        return 1.0; // degenerate: single cluster on both sides
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: &[f64], n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + spread * (rng.gen::<f64>() - 0.5))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let mut data = blob(&[0.0, 0.0], 30, 0.5, 1);
+        data.extend(blob(&[10.0, 10.0], 30, 0.5, 2));
+        let truth: Vec<usize> = (0..60).map(|i| i / 30).collect();
+        let r = kmeans(&data, 2, 7, 100);
+        assert!(adjusted_rand_index(&r.assignment, &truth) > 0.99);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut data = blob(&[0.0, 0.0, 0.0], 20, 1.0, 3);
+        data.extend(blob(&[5.0, 5.0, 5.0], 20, 1.0, 4));
+        let a = kmeans(&data, 2, 11, 100);
+        let b = kmeans(&data, 2, 11, 100);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn handles_missing_features() {
+        // Two blobs in dim 0; dim 1 is missing for half the points.
+        let mut data: Vec<Vec<f64>> = Vec::new();
+        for i in 0..40 {
+            let x = if i < 20 { 0.0 } else { 10.0 };
+            let y = if i % 2 == 0 { f64::NAN } else { x };
+            data.push(vec![x + (i % 5) as f64 * 0.01, y]);
+        }
+        let truth: Vec<usize> = (0..40).map(|i| i / 20).collect();
+        let r = kmeans(&data, 2, 5, 100);
+        assert!(adjusted_rand_index(&r.assignment, &truth) > 0.99);
+        // Centroids must be finite in the observed coordinate.
+        for c in &r.centroids {
+            assert!(c[0].is_finite());
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&data, 10, 1, 50);
+        assert!(r.assignment.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut data = blob(&[0.0, 0.0], 25, 2.0, 8);
+        data.extend(blob(&[6.0, 0.0], 25, 2.0, 9));
+        data.extend(blob(&[3.0, 6.0], 25, 2.0, 10));
+        let r1 = kmeans(&data, 1, 3, 100);
+        let r3 = kmeans(&data, 3, 3, 100);
+        assert!(r3.inertia < r1.inertia);
+    }
+
+    #[test]
+    fn ari_identical_and_permuted() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1]; // same partition, relabelled
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_single_cluster_degenerate() {
+        let a = vec![0; 10];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn ari_independent_labelings_near_zero() {
+        // Checkerboard: every pair split evenly — ARI exactly computable.
+        let a: Vec<usize> = (0..40).map(|i| i / 20).collect();
+        let b: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.1, "ARI = {ari}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn ari_length_mismatch_panics() {
+        adjusted_rand_index(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn single_point() {
+        let r = kmeans(&[vec![3.0]], 1, 0, 10);
+        assert_eq!(r.assignment, vec![0]);
+        assert!((r.centroids[0][0] - 3.0).abs() < 1e-12);
+        assert!(r.inertia < 1e-12);
+    }
+}

@@ -1,0 +1,441 @@
+//! Special functions: the Gauss error function family and derived quantiles.
+//!
+//! T-Crowd's unified worker quality (paper Eq. 2) is
+//! `q_u = erf(ε / √(2 φ_u))`, i.e. the probability mass of a zero-mean
+//! Gaussian with variance `φ_u` inside `[-ε, ε]`. Both the E-step and the
+//! M-step gradient therefore need `erf` and its derivative; the CATD baseline
+//! needs a χ² quantile; the simulator and the noise experiments need the
+//! normal quantile.
+
+use std::f64::consts::{FRAC_2_SQRT_PI, SQRT_2};
+
+/// The Gauss error function `erf(x) = 2/√π ∫₀ˣ e^{-t²} dt`.
+///
+/// Uses the rational Chebyshev approximation of W. J. Cody (via the classic
+/// `erfc` kernel popularised by Numerical Recipes), followed by one Newton
+/// refinement step; absolute error is below `1e-12` across the real line.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Accurate in the tails (relative error bounded) which matters when a
+/// worker's quality saturates near 1 — the categorical gradient divides by
+/// `1 - q` and must not hit an exact zero prematurely.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    if z <= 3.0 {
+        // Bulk: the Maclaurin series for erf converges to full double
+        // precision in < 40 terms for |x| ≤ 3.
+        return 1.0 - erf_series(x);
+    }
+    // Tails: Numerical Recipes' Chebyshev fit to erfc. Its *fractional* error
+    // is < 1.2e-7, and for |x| > 3 the value itself is < 2.3e-5, so the
+    // absolute error is < 3e-12 — consistent with the series branch.
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Maclaurin series for `erf`, accurate to double precision for `|x| <= 3`.
+fn erf_series(x: f64) -> f64 {
+    // erf(x) = 2/√π Σ_{n≥0} (-1)^n x^{2n+1} / (n! (2n+1))
+    // For |x| <= 3 fewer than 40 terms reach double precision.
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 1u32;
+    loop {
+        term *= -x2 / n as f64;
+        let contrib = term / (2 * n + 1) as f64;
+        sum += contrib;
+        if contrib.abs() < 1e-18 * sum.abs().max(1e-300) || n > 200 {
+            break;
+        }
+        n += 1;
+    }
+    FRAC_2_SQRT_PI * sum
+}
+
+/// Derivative of `erf`: `erf'(x) = 2/√π · e^{-x²}`.
+///
+/// Needed by the categorical M-step gradient (chain rule through
+/// `q = erf(ε/√(2αβφ))`).
+#[inline]
+pub fn erf_derivative(x: f64) -> f64 {
+    FRAC_2_SQRT_PI * (-x * x).exp()
+}
+
+/// Inverse error function, `erf_inv(erf(x)) = x`.
+///
+/// Initialised with the Giles (2010) single-precision polynomial and refined
+/// with two Newton steps against [`erf`], giving ~1e-14 accuracy on
+/// `(-1, 1)`. Returns `±∞` at `±1` and NaN outside `[-1, 1]`.
+pub fn erf_inv(y: f64) -> f64 {
+    if y.is_nan() || !(-1.0..=1.0).contains(&y) {
+        return f64::NAN;
+    }
+    if y == 1.0 {
+        return f64::INFINITY;
+    }
+    if y == -1.0 {
+        return f64::NEG_INFINITY;
+    }
+    if y == 0.0 {
+        return 0.0;
+    }
+    // Giles' polynomial initial guess.
+    let w = -((1.0 - y) * (1.0 + y)).ln();
+    let mut x = if w < 5.0 {
+        let w = w - 2.5;
+        let mut p = 2.81022636e-08;
+        p = 3.43273939e-07 + p * w;
+        p = -3.5233877e-06 + p * w;
+        p = -4.39150654e-06 + p * w;
+        p = 0.00021858087 + p * w;
+        p = -0.00125372503 + p * w;
+        p = -0.00417768164 + p * w;
+        p = 0.246640727 + p * w;
+        p = 1.50140941 + p * w;
+        p * y
+    } else {
+        let w = w.sqrt() - 3.0;
+        let mut p = -0.000200214257;
+        p = 0.000100950558 + p * w;
+        p = 0.00134934322 + p * w;
+        p = -0.00367342844 + p * w;
+        p = 0.00573950773 + p * w;
+        p = -0.0076224613 + p * w;
+        p = 0.00943887047 + p * w;
+        p = 1.00167406 + p * w;
+        p = 2.83297682 + p * w;
+        p * y
+    };
+    // Newton refinement: solve erf(x) - y = 0.
+    for _ in 0..2 {
+        let err = erf(x) - y;
+        x -= err / erf_derivative(x);
+    }
+    x
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+#[inline]
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Standard normal probability density function `φ(x)`.
+#[inline]
+pub fn std_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal quantile function `Φ⁻¹(p)`.
+///
+/// `p` outside `(0, 1)` maps to `±∞`/NaN consistently with the CDF limits.
+#[inline]
+pub fn std_normal_quantile(p: f64) -> f64 {
+    SQRT_2 * erf_inv(2.0 * p - 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+///
+/// Accurate to ~1e-13 for positive arguments, which is all the χ² machinery
+/// below needs.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, Lentz continued fraction otherwise
+/// (the standard `gammp` split).
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x), then P = 1 - Q.
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// χ² cumulative distribution function with `k` degrees of freedom.
+#[inline]
+pub fn chi_square_cdf(x: f64, k: f64) -> f64 {
+    assert!(k > 0.0, "degrees of freedom must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    reg_lower_gamma(0.5 * k, 0.5 * x)
+}
+
+/// Quantile of the χ² distribution with `k` degrees of freedom.
+///
+/// `chi_square_quantile(p, k)` returns `x` with `P(X ≤ x) = p`. The CATD
+/// baseline weighs sources by `χ²(α/2, n)` over their squared error sum.
+/// Initialised with the Wilson–Hilferty cube approximation and polished with
+/// Newton steps against the exact CDF, giving ~1e-10 relative accuracy.
+pub fn chi_square_quantile(p: f64, k: f64) -> f64 {
+    assert!(k > 0.0, "degrees of freedom must be positive");
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    if p == 0.0 {
+        return 0.0;
+    }
+    // Wilson–Hilferty starting point.
+    let z = std_normal_quantile(p);
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    let mut x = (k * t * t * t).max(1e-8);
+    // Newton refinement on F(x) = p with the χ² pdf as derivative.
+    for _ in 0..50 {
+        let f = chi_square_cdf(x, k) - p;
+        let pdf = ((0.5 * k - 1.0) * x.ln() - 0.5 * x
+            - 0.5 * k * std::f64::consts::LN_2
+            - ln_gamma(0.5 * k))
+            .exp();
+        if pdf <= 0.0 || !pdf.is_finite() {
+            break;
+        }
+        let step = f / pdf;
+        let next = x - step;
+        x = if next > 0.0 { next } else { x * 0.5 };
+        if (step / x).abs() < 1e-12 {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from Abramowitz & Stegun Table 7.1 / mpmath.
+    const ERF_TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.1124629160182849),
+        (0.5, 0.5204998778130465),
+        (1.0, 0.8427007929497149),
+        (1.5, 0.9661051464753107),
+        (2.0, 0.9953222650189527),
+        (3.0, 0.9999779095030014),
+        (4.0, 0.9999999845827421),
+    ];
+
+    #[test]
+    fn erf_matches_reference_table() {
+        for &(x, want) in ERF_TABLE {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "erf({x}) = {got}, want {want}"
+            );
+            // Odd symmetry.
+            assert!((erf(-x) + want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for x in [-6.0, -2.5, -0.3, 0.0, 0.7, 1.9, 5.5] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_is_positive_and_decreasing() {
+        let mut prev = erfc(3.0);
+        for i in 1..40 {
+            let x = 3.0 + i as f64 * 0.5;
+            let v = erfc(x);
+            assert!(v > 0.0, "erfc({x}) must stay positive");
+            assert!(v < prev, "erfc must decrease, x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn erf_inv_roundtrip() {
+        for i in -99..=99 {
+            let y = i as f64 / 100.0;
+            let x = erf_inv(y);
+            assert!((erf(x) - y).abs() < 1e-12, "roundtrip failed at y={y}");
+        }
+    }
+
+    #[test]
+    fn erf_inv_extremes() {
+        assert!(erf_inv(1.0).is_infinite() && erf_inv(1.0) > 0.0);
+        assert!(erf_inv(-1.0).is_infinite() && erf_inv(-1.0) < 0.0);
+        assert!(erf_inv(1.5).is_nan());
+        assert_eq!(erf_inv(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((std_normal_cdf(1.959963984540054) - 0.975).abs() < 1e-10);
+        assert!((std_normal_cdf(-1.959963984540054) - 0.025).abs() < 1e-10);
+        assert!((std_normal_cdf(1.0) - 0.8413447460685429).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for p in [0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999] {
+            let x = std_normal_quantile(p);
+            assert!((std_normal_cdf(x) - p).abs() < 1e-10, "p={p}");
+        }
+    }
+
+    #[test]
+    fn erf_derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for x in [-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let num = (erf(x + h) - erf(x - h)) / (2.0 * h);
+            assert!((num - erf_derivative(x)).abs() < 1e-8, "x={x}");
+        }
+    }
+
+    #[test]
+    fn chi_square_quantile_reference() {
+        // Reference: scipy.stats.chi2.ppf
+        let cases = [
+            (0.95, 1.0, 3.841458820694124),
+            (0.95, 10.0, 18.307038053275146),
+            (0.05, 10.0, 3.9402991361190605),
+            (0.5, 4.0, 3.356694),
+        ];
+        for (p, k, want) in cases {
+            let got = chi_square_quantile(p, k);
+            let rel = (got - want).abs() / want;
+            assert!(rel < 1e-6, "chi2({p},{k}) = {got}, want ≈ {want}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(1)=Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn chi_square_cdf_quantile_roundtrip() {
+        for k in [1.0, 2.0, 5.0, 30.0] {
+            for p in [0.01, 0.3, 0.5, 0.9, 0.99] {
+                let x = chi_square_quantile(p, k);
+                assert!(
+                    (chi_square_cdf(x, k) - p).abs() < 1e-9,
+                    "roundtrip p={p} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reg_lower_gamma_known_values() {
+        // P(1, x) = 1 - e^{-x}
+        for x in [0.1, 1.0, 3.0] {
+            assert!((reg_lower_gamma(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+        assert_eq!(reg_lower_gamma(2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn chi_square_quantile_monotone_in_p() {
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let p = i as f64 / 20.0;
+            let q = chi_square_quantile(p, 5.0);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn chi_square_rejects_zero_dof() {
+        chi_square_quantile(0.5, 0.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Plain-text persistence for schemas, answer sets, truth tables and
+//! estimates.
+//!
+//! A downstream user of T-Crowd has answers sitting in files, not in Rust
+//! structs; this module defines a minimal tab-separated interchange format
+//! (readable by any spreadsheet) and the parsers/writers for it. The CLI
+//! crate builds directly on these.
+//!
+//! ## Formats
+//!
+//! **Schema** (`.schema.tsv`): directive lines.
+//! ```text
+//! #table  Celebrity
+//! #key    Picture
+//! #column Name         categorical  Gwyneth Paltrow|Jet Li|James Purefoy
+//! #column Age          continuous   0  100
+//! ```
+//!
+//! **Answers** (`.answers.tsv`): header then one answer per line. Categorical
+//! values are written as label *names*; continuous as numbers.
+//! ```text
+//! worker  row  column  value
+//! u12     0    Name    Jet Li
+//! u12     0    Age     45
+//! ```
+//!
+//! **Tables** (truth/estimates): header of column names, then one line per
+//! row in row order.
+
+use crate::answer::{Answer, AnswerLog, CellId, WorkerId};
+use crate::schema::{Column, ColumnType, Schema};
+use crate::value::Value;
+use std::fmt;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed content, with a line number (1-based) and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Write a schema in the directive format.
+pub fn write_schema(schema: &Schema, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut out = BufWriter::new(fs::File::create(path)?);
+    writeln!(out, "#table\t{}", schema.name)?;
+    writeln!(out, "#key\t{}", schema.key)?;
+    for c in &schema.columns {
+        match &c.ty {
+            ColumnType::Categorical { labels } => {
+                writeln!(out, "#column\t{}\tcategorical\t{}", c.name, labels.join("|"))?;
+            }
+            ColumnType::Continuous { min, max } => {
+                writeln!(out, "#column\t{}\tcontinuous\t{min}\t{max}", c.name)?;
+            }
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a schema written by [`write_schema`].
+pub fn read_schema(path: impl AsRef<Path>) -> Result<Schema, IoError> {
+    let content = fs::read_to_string(path)?;
+    let mut name = String::from("table");
+    let mut key = String::from("key");
+    let mut columns = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "#table" => {
+                name = fields
+                    .get(1)
+                    .ok_or_else(|| parse_err(lineno, "#table needs a name"))?
+                    .to_string();
+            }
+            "#key" => {
+                key = fields
+                    .get(1)
+                    .ok_or_else(|| parse_err(lineno, "#key needs a name"))?
+                    .to_string();
+            }
+            "#column" => {
+                let cname = fields
+                    .get(1)
+                    .ok_or_else(|| parse_err(lineno, "#column needs a name"))?;
+                let kind = fields
+                    .get(2)
+                    .ok_or_else(|| parse_err(lineno, "#column needs a kind"))?;
+                match *kind {
+                    "categorical" => {
+                        let labels: Vec<String> = fields
+                            .get(3)
+                            .ok_or_else(|| parse_err(lineno, "categorical column needs labels"))?
+                            .split('|')
+                            .map(|s| s.to_string())
+                            .collect();
+                        if labels.is_empty() || labels.iter().any(|l| l.is_empty()) {
+                            return Err(parse_err(lineno, "empty label in label set"));
+                        }
+                        columns.push(Column::new(*cname, ColumnType::Categorical { labels }));
+                    }
+                    "continuous" => {
+                        let min: f64 = fields
+                            .get(3)
+                            .ok_or_else(|| parse_err(lineno, "continuous column needs min"))?
+                            .parse()
+                            .map_err(|e| parse_err(lineno, format!("bad min: {e}")))?;
+                        let max: f64 = fields
+                            .get(4)
+                            .ok_or_else(|| parse_err(lineno, "continuous column needs max"))?
+                            .parse()
+                            .map_err(|e| parse_err(lineno, format!("bad max: {e}")))?;
+                        if min >= max || min.is_nan() || max.is_nan() {
+                            return Err(parse_err(lineno, "continuous domain needs min < max"));
+                        }
+                        columns.push(Column::new(*cname, ColumnType::Continuous { min, max }));
+                    }
+                    other => {
+                        return Err(parse_err(lineno, format!("unknown column kind '{other}'")))
+                    }
+                }
+            }
+            other => return Err(parse_err(lineno, format!("unknown directive '{other}'"))),
+        }
+    }
+    if columns.is_empty() {
+        return Err(parse_err(content.lines().count(), "schema has no columns"));
+    }
+    Ok(Schema::new(name, key, columns))
+}
+
+fn column_index(schema: &Schema, name: &str, lineno: usize) -> Result<usize, IoError> {
+    schema
+        .columns
+        .iter()
+        .position(|c| c.name == name)
+        .ok_or_else(|| parse_err(lineno, format!("unknown column '{name}'")))
+}
+
+fn render_value(schema: &Schema, col: usize, v: &Value) -> String {
+    match (schema.column_type(col), v) {
+        (ColumnType::Categorical { labels }, Value::Categorical(l)) => {
+            labels[*l as usize].clone()
+        }
+        (_, Value::Continuous(x)) => format!("{x}"),
+        _ => unreachable!("value/column type mismatch"),
+    }
+}
+
+fn parse_value(schema: &Schema, col: usize, text: &str, lineno: usize) -> Result<Value, IoError> {
+    match schema.column_type(col) {
+        ColumnType::Categorical { labels } => labels
+            .iter()
+            .position(|l| l == text)
+            .map(|i| Value::Categorical(i as u32))
+            .ok_or_else(|| {
+                parse_err(lineno, format!("'{text}' is not a label of this column"))
+            }),
+        ColumnType::Continuous { .. } => text
+            .parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Value::Continuous)
+            .ok_or_else(|| parse_err(lineno, format!("'{text}' is not a finite number"))),
+    }
+}
+
+/// Write an answer log (requires the schema for label names).
+pub fn write_answers(
+    schema: &Schema,
+    answers: &AnswerLog,
+    path: impl AsRef<Path>,
+) -> Result<(), IoError> {
+    let mut out = BufWriter::new(fs::File::create(path)?);
+    writeln!(out, "worker\trow\tcolumn\tvalue")?;
+    for a in answers.all() {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            a.worker.0,
+            a.cell.row,
+            schema.columns[a.cell.col as usize].name,
+            render_value(schema, a.cell.col as usize, &a.value)
+        )?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read an answer log; `rows` fixes the table height (rows without answers
+/// are legal). Returns an error on unknown columns, bad labels, or row
+/// indices outside the table.
+pub fn read_answers(
+    schema: &Schema,
+    rows: usize,
+    path: impl AsRef<Path>,
+) -> Result<AnswerLog, IoError> {
+    let content = fs::read_to_string(path)?;
+    let mut log = AnswerLog::new(rows, schema.num_columns());
+    for (idx, raw) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        if idx == 0 || raw.trim().is_empty() {
+            continue; // header
+        }
+        let fields: Vec<&str> = raw.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(parse_err(lineno, format!("expected 4 fields, got {}", fields.len())));
+        }
+        let worker: u32 = fields[0]
+            .trim_start_matches('u')
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad worker id: {e}")))?;
+        let row: u32 = fields[1]
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
+        if row as usize >= rows {
+            return Err(parse_err(lineno, format!("row {row} outside table of {rows} rows")));
+        }
+        let col = column_index(schema, fields[2], lineno)?;
+        let value = parse_value(schema, col, fields[3], lineno)?;
+        log.push(Answer {
+            worker: WorkerId(worker),
+            cell: CellId::new(row, col as u32),
+            value,
+        });
+    }
+    Ok(log)
+}
+
+/// Write a full table (truth or estimates) with a column-name header.
+pub fn write_table(
+    schema: &Schema,
+    table: &[Vec<Value>],
+    path: impl AsRef<Path>,
+) -> Result<(), IoError> {
+    let mut out = BufWriter::new(fs::File::create(path)?);
+    let header: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+    writeln!(out, "{}\t{}", schema.key, header.join("\t"))?;
+    for (i, row) in table.iter().enumerate() {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| render_value(schema, j, v))
+            .collect();
+        writeln!(out, "{i}\t{}", cells.join("\t"))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a full table written by [`write_table`].
+pub fn read_table(schema: &Schema, path: impl AsRef<Path>) -> Result<Vec<Vec<Value>>, IoError> {
+    let content = fs::read_to_string(path)?;
+    let mut rows = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        if idx == 0 || raw.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split('\t').collect();
+        if fields.len() != schema.num_columns() + 1 {
+            return Err(parse_err(
+                lineno,
+                format!("expected {} fields, got {}", schema.num_columns() + 1, fields.len()),
+            ));
+        }
+        let mut row = Vec::with_capacity(schema.num_columns());
+        for (j, text) in fields[1..].iter().enumerate() {
+            row.push(parse_value(schema, j, text, lineno)?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_dataset, GeneratorConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tcrowd_io_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{name}", std::process::id()))
+    }
+
+    fn sample() -> crate::dataset::Dataset {
+        generate_dataset(
+            &GeneratorConfig {
+                rows: 8,
+                columns: 4,
+                num_workers: 6,
+                answers_per_task: 2,
+                ..Default::default()
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let d = sample();
+        let p = tmp("schema.tsv");
+        write_schema(&d.schema, &p).unwrap();
+        let back = read_schema(&p).unwrap();
+        assert_eq!(back, d.schema);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn answers_roundtrip() {
+        let d = sample();
+        let p = tmp("answers.tsv");
+        write_answers(&d.schema, &d.answers, &p).unwrap();
+        let back = read_answers(&d.schema, d.rows(), &p).unwrap();
+        assert_eq!(back.all(), d.answers.all());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let d = sample();
+        let p = tmp("truth.tsv");
+        write_table(&d.schema, &d.truth, &p).unwrap();
+        let back = read_table(&d.schema, &p).unwrap();
+        assert_eq!(back.len(), d.truth.len());
+        for (a, b) in back.iter().flatten().zip(d.truth.iter().flatten()) {
+            match (a, b) {
+                (Value::Categorical(x), Value::Categorical(y)) => assert_eq!(x, y),
+                (Value::Continuous(x), Value::Continuous(y)) => {
+                    assert!((x - y).abs() < 1e-9)
+                }
+                _ => panic!("variant mismatch"),
+            }
+        }
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn read_schema_rejects_garbage() {
+        let p = tmp("bad.schema.tsv");
+        fs::write(&p, "#column\tx\tcategorical\t\n").unwrap();
+        assert!(read_schema(&p).is_err());
+        fs::write(&p, "#column\tx\tcontinuous\t5\t1\n").unwrap();
+        let err = read_schema(&p).unwrap_err();
+        assert!(err.to_string().contains("min < max"), "{err}");
+        fs::write(&p, "#banana\n").unwrap();
+        assert!(read_schema(&p).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn read_answers_rejects_bad_rows_and_labels() {
+        let d = sample();
+        let p = tmp("bad.answers.tsv");
+        fs::write(&p, "worker\trow\tcolumn\tvalue\n0\t99\tcat0\tL0\n").unwrap();
+        let err = read_answers(&d.schema, d.rows(), &p).unwrap_err();
+        assert!(err.to_string().contains("outside table"), "{err}");
+        fs::write(&p, "worker\trow\tcolumn\tvalue\n0\t0\tcat0\tnot_a_label\n").unwrap();
+        assert!(read_answers(&d.schema, d.rows(), &p).is_err());
+        fs::write(&p, "worker\trow\tcolumn\tvalue\n0\t0\tnope\tL0\n").unwrap();
+        assert!(read_answers(&d.schema, d.rows(), &p).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_answer_file_is_just_empty() {
+        let d = sample();
+        let p = tmp("empty.answers.tsv");
+        fs::write(&p, "worker\trow\tcolumn\tvalue\n").unwrap();
+        let log = read_answers(&d.schema, d.rows(), &p).unwrap();
+        assert!(log.is_empty());
+        fs::remove_file(&p).ok();
+    }
+}

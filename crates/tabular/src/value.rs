@@ -1,0 +1,105 @@
+//! Cell values: categorical labels or continuous numbers.
+
+use std::fmt;
+
+/// A single cell value — either a categorical label (stored as an index into
+/// the column's label set `L_j`) or a continuous number.
+///
+/// The paper treats the two datatypes through one worker-quality model but
+/// with different answer distributions (Eq. 1 vs Eq. 3); keeping the variant
+/// explicit lets every consumer dispatch on the datatype without consulting
+/// the schema twice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A categorical label, as an index into the column's label set.
+    Categorical(u32),
+    /// A continuous (real-valued) answer.
+    Continuous(f64),
+}
+
+impl Value {
+    /// The categorical label index, or `None` for continuous values.
+    #[inline]
+    pub fn as_categorical(&self) -> Option<u32> {
+        match self {
+            Value::Categorical(l) => Some(*l),
+            Value::Continuous(_) => None,
+        }
+    }
+
+    /// The continuous value, or `None` for categorical values.
+    #[inline]
+    pub fn as_continuous(&self) -> Option<f64> {
+        match self {
+            Value::Continuous(x) => Some(*x),
+            Value::Categorical(_) => None,
+        }
+    }
+
+    /// The categorical label index; panics on a continuous value.
+    ///
+    /// Use at sites where the schema guarantees the datatype (most model
+    /// code), keeping the invariant violation loud instead of silent.
+    #[inline]
+    pub fn expect_categorical(&self) -> u32 {
+        self.as_categorical()
+            .expect("schema/value datatype mismatch: expected categorical")
+    }
+
+    /// The continuous value; panics on a categorical value.
+    #[inline]
+    pub fn expect_continuous(&self) -> f64 {
+        self.as_continuous()
+            .expect("schema/value datatype mismatch: expected continuous")
+    }
+
+    /// True if this is a categorical value.
+    #[inline]
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, Value::Categorical(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Categorical(l) => write!(f, "L{l}"),
+            Value::Continuous(x) => write!(f, "{x:.4}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Value::Categorical(3);
+        let x = Value::Continuous(1.5);
+        assert_eq!(c.as_categorical(), Some(3));
+        assert_eq!(c.as_continuous(), None);
+        assert_eq!(x.as_continuous(), Some(1.5));
+        assert_eq!(x.as_categorical(), None);
+        assert!(c.is_categorical());
+        assert!(!x.is_categorical());
+    }
+
+    #[test]
+    #[should_panic(expected = "datatype mismatch")]
+    fn expect_categorical_panics_on_continuous() {
+        Value::Continuous(0.0).expect_categorical();
+    }
+
+    #[test]
+    #[should_panic(expected = "datatype mismatch")]
+    fn expect_continuous_panics_on_categorical() {
+        Value::Categorical(0).expect_continuous();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Categorical(2).to_string(), "L2");
+        assert_eq!(Value::Continuous(1.0).to_string(), "1.0000");
+    }
+}

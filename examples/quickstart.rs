@@ -1,0 +1,78 @@
+//! Quickstart: generate a small mixed-type table, collect simulated answers,
+//! run T-Crowd truth inference, and inspect what the model learned.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tcrowd::prelude::*;
+
+fn main() {
+    // A 30-entity table with 6 attributes (half categorical, half
+    // continuous), answered 4 times per task by a 20-worker crowd whose
+    // quality is long-tailed — the paper's §6.5 setup in miniature.
+    let config = GeneratorConfig {
+        rows: 30,
+        columns: 6,
+        categorical_ratio: 0.5,
+        answers_per_task: 4,
+        num_workers: 20,
+        ..Default::default()
+    };
+    let dataset = generate_dataset(&config, 42);
+    println!("dataset: {:#?}", dataset.statistics());
+
+    // Run unified truth inference (paper §4).
+    let model = TCrowd::default_full();
+    let result = model.infer(&dataset.schema, &dataset.answers);
+    println!(
+        "\nEM converged = {} after {} iterations (ε = {:.3})",
+        result.converged, result.iterations, result.epsilon
+    );
+
+    // How close are the estimates to the ground truth?
+    let report = evaluate(&dataset.schema, &dataset.truth, &result.estimates());
+    println!(
+        "error rate = {:.4}, MNAD = {:.4}",
+        report.error_rate.unwrap(),
+        report.mnad.unwrap()
+    );
+
+    // Worker quality: the unified q_u = erf(ε/√(2φ_u)) per worker, compared
+    // to the simulator's ground truth φ.
+    println!("\nworker   fitted φ   unified q   true φ");
+    let mut workers: Vec<_> = result.workers.clone();
+    workers.sort();
+    for w in workers.into_iter().take(8) {
+        println!(
+            "{:>6}   {:>8.3}   {:>9.3}   {:>6.3}",
+            w.to_string(),
+            result.phi_of(w).unwrap(),
+            result.quality_of(w).unwrap(),
+            dataset.worker_truth[&w].phi,
+        );
+    }
+
+    // Row/column difficulties (α_i, β_j) — geometric mean 1 by construction.
+    let hardest_row = (0..result.alpha.len())
+        .max_by(|&a, &b| result.alpha[a].partial_cmp(&result.alpha[b]).unwrap())
+        .unwrap();
+    let hardest_col = (0..result.beta.len())
+        .max_by(|&a, &b| result.beta[a].partial_cmp(&result.beta[b]).unwrap())
+        .unwrap();
+    println!(
+        "\nhardest row: #{hardest_row} (α = {:.2});  hardest column: {} (β = {:.2})",
+        result.alpha[hardest_row],
+        dataset.schema.columns[hardest_col].name,
+        result.beta[hardest_col]
+    );
+
+    // Peek at one cell's full posterior rather than just the point estimate.
+    let cell = CellId::new(0, 0);
+    println!(
+        "\ncell (0,0): truth = {}, estimate = {}, posterior = {:?}",
+        dataset.truth_of(cell),
+        result.estimate(cell),
+        result.truth(cell)
+    );
+}

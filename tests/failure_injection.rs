@@ -1,0 +1,265 @@
+//! Failure-injection integration tests: adversarial crowds, degenerate
+//! domains and missing data must degrade the system gracefully, never panic
+//! it or produce malformed output.
+
+use tcrowd::baselines::{MajorityVoting, TruthMethod};
+use tcrowd::core::TCrowd;
+use tcrowd::prelude::*;
+use tcrowd::tabular::generator::WorkerQualityConfig;
+use tcrowd::tabular::{Answer, Column, ColumnType};
+
+/// A crowd of pure spammers: every worker has enormous variance.
+fn spammer_dataset(seed: u64) -> Dataset {
+    generate_dataset(
+        &GeneratorConfig {
+            rows: 25,
+            columns: 4,
+            categorical_ratio: 0.5,
+            num_workers: 15,
+            answers_per_task: 4,
+            quality: WorkerQualityConfig {
+                median_phi: 400.0,
+                sigma_ln_phi: 0.1,
+                spammer_fraction: 1.0,
+                spammer_factor: 2.0,
+            },
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn spammer_only_crowd_does_not_panic_and_stays_bounded() {
+    let d = spammer_dataset(1);
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let report = evaluate(&d.schema, &d.truth, &r.estimates());
+    // Error rate can be terrible but must be a valid rate; MNAD finite.
+    let er = report.error_rate.unwrap();
+    assert!((0.0..=1.0).contains(&er), "error rate {er} out of range");
+    assert!(report.mnad.unwrap().is_finite());
+    // Every fitted quality must stay a probability.
+    for w in &r.workers {
+        let q = r.quality_of(*w).unwrap();
+        assert!((0.0..=1.0).contains(&q), "quality {q} out of range");
+    }
+}
+
+#[test]
+fn model_separates_good_workers_from_spammers() {
+    // A mixed crowd: the model must fit lower variance (higher quality) to
+    // the good majority than to the spammer tail.
+    let d = generate_dataset(
+        &GeneratorConfig {
+            rows: 40,
+            columns: 5,
+            num_workers: 20,
+            answers_per_task: 5,
+            quality: WorkerQualityConfig {
+                median_phi: 0.3,
+                sigma_ln_phi: 0.3,
+                spammer_fraction: 0.25,
+                spammer_factor: 100.0,
+            },
+            ..Default::default()
+        },
+        3,
+    );
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let mut phis: Vec<f64> = r.workers.iter().filter_map(|w| r.phi_of(*w)).collect();
+    phis.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // A clear gap between the best quartile and the worst quartile.
+    let q1 = phis[phis.len() / 4];
+    let q4 = phis[3 * phis.len() / 4];
+    assert!(
+        q4 / q1 > 3.0,
+        "expected a spread between good ({q1:.3}) and spammer ({q4:.3}) variances"
+    );
+}
+
+#[test]
+fn colluding_wrong_majority_is_a_known_failure_mode() {
+    // Five workers copy the same wrong label on a contested cell while two
+    // honest workers answer correctly elsewhere-consistent labels. Majority
+    // voting must fail; T-Crowd may fail too (no oracle), but both must
+    // produce *valid* labels from the domain.
+    let schema = Schema::new(
+        "t",
+        "k",
+        vec![Column::new("c", ColumnType::categorical_with_cardinality(4))],
+    );
+    let mut log = AnswerLog::new(6, 1);
+    // Rows 0..5: honest consensus so quality is learnable.
+    for i in 0..5u32 {
+        for w in 0..2u32 {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(i, 0),
+                value: Value::Categorical(i % 4),
+            });
+        }
+        for w in 2..7u32 {
+            log.push(Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(i, 0),
+                value: Value::Categorical(i % 4),
+            });
+        }
+    }
+    // Contested row 5: colluders all vote 3, honest workers vote 1.
+    for w in 2..7u32 {
+        log.push(Answer { worker: WorkerId(w), cell: CellId::new(5, 0), value: Value::Categorical(3) });
+    }
+    for w in 0..2u32 {
+        log.push(Answer { worker: WorkerId(w), cell: CellId::new(5, 0), value: Value::Categorical(1) });
+    }
+    let mv = MajorityVoting.estimate(&schema, &log);
+    assert_eq!(mv[5][0], Value::Categorical(3), "MV follows the colluding majority");
+    let tc = TCrowd::default_full().infer(&schema, &log).estimates();
+    match tc[5][0] {
+        Value::Categorical(l) => assert!(l < 4),
+        _ => panic!("type mismatch"),
+    }
+}
+
+#[test]
+fn systematically_biased_continuous_worker_gets_discounted() {
+    // Worker 9 answers exactly truth + large offset everywhere; good workers
+    // answer near the truth. The biased worker must end up with a larger
+    // fitted variance than the median good worker.
+    let mut d = generate_dataset(
+        &GeneratorConfig {
+            rows: 30,
+            columns: 4,
+            categorical_ratio: 0.0,
+            num_workers: 8,
+            answers_per_task: 4,
+            ..Default::default()
+        },
+        5,
+    );
+    let biased = WorkerId(900);
+    for i in 0..30u32 {
+        for j in 0..4u32 {
+            let t = d.truth[i as usize][j as usize].expect_continuous();
+            d.answers.push(Answer {
+                worker: biased,
+                cell: CellId::new(i, j),
+                value: Value::Continuous(t + 400.0),
+            });
+        }
+    }
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let phi_biased = r.phi_of(biased).unwrap();
+    assert!(
+        phi_biased > 4.0 * r.median_phi(),
+        "biased worker variance {phi_biased} should dwarf the median {}",
+        r.median_phi()
+    );
+}
+
+#[test]
+fn rows_with_no_answers_still_get_estimates() {
+    let d = generate_dataset(
+        &GeneratorConfig {
+            rows: 10,
+            columns: 3,
+            num_workers: 6,
+            answers_per_task: 3,
+            ..Default::default()
+        },
+        7,
+    );
+    // Rebuild a log that skips rows 3 and 7 entirely.
+    let mut sparse = AnswerLog::new(10, 3);
+    for a in d.answers.all() {
+        if a.cell.row != 3 && a.cell.row != 7 {
+            sparse.push(*a);
+        }
+    }
+    let est = TCrowd::default_full().infer(&d.schema, &sparse).estimates();
+    assert_eq!(est.len(), 10);
+    for (i, row) in est.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            assert!(
+                d.schema.column_type(j).accepts(v),
+                "cell ({i},{j}) has a type-invalid estimate"
+            );
+            if let Value::Continuous(x) = v {
+                assert!(x.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn single_worker_single_answer_everywhere() {
+    // The sparsest possible log: one worker, one answer per cell.
+    let d = generate_dataset(
+        &GeneratorConfig {
+            rows: 8,
+            columns: 3,
+            num_workers: 1,
+            answers_per_task: 1,
+            ..Default::default()
+        },
+        9,
+    );
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let report = evaluate(&d.schema, &d.truth, &r.estimates());
+    assert!(report.error_rate.unwrap() <= 1.0);
+    assert!(report.mnad.unwrap().is_finite());
+}
+
+#[test]
+fn one_label_column_is_trivially_exact() {
+    let schema = Schema::new(
+        "t",
+        "k",
+        vec![
+            Column::new("only", ColumnType::categorical_with_cardinality(1)),
+            Column::new("x", ColumnType::Continuous { min: 0.0, max: 10.0 }),
+        ],
+    );
+    let mut log = AnswerLog::new(3, 2);
+    for i in 0..3u32 {
+        log.push(Answer {
+            worker: WorkerId(0),
+            cell: CellId::new(i, 0),
+            value: Value::Categorical(0),
+        });
+        log.push(Answer {
+            worker: WorkerId(0),
+            cell: CellId::new(i, 1),
+            value: Value::Continuous(5.0),
+        });
+    }
+    let est = TCrowd::default_full().infer(&schema, &log).estimates();
+    for row in &est {
+        assert_eq!(row[0], Value::Categorical(0));
+    }
+}
+
+#[test]
+fn extreme_difficulty_table_stays_finite() {
+    let d = generate_dataset(
+        &GeneratorConfig {
+            rows: 15,
+            columns: 4,
+            avg_difficulty: 50.0,
+            num_workers: 10,
+            answers_per_task: 4,
+            ..Default::default()
+        },
+        13,
+    );
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    for i in 0..15u32 {
+        for j in 0..4u32 {
+            let est = r.estimate(CellId::new(i, j));
+            if let Value::Continuous(x) = est {
+                assert!(x.is_finite(), "cell ({i},{j}) diverged");
+            }
+        }
+    }
+}

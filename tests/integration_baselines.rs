@@ -1,0 +1,85 @@
+//! Integration tests over the full Table 7 method roster: every method must
+//! produce schema-valid full tables on every dataset and beat random
+//! guessing on its own datatype.
+
+use tcrowd::prelude::*;
+use tcrowd::tabular::real_sim;
+use tcrowd_bench::table7_methods;
+
+#[test]
+fn all_methods_produce_valid_tables_on_all_datasets() {
+    for d in [real_sim::celebrity(2), real_sim::restaurant(2), real_sim::emotion(2)] {
+        for m in table7_methods() {
+            let est = m.estimate(&d.schema, &d.answers);
+            assert_eq!(est.len(), d.rows(), "{} on {}", m.name(), d.schema.name);
+            for (i, row) in est.iter().enumerate() {
+                assert_eq!(row.len(), d.cols());
+                for (j, v) in row.iter().enumerate() {
+                    assert!(
+                        d.schema.column_type(j).accepts(v),
+                        "{} produced invalid value at ({i},{j}) on {}",
+                        m.name(),
+                        d.schema.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_method_beats_random_guessing_on_celebrity() {
+    let d = real_sim::celebrity(3);
+    // Random-guess baselines: expected error = 1 - 1/|L| per categorical
+    // column; for MNAD, predicting the column mean gives NAD ≈ 1.
+    let guess_error: f64 = {
+        let cats = d.schema.categorical_columns();
+        let per_col: Vec<f64> = cats
+            .iter()
+            .map(|&j| 1.0 - 1.0 / d.schema.column_type(j).cardinality().unwrap() as f64)
+            .collect();
+        per_col.iter().sum::<f64>() / per_col.len() as f64
+    };
+    // Single-datatype methods are only scored on their own datatype (their
+    // off-type cells are fallback placeholders — Table 7 leaves those blank).
+    let cat_only = ["Majority Voting", "D&S", "GLAD", "ZenCrowd", "TC-onlyCate", "Minimax-Entropy"];
+    let cont_only = ["Median", "GTM", "TC-onlyCont"];
+    for m in table7_methods() {
+        let est = m.estimate(&d.schema, &d.answers);
+        let rep = evaluate(&d.schema, &d.truth, &est);
+        if let Some(er) = rep.error_rate {
+            if !cont_only.contains(&m.name()) {
+                assert!(
+                    er < guess_error * 0.8,
+                    "{}: error rate {er} not clearly better than guessing ({guess_error})",
+                    m.name()
+                );
+            }
+        }
+        if let Some(mnad) = rep.mnad {
+            if !cat_only.contains(&m.name()) {
+                assert!(mnad < 0.95, "{}: MNAD {mnad} not better than the column mean", m.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn methods_degrade_monotonically_with_noise_on_error_rate() {
+    // A sanity check on the Fig. 10 pipeline: heavy noise must not *improve*
+    // any method's categorical accuracy.
+    use tcrowd::tabular::noise::add_noise;
+    let clean = real_sim::celebrity(4);
+    let noisy = add_noise(&clean, 0.4, 9);
+    for m in table7_methods() {
+        let e_clean = evaluate(&clean.schema, &clean.truth, &m.estimate(&clean.schema, &clean.answers));
+        let e_noisy = evaluate(&noisy.schema, &noisy.truth, &m.estimate(&noisy.schema, &noisy.answers));
+        if let (Some(c), Some(n)) = (e_clean.error_rate, e_noisy.error_rate) {
+            assert!(
+                n + 0.02 >= c,
+                "{}: noise reduced error rate {c} -> {n}?!",
+                m.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: truth inference end-to-end against the
+//! baselines it must dominate, on the paper's synthetic and simulated-real
+//! workloads.
+
+use tcrowd::baselines::{MajorityVoting, MedianBaseline, TruthMethod};
+use tcrowd::core::TCrowd;
+use tcrowd::prelude::*;
+use tcrowd::stat::describe::pearson;
+use tcrowd::tabular::real_sim;
+
+fn spread_config(rows: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        rows,
+        columns: 6,
+        categorical_ratio: 0.5,
+        num_workers: 24,
+        answers_per_task: 4,
+        quality: tcrowd::tabular::generator::WorkerQualityConfig {
+            median_phi: 0.18,
+            sigma_ln_phi: 1.0,
+            spammer_fraction: 0.2,
+            spammer_factor: 30.0,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tcrowd_beats_mv_and_median_on_average() {
+    let mut tc = (0.0, 0.0);
+    let mut base = (0.0, 0.0);
+    for seed in 0..3 {
+        let d = generate_dataset(&spread_config(80), seed);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let tc_rep = evaluate(&d.schema, &d.truth, &r.estimates());
+        let mv = evaluate(&d.schema, &d.truth, &MajorityVoting.estimate(&d.schema, &d.answers));
+        let med =
+            evaluate(&d.schema, &d.truth, &MedianBaseline.estimate(&d.schema, &d.answers));
+        tc.0 += tc_rep.error_rate.unwrap();
+        tc.1 += tc_rep.mnad.unwrap();
+        base.0 += mv.error_rate.unwrap();
+        base.1 += med.mnad.unwrap();
+    }
+    assert!(tc.0 < base.0, "T-Crowd error {} vs MV {}", tc.0 / 3.0, base.0 / 3.0);
+    assert!(tc.1 < base.1, "T-Crowd MNAD {} vs Median {}", tc.1 / 3.0, base.1 / 3.0);
+}
+
+#[test]
+fn unified_model_uses_cross_type_evidence() {
+    // A worker answering many categorical cells and few continuous ones
+    // still gets a well-calibrated quality thanks to the shared φ — verify
+    // the calibration correlation on a mixed table.
+    let d = generate_dataset(&spread_config(100), 7);
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let (mut est, mut truth) = (Vec::new(), Vec::new());
+    for (&w, p) in &d.worker_truth {
+        if let Some(phi) = r.phi_of(w) {
+            est.push(phi.ln());
+            truth.push(p.phi.ln());
+        }
+    }
+    let rho = pearson(&est, &truth);
+    assert!(rho > 0.7, "worker-quality calibration r = {rho}");
+}
+
+#[test]
+fn constrained_variants_match_full_model_on_their_columns_approximately() {
+    let d = generate_dataset(&spread_config(60), 5);
+    let full = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let cat = TCrowd::only_categorical().infer(&d.schema, &d.answers);
+    let full_rep = evaluate(&d.schema, &d.truth, &full.estimates());
+    let cat_rep = evaluate(&d.schema, &d.truth, &cat.estimates());
+    // The constrained model sees strictly less evidence; it must not be
+    // dramatically better on its own datatype.
+    assert!(cat_rep.error_rate.unwrap() + 1e-9 >= full_rep.error_rate.unwrap() - 0.05);
+}
+
+#[test]
+fn inference_works_on_all_simulated_real_datasets() {
+    for d in [real_sim::celebrity(0), real_sim::restaurant(0), real_sim::emotion(0)] {
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        assert!(r.converged, "{} did not converge", d.schema.name);
+        assert!(r.iterations <= 50);
+        let rep = evaluate(&d.schema, &d.truth, &r.estimates());
+        if let Some(er) = rep.error_rate {
+            assert!(er < 0.35, "{} error rate {er}", d.schema.name);
+        }
+        if let Some(mnad) = rep.mnad {
+            assert!(mnad < 0.9, "{} MNAD {mnad}", d.schema.name);
+        }
+        // Every estimate matches its column type.
+        for (i, row) in r.estimates().iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!(d.schema.column_type(j).accepts(v), "({i},{j}) in {}", d.schema.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn difficulty_ablation_degrades_gracefully() {
+    use tcrowd::core::{EmOptions, TCrowdOptions};
+    let d = generate_dataset(&spread_config(80), 9);
+    let flat = TCrowd::new(TCrowdOptions {
+        em: EmOptions {
+            learn_row_difficulty: false,
+            learn_col_difficulty: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .infer(&d.schema, &d.answers);
+    assert!(flat.converged);
+    assert!(flat.alpha.iter().all(|a| (*a - 1.0).abs() < 1e-9));
+    let rep = evaluate(&d.schema, &d.truth, &flat.estimates());
+    // Still a functioning model, just without the difficulty refinement.
+    assert!(rep.error_rate.unwrap() < 0.4);
+}
+
+#[test]
+fn spammer_only_crowd_does_not_break_inference() {
+    // Failure injection: every worker is a spammer. Inference must converge
+    // and produce schema-valid output even though quality is hopeless.
+    let cfg = GeneratorConfig {
+        rows: 20,
+        columns: 4,
+        num_workers: 10,
+        answers_per_task: 3,
+        quality: tcrowd::tabular::generator::WorkerQualityConfig {
+            median_phi: 8.0,
+            sigma_ln_phi: 0.2,
+            spammer_fraction: 1.0,
+            spammer_factor: 3.0,
+        },
+        ..Default::default()
+    };
+    let d = generate_dataset(&cfg, 3);
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    assert!(r.converged);
+    for (i, row) in r.estimates().iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            assert!(d.schema.column_type(j).accepts(v), "({i},{j})");
+        }
+    }
+    // Everyone should be diagnosed as low quality: nobody near a good
+    // worker's ~0.9, and the bulk of the crowd clearly below chance-ish 0.6.
+    let mut qs: Vec<f64> = r.workers.iter().map(|w| r.quality_of(*w).unwrap()).collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("NaN quality"));
+    assert!(qs[qs.len() / 2] < 0.6, "median quality {}", qs[qs.len() / 2]);
+    assert!(
+        *qs.last().unwrap() < 0.7,
+        "even the luckiest spammer must stay low: {}",
+        qs.last().unwrap()
+    );
+}
+
+#[test]
+fn single_answer_per_cell_is_handled() {
+    let cfg = GeneratorConfig { answers_per_task: 1, ..spread_config(20) };
+    let d = generate_dataset(&cfg, 4);
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    assert!(r.converged);
+    assert_eq!(r.estimates().len(), 20);
+}
