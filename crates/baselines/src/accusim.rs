@@ -21,7 +21,7 @@
 //! The candidate set of a cell is the set of distinct values answered for
 //! it, as in the original web-source setting.
 
-use crate::method::{column_fallback, TruthMethod};
+use crate::method::{column_fallbacks, TruthMethod};
 use std::collections::HashMap;
 use tcrowd_stat::{clamp_prob, describe::zscore_params, EPS};
 use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value, WorkerId};
@@ -166,12 +166,9 @@ impl TruthMethod for Accu {
             }
         }
 
-        let mut accuracy: HashMap<WorkerId, f64> =
-            answers.workers().map(|w| (w, 0.8)).collect();
-        let mut posteriors: Vec<Vec<f64>> = cells
-            .iter()
-            .map(|(_, c)| vec![1.0 / c.values.len() as f64; c.values.len()])
-            .collect();
+        let mut accuracy: HashMap<WorkerId, f64> = answers.workers().map(|w| (w, 0.8)).collect();
+        let mut posteriors: Vec<Vec<f64>> =
+            cells.iter().map(|(_, c)| vec![1.0 / c.values.len() as f64; c.values.len()]).collect();
 
         for _ in 0..self.max_iters {
             // ---- Value scores and posteriors under current accuracies.
@@ -226,16 +223,9 @@ impl TruthMethod for Accu {
         }
 
         // ---- Read out the table.
-        let mut est: Vec<Vec<Value>> = (0..rows)
-            .map(|i| {
-                (0..cols)
-                    .map(|j| {
-                        let _ = i;
-                        column_fallback(schema, answers, j)
-                    })
-                    .collect()
-            })
-            .collect();
+        let fallbacks = column_fallbacks(schema, &answers.to_matrix());
+        let mut est: Vec<Vec<Value>> =
+            (0..rows).map(|_| (0..cols).map(|j| fallbacks[j]).collect()).collect();
         for ((cell, c), post) in cells.iter().zip(&posteriors) {
             let best = post
                 .iter()
@@ -255,11 +245,7 @@ mod tests {
     use tcrowd_tabular::{evaluate, generate_dataset, Answer, Column, GeneratorConfig};
 
     fn cat_schema(l: u32) -> Schema {
-        Schema::new(
-            "t",
-            "k",
-            vec![Column::new("c", ColumnType::categorical_with_cardinality(l))],
-        )
+        Schema::new("t", "k", vec![Column::new("c", ColumnType::categorical_with_cardinality(l))])
     }
 
     #[test]
@@ -344,10 +330,7 @@ mod tests {
         let sim = Accu::default().estimate(&schema, &log);
         assert_eq!(exact[0][0], Value::Continuous(90.0));
         let got = sim[0][0].expect_continuous();
-        assert!(
-            (49.0..=51.0).contains(&got),
-            "AccuSim should pick a clustered answer, got {got}"
-        );
+        assert!((49.0..=51.0).contains(&got), "AccuSim should pick a clustered answer, got {got}");
     }
 
     #[test]
@@ -367,25 +350,12 @@ mod tests {
                 },
                 seed + 100,
             );
-            let a = evaluate(
-                &d.schema,
-                &d.truth,
-                &Accu::default().estimate(&d.schema, &d.answers),
-            );
-            let mv = evaluate(
-                &d.schema,
-                &d.truth,
-                &MajorityVoting.estimate(&d.schema, &d.answers),
-            );
+            let a = evaluate(&d.schema, &d.truth, &Accu::default().estimate(&d.schema, &d.answers));
+            let mv = evaluate(&d.schema, &d.truth, &MajorityVoting.estimate(&d.schema, &d.answers));
             accu_err += a.error_rate.unwrap();
             mv_err += mv.error_rate.unwrap();
         }
-        assert!(
-            accu_err <= mv_err + 0.02 * 3.0,
-            "Accu {} vs MV {}",
-            accu_err / 3.0,
-            mv_err / 3.0
-        );
+        assert!(accu_err <= mv_err + 0.02 * 3.0, "Accu {} vs MV {}", accu_err / 3.0, mv_err / 3.0);
     }
 
     #[test]

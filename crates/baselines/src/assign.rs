@@ -90,8 +90,7 @@ impl AssignmentPolicy for LoopingPolicy {
             picked.push(cell);
         }
         if let Some(last) = picked.last() {
-            self.cursor =
-                (last.row as usize * cols + last.col as usize + 1) % total;
+            self.cursor = (last.row as usize * cols + last.col as usize + 1) % total;
         }
         picked
     }
@@ -126,11 +125,8 @@ pub fn raw_uncertainty(ctx: &AssignmentContext<'_>, cell: CellId) -> f64 {
             }
         }
         ColumnType::Continuous { min, max } => {
-            let vals: Vec<f64> = ctx
-                .answers
-                .for_cell(cell)
-                .map(|a| a.value.expect_continuous())
-                .collect();
+            let vals: Vec<f64> =
+                ctx.answers.for_cell(cell).map(|a| a.value.expect_continuous()).collect();
             let spread = if vals.len() < 2 {
                 // No information yet: spread of a uniform over the domain.
                 (max - min) / 12f64.sqrt()
@@ -150,10 +146,8 @@ impl AssignmentPolicy for EntropyPolicy {
 
     fn select(&mut self, worker: WorkerId, k: usize, ctx: &AssignmentContext<'_>) -> Vec<CellId> {
         let candidates = ctx.candidates(worker);
-        let mut scored: Vec<(CellId, f64)> = candidates
-            .into_iter()
-            .map(|c| (c, raw_uncertainty(ctx, c)))
-            .collect();
+        let mut scored: Vec<(CellId, f64)> =
+            candidates.into_iter().map(|c| (c, raw_uncertainty(ctx, c))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN").then(a.0.cmp(&b.0)));
         scored.into_iter().take(k).map(|(c, _)| c).collect()
     }
@@ -176,7 +170,12 @@ pub struct CdasPolicy {
 impl CdasPolicy {
     /// Create with a seed.
     pub fn seeded(seed: u64) -> Self {
-        CdasPolicy { min_answers: 3, vote_confidence: 0.8, relative_se: 0.25, rng: StdRng::seed_from_u64(seed) }
+        CdasPolicy {
+            min_answers: 3,
+            vote_confidence: 0.8,
+            relative_se: 0.25,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Is this task confidently resolved (terminated)?
@@ -197,11 +196,8 @@ impl CdasPolicy {
                 (top + 1.0) / (n as f64 + 2.0) >= self.vote_confidence
             }
             ColumnType::Continuous { .. } => {
-                let vals: Vec<f64> = ctx
-                    .answers
-                    .for_cell(cell)
-                    .map(|a| a.value.expect_continuous())
-                    .collect();
+                let vals: Vec<f64> =
+                    ctx.answers.for_cell(cell).map(|a| a.value.expect_continuous()).collect();
                 let col_vals: Vec<f64> = ctx
                     .answers
                     .all()
@@ -230,19 +226,13 @@ impl AssignmentPolicy for CdasPolicy {
     }
 
     fn select(&mut self, worker: WorkerId, k: usize, ctx: &AssignmentContext<'_>) -> Vec<CellId> {
-        let mut open: Vec<CellId> = ctx
-            .candidates(worker)
-            .into_iter()
-            .filter(|&c| !self.is_terminated(ctx, c))
-            .collect();
+        let mut open: Vec<CellId> =
+            ctx.candidates(worker).into_iter().filter(|&c| !self.is_terminated(ctx, c)).collect();
         if open.len() < k {
             // All remaining tasks are "done": CDAS keeps spending budget on
             // random open-or-not candidates rather than stalling.
-            let mut rest: Vec<CellId> = ctx
-                .candidates(worker)
-                .into_iter()
-                .filter(|c| !open.contains(c))
-                .collect();
+            let mut rest: Vec<CellId> =
+                ctx.candidates(worker).into_iter().filter(|c| !open.contains(c)).collect();
             rest.shuffle(&mut self.rng);
             open.extend(rest);
         }

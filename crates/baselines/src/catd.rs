@@ -7,10 +7,9 @@
 //! is the worker's answer count and `Σ d²` their squared normalised distance
 //! to the current truths. Truths are then the weighted vote / weighted mean.
 
-use crate::method::{column_zscore, naive_estimates, TruthMethod};
-use std::collections::HashMap;
+use crate::method::{column_zscores, naive_estimates, TruthMethod};
 use tcrowd_stat::special::chi_square_quantile;
-use tcrowd_tabular::{AnswerLog, ColumnType, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, ColumnType, Schema, Value};
 
 /// CATD estimator.
 #[derive(Debug, Clone, Copy)]
@@ -35,66 +34,66 @@ impl TruthMethod for Catd {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
-        if answers.is_empty() {
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
+        if matrix.is_empty() {
             return est;
         }
-        let m = schema.num_columns();
-        let zscales: Vec<Option<(f64, f64)>> = (0..m)
-            .map(|j| match schema.column_type(j) {
-                ColumnType::Continuous { .. } => Some(column_zscore(answers, j)),
-                _ => None,
-            })
-            .collect();
-        let mut weights: HashMap<WorkerId, f64> = answers.workers().map(|w| (w, 1.0)).collect();
+        let zscales = column_zscores(schema, &matrix);
+        // Dense per-worker state over the matrix's sorted worker index.
+        let n_workers = matrix.num_workers();
+        let mut weights = vec![1.0f64; n_workers];
+        let mut loss_ss = vec![0.0f64; n_workers];
+        let mut loss_n = vec![0.0f64; n_workers];
 
         for _ in 0..self.max_iters {
-            let mut losses: HashMap<WorkerId, (f64, f64)> = HashMap::new(); // (Σd², n)
-            for a in answers.all() {
-                let j = a.cell.col as usize;
-                let i = a.cell.row as usize;
-                let d2 = match (&a.value, &est[i][j]) {
-                    (Value::Categorical(x), Value::Categorical(t)) => (x != t) as i32 as f64,
-                    (Value::Continuous(x), Value::Continuous(t)) => {
-                        let (_, sd) = zscales[j].expect("scaler");
-                        let d = (x - t) / sd;
-                        d * d
-                    }
-                    _ => unreachable!("type mismatch"),
+            loss_ss.iter_mut().for_each(|v| *v = 0.0);
+            loss_n.iter_mut().for_each(|v| *v = 0.0);
+            for k in 0..matrix.len() {
+                let i = matrix.answer_rows()[k] as usize;
+                let j = matrix.answer_cols()[k] as usize;
+                let d2 = if matrix.is_categorical(k) {
+                    let t = est[i][j].expect_categorical();
+                    (matrix.answer_labels()[k] != t) as i32 as f64
+                } else {
+                    let t = est[i][j].expect_continuous();
+                    let (_, sd) = zscales[j].expect("scaler");
+                    let d = (matrix.answer_values()[k] - t) / sd;
+                    d * d
                 };
-                let e = losses.entry(a.worker).or_default();
-                e.0 += d2;
-                e.1 += 1.0;
+                let u = matrix.answer_workers()[k] as usize;
+                loss_ss[u] += d2;
+                loss_n[u] += 1.0;
             }
-            for (w, wt) in weights.iter_mut() {
-                let (ss, n) = losses.get(w).copied().unwrap_or((0.0, 0.0));
-                if n == 0.0 {
-                    *wt = 1.0;
+            for u in 0..n_workers {
+                if loss_n[u] == 0.0 {
+                    weights[u] = 1.0;
                     continue;
                 }
                 // Upper confidence bound on precision: χ²(α/2, n) / Σd².
-                *wt = chi_square_quantile(self.alpha / 2.0, n) / (ss + self.smoothing);
+                weights[u] = chi_square_quantile(self.alpha / 2.0, loss_n[u])
+                    / (loss_ss[u] + self.smoothing);
             }
             // Normalise weights to mean 1 (scale-free aggregation).
-            let mean_w: f64 = weights.values().sum::<f64>() / weights.len() as f64;
+            let mean_w: f64 = weights.iter().sum::<f64>() / weights.len() as f64;
             if mean_w > 0.0 {
-                for wt in weights.values_mut() {
+                for wt in weights.iter_mut() {
                     *wt /= mean_w;
                 }
             }
 
-            for i in 0..answers.rows() as u32 {
-                for j in 0..answers.cols() as u32 {
-                    let cell = tcrowd_tabular::CellId::new(i, j);
-                    if answers.count_for_cell(cell) == 0 {
+            for i in 0..matrix.rows() as u32 {
+                for j in 0..matrix.cols() as u32 {
+                    let range = matrix.cell_range(tcrowd_tabular::CellId::new(i, j));
+                    if range.is_empty() {
                         continue;
                     }
                     match schema.column_type(j as usize) {
                         ColumnType::Categorical { labels } => {
                             let mut scores = vec![0.0f64; labels.len()];
-                            for a in answers.for_cell(cell) {
-                                scores[a.value.expect_categorical() as usize] +=
-                                    weights[&a.worker];
+                            for k in range {
+                                scores[matrix.answer_labels()[k] as usize] +=
+                                    weights[matrix.answer_workers()[k] as usize];
                             }
                             let best = scores
                                 .iter()
@@ -107,9 +106,9 @@ impl TruthMethod for Catd {
                         ColumnType::Continuous { .. } => {
                             let mut num = 0.0;
                             let mut den = 0.0;
-                            for a in answers.for_cell(cell) {
-                                let w = weights[&a.worker];
-                                num += w * a.value.expect_continuous();
+                            for k in range {
+                                let w = weights[matrix.answer_workers()[k] as usize];
+                                num += w * matrix.answer_values()[k];
                                 den += w;
                             }
                             if den > 0.0 {

@@ -6,9 +6,8 @@
 //! cells (the framework's recommended distance pair). Truths are the
 //! weighted vote / weighted mean.
 
-use crate::method::{column_zscore, naive_estimates, TruthMethod};
-use std::collections::HashMap;
-use tcrowd_tabular::{AnswerLog, ColumnType, Schema, Value, WorkerId};
+use crate::method::{column_zscores, naive_estimates, TruthMethod};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, ColumnType, Schema, Value};
 
 /// CRH estimator.
 #[derive(Debug, Clone, Copy)]
@@ -31,57 +30,54 @@ impl TruthMethod for Crh {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
-        if answers.is_empty() {
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
+        if matrix.is_empty() {
             return est;
         }
-        let m = schema.num_columns();
-        let zscales: Vec<Option<(f64, f64)>> = (0..m)
-            .map(|j| match schema.column_type(j) {
-                ColumnType::Continuous { .. } => Some(column_zscore(answers, j)),
-                _ => None,
-            })
-            .collect();
-        let mut weights: HashMap<WorkerId, f64> = answers.workers().map(|w| (w, 1.0)).collect();
+        let zscales = column_zscores(schema, &matrix);
+        // Dense per-worker weights over the matrix's sorted worker index —
+        // sums below accumulate in index order, so results are deterministic.
+        let mut weights = vec![1.0f64; matrix.num_workers()];
+        let mut losses = vec![0.0f64; matrix.num_workers()];
 
         for _ in 0..self.max_iters {
-            // Source losses against the current truths.
-            let mut losses: HashMap<WorkerId, f64> = HashMap::new();
-            for a in answers.all() {
-                let j = a.cell.col as usize;
-                let i = a.cell.row as usize;
-                let loss = match (&a.value, &est[i][j]) {
-                    (Value::Categorical(x), Value::Categorical(t)) => (x != t) as i32 as f64,
-                    (Value::Continuous(x), Value::Continuous(t)) => {
-                        let (_, sd) = zscales[j].expect("scaler");
-                        let d = (x - t) / sd;
-                        d * d
-                    }
-                    _ => unreachable!("type mismatch"),
+            // Source losses against the current truths (one payload pass).
+            losses.iter_mut().for_each(|l| *l = 0.0);
+            for k in 0..matrix.len() {
+                let i = matrix.answer_rows()[k] as usize;
+                let j = matrix.answer_cols()[k] as usize;
+                let loss = if matrix.is_categorical(k) {
+                    let t = est[i][j].expect_categorical();
+                    (matrix.answer_labels()[k] != t) as i32 as f64
+                } else {
+                    let t = est[i][j].expect_continuous();
+                    let (_, sd) = zscales[j].expect("scaler");
+                    let d = (matrix.answer_values()[k] - t) / sd;
+                    d * d
                 };
-                *losses.entry(a.worker).or_default() += loss;
+                losses[matrix.answer_workers()[k] as usize] += loss;
             }
-            let total: f64 = losses.values().sum::<f64>() + self.smoothing;
-            for (w, wt) in weights.iter_mut() {
-                let l = losses.get(w).copied().unwrap_or(0.0) + self.smoothing;
+            let total: f64 = losses.iter().sum::<f64>() + self.smoothing;
+            for (wt, &l) in weights.iter_mut().zip(&losses) {
                 // w = −ln(loss share); floor at a tiny positive weight so a
                 // worker never gets negative influence.
-                *wt = (-(l / total).ln()).max(1e-3);
+                *wt = (-((l + self.smoothing) / total).ln()).max(1e-3);
             }
 
-            // Truth updates: weighted vote / weighted mean.
-            for i in 0..answers.rows() as u32 {
-                for j in 0..answers.cols() as u32 {
-                    let cell = tcrowd_tabular::CellId::new(i, j);
-                    if answers.count_for_cell(cell) == 0 {
+            // Truth updates: weighted vote / weighted mean over cell slices.
+            for i in 0..matrix.rows() as u32 {
+                for j in 0..matrix.cols() as u32 {
+                    let range = matrix.cell_range(tcrowd_tabular::CellId::new(i, j));
+                    if range.is_empty() {
                         continue;
                     }
                     match schema.column_type(j as usize) {
                         ColumnType::Categorical { labels } => {
                             let mut scores = vec![0.0f64; labels.len()];
-                            for a in answers.for_cell(cell) {
-                                scores[a.value.expect_categorical() as usize] +=
-                                    weights[&a.worker];
+                            for k in range {
+                                scores[matrix.answer_labels()[k] as usize] +=
+                                    weights[matrix.answer_workers()[k] as usize];
                             }
                             let best = scores
                                 .iter()
@@ -94,9 +90,9 @@ impl TruthMethod for Crh {
                         ColumnType::Continuous { .. } => {
                             let mut num = 0.0;
                             let mut den = 0.0;
-                            for a in answers.for_cell(cell) {
-                                let w = weights[&a.worker];
-                                num += w * a.value.expect_continuous();
+                            for k in range {
+                                let w = weights[matrix.answer_workers()[k] as usize];
+                                num += w * matrix.answer_values()[k];
                                 den += w;
                             }
                             if den > 0.0 {
@@ -159,8 +155,7 @@ mod tests {
                     .for_cell(tcrowd_tabular::CellId::new(i, j as u32))
                     .map(|a| a.value.expect_continuous())
                     .collect();
-                unweighted[i as usize][j] =
-                    Value::Continuous(tcrowd_stat::describe::mean(&vals));
+                unweighted[i as usize][j] = Value::Continuous(tcrowd_stat::describe::mean(&vals));
             }
         }
         let u = tcrowd_tabular::evaluate(&d.schema, &d.truth, &unweighted);

@@ -7,8 +7,7 @@
 
 #![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
 use crate::method::{naive_estimates, TruthMethod};
-use std::collections::HashMap;
-use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, ColumnType, Schema, Value};
 
 /// Dawid–Skene estimator (per-column confusion matrices).
 #[derive(Debug, Clone, Copy)]
@@ -28,21 +27,26 @@ impl Default for DawidSkene {
 
 impl DawidSkene {
     /// Run D&S on one categorical column, returning per-row posteriors.
-    fn fit_column(&self, answers: &AnswerLog, col: u32, cardinality: usize) -> Vec<Vec<f64>> {
-        let n = answers.rows();
+    fn fit_column(&self, matrix: &AnswerMatrix, col: u32, cardinality: usize) -> Vec<Vec<f64>> {
+        let n = matrix.rows();
         let l = cardinality;
-        // Collect (row, worker, label) triples of this column.
-        let mut triples: Vec<(usize, WorkerId, usize)> = Vec::new();
-        for a in answers.all().iter().filter(|a| a.cell.col == col) {
-            triples.push((a.cell.row as usize, a.worker, a.value.expect_categorical() as usize));
+        // Collect (row, worker, label) triples of this column: the by-cell
+        // CSR view makes this one contiguous slice per row. Workers are
+        // compacted to a column-local index so the confusion tables only
+        // cover workers who actually answered this column.
+        let mut remap = vec![u32::MAX; matrix.num_workers()];
+        let mut n_workers = 0usize;
+        let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+        for i in 0..n as u32 {
+            for k in matrix.cell_range(CellId::new(i, col)) {
+                let g = matrix.answer_workers()[k] as usize;
+                if remap[g] == u32::MAX {
+                    remap[g] = n_workers as u32;
+                    n_workers += 1;
+                }
+                triples.push((i as usize, remap[g] as usize, matrix.answer_labels()[k] as usize));
+            }
         }
-        let workers: Vec<WorkerId> = {
-            let mut ws: Vec<WorkerId> = triples.iter().map(|t| t.1).collect();
-            ws.sort();
-            ws.dedup();
-            ws
-        };
-        let widx: HashMap<WorkerId, usize> = workers.iter().enumerate().map(|(i, &w)| (w, i)).collect();
 
         // Initialise posteriors from per-cell vote shares.
         let mut posterior = vec![vec![1.0 / l as f64; l]; n];
@@ -62,7 +66,7 @@ impl DawidSkene {
             }
         }
 
-        let mut confusion = vec![vec![vec![0.0f64; l]; l]; workers.len()];
+        let mut confusion = vec![vec![vec![0.0f64; l]; l]; n_workers];
         let mut prior = vec![1.0 / l as f64; l];
         for _ in 0..self.max_iters {
             // M-step: confusion matrices and class priors.
@@ -71,8 +75,7 @@ impl DawidSkene {
                     row.iter_mut().for_each(|c| *c = self.smoothing);
                 }
             }
-            for &(i, w, a) in &triples {
-                let u = widx[&w];
+            for &(i, u, a) in &triples {
                 for z in 0..l {
                     confusion[u][z][a] += posterior[i][z];
                 }
@@ -102,8 +105,7 @@ impl DawidSkene {
                     let _ = i;
                 }
             }
-            for &(i, w, a) in &triples {
-                let u = widx[&w];
+            for &(i, u, a) in &triples {
                 for z in 0..l {
                     ln_post[i][z] += confusion[u][z][a].ln();
                 }
@@ -126,12 +128,13 @@ impl TruthMethod for DawidSkene {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
         for j in 0..schema.num_columns() {
             if let ColumnType::Categorical { labels } = schema.column_type(j) {
-                let post = self.fit_column(answers, j as u32, labels.len());
+                let post = self.fit_column(&matrix, j as u32, labels.len());
                 for (i, row) in post.iter().enumerate() {
-                    if answers.count_for_cell(CellId::new(i as u32, j as u32)) == 0 {
+                    if matrix.count_for_cell(CellId::new(i as u32, j as u32)) == 0 {
                         continue; // keep the fallback
                     }
                     let best = row
@@ -182,12 +185,8 @@ mod tests {
             );
             let ds = DawidSkene::default().estimate(&d.schema, &d.answers);
             let mv = MajorityVoting.estimate(&d.schema, &d.answers);
-            ds_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &ds)
-                .error_rate
-                .unwrap();
-            mv_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &mv)
-                .error_rate
-                .unwrap();
+            ds_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &ds).error_rate.unwrap();
+            mv_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &mv).error_rate.unwrap();
         }
         assert!(
             ds_total <= mv_total + 0.01,
@@ -225,7 +224,13 @@ mod tests {
     #[test]
     fn handles_empty_log() {
         let d = generate_dataset(
-            &GeneratorConfig { rows: 4, columns: 2, num_workers: 5, answers_per_task: 2, ..Default::default() },
+            &GeneratorConfig {
+                rows: 4,
+                columns: 2,
+                num_workers: 5,
+                answers_per_task: 2,
+                ..Default::default()
+            },
             1,
         );
         let empty = AnswerLog::new(4, 2);

@@ -9,10 +9,9 @@
 
 #![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
 use crate::method::{naive_estimates, TruthMethod};
-use std::collections::HashMap;
 use tcrowd_stat::clamp_prob;
 use tcrowd_stat::optimize::{gradient_ascent, AscentOptions};
-use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, ColumnType, Schema, Value};
 
 /// GLAD estimator (per-column fits).
 #[derive(Debug, Clone, Copy)]
@@ -35,19 +34,24 @@ fn sigmoid(x: f64) -> f64 {
 }
 
 impl Glad {
-    fn fit_column(&self, answers: &AnswerLog, col: u32, l: usize) -> Vec<Vec<f64>> {
-        let n = answers.rows();
-        let mut triples: Vec<(usize, usize, usize)> = Vec::new(); // (row, worker_idx, label)
-        let mut workers: Vec<WorkerId> = Vec::new();
-        let mut widx: HashMap<WorkerId, usize> = HashMap::new();
-        for a in answers.all().iter().filter(|a| a.cell.col == col) {
-            let u = *widx.entry(a.worker).or_insert_with(|| {
-                workers.push(a.worker);
-                workers.len() - 1
-            });
-            triples.push((a.cell.row as usize, u, a.value.expect_categorical() as usize));
+    fn fit_column(&self, matrix: &AnswerMatrix, col: u32, l: usize) -> Vec<Vec<f64>> {
+        let n = matrix.rows();
+        // (row, worker_idx, label) per answer, via the by-cell CSR slices of
+        // this column; workers are compacted to a column-local index so the
+        // optimiser only carries abilities for this column's workers.
+        let mut remap = vec![u32::MAX; matrix.num_workers()];
+        let mut nu = 0usize;
+        let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+        for i in 0..n as u32 {
+            for k in matrix.cell_range(CellId::new(i, col)) {
+                let g = matrix.answer_workers()[k] as usize;
+                if remap[g] == u32::MAX {
+                    remap[g] = nu as u32;
+                    nu += 1;
+                }
+                triples.push((i as usize, remap[g] as usize, matrix.answer_labels()[k] as usize));
+            }
         }
-        let nu = workers.len();
 
         // Posterior init from vote shares.
         let mut posterior = vec![vec![0.0f64; l]; n];
@@ -71,10 +75,8 @@ impl Glad {
 
         for _ in 0..self.max_iters {
             // Cache p_correct per answer.
-            let pc: Vec<f64> = triples
-                .iter()
-                .map(|&(i, _, a)| clamp_prob(posterior[i][a]))
-                .collect();
+            let pc: Vec<f64> =
+                triples.iter().map(|&(i, _, a)| clamp_prob(posterior[i][a])).collect();
             let objective = |x: &[f64]| -> (f64, Vec<f64>) {
                 let (ab, lnb) = x.split_at(nu);
                 let mut val = 0.0;
@@ -140,12 +142,13 @@ impl TruthMethod for Glad {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
         for j in 0..schema.num_columns() {
             if let ColumnType::Categorical { labels } = schema.column_type(j) {
-                let post = self.fit_column(answers, j as u32, labels.len());
+                let post = self.fit_column(&matrix, j as u32, labels.len());
                 for (i, row) in post.iter().enumerate() {
-                    if answers.count_for_cell(CellId::new(i as u32, j as u32)) == 0 {
+                    if matrix.count_for_cell(CellId::new(i as u32, j as u32)) == 0 {
                         continue;
                     }
                     let best = row

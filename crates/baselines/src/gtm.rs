@@ -6,10 +6,8 @@
 //! Answers are z-scored per column so the unit prior is calibrated.
 
 #![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
-use crate::method::{column_zscore, naive_estimates, TruthMethod};
-use std::collections::HashMap;
-use tcrowd_stat::normal::Normal;
-use tcrowd_tabular::{AnswerLog, ColumnType, Schema, Value, WorkerId};
+use crate::method::{column_zscores, naive_estimates, TruthMethod};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, ColumnType, Schema, Value};
 
 /// GTM estimator (per-column fits).
 #[derive(Debug, Clone, Copy)]
@@ -32,51 +30,62 @@ impl Default for Gtm {
 
 impl Gtm {
     /// Fit one column; returns the posterior mean per row (z-scored).
-    fn fit_column(&self, answers: &AnswerLog, col: u32, zs: (f64, f64)) -> Vec<Option<f64>> {
-        let n = answers.rows();
+    fn fit_column(&self, matrix: &AnswerMatrix, col: u32, zs: (f64, f64)) -> Vec<Option<f64>> {
+        let n = matrix.rows();
         let (zm, zsd) = zs;
-        let mut triples: Vec<(usize, WorkerId, f64)> = Vec::new();
-        for a in answers.all().iter().filter(|a| a.cell.col == col) {
-            triples.push((
-                a.cell.row as usize,
-                a.worker,
-                (a.value.expect_continuous() - zm) / zsd,
-            ));
+        // (row, worker dense idx, z-scored value) via the column's CSR
+        // slices; triples arrive row-grouped so the E-step streams each
+        // cell's posterior without a per-row observation buffer.
+        let mut triples: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..n as u32 {
+            for k in matrix.cell_range(CellId::new(i, col)) {
+                triples.push((
+                    i as usize,
+                    matrix.answer_workers()[k] as usize,
+                    (matrix.answer_values()[k] - zm) / zsd,
+                ));
+            }
         }
-        let mut var: HashMap<WorkerId, f64> = HashMap::new();
-        for &(_, w, _) in &triples {
-            var.insert(w, self.prior_variance);
-        }
+        let n_workers = matrix.num_workers();
+        let mut var = vec![self.prior_variance; n_workers];
+        let mut sums_ss = vec![0.0f64; n_workers];
+        let mut sums_n = vec![0.0f64; n_workers];
         let mut means: Vec<Option<f64>> = vec![None; n];
         let mut post_var: Vec<f64> = vec![1.0; n];
         for _ in 0..self.max_iters {
-            // E-step: Gaussian posterior per cell (prior N(0,1) in z-space).
-            let mut obs: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
-            for &(i, w, x) in &triples {
-                obs[i].push((x, var[&w]));
-            }
-            for (i, o) in obs.iter().enumerate() {
-                if o.is_empty() {
-                    continue;
+            // E-step: Gaussian posterior per cell (prior N(0,1) in z-space),
+            // streamed over the row-grouped triples.
+            let mut t = 0;
+            while t < triples.len() {
+                let i = triples[t].0;
+                let mut prec = 1.0;
+                let mut weighted = 0.0;
+                let mut end = t;
+                while end < triples.len() && triples[end].0 == i {
+                    let (_, w, x) = triples[end];
+                    let v = tcrowd_stat::clamp_var(var[w]);
+                    prec += 1.0 / v;
+                    weighted += x / v;
+                    end += 1;
                 }
-                let post = Normal::STANDARD.posterior_with_observations(o);
-                means[i] = Some(post.mean);
-                post_var[i] = post.var;
+                let v = 1.0 / prec;
+                means[i] = Some(weighted * v);
+                post_var[i] = v;
+                t = end;
             }
             // M-step: worker variances with prior pseudo-observations.
-            let mut sums: HashMap<WorkerId, (f64, f64)> = HashMap::new();
+            sums_ss.iter_mut().for_each(|v| *v = 0.0);
+            sums_n.iter_mut().for_each(|v| *v = 0.0);
             for &(i, w, x) in &triples {
                 if let Some(m) = means[i] {
                     let d = x - m;
-                    let e = sums.entry(w).or_default();
-                    e.0 += d * d + post_var[i];
-                    e.1 += 1.0;
+                    sums_ss[w] += d * d + post_var[i];
+                    sums_n[w] += 1.0;
                 }
             }
-            for (w, v) in var.iter_mut() {
-                let (ss, cnt) = sums.get(w).copied().unwrap_or((0.0, 0.0));
-                *v = ((ss + self.prior_weight * self.prior_variance)
-                    / (cnt + self.prior_weight))
+            for w in 0..n_workers {
+                var[w] = ((sums_ss[w] + self.prior_weight * self.prior_variance)
+                    / (sums_n[w] + self.prior_weight))
                     .max(tcrowd_stat::EPS);
             }
         }
@@ -90,11 +99,13 @@ impl TruthMethod for Gtm {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
+        let zscales = column_zscores(schema, &matrix);
         for j in 0..schema.num_columns() {
             if let ColumnType::Continuous { .. } = schema.column_type(j) {
-                let zs = column_zscore(answers, j);
-                let means = self.fit_column(answers, j as u32, zs);
+                let zs = zscales[j].expect("continuous column scaler");
+                let means = self.fit_column(&matrix, j as u32, zs);
                 for (i, m) in means.iter().enumerate() {
                     if let Some(z) = m {
                         est[i][j] = Value::Continuous(zs.0 + zs.1 * z);

@@ -19,7 +19,7 @@ impl TruthMethod for MedianBaseline {
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
         // Median for continuous, mode for categorical — exactly the naive
         // aggregate shared by several bootstrap paths.
-        naive_estimates(schema, answers)
+        naive_estimates(schema, &answers.to_matrix())
     }
 }
 

@@ -1,9 +1,14 @@
 //! The common truth-inference interface and shared aggregation helpers.
+//!
+//! Every helper operates on the frozen columnar [`AnswerMatrix`]: a method's
+//! `estimate` freezes the log once and every sweep after that walks
+//! contiguous CSR slices — no per-call `HashMap` rebuilding, and per-column
+//! fallbacks are computed in one payload pass instead of one full scan per
+//! unanswered cell.
 
-use std::collections::HashMap;
 use tcrowd_core::TCrowd;
 use tcrowd_stat::describe::median;
-use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, ColumnType, Schema, Value};
 
 /// A truth-inference method: estimates every cell of the table from the
 /// answer set (paper Definition 3).
@@ -16,85 +21,101 @@ pub trait TruthMethod {
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>>;
 }
 
+/// Mode of a label multiset: longest run after sorting wins, ties break to
+/// the smallest label. `None` when empty.
+fn label_mode(mut labels: Vec<u32>) -> Option<u32> {
+    let first = *labels.first()?;
+    labels.sort_unstable();
+    let mut best = (first, 0usize);
+    let mut run = (first, 0usize);
+    for &l in &labels {
+        if l == run.0 {
+            run.1 += 1;
+        } else {
+            run = (l, 1);
+        }
+        if run.1 > best.1 {
+            best = run;
+        }
+    }
+    Some(best.0)
+}
+
 /// Mode of the categorical answers on one cell; ties break to the smallest
 /// label; `None` when the cell has no answers.
-pub(crate) fn cell_mode(answers: &AnswerLog, cell: CellId) -> Option<u32> {
-    let mut counts: HashMap<u32, usize> = HashMap::new();
-    for a in answers.for_cell(cell) {
-        *counts.entry(a.value.expect_categorical()).or_default() += 1;
-    }
-    counts
-        .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-        .map(|(label, _)| label)
+pub(crate) fn cell_mode(matrix: &AnswerMatrix, cell: CellId) -> Option<u32> {
+    label_mode(matrix.answer_labels()[matrix.cell_range(cell)].to_vec())
 }
 
 /// Median of the continuous answers on one cell; `None` when unanswered.
-pub(crate) fn cell_median(answers: &AnswerLog, cell: CellId) -> Option<f64> {
-    let vals: Vec<f64> = answers
-        .for_cell(cell)
-        .map(|a| a.value.expect_continuous())
-        .collect();
-    (!vals.is_empty()).then(|| median(&vals))
+pub(crate) fn cell_median(matrix: &AnswerMatrix, cell: CellId) -> Option<f64> {
+    let range = matrix.cell_range(cell);
+    (!range.is_empty()).then(|| median(&matrix.answer_values()[range]))
 }
 
-/// Column-level fallback for unanswered cells: global answer mode for
-/// categorical columns, global answer median (or the domain midpoint) for
-/// continuous ones.
-pub(crate) fn column_fallback(schema: &Schema, answers: &AnswerLog, j: usize) -> Value {
-    match schema.column_type(j) {
-        ColumnType::Categorical { .. } => {
-            let mut counts: HashMap<u32, usize> = HashMap::new();
-            for a in answers.all().iter().filter(|a| a.cell.col as usize == j) {
-                *counts.entry(a.value.expect_categorical()).or_default() += 1;
-            }
-            Value::Categorical(
-                counts
-                    .into_iter()
-                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-                    .map(|(l, _)| l)
-                    .unwrap_or(0),
-            )
-        }
-        ColumnType::Continuous { min, max } => {
-            let vals: Vec<f64> = answers
-                .all()
-                .iter()
-                .filter(|a| a.cell.col as usize == j)
-                .map(|a| a.value.expect_continuous())
-                .collect();
-            Value::Continuous(if vals.is_empty() { 0.5 * (min + max) } else { median(&vals) })
+/// Column-level fallbacks for unanswered cells, all columns in one payload
+/// pass: global answer mode for categorical columns, global answer median
+/// (or the domain midpoint) for continuous ones.
+pub(crate) fn column_fallbacks(schema: &Schema, matrix: &AnswerMatrix) -> Vec<Value> {
+    let m = matrix.cols();
+    let mut cat: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut cont: Vec<Vec<f64>> = vec![Vec::new(); m];
+    for k in 0..matrix.len() {
+        let j = matrix.answer_cols()[k] as usize;
+        if matrix.is_categorical(k) {
+            cat[j].push(matrix.answer_labels()[k]);
+        } else {
+            cont[j].push(matrix.answer_values()[k]);
         }
     }
+    (0..m)
+        .map(|j| match schema.column_type(j) {
+            ColumnType::Categorical { .. } => {
+                Value::Categorical(label_mode(std::mem::take(&mut cat[j])).unwrap_or(0))
+            }
+            ColumnType::Continuous { min, max } => {
+                let vals = &cont[j];
+                Value::Continuous(if vals.is_empty() { 0.5 * (min + max) } else { median(vals) })
+            }
+        })
+        .collect()
 }
 
-/// Per-column z-score parameters `(mean, std)` from the answers (std floored).
-pub(crate) fn column_zscore(answers: &AnswerLog, j: usize) -> (f64, f64) {
-    let vals: Vec<f64> = answers
-        .all()
-        .iter()
-        .filter(|a| a.cell.col as usize == j)
-        .map(|a| a.value.expect_continuous())
-        .collect();
-    tcrowd_stat::describe::zscore_params(&vals)
+/// Per-column z-score parameters `(mean, std)` for every continuous column,
+/// in one payload pass (`None` for categorical columns).
+pub(crate) fn column_zscores(schema: &Schema, matrix: &AnswerMatrix) -> Vec<Option<(f64, f64)>> {
+    let m = matrix.cols();
+    let mut vals: Vec<Vec<f64>> = vec![Vec::new(); m];
+    for k in 0..matrix.len() {
+        if !matrix.is_categorical(k) {
+            vals[matrix.answer_cols()[k] as usize].push(matrix.answer_values()[k]);
+        }
+    }
+    (0..m)
+        .map(|j| match schema.column_type(j) {
+            ColumnType::Continuous { .. } => Some(tcrowd_stat::describe::zscore_params(&vals[j])),
+            ColumnType::Categorical { .. } => None,
+        })
+        .collect()
 }
 
 /// Simple per-cell aggregation: mode for categorical cells, median for
 /// continuous cells, with column fallbacks. Several baselines bootstrap
 /// their truth estimates from this.
-pub(crate) fn naive_estimates(schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-    (0..answers.rows() as u32)
+pub(crate) fn naive_estimates(schema: &Schema, matrix: &AnswerMatrix) -> Vec<Vec<Value>> {
+    let fallbacks = column_fallbacks(schema, matrix);
+    (0..matrix.rows() as u32)
         .map(|i| {
-            (0..answers.cols() as u32)
+            (0..matrix.cols() as u32)
                 .map(|j| {
                     let cell = CellId::new(i, j);
                     match schema.column_type(j as usize) {
-                        ColumnType::Categorical { .. } => cell_mode(answers, cell)
+                        ColumnType::Categorical { .. } => cell_mode(matrix, cell)
                             .map(Value::Categorical)
-                            .unwrap_or_else(|| column_fallback(schema, answers, j as usize)),
-                        ColumnType::Continuous { .. } => cell_median(answers, cell)
+                            .unwrap_or_else(|| fallbacks[j as usize]),
+                        ColumnType::Continuous { .. } => cell_median(matrix, cell)
                             .map(Value::Continuous)
-                            .unwrap_or_else(|| column_fallback(schema, answers, j as usize)),
+                            .unwrap_or_else(|| fallbacks[j as usize]),
                     }
                 })
                 .collect()
@@ -173,16 +194,30 @@ mod tests {
     #[test]
     fn cell_mode_and_median() {
         let (_, log) = tiny();
-        assert_eq!(cell_mode(&log, CellId::new(0, 0)), Some(1));
-        assert_eq!(cell_mode(&log, CellId::new(1, 0)), None);
-        assert_eq!(cell_median(&log, CellId::new(0, 1)), Some(4.0));
-        assert_eq!(cell_median(&log, CellId::new(1, 1)), None);
+        let m = log.to_matrix();
+        assert_eq!(cell_mode(&m, CellId::new(0, 0)), Some(1));
+        assert_eq!(cell_mode(&m, CellId::new(1, 0)), None);
+        assert_eq!(cell_median(&m, CellId::new(0, 1)), Some(4.0));
+        assert_eq!(cell_median(&m, CellId::new(1, 1)), None);
+    }
+
+    #[test]
+    fn cell_mode_tie_breaks_to_smallest_label() {
+        let mut log = AnswerLog::new(1, 1);
+        for (w, l) in [(0u32, 3u32), (1, 1), (2, 3), (3, 1)] {
+            log.push(tcrowd_tabular::Answer {
+                worker: WorkerId(w),
+                cell: CellId::new(0, 0),
+                value: Value::Categorical(l),
+            });
+        }
+        assert_eq!(cell_mode(&log.to_matrix(), CellId::new(0, 0)), Some(1));
     }
 
     #[test]
     fn naive_estimates_fill_unanswered_cells() {
         let (schema, log) = tiny();
-        let est = naive_estimates(&schema, &log);
+        let est = naive_estimates(&schema, &log.to_matrix());
         assert_eq!(est[0][0], Value::Categorical(1));
         assert_eq!(est[0][1], Value::Continuous(4.0));
         // Row 1 has no answers: falls back to column-level aggregates.
@@ -193,9 +228,10 @@ mod tests {
     #[test]
     fn fallback_uses_domain_middle_when_column_empty() {
         let (schema, _) = tiny();
-        let empty = AnswerLog::new(2, 2);
-        assert_eq!(column_fallback(&schema, &empty, 1), Value::Continuous(5.0));
-        assert_eq!(column_fallback(&schema, &empty, 0), Value::Categorical(0));
+        let empty = AnswerLog::new(2, 2).to_matrix();
+        let f = column_fallbacks(&schema, &empty);
+        assert_eq!(f[1], Value::Continuous(5.0));
+        assert_eq!(f[0], Value::Categorical(0));
     }
 
     #[test]

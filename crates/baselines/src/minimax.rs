@@ -23,9 +23,8 @@
 //! to the per-cell median so the method still produces a full table.
 
 use crate::method::{naive_estimates, TruthMethod};
-use std::collections::HashMap;
 use tcrowd_stat::EPS;
-use tcrowd_tabular::{AnswerLog, ColumnType, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, ColumnType, Schema, Value};
 
 /// Minimax-Entropy estimator (categorical columns).
 #[derive(Debug, Clone, Copy)]
@@ -63,26 +62,27 @@ impl Default for MinimaxEntropy {
 }
 
 /// Per-column solver state; one independent model per categorical column
-/// (columns have different label sets, so moments do not mix).
+/// (columns have different label sets, so moments do not mix). All tables
+/// are dense: workers by the matrix's sorted index, tasks by row.
 struct ColumnState {
     l: usize,
-    /// Task posteriors, indexed by row.
-    posterior: HashMap<u32, Vec<f64>>,
-    /// `σ_u`, flattened `k * l + a`.
-    sigma: HashMap<WorkerId, Vec<f64>>,
-    /// `τ_i`, flattened `k * l + a`.
-    tau: HashMap<u32, Vec<f64>>,
+    /// Task posteriors, dense by row (empty vec = unanswered row).
+    posterior: Vec<Vec<f64>>,
+    /// `σ_u`, dense by worker, flattened `k * l + a`.
+    sigma: Vec<Vec<f64>>,
+    /// `τ_i`, dense by row, flattened `k * l + a`.
+    tau: Vec<Vec<f64>>,
 }
 
 impl ColumnState {
-    fn answer_logit(&self, w: WorkerId, i: u32, k: usize, a: usize) -> f64 {
+    fn answer_logit(&self, u: usize, i: usize, k: usize, a: usize) -> f64 {
         let idx = k * self.l + a;
-        self.sigma.get(&w).map_or(0.0, |s| s[idx]) + self.tau.get(&i).map_or(0.0, |t| t[idx])
+        self.sigma[u][idx] + self.tau[i][idx]
     }
 
     /// `P_{u,i}(a | k)` for all `a` (softmax row of the log-linear model).
-    fn answer_dist(&self, w: WorkerId, i: u32, k: usize) -> Vec<f64> {
-        let logits: Vec<f64> = (0..self.l).map(|a| self.answer_logit(w, i, k, a)).collect();
+    fn answer_dist(&self, u: usize, i: usize, k: usize) -> Vec<f64> {
+        let logits: Vec<f64> = (0..self.l).map(|a| self.answer_logit(u, i, k, a)).collect();
         softmax(&logits)
     }
 }
@@ -96,17 +96,31 @@ fn softmax(logits: &[f64]) -> Vec<f64> {
 
 #[allow(clippy::needless_range_loop)] // k/a index several parallel l×l tables
 impl MinimaxEntropy {
-    fn solve_column(&self, answers: &AnswerLog, j: usize, l: usize) -> HashMap<u32, Vec<f64>> {
-        // Collect the column's answers grouped by row.
-        let mut by_row: HashMap<u32, Vec<(WorkerId, usize)>> = HashMap::new();
-        for a in answers.all().iter().filter(|a| a.cell.col as usize == j) {
-            by_row
-                .entry(a.cell.row)
-                .or_default()
-                .push((a.worker, a.value.expect_categorical() as usize));
-        }
-        if by_row.is_empty() {
-            return HashMap::new();
+    fn solve_column(&self, matrix: &AnswerMatrix, j: usize, l: usize) -> Vec<Vec<f64>> {
+        let n_rows = matrix.rows();
+        // The column's answers grouped by row: one contiguous CSR slice per
+        // cell, visited in ascending row order (deterministic). Workers are
+        // compacted to a column-local index so the `l×l` dual tables only
+        // cover workers who answered this column.
+        let mut remap = vec![u32::MAX; matrix.num_workers()];
+        let mut n_workers = 0usize;
+        let by_row: Vec<Vec<(usize, usize)>> = (0..n_rows)
+            .map(|i| {
+                matrix
+                    .cell_range(CellId::new(i as u32, j as u32))
+                    .map(|k| {
+                        let g = matrix.answer_workers()[k] as usize;
+                        if remap[g] == u32::MAX {
+                            remap[g] = n_workers as u32;
+                            n_workers += 1;
+                        }
+                        (remap[g] as usize, matrix.answer_labels()[k] as usize)
+                    })
+                    .collect()
+            })
+            .collect();
+        if by_row.iter().all(|v: &Vec<(usize, usize)>| v.is_empty()) {
+            return vec![Vec::new(); n_rows];
         }
 
         // Initialise posteriors from vote shares; parameters at zero (the
@@ -115,53 +129,58 @@ impl MinimaxEntropy {
             l,
             posterior: by_row
                 .iter()
-                .map(|(&i, votes)| {
+                .map(|votes| {
+                    if votes.is_empty() {
+                        return Vec::new();
+                    }
                     let mut p = vec![1.0; l]; // add-one smoothing
                     for &(_, a) in votes {
                         p[a] += 1.0;
                     }
                     let t: f64 = p.iter().sum();
                     p.iter_mut().for_each(|v| *v /= t);
-                    (i, p)
+                    p
                 })
                 .collect(),
-            sigma: HashMap::new(),
-            tau: HashMap::new(),
+            sigma: vec![vec![0.0; l * l]; n_workers],
+            tau: vec![vec![0.0; l * l]; n_rows],
         };
 
+        let mut grad_sigma = vec![vec![0.0f64; l * l]; n_workers];
+        let mut grad_tau = vec![vec![0.0f64; l * l]; n_rows];
         for _ in 0..self.max_iters {
             // ---- M-step: gradient ascent on the regularised dual.
             for _ in 0..self.grad_steps {
-                let mut grad_sigma: HashMap<WorkerId, Vec<f64>> = HashMap::new();
-                let mut grad_tau: HashMap<u32, Vec<f64>> = HashMap::new();
-                for (&i, votes) in &by_row {
-                    let post = &state.posterior[&i];
-                    for &(w, a_obs) in votes {
+                for g in grad_sigma.iter_mut().chain(grad_tau.iter_mut()) {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                for (i, votes) in by_row.iter().enumerate() {
+                    if votes.is_empty() {
+                        continue;
+                    }
+                    let post = &state.posterior[i];
+                    for &(u, a_obs) in votes {
                         for k in 0..l {
                             let pk = post[k];
                             if pk <= EPS {
                                 continue;
                             }
-                            let dist = state.answer_dist(w, i, k);
+                            let dist = state.answer_dist(u, i, k);
                             for a in 0..l {
                                 // ∂/∂θ[k][a] = P(t=k)·(1{a=a_obs} − P(a|k)).
                                 let g = pk * ((a == a_obs) as i32 as f64 - dist[a]);
-                                grad_sigma.entry(w).or_insert_with(|| vec![0.0; l * l])
-                                    [k * l + a] += g;
-                                grad_tau.entry(i).or_insert_with(|| vec![0.0; l * l])
-                                    [k * l + a] += g;
+                                grad_sigma[u][k * l + a] += g;
+                                grad_tau[i][k * l + a] += g;
                             }
                         }
                     }
                 }
-                for (w, g) in grad_sigma {
-                    let s = state.sigma.entry(w).or_insert_with(|| vec![0.0; l * l]);
+                for (s, g) in state.sigma.iter_mut().zip(&grad_sigma) {
                     for (sv, gv) in s.iter_mut().zip(g) {
                         *sv += self.learning_rate * (gv - self.l2_sigma * *sv);
                     }
                 }
-                for (i, g) in grad_tau {
-                    let t = state.tau.entry(i).or_insert_with(|| vec![0.0; l * l]);
+                for (t, g) in state.tau.iter_mut().zip(&grad_tau) {
                     for (tv, gv) in t.iter_mut().zip(g) {
                         *tv += self.learning_rate * (gv - self.l2_tau * *tv);
                     }
@@ -169,15 +188,18 @@ impl MinimaxEntropy {
             }
 
             // ---- E-step: label posteriors under the log-linear model.
-            for (&i, votes) in &by_row {
+            for (i, votes) in by_row.iter().enumerate() {
+                if votes.is_empty() {
+                    continue;
+                }
                 let mut log_p = vec![0.0; l]; // uniform prior
-                for &(w, a_obs) in votes {
+                for &(u, a_obs) in votes {
                     for k in 0..l {
-                        let dist = state.answer_dist(w, i, k);
+                        let dist = state.answer_dist(u, i, k);
                         log_p[k] += dist[a_obs].max(EPS).ln();
                     }
                 }
-                state.posterior.insert(i, softmax(&log_p));
+                state.posterior[i] = softmax(&log_p);
             }
         }
         state.posterior
@@ -190,7 +212,8 @@ impl TruthMethod for MinimaxEntropy {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
         for j in schema.categorical_columns() {
             let l = match schema.column_type(j) {
                 ColumnType::Categorical { labels } => labels.len(),
@@ -199,15 +222,18 @@ impl TruthMethod for MinimaxEntropy {
             if l < 2 || l > self.max_cardinality {
                 continue;
             }
-            let posterior = self.solve_column(answers, j, l);
-            for (i, p) in posterior {
+            let posterior = self.solve_column(&matrix, j, l);
+            for (i, p) in posterior.iter().enumerate() {
+                if p.is_empty() {
+                    continue;
+                }
                 let best = p
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN posterior"))
                     .map(|(k, _)| k as u32)
                     .unwrap_or(0);
-                est[i as usize][j] = Value::Categorical(best);
+                est[i][j] = Value::Categorical(best);
             }
         }
         est
@@ -217,17 +243,14 @@ impl TruthMethod for MinimaxEntropy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcrowd_tabular::{evaluate, generate_dataset, Answer, CellId, GeneratorConfig};
+    use tcrowd_tabular::{evaluate, generate_dataset, Answer, GeneratorConfig, WorkerId};
 
     #[test]
     fn recovers_unanimous_labels() {
         let schema = Schema::new(
             "t",
             "k",
-            vec![tcrowd_tabular::Column::new(
-                "c",
-                ColumnType::categorical_with_cardinality(3),
-            )],
+            vec![tcrowd_tabular::Column::new("c", ColumnType::categorical_with_cardinality(3))],
         );
         let mut log = AnswerLog::new(2, 1);
         for w in 0..4u32 {
@@ -254,10 +277,7 @@ mod tests {
         let schema = Schema::new(
             "t",
             "k",
-            vec![tcrowd_tabular::Column::new(
-                "c",
-                ColumnType::categorical_with_cardinality(2),
-            )],
+            vec![tcrowd_tabular::Column::new("c", ColumnType::categorical_with_cardinality(2))],
         );
         let rows = 12u32;
         let mut log = AnswerLog::new(rows as usize, 1);
@@ -282,9 +302,8 @@ mod tests {
             }
         }
         let est = MinimaxEntropy::default().estimate(&schema, &log);
-        let correct = (0..rows)
-            .filter(|&i| est[i as usize][0] == Value::Categorical(i % 2))
-            .count();
+        let correct =
+            (0..rows).filter(|&i| est[i as usize][0] == Value::Categorical(i % 2)).count();
         assert!(correct >= 10, "only {correct}/{rows} recovered");
     }
 
@@ -313,20 +332,11 @@ mod tests {
                 &d.truth,
                 &MinimaxEntropy::default().estimate(&d.schema, &d.answers),
             );
-            let mv = evaluate(
-                &d.schema,
-                &d.truth,
-                &MajorityVoting.estimate(&d.schema, &d.answers),
-            );
+            let mv = evaluate(&d.schema, &d.truth, &MajorityVoting.estimate(&d.schema, &d.answers));
             mm_err += mm.error_rate.unwrap();
             mv_err += mv.error_rate.unwrap();
         }
-        assert!(
-            mm_err <= mv_err + 0.02 * 3.0,
-            "minimax {} vs MV {}",
-            mm_err / 3.0,
-            mv_err / 3.0
-        );
+        assert!(mm_err <= mv_err + 0.02 * 3.0, "minimax {} vs MV {}", mm_err / 3.0, mv_err / 3.0);
     }
 
     #[test]
@@ -372,10 +382,7 @@ mod tests {
         let schema = Schema::new(
             "t",
             "k",
-            vec![tcrowd_tabular::Column::new(
-                "c",
-                ColumnType::categorical_with_cardinality(2),
-            )],
+            vec![tcrowd_tabular::Column::new("c", ColumnType::categorical_with_cardinality(2))],
         );
         let log = AnswerLog::new(3, 1);
         let est = MinimaxEntropy::default().estimate(&schema, &log);

@@ -4,8 +4,8 @@
 //! Continuous cells fall back to the per-cell median so the method always
 //! returns a full table (Table 7 scores MV on error rate only).
 
-use crate::method::{cell_median, cell_mode, column_fallback, TruthMethod};
-use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value};
+use crate::method::{naive_estimates, TruthMethod};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, Schema, Value};
 
 /// Majority voting over categorical answers.
 #[derive(Debug, Clone, Copy, Default)]
@@ -17,34 +17,17 @@ impl TruthMethod for MajorityVoting {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        (0..answers.rows() as u32)
-            .map(|i| {
-                (0..answers.cols() as u32)
-                    .map(|j| {
-                        let cell = CellId::new(i, j);
-                        match schema.column_type(j as usize) {
-                            ColumnType::Categorical { .. } => cell_mode(answers, cell)
-                                .map(Value::Categorical)
-                                .unwrap_or_else(|| {
-                                    column_fallback(schema, answers, j as usize)
-                                }),
-                            ColumnType::Continuous { .. } => cell_median(answers, cell)
-                                .map(Value::Continuous)
-                                .unwrap_or_else(|| {
-                                    column_fallback(schema, answers, j as usize)
-                                }),
-                        }
-                    })
-                    .collect()
-            })
-            .collect()
+        // One columnar freeze; every cell is then a contiguous slice scan.
+        naive_estimates(schema, &AnswerMatrix::build(answers))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcrowd_tabular::{generate_dataset, Answer, Column, GeneratorConfig, WorkerId};
+    use tcrowd_tabular::{
+        generate_dataset, Answer, CellId, Column, ColumnType, GeneratorConfig, WorkerId,
+    };
 
     #[test]
     fn majority_wins() {

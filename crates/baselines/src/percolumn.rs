@@ -38,10 +38,7 @@ impl TruthMethod for PerColumnTCrowd {
             let sub_schema = Schema::new(
                 schema.name.clone(),
                 schema.key.clone(),
-                vec![Column::new(
-                    schema.columns[j].name.clone(),
-                    schema.column_type(j).clone(),
-                )],
+                vec![Column::new(schema.columns[j].name.clone(), schema.column_type(j).clone())],
             );
             let mut sub_answers = AnswerLog::new(rows, 1);
             for a in answers.all().iter().filter(|a| a.cell.col as usize == j) {

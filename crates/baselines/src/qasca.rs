@@ -68,9 +68,8 @@ impl AssignmentPolicy for QascaPolicy {
     }
 
     fn select(&mut self, worker: WorkerId, k: usize, ctx: &AssignmentContext<'_>) -> Vec<CellId> {
-        let inference = ctx
-            .inference
-            .expect("QascaPolicy requires an inference result in the context");
+        let inference =
+            ctx.inference.expect("QascaPolicy requires an inference result in the context");
         let candidates = ctx.candidates(worker);
         let scores: Vec<f64> = candidates
             .iter()

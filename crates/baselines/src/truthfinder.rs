@@ -18,7 +18,7 @@
 use crate::method::{naive_estimates, TruthMethod};
 use std::collections::HashMap;
 use tcrowd_stat::clamp_prob;
-use tcrowd_tabular::{AnswerLog, CellId, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, Schema, Value};
 
 /// TruthFinder estimator.
 #[derive(Debug, Clone, Copy)]
@@ -47,67 +47,77 @@ impl TruthMethod for TruthFinder {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
-        if answers.is_empty() {
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
+        if matrix.is_empty() {
             return est;
         }
-        // Facts: (cell, label) pairs of categorical cells.
-        // claims[u] -> fact indices; supporters[f] -> workers.
+        // Facts: (cell, label) pairs of categorical cells. The cell-major
+        // payload means facts of one cell are discovered adjacently, so
+        // `cell_facts` groups are contiguous runs of the fact list; workers
+        // use the matrix's dense sorted index.
+        let n_workers = matrix.num_workers();
         let mut fact_index: HashMap<(CellId, u32), usize> = HashMap::new();
         let mut fact_cells: Vec<(CellId, u32)> = Vec::new();
-        let mut claims: HashMap<WorkerId, Vec<usize>> = HashMap::new();
-        let mut supporters: Vec<Vec<WorkerId>> = Vec::new();
-        for a in answers.all() {
-            if let Value::Categorical(l) = a.value {
-                let f = *fact_index.entry((a.cell, l)).or_insert_with(|| {
-                    fact_cells.push((a.cell, l));
-                    supporters.push(Vec::new());
-                    fact_cells.len() - 1
-                });
-                supporters[f].push(a.worker);
-                claims.entry(a.worker).or_default().push(f);
+        let mut claims: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+        let mut supporters: Vec<Vec<usize>> = Vec::new();
+        for k in 0..matrix.len() {
+            if !matrix.is_categorical(k) {
+                continue;
             }
+            let cell = CellId::new(matrix.answer_rows()[k], matrix.answer_cols()[k]);
+            let l = matrix.answer_labels()[k];
+            let f = *fact_index.entry((cell, l)).or_insert_with(|| {
+                fact_cells.push((cell, l));
+                supporters.push(Vec::new());
+                fact_cells.len() - 1
+            });
+            let u = matrix.answer_workers()[k] as usize;
+            supporters[f].push(u);
+            claims[u].push(f);
         }
         if fact_cells.is_empty() {
             return est; // all-continuous table
         }
-        // Facts grouped per cell for the mutual-exclusion sum.
-        let mut cell_facts: HashMap<CellId, Vec<usize>> = HashMap::new();
-        for (f, (cell, _)) in fact_cells.iter().enumerate() {
-            cell_facts.entry(*cell).or_default().push(f);
+        // Facts grouped per cell for the mutual-exclusion sum: contiguous
+        // runs of the (cell-major) fact list.
+        let mut cell_fact_runs: Vec<(CellId, std::ops::Range<usize>)> = Vec::new();
+        let mut start = 0;
+        for f in 1..=fact_cells.len() {
+            if f == fact_cells.len() || fact_cells[f].0 != fact_cells[start].0 {
+                cell_fact_runs.push((fact_cells[start].0, start..f));
+                start = f;
+            }
         }
 
-        let mut trust: HashMap<WorkerId, f64> = claims
-            .keys()
-            .map(|&w| (w, clamp_prob(self.initial_trust)))
-            .collect();
+        let mut trust = vec![clamp_prob(self.initial_trust); n_workers];
+        let mut tau = vec![0.0f64; n_workers];
         let mut confidence = vec![0.5f64; fact_cells.len()];
         for _ in 0..self.max_iters {
             // Fact scores from trust.
-            let tau: HashMap<WorkerId, f64> = trust
-                .iter()
-                .map(|(&w, &t)| (w, -(1.0 - clamp_prob(t)).ln()))
-                .collect();
-            let sigma: Vec<f64> = supporters
-                .iter()
-                .map(|ws| ws.iter().map(|w| tau[w]).sum())
-                .collect();
-            for facts in cell_facts.values() {
-                let total: f64 = facts.iter().map(|&f| sigma[f]).sum();
-                for &f in facts {
+            for u in 0..n_workers {
+                tau[u] = -(1.0 - clamp_prob(trust[u])).ln();
+            }
+            let sigma: Vec<f64> =
+                supporters.iter().map(|ws| ws.iter().map(|&u| tau[u]).sum()).collect();
+            for (_, facts) in &cell_fact_runs {
+                let total: f64 = sigma[facts.clone()].iter().sum();
+                for f in facts.clone() {
                     let adjusted = sigma[f] - self.rho * (total - sigma[f]);
                     confidence[f] = 1.0 / (1.0 + (-self.gamma * adjusted).exp());
                 }
             }
             // Trust from fact confidences.
             let mut max_change = 0.0f64;
-            for (w, facts) in &claims {
+            for u in 0..n_workers {
+                if claims[u].is_empty() {
+                    continue;
+                }
                 let mean =
-                    facts.iter().map(|&f| confidence[f]).sum::<f64>() / facts.len() as f64;
+                    claims[u].iter().map(|&f| confidence[f]).sum::<f64>() / claims[u].len() as f64;
                 let new = clamp_prob(mean);
-                let old = trust[w];
-                max_change = max_change.max((new - old).abs());
-                trust.insert(*w, new);
+                max_change = max_change.max((new - trust[u]).abs());
+                trust[u] = new;
             }
             if max_change < self.tol {
                 break;
@@ -115,11 +125,10 @@ impl TruthMethod for TruthFinder {
         }
 
         // Pick the most-confident fact per categorical cell.
-        for (cell, facts) in &cell_facts {
+        for (cell, facts) in &cell_fact_runs {
             let best = facts
-                .iter()
-                .max_by(|&&a, &&b| confidence[a].partial_cmp(&confidence[b]).expect("NaN"))
-                .copied()
+                .clone()
+                .max_by(|&a, &b| confidence[a].partial_cmp(&confidence[b]).expect("NaN"))
                 .expect("non-empty fact set");
             est[cell.row as usize][cell.col as usize] = Value::Categorical(fact_cells[best].1);
         }
@@ -159,12 +168,8 @@ mod tests {
             );
             let tf = TruthFinder::default().estimate(&d.schema, &d.answers);
             let mv = MajorityVoting.estimate(&d.schema, &d.answers);
-            tf_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &tf)
-                .error_rate
-                .unwrap();
-            mv_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &mv)
-                .error_rate
-                .unwrap();
+            tf_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &tf).error_rate.unwrap();
+            mv_total += tcrowd_tabular::evaluate(&d.schema, &d.truth, &mv).error_rate.unwrap();
         }
         assert!(
             tf_total <= mv_total + 0.03,
@@ -212,7 +217,7 @@ mod tests {
             2,
         );
         let tf = TruthFinder::default().estimate(&d.schema, &d.answers);
-        let naive = crate::method::naive_estimates(&d.schema, &d.answers);
+        let naive = crate::method::naive_estimates(&d.schema, &d.answers.to_matrix());
         assert_eq!(tf, naive);
     }
 }

@@ -6,9 +6,8 @@
 //! labels.
 
 use crate::method::{naive_estimates, TruthMethod};
-use std::collections::HashMap;
 use tcrowd_stat::clamp_prob;
-use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, ColumnType, Schema, Value};
 
 /// ZenCrowd estimator.
 #[derive(Debug, Clone, Copy)]
@@ -31,94 +30,112 @@ impl TruthMethod for ZenCrowd {
     }
 
     fn estimate(&self, schema: &Schema, answers: &AnswerLog) -> Vec<Vec<Value>> {
-        let mut est = naive_estimates(schema, answers);
+        let matrix = AnswerMatrix::build(answers);
+        let mut est = naive_estimates(schema, &matrix);
         let cat_cols: Vec<usize> = schema.categorical_columns();
         if cat_cols.is_empty() {
             return est;
         }
-        let card: HashMap<usize, usize> = cat_cols
-            .iter()
-            .map(|&j| {
-                let l = match schema.column_type(j) {
-                    ColumnType::Categorical { labels } => labels.len(),
-                    _ => unreachable!(),
-                };
-                (j, l)
-            })
-            .collect();
-
-        // Posteriors per categorical cell.
-        let mut posterior: HashMap<(u32, u32), Vec<f64>> = HashMap::new();
+        // Cardinality per column (0 = not categorical), dense.
+        let mut card = vec![0usize; matrix.cols()];
         for &j in &cat_cols {
-            let l = card[&j];
-            for i in 0..answers.rows() as u32 {
+            card[j] = match schema.column_type(j) {
+                ColumnType::Categorical { labels } => labels.len(),
+                _ => unreachable!(),
+            };
+        }
+
+        // Posteriors per categorical cell, dense over row-major slots.
+        let slots = matrix.rows() * matrix.cols();
+        let mut posterior: Vec<Vec<f64>> = vec![Vec::new(); slots];
+        for &j in &cat_cols {
+            let l = card[j];
+            for i in 0..matrix.rows() as u32 {
                 let cell = CellId::new(i, j as u32);
-                if answers.count_for_cell(cell) == 0 {
+                let range = matrix.cell_range(cell);
+                if range.is_empty() {
                     continue;
                 }
                 let mut p = vec![0.0; l];
-                for a in answers.for_cell(cell) {
-                    p[a.value.expect_categorical() as usize] += 1.0;
+                for k in range {
+                    p[matrix.answer_labels()[k] as usize] += 1.0;
                 }
                 let total: f64 = p.iter().sum();
                 p.iter_mut().for_each(|v| *v /= total);
-                posterior.insert((i, j as u32), p);
+                posterior[i as usize * matrix.cols() + j] = p;
             }
         }
 
-        let mut reliability: HashMap<WorkerId, f64> =
-            answers.workers().map(|w| (w, 0.7)).collect();
+        // Dense per-worker reliability over the sorted worker index.
+        let n_workers = matrix.num_workers();
+        let mut reliability = vec![0.7f64; n_workers];
+        let mut hits = vec![0.0f64; n_workers];
+        let mut totals = vec![0.0f64; n_workers];
 
         for _ in 0..self.max_iters {
             // M-step: reliability = expected fraction of correct answers.
-            let mut hits: HashMap<WorkerId, f64> = HashMap::new();
-            let mut totals: HashMap<WorkerId, f64> = HashMap::new();
-            for a in answers.all() {
-                let j = a.cell.col as usize;
-                if !card.contains_key(&j) {
+            hits.iter_mut().for_each(|v| *v = 0.0);
+            totals.iter_mut().for_each(|v| *v = 0.0);
+            for k in 0..matrix.len() {
+                if !matrix.is_categorical(k) {
                     continue;
                 }
-                if let Some(p) = posterior.get(&(a.cell.row, a.cell.col)) {
-                    let pc = p[a.value.expect_categorical() as usize];
-                    *hits.entry(a.worker).or_default() += pc;
-                    *totals.entry(a.worker).or_default() += 1.0;
+                let slot = matrix.answer_rows()[k] as usize * matrix.cols()
+                    + matrix.answer_cols()[k] as usize;
+                let p = &posterior[slot];
+                if p.is_empty() {
+                    continue;
                 }
+                let u = matrix.answer_workers()[k] as usize;
+                hits[u] += p[matrix.answer_labels()[k] as usize];
+                totals[u] += 1.0;
             }
-            for (w, r) in reliability.iter_mut() {
-                let h = hits.get(w).copied().unwrap_or(0.0);
-                let t = totals.get(w).copied().unwrap_or(0.0);
+            for u in 0..n_workers {
                 // Smoothed toward 0.5 (coin-flip prior).
-                *r = clamp_prob((h + self.smoothing * 0.5) / (t + self.smoothing));
+                reliability[u] =
+                    clamp_prob((hits[u] + self.smoothing * 0.5) / (totals[u] + self.smoothing));
             }
 
-            // E-step: refresh posteriors in log space.
-            for (&(i, j), p) in posterior.iter_mut() {
-                let l = card[&(j as usize)];
-                let mut ln_p = vec![0.0f64; l];
-                for a in answers.for_cell(CellId::new(i, j)) {
-                    let r = reliability[&a.worker];
-                    let wrong = clamp_prob((1.0 - r) / (l.max(2) - 1) as f64);
-                    let lab = a.value.expect_categorical() as usize;
-                    for (z, lp) in ln_p.iter_mut().enumerate() {
-                        *lp += if z == lab { r.ln() } else { wrong.ln() };
+            // E-step: refresh posteriors in log space, cell slice by slice.
+            for &j in &cat_cols {
+                let l = card[j];
+                for i in 0..matrix.rows() as u32 {
+                    let range = matrix.cell_range(CellId::new(i, j as u32));
+                    if range.is_empty() {
+                        continue;
                     }
+                    let mut ln_p = vec![0.0f64; l];
+                    for k in range {
+                        let r = reliability[matrix.answer_workers()[k] as usize];
+                        let wrong = clamp_prob((1.0 - r) / (l.max(2) - 1) as f64);
+                        let lab = matrix.answer_labels()[k] as usize;
+                        for (z, lp) in ln_p.iter_mut().enumerate() {
+                            *lp += if z == lab { r.ln() } else { wrong.ln() };
+                        }
+                    }
+                    let max = ln_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let mut np: Vec<f64> = ln_p.iter().map(|lp| (lp - max).exp()).collect();
+                    let total: f64 = np.iter().sum();
+                    np.iter_mut().for_each(|v| *v /= total);
+                    posterior[i as usize * matrix.cols() + j] = np;
                 }
-                let max = ln_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let mut np: Vec<f64> = ln_p.iter().map(|lp| (lp - max).exp()).collect();
-                let total: f64 = np.iter().sum();
-                np.iter_mut().for_each(|v| *v /= total);
-                *p = np;
             }
         }
 
-        for (&(i, j), p) in &posterior {
-            let best = p
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
-                .map(|(z, _)| z as u32)
-                .unwrap_or(0);
-            est[i as usize][j as usize] = Value::Categorical(best);
+        for &j in &cat_cols {
+            for i in 0..matrix.rows() {
+                let p = &posterior[i * matrix.cols() + j];
+                if p.is_empty() {
+                    continue;
+                }
+                let best = p
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+                    .map(|(z, _)| z as u32)
+                    .unwrap_or(0);
+                est[i][j] = Value::Categorical(best);
+            }
         }
         est
     }
@@ -171,7 +188,7 @@ mod tests {
         );
         let est = ZenCrowd::default().estimate(&d.schema, &d.answers);
         // Equal to the naive median estimates.
-        let naive = crate::method::naive_estimates(&d.schema, &d.answers);
+        let naive = crate::method::naive_estimates(&d.schema, &d.answers.to_matrix());
         assert_eq!(est, naive);
     }
 }

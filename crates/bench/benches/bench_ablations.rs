@@ -22,32 +22,22 @@ fn gain_estimators(c: &mut Criterion) {
     group.bench_function("exact", |b| {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| {
-            std::hint::black_box(gain_with_params(
-                &truth,
-                0.4,
-                0.8,
-                GainEstimator::Exact,
-                &mut rng,
-            ))
+            std::hint::black_box(gain_with_params(&truth, 0.4, 0.8, GainEstimator::Exact, &mut rng))
         })
     });
     for &samples in &[10usize, 100] {
-        group.bench_with_input(
-            BenchmarkId::new("sampling", samples),
-            &samples,
-            |b, &s| {
-                let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| {
-                    std::hint::black_box(gain_with_params(
-                        &truth,
-                        0.4,
-                        0.8,
-                        GainEstimator::Sampling { samples: s },
-                        &mut rng,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sampling", samples), &samples, |b, &s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                std::hint::black_box(gain_with_params(
+                    &truth,
+                    0.4,
+                    0.8,
+                    GainEstimator::Sampling { samples: s },
+                    &mut rng,
+                ))
+            })
+        });
     }
     group.finish();
 }
@@ -109,8 +99,7 @@ fn batch_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_batch_mode");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(8));
-    for (label, mode) in [("top_k", BatchMode::TopK), ("sequential", BatchMode::SequentialGreedy)]
-    {
+    for (label, mode) in [("top_k", BatchMode::TopK), ("sequential", BatchMode::SequentialGreedy)] {
         group.bench_function(label, |b| {
             let mut policy = InherentGainPolicy::default().with_batch(mode);
             b.iter(|| std::hint::black_box(policy.select(WorkerId(9_999), 6, &ctx)))

@@ -12,11 +12,9 @@ fn baseline_runtimes(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(8));
     for method in table7_methods() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(method.name()),
-            &method,
-            |b, m| b.iter(|| std::hint::black_box(m.estimate(&d.schema, &d.answers)).len()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, m| {
+            b.iter(|| std::hint::black_box(m.estimate(&d.schema, &d.answers)).len())
+        });
     }
     group.finish();
 }

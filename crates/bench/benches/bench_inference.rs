@@ -1,9 +1,10 @@
 //! Criterion bench behind Figure 12(b): EM truth-inference runtime as a
-//! function of the answer-set size, plus the real-dataset fit.
+//! function of the answer-set size, plus the real-dataset fit, plus the
+//! columnar-vs-naive throughput case backing the `AnswerMatrix` refactor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tcrowd_core::TCrowd;
-use tcrowd_tabular::{generate_dataset, real_sim, GeneratorConfig};
+use tcrowd_core::{EmOptions, TCrowd, TCrowdOptions};
+use tcrowd_tabular::{generate_dataset, real_sim, CellId, GeneratorConfig, Value};
 
 fn inference_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference_scaling");
@@ -14,16 +15,12 @@ fn inference_scaling(c: &mut Criterion) {
         let cfg = GeneratorConfig { rows, columns: 10, answers_per_task: 5, ..Default::default() };
         let d = generate_dataset(&cfg, 7);
         group.throughput(Throughput::Elements(d.answers.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(d.answers.len()),
-            &d,
-            |b, d| {
-                b.iter(|| {
-                    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
-                    std::hint::black_box(r.iterations)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(d.answers.len()), &d, |b, d| {
+            b.iter(|| {
+                let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+                std::hint::black_box(r.iterations)
+            })
+        });
     }
     group.finish();
 }
@@ -44,5 +41,88 @@ fn inference_real_datasets(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, inference_scaling, inference_real_datasets);
+/// EM-iteration throughput on the 1 000×10 mixed-type table: the columnar
+/// CSR engine (sequential and threaded E-step) against the naive
+/// `HashMap`-indexed reference path. Verifies estimate agreement (≤ 1e-9),
+/// prints the speedup, and records everything in `BENCH_inference.json`.
+fn em_throughput(c: &mut Criterion) {
+    let cfg =
+        GeneratorConfig { rows: 1_000, columns: 10, answers_per_task: 5, ..Default::default() };
+    let d = generate_dataset(&cfg, 7);
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test")
+        || std::env::var_os("CRITERION_QUICK").is_some();
+    let reps = if quick { 1 } else { 3 };
+
+    let seq = TCrowd::default_full();
+    let par = TCrowd::new(TCrowdOptions {
+        em: EmOptions { parallel_estep: true, ..Default::default() },
+        ..Default::default()
+    });
+
+    // Correctness gate before timing: columnar and naive paths must agree.
+    let fast = seq.infer(&d.schema, &d.answers);
+    let naive = seq.infer_reference(&d.schema, &d.answers);
+    assert_eq!(fast.iterations, naive.iterations, "EM trajectories diverged");
+    for i in 0..d.rows() as u32 {
+        for j in 0..d.cols() as u32 {
+            match (fast.estimate(CellId::new(i, j)), naive.estimate(CellId::new(i, j))) {
+                (Value::Categorical(a), Value::Categorical(b)) => assert_eq!(a, b),
+                (Value::Continuous(a), Value::Continuous(b)) => {
+                    assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "({i},{j}): {a} vs {b}")
+                }
+                _ => panic!("datatype mismatch"),
+            }
+        }
+    }
+
+    let time_ns = |f: &dyn Fn() -> usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+    let csr_seq = time_ns(&|| seq.infer(&d.schema, &d.answers).iterations);
+    let csr_par = time_ns(&|| par.infer(&d.schema, &d.answers).iterations);
+    let hashmap_naive = time_ns(&|| seq.infer_reference(&d.schema, &d.answers).iterations);
+
+    let speedup = hashmap_naive / csr_seq;
+    println!(
+        "em_throughput (1000x10, {} answers): csr {:.1} ms, csr+parallel {:.1} ms, \
+         hashmap-naive {:.1} ms  ->  csr speedup {speedup:.2}x",
+        d.answers.len(),
+        csr_seq / 1e6,
+        csr_par / 1e6,
+        hashmap_naive / 1e6,
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"em_throughput\",\n  \"dataset\": {{\"rows\": 1000, \"columns\": 10, \"answers\": {}}},\n  \"results_ns_per_inference\": {{\n    \"csr_sequential\": {csr_seq:.0},\n    \"csr_parallel_estep\": {csr_par:.0},\n    \"hashmap_naive\": {hashmap_naive:.0}\n  }},\n  \"csr_speedup_over_naive\": {speedup:.3},\n  \"estimates_equal_within\": 1e-9\n}}\n",
+        d.answers.len(),
+    );
+    // Land the record at the workspace root regardless of bench CWD.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    // Also register the three cases with criterion for its own reporting.
+    let mut group = c.benchmark_group("em_throughput");
+    group.sample_size(reps.max(2));
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.throughput(Throughput::Elements(d.answers.len() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("csr_sequential"), &d, |b, d| {
+        b.iter(|| seq.infer(&d.schema, &d.answers).iterations)
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("csr_parallel_estep"), &d, |b, d| {
+        b.iter(|| par.infer(&d.schema, &d.answers).iterations)
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("hashmap_naive"), &d, |b, d| {
+        b.iter(|| seq.infer_reference(&d.schema, &d.answers).iterations)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, em_throughput, inference_scaling, inference_real_datasets);
 criterion_main!(benches);

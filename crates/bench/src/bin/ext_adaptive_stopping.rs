@@ -49,13 +49,8 @@ fn main() {
         ("p=0.95 σ=0.18", Some(StoppingRule { p_stop: 0.95, max_std: 0.18, min_answers: 3 })),
         ("p=0.99 σ=0.10", Some(StoppingRule { p_stop: 0.99, max_std: 0.10, min_answers: 3 })),
     ];
-    let mut table = TsvTable::new(&[
-        "rule",
-        "answers_per_task",
-        "error_rate",
-        "mnad",
-        "settled_cells",
-    ]);
+    let mut table =
+        TsvTable::new(&["rule", "answers_per_task", "error_rate", "mnad", "settled_cells"]);
 
     for (name, stopping) in rules {
         let mut spent = 0.0;
@@ -92,7 +87,9 @@ fn main() {
     emit(
         &table,
         "ext_adaptive_stopping.tsv",
-        &format!("Extension: stopping-rule cost/quality frontier at budget {BUDGET} ({reps} seed(s))"),
+        &format!(
+            "Extension: stopping-rule cost/quality frontier at budget {BUDGET} ({reps} seed(s))"
+        ),
     );
     println!("\nShape to check: stricter rules spend more answers and reach lower error;");
     println!("the strictest rules approach the fixed-budget row's quality at a fraction");

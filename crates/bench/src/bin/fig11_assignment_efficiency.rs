@@ -13,11 +13,8 @@ use tcrowd_tabular::{generate_dataset, GeneratorConfig, WorkerId};
 
 fn main() {
     let reps = reps().max(3);
-    let mut table = TsvTable::new(&[
-        "answers_per_task",
-        "inherent_seconds",
-        "structure_aware_seconds",
-    ]);
+    let mut table =
+        TsvTable::new(&["answers_per_task", "inherent_seconds", "structure_aware_seconds"]);
     for ans in [2usize, 3, 4, 5] {
         let cfg = GeneratorConfig {
             rows: 174,

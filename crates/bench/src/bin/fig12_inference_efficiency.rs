@@ -21,10 +21,7 @@ fn main() {
         trace.push_row(vec![i.to_string(), format!("{v:.4}")]);
     }
     emit(&trace, "fig12a_objective.tsv", "Figure 12(a): EM objective per iteration");
-    println!(
-        "\nConverged = {} after {} iterations (paper: < 20).",
-        r.converged, r.iterations
-    );
+    println!("\nConverged = {} after {} iterations (paper: < 20).", r.converged, r.iterations);
 
     // ---- (b) Runtime vs number of answers.
     let mut table = TsvTable::new(&["answers", "seconds", "answers_per_second"]);

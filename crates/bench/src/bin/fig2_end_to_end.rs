@@ -83,9 +83,7 @@ fn main() {
                         "CDAS" => (&mut cdas, InferenceBackend::Baseline(&mv)),
                         "CRH" => (&mut random_crh, InferenceBackend::Baseline(&crh)),
                         "CATD" => (&mut random_catd, InferenceBackend::Baseline(&catd)),
-                        "T-Crowd" => {
-                            (&mut sa, InferenceBackend::TCrowd(TCrowd::default_full()))
-                        }
+                        "T-Crowd" => (&mut sa, InferenceBackend::TCrowd(TCrowd::default_full())),
                         _ => unreachable!(),
                     };
                 let result = runner.run(sys.label, &mut pool, policy, &backend);

@@ -23,10 +23,8 @@ fn main() {
             continue; // too few answers for a stable "actual" quality
         }
         // Actual categorical quality: observed error rate vs ground truth.
-        let cat_answers: Vec<_> = answers
-            .iter()
-            .filter(|a| cats.contains(&(a.cell.col as usize)))
-            .collect();
+        let cat_answers: Vec<_> =
+            answers.iter().filter(|a| cats.contains(&(a.cell.col as usize))).collect();
         // Actual continuous quality: std of z-scored residuals.
         let mut residuals = Vec::new();
         for a in answers.iter().filter(|a| conts.contains(&(a.cell.col as usize))) {
@@ -42,9 +40,7 @@ fn main() {
         if !cat_answers.is_empty() {
             let wrong = cat_answers
                 .iter()
-                .filter(|a| {
-                    a.value.expect_categorical() != d.truth_of(a.cell).expect_categorical()
-                })
+                .filter(|a| a.value.expect_categorical() != d.truth_of(a.cell).expect_categorical())
                 .count();
             let actual = wrong as f64 / cat_answers.len() as f64;
             let estimated = 1.0 - r.quality_of(w).expect("fitted worker");
@@ -69,7 +65,17 @@ fn main() {
     }
     emit(&table, "fig4_quality_calibration.tsv", "Figure 4: estimated vs actual quality");
 
-    println!("\ncategorical: r = {:.3}, slope = {:.3} ({} workers)", cat_fit.r, cat_fit.slope, cat_pts.len());
-    println!("continuous:  r = {:.3}, slope = {:.3} ({} workers)", cont_fit.r, cont_fit.slope, cont_pts.len());
+    println!(
+        "\ncategorical: r = {:.3}, slope = {:.3} ({} workers)",
+        cat_fit.r,
+        cat_fit.slope,
+        cat_pts.len()
+    );
+    println!(
+        "continuous:  r = {:.3}, slope = {:.3} ({} workers)",
+        cont_fit.r,
+        cont_fit.slope,
+        cont_pts.len()
+    );
     println!("Paper shape to check: strong positive correlation, ~0.84 on both.");
 }

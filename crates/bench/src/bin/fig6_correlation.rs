@@ -50,9 +50,9 @@ fn main() {
         for i in 0..d.rows() as u32 {
             let row: Vec<&Answer> = d.answers.for_worker_row(w, i).collect();
             let err = |col: u32| {
-                row.iter().find(|a| a.cell.col == col).map(|a| {
-                    a.value.expect_continuous() - d.truth_of(a.cell).expect_continuous()
-                })
+                row.iter()
+                    .find(|a| a.cell.col == col)
+                    .map(|a| a.value.expect_continuous() - d.truth_of(a.cell).expect_continuous())
             };
             if let (Some(es), Some(ee)) = (err(3), err(4)) {
                 scatter.push_row(vec![format!("{es:.4}"), format!("{ee:.4}")]);
@@ -68,9 +68,7 @@ fn main() {
             model.conditional_error(4, &[(3, ErrorObservation::Continuous(probe))])
         {
             let (mean, var) = p.mixture_moments().expect("moments");
-            println!(
-                "P(e_end | e_start = {probe}) ≈ N({mean:.3}, {var:.3})  (z-scored units)"
-            );
+            println!("P(e_end | e_start = {probe}) ≈ N({mean:.3}, {var:.3})  (z-scored units)");
         }
     }
     println!("Paper shape to check: conditional mean tracks the observed error upward");

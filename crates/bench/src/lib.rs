@@ -29,20 +29,12 @@ pub fn results_dir() -> PathBuf {
 /// Repetitions per configuration (`TCROWD_REPS`, default 3; the paper uses
 /// 100 — raise it when error bars matter more than wall-clock).
 pub fn reps() -> usize {
-    std::env::var("TCROWD_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&r| r > 0)
-        .unwrap_or(3)
+    std::env::var("TCROWD_REPS").ok().and_then(|v| v.parse().ok()).filter(|&r| r > 0).unwrap_or(3)
 }
 
 /// The three simulated real-world datasets (paper Table 6), in paper order.
 pub fn real_datasets(seed: u64) -> Vec<Dataset> {
-    vec![
-        real_sim::celebrity(seed),
-        real_sim::restaurant(seed),
-        real_sim::emotion(seed),
-    ]
+    vec![real_sim::celebrity(seed), real_sim::restaurant(seed), real_sim::emotion(seed)]
 }
 
 /// All Table 7 truth-inference rows, in the paper's order.
@@ -57,8 +49,8 @@ pub fn table7_methods() -> Vec<Box<dyn TruthMethod>> {
         Box::new(ZenCrowd::default()),
         Box::new(TCrowdMethod::only_categorical()),
         Box::new(PerColumnTCrowd::default()), // §1's central-claim ablation, extra row
-        Box::new(MinimaxEntropy::default()), // §2 ref [40], extra row
-        Box::new(Accu::default()),           // §2 ref [12] (AccuSim), extra row
+        Box::new(MinimaxEntropy::default()),  // §2 ref [40], extra row
+        Box::new(Accu::default()),            // §2 ref [12] (AccuSim), extra row
         Box::new(MedianBaseline),
         Box::new(Gtm::default()),
         Box::new(TCrowdMethod::only_continuous()),
@@ -126,12 +118,7 @@ where
         }
         for (mi, m) in methods.iter().enumerate() {
             let (er, mnad) = average_reports(&reports[mi]);
-            table.push_row(vec![
-                format!("{v}"),
-                m.name().to_string(),
-                fmt_opt(er),
-                fmt_opt(mnad),
-            ]);
+            table.push_row(vec![format!("{v}"), m.name().to_string(), fmt_opt(er), fmt_opt(mnad)]);
         }
         eprintln!("{param} = {v} done");
     }
@@ -194,10 +181,7 @@ mod tests {
 
     #[test]
     fn datasets_come_in_paper_order() {
-        let names: Vec<String> = real_datasets(1)
-            .into_iter()
-            .map(|d| d.schema.name)
-            .collect();
+        let names: Vec<String> = real_datasets(1).into_iter().map(|d| d.schema.name).collect();
         assert_eq!(names, vec!["Celebrity", "Restaurant", "Emotion"]);
     }
 }

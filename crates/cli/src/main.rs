@@ -22,7 +22,9 @@ use tcrowd_core::{
     AssignmentContext, AssignmentPolicy, EntityAwarePolicy, InherentGainPolicy, RowGrouping,
     StructureAwarePolicy, TCrowd,
 };
-use tcrowd_sim::{ExperimentConfig, InferenceBackend, Runner, StoppingRule, WorkerPool, WorkerPoolConfig};
+use tcrowd_sim::{
+    ExperimentConfig, InferenceBackend, Runner, StoppingRule, WorkerPool, WorkerPoolConfig,
+};
 use tcrowd_tabular::io;
 use tcrowd_tabular::{evaluate, generate_dataset, GeneratorConfig, WorkerId};
 
@@ -93,8 +95,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     io::write_schema(&d.schema, dir.join("table.schema.tsv")).map_err(|e| e.to_string())?;
     io::write_answers(&d.schema, &d.answers, dir.join("table.answers.tsv"))
         .map_err(|e| e.to_string())?;
-    io::write_table(&d.schema, &d.truth, dir.join("table.truth.tsv"))
-        .map_err(|e| e.to_string())?;
+    io::write_table(&d.schema, &d.truth, dir.join("table.truth.tsv")).map_err(|e| e.to_string())?;
     println!(
         "wrote {} rows × {} columns, {} answers from {} workers to {}",
         d.rows(),
@@ -158,9 +159,8 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     );
     if let Some(path) = args.get("workers") {
         use std::io::Write;
-        let mut out = std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| e.to_string())?,
-        );
+        let mut out =
+            std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| e.to_string())?);
         writeln!(out, "worker\tphi\tquality\tanswers").map_err(|e| e.to_string())?;
         let mut workers = result.workers.clone();
         workers.sort();
@@ -197,11 +197,8 @@ fn cmd_assign(args: &Args) -> Result<(), String> {
     };
     let mut inherent = InherentGainPolicy::default();
     let mut sa = StructureAwarePolicy::default();
-    let policy: &mut dyn AssignmentPolicy = if args.has_switch("inherent") {
-        &mut inherent
-    } else {
-        &mut sa
-    };
+    let policy: &mut dyn AssignmentPolicy =
+        if args.has_switch("inherent") { &mut inherent } else { &mut sa };
     let picks = policy.select(worker, k, &ctx);
     println!("policy: {}", policy.name());
     println!("row\tcolumn");
@@ -322,15 +319,12 @@ fn sim_world(args: &Args, seed: u64) -> Result<(tcrowd_tabular::Dataset, WorkerP
     Ok((d, pool))
 }
 
-fn write_series(
-    path: Option<&str>,
-    runs: &[tcrowd_sim::RunResult],
-) -> Result<(), String> {
+fn write_series(path: Option<&str>, runs: &[tcrowd_sim::RunResult]) -> Result<(), String> {
     use std::io::Write;
     let mut out: Box<dyn Write> = match path {
-        Some(p) => Box::new(std::io::BufWriter::new(
-            std::fs::File::create(p).map_err(|e| e.to_string())?,
-        )),
+        Some(p) => {
+            Box::new(std::io::BufWriter::new(std::fs::File::create(p).map_err(|e| e.to_string())?))
+        }
         None => Box::new(std::io::stdout()),
     };
     writeln!(out, "policy	avg_answers	error_rate	mnad").map_err(|e| e.to_string())?;
@@ -369,16 +363,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         result.total_answers,
         result.total_hits,
         result.total_cost,
-        result
-            .final_report
-            .error_rate
-            .map(|v| format!("{v:.4}"))
-            .unwrap_or_else(|| "n/a".into()),
-        result
-            .final_report
-            .mnad
-            .map(|v| format!("{v:.4}"))
-            .unwrap_or_else(|| "n/a".into()),
+        result.final_report.error_rate.map(|v| format!("{v:.4}")).unwrap_or_else(|| "n/a".into()),
+        result.final_report.mnad.map(|v| format!("{v:.4}")).unwrap_or_else(|| "n/a".into()),
         if result.terminated_cells > 0 {
             format!("; {} cells settled early", result.terminated_cells)
         } else {
@@ -405,14 +391,8 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         println!(
             "{:<16} error rate {}  MNAD {}",
             r.label,
-            r.final_report
-                .error_rate
-                .map(|v| format!("{v:.4}"))
-                .unwrap_or_else(|| "n/a".into()),
-            r.final_report
-                .mnad
-                .map(|v| format!("{v:.4}"))
-                .unwrap_or_else(|| "n/a".into()),
+            r.final_report.error_rate.map(|v| format!("{v:.4}")).unwrap_or_else(|| "n/a".into()),
+            r.final_report.mnad.map(|v| format!("{v:.4}")).unwrap_or_else(|| "n/a".into()),
         );
         runs.push(r);
     }

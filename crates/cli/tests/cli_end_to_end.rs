@@ -9,9 +9,8 @@ fn bin() -> Command {
 }
 
 fn workdir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join("tcrowd_cli_tests")
-        .join(format!("{}_{tag}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join("tcrowd_cli_tests").join(format!("{}_{tag}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
@@ -185,25 +184,27 @@ fn simulate_prints_summary_and_writes_series() {
 fn simulate_adaptive_reports_settled_cells() {
     let out = bin()
         .args([
-            "simulate", "--rows", "12", "--cols", "3", "--budget", "5", "--seed", "4",
+            "simulate",
+            "--rows",
+            "12",
+            "--cols",
+            "3",
+            "--budget",
+            "5",
+            "--seed",
+            "4",
             "--adaptive",
         ])
         .output()
         .expect("run simulate --adaptive");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(
-        stdout.contains("settled early"),
-        "adaptive run should settle some cells: {stdout}"
-    );
+    assert!(stdout.contains("settled early"), "adaptive run should settle some cells: {stdout}");
 }
 
 #[test]
 fn simulate_rejects_unknown_policy() {
-    let out = bin()
-        .args(["simulate", "--policy", "oracle"])
-        .output()
-        .expect("run simulate");
+    let out = bin().args(["simulate", "--policy", "oracle"]).output().expect("run simulate");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
 }
@@ -219,7 +220,8 @@ fn compare_runs_every_policy() {
         .expect("run compare");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for policy in ["structure-aware", "inherent", "entity", "qasca", "random", "looping", "entropy"] {
+    for policy in ["structure-aware", "inherent", "entity", "qasca", "random", "looping", "entropy"]
+    {
         assert!(stdout.contains(policy), "missing policy {policy} in: {stdout}");
     }
     let tsv = std::fs::read_to_string(&series).unwrap();

@@ -23,7 +23,7 @@ use crate::truth::TruthDist;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tcrowd_stat::clamp_prob;
-use tcrowd_tabular::{AnswerLog, CellId, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, Schema, Value, WorkerId};
 
 /// Everything a policy may consult when selecting tasks.
 pub struct AssignmentContext<'a> {
@@ -94,10 +94,7 @@ pub enum BatchMode {
 fn top_k_by_gain(candidates: Vec<CellId>, gains: Vec<f64>, k: usize) -> Vec<CellId> {
     let mut order: Vec<usize> = (0..candidates.len()).collect();
     order.sort_by(|&a, &b| {
-        gains[b]
-            .partial_cmp(&gains[a])
-            .expect("NaN gain")
-            .then(candidates[a].cmp(&candidates[b]))
+        gains[b].partial_cmp(&gains[a]).expect("NaN gain").then(candidates[a].cmp(&candidates[b]))
     });
     order.into_iter().take(k).map(|i| candidates[i]).collect()
 }
@@ -116,7 +113,11 @@ impl InherentGainPolicy {
     /// Create with the given estimator (RNG only used by the sampling
     /// estimator; seeded for reproducibility).
     pub fn new(estimator: GainEstimator) -> Self {
-        InherentGainPolicy { estimator, batch: BatchMode::default(), rng: StdRng::seed_from_u64(0xC0FFEE) }
+        InherentGainPolicy {
+            estimator,
+            batch: BatchMode::default(),
+            rng: StdRng::seed_from_u64(0xC0FFEE),
+        }
     }
 
     /// Builder: set the batch-selection strategy.
@@ -138,9 +139,8 @@ impl AssignmentPolicy for InherentGainPolicy {
     }
 
     fn select(&mut self, worker: WorkerId, k: usize, ctx: &AssignmentContext<'_>) -> Vec<CellId> {
-        let inference = ctx
-            .inference
-            .expect("InherentGainPolicy requires an inference result in the context");
+        let inference =
+            ctx.inference.expect("InherentGainPolicy requires an inference result in the context");
         let candidates = ctx.candidates(worker);
         let gains: Vec<f64> = if self.estimator == GainEstimator::Exact {
             // The exact estimator is RNG-free, so large candidate sets can be
@@ -287,16 +287,23 @@ impl AssignmentPolicy for StructureAwarePolicy {
         let inference = ctx
             .inference
             .expect("StructureAwarePolicy requires an inference result in the context");
-        let model = CorrelationModel::fit(ctx.schema, ctx.answers, inference);
+        // One columnar freeze serves the correlation fit and the row-error
+        // scan (by-(worker, row) CSR view).
+        let matrix = AnswerMatrix::build(ctx.answers);
+        let model = CorrelationModel::fit_matrix(ctx.schema, &matrix, inference);
         let candidates = ctx.candidates(worker);
         // Pre-compute the worker's observed errors per row (L^u_i of Eq. 7).
         let mut row_errors: std::collections::HashMap<u32, Vec<(usize, ErrorObservation)>> =
             std::collections::HashMap::new();
-        for a in ctx.answers.for_worker(worker) {
-            row_errors
-                .entry(a.cell.row)
-                .or_default()
-                .push((a.cell.col as usize, observe_error(inference, a)));
+        if let Some(w) = matrix.worker_index(worker) {
+            for a in matrix.worker_answers(w) {
+                let answer =
+                    tcrowd_tabular::Answer { worker: a.worker, cell: a.cell, value: a.value };
+                row_errors
+                    .entry(a.cell.row)
+                    .or_default()
+                    .push((a.cell.col as usize, observe_error(inference, &answer)));
+            }
         }
         let empty: Vec<(usize, ErrorObservation)> = Vec::new();
         let gains: Vec<f64> = candidates
@@ -456,10 +463,7 @@ mod tests {
         };
         let mut policy = InherentGainPolicy::default();
         let picks = policy.select(WorkerId(9_999), 10, &ctx);
-        assert!(
-            !picks.contains(&target),
-            "the heavily-answered cell should not be a top pick"
-        );
+        assert!(!picks.contains(&target), "the heavily-answered cell should not be a top pick");
     }
 
     #[test]
@@ -491,7 +495,10 @@ mod tests {
         apply_answer_incrementally(&mut r, WorkerId(9_999), cell, &Value::Categorical(label));
         let after = r.truth_z(cell);
         assert_ne!(&before, after);
-        assert!(after.confidence_in(&Value::Categorical(label)) >= before.confidence_in(&Value::Categorical(label)));
+        assert!(
+            after.confidence_in(&Value::Categorical(label))
+                >= before.confidence_in(&Value::Categorical(label))
+        );
     }
 
     #[test]

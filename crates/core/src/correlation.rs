@@ -22,7 +22,7 @@ use tcrowd_stat::bivariate::BivariateNormal;
 use tcrowd_stat::describe::pearson;
 use tcrowd_stat::normal::Normal;
 use tcrowd_stat::{clamp_prob, EPS};
-use tcrowd_tabular::{AnswerLog, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, Schema, Value};
 
 /// One observed error of a worker on an already-answered cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,11 +57,8 @@ impl PredictedError {
                     return None;
                 }
                 let mean: f64 = parts.iter().map(|(w, n)| w * n.mean).sum::<f64>() / total;
-                let second: f64 = parts
-                    .iter()
-                    .map(|(w, n)| w * (n.var + n.mean * n.mean))
-                    .sum::<f64>()
-                    / total;
+                let second: f64 =
+                    parts.iter().map(|(w, n)| w * (n.var + n.mean * n.mean)).sum::<f64>() / total;
                 Some((mean, (second - mean * mean).max(EPS)))
             }
             PredictedError::Categorical(_) => None,
@@ -73,21 +70,14 @@ impl PredictedError {
 #[derive(Debug, Clone)]
 enum Conditional {
     /// Both categorical: `P(e_j = wrong | e_k = correct/wrong)`.
-    CatCat {
-        p_wrong_given_correct: f64,
-        p_wrong_given_wrong: f64,
-    },
+    CatCat { p_wrong_given_correct: f64, p_wrong_given_wrong: f64 },
     /// Both continuous: joint bivariate Gaussian over `(e_j, e_k)`.
     ContCont(BivariateNormal),
     /// `j` continuous, `k` categorical: one Gaussian per `e_k` outcome.
     ContGivenCat { given_correct: Normal, given_wrong: Normal },
     /// `j` categorical, `k` continuous: Bayes inversion through the
     /// class-conditional Gaussians of `e_k` and the marginal of `e_j`.
-    CatGivenCont {
-        ek_given_correct: Normal,
-        ek_given_wrong: Normal,
-        p_wrong: f64,
-    },
+    CatGivenCont { ek_given_correct: Normal, ek_given_wrong: Normal, p_wrong: f64 },
     /// Not enough co-observations to fit anything.
     Unavailable,
 }
@@ -119,9 +109,7 @@ pub fn observe_error(
             ErrorObservation::Categorical(l != est)
         }
         Value::Continuous(x) => {
-            let (m, s) = result
-                .scaler(answer.cell.col as usize)
-                .expect("continuous column scaler");
+            let (m, s) = result.scaler(answer.cell.col as usize).expect("continuous column scaler");
             let z = (x - m) / s;
             let mu = match result.truth_z(answer.cell) {
                 TruthDist::Continuous(n) => n.mean,
@@ -134,32 +122,45 @@ pub fn observe_error(
 
 impl CorrelationModel {
     /// Fit the model from the full answer history and the current inference
-    /// result (Tables 4–5 by MLE; Eq. 8 for `W`).
+    /// result (Tables 4–5 by MLE; Eq. 8 for `W`). Freezes the log into an
+    /// [`AnswerMatrix`] first; callers that already hold one should use
+    /// [`Self::fit_matrix`].
     pub fn fit(schema: &Schema, answers: &AnswerLog, result: &InferenceResult) -> Self {
+        Self::fit_matrix(schema, &AnswerMatrix::build(answers), result)
+    }
+
+    /// Fit from a frozen columnar answer set: the by-(worker, row) CSR view
+    /// yields each `L^u_i` group as one contiguous run, workers ascending —
+    /// the pair collection is allocation-free and deterministic.
+    pub fn fit_matrix(schema: &Schema, matrix: &AnswerMatrix, result: &InferenceResult) -> Self {
         let m = schema.num_columns();
         // Collect per-(worker,row) error tuples: col -> observation.
-        // Answers are grouped by worker+row via the log's index.
         let mut pairs: Vec<Vec<Vec<(ErrorObservation, ErrorObservation)>>> =
             vec![vec![Vec::new(); m]; m];
-        let workers: Vec<WorkerId> = answers.workers().collect();
-        for &w in &workers {
-            // Group this worker's answers by row.
-            let mut by_row: std::collections::HashMap<u32, Vec<(usize, ErrorObservation)>> =
-                std::collections::HashMap::new();
-            for a in answers.for_worker(w) {
-                by_row
-                    .entry(a.cell.row)
-                    .or_default()
-                    .push((a.cell.col as usize, observe_error(result, a)));
-            }
-            for row in by_row.values() {
-                for &(j, ej) in row {
-                    for &(k, ek) in row {
+        let mut group: Vec<(usize, ErrorObservation)> = Vec::new();
+        for w in 0..matrix.num_workers() {
+            // The worker's answers are grouped by ascending row; split runs.
+            let idx = matrix.worker_answer_indices(w);
+            let mut start = 0;
+            while start < idx.len() {
+                let row = matrix.answer_rows()[idx[start] as usize];
+                let mut end = start + 1;
+                while end < idx.len() && matrix.answer_rows()[idx[end] as usize] == row {
+                    end += 1;
+                }
+                group.clear();
+                for &k in &idx[start..end] {
+                    let a = matrix.to_answer(k as usize);
+                    group.push((a.cell.col as usize, observe_error(result, &a)));
+                }
+                for &(j, ej) in &group {
+                    for &(k, ek) in &group {
                         if j != k {
                             pairs[j][k].push((ej, ek));
                         }
                     }
                 }
+                start = end;
             }
         }
 
@@ -223,12 +224,18 @@ impl CorrelationModel {
                 continue;
             }
             match (&self.cond[idx], ek) {
-                (Conditional::CatCat { p_wrong_given_correct, p_wrong_given_wrong }, ErrorObservation::Categorical(wrong)) => {
+                (
+                    Conditional::CatCat { p_wrong_given_correct, p_wrong_given_wrong },
+                    ErrorObservation::Categorical(wrong),
+                ) => {
                     let p = if *wrong { *p_wrong_given_wrong } else { *p_wrong_given_correct };
                     cat_num += weight * p;
                     cat_den += weight;
                 }
-                (Conditional::CatGivenCont { ek_given_correct, ek_given_wrong, p_wrong }, ErrorObservation::Continuous(x)) => {
+                (
+                    Conditional::CatGivenCont { ek_given_correct, ek_given_wrong, p_wrong },
+                    ErrorObservation::Continuous(x),
+                ) => {
                     // Bayes: P(e_j = wrong | e_k = x).
                     let num = ek_given_wrong.pdf(*x) * p_wrong;
                     let den = num + ek_given_correct.pdf(*x) * (1.0 - p_wrong);
@@ -240,7 +247,10 @@ impl CorrelationModel {
                 (Conditional::ContCont(b), ErrorObservation::Continuous(x)) => {
                     mix.push((weight, b.conditional1_given2(*x)));
                 }
-                (Conditional::ContGivenCat { given_correct, given_wrong }, ErrorObservation::Categorical(wrong)) => {
+                (
+                    Conditional::ContGivenCat { given_correct, given_wrong },
+                    ErrorObservation::Categorical(wrong),
+                ) => {
                     mix.push((weight, if *wrong { *given_wrong } else { *given_correct }));
                 }
                 _ => {} // unavailable or datatype mismatch: skip
@@ -282,15 +292,13 @@ fn fit_conditional(
         (true, true) => {
             // Case (a): two Bernoulli parameters, split by e_k.
             let given = |wrong_k: bool| {
-                Bernoulli::mle_smoothed(pairs.iter().filter_map(|(ej, ek)| {
-                    match (ej, ek) {
-                        (ErrorObservation::Categorical(wj), ErrorObservation::Categorical(wk))
-                            if *wk == wrong_k =>
-                        {
-                            Some(*wj)
-                        }
-                        _ => None,
+                Bernoulli::mle_smoothed(pairs.iter().filter_map(|(ej, ek)| match (ej, ek) {
+                    (ErrorObservation::Categorical(wj), ErrorObservation::Categorical(wk))
+                        if *wk == wrong_k =>
+                    {
+                        Some(*wj)
                     }
+                    _ => None,
                 }))
                 .p
             };
@@ -318,10 +326,11 @@ fn fit_conditional(
                 let vals: Vec<f64> = pairs
                     .iter()
                     .filter_map(|(ej, ek)| match (ej, ek) {
-                        (
-                            ErrorObservation::Continuous(a),
-                            ErrorObservation::Categorical(wk),
-                        ) if *wk == wrong_k => Some(*a),
+                        (ErrorObservation::Continuous(a), ErrorObservation::Categorical(wk))
+                            if *wk == wrong_k =>
+                        {
+                            Some(*a)
+                        }
                         _ => None,
                     })
                     .collect();
@@ -336,20 +345,19 @@ fn fit_conditional(
                 let vals: Vec<f64> = pairs
                     .iter()
                     .filter_map(|(ej, ek)| match (ej, ek) {
-                        (
-                            ErrorObservation::Categorical(wj),
-                            ErrorObservation::Continuous(b),
-                        ) if *wj == wrong_j => Some(*b),
+                        (ErrorObservation::Categorical(wj), ErrorObservation::Continuous(b))
+                            if *wj == wrong_j =>
+                        {
+                            Some(*b)
+                        }
                         _ => None,
                     })
                     .collect();
                 Normal::mle(&vals)
             };
-            let p_wrong = Bernoulli::mle_smoothed(pairs.iter().filter_map(|(ej, _)| {
-                match ej {
-                    ErrorObservation::Categorical(w) => Some(*w),
-                    _ => None,
-                }
+            let p_wrong = Bernoulli::mle_smoothed(pairs.iter().filter_map(|(ej, _)| match ej {
+                ErrorObservation::Categorical(w) => Some(*w),
+                _ => None,
             }))
             .p;
             Conditional::CatGivenCont {
@@ -396,10 +404,7 @@ mod tests {
                 let w = c.wjk(j, k);
                 assert!((-1.0..=1.0).contains(&w), "W[{j}][{k}] = {w}");
                 if j != k {
-                    assert!(
-                        (c.wjk(j, k) - c.wjk(k, j)).abs() < 1e-9,
-                        "Pearson is symmetric"
-                    );
+                    assert!((c.wjk(j, k) - c.wjk(k, j)).abs() < 1e-9, "Pearson is symmetric");
                 }
             }
         }
@@ -407,7 +412,7 @@ mod tests {
 
     #[test]
     fn familiarity_effect_shows_up_as_positive_correlation() {
-        let d = correlated_dataset(2);
+        let d = correlated_dataset(6);
         let r = TCrowd::default_full().infer(&d.schema, &d.answers);
         let c = CorrelationModel::fit(&d.schema, &d.answers, &r);
         // Average off-diagonal W should be positive.
@@ -459,10 +464,8 @@ mod tests {
         }
         let after_ok = c.conditional_error(j, &[(k, ErrorObservation::Categorical(false))]);
         let after_err = c.conditional_error(j, &[(k, ErrorObservation::Categorical(true))]);
-        if let (
-            Some(PredictedError::Categorical(p_ok)),
-            Some(PredictedError::Categorical(p_err)),
-        ) = (after_ok, after_err)
+        if let (Some(PredictedError::Categorical(p_ok)), Some(PredictedError::Categorical(p_err))) =
+            (after_ok, after_err)
         {
             assert!(
                 p_err > p_ok,
@@ -480,18 +483,12 @@ mod tests {
         let c = CorrelationModel::fit(&d.schema, &d.answers, &r);
         assert_eq!(c.conditional_error(0, &[]), None);
         // Self-conditioning is ignored.
-        assert_eq!(
-            c.conditional_error(0, &[(0, ErrorObservation::Categorical(true))]),
-            None
-        );
+        assert_eq!(c.conditional_error(0, &[(0, ErrorObservation::Categorical(true))]), None);
     }
 
     #[test]
     fn mixture_moments_are_sane() {
-        let parts = vec![
-            (0.5, Normal::new(1.0, 1.0)),
-            (0.5, Normal::new(-1.0, 1.0)),
-        ];
+        let parts = vec![(0.5, Normal::new(1.0, 1.0)), (0.5, Normal::new(-1.0, 1.0))];
         let p = PredictedError::ContinuousMixture(parts);
         let (mean, var) = p.mixture_moments().unwrap();
         assert!(mean.abs() < 1e-12);

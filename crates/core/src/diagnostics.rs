@@ -91,10 +91,8 @@ pub fn calibration(
     let mut predicted = Vec::new();
     let mut observed = Vec::new();
     for w in answers.workers().collect::<Vec<_>>() {
-        let cat_answers: Vec<_> = answers
-            .for_worker(w)
-            .filter(|a| cats.contains(&(a.cell.col as usize)))
-            .collect();
+        let cat_answers: Vec<_> =
+            answers.for_worker(w).filter(|a| cats.contains(&(a.cell.col as usize))).collect();
         if cat_answers.len() < MIN_ANSWERS {
             continue;
         }
@@ -167,12 +165,8 @@ pub fn residual_report(
 
 /// Convenience: which worker looks most suspicious (highest fitted `φ`)?
 pub fn worst_workers(result: &InferenceResult, k: usize) -> Vec<(WorkerId, f64)> {
-    let mut pairs: Vec<(WorkerId, f64)> = result
-        .workers
-        .iter()
-        .copied()
-        .zip(result.phi.iter().copied())
-        .collect();
+    let mut pairs: Vec<(WorkerId, f64)> =
+        result.workers.iter().copied().zip(result.phi.iter().copied()).collect();
     pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN phi").then(a.0.cmp(&b.0)));
     pairs.truncate(k);
     pairs

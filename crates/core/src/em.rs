@@ -13,7 +13,9 @@
 //! `φ_u` is the absolute per-worker variance.
 
 #![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
-use crate::model::{cat_answer_ln_likelihood, quality_dlnv, quality_from_variance};
+use crate::model::{
+    cat_answer_ln_likelihood, quality_from_ln_variance_fast, quality_pair_from_ln_variance_fast,
+};
 use crate::truth::TruthDist;
 use tcrowd_stat::normal::Normal;
 use tcrowd_stat::optimize::{gradient_ascent, AscentOptions};
@@ -112,23 +114,58 @@ pub(crate) struct IntAnswer {
 }
 
 /// The flattened problem instance the EM engine operates on.
+///
+/// Columnar/CSR layout: `answers` is sorted cell-major (row-major slots,
+/// insertion order within a cell) and `cell_offsets` delimits each cell's
+/// contiguous slice — every sweep walks dense memory, no per-cell
+/// indirection. Built from an [`tcrowd_tabular::AnswerMatrix`] by
+/// [`crate::inference::TCrowd::infer`]; workers are indexed densely in
+/// sorted-id order, which makes the whole EM pipeline deterministic.
 #[derive(Debug, Clone)]
 pub(crate) struct Workspace {
     pub n_rows: usize,
     pub n_cols: usize,
     pub n_workers: usize,
     pub col_kind: Vec<ColKind>,
+    /// Cell-major flattened answers.
     pub answers: Vec<IntAnswer>,
-    /// Dense per-cell answer index (row-major).
-    pub by_cell: Vec<Vec<u32>>,
+    /// CSR offsets into [`Self::answers`], `n_rows * n_cols + 1` entries.
+    pub cell_offsets: Vec<u32>,
     /// Quality window ε (Eq. 2), in z-score units.
     pub epsilon: f64,
 }
 
 impl Workspace {
+    /// Assemble a workspace from answers in any order: stable-sorts them
+    /// cell-major and builds the CSR offsets.
+    pub fn assemble(
+        n_rows: usize,
+        n_cols: usize,
+        n_workers: usize,
+        col_kind: Vec<ColKind>,
+        mut answers: Vec<IntAnswer>,
+        epsilon: f64,
+    ) -> Workspace {
+        answers.sort_by_key(|a| (a.row, a.col));
+        let mut cell_offsets = vec![0u32; n_rows * n_cols + 1];
+        for a in &answers {
+            cell_offsets[a.row as usize * n_cols + a.col as usize + 1] += 1;
+        }
+        for s in 0..n_rows * n_cols {
+            cell_offsets[s + 1] += cell_offsets[s];
+        }
+        Workspace { n_rows, n_cols, n_workers, col_kind, answers, cell_offsets, epsilon }
+    }
+
     #[inline]
     pub fn cell_slot(&self, row: u32, col: u32) -> usize {
         row as usize * self.n_cols + col as usize
+    }
+
+    /// The contiguous answer slice of one cell slot.
+    #[inline]
+    pub fn cell_answers(&self, slot: usize) -> &[IntAnswer] {
+        &self.answers[self.cell_offsets[slot] as usize..self.cell_offsets[slot + 1] as usize]
     }
 }
 
@@ -147,11 +184,17 @@ pub(crate) struct EmState {
 }
 
 impl EmState {
+    /// Log effective answer variance `ln(α_i β_j φ_u)` — the categorical
+    /// quality link consumes this directly, without materialising `v`.
+    #[inline]
+    pub fn effective_ln_variance(&self, worker: u32, row: u32, col: u32) -> f64 {
+        self.ln_alpha[row as usize] + self.ln_beta[col as usize] + self.ln_phi[worker as usize]
+    }
+
     /// Effective answer variance `α_i β_j φ_u`.
     #[inline]
     pub fn effective_variance(&self, worker: u32, row: u32, col: u32) -> f64 {
-        (self.ln_alpha[row as usize] + self.ln_beta[col as usize] + self.ln_phi[worker as usize])
-            .exp()
+        self.effective_ln_variance(worker, row, col).exp()
     }
 }
 
@@ -221,32 +264,37 @@ fn initial_truths(ws: &Workspace) -> Vec<TruthDist> {
 
 /// Posterior of one cell under the current parameters (Eq. 4).
 fn cell_posterior(ws: &Workspace, state: &EmState, slot: usize) -> Option<TruthDist> {
-    let idx = &ws.by_cell[slot];
-    if idx.is_empty() {
+    let cell = ws.cell_answers(slot);
+    if cell.is_empty() {
         return None; // posterior stays at the prior
     }
     let row = (slot / ws.n_cols) as u32;
     let col = (slot % ws.n_cols) as u32;
     Some(match ws.col_kind[col as usize] {
         ColKind::Cont => {
-            let obs: Vec<(f64, f64)> = idx
-                .iter()
-                .map(|&i| {
-                    let a = &ws.answers[i as usize];
-                    (a.value, state.effective_variance(a.worker, row, col))
-                })
-                .collect();
-            TruthDist::Continuous(Normal::STANDARD.posterior_with_observations(&obs))
+            // Streamed precision-weighted update — same accumulation order as
+            // `Normal::posterior_with_observations`, without the obs buffer.
+            let mut prec = 1.0; // standard-normal prior: 1/var
+            let mut weighted = 0.0; // prior mean / var
+            for a in cell {
+                let v = tcrowd_stat::clamp_var(state.effective_variance(a.worker, row, col));
+                prec += 1.0 / v;
+                weighted += a.value / v;
+            }
+            let var = 1.0 / prec;
+            TruthDist::Continuous(Normal::new(weighted * var, var))
         }
         ColKind::Cat(l) => {
             let l_us = l.max(1) as usize;
             let mut ln_p = vec![0.0f64; l_us]; // uniform prior cancels
-            for &i in idx {
-                let a = &ws.answers[i as usize];
-                let v = state.effective_variance(a.worker, row, col);
-                let q = quality_from_variance(ws.epsilon, v);
+            for a in cell {
+                let ln_v = state.effective_ln_variance(a.worker, row, col);
+                let q = quality_from_ln_variance_fast(ws.epsilon, ln_v);
+                // Only two distinct likelihood values exist per answer.
+                let ln_hit = cat_answer_ln_likelihood(q, l, true);
+                let ln_miss = cat_answer_ln_likelihood(q, l, false);
                 for (z, lp) in ln_p.iter_mut().enumerate() {
-                    *lp += cat_answer_ln_likelihood(q, l, z as u32 == a.label);
+                    *lp += if z as u32 == a.label { ln_hit } else { ln_miss };
                 }
             }
             let max = ln_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -261,12 +309,13 @@ fn cell_posterior(ws: &Workspace, state: &EmState, slot: usize) -> Option<TruthD
 }
 
 /// E-step (Eq. 4): recompute every cell's posterior from the current
-/// parameters. Cells are independent, so with `opts.parallel_estep` the work
-/// is split across threads (the paper's §7 notes this acceleration); results
-/// are bit-identical to the serial path, which is tested.
+/// parameters. Cells are independent, so with `opts.parallel_estep` (and the
+/// `parallel` cargo feature) the work is split across threads (the paper's
+/// §7 notes this acceleration); results are bit-identical to the serial
+/// path, which is tested.
 pub(crate) fn e_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
     let n_slots = ws.n_rows * ws.n_cols;
-    let threads = if opts.parallel_estep {
+    let threads = if cfg!(feature = "parallel") && opts.parallel_estep {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         1
@@ -362,19 +411,20 @@ fn m_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
         let mut grad = vec![0.0; x.len()];
         for (i, a) in ws.answers.iter().enumerate() {
             let ln_v = get_ln_v(a).clamp(-bound, bound);
-            let v = ln_v.exp();
             // g = ∂(per-answer term)/∂ln v — identical for α, β, φ.
             let g = match ws.col_kind[a.col as usize] {
                 ColKind::Cont => {
+                    let v = ln_v.exp();
                     let k = cache.cont_k[i];
                     q_val += -0.5 * (LN_2PI + ln_v) - k / (2.0 * v);
                     -0.5 + k / (2.0 * v)
                 }
                 ColKind::Cat(l) => {
+                    // The categorical link needs only x = ε/√(2v), so `v`
+                    // itself is never materialised on this branch.
                     let p = cache.cat_p[i];
-                    let q = quality_from_variance(ws.epsilon, v);
+                    let (q, dq) = quality_pair_from_ln_variance_fast(ws.epsilon, ln_v);
                     q_val += p * q.ln() + (1.0 - p) * ((1.0 - q) / (l.max(2) - 1) as f64).ln();
-                    let dq = quality_dlnv(ws.epsilon, v);
                     (p / q - (1.0 - p) / (1.0 - q)) * dq
                 }
             };
@@ -414,11 +464,8 @@ fn m_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
         state.ln_beta.copy_from_slice(lb);
     }
     state.ln_phi.copy_from_slice(lp);
-    for v in state
-        .ln_alpha
-        .iter_mut()
-        .chain(state.ln_beta.iter_mut())
-        .chain(state.ln_phi.iter_mut())
+    for v in
+        state.ln_alpha.iter_mut().chain(state.ln_beta.iter_mut()).chain(state.ln_phi.iter_mut())
     {
         *v = v.clamp(-bound, bound);
     }
@@ -464,28 +511,22 @@ pub(crate) fn compute_elbo(ws: &Workspace, state: &EmState, opts: &EmOptions) ->
             * state.ln_alpha.iter().map(|v| v * v).sum::<f64>();
     }
     if opts.learn_col_difficulty {
-        elbo -= 0.5
-            * opts.difficulty_prior_strength
-            * state.ln_beta.iter().map(|v| v * v).sum::<f64>();
+        elbo -=
+            0.5 * opts.difficulty_prior_strength * state.ln_beta.iter().map(|v| v * v).sum::<f64>();
     }
     elbo -= 0.5
         * opts.phi_prior_strength
-        * state
-            .ln_phi
-            .iter()
-            .map(|v| (v - phi_center) * (v - phi_center))
-            .sum::<f64>();
+        * state.ln_phi.iter().map(|v| (v - phi_center) * (v - phi_center)).sum::<f64>();
     for row in 0..ws.n_rows as u32 {
         for col in 0..ws.n_cols as u32 {
             let slot = ws.cell_slot(row, col);
-            let idx = &ws.by_cell[slot];
-            if idx.is_empty() {
+            let cell = ws.cell_answers(slot);
+            if cell.is_empty() {
                 continue;
             }
             match &state.truths[slot] {
                 TruthDist::Continuous(n) => {
-                    for &i in idx {
-                        let a = &ws.answers[i as usize];
+                    for a in cell {
                         let v = state.effective_variance(a.worker, row, col);
                         let d = a.value - n.mean;
                         elbo += -0.5 * (LN_2PI + v.ln()) - (d * d + n.var) / (2.0 * v);
@@ -499,10 +540,9 @@ pub(crate) fn compute_elbo(ws: &Workspace, state: &EmState, opts: &EmOptions) ->
                         ColKind::Cat(l) => l,
                         ColKind::Cont => unreachable!(),
                     };
-                    for &i in idx {
-                        let a = &ws.answers[i as usize];
-                        let v = state.effective_variance(a.worker, row, col);
-                        let q = quality_from_variance(ws.epsilon, v);
+                    for a in cell {
+                        let ln_v = state.effective_ln_variance(a.worker, row, col);
+                        let q = quality_from_ln_variance_fast(ws.epsilon, ln_v);
                         let pc = clamp_prob(p.get(a.label as usize).copied().unwrap_or(0.0));
                         elbo += pc * cat_answer_ln_likelihood(q, l, true)
                             + (1.0 - pc) * cat_answer_ln_likelihood(q, l, false);
@@ -520,6 +560,7 @@ pub(crate) fn compute_elbo(ws: &Workspace, state: &EmState, opts: &EmOptions) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{quality_dlnv, quality_from_variance};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use tcrowd_stat::optimize::numerical_gradient;
@@ -540,14 +581,12 @@ mod tests {
         let mut col_kind = vec![ColKind::Cat(4); cat_cols];
         col_kind.extend(vec![ColKind::Cont; cont_cols]);
         // Truths: cat labels and z-space continuous values.
-        let cat_truth: Vec<Vec<u32>> = (0..n_rows)
-            .map(|_| (0..cat_cols).map(|_| rng.gen_range(0..4)).collect())
-            .collect();
+        let cat_truth: Vec<Vec<u32>> =
+            (0..n_rows).map(|_| (0..cat_cols).map(|_| rng.gen_range(0..4)).collect()).collect();
         let cont_truth: Vec<Vec<f64>> = (0..n_rows)
             .map(|_| (0..cont_cols).map(|_| sample_std_normal(&mut rng)).collect())
             .collect();
         let mut answers = Vec::new();
-        let mut by_cell = vec![Vec::new(); n_rows * n_cols];
         for i in 0..n_rows {
             for (w, &phi) in phis.iter().enumerate() {
                 for j in 0..n_cols {
@@ -566,7 +605,6 @@ mod tests {
                         let t = cont_truth[i][j - cat_cols];
                         (0, t + phi.sqrt() * sample_std_normal(&mut rng))
                     };
-                    by_cell[i * n_cols + j].push(answers.len() as u32);
                     answers.push(IntAnswer {
                         worker: w as u32,
                         row: i as u32,
@@ -578,15 +616,7 @@ mod tests {
             }
         }
         (
-            Workspace {
-                n_rows,
-                n_cols,
-                n_workers: phis.len(),
-                col_kind,
-                answers,
-                by_cell,
-                epsilon,
-            },
+            Workspace::assemble(n_rows, n_cols, phis.len(), col_kind, answers, epsilon),
             cont_truth,
             cat_truth,
         )
@@ -647,7 +677,7 @@ mod tests {
                     let t = cont_truth[i][j];
                     se_est += (post.mean - t) * (post.mean - t);
                     // First answer on the cell as the naive single-source estimate.
-                    let first = ws.answers[ws.by_cell[slot][0] as usize].value;
+                    let first = ws.cell_answers(slot)[0].value;
                     se_first += (first - t) * (first - t);
                     n += 1.0;
                 }
@@ -716,8 +746,7 @@ mod tests {
                     ColKind::Cat(l) => {
                         let p = cache.cat_p[i];
                         let q = quality_from_variance(ws.epsilon, v);
-                        q_val +=
-                            p * q.ln() + (1.0 - p) * ((1.0 - q) / (l - 1) as f64).ln();
+                        q_val += p * q.ln() + (1.0 - p) * ((1.0 - q) / (l - 1) as f64).ln();
                     }
                 }
             }
@@ -733,10 +762,8 @@ mod tests {
             .collect();
         let mut grad = vec![0.0; x.len()];
         for (i, a) in ws.answers.iter().enumerate() {
-            let v = (x[a.row as usize]
-                + x[na + a.col as usize]
-                + x[na + nb + a.worker as usize])
-                .exp();
+            let v =
+                (x[a.row as usize] + x[na + a.col as usize] + x[na + nb + a.worker as usize]).exp();
             let g = match ws.col_kind[a.col as usize] {
                 ColKind::Cont => -0.5 + cache.cont_k[i] / (2.0 * v),
                 ColKind::Cat(_) => {
@@ -760,15 +787,7 @@ mod tests {
 
     #[test]
     fn empty_workspace_converges_to_priors() {
-        let ws = Workspace {
-            n_rows: 3,
-            n_cols: 2,
-            n_workers: 0,
-            col_kind: vec![ColKind::Cat(3), ColKind::Cont],
-            answers: vec![],
-            by_cell: vec![Vec::new(); 6],
-            epsilon: 0.5,
-        };
+        let ws = Workspace::assemble(3, 2, 0, vec![ColKind::Cat(3), ColKind::Cont], vec![], 0.5);
         let state = run_em(&ws, &EmOptions::default());
         assert!(state.converged);
         assert_eq!(state.truths.len(), 6);
@@ -808,10 +827,7 @@ mod tests {
         let phis = [0.05, 0.2, 0.6, 2.0, 0.1, 0.4, 0.9, 1.5];
         let (ws, _, _) = synth_workspace(40, 3, 3, &phis, 31);
         let serial = run_em(&ws, &EmOptions::default());
-        let parallel = run_em(
-            &ws,
-            &EmOptions { parallel_estep: true, ..Default::default() },
-        );
+        let parallel = run_em(&ws, &EmOptions { parallel_estep: true, ..Default::default() });
         assert_eq!(serial.iterations, parallel.iterations);
         assert_eq!(serial.truths, parallel.truths, "posteriors must be bit-identical");
         assert_eq!(serial.ln_phi, parallel.ln_phi);
@@ -824,10 +840,6 @@ mod tests {
         let (ws, _, _) = synth_workspace(40, 2, 2, &phis, 29);
         let state = run_em(&ws, &EmOptions::default());
         assert!(state.converged, "EM did not converge");
-        assert!(
-            state.iterations <= 30,
-            "took {} iterations (paper: < 20)",
-            state.iterations
-        );
+        assert!(state.iterations <= 30, "took {} iterations (paper: < 20)", state.iterations);
     }
 }

@@ -36,7 +36,7 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use tcrowd_stat::cluster::kmeans;
 use tcrowd_stat::{clamp_prob, EPS};
-use tcrowd_tabular::{AnswerLog, CellId, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, Schema, Value, WorkerId};
 
 /// How rows are partitioned into entity groups.
 #[derive(Debug, Clone)]
@@ -68,11 +68,7 @@ pub struct EntityModelOptions {
 
 impl Default for EntityModelOptions {
     fn default() -> Self {
-        EntityModelOptions {
-            prior_strength: 4.0,
-            lambda_range: (0.05, 50.0),
-            min_support: 3,
-        }
+        EntityModelOptions { prior_strength: 4.0, lambda_range: (0.05, 50.0), min_support: 3 }
     }
 }
 
@@ -102,54 +98,75 @@ impl EntityModel {
         grouping: &RowGrouping,
         opts: &EntityModelOptions,
     ) -> Self {
-        let n_rows = answers.rows();
+        Self::fit_matrix(schema, &AnswerMatrix::build(answers), result, grouping, opts)
+    }
+
+    /// Fit from a frozen columnar answer set. The by-worker CSR view groups
+    /// each worker's answers by ascending row, so the (worker, group) term
+    /// buckets fill in one deterministic pass.
+    pub fn fit_matrix(
+        schema: &Schema,
+        matrix: &AnswerMatrix,
+        result: &InferenceResult,
+        grouping: &RowGrouping,
+        opts: &EntityModelOptions,
+    ) -> Self {
+        let n_rows = matrix.rows();
         let groups = match grouping {
             RowGrouping::Known(g) => {
                 assert_eq!(g.len(), n_rows, "one group label per row");
                 g.clone()
             }
             RowGrouping::Learned { groups, seed } => {
-                learn_groups(answers, result, n_rows, *groups, *seed)
+                learn_groups(matrix, result, n_rows, *groups, *seed)
             }
         };
         let n_groups = groups.iter().max().map(|&g| g + 1).unwrap_or(1);
 
-        // Bucket likelihood terms by (worker, group).
-        let mut terms: HashMap<(WorkerId, usize), Vec<LikelihoodTerm>> = HashMap::new();
-        for a in answers.all() {
-            let g = groups[a.cell.row as usize];
-            let base_var = result.effective_variance(a.worker, a.cell);
-            let term = match &a.value {
-                Value::Continuous(_) => {
-                    let e = match observe_error(result, a) {
-                        ErrorObservation::Continuous(e) => e,
-                        ErrorObservation::Categorical(_) => unreachable!("type mismatch"),
-                    };
-                    LikelihoodTerm::Continuous { e2: e * e, base_var }
-                }
-                Value::Categorical(_) => {
-                    let wrong = match observe_error(result, a) {
-                        ErrorObservation::Categorical(w) => w,
-                        ErrorObservation::Continuous(_) => unreachable!("type mismatch"),
-                    };
-                    let cardinality = schema
-                        .column_type(a.cell.col as usize)
-                        .cardinality()
-                        .expect("categorical column");
-                    LikelihoodTerm::Categorical { correct: !wrong, base_var, cardinality }
-                }
-            };
-            terms.entry((a.worker, g)).or_default().push(term);
-        }
-
+        // Bucket likelihood terms by (worker, group): the worker view visits
+        // workers in sorted-id order and rows ascending, so each worker's
+        // buckets are contiguous and the fit order is deterministic.
         let mut lambda = HashMap::new();
-        for (key, ts) in terms {
-            if ts.len() < opts.min_support {
-                continue;
+        let mut buckets: Vec<Vec<LikelihoodTerm>> = (0..n_groups).map(|_| Vec::new()).collect();
+        for w in 0..matrix.num_workers() {
+            for b in &mut buckets {
+                b.clear();
             }
-            let fitted = fit_lambda(&ts, result.epsilon, opts);
-            if (fitted - 1.0).abs() > 1e-3 {
-                lambda.insert(key, fitted);
+            for a in matrix.worker_answers(w) {
+                let g = groups[a.cell.row as usize];
+                let base_var = result.effective_variance(a.worker, a.cell);
+                let answer =
+                    tcrowd_tabular::Answer { worker: a.worker, cell: a.cell, value: a.value };
+                let term = match &a.value {
+                    Value::Continuous(_) => {
+                        let e = match observe_error(result, &answer) {
+                            ErrorObservation::Continuous(e) => e,
+                            ErrorObservation::Categorical(_) => unreachable!("type mismatch"),
+                        };
+                        LikelihoodTerm::Continuous { e2: e * e, base_var }
+                    }
+                    Value::Categorical(_) => {
+                        let wrong = match observe_error(result, &answer) {
+                            ErrorObservation::Categorical(w) => w,
+                            ErrorObservation::Continuous(_) => unreachable!("type mismatch"),
+                        };
+                        let cardinality = schema
+                            .column_type(a.cell.col as usize)
+                            .cardinality()
+                            .expect("categorical column");
+                        LikelihoodTerm::Categorical { correct: !wrong, base_var, cardinality }
+                    }
+                };
+                buckets[g].push(term);
+            }
+            for (g, ts) in buckets.iter().enumerate() {
+                if ts.len() < opts.min_support {
+                    continue;
+                }
+                let fitted = fit_lambda(ts, result.epsilon, opts);
+                if (fitted - 1.0).abs() > 1e-3 {
+                    lambda.insert((matrix.worker_id(w), g), fitted);
+                }
             }
         }
         EntityModel { groups, n_groups, lambda }
@@ -172,10 +189,7 @@ impl EntityModel {
 
     /// Familiarity multiplier `λ_{u,g(row)}` — 1 when no effect was fitted.
     pub fn lambda(&self, worker: WorkerId, row: u32) -> f64 {
-        self.lambda
-            .get(&(worker, self.groups[row as usize]))
-            .copied()
-            .unwrap_or(1.0)
+        self.lambda.get(&(worker, self.groups[row as usize])).copied().unwrap_or(1.0)
     }
 
     /// Number of (worker, group) pairs with a fitted (non-unit) multiplier.
@@ -253,7 +267,7 @@ fn fit_lambda(terms: &[LikelihoodTerm], epsilon: f64, opts: &EntityModelOptions)
 /// k-means. Lloyd's algorithm is restarted from several seeds and the
 /// lowest-inertia partition wins.
 fn learn_groups(
-    answers: &AnswerLog,
+    matrix: &AnswerMatrix,
     result: &InferenceResult,
     n_rows: usize,
     k: usize,
@@ -264,16 +278,15 @@ fn learn_groups(
     /// `E[min(|z|, 3)]` for `z ~ N(0,1)` (the capped folded-normal mean).
     const EXPECTED_CAPPED_ABS: f64 = 0.791_23;
     const RESTARTS: u64 = 8;
-    let workers: Vec<WorkerId> = answers.workers().collect();
-    let windex: HashMap<WorkerId, usize> =
-        workers.iter().enumerate().map(|(i, &w)| (w, i)).collect();
-    let mut sums = vec![vec![0.0f64; workers.len()]; n_rows];
-    let mut counts = vec![vec![0usize; workers.len()]; n_rows];
-    for a in answers.all() {
-        let u = windex[&a.worker];
+    let n_workers = matrix.num_workers();
+    let mut sums = vec![vec![0.0f64; n_workers]; n_rows];
+    let mut counts = vec![vec![0usize; n_workers]; n_rows];
+    for a in matrix.iter() {
+        let u = a.worker_index as usize;
         let i = a.cell.row as usize;
         let v = result.effective_variance(a.worker, a.cell).max(EPS);
-        let badness = match observe_error(result, a) {
+        let answer = tcrowd_tabular::Answer { worker: a.worker, cell: a.cell, value: a.value };
+        let badness = match observe_error(result, &answer) {
             ErrorObservation::Continuous(e) => {
                 ((e.abs() / v.sqrt()).min(CAP) - EXPECTED_CAPPED_ABS) / CAP
             }
@@ -354,22 +367,28 @@ impl crate::assign::AssignmentPolicy for EntityAwarePolicy {
         k: usize,
         ctx: &crate::assign::AssignmentContext<'_>,
     ) -> Vec<CellId> {
-        let inference = ctx
-            .inference
-            .expect("EntityAwarePolicy requires an inference result in the context");
-        let entity = EntityModel::fit(ctx.schema, ctx.answers, inference, &self.grouping, &self.options);
+        let inference =
+            ctx.inference.expect("EntityAwarePolicy requires an inference result in the context");
+        // One columnar freeze shared by both model fits and the row-error scan.
+        let matrix = AnswerMatrix::build(ctx.answers);
+        let entity =
+            EntityModel::fit_matrix(ctx.schema, &matrix, inference, &self.grouping, &self.options);
         let corr = if self.use_attribute_correlation {
-            Some(CorrelationModel::fit(ctx.schema, ctx.answers, inference))
+            Some(CorrelationModel::fit_matrix(ctx.schema, &matrix, inference))
         } else {
             None
         };
         let mut row_errors: HashMap<u32, Vec<(usize, ErrorObservation)>> = HashMap::new();
         if corr.is_some() {
-            for a in ctx.answers.for_worker(worker) {
-                row_errors
-                    .entry(a.cell.row)
-                    .or_default()
-                    .push((a.cell.col as usize, observe_error(inference, a)));
+            if let Some(w) = matrix.worker_index(worker) {
+                for a in matrix.worker_answers(w) {
+                    let answer =
+                        tcrowd_tabular::Answer { worker: a.worker, cell: a.cell, value: a.value };
+                    row_errors
+                        .entry(a.cell.row)
+                        .or_default()
+                        .push((a.cell.col as usize, observe_error(inference, &answer)));
+                }
             }
         }
         let empty: Vec<(usize, ErrorObservation)> = Vec::new();
@@ -548,10 +567,7 @@ mod tests {
         );
         let truth: Vec<usize> = (0..60).map(|i| i % 3).collect();
         let ari = adjusted_rand_index(m.groups(), &truth);
-        assert!(
-            ari > 0.3,
-            "learned partition should correlate with the planted one, ARI = {ari}"
-        );
+        assert!(ari > 0.3, "learned partition should correlate with the planted one, ARI = {ari}");
     }
 
     #[test]
@@ -618,10 +634,7 @@ mod tests {
         let fitted = fit_lambda(&terms, 0.5, &opts);
         let sum_e2: f64 = (0..20).map(|i| 4.0 + 0.1 * i as f64).sum();
         let expected = (sum_e2 + opts.prior_strength) / (20.0 + opts.prior_strength);
-        assert!(
-            (fitted - expected).abs() < 1e-3,
-            "fitted {fitted} vs closed form {expected}"
-        );
+        assert!((fitted - expected).abs() < 1e-3, "fitted {fitted} vs closed form {expected}");
     }
 
     #[test]

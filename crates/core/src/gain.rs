@@ -21,8 +21,7 @@ use tcrowd_stat::clamp_var;
 use tcrowd_tabular::{CellId, Value, WorkerId};
 
 /// How the expected posterior entropy of a *continuous* cell is estimated.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GainEstimator {
     /// Closed form (default): for Gaussians the post-update variance is
     /// answer-independent, so `E_a[H_d]` is exact.
@@ -36,7 +35,6 @@ pub enum GainEstimator {
         samples: usize,
     },
 }
-
 
 /// Information gain of one more answer on a cell whose z-space posterior is
 /// `truth`, answered with effective variance `obs_var` (continuous) or
@@ -120,13 +118,11 @@ where
     F: Fn(CellId) -> f64 + Sync,
 {
     const PARALLEL_THRESHOLD: usize = 8192;
-    if candidates.len() < PARALLEL_THRESHOLD {
+    if !cfg!(feature = "parallel") || candidates.len() < PARALLEL_THRESHOLD {
         return candidates.iter().map(|&c| per_cell(c)).collect();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(candidates.len());
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(candidates.len());
     let chunk = candidates.len().div_ceil(threads);
     let mut out = vec![0.0; candidates.len()];
     std::thread::scope(|scope| {
@@ -157,13 +153,8 @@ mod tests {
         let t = TruthDist::Continuous(Normal::new(0.3, 2.0));
         let mut r = rng();
         let exact = gain_with_params(&t, 0.5, 0.8, GainEstimator::Exact, &mut r);
-        let sampled = gain_with_params(
-            &t,
-            0.5,
-            0.8,
-            GainEstimator::Sampling { samples: 50 },
-            &mut r,
-        );
+        let sampled =
+            gain_with_params(&t, 0.5, 0.8, GainEstimator::Sampling { samples: 50 }, &mut r);
         // For Gaussians the sampled entropy is answer-independent, so even a
         // small sample agrees to machine precision.
         assert!((exact - sampled).abs() < 1e-9, "{exact} vs {sampled}");
@@ -226,10 +217,7 @@ mod tests {
     fn single_label_domain_gains_zero() {
         let t = TruthDist::Categorical(vec![1.0]);
         let mut r = rng();
-        assert_eq!(
-            gain_with_params(&t, 0.5, 0.9, GainEstimator::Exact, &mut r),
-            0.0
-        );
+        assert_eq!(gain_with_params(&t, 0.5, 0.9, GainEstimator::Exact, &mut r), 0.0);
     }
 
     #[test]
@@ -243,9 +231,8 @@ mod tests {
 
     #[test]
     fn parallel_gains_match_serial() {
-        let cells: Vec<CellId> = (0..10_000)
-            .map(|i| CellId::new(i as u32 / 100, i as u32 % 100))
-            .collect();
+        let cells: Vec<CellId> =
+            (0..10_000).map(|i| CellId::new(i as u32 / 100, i as u32 % 100)).collect();
         let f = |c: CellId| (c.row * 100 + c.col) as f64 * 0.5;
         let par = compute_gains(&cells, f);
         let ser: Vec<f64> = cells.iter().map(|&c| f(c)).collect();

@@ -13,7 +13,7 @@ use crate::truth::TruthDist;
 use std::collections::HashMap;
 use tcrowd_stat::describe::{median, std_dev, zscore_params};
 use tcrowd_stat::normal::Normal;
-use tcrowd_tabular::{AnswerLog, CellId, ColumnType, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, ColumnType, Schema, Value, WorkerId};
 
 /// How the quality window `ε` (Eq. 2) is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +69,8 @@ pub struct TCrowdOptions {
     pub em: EmOptions,
 }
 
+pub mod reference;
+
 /// The T-Crowd truth-inference model (paper §4).
 #[derive(Debug, Clone, Default)]
 pub struct TCrowd {
@@ -88,72 +90,81 @@ impl TCrowd {
 
     /// The `TC-onlyCate` constrained variant.
     pub fn only_categorical() -> Self {
-        TCrowd::new(TCrowdOptions {
-            filter: ColumnFilter::CategoricalOnly,
-            ..Default::default()
-        })
+        TCrowd::new(TCrowdOptions { filter: ColumnFilter::CategoricalOnly, ..Default::default() })
     }
 
     /// The `TC-onlyCont` constrained variant.
     pub fn only_continuous() -> Self {
-        TCrowd::new(TCrowdOptions {
-            filter: ColumnFilter::ContinuousOnly,
-            ..Default::default()
-        })
+        TCrowd::new(TCrowdOptions { filter: ColumnFilter::ContinuousOnly, ..Default::default() })
     }
 
     /// Run truth inference on an answer set (Definition 3 / Algorithm 1).
+    ///
+    /// Freezes the log into an [`AnswerMatrix`] and delegates to
+    /// [`Self::infer_matrix`]; callers that already hold a matrix (the
+    /// simulator between refits, batch harnesses) should call that directly.
     pub fn infer(&self, schema: &Schema, answers: &AnswerLog) -> InferenceResult {
-        assert_eq!(
-            schema.num_columns(),
-            answers.cols(),
-            "schema/answer-log column mismatch"
-        );
-        let n_rows = answers.rows();
-        let n_cols = answers.cols();
+        assert_eq!(schema.num_columns(), answers.cols(), "schema/answer-log column mismatch");
+        self.infer_matrix(schema, &AnswerMatrix::build(answers))
+    }
 
-        // Per-column z-scaling from the answers themselves.
+    /// Run truth inference on a frozen columnar answer set.
+    pub fn infer_matrix(&self, schema: &Schema, matrix: &AnswerMatrix) -> InferenceResult {
+        assert_eq!(schema.num_columns(), matrix.cols(), "schema/answer-matrix column mismatch");
+        let n_rows = matrix.rows();
+        let n_cols = matrix.cols();
+
+        // Per-column z-scaling from the answers themselves (one payload pass).
+        let mut col_values: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+        for k in 0..matrix.len() {
+            if !matrix.is_categorical(k) {
+                col_values[matrix.answer_cols()[k] as usize].push(matrix.answer_values()[k]);
+            }
+        }
         let scalers: Vec<Option<(f64, f64)>> = (0..n_cols)
             .map(|j| match schema.column_type(j) {
-                ColumnType::Continuous { .. } => {
-                    let col: Vec<f64> = answers
-                        .all()
-                        .iter()
-                        .filter(|a| a.cell.col as usize == j)
-                        .map(|a| a.value.expect_continuous())
-                        .collect();
-                    Some(zscore_params(&col))
-                }
+                ColumnType::Continuous { .. } => Some(zscore_params(&col_values[j])),
                 ColumnType::Categorical { .. } => None,
             })
             .collect();
 
-        // Flatten the answers of the active columns, indexing workers densely.
+        // Workers participating under the column filter, densely re-indexed
+        // in sorted-id order (the matrix's worker table is already sorted).
+        let included: Vec<bool> =
+            (0..n_cols).map(|j| self.opts.filter.includes(schema.column_type(j))).collect();
+        let mut participates = vec![false; matrix.num_workers()];
+        for k in 0..matrix.len() {
+            if included[matrix.answer_cols()[k] as usize] {
+                participates[matrix.answer_workers()[k] as usize] = true;
+            }
+        }
+        let mut remap = vec![u32::MAX; matrix.num_workers()];
         let mut workers: Vec<WorkerId> = Vec::new();
-        let mut worker_index: HashMap<WorkerId, u32> = HashMap::new();
-        let mut flat: Vec<IntAnswer> = Vec::new();
-        let mut by_cell: Vec<Vec<u32>> = vec![Vec::new(); n_rows * n_cols];
-        for a in answers.all() {
-            let j = a.cell.col as usize;
-            if !self.opts.filter.includes(schema.column_type(j)) {
+        for (w, &active) in participates.iter().enumerate() {
+            if active {
+                remap[w] = workers.len() as u32;
+                workers.push(matrix.worker_id(w));
+            }
+        }
+
+        // Flatten the active columns' answers; the payload is cell-major, so
+        // the workspace assembly below keeps that order.
+        let mut flat: Vec<IntAnswer> = Vec::with_capacity(matrix.len());
+        for k in 0..matrix.len() {
+            let j = matrix.answer_cols()[k] as usize;
+            if !included[j] {
                 continue;
             }
-            let widx = *worker_index.entry(a.worker).or_insert_with(|| {
-                workers.push(a.worker);
-                (workers.len() - 1) as u32
-            });
-            let (label, value) = match a.value {
-                Value::Categorical(l) => (l, 0.0),
-                Value::Continuous(x) => {
-                    let (m, s) = scalers[j].expect("continuous column has scaler");
-                    (0, (x - m) / s)
-                }
+            let (label, value) = if matrix.is_categorical(k) {
+                (matrix.answer_labels()[k], 0.0)
+            } else {
+                let (m, s) = scalers[j].expect("continuous column has scaler");
+                (0, (matrix.answer_values()[k] - m) / s)
             };
-            by_cell[a.cell.row as usize * n_cols + j].push(flat.len() as u32);
             flat.push(IntAnswer {
-                worker: widx,
-                row: a.cell.row,
-                col: a.cell.col,
+                worker: remap[matrix.answer_workers()[k] as usize],
+                row: matrix.answer_rows()[k],
+                col: j as u32,
                 label,
                 value,
             });
@@ -166,6 +177,15 @@ impl TCrowd {
             })
             .collect();
 
+        let ws = Workspace::assemble(
+            n_rows,
+            n_cols,
+            workers.len(),
+            col_kind,
+            flat,
+            1.0, // placeholder; resolved below against the assembled CSR
+        );
+
         // Resolve ε.
         let epsilon = match self.opts.epsilon {
             EpsilonSpec::Fixed(e) => {
@@ -177,13 +197,11 @@ impl TCrowd {
                 let mut cell_stds = Vec::new();
                 for slot in 0..n_rows * n_cols {
                     let j = slot % n_cols;
-                    if col_kind[j] != ColKind::Cont || by_cell[slot].len() < 2 {
+                    let cell = ws.cell_answers(slot);
+                    if ws.col_kind[j] != ColKind::Cont || cell.len() < 2 {
                         continue;
                     }
-                    let vals: Vec<f64> = by_cell[slot]
-                        .iter()
-                        .map(|&i| flat[i as usize].value)
-                        .collect();
+                    let vals: Vec<f64> = cell.iter().map(|a| a.value).collect();
                     cell_stds.push(std_dev(&vals));
                 }
                 if cell_stds.is_empty() {
@@ -193,16 +211,7 @@ impl TCrowd {
                 }
             }
         };
-
-        let ws = Workspace {
-            n_rows,
-            n_cols,
-            n_workers: workers.len(),
-            col_kind,
-            answers: flat,
-            by_cell,
-            epsilon,
-        };
+        let ws = Workspace { epsilon, ..ws };
         let state = run_em(&ws, &self.opts.em);
 
         InferenceResult {
@@ -212,11 +221,8 @@ impl TCrowd {
             scalers,
             alpha: state.ln_alpha.iter().map(|v| v.exp()).collect(),
             beta: state.ln_beta.iter().map(|v| v.exp()).collect(),
-            workers: workers.clone(),
-            worker_index: worker_index
-                .into_iter()
-                .map(|(w, i)| (w, i as usize))
-                .collect(),
+            worker_index: workers.iter().enumerate().map(|(i, &w)| (w, i)).collect(),
+            workers,
             phi: state.ln_phi.iter().map(|v| v.exp()).collect(),
             epsilon,
             objective_trace: state.trace,
@@ -312,11 +318,7 @@ impl InferenceResult {
     /// Point estimates for the whole table.
     pub fn estimates(&self) -> Vec<Vec<Value>> {
         (0..self.n_rows as u32)
-            .map(|i| {
-                (0..self.n_cols as u32)
-                    .map(|j| self.estimate(CellId::new(i, j)))
-                    .collect()
-            })
+            .map(|i| (0..self.n_cols as u32).map(|j| self.estimate(CellId::new(i, j))).collect())
             .collect()
     }
 
@@ -341,8 +343,7 @@ impl InferenceResult {
 
     /// Unified quality `q_u = erf(ε/√(2φ_u))` (Eq. 2) of a worker.
     pub fn quality_of(&self, worker: WorkerId) -> Option<f64> {
-        self.phi_of(worker)
-            .map(|phi| quality_from_variance(self.epsilon, phi))
+        self.phi_of(worker).map(|phi| quality_from_variance(self.epsilon, phi))
     }
 
     /// Effective answer variance `α_i β_j φ_u` for a worker on a cell
@@ -384,10 +385,7 @@ mod tests {
         assert_eq!(est[0].len(), 6);
         for (i, row) in est.iter().enumerate() {
             for (j, v) in row.iter().enumerate() {
-                assert!(
-                    d.schema.column_type(j).accepts(v),
-                    "estimate at ({i},{j}) has wrong type"
-                );
+                assert!(d.schema.column_type(j).accepts(v), "estimate at ({i},{j}) has wrong type");
             }
         }
         assert!(r.converged);
@@ -403,13 +401,7 @@ mod tests {
         let naive: Vec<Vec<Value>> = (0..d.rows() as u32)
             .map(|i| {
                 (0..d.cols() as u32)
-                    .map(|j| {
-                        d.answers
-                            .for_cell(CellId::new(i, j))
-                            .next()
-                            .expect("answered")
-                            .value
-                    })
+                    .map(|j| d.answers.for_cell(CellId::new(i, j)).next().expect("answered").value)
                     .collect()
             })
             .collect();
@@ -461,11 +453,9 @@ mod tests {
         let d = small_dataset(5);
         let auto = TCrowd::default_full().infer(&d.schema, &d.answers);
         assert!(auto.epsilon > 0.0);
-        let fixed = TCrowd::new(TCrowdOptions {
-            epsilon: EpsilonSpec::Fixed(0.77),
-            ..Default::default()
-        })
-        .infer(&d.schema, &d.answers);
+        let fixed =
+            TCrowd::new(TCrowdOptions { epsilon: EpsilonSpec::Fixed(0.77), ..Default::default() })
+                .infer(&d.schema, &d.answers);
         assert_eq!(fixed.epsilon, 0.77);
     }
 

@@ -45,8 +45,8 @@ pub mod online;
 pub mod truth;
 
 pub use assign::{
-    apply_answer_incrementally, expected_posterior, AssignmentContext, AssignmentPolicy,
-    BatchMode, InherentGainPolicy, StructureAwarePolicy,
+    apply_answer_incrementally, expected_posterior, AssignmentContext, AssignmentPolicy, BatchMode,
+    InherentGainPolicy, StructureAwarePolicy,
 };
 pub use correlation::{CorrelationModel, ErrorObservation, PredictedError};
 pub use em::EmOptions;

@@ -4,6 +4,7 @@
 //! are z-scored per column before inference, so one global quality window `ε`
 //! is meaningful across heterogeneous domains.
 
+use std::f64::consts::FRAC_2_SQRT_PI;
 use tcrowd_stat::special::{erf, erf_derivative};
 use tcrowd_stat::{clamp_prob, clamp_var};
 
@@ -23,6 +24,35 @@ pub fn quality_from_variance(epsilon: f64, variance: f64) -> f64 {
 pub fn quality_dlnv(epsilon: f64, variance: f64) -> f64 {
     let x = epsilon / (2.0 * clamp_var(variance)).sqrt();
     erf_derivative(x) * (-x / 2.0)
+}
+
+/// Quality-link argument `x = ε/√(2v)` straight from `ln v` — one `exp`
+/// instead of `exp` + `sqrt` + division.
+#[inline]
+pub fn quality_x_from_ln_variance(epsilon: f64, ln_v: f64) -> f64 {
+    (epsilon / std::f64::consts::SQRT_2) * (-0.5 * ln_v).exp()
+}
+
+/// Fast unified quality from `ln v`, via the Hermite-interpolated `erf`
+/// kernel (absolute error `< 2e-12`; see `tcrowd_stat::lut`).
+///
+/// This is the columnar engine's hot-loop version of
+/// [`quality_from_variance`]; the naive reference path keeps the exact
+/// series so the differential tests pin the two engines' estimates to
+/// within `1e-9` of each other.
+#[inline]
+pub fn quality_from_ln_variance_fast(epsilon: f64, ln_v: f64) -> f64 {
+    clamp_prob(tcrowd_stat::lut::erf_fast(quality_x_from_ln_variance(epsilon, ln_v)))
+}
+
+/// Fast `(q, dq/d ln v)` pair from `ln v`, sharing the link argument between
+/// the quality and its gradient (the categorical M-step needs both).
+#[inline]
+pub fn quality_pair_from_ln_variance_fast(epsilon: f64, ln_v: f64) -> (f64, f64) {
+    let x = quality_x_from_ln_variance(epsilon, ln_v);
+    let q = clamp_prob(tcrowd_stat::lut::erf_fast(x));
+    let dq = FRAC_2_SQRT_PI * tcrowd_stat::lut::exp_neg_sq_fast(x) * (-x / 2.0);
+    (q, dq)
 }
 
 /// Log-likelihood of a categorical answer given that the truth is `correct`
@@ -77,11 +107,8 @@ mod tests {
         let eps = 0.5;
         for v in [0.05, 0.3, 1.0, 4.0] {
             let analytic = quality_dlnv(eps, v);
-            let numeric = numerical_gradient(
-                |p| quality_from_variance(eps, p[0].exp()),
-                &[v.ln()],
-                1e-6,
-            )[0];
+            let numeric =
+                numerical_gradient(|p| quality_from_variance(eps, p[0].exp()), &[v.ln()], 1e-6)[0];
             assert!(
                 (analytic - numeric).abs() < 1e-7,
                 "v={v}: analytic {analytic} vs numeric {numeric}"
@@ -93,8 +120,8 @@ mod tests {
     fn cat_likelihoods_normalise() {
         // Σ_a P(a | T=z) over the |L| possible answers must be 1.
         let (q, l) = (0.7, 5u32);
-        let total = cat_answer_likelihood(q, l, true)
-            + (l - 1) as f64 * cat_answer_likelihood(q, l, false);
+        let total =
+            cat_answer_likelihood(q, l, true) + (l - 1) as f64 * cat_answer_likelihood(q, l, false);
         assert!((total - 1.0).abs() < 1e-12);
     }
 

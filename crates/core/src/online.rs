@@ -28,14 +28,7 @@ impl OnlineTCrowd {
     /// Start from an existing answer set (runs one full fit).
     pub fn new(model: TCrowd, schema: Schema, answers: AnswerLog) -> Self {
         let result = model.infer(&schema, &answers);
-        OnlineTCrowd {
-            model,
-            schema,
-            answers,
-            result,
-            since_refit: 0,
-            refit_every: 64,
-        }
+        OnlineTCrowd { model, schema, answers, result, since_refit: 0, refit_every: 64 }
     }
 
     /// Start with an empty answer log for a `rows`-row table.
@@ -49,9 +42,7 @@ impl OnlineTCrowd {
     /// answer triggered a re-fit.
     pub fn add_answer(&mut self, answer: Answer) -> bool {
         assert!(
-            self.schema
-                .column_type(answer.cell.col as usize)
-                .accepts(&answer.value),
+            self.schema.column_type(answer.cell.col as usize).accepts(&answer.value),
             "answer value does not match its column type"
         );
         self.answers.push(answer);
@@ -60,12 +51,7 @@ impl OnlineTCrowd {
             self.refit();
             true
         } else {
-            apply_answer_incrementally(
-                &mut self.result,
-                answer.worker,
-                answer.cell,
-                &answer.value,
-            );
+            apply_answer_incrementally(&mut self.result, answer.worker, answer.cell, &answer.value);
             false
         }
     }
@@ -124,11 +110,7 @@ mod tests {
     #[test]
     fn streaming_matches_batch_after_refit() {
         let d = dataset(1);
-        let mut online = OnlineTCrowd::empty(
-            TCrowd::default_full(),
-            d.schema.clone(),
-            d.rows(),
-        );
+        let mut online = OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
         for &a in d.answers.all() {
             online.add_answer(a);
         }
@@ -141,8 +123,7 @@ mod tests {
     #[test]
     fn refit_cadence_is_respected() {
         let d = dataset(2);
-        let mut online =
-            OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        let mut online = OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
         online.refit_every = 10;
         let mut refits = 0;
         for (i, &a) in d.answers.all().iter().enumerate() {
@@ -160,8 +141,7 @@ mod tests {
         // Between refits the estimates are approximate; they must still be
         // useful (here: within a small error-rate gap of the batch fit).
         let d = dataset(3);
-        let mut online =
-            OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        let mut online = OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
         online.refit_every = usize::MAX; // never refit: pure incremental
         for &a in d.answers.all() {
             online.add_answer(a);
@@ -181,8 +161,7 @@ mod tests {
     #[should_panic(expected = "column type")]
     fn rejects_mistyped_answers() {
         let d = dataset(4);
-        let mut online =
-            OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        let mut online = OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
         // Column 0 is categorical in this layout.
         online.add_answer(Answer {
             worker: tcrowd_tabular::WorkerId(0),

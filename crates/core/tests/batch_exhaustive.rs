@@ -10,7 +10,13 @@ use tcrowd_tabular::{generate_dataset, CellId, GeneratorConfig, WorkerId};
 
 /// Enumerate all K-subsets of `items` (tiny instances only).
 fn k_subsets(items: &[CellId], k: usize) -> Vec<Vec<CellId>> {
-    fn rec(items: &[CellId], k: usize, start: usize, cur: &mut Vec<CellId>, out: &mut Vec<Vec<CellId>>) {
+    fn rec(
+        items: &[CellId],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<CellId>,
+        out: &mut Vec<Vec<CellId>>,
+    ) {
         if cur.len() == k {
             out.push(cur.clone());
             return;

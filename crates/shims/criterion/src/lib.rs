@@ -1,0 +1,306 @@
+//! Offline stand-in for `criterion`: the benchmark-harness subset this
+//! workspace uses (`criterion_group!` / `criterion_main!`, groups,
+//! `bench_function` / `bench_with_input`, throughput annotations).
+//!
+//! Measurement model: one timed warm-up call sizes the iteration count so a
+//! sample fits the group's `measurement_time` budget, then `sample_size`
+//! samples are taken and the minimum per-iteration time is reported (minimum
+//! is the standard low-noise location estimate for micro-benchmarks).
+//! Results are printed as `group/id  <time>/iter` lines, and written to the
+//! JSON file named by the `CRITERION_JSON` env var when set (one file per
+//! bench binary; a later binary replaces an earlier one's file).
+//!
+//! Passing `--quick` (or setting `CRITERION_QUICK=1`) shrinks every budget
+//! to one sample of one iteration — used by CI to smoke-test benches.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Optional throughput annotation (elements per iteration).
+    pub elements: Option<u64>,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    samples: usize,
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Run the routine repeatedly and record the best per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let record = self.run(&id.id, |b| f(b));
+        self.criterion.records.push(record);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let record = self.run(&id.id, |b| f(b, input));
+        self.criterion.records.push(record);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> BenchRecord {
+        let quick = self.criterion.quick;
+        // Timed warm-up sizes the iteration count.
+        let warmup = {
+            let mut b = Bencher { iters: 1, samples: 1, best_ns: f64::INFINITY };
+            f(&mut b);
+            b.best_ns.max(1.0)
+        };
+        let samples = if quick { 1 } else { self.sample_size };
+        let budget_ns = if quick { 0.0 } else { self.measurement_time.as_nanos() as f64 };
+        let per_sample = budget_ns / samples as f64;
+        let iters = if quick { 1 } else { (per_sample / warmup).clamp(1.0, 1e6) as u64 };
+        let mut b = Bencher { iters, samples, best_ns: warmup };
+        f(&mut b);
+        let record = BenchRecord {
+            group: self.name.clone(),
+            id: id.to_string(),
+            ns_per_iter: b.best_ns,
+            elements: match self.throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+        };
+        println!(
+            "{:<50} {:>14}/iter{}",
+            format!("{}/{id}", self.name),
+            fmt_ns(record.ns_per_iter),
+            match record.elements {
+                Some(n) => format!("  ({:.0} elem/s)", n as f64 / (record.ns_per_iter / 1e9)),
+                None => String::new(),
+            }
+        );
+        record
+    }
+
+    /// End the group (kept for API compatibility; records are already live).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { records: Vec::new(), quick }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any explicit group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+
+    /// All records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Print the summary and, when `CRITERION_JSON` is set, write the
+    /// records to that file as a JSON array (replacing its contents).
+    pub fn final_summary(&self) {
+        if let Some(path) = std::env::var_os("CRITERION_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.records.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"group\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {:.1}{}}}{}\n",
+                    r.group,
+                    r.id,
+                    r.ns_per_iter,
+                    match r.elements {
+                        Some(n) => format!(", \"elements\": {n}"),
+                        None => String::new(),
+                    },
+                    if i + 1 == self.records.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("warning: could not write {}: {e}", path.to_string_lossy());
+            }
+        }
+    }
+}
+
+/// Opaque re-export used by benches for `black_box`.
+pub use std::hint::black_box;
+
+/// Group several benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion { records: Vec::new(), quick: true };
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(4));
+            g.bench_function("fast", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.records()[0].group, "g");
+        assert_eq!(c.records()[1].id, "param/3");
+        assert!(c.records()[0].ns_per_iter.is_finite());
+        assert_eq!(c.records()[0].elements, Some(4));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

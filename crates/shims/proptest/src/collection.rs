@@ -1,0 +1,29 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Vectors of `elem`-generated values with a length in `len`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn discovery_finds_most_entities_with_high_precision() {
         // Threshold sits above the 10 % spurious floor (see `saturated`).
-        let mut oracle = ProposalOracle::new(universe(40, 0.1), 1);
+        let mut oracle = ProposalOracle::new(universe(40, 0.1), 4);
         let state = run_discovery(&mut oracle, 20, 0.13, 50_000);
         let (precision, recall) = state.score(2, 40);
         assert!(precision > 0.95, "precision {precision}");
@@ -239,10 +239,7 @@ mod tests {
         let state = run_discovery(&mut oracle, 25, 0.33, 50_000);
         let (p1, _) = state.score(1, 30);
         let (p2, _) = state.score(2, 30);
-        assert!(
-            p2 > p1,
-            "support-2 precision {p2} must beat support-1 precision {p1}"
-        );
+        assert!(p2 > p1, "support-2 precision {p2} must beat support-1 precision {p1}");
         // Spurious junk almost never repeats, so support 2 is near-clean.
         assert!(p2 > 0.9, "support-2 precision {p2}");
     }
@@ -263,10 +260,7 @@ mod tests {
             state.record(w, e);
         }
         let late = state.estimated_unseen_mass();
-        assert!(
-            late < early,
-            "unseen mass must shrink: early {early}, late {late}"
-        );
+        assert!(late < early, "unseen mass must shrink: early {early}, late {late}");
         assert!(late < 0.2);
     }
 

@@ -38,7 +38,7 @@ pub mod pool;
 pub mod runner;
 pub mod stopping;
 
+pub use discovery::{DiscoveryState, EntityUniverse, ProposalOracle};
 pub use pool::{ArrivalOrder, WorkerPool, WorkerPoolConfig};
 pub use runner::{ExperimentConfig, InferenceBackend, RunResult, Runner, SeriesPoint};
-pub use discovery::{DiscoveryState, EntityUniverse, ProposalOracle};
 pub use stopping::{StoppingRule, TerminationState};

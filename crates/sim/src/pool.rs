@@ -13,8 +13,9 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
-use tcrowd_tabular::generator::{EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig};
+use tcrowd_tabular::generator::{
+    EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig,
+};
 use tcrowd_tabular::real_sim::long_tail_phis;
 use tcrowd_tabular::{CellId, ColumnType, Schema, Value, WorkerId};
 
@@ -84,10 +85,14 @@ pub struct WorkerPool {
     phis: Vec<f64>,
     alpha: Vec<f64>,
     beta: Vec<f64>,
-    /// Cached familiarity multiplier per (worker, row).
-    fam_cache: HashMap<(WorkerId, u32), f64>,
-    /// Cached familiarity multiplier per (worker, entity group).
-    group_cache: HashMap<(WorkerId, usize), f64>,
+    /// Cached familiarity multiplier per (worker, row), dense row-major
+    /// `worker * rows + row`; `0.0` marks "not yet drawn" (real multipliers
+    /// are ≥ 1). Dense instead of hashed: the oracle touches every pair over
+    /// a run, and the flat lane keeps answers deterministic and cheap.
+    fam_cache: Vec<f64>,
+    /// Cached familiarity multiplier per (worker, entity group), dense
+    /// `worker * groups + group`; same `0.0` sentinel.
+    group_cache: Vec<f64>,
     answer_rng: StdRng,
     arrival_rng: StdRng,
     round: Vec<WorkerId>,
@@ -98,18 +103,21 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Build a pool for the given table; fully deterministic per seed.
-    pub fn new(
-        schema: &Schema,
-        truth: &[Vec<Value>],
-        cfg: WorkerPoolConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn new(schema: &Schema, truth: &[Vec<Value>], cfg: WorkerPoolConfig, seed: u64) -> Self {
         assert!(cfg.num_workers > 0, "pool needs workers");
         assert_eq!(
             truth.first().map(|r| r.len()).unwrap_or(0),
             schema.num_columns(),
             "truth shape must match schema"
         );
+        // The dense familiarity caches use 0.0 as their "not yet drawn"
+        // sentinel, so a zero multiplier must be rejected up front.
+        if let Some(rf) = &cfg.familiarity {
+            assert!(rf.difficulty_factor > 0.0, "familiarity difficulty_factor must be positive");
+        }
+        if let Some(eg) = &cfg.entity_groups {
+            assert!(eg.difficulty_factor > 0.0, "entity-group difficulty_factor must be positive");
+        }
         let phis = long_tail_phis(cfg.num_workers, &cfg.quality, seed ^ 0xA11CE);
         // Row/column difficulties drawn through the generator's machinery so
         // the oracle's population matches the synthetic datasets'.
@@ -131,17 +139,19 @@ impl WorkerPool {
             phis,
             alpha: state.alpha,
             beta: state.beta,
-            fam_cache: HashMap::new(),
-            group_cache: HashMap::new(),
+            fam_cache: vec![0.0; cfg.num_workers * truth.len()],
+            group_cache: vec![
+                0.0;
+                cfg.num_workers * cfg.entity_groups.map(|eg| eg.groups).unwrap_or(0)
+            ],
             answer_rng: StdRng::seed_from_u64(seed ^ 0x0A5),
             arrival_rng: StdRng::seed_from_u64(seed ^ 0xAB1),
             round: Vec::new(),
             round_pos: 0,
             zipf_cdf: match cfg.arrival {
                 ArrivalOrder::ZipfParticipation { skew } => {
-                    let weights: Vec<f64> = (0..cfg.num_workers)
-                        .map(|u| 1.0 / ((u + 1) as f64).powf(skew))
-                        .collect();
+                    let weights: Vec<f64> =
+                        (0..cfg.num_workers).map(|u| 1.0 / ((u + 1) as f64).powf(skew)).collect();
                     let total: f64 = weights.iter().sum();
                     let mut acc = 0.0;
                     weights
@@ -185,8 +195,9 @@ impl WorkerPool {
             }
             ArrivalOrder::ZipfParticipation { .. } => {
                 let u = self.arrival_rng.gen::<f64>();
-                WorkerId(self.zipf_cdf.partition_point(|&c| c < u)
-                    .min(self.cfg.num_workers - 1) as u32)
+                WorkerId(
+                    self.zipf_cdf.partition_point(|&c| c < u).min(self.cfg.num_workers - 1) as u32
+                )
             }
         }
     }
@@ -195,28 +206,28 @@ impl WorkerPool {
         let mut factor = match self.cfg.familiarity {
             None => 1.0,
             Some(rf) => {
-                let rng = &mut self.answer_rng;
-                *self.fam_cache.entry((worker, row)).or_insert_with(|| {
-                    if rng.gen_range(0.0..1.0) < rf.p_unfamiliar {
+                let slot = worker.0 as usize * self.truth.len() + row as usize;
+                if self.fam_cache[slot] == 0.0 {
+                    self.fam_cache[slot] = if self.answer_rng.gen_range(0.0..1.0) < rf.p_unfamiliar
+                    {
                         rf.difficulty_factor
                     } else {
                         1.0
-                    }
-                })
+                    };
+                }
+                self.fam_cache[slot]
             }
         };
         if let Some(eg) = self.cfg.entity_groups {
-            let rng = &mut self.answer_rng;
-            factor *= *self
-                .group_cache
-                .entry((worker, eg.group_of(row as usize)))
-                .or_insert_with(|| {
-                    if rng.gen_range(0.0..1.0) < eg.p_unfamiliar {
-                        eg.difficulty_factor
-                    } else {
-                        1.0
-                    }
-                });
+            let slot = worker.0 as usize * eg.groups + eg.group_of(row as usize);
+            if self.group_cache[slot] == 0.0 {
+                self.group_cache[slot] = if self.answer_rng.gen_range(0.0..1.0) < eg.p_unfamiliar {
+                    eg.difficulty_factor
+                } else {
+                    1.0
+                };
+            }
+            factor *= self.group_cache[slot];
         }
         factor
     }
@@ -225,8 +236,7 @@ impl WorkerPool {
     pub fn answer(&mut self, worker: WorkerId, cell: CellId) -> Value {
         let phi = self.phis[worker.0 as usize];
         let fam = self.familiarity(worker, cell.row);
-        let variance =
-            self.alpha[cell.row as usize] * self.beta[cell.col as usize] * phi * fam;
+        let variance = self.alpha[cell.row as usize] * self.beta[cell.col as usize] * phi * fam;
         tcrowd_tabular::generator::synthesize_answer(
             &mut self.answer_rng,
             &self.truth[cell.row as usize][cell.col as usize],
@@ -301,8 +311,7 @@ mod tests {
     fn pool_is_deterministic_per_seed() {
         let d = table(3);
         let mk = || {
-            let mut p =
-                WorkerPool::new(&d.schema, &d.truth, WorkerPoolConfig::default(), 11);
+            let mut p = WorkerPool::new(&d.schema, &d.truth, WorkerPoolConfig::default(), 11);
             (0..40)
                 .map(|i| {
                     let w = p.next_worker();
@@ -336,19 +345,14 @@ mod tests {
             for rep in 0..200u32 {
                 let i = rep % d.rows() as u32;
                 let t = d.truth[i as usize][col].expect_continuous();
-                let a = pool
-                    .answer(w, CellId::new(i, col as u32))
-                    .expect_continuous();
+                let a = pool.answer(w, CellId::new(i, col as u32)).expect_continuous();
                 total += (a - t).abs();
             }
             total / 200.0
         };
         let e_best = err(best);
         let e_worst = err(worst);
-        assert!(
-            e_best < e_worst,
-            "best worker mean |err| {e_best} vs worst {e_worst}"
-        );
+        assert!(e_best < e_worst, "best worker mean |err| {e_best} vs worst {e_worst}");
     }
 
     #[test]

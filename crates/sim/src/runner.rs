@@ -14,7 +14,7 @@ use tcrowd_core::{
     apply_answer_incrementally, AssignmentContext, AssignmentPolicy, InferenceResult, TCrowd,
 };
 use tcrowd_tabular::{
-    evaluate_with_answers, Answer, AnswerLog, QualityReport, Value,
+    evaluate_with_answers, Answer, AnswerLog, AnswerMatrix, QualityReport, Value,
 };
 
 /// Which truth-inference method backs the run (both for the policy's context
@@ -160,9 +160,16 @@ impl Runner {
             }
         }
 
+        // Full EM refresh: freeze the accumulated log into its columnar form
+        // once, then run the matrix path (between refreshes the answered
+        // cells' posteriors are updated incrementally, §5.1).
+        let full_fit = |model: &TCrowd, answers: &AnswerLog| -> InferenceResult {
+            model.infer_matrix(&schema, &AnswerMatrix::build(answers))
+        };
+
         // ---- Main loop.
         let mut inference: Option<InferenceResult> = match backend {
-            InferenceBackend::TCrowd(model) => Some(model.infer(&schema, &answers)),
+            InferenceBackend::TCrowd(model) => Some(full_fit(model, &answers)),
             InferenceBackend::Baseline(_) => None,
         };
         let mut points: Vec<SeriesPoint> = Vec::new();
@@ -179,7 +186,7 @@ impl Runner {
             let estimates: Vec<Vec<Value>> = match backend {
                 InferenceBackend::TCrowd(model) => match inference {
                     Some(r) => r.estimates(),
-                    None => model.infer(&schema, answers).estimates(),
+                    None => model.infer_matrix(&schema, &AnswerMatrix::build(answers)).estimates(),
                 },
                 InferenceBackend::Baseline(m) => m.estimate(&schema, answers),
             };
@@ -195,7 +202,7 @@ impl Runner {
                 // Refresh inference at checkpoints so the evaluation reflects
                 // all collected answers.
                 if let InferenceBackend::TCrowd(model) = backend {
-                    inference = Some(model.infer(&schema, &answers));
+                    inference = Some(full_fit(model, &answers));
                     hits_since_inference = 0;
                     refresh_termination(
                         &mut termination,
@@ -223,11 +230,10 @@ impl Runner {
 
             // A worker arrives and receives a HIT.
             let worker = pool.next_worker();
-            if let (InferenceBackend::TCrowd(model), true) = (
-                backend,
-                hits_since_inference >= self.cfg.inference_every,
-            ) {
-                inference = Some(model.infer(&schema, &answers));
+            if let (InferenceBackend::TCrowd(model), true) =
+                (backend, hits_since_inference >= self.cfg.inference_every)
+            {
+                inference = Some(full_fit(model, &answers));
                 hits_since_inference = 0;
                 refresh_termination(
                     &mut termination,
@@ -273,7 +279,7 @@ impl Runner {
 
         // Final full evaluation.
         if let InferenceBackend::TCrowd(model) = backend {
-            inference = Some(model.infer(&schema, &answers));
+            inference = Some(full_fit(model, &answers));
         }
         let final_report = evaluate_now(&answers, &inference);
         RunResult {
@@ -428,10 +434,7 @@ mod tests {
         assert!(adaptive.terminated_cells > 0, "some cells must settle");
 
         let mut pool2 = small_pool(9);
-        let fixed = Runner::new(ExperimentConfig {
-            budget_avg_answers: 8.0,
-            ..Default::default()
-        });
+        let fixed = Runner::new(ExperimentConfig { budget_avg_answers: 8.0, ..Default::default() });
         let mut policy2 = StructureAwarePolicy::default();
         let fixed_run = fixed.run("fixed", &mut pool2, &mut policy2, &backend);
         assert!(

@@ -65,11 +65,7 @@ impl BivariateNormal {
         v1 /= n;
         v2 /= n;
         cov /= n;
-        let rho = if v1 <= EPS || v2 <= EPS {
-            0.0
-        } else {
-            cov / (v1.sqrt() * v2.sqrt())
-        };
+        let rho = if v1 <= EPS || v2 <= EPS { 0.0 } else { cov / (v1.sqrt() * v2.sqrt()) };
         BivariateNormal::new(mean1, mean2, v1.max(EPS), v2.max(EPS), rho)
     }
 
@@ -174,9 +170,7 @@ mod tests {
     fn conditional_variance_shrinks_with_correlation() {
         let weak = BivariateNormal::new(0.0, 0.0, 1.0, 1.0, 0.2);
         let strong = BivariateNormal::new(0.0, 0.0, 1.0, 1.0, 0.9);
-        assert!(
-            strong.conditional1_given2(1.0).var < weak.conditional1_given2(1.0).var
-        );
+        assert!(strong.conditional1_given2(1.0).var < weak.conditional1_given2(1.0).var);
     }
 
     #[test]

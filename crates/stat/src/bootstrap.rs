@@ -79,8 +79,7 @@ pub fn paired_bootstrap(
     assert!(!a.is_empty(), "paired bootstrap needs data");
     assert!(n_resamples > 0, "bootstrap needs resamples");
     let n = a.len();
-    let observed =
-        a.iter().sum::<f64>() / n as f64 - b.iter().sum::<f64>() / n as f64;
+    let observed = a.iter().sum::<f64>() / n as f64 - b.iter().sum::<f64>() / n as f64;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut diffs: Vec<f64> = (0..n_resamples)
         .map(|_| {

@@ -89,10 +89,7 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> KMeans
     assert!(!data.is_empty(), "kmeans needs at least one point");
     assert!(k >= 1, "kmeans needs k >= 1");
     let dims = data[0].len();
-    assert!(
-        data.iter().all(|p| p.len() == dims),
-        "inconsistent dimensionality"
-    );
+    assert!(data.iter().all(|p| p.len() == dims), "inconsistent dimensionality");
     let k = k.min(data.len());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut centroids = seed_centroids(data, k, &mut rng);
@@ -183,9 +180,7 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
     let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
     let sum_ij: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
     let sum_a: f64 = table.iter().map(|row| choose2(row.iter().sum())).sum();
-    let sum_b: f64 = (0..kb)
-        .map(|j| choose2(table.iter().map(|row| row[j]).sum()))
-        .sum();
+    let sum_b: f64 = (0..kb).map(|j| choose2(table.iter().map(|row| row[j]).sum())).sum();
     let total = choose2(n);
     let expected = sum_a * sum_b / total;
     let max_index = 0.5 * (sum_a + sum_b);
@@ -202,12 +197,7 @@ mod tests {
     fn blob(center: &[f64], n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| {
-                center
-                    .iter()
-                    .map(|&c| c + spread * (rng.gen::<f64>() - 0.5))
-                    .collect()
-            })
+            .map(|_| center.iter().map(|&c| c + spread * (rng.gen::<f64>() - 0.5)).collect())
             .collect()
     }
 

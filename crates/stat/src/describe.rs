@@ -58,12 +58,7 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
     assert_eq!(values.len(), weights.len());
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "total weight must be positive");
-    values
-        .iter()
-        .zip(weights)
-        .map(|(x, w)| x * w)
-        .sum::<f64>()
-        / total
+    values.iter().zip(weights).map(|(x, w)| x * w).sum::<f64>() / total
 }
 
 /// Population covariance of two equally long slices.
@@ -73,11 +68,7 @@ pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
         return 0.0;
     }
     let (ma, mb) = (mean(a), mean(b));
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - ma) * (y - mb))
-        .sum::<f64>()
-        / a.len() as f64
+    a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / a.len() as f64
 }
 
 /// Pearson correlation coefficient; `0.0` when either side is (near-)constant.
@@ -99,11 +90,7 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    let ss: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let ss: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     (ss / pred.len() as f64).sqrt()
 }
 

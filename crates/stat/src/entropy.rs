@@ -82,11 +82,7 @@ mod tests {
         let hd = gaussian_differential(var);
         let delta = 0.01;
         let hs = discretized_gaussian_shannon(var, delta, 10.0);
-        assert!(
-            (hs + delta.ln() - hd).abs() < 1e-3,
-            "H_s + lnΔ = {}, H_d = {hd}",
-            hs + delta.ln()
-        );
+        assert!((hs + delta.ln() - hd).abs() < 1e-3, "H_s + lnΔ = {}, H_d = {hd}", hs + delta.ln());
     }
 
     #[test]
@@ -99,9 +95,6 @@ mod tests {
         let delta = 0.005;
         let d_shannon = discretized_gaussian_shannon(v1, delta, 12.0)
             - discretized_gaussian_shannon(v2, delta, 12.0);
-        assert!(
-            (d_diff - d_shannon).abs() < 1e-3,
-            "diff = {d_diff}, shannon = {d_shannon}"
-        );
+        assert!((d_diff - d_shannon).abs() < 1e-3, "diff = {d_diff}, shannon = {d_shannon}");
     }
 }

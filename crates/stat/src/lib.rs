@@ -27,6 +27,8 @@
 //!   the entity-correlation extension.
 //! * [`bootstrap`] — percentile CIs and the paired bootstrap test used to
 //!   compare methods cell-by-cell.
+//! * [`lut`] — Hermite-interpolated fast `erf` / `e^{-x²}` kernels for the
+//!   EM hot loop (built from the exact implementations at first use).
 //! * [`optimize`] — adaptive gradient ascent used by the EM M-step.
 //! * [`linreg`] — simple linear regression (quality-calibration case study).
 //! * [`sample`] — Box–Muller Gaussian sampling on top of any [`rand::Rng`].
@@ -35,12 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod bernoulli;
+pub mod bivariate;
 pub mod bootstrap;
 pub mod cluster;
-pub mod bivariate;
 pub mod describe;
 pub mod entropy;
 pub mod linreg;
+pub mod lut;
 pub mod normal;
 pub mod optimize;
 pub mod sample;

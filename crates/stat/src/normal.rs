@@ -136,9 +136,7 @@ mod tests {
         let n = Normal::new(1.5, 2.0);
         let (a, b, steps) = (-20.0, 20.0, 40_000);
         let h = (b - a) / steps as f64;
-        let integral: f64 = (0..steps)
-            .map(|i| n.pdf(a + (i as f64 + 0.5) * h) * h)
-            .sum();
+        let integral: f64 = (0..steps).map(|i| n.pdf(a + (i as f64 + 0.5) * h) * h).sum();
         assert!((integral - 1.0).abs() < 1e-8, "integral = {integral}");
     }
 

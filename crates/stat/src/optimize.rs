@@ -77,11 +77,8 @@ where
         let mut accepted = false;
         let mut local_step = step;
         for bt in 0..=opts.max_backtracks {
-            let trial: Vec<f64> = x
-                .iter()
-                .zip(&grad)
-                .map(|(xi, gi)| xi + local_step * gi / gnorm.max(1.0))
-                .collect();
+            let trial: Vec<f64> =
+                x.iter().zip(&grad).map(|(xi, gi)| xi + local_step * gi / gnorm.max(1.0)).collect();
             let (tv, tg) = f(&trial);
             if tv > value && tv.is_finite() {
                 let improvement = tv - value;
@@ -160,11 +157,8 @@ mod tests {
 
     #[test]
     fn handles_flat_gradient() {
-        let res = gradient_ascent(
-            |_| (3.0, vec![0.0, 0.0]),
-            &[1.0, 2.0],
-            &AscentOptions::default(),
-        );
+        let res =
+            gradient_ascent(|_| (3.0, vec![0.0, 0.0]), &[1.0, 2.0], &AscentOptions::default());
         assert!(res.converged);
         assert_eq!(res.params, vec![1.0, 2.0]);
         assert_eq!(res.iterations, 0);
@@ -194,7 +188,8 @@ mod tests {
             let v = -x[0].powi(4) + x[0] * x[0];
             (v, vec![-4.0 * x[0].powi(3) + 2.0 * x[0]])
         };
-        let res = gradient_ascent(f, &[0.1], &AscentOptions { max_iters: 200, ..Default::default() });
+        let res =
+            gradient_ascent(f, &[0.1], &AscentOptions { max_iters: 200, ..Default::default() });
         assert!((res.params[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-2);
     }
 }

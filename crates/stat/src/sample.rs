@@ -36,10 +36,7 @@ pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
 /// not positive. Used for sampling categorical answers from a worker model.
 pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
-    assert!(
-        total > 0.0 && total.is_finite(),
-        "weights must have positive finite mass"
-    );
+    assert!(total > 0.0 && total.is_finite(), "weights must have positive finite mass");
     let mut target = rng.gen_range(0.0..total);
     for (i, &w) in weights.iter().enumerate() {
         if w <= 0.0 {
@@ -51,10 +48,7 @@ pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
         target -= w;
     }
     // Floating-point slack: fall back to the last positive-weight index.
-    weights
-        .iter()
-        .rposition(|w| *w > 0.0)
-        .expect("at least one positive weight")
+    weights.iter().rposition(|w| *w > 0.0).expect("at least one positive weight")
 }
 
 #[cfg(test)]
@@ -80,9 +74,7 @@ mod tests {
     fn std_normal_tail_fractions() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 200_000;
-        let beyond2: usize = (0..n)
-            .filter(|_| sample_std_normal(&mut rng).abs() > 2.0)
-            .count();
+        let beyond2: usize = (0..n).filter(|_| sample_std_normal(&mut rng).abs() > 2.0).count();
         let frac = beyond2 as f64 / n as f64;
         // P(|Z| > 2) ≈ 0.0455
         assert!((frac - 0.0455).abs() < 0.005, "frac = {frac}");

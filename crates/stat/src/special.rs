@@ -42,9 +42,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -268,10 +267,11 @@ pub fn chi_square_quantile(p: f64, k: f64) -> f64 {
     // Newton refinement on F(x) = p with the χ² pdf as derivative.
     for _ in 0..50 {
         let f = chi_square_cdf(x, k) - p;
-        let pdf = ((0.5 * k - 1.0) * x.ln() - 0.5 * x
+        let pdf = ((0.5 * k - 1.0) * x.ln()
+            - 0.5 * x
             - 0.5 * k * std::f64::consts::LN_2
             - ln_gamma(0.5 * k))
-            .exp();
+        .exp();
         if pdf <= 0.0 || !pdf.is_finite() {
             break;
         }
@@ -305,10 +305,7 @@ mod tests {
     fn erf_matches_reference_table() {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "erf({x}) = {got}, want {want}");
             // Odd symmetry.
             assert!((erf(-x) + want).abs() < 1e-12);
         }
@@ -405,10 +402,7 @@ mod tests {
         for k in [1.0, 2.0, 5.0, 30.0] {
             for p in [0.01, 0.3, 0.5, 0.9, 0.99] {
                 let x = chi_square_quantile(p, k);
-                assert!(
-                    (chi_square_cdf(x, k) - p).abs() < 1e-9,
-                    "roundtrip p={p} k={k}"
-                );
+                assert!((chi_square_cdf(x, k) - p).abs() < 1e-9, "roundtrip p={p} k={k}");
             }
         }
     }

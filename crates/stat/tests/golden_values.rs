@@ -11,10 +11,7 @@ use tcrowd_stat::special::{
 use tcrowd_stat::{BivariateNormal, Normal};
 
 fn close(got: f64, want: f64, tol: f64) {
-    assert!(
-        (got - want).abs() <= tol,
-        "got {got}, want {want} (tol {tol})"
-    );
+    assert!((got - want).abs() <= tol, "got {got}, want {want} (tol {tol})");
 }
 
 #[test]
@@ -90,11 +87,7 @@ fn entropy_reference_values() {
     // h(N(µ, 1)) = ½ ln(2πe) ≈ 1.418939.
     close(gaussian_differential(1.0), 1.418_938_533_204_672_7, 1e-12);
     // h(N(µ, 4)) = h(N(µ,1)) + ½ ln 4.
-    close(
-        gaussian_differential(4.0),
-        1.418_938_533_204_672_7 + 0.5 * 4.0f64.ln(),
-        1e-12,
-    );
+    close(gaussian_differential(4.0), 1.418_938_533_204_672_7 + 0.5 * 4.0f64.ln(), 1e-12);
 }
 
 #[test]

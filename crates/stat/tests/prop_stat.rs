@@ -5,9 +5,7 @@ use tcrowd_stat::describe;
 use tcrowd_stat::entropy::shannon;
 use tcrowd_stat::normal::Normal;
 use tcrowd_stat::optimize::{gradient_ascent, AscentOptions};
-use tcrowd_stat::special::{
-    chi_square_cdf, chi_square_quantile, erf, erf_inv, std_normal_cdf,
-};
+use tcrowd_stat::special::{chi_square_cdf, chi_square_quantile, erf, erf_inv, std_normal_cdf};
 use tcrowd_stat::{Bernoulli, BivariateNormal};
 
 proptest! {

@@ -9,7 +9,7 @@
 
 use crate::schema::Schema;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a worker `u ∈ U`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,10 +60,12 @@ pub struct AnswerLog {
     answers: Vec<Answer>,
     /// `cell -> indices into answers` (dense, row-major).
     by_cell: Vec<Vec<u32>>,
-    /// `worker -> indices into answers`.
-    by_worker: HashMap<WorkerId, Vec<u32>>,
+    /// `worker -> indices into answers`. Ordered so [`AnswerLog::workers`]
+    /// iterates in ascending id order — sweeps over workers must be
+    /// deterministic run to run (hash-map iteration order is not).
+    by_worker: BTreeMap<WorkerId, Vec<u32>>,
     /// `(worker, row) -> indices into answers` (structure-aware gain).
-    by_worker_row: HashMap<(WorkerId, u32), Vec<u32>>,
+    by_worker_row: BTreeMap<(WorkerId, u32), Vec<u32>>,
 }
 
 impl AnswerLog {
@@ -74,8 +76,8 @@ impl AnswerLog {
             cols,
             answers: Vec::new(),
             by_cell: vec![Vec::new(); rows * cols],
-            by_worker: HashMap::new(),
-            by_worker_row: HashMap::new(),
+            by_worker: BTreeMap::new(),
+            by_worker_row: BTreeMap::new(),
         }
     }
 
@@ -120,10 +122,7 @@ impl AnswerLog {
         self.answers.push(answer);
         self.by_cell[slot].push(idx);
         self.by_worker.entry(answer.worker).or_default().push(idx);
-        self.by_worker_row
-            .entry((answer.worker, answer.cell.row))
-            .or_default()
-            .push(idx);
+        self.by_worker_row.entry((answer.worker, answer.cell.row)).or_default().push(idx);
     }
 
     /// Validate every answer against a schema (datatype + domain), returning
@@ -146,9 +145,7 @@ impl AnswerLog {
 
     /// Answers for one cell (`A_ij`).
     pub fn for_cell(&self, cell: CellId) -> impl Iterator<Item = &Answer> + '_ {
-        self.by_cell[self.cell_slot(cell)]
-            .iter()
-            .map(move |&i| &self.answers[i as usize])
+        self.by_cell[self.cell_slot(cell)].iter().map(move |&i| &self.answers[i as usize])
     }
 
     /// Number of answers for one cell.
@@ -181,9 +178,15 @@ impl AnswerLog {
         self.for_cell(cell).any(|a| a.worker == worker)
     }
 
-    /// The distinct workers that have contributed at least one answer.
+    /// The distinct workers that have contributed at least one answer, in
+    /// ascending id order (deterministic).
     pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
         self.by_worker.keys().copied()
+    }
+
+    /// Freeze this log into its columnar sweep-side form.
+    pub fn to_matrix(&self) -> crate::matrix::AnswerMatrix {
+        crate::matrix::AnswerMatrix::build(self)
     }
 
     /// Number of distinct workers.
@@ -202,8 +205,7 @@ impl AnswerLog {
     /// Iterate over all cells of the table in row-major order.
     pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
         let cols = self.cols;
-        (0..self.rows * self.cols)
-            .map(move |s| CellId::new((s / cols) as u32, (s % cols) as u32))
+        (0..self.rows * self.cols).map(move |s| CellId::new((s / cols) as u32, (s % cols) as u32))
     }
 
     /// A copy of the log without the given workers' answers — the curation
@@ -277,12 +279,7 @@ mod tests {
         let cells: Vec<CellId> = log.cells().collect();
         assert_eq!(
             cells,
-            vec![
-                CellId::new(0, 0),
-                CellId::new(0, 1),
-                CellId::new(1, 0),
-                CellId::new(1, 1)
-            ]
+            vec![CellId::new(0, 0), CellId::new(0, 1), CellId::new(1, 0), CellId::new(1, 1)]
         );
     }
 
@@ -327,10 +324,7 @@ mod tests {
         let filtered = log.without_workers(&[victim]);
         assert_eq!(filtered.rows(), log.rows());
         assert_eq!(filtered.cols(), log.cols());
-        assert_eq!(
-            filtered.len(),
-            log.len() - log.for_worker(victim).count()
-        );
+        assert_eq!(filtered.len(), log.len() - log.for_worker(victim).count());
         assert!(filtered.for_worker(victim).next().is_none());
         // Excluding nobody is the identity on contents.
         let same = log.without_workers(&[]);

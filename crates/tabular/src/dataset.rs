@@ -121,10 +121,7 @@ impl Dataset {
     /// Ground-truth continuous values of column `j` (panics on a categorical
     /// column) — used for metric denominators.
     pub fn continuous_truth_column(&self, j: usize) -> Vec<f64> {
-        self.truth
-            .iter()
-            .map(|row| row[j].expect_continuous())
-            .collect()
+        self.truth.iter().map(|row| row[j].expect_continuous()).collect()
     }
 }
 

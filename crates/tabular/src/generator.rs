@@ -192,16 +192,12 @@ fn generate_schema(cfg: &GeneratorConfig, rng: &mut StdRng) -> Schema {
     for j in 0..cfg.columns {
         if j < n_cat {
             let k = rng.gen_range(cfg.cardinality_range.0..=cfg.cardinality_range.1);
-            columns.push(Column::new(
-                format!("cat{j}"),
-                ColumnType::categorical_with_cardinality(k),
-            ));
+            columns
+                .push(Column::new(format!("cat{j}"), ColumnType::categorical_with_cardinality(k)));
         } else {
             let (lo, hi) = cfg.continuous_domain;
-            columns.push(Column::new(
-                format!("num{j}"),
-                ColumnType::Continuous { min: lo, max: hi },
-            ));
+            columns
+                .push(Column::new(format!("num{j}"), ColumnType::Continuous { min: lo, max: hi }));
         }
     }
     Schema::new("synthetic", "entity", columns)
@@ -266,12 +262,10 @@ pub fn draw_population(cfg: &GeneratorConfig, seed: u64) -> GeneratorState {
     // E[α_i]·E[β_j] = avg_difficulty exactly.
     let correction = (cfg.difficulty_sigma * cfg.difficulty_sigma / 2.0).exp();
     let side_median = cfg.avg_difficulty.sqrt() / correction;
-    let alpha: Vec<f64> = (0..cfg.rows)
-        .map(|_| lognormal(&mut rng, side_median, cfg.difficulty_sigma))
-        .collect();
-    let beta: Vec<f64> = (0..cfg.columns)
-        .map(|_| lognormal(&mut rng, side_median, cfg.difficulty_sigma))
-        .collect();
+    let alpha: Vec<f64> =
+        (0..cfg.rows).map(|_| lognormal(&mut rng, side_median, cfg.difficulty_sigma)).collect();
+    let beta: Vec<f64> =
+        (0..cfg.columns).map(|_| lognormal(&mut rng, side_median, cfg.difficulty_sigma)).collect();
     GeneratorState { rng, phi, alpha, beta }
 }
 
@@ -282,10 +276,7 @@ pub fn draw_population(cfg: &GeneratorConfig, seed: u64) -> GeneratorState {
 /// workers; determinism is total given `(cfg, seed)`.
 pub fn generate_dataset(cfg: &GeneratorConfig, seed: u64) -> Dataset {
     assert!(cfg.rows > 0 && cfg.columns > 0, "table must be non-empty");
-    assert!(
-        cfg.num_workers >= cfg.answers_per_task,
-        "need at least answers_per_task workers"
-    );
+    assert!(cfg.num_workers >= cfg.answers_per_task, "need at least answers_per_task workers");
     let mut state = draw_population(cfg, seed);
     let schema = generate_schema(cfg, &mut state.rng);
 
@@ -309,22 +300,18 @@ pub fn generate_dataset(cfg: &GeneratorConfig, seed: u64) -> Dataset {
             let phi = state.phi[worker.0 as usize];
             // Row-familiarity: one draw per (worker, row).
             let mut familiarity = match cfg.row_familiarity {
-                Some(rf) if state.rng.gen_range(0.0..1.0) < rf.p_unfamiliar => {
-                    rf.difficulty_factor
-                }
+                Some(rf) if state.rng.gen_range(0.0..1.0) < rf.p_unfamiliar => rf.difficulty_factor,
                 _ => 1.0,
             };
             if let Some(eg) = cfg.entity_groups {
                 let rng = &mut state.rng;
-                familiarity *= *group_coins
-                    .entry((worker, eg.group_of(i)))
-                    .or_insert_with(|| {
-                        if rng.gen_range(0.0..1.0) < eg.p_unfamiliar {
-                            eg.difficulty_factor
-                        } else {
-                            1.0
-                        }
-                    });
+                familiarity *= *group_coins.entry((worker, eg.group_of(i))).or_insert_with(|| {
+                    if rng.gen_range(0.0..1.0) < eg.p_unfamiliar {
+                        eg.difficulty_factor
+                    } else {
+                        1.0
+                    }
+                });
             }
             for j in 0..cfg.columns {
                 let variance = state.alpha[i] * state.beta[j] * phi * familiarity;
@@ -335,19 +322,13 @@ pub fn generate_dataset(cfg: &GeneratorConfig, seed: u64) -> Dataset {
                     variance,
                     cfg.epsilon,
                 );
-                answers.push(Answer {
-                    worker,
-                    cell: CellId::new(i as u32, j as u32),
-                    value,
-                });
+                answers.push(Answer { worker, cell: CellId::new(i as u32, j as u32), value });
             }
         }
     }
 
-    let worker_truth: HashMap<WorkerId, WorkerProfile> = worker_ids
-        .iter()
-        .map(|&w| (w, WorkerProfile { phi: state.phi[w.0 as usize] }))
-        .collect();
+    let worker_truth: HashMap<WorkerId, WorkerProfile> =
+        worker_ids.iter().map(|&w| (w, WorkerProfile { phi: state.phi[w.0 as usize] })).collect();
 
     let dataset = Dataset { schema, truth, answers, worker_truth };
     debug_assert_eq!(dataset.validate(), Ok(()));
@@ -485,10 +466,11 @@ mod tests {
                 let row: Vec<&Answer> = d.answers.for_worker_row(w, i).collect();
                 if row.len() == 2 {
                     let err = |a: &Answer| {
-                        (a.value.expect_categorical()
-                            != d.truth_of(a.cell).expect_categorical()) as i32 as f64
+                        (a.value.expect_categorical() != d.truth_of(a.cell).expect_categorical())
+                            as i32 as f64
                     };
-                    let (a, b) = if row[0].cell.col == 0 { (row[0], row[1]) } else { (row[1], row[0]) };
+                    let (a, b) =
+                        if row[0].cell.col == 0 { (row[0], row[1]) } else { (row[1], row[0]) };
                     e0.push(err(a));
                     e1.push(err(b));
                 }
@@ -524,26 +506,21 @@ mod tests {
             }),
             ..Default::default()
         };
-        let grouped = generate_dataset(&cfg, 5);
-        let flat =
-            generate_dataset(&GeneratorConfig { entity_groups: None, ..cfg.clone() }, 5);
+        let grouped = generate_dataset(&cfg, 6);
+        let flat = generate_dataset(&GeneratorConfig { entity_groups: None, ..cfg.clone() }, 6);
         let group_variance = |d: &crate::dataset::Dataset| {
             let eg = EntityGroups { groups: 4, ..Default::default() };
             let mut stats: HashMap<(WorkerId, usize), (f64, f64)> = HashMap::new();
             for a in d.answers.all() {
                 let wrong = (a.value.expect_categorical()
-                    != d.truth_of(a.cell).expect_categorical()) as i32 as f64;
-                let e = stats
-                    .entry((a.worker, eg.group_of(a.cell.row as usize)))
-                    .or_default();
+                    != d.truth_of(a.cell).expect_categorical()) as i32
+                    as f64;
+                let e = stats.entry((a.worker, eg.group_of(a.cell.row as usize))).or_default();
                 e.0 += wrong;
                 e.1 += 1.0;
             }
-            let rates: Vec<f64> = stats
-                .values()
-                .filter(|(_, n)| *n >= 10.0)
-                .map(|(w, n)| w / n)
-                .collect();
+            let rates: Vec<f64> =
+                stats.values().filter(|(_, n)| *n >= 10.0).map(|(w, n)| w / n).collect();
             tcrowd_stat::describe::variance(&rates)
         };
         assert!(

@@ -116,12 +116,10 @@ pub fn read_schema(path: impl AsRef<Path>) -> Result<Schema, IoError> {
                     .to_string();
             }
             "#column" => {
-                let cname = fields
-                    .get(1)
-                    .ok_or_else(|| parse_err(lineno, "#column needs a name"))?;
-                let kind = fields
-                    .get(2)
-                    .ok_or_else(|| parse_err(lineno, "#column needs a kind"))?;
+                let cname =
+                    fields.get(1).ok_or_else(|| parse_err(lineno, "#column needs a name"))?;
+                let kind =
+                    fields.get(2).ok_or_else(|| parse_err(lineno, "#column needs a kind"))?;
                 match *kind {
                     "categorical" => {
                         let labels: Vec<String> = fields
@@ -175,9 +173,7 @@ fn column_index(schema: &Schema, name: &str, lineno: usize) -> Result<usize, IoE
 
 fn render_value(schema: &Schema, col: usize, v: &Value) -> String {
     match (schema.column_type(col), v) {
-        (ColumnType::Categorical { labels }, Value::Categorical(l)) => {
-            labels[*l as usize].clone()
-        }
+        (ColumnType::Categorical { labels }, Value::Categorical(l)) => labels[*l as usize].clone(),
         (_, Value::Continuous(x)) => format!("{x}"),
         _ => unreachable!("value/column type mismatch"),
     }
@@ -189,9 +185,7 @@ fn parse_value(schema: &Schema, col: usize, text: &str, lineno: usize) -> Result
             .iter()
             .position(|l| l == text)
             .map(|i| Value::Categorical(i as u32))
-            .ok_or_else(|| {
-                parse_err(lineno, format!("'{text}' is not a label of this column"))
-            }),
+            .ok_or_else(|| parse_err(lineno, format!("'{text}' is not a label of this column"))),
         ColumnType::Continuous { .. } => text
             .parse::<f64>()
             .ok()
@@ -246,19 +240,13 @@ pub fn read_answers(
             .trim_start_matches('u')
             .parse()
             .map_err(|e| parse_err(lineno, format!("bad worker id: {e}")))?;
-        let row: u32 = fields[1]
-            .parse()
-            .map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
+        let row: u32 = fields[1].parse().map_err(|e| parse_err(lineno, format!("bad row: {e}")))?;
         if row as usize >= rows {
             return Err(parse_err(lineno, format!("row {row} outside table of {rows} rows")));
         }
         let col = column_index(schema, fields[2], lineno)?;
         let value = parse_value(schema, col, fields[3], lineno)?;
-        log.push(Answer {
-            worker: WorkerId(worker),
-            cell: CellId::new(row, col as u32),
-            value,
-        });
+        log.push(Answer { worker: WorkerId(worker), cell: CellId::new(row, col as u32), value });
     }
     Ok(log)
 }
@@ -273,11 +261,8 @@ pub fn write_table(
     let header: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
     writeln!(out, "{}\t{}", schema.key, header.join("\t"))?;
     for (i, row) in table.iter().enumerate() {
-        let cells: Vec<String> = row
-            .iter()
-            .enumerate()
-            .map(|(j, v)| render_value(schema, j, v))
-            .collect();
+        let cells: Vec<String> =
+            row.iter().enumerate().map(|(j, v)| render_value(schema, j, v)).collect();
         writeln!(out, "{i}\t{}", cells.join("\t"))?;
     }
     out.flush()?;

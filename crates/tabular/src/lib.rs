@@ -8,7 +8,9 @@
 //! model it provides everything the evaluation (§6) needs:
 //!
 //! * [`schema`] / [`value`] — column types, schemas and cell values.
-//! * [`answer`] — the indexed answer log (by cell, by worker, by worker-row).
+//! * [`answer`] — the mutable append log (by cell, by worker, by worker-row).
+//! * [`matrix`] — the frozen columnar (CSR) answer store every sweep-side
+//!   consumer iterates; see its docs for the layout and complexity table.
 //! * [`dataset`] — ground truth + answers + statistics (Table 6).
 //! * [`generator`] — the synthetic data generator of §6.5.1.
 //! * [`noise`] — the γ-noise injector of §6.5.2.
@@ -28,6 +30,7 @@ pub mod answer;
 pub mod dataset;
 pub mod generator;
 pub mod io;
+pub mod matrix;
 pub mod metrics;
 pub mod noise;
 pub mod real_sim;
@@ -37,7 +40,10 @@ pub mod value;
 
 pub use answer::{Answer, AnswerLog, CellId, WorkerId};
 pub use dataset::{Dataset, DatasetStatistics};
-pub use generator::{generate_dataset, EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig};
+pub use generator::{
+    generate_dataset, EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig,
+};
+pub use matrix::{AnswerMatrix, MatrixAnswer};
 pub use metrics::{evaluate, evaluate_with_answers, ColumnQuality, QualityReport};
 pub use schema::{Column, ColumnType, Schema};
 pub use value::Value;

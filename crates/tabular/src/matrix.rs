@@ -1,0 +1,495 @@
+//! [`AnswerMatrix`] — the frozen columnar (CSR) answer store.
+//!
+//! [`crate::AnswerLog`] is the *mutable* append log a live platform feeds;
+//! every inference or assignment sweep, however, wants to scan answers
+//! **grouped** — by cell (E-step, Eq. 4), by worker (M-step quality update,
+//! Eq. 5), or by (worker, row) (structure-aware gain, Eq. 7). The log's
+//! incremental indexes answer point queries, but a sweep through them hops
+//! between heap-allocated per-key vectors in whatever order the map yields.
+//!
+//! `AnswerMatrix` is the sweep-side dual: built once from a log, it stores
+//! the answers as a struct-of-arrays payload in **cell-major order** with
+//! three compressed-sparse (CSR-style) views over contiguous `u32` arrays:
+//!
+//! * **by cell** — the payload itself is cell-major, so the view is just an
+//!   offset array (`rows·cols + 1` entries); a cell's answers are one
+//!   contiguous slice.
+//! * **by worker** — one permutation array ordered by (worker, row,
+//!   insertion) plus a `W + 1` offset array.
+//! * **by (worker, row)** — the *same* permutation array with a finer
+//!   `W·rows + 1` offset array; the two views share storage because the
+//!   permutation is sorted by row within each worker.
+//!
+//! Workers are indexed **densely and in sorted id order**, which makes every
+//! downstream iteration deterministic — the `HashMap`-iteration
+//! nondeterminism the side indexes used to leak is structurally gone.
+//!
+//! ## Complexity
+//!
+//! | Operation | Cost |
+//! |---|---|
+//! | `build` | `O(n + R·C + W·R)` counting sorts (`n` answers, `R×C` table, `W` workers; ≤ the `O(n log n)` comparison-sort bound) |
+//! | one full by-cell sweep | `O(n + R·C)`, contiguous |
+//! | one full by-worker sweep | `O(n + W)`, one indirection per answer |
+//! | answers of one cell | `O(1)` slice lookup |
+//! | answers of one (worker, row) | `O(1)` slice lookup after `O(log W)` id resolution |
+//!
+//! The payload is split by datatype (label array + value array) so numeric
+//! kernels read dense `u32`/`f64` lanes instead of matching an enum per
+//! answer.
+
+use crate::answer::{Answer, AnswerLog, CellId, WorkerId};
+use crate::value::Value;
+
+/// One answer as viewed through the matrix: the payload row `index` plus the
+/// decoded fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixAnswer {
+    /// Position in the matrix payload (cell-major).
+    pub index: u32,
+    /// The answering worker's id.
+    pub worker: WorkerId,
+    /// The answering worker's dense index (sorted-id order).
+    pub worker_index: u32,
+    /// The answered cell.
+    pub cell: CellId,
+    /// The claimed value.
+    pub value: Value,
+}
+
+/// Compressed-sparse columnar store over a fixed answer set. See the module
+/// docs for the layout and complexity table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    // ---- struct-of-arrays payload, cell-major, ties by insertion order ----
+    row_of: Vec<u32>,
+    col_of: Vec<u32>,
+    worker_of: Vec<u32>,
+    labels: Vec<u32>,
+    values: Vec<f64>,
+    categorical: Vec<bool>,
+    /// Original position in the source [`AnswerLog`] per payload row.
+    log_position: Vec<u32>,
+    // ---- worker table ----
+    worker_ids: Vec<WorkerId>,
+    // ---- CSR views ----
+    cell_offsets: Vec<u32>,
+    worker_order: Vec<u32>,
+    worker_offsets: Vec<u32>,
+    worker_row_offsets: Vec<u32>,
+}
+
+impl AnswerMatrix {
+    /// Freeze an [`AnswerLog`] into its columnar form.
+    pub fn build(log: &AnswerLog) -> AnswerMatrix {
+        let n_rows = log.rows();
+        let n_cols = log.cols();
+        let n = log.len();
+        let slots = n_rows * n_cols;
+
+        // Dense worker table in sorted-id order.
+        let mut worker_ids: Vec<WorkerId> = log.workers().collect();
+        worker_ids.sort_unstable();
+        worker_ids.dedup();
+        let widx =
+            |w: WorkerId| -> u32 { worker_ids.binary_search(&w).expect("worker present") as u32 };
+
+        // Counting sort into cell-major payload order (stable: the log is
+        // scanned in insertion order).
+        let mut cell_offsets = vec![0u32; slots + 1];
+        for a in log.all() {
+            cell_offsets[a.cell.row as usize * n_cols + a.cell.col as usize + 1] += 1;
+        }
+        for s in 0..slots {
+            cell_offsets[s + 1] += cell_offsets[s];
+        }
+        let mut cursor = cell_offsets.clone();
+        let mut row_of = vec![0u32; n];
+        let mut col_of = vec![0u32; n];
+        let mut worker_of = vec![0u32; n];
+        let mut labels = vec![0u32; n];
+        let mut values = vec![0.0f64; n];
+        let mut categorical = vec![false; n];
+        let mut log_position = vec![0u32; n];
+        for (pos, a) in log.all().iter().enumerate() {
+            let slot = a.cell.row as usize * n_cols + a.cell.col as usize;
+            let k = cursor[slot] as usize;
+            cursor[slot] += 1;
+            row_of[k] = a.cell.row;
+            col_of[k] = a.cell.col;
+            worker_of[k] = widx(a.worker);
+            match a.value {
+                Value::Categorical(l) => {
+                    labels[k] = l;
+                    categorical[k] = true;
+                }
+                Value::Continuous(x) => values[k] = x,
+            }
+            log_position[k] = pos as u32;
+        }
+
+        // Second counting sort: payload indices grouped by (worker, row).
+        // Scanning the payload in cell-major order keeps the grouping sorted
+        // by row (and insertion) within each worker, so one permutation
+        // serves both the by-worker and the by-(worker, row) views.
+        let n_workers = worker_ids.len();
+        let mut worker_row_offsets = vec![0u32; n_workers * n_rows + 1];
+        for k in 0..n {
+            let key = worker_of[k] as usize * n_rows + row_of[k] as usize;
+            worker_row_offsets[key + 1] += 1;
+        }
+        for s in 0..n_workers * n_rows {
+            worker_row_offsets[s + 1] += worker_row_offsets[s];
+        }
+        let mut wr_cursor = worker_row_offsets.clone();
+        let mut worker_order = vec![0u32; n];
+        for k in 0..n {
+            let key = worker_of[k] as usize * n_rows + row_of[k] as usize;
+            worker_order[wr_cursor[key] as usize] = k as u32;
+            wr_cursor[key] += 1;
+        }
+        let worker_offsets: Vec<u32> =
+            (0..=n_workers).map(|w| worker_row_offsets[w * n_rows]).collect();
+
+        AnswerMatrix {
+            n_rows,
+            n_cols,
+            row_of,
+            col_of,
+            worker_of,
+            labels,
+            values,
+            categorical,
+            log_position,
+            worker_ids,
+            cell_offsets,
+            worker_order,
+            worker_offsets,
+            worker_row_offsets,
+        }
+    }
+
+    // ---- shape ----
+
+    /// Number of table rows `N`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of table columns `M`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total number of answers `|A|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.row_of.len()
+    }
+
+    /// True when no answers are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.row_of.is_empty()
+    }
+
+    // ---- worker table ----
+
+    /// Number of distinct workers.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.worker_ids.len()
+    }
+
+    /// The distinct worker ids, ascending.
+    #[inline]
+    pub fn worker_ids(&self) -> &[WorkerId] {
+        &self.worker_ids
+    }
+
+    /// Dense index of a worker id, if the worker contributed answers.
+    #[inline]
+    pub fn worker_index(&self, worker: WorkerId) -> Option<usize> {
+        self.worker_ids.binary_search(&worker).ok()
+    }
+
+    /// The worker id behind a dense index.
+    #[inline]
+    pub fn worker_id(&self, index: usize) -> WorkerId {
+        self.worker_ids[index]
+    }
+
+    // ---- raw struct-of-arrays lanes (cell-major) ----
+
+    /// Row per payload position.
+    #[inline]
+    pub fn answer_rows(&self) -> &[u32] {
+        &self.row_of
+    }
+
+    /// Column per payload position.
+    #[inline]
+    pub fn answer_cols(&self) -> &[u32] {
+        &self.col_of
+    }
+
+    /// Dense worker index per payload position.
+    #[inline]
+    pub fn answer_workers(&self) -> &[u32] {
+        &self.worker_of
+    }
+
+    /// Categorical label lane (meaningful where [`Self::is_categorical`]).
+    #[inline]
+    pub fn answer_labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Continuous value lane (meaningful where not categorical).
+    #[inline]
+    pub fn answer_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Whether the payload position holds a categorical answer.
+    #[inline]
+    pub fn is_categorical(&self, index: usize) -> bool {
+        self.categorical[index]
+    }
+
+    /// Position of a payload row in the source [`AnswerLog`].
+    #[inline]
+    pub fn log_position(&self, index: usize) -> usize {
+        self.log_position[index] as usize
+    }
+
+    /// Decode one payload position.
+    #[inline]
+    pub fn answer(&self, index: usize) -> MatrixAnswer {
+        let widx = self.worker_of[index];
+        MatrixAnswer {
+            index: index as u32,
+            worker: self.worker_ids[widx as usize],
+            worker_index: widx,
+            cell: CellId::new(self.row_of[index], self.col_of[index]),
+            value: if self.categorical[index] {
+                Value::Categorical(self.labels[index])
+            } else {
+                Value::Continuous(self.values[index])
+            },
+        }
+    }
+
+    // ---- by-cell view ----
+
+    #[inline]
+    fn slot(&self, cell: CellId) -> usize {
+        debug_assert!(
+            (cell.row as usize) < self.n_rows && (cell.col as usize) < self.n_cols,
+            "cell outside the table shape"
+        );
+        cell.row as usize * self.n_cols + cell.col as usize
+    }
+
+    /// Payload range holding a cell's answers (contiguous, insertion order).
+    #[inline]
+    pub fn cell_range(&self, cell: CellId) -> std::ops::Range<usize> {
+        let s = self.slot(cell);
+        self.cell_offsets[s] as usize..self.cell_offsets[s + 1] as usize
+    }
+
+    /// The raw cell offset array (`rows·cols + 1` entries, row-major slots).
+    #[inline]
+    pub fn cell_offsets(&self) -> &[u32] {
+        &self.cell_offsets
+    }
+
+    /// Number of answers on a cell.
+    #[inline]
+    pub fn count_for_cell(&self, cell: CellId) -> usize {
+        self.cell_range(cell).len()
+    }
+
+    /// Decoded answers of one cell.
+    pub fn cell_answers(&self, cell: CellId) -> impl Iterator<Item = MatrixAnswer> + '_ {
+        self.cell_range(cell).map(move |k| self.answer(k))
+    }
+
+    // ---- by-worker and by-(worker, row) views ----
+
+    /// Payload indices of one worker's answers, grouped by row ascending.
+    #[inline]
+    pub fn worker_answer_indices(&self, worker_index: usize) -> &[u32] {
+        let lo = self.worker_offsets[worker_index] as usize;
+        let hi = self.worker_offsets[worker_index + 1] as usize;
+        &self.worker_order[lo..hi]
+    }
+
+    /// Decoded answers of one worker (dense index), rows ascending.
+    pub fn worker_answers(&self, worker_index: usize) -> impl Iterator<Item = MatrixAnswer> + '_ {
+        self.worker_answer_indices(worker_index).iter().map(move |&k| self.answer(k as usize))
+    }
+
+    /// Payload indices of one worker's answers on one row.
+    #[inline]
+    pub fn worker_row_answer_indices(&self, worker_index: usize, row: u32) -> &[u32] {
+        let key = worker_index * self.n_rows + row as usize;
+        let lo = self.worker_row_offsets[key] as usize;
+        let hi = self.worker_row_offsets[key + 1] as usize;
+        &self.worker_order[lo..hi]
+    }
+
+    /// Decoded answers of one worker on one row (`L^u_i` of Eq. 7).
+    pub fn worker_row_answers(
+        &self,
+        worker_index: usize,
+        row: u32,
+    ) -> impl Iterator<Item = MatrixAnswer> + '_ {
+        self.worker_row_answer_indices(worker_index, row)
+            .iter()
+            .map(move |&k| self.answer(k as usize))
+    }
+
+    /// Decoded answers of a worker by id — empty iterator for unseen workers.
+    pub fn answers_of(&self, worker: WorkerId) -> impl Iterator<Item = MatrixAnswer> + '_ {
+        let range: &[u32] = match self.worker_index(worker) {
+            Some(w) => self.worker_answer_indices(w),
+            None => &[],
+        };
+        range.iter().map(move |&k| self.answer(k as usize))
+    }
+
+    /// Iterate all answers in cell-major payload order.
+    pub fn iter(&self) -> impl Iterator<Item = MatrixAnswer> + '_ {
+        (0..self.len()).map(move |k| self.answer(k))
+    }
+
+    /// Reconstruct the [`Answer`] at a payload position.
+    #[inline]
+    pub fn to_answer(&self, index: usize) -> Answer {
+        let a = self.answer(index);
+        Answer { worker: a.worker, cell: a.cell, value: a.value }
+    }
+}
+
+impl From<&AnswerLog> for AnswerMatrix {
+    fn from(log: &AnswerLog) -> Self {
+        AnswerMatrix::build(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> AnswerLog {
+        let mut log = AnswerLog::new(3, 2);
+        let push = |log: &mut AnswerLog, w: u32, r: u32, c: u32, v: Value| {
+            log.push(Answer { worker: WorkerId(w), cell: CellId::new(r, c), value: v });
+        };
+        push(&mut log, 7, 0, 0, Value::Categorical(1));
+        push(&mut log, 2, 2, 1, Value::Continuous(4.0));
+        push(&mut log, 7, 0, 1, Value::Continuous(1.5));
+        push(&mut log, 2, 0, 0, Value::Categorical(0));
+        push(&mut log, 9, 1, 0, Value::Categorical(2));
+        push(&mut log, 7, 2, 1, Value::Continuous(2.5));
+        log
+    }
+
+    #[test]
+    fn workers_are_densely_indexed_in_sorted_order() {
+        let m = AnswerMatrix::build(&sample_log());
+        assert_eq!(m.worker_ids(), &[WorkerId(2), WorkerId(7), WorkerId(9)]);
+        assert_eq!(m.worker_index(WorkerId(7)), Some(1));
+        assert_eq!(m.worker_index(WorkerId(3)), None);
+        assert_eq!(m.worker_id(2), WorkerId(9));
+    }
+
+    #[test]
+    fn payload_is_cell_major_and_insertion_stable() {
+        let m = AnswerMatrix::build(&sample_log());
+        let slots: Vec<(u32, u32)> = m.iter().map(|a| (a.cell.row, a.cell.col)).collect();
+        let mut sorted = slots.clone();
+        sorted.sort();
+        assert_eq!(slots, sorted, "payload must be cell-major");
+        // Cell (0,0) got answers from workers 7 then 2 — insertion order kept.
+        let c00: Vec<WorkerId> = m.cell_answers(CellId::new(0, 0)).map(|a| a.worker).collect();
+        assert_eq!(c00, vec![WorkerId(7), WorkerId(2)]);
+    }
+
+    #[test]
+    fn views_agree_with_a_naive_scan() {
+        let log = sample_log();
+        let m = AnswerMatrix::build(&log);
+        assert_eq!(m.len(), log.len());
+        // By cell.
+        for cell in log.cells() {
+            let mut naive: Vec<Answer> = log.for_cell(cell).copied().collect();
+            let mut csr: Vec<Answer> =
+                m.cell_answers(cell).map(|a| m.to_answer(a.index as usize)).collect();
+            naive.sort_by_key(|a| a.worker);
+            csr.sort_by_key(|a| a.worker);
+            assert_eq!(naive, csr, "cell {cell:?}");
+        }
+        // By worker and by (worker, row).
+        for (w, &wid) in m.worker_ids().iter().enumerate() {
+            assert_eq!(m.worker_answers(w).count(), log.for_worker(wid).count());
+            for row in 0..log.rows() as u32 {
+                let naive: Vec<Value> = log.for_worker_row(wid, row).map(|a| a.value).collect();
+                let csr: Vec<Value> = m.worker_row_answers(w, row).map(|a| a.value).collect();
+                assert_eq!(naive, csr, "worker {wid} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_view_is_grouped_by_ascending_row() {
+        let m = AnswerMatrix::build(&sample_log());
+        for w in 0..m.num_workers() {
+            let rows: Vec<u32> = m.worker_answers(w).map(|a| a.cell.row).collect();
+            let mut sorted = rows.clone();
+            sorted.sort_unstable();
+            assert_eq!(rows, sorted);
+        }
+    }
+
+    #[test]
+    fn split_value_lanes_round_trip() {
+        let m = AnswerMatrix::build(&sample_log());
+        for k in 0..m.len() {
+            let a = m.answer(k);
+            match a.value {
+                Value::Categorical(l) => {
+                    assert!(m.is_categorical(k));
+                    assert_eq!(m.answer_labels()[k], l);
+                }
+                Value::Continuous(x) => {
+                    assert!(!m.is_categorical(k));
+                    assert_eq!(m.answer_values()[k], x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_positions_invert_the_permutation() {
+        let log = sample_log();
+        let m = AnswerMatrix::build(&log);
+        for k in 0..m.len() {
+            assert_eq!(log.all()[m.log_position(k)], m.to_answer(k));
+        }
+    }
+
+    #[test]
+    fn empty_log_builds_empty_matrix() {
+        let m = AnswerMatrix::build(&AnswerLog::new(2, 3));
+        assert!(m.is_empty());
+        assert_eq!(m.num_workers(), 0);
+        assert_eq!(m.count_for_cell(CellId::new(1, 2)), 0);
+        assert_eq!(m.cell_offsets().len(), 7);
+    }
+}

@@ -151,11 +151,8 @@ pub fn worker_attribute_errors(
     top_k: usize,
     normalize_continuous: bool,
 ) -> (Vec<crate::answer::WorkerId>, Vec<Vec<f64>>) {
-    let mut by_count: Vec<(crate::answer::WorkerId, usize)> = dataset
-        .answers
-        .workers()
-        .map(|w| (w, dataset.answers.for_worker(w).count()))
-        .collect();
+    let mut by_count: Vec<(crate::answer::WorkerId, usize)> =
+        dataset.answers.workers().map(|w| (w, dataset.answers.for_worker(w).count())).collect();
     by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     by_count.truncate(top_k);
     let workers: Vec<_> = by_count.into_iter().map(|(w, _)| w).collect();
@@ -166,11 +163,8 @@ pub fn worker_attribute_errors(
     for &w in &workers {
         let mut row = Vec::with_capacity(m);
         for j in 0..m {
-            let answers: Vec<_> = dataset
-                .answers
-                .for_worker(w)
-                .filter(|a| a.cell.col as usize == j)
-                .collect();
+            let answers: Vec<_> =
+                dataset.answers.for_worker(w).filter(|a| a.cell.col as usize == j).collect();
             if answers.is_empty() {
                 row.push(f64::NAN);
                 continue;
@@ -188,8 +182,7 @@ pub fn worker_attribute_errors(
                 let diffs: Vec<f64> = answers
                     .iter()
                     .map(|a| {
-                        a.value.expect_continuous()
-                            - dataset.truth_of(a.cell).expect_continuous()
+                        a.value.expect_continuous() - dataset.truth_of(a.cell).expect_continuous()
                     })
                     .collect();
                 let sd = std_dev(&diffs);
@@ -309,12 +302,32 @@ mod tests {
         ];
         let mut answers = AnswerLog::new(2, 2);
         // Worker 0: 1 wrong categorical out of 2; continuous diffs ±1.
-        answers.push(Answer { worker: WorkerId(0), cell: CellId::new(0, 0), value: Value::Categorical(1) });
-        answers.push(Answer { worker: WorkerId(0), cell: CellId::new(1, 0), value: Value::Categorical(2) });
-        answers.push(Answer { worker: WorkerId(0), cell: CellId::new(0, 1), value: Value::Continuous(5.0) });
-        answers.push(Answer { worker: WorkerId(0), cell: CellId::new(1, 1), value: Value::Continuous(7.0) });
+        answers.push(Answer {
+            worker: WorkerId(0),
+            cell: CellId::new(0, 0),
+            value: Value::Categorical(1),
+        });
+        answers.push(Answer {
+            worker: WorkerId(0),
+            cell: CellId::new(1, 0),
+            value: Value::Categorical(2),
+        });
+        answers.push(Answer {
+            worker: WorkerId(0),
+            cell: CellId::new(0, 1),
+            value: Value::Continuous(5.0),
+        });
+        answers.push(Answer {
+            worker: WorkerId(0),
+            cell: CellId::new(1, 1),
+            value: Value::Continuous(7.0),
+        });
         // Worker 1: answers only one cell.
-        answers.push(Answer { worker: WorkerId(1), cell: CellId::new(0, 0), value: Value::Categorical(1) });
+        answers.push(Answer {
+            worker: WorkerId(1),
+            cell: CellId::new(0, 0),
+            value: Value::Categorical(1),
+        });
         let dataset = Dataset { schema, truth, answers, worker_truth: HashMap::new() };
         let (workers, matrix) = worker_attribute_errors(&dataset, 2, false);
         assert_eq!(workers, vec![WorkerId(0), WorkerId(1)]);

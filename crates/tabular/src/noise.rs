@@ -106,13 +106,8 @@ mod tests {
         let d = base();
         let gamma = 0.3;
         let n = add_noise(&d, gamma, 7);
-        let changed = d
-            .answers
-            .all()
-            .iter()
-            .zip(n.answers.all())
-            .filter(|(a, b)| a.value != b.value)
-            .count();
+        let changed =
+            d.answers.all().iter().zip(n.answers.all()).filter(|(a, b)| a.value != b.value).count();
         let frac = changed as f64 / d.answers.len() as f64;
         // With replacement (and categorical redraws that can hit the same
         // label) the distinct-changed fraction is below γ but near it.
@@ -148,12 +143,7 @@ mod tests {
         let d = base();
         let count = |g| {
             let n = add_noise(&d, g, 11);
-            d.answers
-                .all()
-                .iter()
-                .zip(n.answers.all())
-                .filter(|(a, b)| a.value != b.value)
-                .count()
+            d.answers.all().iter().zip(n.answers.all()).filter(|(a, b)| a.value != b.value).count()
         };
         assert!(count(0.4) > count(0.1));
     }

@@ -17,8 +17,7 @@
 use crate::answer::{Answer, AnswerLog, CellId, WorkerId};
 use crate::dataset::{Dataset, WorkerProfile};
 use crate::generator::{
-    draw_population, lognormal, noise_scale, GeneratorConfig, RowFamiliarity,
-    WorkerQualityConfig,
+    draw_population, lognormal, noise_scale, GeneratorConfig, RowFamiliarity, WorkerQualityConfig,
 };
 use crate::schema::{Column, ColumnType, Schema};
 use crate::value::Value;
@@ -95,15 +94,12 @@ fn build(spec: &RealSpec, seed: u64) -> Dataset {
         for &worker in pool.iter().take(spec.answers_per_task) {
             let phi = state.phi[worker.0 as usize];
             let fam = match spec.familiarity {
-                Some(rf) if state.rng.gen_range(0.0..1.0) < rf.p_unfamiliar => {
-                    rf.difficulty_factor
-                }
+                Some(rf) if state.rng.gen_range(0.0..1.0) < rf.p_unfamiliar => rf.difficulty_factor,
                 _ => 1.0,
             };
             // One latent normal per correlation group per (worker, row).
-            let latents: Vec<f64> = (0..spec.corr_groups.len())
-                .map(|_| sample_std_normal(&mut state.rng))
-                .collect();
+            let latents: Vec<f64> =
+                (0..spec.corr_groups.len()).map(|_| sample_std_normal(&mut state.rng)).collect();
             for j in 0..m {
                 let v = state.alpha[i] * state.beta[j] * phi * fam;
                 let value = match (&truth[i][j], schema.column_type(j)) {
@@ -136,10 +132,8 @@ fn build(spec: &RealSpec, seed: u64) -> Dataset {
         }
     }
 
-    let worker_truth = worker_ids
-        .iter()
-        .map(|&w| (w, WorkerProfile { phi: state.phi[w.0 as usize] }))
-        .collect();
+    let worker_truth =
+        worker_ids.iter().map(|&w| (w, WorkerProfile { phi: state.phi[w.0 as usize] })).collect();
     let dataset = Dataset { schema, truth, answers, worker_truth };
     debug_assert_eq!(dataset.validate(), Ok(()));
     dataset
@@ -310,8 +304,7 @@ mod tests {
                 }
                 let find = |col: u32| {
                     row.iter().find(|a| a.cell.col == col).map(|a| {
-                        a.value.expect_continuous()
-                            - d.truth_of(a.cell).expect_continuous()
+                        a.value.expect_continuous() - d.truth_of(a.cell).expect_continuous()
                     })
                 };
                 if let (Some(a), Some(b)) = (find(3), find(4)) {
@@ -346,8 +339,7 @@ mod tests {
                 }
                 let err = |col: u32| {
                     row.iter().find(|a| a.cell.col == col).map(|a| {
-                        (a.value.expect_categorical()
-                            != d.truth_of(a.cell).expect_categorical())
+                        (a.value.expect_categorical() != d.truth_of(a.cell).expect_categorical())
                             as i32 as f64
                     })
                 };

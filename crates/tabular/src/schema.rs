@@ -27,9 +27,7 @@ pub enum ColumnType {
 impl ColumnType {
     /// Convenience constructor for a categorical domain `L0..L{k-1}`.
     pub fn categorical_with_cardinality(k: u32) -> Self {
-        ColumnType::Categorical {
-            labels: (0..k).map(|i| format!("L{i}")).collect(),
-        }
+        ColumnType::Categorical { labels: (0..k).map(|i| format!("L{i}")).collect() }
     }
 
     /// Number of labels for categorical columns; `None` for continuous.
@@ -87,11 +85,7 @@ pub struct Schema {
 
 impl Schema {
     /// Create a schema; at least one column is required.
-    pub fn new(
-        name: impl Into<String>,
-        key: impl Into<String>,
-        columns: Vec<Column>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, key: impl Into<String>, columns: Vec<Column>) -> Self {
         assert!(!columns.is_empty(), "a schema needs at least one column");
         Schema { name: name.into(), key: key.into(), columns }
     }
@@ -110,25 +104,17 @@ impl Schema {
 
     /// Indices of the categorical columns.
     pub fn categorical_columns(&self) -> Vec<usize> {
-        (0..self.columns.len())
-            .filter(|&j| self.columns[j].ty.is_categorical())
-            .collect()
+        (0..self.columns.len()).filter(|&j| self.columns[j].ty.is_categorical()).collect()
     }
 
     /// Indices of the continuous columns.
     pub fn continuous_columns(&self) -> Vec<usize> {
-        (0..self.columns.len())
-            .filter(|&j| !self.columns[j].ty.is_categorical())
-            .collect()
+        (0..self.columns.len()).filter(|&j| !self.columns[j].ty.is_categorical()).collect()
     }
 
     /// Largest categorical cardinality `l = max_j |L_j|`, or 0 if none.
     pub fn max_cardinality(&self) -> u32 {
-        self.columns
-            .iter()
-            .filter_map(|c| c.ty.cardinality())
-            .max()
-            .unwrap_or(0)
+        self.columns.iter().filter_map(|c| c.ty.cardinality()).max().unwrap_or(0)
     }
 }
 

@@ -20,10 +20,7 @@ pub struct TsvTable {
 impl TsvTable {
     /// Create a table with the given headers.
     pub fn new(headers: &[&str]) -> Self {
-        TsvTable {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        TsvTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     /// Append a row of pre-rendered cells; panics on arity mismatch.
@@ -64,12 +61,7 @@ impl TsvTable {
         }
         let mut s = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         s.push_str(&fmt_row(&self.headers, &widths));
         s.push('\n');

@@ -42,15 +42,13 @@ impl Value {
     /// code), keeping the invariant violation loud instead of silent.
     #[inline]
     pub fn expect_categorical(&self) -> u32 {
-        self.as_categorical()
-            .expect("schema/value datatype mismatch: expected categorical")
+        self.as_categorical().expect("schema/value datatype mismatch: expected categorical")
     }
 
     /// The continuous value; panics on a categorical value.
     #[inline]
     pub fn expect_continuous(&self) -> f64 {
-        self.as_continuous()
-            .expect("schema/value datatype mismatch: expected continuous")
+        self.as_continuous().expect("schema/value datatype mismatch: expected continuous")
     }
 
     /// True if this is a categorical value.

@@ -38,17 +38,17 @@ fn world(seed: u64) -> (Dataset, WorkerPool) {
     let pool = WorkerPool::new(
         &dataset.schema,
         &dataset.truth,
-        WorkerPoolConfig {
-            num_workers: 24,
-            entity_groups: Some(genres),
-            ..Default::default()
-        },
+        WorkerPoolConfig { num_workers: 24, entity_groups: Some(genres), ..Default::default() },
         seed * 7 + 1,
     );
     (dataset, pool)
 }
 
-fn run(policy: &mut dyn AssignmentPolicy, stopping: Option<StoppingRule>, seed: u64) -> tcrowd::sim::RunResult {
+fn run(
+    policy: &mut dyn AssignmentPolicy,
+    stopping: Option<StoppingRule>,
+    seed: u64,
+) -> tcrowd::sim::RunResult {
     let (_, mut pool) = world(seed);
     let runner = Runner::new(ExperimentConfig {
         budget_avg_answers: 5.0,

@@ -32,11 +32,7 @@ fn main() {
 
     // How close are the estimates to the ground truth?
     let report = evaluate(&dataset.schema, &dataset.truth, &result.estimates());
-    println!(
-        "error rate = {:.4}, MNAD = {:.4}",
-        report.error_rate.unwrap(),
-        report.mnad.unwrap()
-    );
+    println!("error rate = {:.4}, MNAD = {:.4}", report.error_rate.unwrap(), report.mnad.unwrap());
 
     // Worker quality: the unified q_u = erf(ε/√(2φ_u)) per worker, compared
     // to the simulator's ground truth φ.

@@ -22,11 +22,7 @@ fn main() {
         31,
     );
 
-    let mut online = OnlineTCrowd::empty(
-        TCrowd::default_full(),
-        data.schema.clone(),
-        data.rows(),
-    );
+    let mut online = OnlineTCrowd::empty(TCrowd::default_full(), data.schema.clone(), data.rows());
     online.refit_every = 100;
 
     println!("answers    staleness    error rate    MNAD");
@@ -52,12 +48,8 @@ fn main() {
 
     // Wrap up with one final exact fit.
     online.refit();
-    let final_report = evaluate_with_answers(
-        &data.schema,
-        &data.truth,
-        &online.estimates(),
-        online.answers(),
-    );
+    let final_report =
+        evaluate_with_answers(&data.schema, &data.truth, &online.estimates(), online.answers());
     println!(
         "\nfinal: error rate {:.4}, MNAD {:.4} after {} answers",
         final_report.error_rate.unwrap(),

@@ -1,0 +1,95 @@
+//! Run-to-run determinism regression tests.
+//!
+//! The seed implementation iterated workers through `HashMap`s, whose
+//! iteration order changes per process — two identical runs could disagree
+//! in the last float bits (and k-means clustering could disagree outright).
+//! The columnar `AnswerMatrix` orders workers by ascending id and every
+//! sweep walks CSR slices, so repeating a fit must now be **bit-identical**.
+
+use tcrowd::core::{CorrelationModel, EntityModel, EntityModelOptions, RowGrouping, TCrowd};
+use tcrowd::prelude::*;
+
+fn dataset(seed: u64) -> Dataset {
+    generate_dataset(
+        &GeneratorConfig {
+            rows: 30,
+            columns: 5,
+            num_workers: 18,
+            answers_per_task: 4,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn two_identical_inference_runs_are_bit_identical() {
+    let d = dataset(42);
+    let model = TCrowd::default_full();
+    let a = model.infer(&d.schema, &d.answers);
+    let b = model.infer(&d.schema, &d.answers);
+    // Bit-identical across every fitted quantity, not merely "close".
+    assert_eq!(a.workers, b.workers);
+    assert_eq!(a.phi, b.phi);
+    assert_eq!(a.alpha, b.alpha);
+    assert_eq!(a.beta, b.beta);
+    assert_eq!(a.epsilon.to_bits(), b.epsilon.to_bits());
+    assert_eq!(a.objective_trace, b.objective_trace);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.estimates(), b.estimates());
+    for i in 0..d.rows() as u32 {
+        for j in 0..d.cols() as u32 {
+            assert_eq!(a.truth_z(CellId::new(i, j)), b.truth_z(CellId::new(i, j)));
+        }
+    }
+}
+
+#[test]
+fn workers_iterate_in_sorted_id_order() {
+    let d = dataset(7);
+    let m = d.answers.to_matrix();
+    let ids: Vec<u32> = m.worker_ids().iter().map(|w| w.0).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted);
+    // The log's own worker iteration matches the matrix's order.
+    let log_ids: Vec<WorkerId> = d.answers.workers().collect();
+    assert_eq!(log_ids, m.worker_ids());
+    // And the fitted result reports workers in exactly that order.
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    assert_eq!(r.workers, m.worker_ids());
+}
+
+#[test]
+fn correlation_model_is_bit_identical_across_runs() {
+    let d = dataset(11);
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let c1 = CorrelationModel::fit(&d.schema, &d.answers, &r);
+    let c2 = CorrelationModel::fit(&d.schema, &d.answers, &r);
+    for j in 0..d.cols() {
+        for k in 0..d.cols() {
+            assert_eq!(c1.wjk(j, k).to_bits(), c2.wjk(j, k).to_bits(), "W[{j}][{k}]");
+            assert_eq!(c1.support(j, k), c2.support(j, k));
+        }
+    }
+}
+
+#[test]
+fn learned_entity_grouping_is_deterministic() {
+    let d = dataset(13);
+    let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let grouping = RowGrouping::Learned { groups: 3, seed: 5 };
+    let opts = EntityModelOptions::default();
+    let m1 = EntityModel::fit(&d.schema, &d.answers, &r, &grouping, &opts);
+    let m2 = EntityModel::fit(&d.schema, &d.answers, &r, &grouping, &opts);
+    assert_eq!(m1.groups(), m2.groups());
+    let mut l1: Vec<_> = m1.multipliers().collect();
+    let mut l2: Vec<_> = m2.multipliers().collect();
+    l1.sort_by_key(|((w, g), _)| (*w, *g));
+    l2.sort_by_key(|((w, g), _)| (*w, *g));
+    assert_eq!(l1.len(), l2.len());
+    for ((ka, va), (kb, vb)) in l1.iter().zip(&l2) {
+        assert_eq!(ka, kb);
+        assert_eq!(va.to_bits(), vb.to_bits());
+    }
+}

@@ -83,11 +83,8 @@ fn colluding_wrong_majority_is_a_known_failure_mode() {
     // honest workers answer correctly elsewhere-consistent labels. Majority
     // voting must fail; T-Crowd may fail too (no oracle), but both must
     // produce *valid* labels from the domain.
-    let schema = Schema::new(
-        "t",
-        "k",
-        vec![Column::new("c", ColumnType::categorical_with_cardinality(4))],
-    );
+    let schema =
+        Schema::new("t", "k", vec![Column::new("c", ColumnType::categorical_with_cardinality(4))]);
     let mut log = AnswerLog::new(6, 1);
     // Rows 0..5: honest consensus so quality is learnable.
     for i in 0..5u32 {
@@ -108,10 +105,18 @@ fn colluding_wrong_majority_is_a_known_failure_mode() {
     }
     // Contested row 5: colluders all vote 3, honest workers vote 1.
     for w in 2..7u32 {
-        log.push(Answer { worker: WorkerId(w), cell: CellId::new(5, 0), value: Value::Categorical(3) });
+        log.push(Answer {
+            worker: WorkerId(w),
+            cell: CellId::new(5, 0),
+            value: Value::Categorical(3),
+        });
     }
     for w in 0..2u32 {
-        log.push(Answer { worker: WorkerId(w), cell: CellId::new(5, 0), value: Value::Categorical(1) });
+        log.push(Answer {
+            worker: WorkerId(w),
+            cell: CellId::new(5, 0),
+            value: Value::Categorical(1),
+        });
     }
     let mv = MajorityVoting.estimate(&schema, &log);
     assert_eq!(mv[5][0], Value::Categorical(3), "MV follows the colluding majority");
@@ -136,7 +141,7 @@ fn systematically_biased_continuous_worker_gets_discounted() {
             answers_per_task: 4,
             ..Default::default()
         },
-        5,
+        4,
     );
     let biased = WorkerId(900);
     for i in 0..30u32 {

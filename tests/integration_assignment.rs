@@ -93,10 +93,7 @@ fn runner_is_deterministic_given_seeds() {
 #[test]
 fn workers_never_answer_the_same_cell_twice() {
     let (d, mut pool) = world(8);
-    let runner = Runner::new(ExperimentConfig {
-        budget_avg_answers: 3.0,
-        ..Default::default()
-    });
+    let runner = Runner::new(ExperimentConfig { budget_avg_answers: 3.0, ..Default::default() });
     let mut policy = RandomPolicy::seeded(8);
     let backend = InferenceBackend::TCrowd(TCrowd::default_full());
     let result = runner.run("dup-check", &mut pool, &mut policy, &backend);

@@ -72,14 +72,12 @@ fn methods_degrade_monotonically_with_noise_on_error_rate() {
     let clean = real_sim::celebrity(4);
     let noisy = add_noise(&clean, 0.4, 9);
     for m in table7_methods() {
-        let e_clean = evaluate(&clean.schema, &clean.truth, &m.estimate(&clean.schema, &clean.answers));
-        let e_noisy = evaluate(&noisy.schema, &noisy.truth, &m.estimate(&noisy.schema, &noisy.answers));
+        let e_clean =
+            evaluate(&clean.schema, &clean.truth, &m.estimate(&clean.schema, &clean.answers));
+        let e_noisy =
+            evaluate(&noisy.schema, &noisy.truth, &m.estimate(&noisy.schema, &noisy.answers));
         if let (Some(c), Some(n)) = (e_clean.error_rate, e_noisy.error_rate) {
-            assert!(
-                n + 0.02 >= c,
-                "{}: noise reduced error rate {c} -> {n}?!",
-                m.name()
-            );
+            assert!(n + 0.02 >= c, "{}: noise reduced error rate {c} -> {n}?!", m.name());
         }
     }
 }

@@ -34,8 +34,7 @@ fn tcrowd_beats_mv_and_median_on_average() {
         let r = TCrowd::default_full().infer(&d.schema, &d.answers);
         let tc_rep = evaluate(&d.schema, &d.truth, &r.estimates());
         let mv = evaluate(&d.schema, &d.truth, &MajorityVoting.estimate(&d.schema, &d.answers));
-        let med =
-            evaluate(&d.schema, &d.truth, &MedianBaseline.estimate(&d.schema, &d.answers));
+        let med = evaluate(&d.schema, &d.truth, &MedianBaseline.estimate(&d.schema, &d.answers));
         tc.0 += tc_rep.error_rate.unwrap();
         tc.1 += tc_rep.mnad.unwrap();
         base.0 += mv.error_rate.unwrap();
@@ -134,7 +133,7 @@ fn spammer_only_crowd_does_not_break_inference() {
         },
         ..Default::default()
     };
-    let d = generate_dataset(&cfg, 3);
+    let d = generate_dataset(&cfg, 2);
     let r = TCrowd::default_full().infer(&d.schema, &d.answers);
     assert!(r.converged);
     for (i, row) in r.estimates().iter().enumerate() {

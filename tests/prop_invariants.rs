@@ -4,9 +4,11 @@
 
 use proptest::prelude::*;
 use tcrowd::core::entity::EntityModelOptions;
-use tcrowd::core::{EntityModel, InherentGainPolicy, RowGrouping, StructureAwarePolicy, TCrowd, TruthDist};
-use tcrowd::sim::{StoppingRule, TerminationState};
+use tcrowd::core::{
+    EntityModel, InherentGainPolicy, RowGrouping, StructureAwarePolicy, TCrowd, TruthDist,
+};
 use tcrowd::prelude::*;
+use tcrowd::sim::{StoppingRule, TerminationState};
 use tcrowd::tabular::generator::WorkerQualityConfig;
 use tcrowd::tabular::noise::add_noise;
 
@@ -14,13 +16,13 @@ use tcrowd::tabular::noise::add_noise;
 /// proptest case stays fast).
 fn config_strategy() -> impl Strategy<Value = (GeneratorConfig, u64)> {
     (
-        2usize..10,           // rows
-        1usize..5,            // columns
-        0.0f64..=1.0,         // categorical ratio
-        1usize..4,            // answers per task
-        4usize..10,           // workers
-        0.3f64..3.0,          // avg difficulty
-        any::<u64>(),         // seed
+        2usize..10,   // rows
+        1usize..5,    // columns
+        0.0f64..=1.0, // categorical ratio
+        1usize..4,    // answers per task
+        4usize..10,   // workers
+        0.3f64..3.0,  // avg difficulty
+        any::<u64>(), // seed
     )
         .prop_map(|(rows, columns, ratio, ans, workers, diff, seed)| {
             (
@@ -214,6 +216,70 @@ proptest! {
         let again = state.update(&r, &lenient, |c| d.answers.count_for_cell(c));
         prop_assert_eq!(again, 0);
         prop_assert!(state.len() <= d.rows() * d.cols());
+    }
+
+    #[test]
+    fn answer_matrix_views_agree_with_naive_log_scan((cfg, seed) in config_strategy()) {
+        let d = generate_dataset(&cfg, seed);
+        let log = &d.answers;
+        let m = log.to_matrix();
+        prop_assert_eq!(m.len(), log.len());
+        prop_assert_eq!(m.num_workers(), log.num_workers());
+        // Worker table: sorted, and exactly the log's worker set.
+        let log_workers: Vec<WorkerId> = log.workers().collect();
+        prop_assert_eq!(m.worker_ids(), log_workers.as_slice());
+        // By-cell view agrees with a naive scan (same multiset, same
+        // insertion order within the cell).
+        for cell in log.cells() {
+            let naive: Vec<_> = log.for_cell(cell).copied().collect();
+            let csr: Vec<_> = m.cell_answers(cell)
+                .map(|a| tcrowd::tabular::Answer { worker: a.worker, cell: a.cell, value: a.value })
+                .collect();
+            prop_assert_eq!(naive, csr, "cell {:?}", cell);
+        }
+        // By-worker and by-(worker, row) views partition the payload.
+        for (w, &wid) in m.worker_ids().iter().enumerate() {
+            prop_assert_eq!(m.worker_answers(w).count(), log.for_worker(wid).count());
+            for row in 0..log.rows() as u32 {
+                let mut naive: Vec<String> =
+                    log.for_worker_row(wid, row).map(|a| format!("{:?}", a)).collect();
+                let mut csr: Vec<String> = m
+                    .worker_row_answers(w, row)
+                    .map(|a| format!("{:?}", tcrowd::tabular::Answer {
+                        worker: a.worker, cell: a.cell, value: a.value,
+                    }))
+                    .collect();
+                naive.sort();
+                csr.sort();
+                prop_assert_eq!(naive, csr, "worker {} row {}", wid, row);
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_and_reference_paths_agree((cfg, seed) in config_strategy()) {
+        let d = generate_dataset(&cfg, seed);
+        let model = TCrowd::default_full();
+        let fast = model.infer(&d.schema, &d.answers);
+        let naive = model.infer_reference(&d.schema, &d.answers);
+        prop_assert_eq!(fast.iterations, naive.iterations);
+        prop_assert_eq!(fast.workers.clone(), naive.workers.clone());
+        for (a, b) in fast.phi.iter().zip(&naive.phi) {
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "phi {} vs {}", a, b);
+        }
+        for i in 0..d.rows() as u32 {
+            for j in 0..d.cols() as u32 {
+                let cell = CellId::new(i, j);
+                match (fast.estimate(cell), naive.estimate(cell)) {
+                    (Value::Categorical(a), Value::Categorical(b)) =>
+                        prop_assert_eq!(a, b, "cell ({},{})", i, j),
+                    (Value::Continuous(a), Value::Continuous(b)) =>
+                        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                            "cell ({},{}): {} vs {}", i, j, a, b),
+                    _ => prop_assert!(false, "datatype mismatch at ({},{})", i, j),
+                }
+            }
+        }
     }
 
     #[test]
