@@ -261,10 +261,14 @@ mod tests {
         (d, ())
     }
 
-    fn make_ctx<'a>(d: &'a tcrowd_tabular::Dataset) -> AssignmentContext<'a> {
+    fn make_ctx<'a>(
+        d: &'a tcrowd_tabular::Dataset,
+        m: &'a tcrowd_tabular::AnswerMatrix,
+    ) -> AssignmentContext<'a> {
         AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
@@ -274,7 +278,8 @@ mod tests {
     #[test]
     fn random_policy_selects_k_unanswered() {
         let (d, _) = ctx_fixture(1);
-        let ctx = make_ctx(&d);
+        let m = d.answers.to_matrix();
+        let ctx = make_ctx(&d, &m);
         let mut p = RandomPolicy::seeded(1);
         let w = WorkerId(500);
         let picks = p.select(w, 6, &ctx);
@@ -288,7 +293,8 @@ mod tests {
     #[test]
     fn random_policy_is_seed_deterministic() {
         let (d, _) = ctx_fixture(2);
-        let ctx = make_ctx(&d);
+        let m = d.answers.to_matrix();
+        let ctx = make_ctx(&d, &m);
         let a = RandomPolicy::seeded(5).select(WorkerId(0), 5, &ctx);
         let b = RandomPolicy::seeded(5).select(WorkerId(0), 5, &ctx);
         assert_eq!(a, b);
@@ -297,7 +303,8 @@ mod tests {
     #[test]
     fn looping_policy_walks_in_order_and_resumes() {
         let (d, _) = ctx_fixture(3);
-        let ctx = make_ctx(&d);
+        let m = d.answers.to_matrix();
+        let ctx = make_ctx(&d, &m);
         let mut p = LoopingPolicy::default();
         let w = WorkerId(500);
         let first = p.select(w, 3, &ctx);
@@ -311,7 +318,8 @@ mod tests {
         // The paper's Fig. 5 discussion: raw entropies are biased toward
         // wide continuous domains.
         let (d, _) = ctx_fixture(4);
-        let ctx = make_ctx(&d);
+        let m = d.answers.to_matrix();
+        let ctx = make_ctx(&d, &m);
         let mut p = EntropyPolicy;
         let picks = p.select(WorkerId(500), 5, &ctx);
         let cont: Vec<usize> = d.schema.continuous_columns();
@@ -336,9 +344,11 @@ mod tests {
                 value: Value::Categorical(0),
             });
         }
+        let m = log.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &log,
+            freeze: m.freeze_view(),
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
@@ -361,9 +371,11 @@ mod tests {
                 value: Value::Categorical(1),
             });
         }
+        let m = log.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &log,
+            freeze: m.freeze_view(),
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
@@ -380,9 +392,11 @@ mod tests {
                 value: Value::Categorical(l),
             });
         }
+        let m2 = contested.to_matrix();
         let ctx2 = AssignmentContext {
             schema: &d.schema,
             answers: &contested,
+            freeze: m2.freeze_view(),
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
@@ -393,7 +407,8 @@ mod tests {
     #[test]
     fn cdas_avoids_terminated_tasks_when_possible() {
         let (d, _) = ctx_fixture(7);
-        let ctx = make_ctx(&d);
+        let m = d.answers.to_matrix();
+        let ctx = make_ctx(&d, &m);
         let mut p = CdasPolicy::seeded(2);
         let picks = p.select(WorkerId(900), 4, &ctx);
         assert_eq!(picks.len(), 4);

@@ -161,9 +161,11 @@ mod tests {
             5,
         );
         let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,

@@ -89,9 +89,11 @@ fn batch_modes(c: &mut Criterion) {
         4,
     );
     let inference = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let matrix = d.answers.to_matrix();
     let ctx = AssignmentContext {
         schema: &d.schema,
         answers: &d.answers,
+        freeze: matrix.freeze_view(),
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,
@@ -124,9 +126,11 @@ fn policy_cost(c: &mut Criterion) {
         9,
     );
     let inference = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let matrix = d.answers.to_matrix();
     let ctx = AssignmentContext {
         schema: &d.schema,
         answers: &d.answers,
+        freeze: matrix.freeze_view(),
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,

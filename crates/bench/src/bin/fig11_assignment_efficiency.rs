@@ -25,9 +25,11 @@ fn main() {
         };
         let d = generate_dataset(&cfg, 42);
         let inference = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let matrix = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: matrix.freeze_view(),
             inference: Some(&inference),
             max_answers_per_cell: None,
             terminated: None,

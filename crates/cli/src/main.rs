@@ -188,9 +188,11 @@ fn cmd_assign(args: &Args) -> Result<(), String> {
     }
     let k: usize = args.get_parsed("k", schema.num_columns())?;
     let inference = TCrowd::default_full().infer(&schema, &answers);
+    let matrix = answers.to_matrix();
     let ctx = AssignmentContext {
         schema: &schema,
         answers: &answers,
+        freeze: matrix.freeze_view(),
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,

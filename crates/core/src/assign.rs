@@ -23,7 +23,7 @@ use crate::truth::TruthDist;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tcrowd_stat::clamp_prob;
-use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, FrozenView, Schema, Value, WorkerId};
 
 /// Everything a policy may consult when selecting tasks.
 pub struct AssignmentContext<'a> {
@@ -31,6 +31,12 @@ pub struct AssignmentContext<'a> {
     pub schema: &'a Schema,
     /// The answer history so far.
     pub answers: &'a AnswerLog,
+    /// The caller's frozen columnar view of [`Self::answers`]. Matrix-side
+    /// policies (structure-aware, entity-aware) fit their models from this
+    /// freeze instead of each `select` call rebuilding one — the runner
+    /// keeps a single evolving freeze and delta-merges the log tail into it,
+    /// so per-HIT assignment no longer pays the `O(cells + W·R)` rebuild.
+    pub freeze: FrozenView<'a>,
     /// The most recent truth-inference result. T-Crowd's gain policies
     /// require it; baseline policies (random, round-robin, raw-entropy,
     /// CDAS) work from the answer log alone and ignore it.
@@ -44,6 +50,26 @@ pub struct AssignmentContext<'a> {
 }
 
 impl<'a> AssignmentContext<'a> {
+    /// The frozen matrix, checked (in debug builds) to actually cover the
+    /// log: a stale freeze means the caller forgot to delta-merge the log
+    /// tail before assignment, and the fitted correlation/entity models
+    /// would silently ignore the newest answers.
+    pub fn matrix(&self) -> &'a AnswerMatrix {
+        debug_assert!(
+            !self.freeze.is_stale(self.answers),
+            "assignment context holds a stale freeze: epoch {} vs log length {} — refresh the \
+             matrix (AnswerMatrix::refresh / merge_delta) before selecting",
+            self.freeze.epoch(),
+            self.answers.len()
+        );
+        self.freeze.matrix()
+    }
+
+    /// The freeze epoch (number of log answers the matrix covers).
+    pub fn epoch(&self) -> usize {
+        self.freeze.epoch()
+    }
+
     /// Cells the worker may be assigned: not yet answered by this worker and
     /// under the redundancy cap.
     pub fn candidates(&self, worker: WorkerId) -> Vec<CellId> {
@@ -287,10 +313,10 @@ impl AssignmentPolicy for StructureAwarePolicy {
         let inference = ctx
             .inference
             .expect("StructureAwarePolicy requires an inference result in the context");
-        // One columnar freeze serves the correlation fit and the row-error
-        // scan (by-(worker, row) CSR view).
-        let matrix = AnswerMatrix::build(ctx.answers);
-        let model = CorrelationModel::fit_matrix(ctx.schema, &matrix, inference);
+        // The caller's shared freeze serves the correlation fit and the
+        // row-error scan (by-(worker, row) CSR view) — no per-HIT rebuild.
+        let matrix = ctx.matrix();
+        let model = CorrelationModel::fit_matrix(ctx.schema, matrix, inference);
         let candidates = ctx.candidates(worker);
         // Pre-compute the worker's observed errors per row (L^u_i of Eq. 7).
         let mut row_errors: std::collections::HashMap<u32, Vec<(usize, ErrorObservation)>> =
@@ -380,9 +406,11 @@ mod tests {
     #[test]
     fn candidates_exclude_answered_and_capped_cells() {
         let (d, r) = setup(1);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
@@ -401,9 +429,11 @@ mod tests {
     #[test]
     fn select_returns_k_distinct_cells() {
         let (d, r) = setup(2);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
@@ -425,9 +455,11 @@ mod tests {
     #[test]
     fn topk_and_sequential_agree_for_inherent() {
         let (d, r) = setup(3);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
@@ -454,9 +486,11 @@ mod tests {
             d.answers.push(tcrowd_tabular::Answer { worker: w, cell: target, value: truth });
         }
         let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
@@ -471,9 +505,11 @@ mod tests {
         // A worker with no history has no row errors; structure-aware must
         // still return a full selection (inherent fallback).
         let (d, r) = setup(5);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,

@@ -23,6 +23,35 @@ use tcrowd_tabular::{AnswerLog, Schema, Value, WorkerId};
 /// Minimum answers a worker needs before they enter a diagnostic.
 const MIN_ANSWERS: usize = 8;
 
+/// Largest z-space discrepancy between two fits of the same table:
+/// posterior-mean gap for continuous cells, probability gap for categorical
+/// cells. This is the metric behind the warm-vs-cold 1e-6 agreement
+/// contract (`bench_refresh` and the sim regression suite both gate on it);
+/// z-score units make it a fraction of a column spread in the original
+/// scale, commensurate across datatypes. Panics if the fits disagree on
+/// shape or cell datatypes (they cannot be fits of the same table).
+pub fn max_z_discrepancy(a: &InferenceResult, b: &InferenceResult) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "fits of different table shapes");
+    let mut max_z = 0.0f64;
+    for i in 0..a.rows() as u32 {
+        for j in 0..a.cols() as u32 {
+            let cell = tcrowd_tabular::CellId::new(i, j);
+            match (a.truth_z(cell), b.truth_z(cell)) {
+                (TruthDist::Categorical(p), TruthDist::Categorical(q)) => {
+                    for (x, y) in p.iter().zip(q) {
+                        max_z = max_z.max((x - y).abs());
+                    }
+                }
+                (TruthDist::Continuous(x), TruthDist::Continuous(y)) => {
+                    max_z = max_z.max((x.mean - y.mean).abs());
+                }
+                _ => panic!("datatype mismatch between fits"),
+            }
+        }
+    }
+    max_z
+}
+
 /// Cross-attribute consistency of worker quality (Fig. 3 as a number).
 ///
 /// For each worker with enough answers, computes the mean 0/1 error against

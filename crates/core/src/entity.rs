@@ -369,12 +369,13 @@ impl crate::assign::AssignmentPolicy for EntityAwarePolicy {
     ) -> Vec<CellId> {
         let inference =
             ctx.inference.expect("EntityAwarePolicy requires an inference result in the context");
-        // One columnar freeze shared by both model fits and the row-error scan.
-        let matrix = AnswerMatrix::build(ctx.answers);
+        // The caller's shared freeze serves both model fits and the
+        // row-error scan — no per-HIT rebuild.
+        let matrix = ctx.matrix();
         let entity =
-            EntityModel::fit_matrix(ctx.schema, &matrix, inference, &self.grouping, &self.options);
+            EntityModel::fit_matrix(ctx.schema, matrix, inference, &self.grouping, &self.options);
         let corr = if self.use_attribute_correlation {
-            Some(CorrelationModel::fit_matrix(ctx.schema, &matrix, inference))
+            Some(CorrelationModel::fit_matrix(ctx.schema, matrix, inference))
         } else {
             None
         };
@@ -588,9 +589,11 @@ mod tests {
     fn policy_returns_k_distinct_cells_and_prefers_unfamiliar_rows_less() {
         let d = grouped_dataset(6, 3);
         let r = infer(&d);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
@@ -610,9 +613,11 @@ mod tests {
     fn policy_without_attribute_correlation_also_works() {
         let d = grouped_dataset(7, 2);
         let r = infer(&d);
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,

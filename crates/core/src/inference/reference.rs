@@ -158,7 +158,7 @@ impl TCrowd {
             workers,
             epsilon,
         };
-        let (truths, alpha_ln, beta_ln, phi_ln, trace, iterations, converged) =
+        let (truths, alpha_ln, beta_ln, phi_ln, trace, iterations, converged, renorm_shift) =
             run_em_reference(&ws, &self.opts.em);
 
         InferenceResult {
@@ -175,6 +175,7 @@ impl TCrowd {
             objective_trace: trace,
             iterations,
             converged,
+            renorm_shift,
         }
     }
 }
@@ -183,7 +184,7 @@ impl TCrowd {
 fn run_em_reference(
     ws: &RefWorkspace,
     opts: &EmOptions,
-) -> (Vec<TruthDist>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, usize, bool) {
+) -> (Vec<TruthDist>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, usize, bool, (f64, f64)) {
     let n_workers = ws.workers.len();
     let mut ln_alpha = vec![0.0; ws.n_rows];
     let mut ln_beta = vec![0.0; ws.n_cols];
@@ -196,7 +197,7 @@ fn run_em_reference(
         .collect();
     let mut trace = Vec::new();
     if ws.answers.is_empty() {
-        return (truths, ln_alpha, ln_beta, ln_phi, trace, 0, true);
+        return (truths, ln_alpha, ln_beta, ln_phi, trace, 0, true, (0.0, 0.0));
     }
 
     let effective_variance = |ln_alpha: &[f64], ln_beta: &[f64], ln_phi: &[f64], a: &RefAnswer| {
@@ -424,6 +425,7 @@ fn run_em_reference(
     }
 
     // Identifiability polish, mirroring `em::renormalize`.
+    let mut shift = (0.0, 0.0);
     if opts.learn_row_difficulty {
         let m = ln_alpha.iter().sum::<f64>() / ln_alpha.len().max(1) as f64;
         for v in &mut ln_alpha {
@@ -432,6 +434,7 @@ fn run_em_reference(
         for v in &mut ln_phi {
             *v += m;
         }
+        shift.0 = m;
     }
     if opts.learn_col_difficulty {
         let m = ln_beta.iter().sum::<f64>() / ln_beta.len().max(1) as f64;
@@ -441,9 +444,10 @@ fn run_em_reference(
         for v in &mut ln_phi {
             *v += m;
         }
+        shift.1 = m;
     }
 
-    (truths, ln_alpha, ln_beta, ln_phi, trace, iterations, converged)
+    (truths, ln_alpha, ln_beta, ln_phi, trace, iterations, converged, shift)
 }
 
 #[cfg(test)]

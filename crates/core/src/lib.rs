@@ -16,6 +16,20 @@
 //! truth distributions per cell (Eq. 4), the M-step fits `α, β, φ` by
 //! gradient ascent on the expected complete-data log-likelihood (Eq. 5).
 //!
+//! ## Incremental refits (the online loop)
+//!
+//! An assign → collect → re-infer loop refits with only a handful of new
+//! answers each time. [`TCrowd::infer_matrix_warm`] seeds EM from a previous
+//! fit — parameters are restored in the raw (pre-renormalisation) gauge so
+//! the restart begins exactly where the previous optimiser stopped — and the
+//! steady-state refit converges in a few iterations instead of replaying the
+//! cold trajectory; paired with `AnswerMatrix::merge_delta` on the storage
+//! side this is the `BENCH_refresh.json` speedup. Both paths share the EM
+//! map, so at convergence the warm and cold fits agree (regression-tested to
+//! 1e-6); [`EmOptions::param_tol`](em::EmOptions) adds a parameter-change
+//! stopping rule for runs that need fixed-point-accurate parameters rather
+//! than a flat ELBO.
+//!
 //! ## Task assignment (paper §5)
 //!
 //! Tasks are ranked by *information gain*: the expected drop in the truth

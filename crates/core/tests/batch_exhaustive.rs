@@ -45,9 +45,11 @@ fn top_k_equals_exhaustive_optimum() {
         13,
     );
     let inference = TCrowd::default_full().infer(&d.schema, &d.answers);
+    let m = d.answers.to_matrix();
     let ctx = AssignmentContext {
         schema: &d.schema,
         answers: &d.answers,
+        freeze: m.freeze_view(),
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,

@@ -160,16 +160,27 @@ impl Runner {
             }
         }
 
-        // Full EM refresh: freeze the accumulated log into its columnar form
-        // once, then run the matrix path (between refreshes the answered
-        // cells' posteriors are updated incrementally, §5.1).
-        let full_fit = |model: &TCrowd, answers: &AnswerLog| -> InferenceResult {
-            model.infer_matrix(&schema, &AnswerMatrix::build(answers))
-        };
+        // The runner's single evolving freeze: built once after the seed
+        // phase, then kept current by delta-merging the log tail — per-HIT
+        // assignment and every EM refresh share it instead of paying a full
+        // `O(n + cells + W·R)` rebuild each time.
+        let mut matrix = AnswerMatrix::build(&answers);
+
+        // Full EM refresh on the shared freeze. The first fit is cold; every
+        // later refit warm-starts from the previous fit's parameters (the
+        // steady-state loop converges in a handful of iterations — see
+        // `TCrowd::infer_matrix_warm` and `BENCH_refresh.json`). Between
+        // refreshes the answered cells' posteriors are updated incrementally
+        // (§5.1).
+        let full_fit =
+            |model: &TCrowd, matrix: &AnswerMatrix, prev: Option<&InferenceResult>| match prev {
+                Some(p) => model.infer_matrix_warm(&schema, matrix, p),
+                None => model.infer_matrix(&schema, matrix),
+            };
 
         // ---- Main loop.
         let mut inference: Option<InferenceResult> = match backend {
-            InferenceBackend::TCrowd(model) => Some(full_fit(model, &answers)),
+            InferenceBackend::TCrowd(model) => Some(full_fit(model, &matrix, None)),
             InferenceBackend::Baseline(_) => None,
         };
         let mut points: Vec<SeriesPoint> = Vec::new();
@@ -181,12 +192,13 @@ impl Runner {
         let mut termination = self.cfg.stopping.map(|_| TerminationState::new());
 
         let evaluate_now = |answers: &AnswerLog,
+                            matrix: &AnswerMatrix,
                             inference: &Option<InferenceResult>|
          -> QualityReport {
             let estimates: Vec<Vec<Value>> = match backend {
                 InferenceBackend::TCrowd(model) => match inference {
                     Some(r) => r.estimates(),
-                    None => model.infer_matrix(&schema, &AnswerMatrix::build(answers)).estimates(),
+                    None => model.infer_matrix(&schema, matrix).estimates(),
                 },
                 InferenceBackend::Baseline(m) => m.estimate(&schema, answers),
             };
@@ -194,6 +206,15 @@ impl Runner {
         };
 
         loop {
+            // Bring the freeze up to date with the answers collected since
+            // the last iteration (per-answer work on the delta + bulk
+            // copies). Only the T-Crowd backend ever reads the freeze —
+            // matrix-side policies require its inference result, and
+            // baseline evaluation goes through the log — so baseline runs
+            // skip the merge entirely (zero per-HIT matrix work, as before).
+            if matches!(backend, InferenceBackend::TCrowd(_)) && matrix.is_stale(&answers) {
+                matrix = matrix.merge_delta(&answers.all()[matrix.epoch()..]);
+            }
             let avg = answers.len() as f64 / n_cells;
             // Record any checkpoints we crossed.
             while avg + 1e-9 >= next_checkpoint
@@ -202,7 +223,7 @@ impl Runner {
                 // Refresh inference at checkpoints so the evaluation reflects
                 // all collected answers.
                 if let InferenceBackend::TCrowd(model) = backend {
-                    inference = Some(full_fit(model, &answers));
+                    inference = Some(full_fit(model, &matrix, inference.as_ref()));
                     hits_since_inference = 0;
                     refresh_termination(
                         &mut termination,
@@ -211,7 +232,7 @@ impl Runner {
                         &answers,
                     );
                 }
-                let rep = evaluate_now(&answers, &inference);
+                let rep = evaluate_now(&answers, &matrix, &inference);
                 points.push(SeriesPoint {
                     avg_answers: next_checkpoint,
                     error_rate: rep.error_rate,
@@ -233,7 +254,7 @@ impl Runner {
             if let (InferenceBackend::TCrowd(model), true) =
                 (backend, hits_since_inference >= self.cfg.inference_every)
             {
-                inference = Some(full_fit(model, &answers));
+                inference = Some(full_fit(model, &matrix, inference.as_ref()));
                 hits_since_inference = 0;
                 refresh_termination(
                     &mut termination,
@@ -246,6 +267,7 @@ impl Runner {
                 let ctx = AssignmentContext {
                     schema: &schema,
                     answers: &answers,
+                    freeze: matrix.freeze_view(),
                     inference: inference.as_ref(),
                     max_answers_per_cell: self.cfg.max_answers_per_cell,
                     terminated: termination.as_ref().map(|t| t.set()),
@@ -277,11 +299,14 @@ impl Runner {
             hits_since_inference += 1;
         }
 
-        // Final full evaluation.
+        // Final full evaluation on a freeze covering every answer.
         if let InferenceBackend::TCrowd(model) = backend {
-            inference = Some(full_fit(model, &answers));
+            if matrix.is_stale(&answers) {
+                matrix = matrix.merge_delta(&answers.all()[matrix.epoch()..]);
+            }
+            inference = Some(full_fit(model, &matrix, inference.as_ref()));
         }
-        let final_report = evaluate_now(&answers, &inference);
+        let final_report = evaluate_now(&answers, &matrix, &inference);
         RunResult {
             label: label.to_string(),
             points,

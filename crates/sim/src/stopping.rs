@@ -190,9 +190,11 @@ mod tests {
         // Terminate roughly half the table with a moderate rule.
         let rule = StoppingRule { p_stop: 0.5, max_std: 1.0, min_answers: 1 };
         state.update(&r, &rule, |c| d.answers.count_for_cell(c));
+        let m = d.answers.to_matrix();
         let ctx = AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: Some(state.set()),

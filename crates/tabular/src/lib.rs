@@ -11,6 +11,12 @@
 //! * [`answer`] — the mutable append log (by cell, by worker, by worker-row).
 //! * [`matrix`] — the frozen columnar (CSR) answer store every sweep-side
 //!   consumer iterates; see its docs for the layout and complexity table.
+//!   Freezes are **incrementally refreshable**: [`AnswerMatrix::merge_delta`]
+//!   splices a log tail into an existing freeze (per-answer work on the
+//!   delta only, field-for-field identical to a rebuild), each freeze
+//!   carries an [`epoch`](matrix::AnswerMatrix::epoch) marking the log
+//!   length it covers, and [`FrozenView`] is the copyable
+//!   staleness-checkable handle consumers hold across log appends.
 //! * [`dataset`] — ground truth + answers + statistics (Table 6).
 //! * [`generator`] — the synthetic data generator of §6.5.1.
 //! * [`noise`] — the γ-noise injector of §6.5.2.
@@ -43,7 +49,7 @@ pub use dataset::{Dataset, DatasetStatistics};
 pub use generator::{
     generate_dataset, EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig,
 };
-pub use matrix::{AnswerMatrix, MatrixAnswer};
+pub use matrix::{AnswerMatrix, FrozenView, MatrixAnswer};
 pub use metrics::{evaluate, evaluate_with_answers, ColumnQuality, QualityReport};
 pub use schema::{Column, ColumnType, Schema};
 pub use value::Value;

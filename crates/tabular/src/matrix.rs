@@ -37,6 +37,20 @@
 //! The payload is split by datatype (label array + value array) so numeric
 //! kernels read dense `u32`/`f64` lanes instead of matching an enum per
 //! answer.
+//!
+//! ## Incremental refresh
+//!
+//! An online loop (assign → collect → re-infer) freezes the log over and
+//! over, with only a handful of new answers between freezes. Rebuilding from
+//! scratch re-scans the whole log and re-resolves every worker id;
+//! [`AnswerMatrix::merge_delta`] instead splices a small sorted delta into
+//! the existing cell-major payload: the per-answer work (id resolution,
+//! value decoding, counting-sort scatter) is confined to the delta, the
+//! untouched payload regions move by bulk `memcpy`, and the result is
+//! **field-for-field identical** to a full rebuild (property-tested). The
+//! matrix's [`epoch`](AnswerMatrix::epoch) — the number of log answers it
+//! froze — tells consumers whether their freeze is stale; [`FrozenView`]
+//! packages the `(matrix, epoch)` pair as a copyable handle.
 
 use crate::answer::{Answer, AnswerLog, CellId, WorkerId};
 use crate::value::Value;
@@ -79,6 +93,70 @@ pub struct AnswerMatrix {
     worker_order: Vec<u32>,
     worker_offsets: Vec<u32>,
     worker_row_offsets: Vec<u32>,
+}
+
+/// Second counting sort shared by [`AnswerMatrix::build`] and
+/// [`AnswerMatrix::merge_delta`]: payload indices grouped by (worker, row).
+/// Scanning the payload in cell-major order keeps the grouping sorted by row
+/// (and insertion) within each worker, so one permutation serves both the
+/// by-worker and the by-(worker, row) views. Because the views are a pure
+/// function of the payload lanes, a delta-merged matrix and a full rebuild
+/// get bit-identical view arrays.
+fn build_worker_views(
+    n_rows: usize,
+    n_workers: usize,
+    row_of: &[u32],
+    worker_of: &[u32],
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let n = row_of.len();
+    let mut worker_row_offsets = vec![0u32; n_workers * n_rows + 1];
+    for k in 0..n {
+        let key = worker_of[k] as usize * n_rows + row_of[k] as usize;
+        worker_row_offsets[key + 1] += 1;
+    }
+    for s in 0..n_workers * n_rows {
+        worker_row_offsets[s + 1] += worker_row_offsets[s];
+    }
+    let mut wr_cursor = worker_row_offsets.clone();
+    let mut worker_order = vec![0u32; n];
+    for k in 0..n {
+        let key = worker_of[k] as usize * n_rows + row_of[k] as usize;
+        worker_order[wr_cursor[key] as usize] = k as u32;
+        wr_cursor[key] += 1;
+    }
+    let worker_offsets: Vec<u32> =
+        (0..=n_workers).map(|w| worker_row_offsets[w * n_rows]).collect();
+    (worker_order, worker_offsets, worker_row_offsets)
+}
+
+/// A copyable handle pairing a frozen [`AnswerMatrix`] with the epoch it was
+/// frozen at (the number of log answers it covers). Consumers holding a view
+/// across log appends can ask [`FrozenView::is_stale`] whether the freeze
+/// still reflects the log before trusting sweep results.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenView<'a> {
+    matrix: &'a AnswerMatrix,
+    epoch: usize,
+}
+
+impl<'a> FrozenView<'a> {
+    /// The frozen matrix behind this view.
+    #[inline]
+    pub fn matrix(&self) -> &'a AnswerMatrix {
+        self.matrix
+    }
+
+    /// The freeze epoch: the source-log length at freeze time.
+    #[inline]
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// True when `log` has grown past (or shrunk below) this freeze.
+    #[inline]
+    pub fn is_stale(&self, log: &AnswerLog) -> bool {
+        self.epoch != log.len()
+    }
 }
 
 impl AnswerMatrix {
@@ -130,28 +208,8 @@ impl AnswerMatrix {
             log_position[k] = pos as u32;
         }
 
-        // Second counting sort: payload indices grouped by (worker, row).
-        // Scanning the payload in cell-major order keeps the grouping sorted
-        // by row (and insertion) within each worker, so one permutation
-        // serves both the by-worker and the by-(worker, row) views.
-        let n_workers = worker_ids.len();
-        let mut worker_row_offsets = vec![0u32; n_workers * n_rows + 1];
-        for k in 0..n {
-            let key = worker_of[k] as usize * n_rows + row_of[k] as usize;
-            worker_row_offsets[key + 1] += 1;
-        }
-        for s in 0..n_workers * n_rows {
-            worker_row_offsets[s + 1] += worker_row_offsets[s];
-        }
-        let mut wr_cursor = worker_row_offsets.clone();
-        let mut worker_order = vec![0u32; n];
-        for k in 0..n {
-            let key = worker_of[k] as usize * n_rows + row_of[k] as usize;
-            worker_order[wr_cursor[key] as usize] = k as u32;
-            wr_cursor[key] += 1;
-        }
-        let worker_offsets: Vec<u32> =
-            (0..=n_workers).map(|w| worker_row_offsets[w * n_rows]).collect();
+        let (worker_order, worker_offsets, worker_row_offsets) =
+            build_worker_views(n_rows, worker_ids.len(), &row_of, &worker_of);
 
         AnswerMatrix {
             n_rows,
@@ -169,6 +227,207 @@ impl AnswerMatrix {
             worker_offsets,
             worker_row_offsets,
         }
+    }
+
+    /// Splice the log tail `tail` (the answers appended since this matrix was
+    /// frozen, in log order) into a new frozen matrix covering the full log.
+    ///
+    /// The result is field-for-field identical to
+    /// `AnswerMatrix::build(full_log)` — same payload order, same offsets,
+    /// same worker table — which the differential proptest suite asserts.
+    ///
+    /// Cost: the per-answer work (worker-id resolution, value decoding,
+    /// counting-sort scatter) is `O(Δ log Δ + Δ log W)` on the delta alone;
+    /// the untouched payload moves by bulk `memcpy` between touched cells
+    /// (`O(n)` bytes, no per-answer branching), the cell-offset shift is one
+    /// `O(R·C)` pass, and the worker views are re-derived in `O(n + W·R)`.
+    /// A full [`AnswerMatrix::build`] pays the per-answer constant on all
+    /// `n` answers instead; in the steady-state refit loop (small `Δ`) the
+    /// merge is the cheaper path, which `bench_refresh` records.
+    pub fn merge_delta(&self, tail: &[Answer]) -> AnswerMatrix {
+        if tail.is_empty() {
+            return self.clone();
+        }
+        let n_rows = self.n_rows;
+        let n_cols = self.n_cols;
+        let slots = n_rows * n_cols;
+        let n_old = self.len();
+        let n_new = n_old + tail.len();
+
+        // Delta in cell-major order, ties by log order (`i` breaks ties, so
+        // the unstable sort is deterministic).
+        let mut delta: Vec<(usize, u32)> = tail
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                assert!(
+                    (a.cell.row as usize) < n_rows && (a.cell.col as usize) < n_cols,
+                    "delta answer outside the table shape"
+                );
+                (a.cell.row as usize * n_cols + a.cell.col as usize, i as u32)
+            })
+            .collect();
+        delta.sort_unstable();
+
+        // Merge the (sorted) worker tables. Steady state — no unseen worker
+        // in the delta — keeps the old table and skips the index remap.
+        let mut fresh_ids: Vec<WorkerId> = tail
+            .iter()
+            .map(|a| a.worker)
+            .filter(|w| self.worker_ids.binary_search(w).is_err())
+            .collect();
+        fresh_ids.sort_unstable();
+        fresh_ids.dedup();
+        let (worker_ids, old_remap) = if fresh_ids.is_empty() {
+            (self.worker_ids.clone(), None)
+        } else {
+            let mut merged = Vec::with_capacity(self.worker_ids.len() + fresh_ids.len());
+            let mut remap = vec![0u32; self.worker_ids.len()];
+            let (mut i, mut j) = (0, 0);
+            while i < self.worker_ids.len() || j < fresh_ids.len() {
+                if j >= fresh_ids.len()
+                    || (i < self.worker_ids.len() && self.worker_ids[i] < fresh_ids[j])
+                {
+                    remap[i] = merged.len() as u32;
+                    merged.push(self.worker_ids[i]);
+                    i += 1;
+                } else {
+                    merged.push(fresh_ids[j]);
+                    j += 1;
+                }
+            }
+            (merged, Some(remap))
+        };
+        let widx =
+            |w: WorkerId| -> u32 { worker_ids.binary_search(&w).expect("worker present") as u32 };
+
+        // New cell offsets: old offsets shifted by the running delta count.
+        let mut cell_offsets = vec![0u32; slots + 1];
+        {
+            let mut d = 0usize;
+            let mut added = 0u32;
+            for (s, off) in cell_offsets.iter_mut().enumerate().take(slots) {
+                *off = self.cell_offsets[s] + added;
+                while d < delta.len() && delta[d].0 == s {
+                    added += 1;
+                    d += 1;
+                }
+            }
+            cell_offsets[slots] = n_new as u32;
+        }
+
+        // Splice plan: alternating (old payload run, delta run) pairs. Delta
+        // answers of a cell go after its old answers — they are newer, so
+        // insertion order within the cell is preserved — and old runs between
+        // touched cells move in one piece.
+        let mut segs: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> = Vec::new();
+        {
+            let mut copied = 0usize;
+            let mut d = 0usize;
+            while d < delta.len() {
+                let slot = delta[d].0;
+                let old_end = self.cell_offsets[slot + 1] as usize;
+                let d0 = d;
+                while d < delta.len() && delta[d].0 == slot {
+                    d += 1;
+                }
+                segs.push((copied..old_end, d0..d));
+                copied = old_end;
+            }
+            segs.push((copied..n_old, delta.len()..delta.len()));
+        }
+        // Per-lane splices: bulk `extend_from_slice` for old runs, decoded
+        // pushes for the delta.
+        let tail_at = |dr: &std::ops::Range<usize>| delta[dr.clone()].iter();
+        let mut row_of = Vec::with_capacity(n_new);
+        let mut col_of = Vec::with_capacity(n_new);
+        let mut worker_of = Vec::with_capacity(n_new);
+        let mut labels = Vec::with_capacity(n_new);
+        let mut values = Vec::with_capacity(n_new);
+        let mut categorical = Vec::with_capacity(n_new);
+        let mut log_position = Vec::with_capacity(n_new);
+        for (o, dr) in &segs {
+            row_of.extend_from_slice(&self.row_of[o.clone()]);
+            row_of.extend(tail_at(dr).map(|&(_, i)| tail[i as usize].cell.row));
+            col_of.extend_from_slice(&self.col_of[o.clone()]);
+            col_of.extend(tail_at(dr).map(|&(_, i)| tail[i as usize].cell.col));
+            match &old_remap {
+                None => worker_of.extend_from_slice(&self.worker_of[o.clone()]),
+                Some(r) => {
+                    worker_of.extend(self.worker_of[o.clone()].iter().map(|&w| r[w as usize]))
+                }
+            }
+            worker_of.extend(tail_at(dr).map(|&(_, i)| widx(tail[i as usize].worker)));
+            labels.extend_from_slice(&self.labels[o.clone()]);
+            labels.extend(tail_at(dr).map(|&(_, i)| match tail[i as usize].value {
+                Value::Categorical(l) => l,
+                Value::Continuous(_) => 0,
+            }));
+            values.extend_from_slice(&self.values[o.clone()]);
+            values.extend(tail_at(dr).map(|&(_, i)| match tail[i as usize].value {
+                Value::Categorical(_) => 0.0,
+                Value::Continuous(x) => x,
+            }));
+            categorical.extend_from_slice(&self.categorical[o.clone()]);
+            categorical.extend(tail_at(dr).map(|&(_, i)| tail[i as usize].value.is_categorical()));
+            log_position.extend_from_slice(&self.log_position[o.clone()]);
+            log_position.extend(tail_at(dr).map(|&(_, i)| (n_old + i as usize) as u32));
+        }
+
+        let (worker_order, worker_offsets, worker_row_offsets) =
+            build_worker_views(n_rows, worker_ids.len(), &row_of, &worker_of);
+
+        AnswerMatrix {
+            n_rows,
+            n_cols,
+            row_of,
+            col_of,
+            worker_of,
+            labels,
+            values,
+            categorical,
+            log_position,
+            worker_ids,
+            cell_offsets,
+            worker_order,
+            worker_offsets,
+            worker_row_offsets,
+        }
+    }
+
+    /// Bring a freeze up to date with its source log: delta-merges
+    /// `log[epoch..]`. Panics if the log is shorter than this freeze or has a
+    /// different shape (that log cannot be the freeze's source).
+    pub fn refresh(&self, log: &AnswerLog) -> AnswerMatrix {
+        assert_eq!(
+            (self.n_rows, self.n_cols),
+            (log.rows(), log.cols()),
+            "refresh from a log with a different table shape"
+        );
+        assert!(log.len() >= self.len(), "refresh from a log shorter than the freeze");
+        self.merge_delta(&log.all()[self.len()..])
+    }
+
+    /// The freeze epoch: the source-log length this matrix reflects. A
+    /// matrix always covers the whole log it was built/merged from, so the
+    /// epoch equals [`Self::len`]; the distinct name marks the *staleness*
+    /// semantics (compare against the live log's length).
+    #[inline]
+    pub fn epoch(&self) -> usize {
+        self.len()
+    }
+
+    /// True when `log` has grown past (or shrunk below) this freeze.
+    #[inline]
+    pub fn is_stale(&self, log: &AnswerLog) -> bool {
+        self.epoch() != log.len()
+    }
+
+    /// A copyable `(matrix, epoch)` handle for consumers that hold the
+    /// freeze across log appends.
+    #[inline]
+    pub fn freeze_view(&self) -> FrozenView<'_> {
+        FrozenView { matrix: self, epoch: self.epoch() }
     }
 
     // ---- shape ----
@@ -482,6 +741,65 @@ mod tests {
         for k in 0..m.len() {
             assert_eq!(log.all()[m.log_position(k)], m.to_answer(k));
         }
+    }
+
+    #[test]
+    fn merge_delta_equals_full_rebuild() {
+        let full = sample_log();
+        for k in 0..=full.len() {
+            let mut prefix = AnswerLog::new(full.rows(), full.cols());
+            for a in &full.all()[..k] {
+                prefix.push(*a);
+            }
+            let merged = AnswerMatrix::build(&prefix).merge_delta(&full.all()[k..]);
+            assert_eq!(merged, AnswerMatrix::build(&full), "split at {k}");
+        }
+    }
+
+    #[test]
+    fn merge_delta_handles_new_workers_and_empty_base() {
+        let full = sample_log();
+        // Empty base: the delta is the whole log.
+        let empty = AnswerMatrix::build(&AnswerLog::new(full.rows(), full.cols()));
+        assert_eq!(empty.merge_delta(full.all()), AnswerMatrix::build(&full));
+        // Base with one worker, delta introducing workers 2 and 9 (both sides
+        // of worker 7 in sorted order).
+        let mut base = AnswerLog::new(full.rows(), full.cols());
+        base.push(Answer {
+            worker: WorkerId(7),
+            cell: CellId::new(0, 0),
+            value: Value::Categorical(1),
+        });
+        let mut log = base.clone();
+        for a in full.all().iter().filter(|a| a.worker != WorkerId(7)) {
+            log.push(*a);
+        }
+        let merged = AnswerMatrix::build(&base).refresh(&log);
+        assert_eq!(merged, AnswerMatrix::build(&log));
+        assert_eq!(merged.worker_ids(), &[WorkerId(2), WorkerId(7), WorkerId(9)]);
+    }
+
+    #[test]
+    fn epoch_and_staleness_track_the_log() {
+        let mut log = sample_log();
+        let m = AnswerMatrix::build(&log);
+        assert_eq!(m.epoch(), log.len());
+        assert!(!m.is_stale(&log));
+        let view = m.freeze_view();
+        assert_eq!(view.epoch(), log.len());
+        assert!(!view.is_stale(&log));
+        log.push(Answer {
+            worker: WorkerId(4),
+            cell: CellId::new(1, 1),
+            value: Value::Continuous(3.0),
+        });
+        assert!(m.is_stale(&log));
+        assert!(view.is_stale(&log));
+        let m2 = m.refresh(&log);
+        assert!(!m2.is_stale(&log));
+        assert_eq!(m2, AnswerMatrix::build(&log));
+        // Refreshing an up-to-date freeze is the identity.
+        assert_eq!(m2.refresh(&log), m2);
     }
 
     #[test]

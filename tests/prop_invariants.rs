@@ -120,9 +120,11 @@ proptest! {
     ) {
         let d = generate_dataset(&cfg, seed);
         let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let m = d.answers.to_matrix();
         let ctx = tcrowd::core::AssignmentContext {
             schema: &d.schema,
             answers: &d.answers,
+            freeze: m.freeze_view(),
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
