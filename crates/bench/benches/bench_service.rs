@@ -1,0 +1,470 @@
+//! Closed-loop load generator for `tcrowd-service`: simulated workers
+//! replayed against a live in-process server over real HTTP keep-alive
+//! connections. Records `BENCH_service.json`.
+//!
+//! ## Protocol
+//!
+//! The server hosts **two tables** with different shapes and assignment
+//! policies. Per table, `CLIENTS` worker threads (16 total) each drive one
+//! simulated worker through the paper's live loop until the table reaches
+//! its answer budget:
+//!
+//! ```text
+//! GET  /tables/:id/assignment?worker=u&k=cols     (latency sampled)
+//! …answer each cell through the WorkerPool oracle…
+//! POST /tables/:id/answers  {"answers": [...]}    (latency sampled)
+//! ```
+//!
+//! Ingestion runs against the table's live `OnlineTCrowd`; the per-table
+//! refresher thread delta-merges and re-fits in the background (cadence
+//! 40 ms, threshold 32). At the end the harness forces a final refresh and
+//! gates on the service's core contracts:
+//!
+//! * **zero dropped answers** — the served log length equals the number of
+//!   accepted POSTs;
+//! * **offline agreement** — the served z-space truth equals
+//!   `TCrowd::infer` re-run offline on the served log within 1e-6 z-units
+//!   (cold re-fits make the published state a pure function of the log).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tcrowd_core::TCrowd;
+use tcrowd_service::Json;
+use tcrowd_sim::{WorkerPool, WorkerPoolConfig};
+use tcrowd_tabular::{
+    generate_dataset, Answer, AnswerLog, CellId, ColumnType, Dataset, GeneratorConfig, Value,
+    WorkerId,
+};
+
+/// Simulated workers (client threads) per table.
+const CLIENTS: usize = 8;
+/// Refresher cadence / pending threshold configured on every table.
+const REFRESH_MS: usize = 40;
+const REFIT_EVERY: usize = 32;
+
+/// A keep-alive HTTP/JSON client over one `TcpStream`.
+struct Client {
+    addr: SocketAddr,
+    stream: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client { addr, stream: BufReader::new(stream) }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        // One reconnect attempt covers a keep-alive connection the server
+        // timed out between requests.
+        if self.stream.get_ref().write_all(raw.as_bytes()).is_err() {
+            *self = Client::connect(self.addr);
+            self.stream.get_ref().write_all(raw.as_bytes()).expect("write request");
+        }
+        let mut status_line = String::new();
+        self.stream.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            self.stream.read_line(&mut line).expect("header");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                len = v.trim().parse().expect("content-length");
+            }
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body).expect("body");
+        let text = String::from_utf8(body).expect("utf-8");
+        (status, tcrowd_service::json::parse(&text).expect("json body"))
+    }
+
+    fn get(&mut self, path: &str) -> (u16, Json) {
+        self.request("GET", path, "")
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> (u16, Json) {
+        self.request("POST", path, body)
+    }
+}
+
+struct TableSpec {
+    id: &'static str,
+    policy: &'static str,
+    dataset: Dataset,
+    budget: usize,
+}
+
+fn create_body(spec: &TableSpec) -> String {
+    let columns: Vec<Json> = spec
+        .dataset
+        .schema
+        .columns
+        .iter()
+        .map(|c| match &c.ty {
+            ColumnType::Categorical { labels } => Json::obj([
+                ("name", Json::from(c.name.clone())),
+                ("type", Json::from("categorical")),
+                ("labels", Json::Arr(labels.iter().map(|l| Json::from(l.clone())).collect())),
+            ]),
+            ColumnType::Continuous { min, max } => Json::obj([
+                ("name", Json::from(c.name.clone())),
+                ("type", Json::from("continuous")),
+                ("min", Json::from(*min)),
+                ("max", Json::from(*max)),
+            ]),
+        })
+        .collect();
+    Json::obj([
+        ("id", Json::from(spec.id)),
+        ("rows", Json::from(spec.dataset.rows())),
+        ("schema", Json::obj([("columns", Json::Arr(columns))])),
+        ("policy", Json::from(spec.policy)),
+        ("refit_every", Json::from(REFIT_EVERY)),
+        ("refresh_interval_ms", Json::from(REFRESH_MS)),
+    ])
+    .to_string()
+}
+
+fn answer_to_json(a: &Answer) -> Json {
+    Json::obj([
+        ("worker", Json::from(a.worker.0)),
+        ("row", Json::from(a.cell.row)),
+        ("col", Json::from(a.cell.col)),
+        (
+            "value",
+            match a.value {
+                Value::Categorical(l) => Json::from(l),
+                Value::Continuous(x) => Json::from(x),
+            },
+        ),
+    ])
+}
+
+#[derive(Default)]
+struct Samples {
+    assign_us: Vec<f64>,
+    post_us: Vec<f64>,
+    answers_posted: usize,
+    max_pending: usize,
+}
+
+/// One simulated worker's closed loop until the table budget is spent.
+#[allow(clippy::too_many_arguments)]
+fn run_client(addr: SocketAddr, table: &TableSpec, worker: u32, posted: &AtomicUsize) -> Samples {
+    let mut out = Samples::default();
+    let mut client = Client::connect(addr);
+    // Every client of a table sees the same worker population (same seed):
+    // worker `u`'s inherent quality is consistent no matter which thread
+    // serves them.
+    let mut pool = WorkerPool::new(
+        &table.dataset.schema,
+        &table.dataset.truth,
+        WorkerPoolConfig { num_workers: CLIENTS, ..Default::default() },
+        0xBEEF ^ table.budget as u64,
+    );
+    let cols = table.dataset.cols();
+    let mut consecutive_empty = 0usize;
+    while posted.load(Ordering::SeqCst) < table.budget {
+        let t0 = Instant::now();
+        let (status, reply) =
+            client.get(&format!("/tables/{}/assignment?worker={worker}&k={cols}", table.id));
+        out.assign_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+        assert_eq!(status, 200, "assignment failed: {reply}");
+        let cells = reply.get("cells").expect("cells").as_array().expect("array");
+        if cells.is_empty() {
+            // This worker answered everything the snapshot knows; wait for a
+            // refresh to surface new candidates (or for others to finish the
+            // budget).
+            consecutive_empty += 1;
+            if consecutive_empty > 200 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(REFRESH_MS as u64 / 4));
+            continue;
+        }
+        consecutive_empty = 0;
+        let answers: Vec<Json> = cells
+            .iter()
+            .map(|c| {
+                let cell = CellId::new(
+                    c.get("row").unwrap().as_u64().unwrap() as u32,
+                    c.get("col").unwrap().as_u64().unwrap() as u32,
+                );
+                answer_to_json(&Answer {
+                    worker: WorkerId(worker),
+                    cell,
+                    value: pool.answer(WorkerId(worker), cell),
+                })
+            })
+            .collect();
+        let n = answers.len();
+        let body = Json::obj([("answers", Json::Arr(answers))]).to_string();
+        let t0 = Instant::now();
+        let (status, reply) = client.post(&format!("/tables/{}/answers", table.id), &body);
+        out.post_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+        assert_eq!(status, 200, "ingest failed: {reply}");
+        assert_eq!(reply.get("accepted").and_then(Json::as_u64), Some(n as u64));
+        out.answers_posted += n;
+        out.max_pending =
+            out.max_pending.max(reply.get("pending").and_then(Json::as_u64).unwrap_or(0) as usize);
+        posted.fetch_add(n, Ordering::SeqCst);
+    }
+    out
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+/// Re-run inference offline on the served log and return the max z-space
+/// gap against the served `truth?z=1` document.
+fn offline_divergence(client: &mut Client, spec: &TableSpec) -> f64 {
+    let (_, served) = client.get(&format!("/tables/{}/answers", spec.id));
+    let served = served.get("answers").unwrap().as_array().unwrap();
+    let schema = &spec.dataset.schema;
+    let mut log = AnswerLog::new(spec.dataset.rows(), spec.dataset.cols());
+    for a in served {
+        let col = a.get("col").unwrap().as_u64().unwrap() as usize;
+        let value = match schema.column_type(col) {
+            ColumnType::Categorical { labels } => {
+                let name = a.get("value").unwrap().as_str().unwrap();
+                Value::Categorical(labels.iter().position(|l| l == name).unwrap() as u32)
+            }
+            ColumnType::Continuous { .. } => {
+                Value::Continuous(a.get("value").unwrap().as_f64().unwrap())
+            }
+        };
+        log.push(Answer {
+            worker: WorkerId(a.get("worker").unwrap().as_u64().unwrap() as u32),
+            cell: CellId::new(a.get("row").unwrap().as_u64().unwrap() as u32, col as u32),
+            value,
+        });
+    }
+    let offline = TCrowd::default_full().infer(schema, &log);
+    let (_, tz) = client.get(&format!("/tables/{}/truth?z=1", spec.id));
+    let rows = tz.get("truth_z").unwrap().as_array().unwrap();
+    let mut max_diff = 0.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        for (j, cell) in row.as_array().unwrap().iter().enumerate() {
+            match offline.truth_z(CellId::new(i as u32, j as u32)) {
+                tcrowd_core::TruthDist::Categorical(p) => {
+                    let probs = cell.get("probs").unwrap().as_array().unwrap();
+                    for (a, b) in probs.iter().zip(p) {
+                        max_diff = max_diff.max((a.as_f64().unwrap() - b).abs());
+                    }
+                }
+                tcrowd_core::TruthDist::Continuous(n) => {
+                    max_diff =
+                        max_diff.max((cell.get("mean").unwrap().as_f64().unwrap() - n.mean).abs());
+                }
+            }
+        }
+    }
+    max_diff
+}
+
+fn service_load(c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test")
+        || std::env::var_os("CRITERION_QUICK").is_some();
+    // Budgets in average answers per cell; capacity is CLIENTS per cell.
+    let avg_budget = if quick { 2.0 } else { 4.0 };
+
+    let specs: Vec<TableSpec> =
+        [("alpha", "structure-aware", 30usize, 4usize, 71u64), ("beta", "inherent", 24, 3, 72)]
+            .into_iter()
+            .map(|(id, policy, rows, columns, seed)| {
+                let dataset = generate_dataset(
+                    &GeneratorConfig {
+                        rows,
+                        columns,
+                        num_workers: CLIENTS,
+                        answers_per_task: 1,
+                        ..Default::default()
+                    },
+                    seed,
+                );
+                let budget = (avg_budget * (rows * columns) as f64) as usize;
+                TableSpec { id, policy, dataset, budget }
+            })
+            .collect();
+
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", CLIENTS).expect("start server");
+    let addr = server.addr();
+    let mut admin = Client::connect(addr);
+    for spec in &specs {
+        let (status, reply) = admin.post("/tables", &create_body(spec));
+        assert_eq!(status, 201, "create failed: {reply}");
+    }
+
+    // ---- Closed loop: CLIENTS simulated workers per table, all concurrent.
+    let t0 = Instant::now();
+    let samples = Arc::new(Mutex::new(Samples::default()));
+    std::thread::scope(|scope| {
+        for spec in &specs {
+            let posted = Arc::new(AtomicUsize::new(0));
+            for w in 0..CLIENTS as u32 {
+                let samples = Arc::clone(&samples);
+                let posted = Arc::clone(&posted);
+                scope.spawn(move || {
+                    let s = run_client(addr, spec, w, &posted);
+                    let mut all = samples.lock().expect("samples");
+                    all.assign_us.extend(s.assign_us);
+                    all.post_us.extend(s.post_us);
+                    all.answers_posted += s.answers_posted;
+                    all.max_pending = all.max_pending.max(s.max_pending);
+                });
+            }
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut samples = Arc::try_unwrap(samples)
+        .unwrap_or_else(|_| panic!("clients joined"))
+        .into_inner()
+        .expect("samples");
+    samples.assign_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples.post_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // ---- Measure the contract quantities (asserted AFTER the JSON is
+    // written, so the CI guard always reads this run's numbers, not a stale
+    // file from a previous run).
+    let mut per_table = Vec::new();
+    let mut total_served = 0usize;
+    for spec in &specs {
+        let (_, r) = admin.post(&format!("/tables/{}/refresh", spec.id), "");
+        let stats = r.get("stats").expect("stats");
+        let answers = stats.get("answers").unwrap().as_u64().unwrap() as usize;
+        let epoch = stats.get("epoch").unwrap().as_u64().unwrap() as usize;
+        let pending = stats.get("pending").unwrap().as_u64().unwrap();
+        let refreshes = stats.get("refreshes").unwrap().as_u64().unwrap();
+        total_served += answers;
+        let divergence = offline_divergence(&mut admin, spec);
+        println!(
+            "bench_service table {} ({}): {} answers, {} refreshes, offline z-divergence \
+             {divergence:.2e}",
+            spec.id, spec.policy, answers, refreshes
+        );
+        per_table.push((spec, answers, epoch, pending, refreshes, divergence));
+    }
+    // Measured, not assumed: a nonzero value fails both the assert below and
+    // the CI guard reading the JSON.
+    let dropped = samples.answers_posted as i64 - total_served as i64;
+
+    let throughput = samples.answers_posted as f64 / wall_s;
+    let assign_p50 = percentile(&samples.assign_us, 0.50);
+    let assign_p99 = percentile(&samples.assign_us, 0.99);
+    let post_p50 = percentile(&samples.post_us, 0.50);
+    let post_p99 = percentile(&samples.post_us, 0.99);
+    println!(
+        "bench_service: {} answers over {} tables x {CLIENTS} workers in {wall_s:.2}s -> \
+         {throughput:.0} answers/s; assignment p50 {assign_p50:.0} µs p99 {assign_p99:.0} µs; \
+         ingest p50 {post_p50:.0} µs p99 {post_p99:.0} µs; max refresh lag {} answers",
+        samples.answers_posted,
+        specs.len(),
+        samples.max_pending
+    );
+
+    // ---- BENCH_service.json
+    let tables_json: Vec<Json> = per_table
+        .iter()
+        .map(|(spec, answers, _, _, refreshes, divergence)| {
+            Json::obj([
+                ("id", Json::from(spec.id)),
+                ("policy", Json::from(spec.policy)),
+                ("rows", Json::from(spec.dataset.rows())),
+                ("cols", Json::from(spec.dataset.cols())),
+                ("answers", Json::from(*answers)),
+                ("refreshes", Json::from(*refreshes as f64)),
+                ("offline_z_divergence", Json::from(*divergence)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("benchmark", Json::from("service_closed_loop")),
+        (
+            "protocol",
+            Json::obj([
+                ("tables", Json::from(specs.len())),
+                ("concurrent_workers_per_table", Json::from(CLIENTS)),
+                ("avg_answers_per_cell_budget", Json::from(avg_budget)),
+                ("refresh_interval_ms", Json::from(REFRESH_MS)),
+                ("refit_every", Json::from(REFIT_EVERY)),
+                ("transport", Json::from("HTTP/1.1 keep-alive over loopback")),
+            ]),
+        ),
+        ("answers_total", Json::from(samples.answers_posted)),
+        ("dropped_answers", Json::from(dropped as f64)),
+        ("wall_seconds", Json::from(wall_s)),
+        ("throughput_answers_per_sec", Json::from(throughput)),
+        ("assignment_latency_us_p50", Json::from(assign_p50)),
+        ("assignment_latency_us_p99", Json::from(assign_p99)),
+        ("ingest_latency_us_p50", Json::from(post_p50)),
+        ("ingest_latency_us_p99", Json::from(post_p99)),
+        ("max_refresh_lag_answers", Json::from(samples.max_pending)),
+        ("offline_estimates_equal_within", Json::from(1e-6)),
+        ("tables", Json::Arr(tables_json)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    if let Err(e) = std::fs::write(out, format!("{doc}\n")) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    // ---- Gates (after the JSON write): nothing dropped, refresher drained,
+    // every table at budget, served truth replayable offline.
+    assert_eq!(
+        dropped, 0,
+        "dropped answers: posted {} vs served {total_served}",
+        samples.answers_posted
+    );
+    for (spec, answers, epoch, pending, _, divergence) in &per_table {
+        assert_eq!(*pending, 0, "table {}: refresh must drain pending answers", spec.id);
+        assert_eq!(answers, epoch, "table {}: published epoch must cover every answer", spec.id);
+        assert!(*answers >= spec.budget, "table {} under budget: {answers}", spec.id);
+        assert!(
+            *divergence < 1e-6,
+            "table {}: served truth diverges from offline infer by {divergence:.3e}",
+            spec.id
+        );
+    }
+
+    // ---- Criterion case: single-request assignment latency on the loaded
+    // table (steady state, keep-alive).
+    let mut group = c.benchmark_group("service_assignment");
+    group.sample_size(if quick { 2 } else { 10 });
+    group.bench_function("structure_aware_http", |b| {
+        b.iter(|| {
+            let (status, reply) = admin.get("/tables/alpha/assignment?worker=3&k=4");
+            assert_eq!(status, 200);
+            reply.get("cells").unwrap().as_array().unwrap().len()
+        })
+    });
+    group.finish();
+
+    // Close the admin keep-alive connection before shutting down: shutdown
+    // joins the workers, and a worker parked on an idle connection only
+    // returns at its read timeout (30 s).
+    drop(admin);
+    registry.shutdown();
+    server.shutdown();
+}
+
+criterion_group!(benches, service_load);
+criterion_main!(benches);

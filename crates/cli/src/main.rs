@@ -8,6 +8,7 @@
 //! tcrowd assign   --schema … --answers … --rows 50 --worker 7 --k 6
 //!                 [--inherent]            # default is structure-aware
 //! tcrowd evaluate --schema … --truth truth.tsv --estimates estimates.tsv
+//! tcrowd serve    --addr 127.0.0.1:8077 --threads 8        # HTTP service
 //! ```
 //!
 //! All files use the TSV interchange format of `tcrowd_tabular::io`.
@@ -45,6 +46,7 @@ fn main() {
         "diagnose" => cmd_diagnose(&args),
         "simulate" => cmd_simulate(&args),
         "compare" => cmd_compare(&args),
+        "serve" => cmd_serve(&args),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -77,7 +79,10 @@ USAGE:
                                             # inherent, entity, qasca, random,
                                             # looping, entropy
   tcrowd compare  [--rows N] [--cols M] [--budget B] [--seed S] [--out FILE]
-                  # runs every policy at equal budget, one series per policy";
+                  # runs every policy at equal budget, one series per policy
+  tcrowd serve    [--addr HOST:PORT] [--threads T] [--demo]
+                  # multi-table HTTP service (tcrowd-service crate); --demo
+                  # pre-creates a generated 40x5 table named 'demo'";
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let dir = Path::new(args.require("out-dir")?);
@@ -399,6 +404,35 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         runs.push(r);
     }
     write_series(args.get("out"), &runs)
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8077");
+    let threads: usize = args.get_parsed("threads", 8usize)?;
+    let (registry, server) =
+        tcrowd_service::start(addr, threads).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if args.has_switch("demo") {
+        let d = generate_dataset(
+            &GeneratorConfig { rows: 40, columns: 5, num_workers: 25, ..Default::default() },
+            1,
+        );
+        registry
+            .create(
+                Some("demo".into()),
+                d.schema.clone(),
+                d.rows(),
+                tcrowd_service::TableConfig::default(),
+            )
+            .map_err(|e| format!("cannot create demo table: {e}"))?;
+        println!("demo table 'demo' created (40 rows x 5 columns, empty log)");
+    }
+    // The actual bound address matters when --addr used port 0.
+    println!("tcrowd-service listening on http://{}", server.addr());
+    println!("endpoints: /healthz /tables /tables/:id/{{assignment,answers,truth,stats,refresh}}");
+    // Serve until killed; the worker pool does all the work.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {

@@ -265,3 +265,43 @@ fn infer_exclude_drops_worker_answers() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid worker id"));
 }
+
+#[test]
+fn serve_starts_and_answers_http() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    // Ephemeral port; the binary prints the actual bound address.
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2", "--demo"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve exited before binding").expect("read stdout");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            break rest.trim().to_string();
+        }
+    };
+
+    let roundtrip = |raw: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    let health = roundtrip("GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    // --demo pre-created one table; its stats endpoint must be live.
+    assert!(health.contains("\"tables\":1"), "{health}");
+    let stats =
+        roundtrip("GET /tables/demo/stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert!(stats.contains("\"rows\":40"), "{stats}");
+
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+}

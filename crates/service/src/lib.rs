@@ -1,0 +1,116 @@
+//! # tcrowd-service
+//!
+//! A multi-table crowdsourcing **service layer** over the incremental
+//! T-Crowd pipeline: a std-only HTTP/1.1 JSON API plus a background
+//! refresher per table. This is the paper's live-platform setting (Fig. 1,
+//! Algorithm 2) made operational — workers request tasks and submit answers
+//! over the network while the system interleaves collection with inference:
+//!
+//! ```text
+//!   POST /tables ────────────────▶ TableRegistry ──▶ TableState (one per table)
+//!                                                        │
+//!   POST /tables/:id/answers ──▶ ingest Mutex<OnlineTCrowd>   (O(1) append +
+//!                                    │  pending answers        §5.1 incremental
+//!                                    │                         posterior update)
+//!                         refresher thread (per table):
+//!                            delta-merge log tail ─▶ warm/cold EM re-fit
+//!                                    │
+//!                                    ▼ publish atomically
+//!   GET /tables/:id/assignment ─▶ RwLock<Arc<Snapshot>>  (log@epoch, frozen
+//!   GET /tables/:id/truth ──────▶   AnswerMatrix, InferenceResult) — readers
+//!   GET /tables/:id/stats ──────▶   never block ingestion
+//! ```
+//!
+//! Reads are served from the last *published snapshot* — a consistent
+//! `(log, freeze, fit)` triple at one epoch — so assignment and truth
+//! queries proceed concurrently with ingestion and with each other; only
+//! the refresher (or an explicit `POST …/refresh`) moves the epoch forward.
+//! With cold re-fits (the default) the published state is a pure function
+//! of the collected answer order: replaying the served log through
+//! `TCrowd::infer` offline reproduces the service's estimates exactly,
+//! which the concurrency tests and `bench_service` assert.
+//!
+//! Everything is `std`-only (the offline build has no `serde`/`hyper`):
+//! [`json`] is a ~300-line JSON tree/parser, [`http`] a
+//! `TcpListener` + worker-thread-pool front end with keep-alive.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + table count |
+//! | `GET /tables` | hosted table ids |
+//! | `POST /tables` | create a table (body below) |
+//! | `DELETE /tables/:id` | drop a table and its refresher |
+//! | `GET /tables/:id/assignment?worker=U[&k=K][&policy=P]` | top-`k` cells for worker `U` from the current snapshot |
+//! | `POST /tables/:id/answers` | ingest one answer or `{"answers": [...]}` |
+//! | `GET /tables/:id/answers` | dump the published answer log |
+//! | `GET /tables/:id/truth[?z=1]` | current estimates (or z-space posteriors) |
+//! | `GET /tables/:id/stats` | ingest/refresh/EM counters |
+//! | `POST /tables/:id/refresh` | force a re-fit + publish now |
+//!
+//! ## Wire format
+//!
+//! `POST /tables` body:
+//!
+//! ```json
+//! {
+//!   "id": "celebrity",              // optional; "table-N" otherwise
+//!   "rows": 100,
+//!   "schema": {
+//!     "name": "Celebrity", "key": "Picture",
+//!     "columns": [
+//!       {"name": "Nationality", "type": "categorical", "labels": ["US", "UK"]},
+//!       {"name": "Age",         "type": "continuous", "min": 0, "max": 100}
+//!     ]
+//!   },
+//!   "policy": "structure-aware",    // assignment default; see policy names
+//!   "refit_every": 64,              // pending answers that wake the refresher
+//!   "refresh_interval_ms": 200,     // refresher cadence
+//!   "warm_refits": false,           // warm-start re-fits (latency over replayability)
+//!   "max_answers_per_cell": null,   // optional redundancy cap
+//!   "seed": 1                       // stochastic-policy seed
+//! }
+//! ```
+//!
+//! Categorical cardinality may be given as `"cardinality": k` instead of
+//! labels. An answer is `{"worker": 7, "row": 3, "col": 1, "value": v}` —
+//! `col` accepts a column name, `value` is a number for continuous columns
+//! and a label index *or* label string for categorical ones; responses
+//! encode categorical values as label strings. `truth?z=1` returns, per
+//! cell, `{"probs": [...]}` (categorical) or `{"mean": m, "var": v}`
+//! (continuous) in z-space — the representation behind the warm/cold 1e-6
+//! agreement contract. Errors are `{"error": "..."}` with a 4xx/5xx status.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod policy;
+pub mod registry;
+pub mod table;
+
+pub use http::{serve, Handler, Request, Response, ServerHandle};
+pub use json::Json;
+pub use policy::{make_policy, POLICY_NAMES};
+pub use registry::TableRegistry;
+pub use table::{Snapshot, TableConfig, TableState};
+
+use std::sync::Arc;
+
+/// Start the full service: an empty [`TableRegistry`] served on `addr`
+/// (port 0 picks an ephemeral port) by `threads` worker threads. Returns
+/// the registry (for in-process orchestration and shutdown) and the running
+/// server handle.
+pub fn start(addr: &str, threads: usize) -> std::io::Result<(Arc<TableRegistry>, ServerHandle)> {
+    let registry = Arc::new(TableRegistry::new());
+    let handler_registry = Arc::clone(&registry);
+    let handle = http::serve(
+        addr,
+        threads,
+        Arc::new(move |req: &Request| api::route(&handler_registry, req)),
+    )?;
+    Ok((registry, handle))
+}

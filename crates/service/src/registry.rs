@@ -1,0 +1,166 @@
+//! The multi-table registry: the service hosts many independent tables,
+//! each with its own schema, policy configuration, ingest state and
+//! refresher thread.
+
+use crate::table::{TableConfig, TableState};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use tcrowd_tabular::Schema;
+
+/// All hosted tables. Cheap to share (`Arc`); the HTTP handler holds one.
+pub struct TableRegistry {
+    tables: RwLock<BTreeMap<String, Arc<TableState>>>,
+    next_id: AtomicU64,
+    started_at: Instant,
+}
+
+impl Default for TableRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TableRegistry {
+    /// An empty registry.
+    pub fn new() -> TableRegistry {
+        TableRegistry {
+            tables: RwLock::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            started_at: Instant::now(),
+        }
+    }
+
+    /// Create and register a table. `id: None` allocates `table-N`.
+    /// Fails (leaving the registry unchanged) if the id is taken or empty.
+    pub fn create(
+        &self,
+        id: Option<String>,
+        schema: Schema,
+        rows: usize,
+        config: TableConfig,
+    ) -> Result<Arc<TableState>, String> {
+        if rows == 0 {
+            return Err("a table needs at least one row".into());
+        }
+        let id = match id {
+            // Ids travel inside URL path segments; restricting them to
+            // URL-safe characters keeps every created table addressable
+            // (a '/', '%', '+' or space would be split or percent-decoded
+            // away by the router before matching).
+            Some(id) => {
+                if id.is_empty() || id.len() > 64 {
+                    return Err("table id must be 1..=64 characters".into());
+                }
+                if !id.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c)) {
+                    return Err(format!(
+                        "table id '{id}' may only contain ASCII letters, digits, '.', '_', '-'"
+                    ));
+                }
+                id
+            }
+            None => format!("table-{}", self.next_id.fetch_add(1, Ordering::SeqCst)),
+        };
+        let mut tables = self.tables.write().expect("registry lock");
+        if tables.contains_key(&id) {
+            return Err(format!("table '{id}' already exists"));
+        }
+        let table = TableState::create(id.clone(), schema, rows, config);
+        tables.insert(id, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Look up a table.
+    pub fn get(&self, id: &str) -> Option<Arc<TableState>> {
+        self.tables.read().expect("registry lock").get(id).cloned()
+    }
+
+    /// Remove a table, stopping its refresher. Returns whether it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        let removed = self.tables.write().expect("registry lock").remove(id);
+        match removed {
+            Some(t) => {
+                t.stop_refresher();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of every hosted table, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.tables.read().expect("registry lock").keys().cloned().collect()
+    }
+
+    /// Number of hosted tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().expect("registry lock").len()
+    }
+
+    /// True when no tables are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Milliseconds since the registry was created (≈ service uptime).
+    pub fn uptime_ms(&self) -> u128 {
+        self.started_at.elapsed().as_millis()
+    }
+
+    /// Stop every table's refresher thread (joins them). Call before
+    /// dropping the registry in tests and on server shutdown; without it the
+    /// threads exit lazily on their next tick.
+    pub fn shutdown(&self) {
+        for table in self.tables.read().expect("registry lock").values() {
+            table.stop_refresher();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            "k",
+            vec![
+                Column::new("a", ColumnType::categorical_with_cardinality(3)),
+                Column::new("b", ColumnType::Continuous { min: 0.0, max: 1.0 }),
+            ],
+        )
+    }
+
+    #[test]
+    fn create_get_list_remove() {
+        let reg = TableRegistry::new();
+        assert!(reg.is_empty());
+        let t1 = reg.create(Some("one".into()), schema(), 5, TableConfig::default()).unwrap();
+        let t2 = reg.create(None, schema(), 5, TableConfig::default()).unwrap();
+        assert_eq!(t1.id, "one");
+        assert_eq!(t2.id, "table-1");
+        assert_eq!(reg.list(), vec!["one".to_string(), "table-1".to_string()]);
+        assert!(reg.get("one").is_some());
+        assert!(reg.get("nope").is_none());
+        // Duplicate and invalid ids are rejected.
+        assert!(reg.create(Some("one".into()), schema(), 5, TableConfig::default()).is_err());
+        assert!(reg.create(Some("".into()), schema(), 5, TableConfig::default()).is_err());
+        assert!(reg.create(None, schema(), 0, TableConfig::default()).is_err());
+        // Ids that would not survive the HTTP router's path split/decoding.
+        for bad in ["a/b", "a b", "a+b", "a%2Fb", "é", &"x".repeat(65)] {
+            assert!(
+                reg.create(Some(bad.to_string()), schema(), 5, TableConfig::default()).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert!(reg.create(Some("ok-id_1.v2".into()), schema(), 5, TableConfig::default()).is_ok());
+        assert!(reg.remove("ok-id_1.v2"));
+        assert!(reg.remove("one"));
+        assert!(!reg.remove("one"));
+        assert_eq!(reg.len(), 1);
+        reg.shutdown();
+    }
+}

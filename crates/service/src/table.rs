@@ -1,0 +1,390 @@
+//! Per-table service state: lock-split ingest/read paths and the background
+//! refresher thread.
+//!
+//! Each hosted table runs the paper's online loop (Fig. 1 / Algorithm 2)
+//! with the request path split in two:
+//!
+//! * **Ingest** (`POST …/answers`) appends to the [`OnlineTCrowd`] behind a
+//!   `Mutex` — an `O(1)` log push plus the §5.1 incremental posterior
+//!   update. No EM runs on this path.
+//! * **Reads** (assignment, truth, stats) share an immutable [`Snapshot`]
+//!   behind an `RwLock<Arc<…>>`: the log prefix at the freeze epoch, the
+//!   frozen [`AnswerMatrix`] and the last published [`InferenceResult`].
+//!   Readers clone the `Arc` and never contend with ingestion.
+//!
+//! A per-table **refresher thread** closes the loop: on a configurable
+//! cadence (or immediately once [`TableConfig::refit_every`] answers are
+//! pending) it delta-merges the log tail into the evolving freeze, re-fits
+//! EM (warm-started when configured), and atomically publishes the new
+//! snapshot. This mirrors [`OnlineTCrowd`]'s `refit_every` contract, moved
+//! off the request path.
+//!
+//! Known tradeoff: a re-fit holds the ingest `Mutex` for its duration, so
+//! `POST …/answers` landing *during* a refresh stall until it publishes
+//! (reads never do — they stay on the previous snapshot). Fitting outside
+//! the lock needs a merge protocol for the answers that arrive mid-fit;
+//! see the ROADMAP open item.
+
+use crate::policy::make_policy;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
+use std::time::{Duration, Instant};
+use tcrowd_core::{AssignmentContext, InferenceResult, OnlineTCrowd, TCrowd};
+use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema};
+
+/// Per-table service policy knobs (the `POST /tables` request body).
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Default assignment policy (a [`make_policy`] name).
+    pub policy: String,
+    /// Pending-answer threshold that wakes the refresher immediately (the
+    /// service-side mirror of [`OnlineTCrowd::refit_every`]).
+    pub refit_every: usize,
+    /// Refresher cadence: every tick with pending answers re-fits and
+    /// publishes, threshold reached or not.
+    pub refresh_interval: Duration,
+    /// Warm-start re-fits from the previous published fit (see
+    /// `TCrowd::infer_matrix_warm`). Off by default: cold re-fits make the
+    /// published state a pure function of the collected log, which the
+    /// determinism tests and the bench's offline-agreement gate rely on.
+    pub warm_refits: bool,
+    /// Optional per-cell redundancy cap enforced at assignment time.
+    pub max_answers_per_cell: Option<usize>,
+    /// Seed for stochastic policies (random baseline, entity grouping).
+    pub seed: u64,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            policy: "structure-aware".to_string(),
+            refit_every: 64,
+            refresh_interval: Duration::from_millis(200),
+            warm_refits: false,
+            max_answers_per_cell: None,
+            seed: 1,
+        }
+    }
+}
+
+/// An immutable published view of one table: everything the read endpoints
+/// serve, consistent at one freeze epoch.
+pub struct Snapshot {
+    /// The collected answers up to [`Snapshot::epoch`], in arrival order.
+    pub log: AnswerLog,
+    /// The frozen columnar store of [`Snapshot::log`].
+    pub matrix: AnswerMatrix,
+    /// The inference result published with this freeze.
+    pub result: InferenceResult,
+    /// Number of log answers this snapshot covers.
+    pub epoch: usize,
+    /// How many refreshes this table has published (0 = the initial empty
+    /// fit).
+    pub refreshes: u64,
+    /// When this snapshot was published.
+    pub published_at: Instant,
+}
+
+/// Refresher wake/stop channel.
+struct RefreshCtl {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// One hosted table.
+pub struct TableState {
+    /// Table id (registry key).
+    pub id: String,
+    /// The table schema.
+    pub schema: Schema,
+    /// Service configuration.
+    pub config: TableConfig,
+    rows: usize,
+    ingest: Mutex<OnlineTCrowd>,
+    published: RwLock<Arc<Snapshot>>,
+    ingested: AtomicU64,
+    ctl: Arc<RefreshCtl>,
+    refresher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    created_at: Instant,
+}
+
+impl TableState {
+    /// Create a table (empty log, initial fit published) and start its
+    /// refresher thread.
+    pub fn create(id: String, schema: Schema, rows: usize, config: TableConfig) -> Arc<TableState> {
+        let mut online = OnlineTCrowd::empty(TCrowd::default_full(), schema.clone(), rows);
+        // The refresher (not the ingest path) owns refit timing.
+        online.refit_every = usize::MAX;
+        online.warm_refits = config.warm_refits;
+        let snapshot = Arc::new(Snapshot {
+            log: online.answers().clone(),
+            matrix: online.matrix().clone(),
+            result: online.result().clone(),
+            epoch: 0,
+            refreshes: 0,
+            published_at: Instant::now(),
+        });
+        let table = Arc::new(TableState {
+            id,
+            schema,
+            config,
+            rows,
+            ingest: Mutex::new(online),
+            published: RwLock::new(snapshot),
+            ingested: AtomicU64::new(0),
+            ctl: Arc::new(RefreshCtl { stop: Mutex::new(false), wake: Condvar::new() }),
+            refresher: Mutex::new(None),
+            created_at: Instant::now(),
+        });
+        let weak: Weak<TableState> = Arc::downgrade(&table);
+        let ctl = Arc::clone(&table.ctl);
+        let interval = table.config.refresh_interval;
+        let handle = std::thread::spawn(move || loop {
+            {
+                let guard = ctl.stop.lock().expect("refresher ctl");
+                if *guard {
+                    return;
+                }
+                // Only sleep while below the wake threshold: a notify_one
+                // that fires while a refresh is running (not while we wait)
+                // would otherwise be lost and the burst would sit for a full
+                // interval.
+                let over_threshold = match weak.upgrade() {
+                    Some(t) => t.pending() >= t.config.refit_every,
+                    None => return,
+                };
+                if !over_threshold {
+                    let (guard, _) =
+                        ctl.wake.wait_timeout(guard, interval).expect("refresher wait");
+                    if *guard {
+                        return;
+                    }
+                }
+            }
+            let Some(table) = weak.upgrade() else { return };
+            if table.pending() > 0 {
+                table.refresh_now();
+            }
+        });
+        *table.refresher.lock().expect("refresher handle") = Some(handle);
+        table
+    }
+
+    /// Number of table rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of table columns.
+    pub fn cols(&self) -> usize {
+        self.schema.num_columns()
+    }
+
+    /// Total answers accepted since creation.
+    pub fn ingested(&self) -> u64 {
+        self.ingested.load(Ordering::SeqCst)
+    }
+
+    /// Answers accepted but not yet covered by the published snapshot.
+    pub fn pending(&self) -> usize {
+        (self.ingested() as usize).saturating_sub(self.snapshot().epoch)
+    }
+
+    /// The current published snapshot (cheap: one `Arc` clone).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.published.read().expect("published lock"))
+    }
+
+    /// Validate and ingest a batch of answers. The whole batch is rejected
+    /// (nothing ingested) if any answer is malformed, so callers can safely
+    /// retry verbatim. Returns the number accepted.
+    pub fn submit(&self, answers: &[Answer]) -> Result<usize, String> {
+        for (i, a) in answers.iter().enumerate() {
+            if a.cell.row as usize >= self.rows || a.cell.col as usize >= self.cols() {
+                return Err(format!(
+                    "answer {i}: cell ({}, {}) outside the {}x{} table",
+                    a.cell.row,
+                    a.cell.col,
+                    self.rows,
+                    self.cols()
+                ));
+            }
+            if !self.schema.column_type(a.cell.col as usize).accepts(&a.value) {
+                return Err(format!(
+                    "answer {i}: value does not match column {} ({})",
+                    a.cell.col, self.schema.columns[a.cell.col as usize].name
+                ));
+            }
+        }
+        {
+            let mut online = self.ingest.lock().expect("ingest lock");
+            for &a in answers {
+                online.add_answer(a);
+            }
+        }
+        self.ingested.fetch_add(answers.len() as u64, Ordering::SeqCst);
+        if self.pending() >= self.config.refit_every {
+            // Notify while holding the refresher's mutex: this serialises
+            // against the refresher's below-threshold check, so the wake
+            // either lands while it waits or the re-check sees the new
+            // pending count — never lost in the check→wait window.
+            let _guard = self.ctl.stop.lock().expect("refresher ctl");
+            self.ctl.wake.notify_one();
+        }
+        Ok(answers.len())
+    }
+
+    /// Re-fit on everything ingested so far and publish a fresh snapshot.
+    /// No-op (returns `false`) when the published snapshot is already
+    /// current. Runs on the refresher thread normally; `POST …/refresh`
+    /// calls it synchronously.
+    pub fn refresh_now(&self) -> bool {
+        let snapshot = {
+            let mut online = self.ingest.lock().expect("ingest lock");
+            if !online.flush_refit() && online.answers().len() == self.snapshot().epoch {
+                return false;
+            }
+            Snapshot {
+                log: online.answers().clone(),
+                matrix: online.matrix().clone(),
+                result: online.result().clone(),
+                epoch: online.answers().len(),
+                refreshes: self.snapshot().refreshes + 1,
+                published_at: Instant::now(),
+            }
+        };
+        let mut slot = self.published.write().expect("published lock");
+        // Publishes can race (refresher tick vs synchronous `POST …/refresh`
+        // that already dropped the ingest lock); never replace a newer
+        // snapshot with an older one.
+        if snapshot.epoch >= slot.epoch {
+            *slot = Arc::new(snapshot);
+        }
+        true
+    }
+
+    /// Select up to `k` cells for `worker` from the published snapshot,
+    /// using `policy` (or the table's configured default). Returns the
+    /// snapshot the decision was made from alongside the picks, so callers
+    /// can report the decision epoch.
+    pub fn assign(
+        &self,
+        worker: tcrowd_tabular::WorkerId,
+        k: usize,
+        policy: Option<&str>,
+    ) -> Result<(Arc<Snapshot>, Vec<CellId>, String), String> {
+        let name = policy.unwrap_or(&self.config.policy).to_string();
+        let mut policy = make_policy(&name, self.rows, self.config.seed)?;
+        let snap = self.snapshot();
+        let ctx = AssignmentContext {
+            schema: &self.schema,
+            answers: &snap.log,
+            freeze: snap.matrix.freeze_view(),
+            inference: Some(&snap.result),
+            max_answers_per_cell: self.config.max_answers_per_cell,
+            terminated: None,
+        };
+        let picks = policy.select(worker, k, &ctx);
+        Ok((snap, picks, name))
+    }
+
+    /// Milliseconds since this table was created.
+    pub fn age_ms(&self) -> u128 {
+        self.created_at.elapsed().as_millis()
+    }
+
+    /// Stop and join the refresher thread (idempotent). The registry calls
+    /// this on removal/shutdown; a table dropped without it would leave the
+    /// thread parked until its weak upgrade fails on the next tick.
+    pub fn stop_refresher(&self) {
+        *self.ctl.stop.lock().expect("refresher ctl") = true;
+        self.ctl.wake.notify_all();
+        if let Some(handle) = self.refresher.lock().expect("refresher handle").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{generate_dataset, GeneratorConfig, Value, WorkerId};
+
+    fn make_table(refit_every: usize) -> (Arc<TableState>, tcrowd_tabular::Dataset) {
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 12,
+                columns: 3,
+                num_workers: 8,
+                answers_per_task: 3,
+                ..Default::default()
+            },
+            5,
+        );
+        let config = TableConfig {
+            refit_every,
+            refresh_interval: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let t = TableState::create("t".into(), d.schema.clone(), d.rows(), config);
+        (t, d)
+    }
+
+    #[test]
+    fn ingest_refresh_and_read_paths_agree() {
+        let (t, d) = make_table(usize::MAX);
+        assert_eq!(t.snapshot().epoch, 0);
+        t.submit(d.answers.all()).unwrap();
+        assert_eq!(t.ingested() as usize, d.answers.len());
+        // Synchronous refresh publishes everything.
+        assert!(t.refresh_now());
+        let snap = t.snapshot();
+        assert_eq!(snap.epoch, d.answers.len());
+        assert_eq!(snap.matrix.len(), d.answers.len());
+        assert_eq!(t.pending(), 0);
+        // Published estimates equal the batch fit (cold refits).
+        let batch = TCrowd::default_full().infer(&d.schema, &d.answers);
+        assert_eq!(snap.result.estimates(), batch.estimates());
+        // Assignment works off the snapshot.
+        let (used, picks, name) = t.assign(WorkerId(999), 3, None).unwrap();
+        assert_eq!(used.epoch, snap.epoch);
+        assert_eq!(picks.len(), 3);
+        assert_eq!(name, "structure-aware");
+        t.stop_refresher();
+    }
+
+    #[test]
+    fn background_refresher_publishes_on_threshold() {
+        let (t, d) = make_table(4);
+        t.submit(&d.answers.all()[..8]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while t.snapshot().epoch < 8 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(t.snapshot().epoch, 8, "refresher should publish pending answers");
+        assert!(t.snapshot().refreshes >= 1);
+        t.stop_refresher();
+    }
+
+    #[test]
+    fn submit_rejects_bad_batches_atomically() {
+        let (t, d) = make_table(usize::MAX);
+        let good = d.answers.all()[0];
+        let bad_cell = Answer { cell: CellId::new(999, 0), ..good };
+        let err = t.submit(&[good, bad_cell]).unwrap_err();
+        assert!(err.contains("answer 1"), "{err}");
+        assert_eq!(t.ingested(), 0, "a rejected batch must ingest nothing");
+        // Wrong datatype for the column.
+        let col0 = d.schema.column_type(0).clone();
+        let wrong = Answer {
+            value: if col0.is_categorical() {
+                Value::Continuous(1.0)
+            } else {
+                Value::Categorical(0)
+            },
+            ..good
+        };
+        assert!(t.submit(&[wrong]).is_err());
+        t.stop_refresher();
+    }
+}

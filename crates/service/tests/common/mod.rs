@@ -1,0 +1,58 @@
+//! Minimal std-`TcpStream` HTTP/JSON client shared by the service
+//! integration tests — deliberately independent of the server's own request
+//! machinery so the tests exercise the real wire format.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use tcrowd_service::Json;
+
+pub struct Client {
+    pub addr: SocketAddr,
+}
+
+impl Client {
+    /// One request over a fresh connection; returns (status, parsed body).
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: \
+             {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("write request");
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                len = v.trim().parse().expect("content-length");
+            }
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("body");
+        let text = String::from_utf8(body).expect("utf-8 body");
+        let json = tcrowd_service::json::parse(&text)
+            .unwrap_or_else(|e| panic!("unparsable body {text:?}: {e}"));
+        (status, json)
+    }
+
+    pub fn get(&self, path: &str) -> (u16, Json) {
+        self.request("GET", path, None)
+    }
+
+    pub fn post(&self, path: &str, body: &str) -> (u16, Json) {
+        self.request("POST", path, Some(body))
+    }
+}

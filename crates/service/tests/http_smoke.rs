@@ -1,0 +1,261 @@
+//! End-to-end HTTP smoke: start the server on an ephemeral port and drive
+//! the full paper loop — create table, assignment, answers, refresh, truth,
+//! stats, healthz — through a plain `TcpStream` client (this is the CI
+//! "service smoke" coverage).
+
+mod common;
+
+use common::Client;
+use tcrowd_core::TCrowd;
+use tcrowd_service::Json;
+use tcrowd_tabular::{generate_dataset, Answer, AnswerLog, GeneratorConfig, Value};
+
+const CREATE_BODY: &str = r#"{
+    "id": "smoke",
+    "rows": 8,
+    "schema": {
+        "name": "Smoke", "key": "id",
+        "columns": [
+            {"name": "kind", "type": "categorical", "labels": ["x", "y", "z"]},
+            {"name": "size", "type": "continuous", "min": 0, "max": 10}
+        ]
+    },
+    "policy": "structure-aware",
+    "refit_every": 1000,
+    "refresh_interval_ms": 60000
+}"#;
+
+#[test]
+fn full_loop_over_the_wire() {
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", 4).expect("start server");
+    let client = Client { addr: server.addr() };
+
+    // healthz before anything exists.
+    let (status, health) = client.get("/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("tables").unwrap().as_u64(), Some(0));
+
+    // Create a table; verify the echo.
+    let (status, created) = client.post("/tables", CREATE_BODY);
+    assert_eq!(status, 201, "{created}");
+    assert_eq!(created.get("id").unwrap().as_str(), Some("smoke"));
+    assert_eq!(created.get("cols").unwrap().as_u64(), Some(2));
+    // Re-creating the same id conflicts; bad bodies are 400.
+    assert_eq!(client.post("/tables", CREATE_BODY).0, 409);
+    assert_eq!(client.post("/tables", "{\"rows\": 0}").0, 400);
+    assert_eq!(client.post("/tables", "not json").0, 400);
+
+    // Assignment for a fresh worker: k distinct in-range cells.
+    let (status, assignment) = client.get("/tables/smoke/assignment?worker=3&k=4");
+    assert_eq!(status, 200, "{assignment}");
+    let cells = assignment.get("cells").unwrap().as_array().unwrap();
+    assert_eq!(cells.len(), 4);
+    for c in cells {
+        assert!(c.get("row").unwrap().as_u64().unwrap() < 8);
+        assert!(c.get("col").unwrap().as_u64().unwrap() < 2);
+        assert!(c.get("column").unwrap().as_str().is_some());
+    }
+    // Unknown table, missing worker, bad policy.
+    assert_eq!(client.get("/tables/nope/assignment?worker=1").0, 404);
+    assert_eq!(client.get("/tables/smoke/assignment").0, 400);
+    assert_eq!(client.get("/tables/smoke/assignment?worker=1&policy=bogus").0, 400);
+
+    // Submit single + batched answers (index, label-string and named-column
+    // forms).
+    let (status, r) =
+        client.post("/tables/smoke/answers", r#"{"worker":3,"row":0,"col":0,"value":"y"}"#);
+    assert_eq!(status, 200, "{r}");
+    assert_eq!(r.get("accepted").unwrap().as_u64(), Some(1));
+    let (status, r) = client.post(
+        "/tables/smoke/answers",
+        r#"{"answers":[
+            {"worker":3,"row":0,"col":"size","value":4.25},
+            {"worker":4,"row":0,"col":0,"value":1},
+            {"worker":4,"row":1,"col":1,"value":2.5}
+        ]}"#,
+    );
+    assert_eq!(status, 200, "{r}");
+    assert_eq!(r.get("accepted").unwrap().as_u64(), Some(3));
+    assert_eq!(r.get("pending").unwrap().as_u64(), Some(4));
+    // Bad answers are rejected whole-batch.
+    let (status, r) = client.post(
+        "/tables/smoke/answers",
+        r#"{"answers":[{"worker":1,"row":0,"col":0,"value":0},
+                       {"worker":1,"row":99,"col":0,"value":0}]}"#,
+    );
+    assert_eq!(status, 400, "{r}");
+
+    // Force a refresh; stats must show everything published.
+    let (status, refreshed) = client.post("/tables/smoke/refresh", "");
+    assert_eq!(status, 200);
+    assert_eq!(refreshed.get("refitted").unwrap().as_bool(), Some(true));
+    let (_, stats) = client.get("/tables/smoke/stats");
+    assert_eq!(stats.get("answers").unwrap().as_u64(), Some(4));
+    assert_eq!(stats.get("epoch").unwrap().as_u64(), Some(4));
+    assert_eq!(stats.get("pending").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("workers").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("em_converged").unwrap().as_bool(), Some(true));
+
+    // Truth estimates have the right shape and datatypes.
+    let (status, truth) = client.get("/tables/smoke/truth");
+    assert_eq!(status, 200);
+    assert_eq!(truth.get("epoch").unwrap().as_u64(), Some(4));
+    let rows = truth.get("estimates").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 8);
+    for row in rows {
+        let row = row.as_array().unwrap();
+        assert!(row[0].as_str().is_some(), "categorical estimates are label strings");
+        assert!(row[1].as_f64().is_some(), "continuous estimates are numbers");
+    }
+    // The answered cell reflects its unanimous label.
+    assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("y"));
+
+    // z-space view matches the shape contract.
+    let (_, tz) = client.get("/tables/smoke/truth?z=1");
+    let cell00 = &tz.get("truth_z").unwrap().as_array().unwrap()[0].as_array().unwrap()[0];
+    assert_eq!(cell00.get("probs").unwrap().as_array().unwrap().len(), 3);
+
+    // The log dump round-trips what we posted.
+    let (_, log) = client.get("/tables/smoke/answers");
+    let answers = log.get("answers").unwrap().as_array().unwrap();
+    assert_eq!(answers.len(), 4);
+    assert_eq!(answers[0].get("value").unwrap().as_str(), Some("y"));
+
+    // Table listing + delete + healthz accounting.
+    let (_, tables) = client.get("/tables");
+    assert_eq!(tables.get("tables").unwrap().as_array().unwrap().len(), 1);
+    assert_eq!(client.request("DELETE", "/tables/smoke", None).0, 200);
+    assert_eq!(client.get("/tables/smoke/stats").0, 404);
+    assert_eq!(client.get("/healthz").1.get("tables").unwrap().as_u64(), Some(0));
+
+    registry.shutdown();
+    server.shutdown();
+}
+
+/// The served estimates must be replayable offline: post a realistic answer
+/// set, refresh, download the log, and check the service's truth equals
+/// `TCrowd::infer` on the replayed log — exactly (cold re-fits make the
+/// published state a pure function of the log).
+#[test]
+fn served_truth_matches_offline_inference_on_the_served_log() {
+    let d = generate_dataset(
+        &GeneratorConfig {
+            rows: 10,
+            columns: 3,
+            num_workers: 9,
+            answers_per_task: 3,
+            ..Default::default()
+        },
+        11,
+    );
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", 2).expect("start server");
+    let client = Client { addr: server.addr() };
+    // Build the create body from the generated schema via the service's own
+    // Json type.
+    let columns: Vec<Json> = d
+        .schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(j, c)| match &c.ty {
+            tcrowd_tabular::ColumnType::Categorical { labels } => Json::obj([
+                ("name", Json::from(format!("c{j}"))),
+                ("type", Json::from("categorical")),
+                ("labels", Json::Arr(labels.iter().map(|l| Json::from(l.clone())).collect())),
+            ]),
+            tcrowd_tabular::ColumnType::Continuous { min, max } => Json::obj([
+                ("name", Json::from(format!("c{j}"))),
+                ("type", Json::from("continuous")),
+                ("min", Json::from(*min)),
+                ("max", Json::from(*max)),
+            ]),
+        })
+        .collect();
+    let create = Json::obj([
+        ("id", Json::from("replay")),
+        ("rows", Json::from(d.rows())),
+        ("schema", Json::obj([("columns", Json::Arr(columns))])),
+        ("refresh_interval_ms", Json::from(60_000usize)),
+    ]);
+    assert_eq!(client.post("/tables", &create.to_string()).0, 201);
+
+    // Post every generated answer in batches, preserving order.
+    for chunk in d.answers.all().chunks(25) {
+        let batch: Vec<Json> = chunk
+            .iter()
+            .map(|a| {
+                Json::obj([
+                    ("worker", Json::from(a.worker.0)),
+                    ("row", Json::from(a.cell.row)),
+                    ("col", Json::from(a.cell.col)),
+                    (
+                        "value",
+                        match a.value {
+                            Value::Categorical(l) => Json::from(l),
+                            Value::Continuous(x) => Json::from(x),
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let body = Json::obj([("answers", Json::Arr(batch))]).to_string();
+        let (status, r) = client.post("/tables/replay/answers", &body);
+        assert_eq!(status, 200, "{r}");
+    }
+    assert_eq!(client.post("/tables/replay/refresh", "").0, 200);
+
+    // Download the served log and replay it offline.
+    let (_, served) = client.get("/tables/replay/answers");
+    let served = served.get("answers").unwrap().as_array().unwrap();
+    assert_eq!(served.len(), d.answers.len(), "zero dropped answers");
+    let mut replayed = AnswerLog::new(d.rows(), d.cols());
+    for a in served {
+        let col = a.get("col").unwrap().as_u64().unwrap() as usize;
+        let value = match d.schema.column_type(col) {
+            tcrowd_tabular::ColumnType::Categorical { labels } => {
+                let name = a.get("value").unwrap().as_str().unwrap();
+                Value::Categorical(labels.iter().position(|l| l == name).unwrap() as u32)
+            }
+            tcrowd_tabular::ColumnType::Continuous { .. } => {
+                Value::Continuous(a.get("value").unwrap().as_f64().unwrap())
+            }
+        };
+        replayed.push(Answer {
+            worker: tcrowd_tabular::WorkerId(a.get("worker").unwrap().as_u64().unwrap() as u32),
+            cell: tcrowd_tabular::CellId::new(
+                a.get("row").unwrap().as_u64().unwrap() as u32,
+                col as u32,
+            ),
+            value,
+        });
+    }
+    let offline = TCrowd::default_full().infer(&d.schema, &replayed);
+
+    // Served z-space truth equals the offline fit within 1e-6 z-units
+    // (in fact exactly, up to the decimal wire encoding).
+    let (_, tz) = client.get("/tables/replay/truth?z=1");
+    let rows = tz.get("truth_z").unwrap().as_array().unwrap();
+    let mut max_diff = 0.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        for (j, cell) in row.as_array().unwrap().iter().enumerate() {
+            let offline_t = offline.truth_z(tcrowd_tabular::CellId::new(i as u32, j as u32));
+            match offline_t {
+                tcrowd_core::TruthDist::Categorical(p) => {
+                    let probs = cell.get("probs").unwrap().as_array().unwrap();
+                    for (a, b) in probs.iter().zip(p) {
+                        max_diff = max_diff.max((a.as_f64().unwrap() - b).abs());
+                    }
+                }
+                tcrowd_core::TruthDist::Continuous(n) => {
+                    max_diff =
+                        max_diff.max((cell.get("mean").unwrap().as_f64().unwrap() - n.mean).abs());
+                }
+            }
+        }
+    }
+    assert!(max_diff < 1e-6, "served vs offline z-discrepancy {max_diff:.3e}");
+
+    registry.shutdown();
+    server.shutdown();
+}

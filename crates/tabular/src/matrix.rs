@@ -95,13 +95,14 @@ pub struct AnswerMatrix {
     worker_row_offsets: Vec<u32>,
 }
 
-/// Second counting sort shared by [`AnswerMatrix::build`] and
-/// [`AnswerMatrix::merge_delta`]: payload indices grouped by (worker, row).
-/// Scanning the payload in cell-major order keeps the grouping sorted by row
-/// (and insertion) within each worker, so one permutation serves both the
-/// by-worker and the by-(worker, row) views. Because the views are a pure
-/// function of the payload lanes, a delta-merged matrix and a full rebuild
-/// get bit-identical view arrays.
+/// Second counting sort of [`AnswerMatrix::build`]: payload indices grouped
+/// by (worker, row). Scanning the payload in cell-major order keeps the
+/// grouping sorted by row (and insertion) within each worker, so one
+/// permutation serves both the by-worker and the by-(worker, row) views.
+/// [`AnswerMatrix::merge_delta`] does not re-run this — it splices the old
+/// permutation through the per-slot shift map instead — but both paths
+/// produce the same pure function of the payload lanes, so a delta-merged
+/// matrix and a full rebuild get bit-identical view arrays.
 fn build_worker_views(
     n_rows: usize,
     n_workers: usize,
@@ -240,7 +241,10 @@ impl AnswerMatrix {
     /// counting-sort scatter) is `O(Δ log Δ + Δ log W)` on the delta alone;
     /// the untouched payload moves by bulk `memcpy` between touched cells
     /// (`O(n)` bytes, no per-answer branching), the cell-offset shift is one
-    /// `O(R·C)` pass, and the worker views are re-derived in `O(n + W·R)`.
+    /// `O(R·C)` pass, and the worker views are **spliced** from the old
+    /// permutation through the per-slot shift map (see
+    /// [`Self::splice_worker_views`]) — delta-only per-answer work plus
+    /// bulk shifted copies — instead of being re-derived by counting sort.
     /// A full [`AnswerMatrix::build`] pays the per-answer constant on all
     /// `n` answers instead; in the steady-state refit loop (small `Δ`) the
     /// merge is the cheaper path, which `bench_refresh` records.
@@ -374,8 +378,14 @@ impl AnswerMatrix {
             log_position.extend(tail_at(dr).map(|&(_, i)| (n_old + i as usize) as u32));
         }
 
-        let (worker_order, worker_offsets, worker_row_offsets) =
-            build_worker_views(n_rows, worker_ids.len(), &row_of, &worker_of);
+        let (worker_order, worker_offsets, worker_row_offsets) = self.splice_worker_views(
+            tail,
+            &delta,
+            &cell_offsets,
+            &worker_ids,
+            old_remap.as_deref(),
+            &widx,
+        );
 
         AnswerMatrix {
             n_rows,
@@ -393,6 +403,204 @@ impl AnswerMatrix {
             worker_offsets,
             worker_row_offsets,
         }
+    }
+
+    /// Splice the old by-worker views through the per-slot shift map instead
+    /// of re-deriving them with a counting sort over the whole payload.
+    ///
+    /// The new cell offsets pin down where every old payload row lands
+    /// (`new index = old index + (new_offsets[slot] − old_offsets[slot])`,
+    /// since a cell's delta answers go *after* its old answers) and where
+    /// every delta answer lands (the top of its cell's new range). Old
+    /// `worker_order` runs are therefore still correctly ordered — within a
+    /// (worker, row) group the payload indices stay ascending under the
+    /// shift — so each group is a two-list merge of the shifted old run and
+    /// that group's delta entries.
+    ///
+    /// Cost: per-answer work (sorting by (worker, row), worker-id
+    /// resolution, merge interleaving) is confined to the delta
+    /// (`O(Δ log Δ + Δ log W)`); the untouched runs move as bulk shifted
+    /// copies (`O(n)` sequential, branch-free per answer — the same class as
+    /// the payload memcpys); the offset arithmetic is `O(W·R + R·C)`. The
+    /// previous path re-ran [`build_worker_views`], paying the counting-sort
+    /// scatter on all `n` answers.
+    ///
+    /// Returns `(worker_order, worker_offsets, worker_row_offsets)`,
+    /// bit-identical to what [`build_worker_views`] would produce for the
+    /// merged payload (the differential proptest suite asserts it).
+    #[allow(clippy::too_many_arguments)]
+    fn splice_worker_views(
+        &self,
+        tail: &[Answer],
+        delta: &[(usize, u32)],
+        new_cell_offsets: &[u32],
+        new_worker_ids: &[WorkerId],
+        old_remap: Option<&[u32]>,
+        widx: &dyn Fn(WorkerId) -> u32,
+    ) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let n_rows = self.n_rows;
+        let n_old = self.len();
+        let n_new = n_old + delta.len();
+        let n_workers = new_worker_ids.len();
+
+        // Old payload index -> new payload index: one sequential pass over
+        // the cell-major payload, adding each slot's shift to its run.
+        let mut new_index_of_old = vec![0u32; n_old];
+        for (&new_off, old) in new_cell_offsets.iter().zip(self.cell_offsets.windows(2)) {
+            let shift = new_off - old[0];
+            for k in old[0]..old[1] {
+                new_index_of_old[k as usize] = k + shift;
+            }
+        }
+
+        // Delta view entries (new worker index, row, new payload index),
+        // sorted by that triple. A cell's delta answers sit at the top of its
+        // new range, in `delta` (= cell-major, log-order ties) order.
+        let mut dv: Vec<(u32, u32, u32)> = Vec::with_capacity(delta.len());
+        {
+            let mut d = 0usize;
+            while d < delta.len() {
+                let s = delta[d].0;
+                // First delta position in slot s: old end + this slot's shift.
+                let mut idx =
+                    self.cell_offsets[s + 1] + (new_cell_offsets[s] - self.cell_offsets[s]);
+                while d < delta.len() && delta[d].0 == s {
+                    let a = &tail[delta[d].1 as usize];
+                    dv.push((widx(a.worker), a.cell.row, idx));
+                    idx += 1;
+                    d += 1;
+                }
+            }
+        }
+        dv.sort_unstable();
+
+        // New (worker, row) offsets. Steady state (no unseen worker): the
+        // old offsets shifted by the delta's running count — one memcpy plus
+        // bulk `+= constant` runs between touched keys, no counting sort.
+        // With fresh workers the key space itself changes, so fall back to
+        // re-counting through the remap.
+        let wr = match old_remap {
+            None => {
+                let mut wr = self.worker_row_offsets.clone();
+                let mut cum = 0u32;
+                let mut from = 0usize;
+                let mut d = 0usize;
+                while d < dv.len() {
+                    let key = dv[d].0 as usize * n_rows + dv[d].1 as usize;
+                    // Offsets in (previous touched key, key] gained `cum`
+                    // delta entries at strictly-smaller keys.
+                    if cum > 0 {
+                        for slot in &mut wr[from..=key] {
+                            *slot += cum;
+                        }
+                    }
+                    from = key + 1;
+                    while d < dv.len() && dv[d].0 as usize * n_rows + dv[d].1 as usize == key {
+                        cum += 1;
+                        d += 1;
+                    }
+                }
+                for slot in &mut wr[from..] {
+                    *slot += cum;
+                }
+                wr
+            }
+            Some(remap) => {
+                let mut wr = vec![0u32; n_workers * n_rows + 1];
+                for (w_old, &w_new) in remap.iter().enumerate() {
+                    let w_new = w_new as usize;
+                    for r in 0..n_rows {
+                        wr[w_new * n_rows + r + 1] += self.worker_row_offsets
+                            [w_old * n_rows + r + 1]
+                            - self.worker_row_offsets[w_old * n_rows + r];
+                    }
+                }
+                for &(w, r, _) in &dv {
+                    wr[w as usize * n_rows + r as usize + 1] += 1;
+                }
+                for s in 0..n_workers * n_rows {
+                    wr[s + 1] += wr[s];
+                }
+                wr
+            }
+        };
+
+        // New worker index -> old worker index (fresh workers have none).
+        let old_of_new: Vec<Option<usize>> = match old_remap {
+            None => (0..n_workers).map(Some).collect(),
+            Some(remap) => {
+                let mut inv = vec![None; n_workers];
+                for (old, &new) in remap.iter().enumerate() {
+                    inv[new as usize] = Some(old);
+                }
+                inv
+            }
+        };
+
+        // Splice: per worker, bulk-shift the old run; workers with delta
+        // entries merge them in row group by row group.
+        let mut order = Vec::with_capacity(n_new);
+        let mut dp = 0usize;
+        for (w_new, &w_old) in old_of_new.iter().enumerate() {
+            let d0 = dp;
+            while dp < dv.len() && dv[dp].0 == w_new as u32 {
+                dp += 1;
+            }
+            let dw = &dv[d0..dp];
+            let old_seg: &[u32] = match w_old {
+                Some(wo) => {
+                    let lo = self.worker_offsets[wo] as usize;
+                    let hi = self.worker_offsets[wo + 1] as usize;
+                    &self.worker_order[lo..hi]
+                }
+                None => &[],
+            };
+            if dw.is_empty() {
+                order.extend(old_seg.iter().map(|&k| new_index_of_old[k as usize]));
+                continue;
+            }
+            let Some(wo) = w_old else {
+                // Fresh worker: delta entries only, already in (row, index)
+                // order.
+                order.extend(dw.iter().map(|&(_, _, idx)| idx));
+                continue;
+            };
+            let wr_base = wo * n_rows;
+            let seg_start = self.worker_offsets[wo];
+            let mut pos = 0usize;
+            let mut di = 0usize;
+            while di < dw.len() {
+                let row = dw[di].1 as usize;
+                let row_start = (self.worker_row_offsets[wr_base + row] - seg_start) as usize;
+                let row_end = (self.worker_row_offsets[wr_base + row + 1] - seg_start) as usize;
+                // Rows before this delta row move untouched.
+                order.extend(old_seg[pos..row_start].iter().map(|&k| new_index_of_old[k as usize]));
+                pos = row_start;
+                // Merge this row group by new payload index.
+                let dj = {
+                    let mut j = di;
+                    while j < dw.len() && dw[j].1 as usize == row {
+                        j += 1;
+                    }
+                    j
+                };
+                for &(_, _, didx) in &dw[di..dj] {
+                    while pos < row_end && new_index_of_old[old_seg[pos] as usize] < didx {
+                        order.push(new_index_of_old[old_seg[pos] as usize]);
+                        pos += 1;
+                    }
+                    order.push(didx);
+                }
+                order.extend(old_seg[pos..row_end].iter().map(|&k| new_index_of_old[k as usize]));
+                pos = row_end;
+                di = dj;
+            }
+            order.extend(old_seg[pos..].iter().map(|&k| new_index_of_old[k as usize]));
+        }
+        debug_assert_eq!(order.len(), n_new);
+
+        let worker_offsets: Vec<u32> = (0..=n_workers).map(|w| wr[w * n_rows]).collect();
+        (order, worker_offsets, wr)
     }
 
     /// Bring a freeze up to date with its source log: delta-merges

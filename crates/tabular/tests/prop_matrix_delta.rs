@@ -101,6 +101,53 @@ proptest! {
         assert_matrices_equal(&m, &AnswerMatrix::build(&log))?;
     }
 
+    /// The worker-view splice (old `worker_order` moved through the per-slot
+    /// shift map) must reproduce the counting-sort views exactly, including
+    /// when the delta is dominated by workers the base freeze never saw
+    /// (the remap + fresh-worker interleave paths). Checked at the finest
+    /// granularity — every (worker, row) slice — on top of the whole-array
+    /// equality of `assert_matrices_equal`.
+    #[test]
+    fn spliced_worker_views_match_rebuild_under_worker_churn(
+        (rows, cols) in (1usize..6, 1usize..5),
+        n_base in 0usize..40,
+        n_delta in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut log = random_log(rows, cols, n_base, seed);
+        // Delta drawn from a mostly-disjoint worker population: ids 5..25
+        // overlap the base's 0..10 only partially, so most merges exercise
+        // the fresh-worker remap.
+        let base = AnswerMatrix::build(&log);
+        for _ in 0..n_delta {
+            let cell = CellId::new(rng.gen_range(0..rows as u32), rng.gen_range(0..cols as u32));
+            let value = if cell.col % 2 == 0 {
+                Value::Categorical(rng.gen_range(0..4))
+            } else {
+                Value::Continuous(rng.gen_range(-5.0..5.0))
+            };
+            log.push(Answer { worker: WorkerId(rng.gen_range(5..25)), cell, value });
+        }
+        let merged = base.refresh(&log);
+        let rebuilt = AnswerMatrix::build(&log);
+        for w in 0..rebuilt.num_workers() {
+            prop_assert_eq!(
+                merged.worker_answer_indices(w),
+                rebuilt.worker_answer_indices(w),
+                "worker view {}", w
+            );
+            for row in 0..rows as u32 {
+                prop_assert_eq!(
+                    merged.worker_row_answer_indices(w, row),
+                    rebuilt.worker_row_answer_indices(w, row),
+                    "worker {} row {}", w, row
+                );
+            }
+        }
+        assert_matrices_equal(&merged, &rebuilt)?;
+    }
+
     #[test]
     fn refresh_is_idempotent_and_tracks_epoch(
         (rows, cols) in (1usize..6, 1usize..5),

@@ -24,6 +24,9 @@
 //! * [`sim`] — the crowdsourcing-platform simulator and experiment runner,
 //!   with confidence-based adaptive stopping (`sim::stopping`) and crowd
 //!   entity enumeration (`sim::discovery`).
+//! * [`service`] — the multi-table HTTP service layer: a std-only JSON API
+//!   plus a background refresher per table driving the incremental
+//!   delta-merge + warm-refit pipeline (`tcrowd serve`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@
 
 pub use tcrowd_baselines as baselines;
 pub use tcrowd_core as core;
+pub use tcrowd_service as service;
 pub use tcrowd_sim as sim;
 pub use tcrowd_stat as stat;
 pub use tcrowd_tabular as tabular;
