@@ -272,6 +272,7 @@ mod tests {
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         }
     }
 
@@ -352,6 +353,7 @@ mod tests {
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let settled = raw_uncertainty(&ctx, CellId::new(0, j));
         let open = raw_uncertainty(&ctx, CellId::new(1, j));
@@ -379,6 +381,7 @@ mod tests {
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let p = CdasPolicy::seeded(1);
         assert!(p.is_terminated(&ctx, CellId::new(0, j)));
@@ -400,6 +403,7 @@ mod tests {
             inference: None,
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         assert!(!p.is_terminated(&ctx2, CellId::new(0, j)));
     }

@@ -169,6 +169,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let mut policy = QascaPolicy;
         let picks = policy.select(WorkerId(40_000), 6, &ctx);

@@ -97,6 +97,7 @@ fn batch_modes(c: &mut Criterion) {
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,
+        correlation: None,
     };
     let mut group = c.benchmark_group("ablation_batch_mode");
     group.sample_size(10);
@@ -134,6 +135,7 @@ fn policy_cost(c: &mut Criterion) {
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,
+        correlation: None,
     };
     let mut group = c.benchmark_group("ablation_policy_cost");
     group.sample_size(10);

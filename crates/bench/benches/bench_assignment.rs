@@ -29,6 +29,7 @@ fn assignment_cost(c: &mut Criterion) {
             inference: Some(&inference),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         group.bench_with_input(BenchmarkId::new("inherent", ans), &ctx, |b, ctx| {
             let mut policy = InherentGainPolicy::default();

@@ -1,0 +1,279 @@
+//! Durability-layer benchmark: what the WAL costs on the ingest path and
+//! what snapshots buy at recovery time. Records `BENCH_persistence.json`.
+//!
+//! ## Protocol
+//!
+//! **Ingest throughput** — the same answer stream is committed in
+//! group-commit batches four ways: in-memory only (no WAL — the PR-3
+//! service baseline), and through a [`tcrowd_store::Wal`] under each fsync
+//! policy (`never` / `flush` / `always`). Reported as answers/s plus the
+//! overhead factor against the memory-only baseline.
+//!
+//! **Recovery wall-clock** — for each log length, a data directory is
+//! recovered through the real service path (`TableRegistry::recover`)
+//! twice: first with the WAL alone (full replay + cold EM fit), then with
+//! the snapshot the first recovery itself persisted (tail replay + the
+//! posterior *evaluated* at the stored [`tcrowd_core::FitParams`] — one
+//! E-step, zero EM iterations). The gap is the snapshot's value.
+//!
+//! ## Gates (asserted after the JSON is written; CI re-checks the file)
+//!
+//! * recovered log ≡ ingested log, **bit-identical**, at every size/path;
+//! * snapshot-assisted recovery runs no EM and its served truth agrees
+//!   with an offline `TCrowd::infer` on that log within 1e-6 z-units.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcrowd_core::diagnostics::max_z_discrepancy;
+use tcrowd_core::TCrowd;
+use tcrowd_service::{Json, TableConfig, TableRegistry};
+use tcrowd_store::{FsyncPolicy, Store, TableMeta};
+use tcrowd_tabular::{generate_dataset, AnswerLog, Dataset, GeneratorConfig};
+
+const BATCH: usize = 16;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "--test")
+        || std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("tcrowd_bench_persistence")
+        .join(format!("{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A dataset whose answer log has ~`n` answers.
+fn dataset(n: usize) -> Dataset {
+    let (rows, cols) = if n <= 5_000 { (100, 5) } else { (1000, 10) };
+    let per_task = (n / (rows * cols)).max(1);
+    generate_dataset(
+        &GeneratorConfig {
+            rows,
+            columns: cols,
+            num_workers: 40,
+            answers_per_task: per_task,
+            ..Default::default()
+        },
+        33,
+    )
+}
+
+fn meta_for(d: &Dataset) -> TableMeta {
+    TableMeta {
+        rows: d.rows(),
+        schema: d.schema.clone(),
+        config: TableConfig {
+            refit_every: usize::MAX,
+            refresh_interval: Duration::from_secs(3600),
+            ..Default::default()
+        }
+        .to_kv(),
+    }
+}
+
+/// Commit `d`'s answers through a WAL under `policy`; returns answers/s.
+fn wal_ingest_rate(d: &Dataset, policy: FsyncPolicy, tag: &str) -> f64 {
+    let dir = fresh_dir(tag);
+    let store = Store::open(&dir, policy).expect("open store");
+    let mut wal = store.create_table("t", &meta_for(d)).expect("create table");
+    let answers = d.answers.all();
+    let t0 = Instant::now();
+    for batch in answers.chunks(BATCH) {
+        wal.append_answers(batch).expect("append");
+    }
+    wal.sync().expect("final sync");
+    let rate = answers.len() as f64 / t0.elapsed().as_secs_f64();
+    drop(wal);
+    std::fs::remove_dir_all(&dir).ok();
+    rate
+}
+
+/// The no-WAL baseline: the same batches pushed into an in-memory log.
+fn memory_ingest_rate(d: &Dataset) -> f64 {
+    let answers = d.answers.all();
+    let t0 = Instant::now();
+    let mut log = AnswerLog::new(d.rows(), d.cols());
+    for batch in answers.chunks(BATCH) {
+        for &a in batch {
+            log.push(a);
+        }
+    }
+    assert_eq!(log.len(), answers.len());
+    answers.len() as f64 / t0.elapsed().as_secs_f64()
+}
+
+struct RecoveryPoint {
+    answers: usize,
+    no_snapshot_ms: f64,
+    snapshot_ms: f64,
+    replayed_tail_with_snapshot: u64,
+    log_identical: bool,
+    z_divergence: f64,
+}
+
+/// Measure recovery at one log length, both paths, and gate-check the
+/// recovered state.
+fn recovery_point(n: usize) -> RecoveryPoint {
+    let d = dataset(n);
+    let dir = fresh_dir(&format!("recovery_{n}"));
+    let store = Arc::new(Store::open(&dir, FsyncPolicy::Flush).expect("open store"));
+    {
+        let mut wal = store.create_table("t", &meta_for(&d)).expect("create table");
+        for batch in d.answers.all().chunks(BATCH) {
+            wal.append_answers(batch).expect("append");
+        }
+        wal.sync().expect("sync");
+    }
+
+    // Path 1: WAL only — full replay + cold EM fit. Recovering through the
+    // real registry also persists a full-epoch snapshot with the fit, which
+    // is exactly what path 2 consumes.
+    let t0 = Instant::now();
+    let reg = TableRegistry::with_store(Arc::clone(&store));
+    let report = reg.recover().expect("recover (wal only)");
+    let no_snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.with_snapshot, 0, "first recovery must be snapshot-less");
+    let cold_log_ok = reg.get("t").expect("table").snapshot().log.all() == d.answers.all();
+    reg.shutdown();
+
+    // Path 2: snapshot-assisted — tail replay (empty tail) + warm-seeded EM.
+    let t0 = Instant::now();
+    let reg = TableRegistry::with_store(Arc::clone(&store));
+    let report = reg.recover().expect("recover (snapshot)");
+    let snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.with_snapshot, 1, "second recovery must use the snapshot");
+    let t = reg.get("t").expect("table");
+    let snap = t.snapshot();
+    let log_identical = cold_log_ok && snap.log.all() == d.answers.all();
+    assert_eq!(snap.result.iterations, 0, "snapshot recovery must evaluate, not re-fit");
+    // Served truth vs offline inference: the snapshot carried the cold
+    // fit's parameters, so the evaluated state agrees to float rounding.
+    let offline = TCrowd::default_full().infer(&d.schema, &snap.log);
+    let z_divergence = max_z_discrepancy(&snap.result, &offline);
+    let replayed_tail_with_snapshot = report.replayed;
+    reg.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    RecoveryPoint {
+        answers: d.answers.len(),
+        no_snapshot_ms,
+        snapshot_ms,
+        replayed_tail_with_snapshot,
+        log_identical,
+        z_divergence,
+    }
+}
+
+fn persistence(_c: &mut Criterion) {
+    let quick = quick_mode();
+
+    // ---- Ingest throughput, WAL on/off at each fsync policy.
+    let ingest_n = if quick { 2_000 } else { 20_000 };
+    let d = dataset(ingest_n);
+    let memory_rate = memory_ingest_rate(&d);
+    let mut ingest_json = vec![Json::obj([
+        ("mode", Json::from("memory-only")),
+        ("answers", Json::from(d.answers.len())),
+        ("answers_per_sec", Json::from(memory_rate)),
+        ("overhead_vs_memory", Json::from(1.0)),
+    ])];
+    println!("bench_persistence ingest: memory-only {memory_rate:.0} answers/s");
+    for policy in [FsyncPolicy::Never, FsyncPolicy::Flush, FsyncPolicy::Always] {
+        let rate = wal_ingest_rate(&d, policy, &format!("ingest_{}", policy.name()));
+        println!(
+            "bench_persistence ingest: wal fsync={} {rate:.0} answers/s ({:.1}x overhead)",
+            policy.name(),
+            memory_rate / rate
+        );
+        ingest_json.push(Json::obj([
+            ("mode", Json::from(format!("wal-fsync-{}", policy.name()))),
+            ("answers", Json::from(d.answers.len())),
+            ("answers_per_sec", Json::from(rate)),
+            ("overhead_vs_memory", Json::from(memory_rate / rate)),
+        ]));
+    }
+
+    // ---- Recovery wall-clock vs log length, with and without snapshots.
+    let sizes: &[usize] = if quick { &[2_000] } else { &[5_000, 20_000, 50_000] };
+    let points: Vec<RecoveryPoint> = sizes.iter().map(|&n| recovery_point(n)).collect();
+    for p in &points {
+        println!(
+            "bench_persistence recovery at {} answers: wal-only {:.0} ms, snapshot {:.0} ms \
+             ({:.2}x), z-divergence {:.2e}",
+            p.answers,
+            p.no_snapshot_ms,
+            p.snapshot_ms,
+            p.no_snapshot_ms / p.snapshot_ms,
+            p.z_divergence
+        );
+    }
+
+    // ---- BENCH_persistence.json (written before the asserts so the CI
+    // guard always reads this run's numbers).
+    let doc = Json::obj([
+        ("benchmark", Json::from("persistence")),
+        (
+            "protocol",
+            Json::obj([
+                ("group_commit_batch", Json::from(BATCH)),
+                ("ingest_answers", Json::from(d.answers.len())),
+                (
+                    "recovery",
+                    Json::from(
+                        "full WAL replay + cold EM vs snapshot tail replay + posterior \
+                         evaluated at the stored fit params (no EM), through \
+                         TableRegistry::recover",
+                    ),
+                ),
+                ("quick", Json::from(quick)),
+            ]),
+        ),
+        ("ingest", Json::Arr(ingest_json)),
+        (
+            "recovery",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("answers", Json::from(p.answers)),
+                            ("no_snapshot_ms", Json::from(p.no_snapshot_ms)),
+                            ("snapshot_ms", Json::from(p.snapshot_ms)),
+                            ("speedup", Json::from(p.no_snapshot_ms / p.snapshot_ms)),
+                            (
+                                "replayed_tail_with_snapshot",
+                                Json::from(p.replayed_tail_with_snapshot as f64),
+                            ),
+                            ("recovered_log_identical", Json::from(p.log_identical)),
+                            ("recovered_z_divergence", Json::from(p.z_divergence)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("recovered_state_equal_within", Json::from(1e-6)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persistence.json");
+    if let Err(e) = std::fs::write(out, format!("{doc}\n")) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    // ---- Gates.
+    for p in &points {
+        assert!(p.log_identical, "recovered log differs from ingested log at {}", p.answers);
+        assert_eq!(p.replayed_tail_with_snapshot, 0, "snapshot recovery replayed a tail");
+        assert!(
+            p.z_divergence < 1e-6,
+            "recovered served truth diverges from offline inference at {}: {:.3e}",
+            p.answers,
+            p.z_divergence
+        );
+    }
+}
+
+criterion_group!(benches, persistence);
+criterion_main!(benches);

@@ -382,6 +382,56 @@ fn service_load(c: &mut Criterion) {
         samples.max_pending
     );
 
+    // ---- Correlation-cache effect (in-process): the same structure-aware
+    // `select` on the loaded table's final snapshot, with the snapshot's
+    // cached CorrelationModel vs a per-request re-fit (the pre-cache
+    // behaviour). The p99 gap is what caching bought the assignment
+    // endpoint.
+    let (cache_cmp_p50, cache_cmp_p99) = {
+        use tcrowd_core::AssignmentContext;
+        let table = registry.get("alpha").expect("alpha table");
+        let snap = table.snapshot();
+        let k = table.cols();
+        let reps = if quick { 30 } else { 300 };
+        let mut policy =
+            tcrowd_service::make_policy("structure-aware", table.rows(), 1).expect("policy");
+        let mut lanes = [Vec::with_capacity(reps), Vec::with_capacity(reps)];
+        for i in 0..reps {
+            // Alternate cached/uncached so drift hits both lanes equally.
+            for (lane, cached) in lanes.iter_mut().zip([true, false]) {
+                let ctx = AssignmentContext {
+                    schema: &table.schema,
+                    answers: &snap.log,
+                    freeze: snap.matrix.freeze_view(),
+                    inference: Some(&snap.result),
+                    max_answers_per_cell: None,
+                    terminated: None,
+                    correlation: if cached { Some(&snap.correlation) } else { None },
+                };
+                let t0 = Instant::now();
+                let picks = policy.select(WorkerId((i % CLIENTS) as u32), k, &ctx);
+                lane.push(t0.elapsed().as_nanos() as f64 / 1e3);
+                assert!(picks.len() <= k);
+            }
+        }
+        let [mut cached, mut uncached] = lanes;
+        cached.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        uncached.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (
+            (percentile(&cached, 0.50), percentile(&uncached, 0.50)),
+            (percentile(&cached, 0.99), percentile(&uncached, 0.99)),
+        )
+    };
+    println!(
+        "bench_service correlation cache: select p99 {:.0} µs cached vs {:.0} µs re-fit \
+         ({:.1}x), p50 {:.0} vs {:.0} µs",
+        cache_cmp_p99.0,
+        cache_cmp_p99.1,
+        cache_cmp_p99.1 / cache_cmp_p99.0.max(1e-9),
+        cache_cmp_p50.0,
+        cache_cmp_p50.1,
+    );
+
     // ---- BENCH_service.json
     let tables_json: Vec<Json> = per_table
         .iter()
@@ -420,6 +470,19 @@ fn service_load(c: &mut Criterion) {
         ("ingest_latency_us_p99", Json::from(post_p99)),
         ("max_refresh_lag_answers", Json::from(samples.max_pending)),
         ("offline_estimates_equal_within", Json::from(1e-6)),
+        (
+            // The snapshot-cached CorrelationModel vs the pre-cache
+            // fit-per-request behaviour, measured in-process on the loaded
+            // table (ROADMAP open item: cut the assignment p99).
+            "correlation_cache",
+            Json::obj([
+                ("select_us_p50_cached", Json::from(cache_cmp_p50.0)),
+                ("select_us_p50_refit", Json::from(cache_cmp_p50.1)),
+                ("select_us_p99_cached", Json::from(cache_cmp_p99.0)),
+                ("select_us_p99_refit", Json::from(cache_cmp_p99.1)),
+                ("p99_speedup", Json::from(cache_cmp_p99.1 / cache_cmp_p99.0.max(1e-9))),
+            ]),
+        ),
         ("tables", Json::Arr(tables_json)),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");

@@ -33,6 +33,7 @@ fn main() {
             inference: Some(&inference),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let mut t_inherent = 0.0;
         let mut t_sa = 0.0;

@@ -30,6 +30,17 @@ use tcrowd_tabular::io;
 use tcrowd_tabular::{evaluate, generate_dataset, GeneratorConfig, WorkerId};
 
 fn main() {
+    // `tcrowd store <sub> …` nests a second positional (the store
+    // subcommand); hand the remainder to its own parser before the flat
+    // grammar below rejects it.
+    if std::env::args().nth(1).as_deref() == Some("store") {
+        let result = Args::parse(std::env::args().skip(2)).and_then(|sub| cmd_store(&sub));
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
@@ -81,8 +92,16 @@ USAGE:
   tcrowd compare  [--rows N] [--cols M] [--budget B] [--seed S] [--out FILE]
                   # runs every policy at equal budget, one series per policy
   tcrowd serve    [--addr HOST:PORT] [--threads T] [--demo]
+                  [--data-dir DIR] [--fsync always|flush|never]
                   # multi-table HTTP service (tcrowd-service crate); --demo
-                  # pre-creates a generated 40x5 table named 'demo'";
+                  # pre-creates a generated 40x5 table named 'demo'.
+                  # --data-dir makes tables durable: per-table WAL + snapshots
+                  # (tcrowd-store), recover-on-boot after crash or restart
+  tcrowd store    <inspect|verify|compact> --data-dir DIR [--table ID]
+                  # offline durability tooling: inspect prints per-table WAL/
+                  # snapshot state, verify audits checksums + snapshot/WAL
+                  # consistency (exit 1 on hard errors), compact defragments
+                  # the WAL and rewrites a fresh full-epoch snapshot";
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let dir = Path::new(args.require("out-dir")?);
@@ -201,6 +220,7 @@ fn cmd_assign(args: &Args) -> Result<(), String> {
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,
+        correlation: None,
     };
     let mut inherent = InherentGainPolicy::default();
     let mut sa = StructureAwarePolicy::default();
@@ -409,9 +429,31 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8077");
     let threads: usize = args.get_parsed("threads", 8usize)?;
-    let (registry, server) =
-        tcrowd_service::start(addr, threads).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    if args.has_switch("demo") {
+    let (registry, server) = match args.get("data-dir") {
+        None => {
+            tcrowd_service::start(addr, threads).map_err(|e| format!("cannot bind {addr}: {e}"))?
+        }
+        Some(dir) => {
+            let fsync = tcrowd_store::FsyncPolicy::parse(args.get("fsync").unwrap_or("flush"))?;
+            let store = std::sync::Arc::new(
+                tcrowd_store::Store::open(dir, fsync)
+                    .map_err(|e| format!("cannot open data dir {dir}: {e}"))?,
+            );
+            let (registry, server, report) = tcrowd_service::start_durable(addr, threads, store)
+                .map_err(|e| format!("cannot start durable service on {addr}: {e}"))?;
+            println!(
+                "durable store at {dir} (fsync={fsync}): recovered {} table(s), {} answers \
+                 ({} snapshot-assisted, {} replayed from WAL tails, {} torn tail(s) truncated)",
+                report.tables,
+                report.answers,
+                report.with_snapshot,
+                report.replayed,
+                report.torn_tails
+            );
+            (registry, server)
+        }
+    };
+    if args.has_switch("demo") && registry.get("demo").is_none() {
         let d = generate_dataset(
             &GeneratorConfig { rows: 40, columns: 5, num_workers: 25, ..Default::default() },
             1,
@@ -432,6 +474,95 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // Serve until killed; the worker pool does all the work.
     loop {
         std::thread::park();
+    }
+}
+
+fn cmd_store(args: &Args) -> Result<(), String> {
+    let dir = args.require("data-dir")?;
+    // The fsync policy only matters for appends; the offline tools never
+    // append, but compaction rewrites files (always fsynced internally).
+    let store = tcrowd_store::Store::open(dir, tcrowd_store::FsyncPolicy::Flush)
+        .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
+    let ids = match args.get("table") {
+        Some(id) => vec![id.to_string()],
+        None => store.table_ids().map_err(|e| e.to_string())?,
+    };
+    if ids.is_empty() {
+        println!("no tables in {dir}");
+        return Ok(());
+    }
+    match args.command.as_str() {
+        "inspect" => {
+            println!("table\tanswers\trecords\twal_bytes\tsnapshot_epoch\tfit\ttorn\tdeleted");
+            for id in &ids {
+                let v = store.verify_table(id).map_err(|e| format!("{id}: {e}"))?;
+                let (snap_epoch, fit) = match &v.snapshot {
+                    Some(s) => (s.epoch.to_string(), if s.has_fit { "yes" } else { "no" }),
+                    None => ("-".to_string(), "-"),
+                };
+                println!(
+                    "{id}\t{}\t{}\t{}\t{snap_epoch}\t{fit}\t{}\t{}",
+                    v.answers,
+                    v.records,
+                    v.wal_bytes,
+                    v.torn.as_ref().map(|t| format!("@{}", t.at)).unwrap_or_else(|| "-".into()),
+                    if v.deleted { "yes" } else { "no" },
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let mut failures = 0usize;
+            for id in &ids {
+                let v = store.verify_table(id).map_err(|e| format!("{id}: {e}"))?;
+                let status = if v.errors.is_empty() { "ok" } else { "FAIL" };
+                println!(
+                    "{id}: {status} — {} answers in {} records ({} bytes)",
+                    v.answers, v.records, v.wal_bytes
+                );
+                if let Some(t) = &v.torn {
+                    println!(
+                        "  torn tail at byte {} ({} bytes dropped): {} — recovery will truncate",
+                        t.at, t.dropped_bytes, t.reason
+                    );
+                }
+                if let Some(s) = &v.snapshot {
+                    println!(
+                        "  snapshot: epoch {} at wal offset {} ({}consistent, fit {})",
+                        s.epoch,
+                        s.wal_offset,
+                        if s.consistent { "" } else { "IN" },
+                        if s.has_fit { "present" } else { "absent" }
+                    );
+                }
+                for e in &v.errors {
+                    println!("  error: {e}");
+                }
+                failures += usize::from(!v.errors.is_empty());
+            }
+            if failures > 0 {
+                return Err(format!("{failures} table(s) failed verification"));
+            }
+            Ok(())
+        }
+        "compact" => {
+            for id in &ids {
+                let r = store.compact_table(id).map_err(|e| format!("{id}: {e}"))?;
+                println!(
+                    "{id}: {} answers, {} records -> {}, {} -> {} wal bytes, fit {}",
+                    r.answers,
+                    r.records_before,
+                    r.records_after,
+                    r.wal_bytes_before,
+                    r.wal_bytes_after,
+                    if r.fit_preserved { "preserved" } else { "absent" }
+                );
+            }
+            Ok(())
+        }
+        other => {
+            Err(format!("unknown store subcommand '{other}' (expected inspect|verify|compact)"))
+        }
     }
 }
 

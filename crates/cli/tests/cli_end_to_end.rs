@@ -305,3 +305,188 @@ fn serve_starts_and_answers_http() {
     child.kill().expect("kill serve");
     let _ = child.wait();
 }
+
+/// Spawn `tcrowd serve` with the given extra args and return (child, addr).
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve exited before binding").expect("read stdout");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            break rest.trim().to_string();
+        }
+    };
+    (child, addr)
+}
+
+/// One `Connection: close` HTTP round-trip against `addr`.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// The kill-and-restart durability smoke (CI: zero acknowledged answers
+/// lost): start `tcrowd serve --data-dir`, create a table and ingest over
+/// HTTP, SIGKILL the process mid-flight, restart it on the same directory,
+/// and require every acknowledged answer (and only those) to be served.
+#[test]
+fn serve_data_dir_survives_sigkill_with_zero_acked_loss() {
+    let dir = workdir("sigkill");
+    let data_dir = dir.join("data");
+    let data_flag = data_dir.to_str().unwrap().to_string();
+
+    let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
+    let create = http(
+        &addr,
+        "POST",
+        "/tables",
+        r#"{"id":"t","rows":6,"refit_every":1000000,"refresh_interval_ms":60000,
+            "schema":{"columns":[
+              {"name":"kind","type":"categorical","labels":["a","b","c"]},
+              {"name":"size","type":"continuous","min":0,"max":10}]}}"#,
+    );
+    assert!(create.starts_with("HTTP/1.1 201"), "{create}");
+
+    // Ingest batches; count only the acknowledged ones.
+    let mut acked: Vec<(u32, u32, u32)> = Vec::new(); // (worker, row, col) — col 0 label index too
+    for batch in 0..6u32 {
+        let answers: Vec<String> = (0..4u32)
+            .map(|i| {
+                let (w, row) = (batch, (batch + i) % 6);
+                if i % 2 == 0 {
+                    format!(r#"{{"worker":{w},"row":{row},"col":0,"value":{}}}"#, (batch + i) % 3)
+                } else {
+                    format!(r#"{{"worker":{w},"row":{row},"col":1,"value":{}.5}}"#, i)
+                }
+            })
+            .collect();
+        let reply = http(
+            &addr,
+            "POST",
+            "/tables/t/answers",
+            &format!(r#"{{"answers":[{}]}}"#, answers.join(",")),
+        );
+        assert!(reply.contains("\"accepted\":4"), "{reply}");
+        for i in 0..4u32 {
+            acked.push((batch, (batch + i) % 6, i % 2));
+        }
+    }
+    let n_acked = acked.len();
+
+    // SIGKILL — no shutdown hooks, no flushes beyond what ingest already did.
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+
+    // Restart on the same data dir: recovery must resurrect the table.
+    let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
+    let tables = http(&addr, "GET", "/tables", "");
+    assert!(tables.contains("\"t\""), "{tables}");
+    let served = http(&addr, "GET", "/tables/t/answers", "");
+    assert!(
+        served.contains(&format!("\"epoch\":{n_acked}")),
+        "expected all {n_acked} acknowledged answers after recovery: {served}"
+    );
+    // Spot-check content and that the inference endpoints serve the
+    // recovered state.
+    assert!(served.contains("\"worker\":5"), "{served}");
+    let stats = http(&addr, "GET", "/tables/t/stats", "");
+    assert!(stats.contains("\"durable\":true"), "{stats}");
+    assert!(stats.contains(&format!("\"epoch\":{n_acked}")), "{stats}");
+    let truth = http(&addr, "GET", "/tables/t/truth", "");
+    assert!(truth.starts_with("HTTP/1.1 200"), "{truth}");
+    // And ingestion still works post-recovery.
+    let reply =
+        http(&addr, "POST", "/tables/t/answers", r#"{"worker":9,"row":0,"col":0,"value":1}"#);
+    assert!(reply.contains("\"accepted\":1"), "{reply}");
+
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `tcrowd store inspect|verify|compact` against a directory a served
+/// session left behind.
+#[test]
+fn store_subcommands_inspect_verify_compact() {
+    let dir = workdir("storecli");
+    let data_dir = dir.join("data");
+    let data_flag = data_dir.to_str().unwrap().to_string();
+
+    let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
+    let create = http(
+        &addr,
+        "POST",
+        "/tables",
+        r#"{"id":"t","rows":4,"schema":{"columns":[
+            {"name":"kind","type":"categorical","labels":["a","b"]}]}}"#,
+    );
+    assert!(create.starts_with("HTTP/1.1 201"), "{create}");
+    for i in 0..5u32 {
+        let reply = http(
+            &addr,
+            "POST",
+            "/tables/t/answers",
+            &format!(r#"{{"worker":{i},"row":{},"col":0,"value":{}}}"#, i % 4, i % 2),
+        );
+        assert!(reply.contains("\"accepted\":1"), "{reply}");
+    }
+    // Force a refresh so a snapshot exists, then kill.
+    let refresh = http(&addr, "POST", "/tables/t/refresh", "");
+    assert!(refresh.starts_with("HTTP/1.1 200"), "{refresh}");
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+
+    let run = |sub: &str| -> (bool, String) {
+        let out = bin()
+            .args(["store", sub, "--data-dir", &data_flag])
+            .output()
+            .expect("run store subcommand");
+        (
+            out.status.success(),
+            format!(
+                "{}{}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        )
+    };
+    let (ok, out) = run("inspect");
+    assert!(ok, "{out}");
+    assert!(out.contains("t\t5"), "{out}");
+    let (ok, out) = run("verify");
+    assert!(ok, "{out}");
+    assert!(out.contains("t: ok"), "{out}");
+    assert!(out.contains("snapshot: epoch 5"), "{out}");
+    let (ok, out) = run("compact");
+    assert!(ok, "{out}");
+    assert!(out.contains("5 answers"), "{out}");
+    // Still verifiable and recoverable after compaction.
+    let (ok, out) = run("verify");
+    assert!(ok, "{out}");
+    assert!(out.contains("t: ok"), "{out}");
+    let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
+    let served = http(&addr, "GET", "/tables/t/answers", "");
+    assert!(served.contains("\"epoch\":5"), "{served}");
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}

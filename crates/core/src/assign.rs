@@ -47,6 +47,13 @@ pub struct AssignmentContext<'a> {
     /// Cells terminated by an adaptive stopping rule (confidence reached);
     /// they are excluded from assignment. `None` means nothing terminated.
     pub terminated: Option<&'a std::collections::HashSet<CellId>>,
+    /// A pre-fitted correlation model of [`Self::freeze`] +
+    /// [`Self::inference`]. The model is a pure function of the two, so
+    /// callers serving many `select` calls per published state (the service
+    /// layer caches one on each snapshot) fit it once here instead of
+    /// [`StructureAwarePolicy`] re-fitting per request. `None` keeps the
+    /// fit-per-select behaviour.
+    pub correlation: Option<&'a CorrelationModel>,
 }
 
 impl<'a> AssignmentContext<'a> {
@@ -316,7 +323,14 @@ impl AssignmentPolicy for StructureAwarePolicy {
         // The caller's shared freeze serves the correlation fit and the
         // row-error scan (by-(worker, row) CSR view) — no per-HIT rebuild.
         let matrix = ctx.matrix();
-        let model = CorrelationModel::fit_matrix(ctx.schema, matrix, inference);
+        let fitted_here;
+        let model = match ctx.correlation {
+            Some(cached) => cached,
+            None => {
+                fitted_here = CorrelationModel::fit_matrix(ctx.schema, matrix, inference);
+                &fitted_here
+            }
+        };
         let candidates = ctx.candidates(worker);
         // Pre-compute the worker's observed errors per row (L^u_i of Eq. 7).
         let mut row_errors: std::collections::HashMap<u32, Vec<(usize, ErrorObservation)>> =
@@ -336,7 +350,7 @@ impl AssignmentPolicy for StructureAwarePolicy {
             .iter()
             .map(|&c| {
                 let observed = row_errors.get(&c.row).unwrap_or(&empty);
-                self.structure_gain(inference, &model, worker, c, observed)
+                self.structure_gain(inference, model, worker, c, observed)
             })
             .collect();
         top_k_by_gain(candidates, gains, k)
@@ -414,6 +428,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let w = d.answers.workers().next().unwrap();
         let cands = ctx.candidates(w);
@@ -437,6 +452,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let w = WorkerId(9_999); // fresh worker
         for policy in [
@@ -463,6 +479,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let w = WorkerId(9_999);
         let mut a = InherentGainPolicy::default();
@@ -494,6 +511,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let mut policy = InherentGainPolicy::default();
         let picks = policy.select(WorkerId(9_999), 10, &ctx);
@@ -513,6 +531,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let mut policy = StructureAwarePolicy::default();
         let picks = policy.select(WorkerId(77_777), 4, &ctx);

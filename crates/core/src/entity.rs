@@ -597,6 +597,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
         let mut policy = EntityAwarePolicy::new(RowGrouping::Known(labels));
@@ -621,6 +622,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let mut policy = EntityAwarePolicy::new(RowGrouping::Learned { groups: 2, seed: 1 })
             .without_attribute_correlation();

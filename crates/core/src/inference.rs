@@ -134,14 +134,64 @@ impl TCrowd {
         matrix: &AnswerMatrix,
         prev: &InferenceResult,
     ) -> InferenceResult {
-        self.fit_matrix(schema, matrix, Some(prev))
+        self.fit_matrix(schema, matrix, Some(&FitParams::of(prev)))
+    }
+
+    /// Run truth inference warm-started from **detached fit parameters** —
+    /// the persistence-friendly form of [`Self::infer_matrix_warm`].
+    ///
+    /// A [`FitParams`] carries exactly the state a warm restart consumes
+    /// (raw-gauge `α, β, φ` plus the renormalisation shift), so a seed can be
+    /// serialized with a snapshot and replayed after a crash without keeping
+    /// the full [`InferenceResult`] (posteriors, traces) alive. Seeds with a
+    /// mismatched table shape or inconsistent lane lengths fall back to the
+    /// cold start, same as [`Self::infer_matrix_warm`].
+    pub fn infer_matrix_seeded(
+        &self,
+        schema: &Schema,
+        matrix: &AnswerMatrix,
+        seed: &FitParams,
+    ) -> InferenceResult {
+        self.fit_matrix(schema, matrix, Some(seed))
+    }
+
+    /// Evaluate the model at **fixed parameters**: one E-step at `seed`'s
+    /// `α, β, φ` (mapped through the stored gauge shift), no EM iterations.
+    ///
+    /// Because the posteriors are a pure function of `(answers, parameters)`
+    /// and the gauge round-trip perturbs the parameters only at float
+    /// rounding, evaluating a converged fit's own [`FitParams`] on the same
+    /// answers reproduces that fit's posteriors to ~1e-12 — this is how
+    /// crash recovery republishes the exact pre-crash served state from a
+    /// snapshot without re-running EM. The result is marked `converged`
+    /// (the parameters are held fixed by construction); `iterations` is 0.
+    ///
+    /// A `seed` whose shape does not match the matrix falls back to a plain
+    /// cold *fit* (the evaluation would be meaningless), same as the other
+    /// seeded entry points.
+    pub fn evaluate_seeded(
+        &self,
+        schema: &Schema,
+        matrix: &AnswerMatrix,
+        seed: &FitParams,
+    ) -> InferenceResult {
+        if !seed.shape_matches(matrix.rows(), matrix.cols()) {
+            return self.infer_matrix(schema, matrix);
+        }
+        let eval = TCrowd::new(TCrowdOptions {
+            em: EmOptions { max_iters: 0, ..self.opts.em },
+            ..self.opts
+        });
+        let mut result = eval.fit_matrix(schema, matrix, Some(seed));
+        result.converged = true;
+        result
     }
 
     fn fit_matrix(
         &self,
         schema: &Schema,
         matrix: &AnswerMatrix,
-        prev: Option<&InferenceResult>,
+        prev: Option<&FitParams>,
     ) -> InferenceResult {
         assert_eq!(schema.num_columns(), matrix.cols(), "schema/answer-matrix column mismatch");
         let n_rows = matrix.rows();
@@ -251,7 +301,7 @@ impl TCrowd {
         // the current answers either way, so the quality link stays
         // calibrated to the data actually being fitted.
         let warm = prev.and_then(|p| {
-            if p.rows() != n_rows || p.cols() != n_cols {
+            if !p.shape_matches(n_rows, n_cols) {
                 return None;
             }
             // Seed in the *raw* gauge the M-step rests in: undo the
@@ -289,6 +339,73 @@ impl TCrowd {
             converged: state.converged,
             renorm_shift: state.renorm_shift,
         }
+    }
+}
+
+/// The detached warm-start seed of an EM fit: exactly the parameters
+/// [`TCrowd::infer_matrix_seeded`] consumes, nothing else.
+///
+/// This is the piece of an [`InferenceResult`] worth persisting: posteriors
+/// and traces are pure functions of `(answers, parameters)` and are
+/// recomputed by the restarted EM anyway, while `α, β, φ` and the gauge
+/// shift let the restart begin at the previous optimum. The `tcrowd-store`
+/// snapshot format serializes this struct field-for-field.
+///
+/// Invariants (checked by [`FitParams::shape_matches`] / the seeding path,
+/// which falls back to a cold start when violated): `alpha.len() == rows`,
+/// `beta.len() == cols`, `workers.len() == phi.len()`. `workers` is in
+/// fitting order — ascending id for every fit this crate produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitParams {
+    /// Table height the fit was produced on.
+    pub rows: usize,
+    /// Table width the fit was produced on.
+    pub cols: usize,
+    /// Fitted row difficulties `α_i` (renormalised gauge, geometric mean 1).
+    pub alpha: Vec<f64>,
+    /// Fitted column difficulties `β_j` (renormalised gauge).
+    pub beta: Vec<f64>,
+    /// Workers in fitting order (parallel to [`Self::phi`]).
+    pub workers: Vec<WorkerId>,
+    /// Fitted worker variances `φ_u` (z-space).
+    pub phi: Vec<f64>,
+    /// The gauge shift the identifiability polish applied (mean `ln α`,
+    /// mean `ln β`) — lets the restart seed in the raw gauge.
+    pub renorm_shift: (f64, f64),
+}
+
+impl FitParams {
+    /// Extract the warm-start seed of a fit.
+    pub fn of(result: &InferenceResult) -> FitParams {
+        FitParams {
+            rows: result.n_rows,
+            cols: result.n_cols,
+            alpha: result.alpha.clone(),
+            beta: result.beta.clone(),
+            workers: result.workers.clone(),
+            phi: result.phi.clone(),
+            renorm_shift: result.renorm_shift,
+        }
+    }
+
+    /// Whether this seed can warm-start a fit of a `rows × cols` table —
+    /// shape match plus internally consistent lane lengths.
+    pub fn shape_matches(&self, rows: usize, cols: usize) -> bool {
+        self.rows == rows
+            && self.cols == cols
+            && self.alpha.len() == rows
+            && self.beta.len() == cols
+            && self.workers.len() == self.phi.len()
+    }
+
+    /// `φ_u` of a worker, if present in the seed. Binary search when the
+    /// worker lane is in ascending id order (always, for seeds produced by
+    /// this crate); a linear scan covers hand-built seeds.
+    pub fn phi_of(&self, worker: WorkerId) -> Option<f64> {
+        if let Ok(i) = self.workers.binary_search(&worker) {
+            return Some(self.phi[i]);
+        }
+        self.workers.iter().position(|&w| w == worker).map(|i| self.phi[i])
     }
 }
 
@@ -599,5 +716,95 @@ mod tests {
         assert_eq!(r.workers.len(), 0);
         let est = r.estimates();
         assert_eq!(est.len(), d.rows());
+    }
+
+    #[test]
+    fn seeded_restart_equals_warm_restart_exactly() {
+        // `infer_matrix_seeded(FitParams::of(prev))` and
+        // `infer_matrix_warm(prev)` must be the *same computation* — the
+        // detached seed carries everything the warm path reads. Differential
+        // check over the full z-space posterior plus every parameter lane.
+        let d = small_dataset(6);
+        let model = TCrowd::default_full();
+        let half = {
+            let mut log = AnswerLog::new(d.rows(), d.cols());
+            for a in &d.answers.all()[..d.answers.len() / 2] {
+                log.push(*a);
+            }
+            log
+        };
+        let prev = model.infer(&d.schema, &half);
+        let matrix = d.answers.to_matrix();
+        let warm = model.infer_matrix_warm(&d.schema, &matrix, &prev);
+        let seeded = model.infer_matrix_seeded(&d.schema, &matrix, &FitParams::of(&prev));
+        assert_eq!(warm.alpha, seeded.alpha);
+        assert_eq!(warm.beta, seeded.beta);
+        assert_eq!(warm.phi, seeded.phi);
+        assert_eq!(warm.iterations, seeded.iterations);
+        assert_eq!(warm.estimates(), seeded.estimates());
+        assert_eq!(crate::diagnostics::max_z_discrepancy(&warm, &seeded), 0.0);
+        // Round-tripping the seed through itself is lossless.
+        assert_eq!(FitParams::of(&warm), FitParams::of(&seeded));
+        // A shape-mismatched seed falls back to the cold start.
+        let bad = FitParams { rows: 1, ..FitParams::of(&prev) };
+        let cold = model.infer_matrix(&d.schema, &matrix);
+        let fallback = model.infer_matrix_seeded(&d.schema, &matrix, &bad);
+        assert_eq!(cold.estimates(), fallback.estimates());
+        assert_eq!(cold.iterations, fallback.iterations);
+    }
+
+    #[test]
+    fn evaluating_a_fits_own_params_reproduces_it() {
+        // The crash-recovery identity: E-step at a converged fit's stored
+        // parameters ≡ that fit's published posteriors (up to the float
+        // rounding of the gauge round-trip) — no EM iterations needed.
+        let d = small_dataset(8);
+        let model = TCrowd::default_full();
+        let fit = model.infer(&d.schema, &d.answers);
+        let matrix = d.answers.to_matrix();
+        let eval = model.evaluate_seeded(&d.schema, &matrix, &FitParams::of(&fit));
+        assert_eq!(eval.iterations, 0, "evaluation must not iterate EM");
+        assert!(eval.converged);
+        let gap = crate::diagnostics::max_z_discrepancy(&eval, &fit);
+        assert!(gap < 1e-9, "evaluated posteriors drifted from the fit: {gap:.3e}");
+        // Categorical estimates match exactly; continuous ones to float
+        // rounding (the gauge round-trip perturbs the last ulp).
+        for (er, fr) in eval.estimates().iter().zip(&fit.estimates()) {
+            for (e, f) in er.iter().zip(fr) {
+                match (e, f) {
+                    (Value::Categorical(a), Value::Categorical(b)) => assert_eq!(a, b),
+                    (Value::Continuous(a), Value::Continuous(b)) => {
+                        assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}")
+                    }
+                    _ => panic!("estimate variant flipped"),
+                }
+            }
+        }
+        // Parameters survive the gauge round-trip to near-bit precision.
+        for (a, b) in eval.phi.iter().zip(&fit.phi) {
+            assert!((a - b).abs() <= 1e-12 * b.abs(), "{a} vs {b}");
+        }
+        // Shape mismatch falls back to a cold fit, not a bogus evaluation.
+        let bad = FitParams { rows: 1, ..FitParams::of(&fit) };
+        let fallback = model.evaluate_seeded(&d.schema, &matrix, &bad);
+        assert!(fallback.iterations > 0);
+    }
+
+    #[test]
+    fn fit_params_phi_lookup_handles_sorted_and_unsorted_lanes() {
+        let d = small_dataset(7);
+        let r = TCrowd::default_full().infer(&d.schema, &d.answers);
+        let p = FitParams::of(&r);
+        for &w in &p.workers {
+            assert_eq!(p.phi_of(w), r.phi_of(w));
+        }
+        assert_eq!(p.phi_of(WorkerId(u32::MAX)), None);
+        // Reverse the lanes: the linear fallback must still find everyone.
+        let mut rev = p.clone();
+        rev.workers.reverse();
+        rev.phi.reverse();
+        for &w in &rev.workers {
+            assert_eq!(rev.phi_of(w), r.phi_of(w));
+        }
     }
 }

@@ -66,6 +66,6 @@ pub use correlation::{CorrelationModel, ErrorObservation, PredictedError};
 pub use em::EmOptions;
 pub use entity::{EntityAwarePolicy, EntityModel, EntityModelOptions, RowGrouping};
 pub use gain::GainEstimator;
-pub use inference::{ColumnFilter, EpsilonSpec, InferenceResult, TCrowd, TCrowdOptions};
+pub use inference::{ColumnFilter, EpsilonSpec, FitParams, InferenceResult, TCrowd, TCrowdOptions};
 pub use online::OnlineTCrowd;
 pub use truth::TruthDist;

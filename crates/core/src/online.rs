@@ -55,6 +55,45 @@ impl OnlineTCrowd {
         Self::new(model, schema, answers)
     }
 
+    /// Adopt an already-computed fit of `answers` instead of running EM —
+    /// the crash-recovery constructor: the store layer replays the WAL into
+    /// `answers`, produces `result` (seeded from the snapshot's
+    /// [`crate::FitParams`] when one survived, cold otherwise) and resumes
+    /// streaming from there.
+    ///
+    /// The caller supplies the freeze it already built to produce `result`
+    /// (recovery runs the seeded fit on a freeze first — rebuilding it here
+    /// would double the `O(n)` freeze cost on the boot path) and asserts
+    /// that both are derived *from this log*; shape and staleness are
+    /// checked, the provenance cannot be.
+    pub fn from_fit(
+        model: TCrowd,
+        schema: Schema,
+        answers: AnswerLog,
+        matrix: AnswerMatrix,
+        result: InferenceResult,
+    ) -> Self {
+        assert_eq!(
+            (result.rows(), result.cols()),
+            (answers.rows(), answers.cols()),
+            "adopted fit has a different table shape than the answer log"
+        );
+        assert!(
+            !matrix.is_stale(&answers) && matrix.rows() == answers.rows(),
+            "adopted freeze does not cover the answer log"
+        );
+        OnlineTCrowd {
+            model,
+            schema,
+            answers,
+            matrix,
+            result,
+            since_refit: 0,
+            refit_every: 64,
+            warm_refits: false,
+        }
+    }
+
     /// Ingest one answer: `O(1)` incremental posterior update, with a full
     /// EM re-fit every [`Self::refit_every`] answers. Returns `true` if this
     /// answer triggered a re-fit.

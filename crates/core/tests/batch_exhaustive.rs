@@ -53,6 +53,7 @@ fn top_k_equals_exhaustive_optimum() {
         inference: Some(&inference),
         max_answers_per_cell: None,
         terminated: None,
+        correlation: None,
     };
     let worker = WorkerId(777);
     let candidates = ctx.candidates(worker);

@@ -336,6 +336,9 @@ fn post_answers(table: &Arc<TableState>, req: &Request) -> Response {
             ("ingested_total", Json::from(table.ingested() as f64)),
             ("pending", Json::from(table.pending())),
         ])),
+        // A WAL failure is the server's problem, not the client's — and the
+        // batch was NOT acknowledged, so the client may retry verbatim.
+        Err(e) if e.starts_with("storage:") => err_json(503, e),
         Err(e) => err_json(400, e),
     }
 }
@@ -410,6 +413,14 @@ fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
         ("em_iterations", Json::from(snap.result.iterations)),
         ("em_converged", Json::from(snap.result.converged)),
         ("uptime_ms", Json::from(table.age_ms() as f64)),
+        ("durable", Json::from(table.durable())),
+        (
+            "store_snapshot_epoch",
+            match table.last_store_snapshot_epoch() {
+                Some(e) => Json::from(e as f64),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 

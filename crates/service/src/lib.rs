@@ -34,6 +34,20 @@
 //! [`json`] is a ~300-line JSON tree/parser, [`http`] a
 //! `TcpListener` + worker-thread-pool front end with keep-alive.
 //!
+//! ## Durability
+//!
+//! A registry built over a [`tcrowd_store::Store`] ([`start_durable`] /
+//! [`TableRegistry::with_store`]) makes every table persistent: ingest
+//! batches are group-committed to a per-table CRC-framed write-ahead log
+//! *before* they are acknowledged, each published snapshot is followed by a
+//! store snapshot `(log@epoch, fit parameters, WAL offset)`, and boot
+//! recovers every table — torn WAL tails truncated at the first bad
+//! checksum, the pre-crash served state republished without re-running EM
+//! when the snapshot covers the log (see [`table::TableState::recover`]).
+//! `GET …/stats` reports `durable` and `store_snapshot_epoch`; a WAL
+//! failure turns `POST …/answers` into a 503 with nothing ingested, so
+//! clients may retry verbatim.
+//!
 //! ## Endpoints
 //!
 //! | Method & path | Meaning |
@@ -95,8 +109,8 @@ pub mod table;
 pub use http::{serve, Handler, Request, Response, ServerHandle};
 pub use json::Json;
 pub use policy::{make_policy, POLICY_NAMES};
-pub use registry::TableRegistry;
-pub use table::{Snapshot, TableConfig, TableState};
+pub use registry::{RecoveryReport, TableRegistry};
+pub use table::{Durability, Snapshot, TableConfig, TableState};
 
 use std::sync::Arc;
 
@@ -105,7 +119,31 @@ use std::sync::Arc;
 /// the registry (for in-process orchestration and shutdown) and the running
 /// server handle.
 pub fn start(addr: &str, threads: usize) -> std::io::Result<(Arc<TableRegistry>, ServerHandle)> {
-    let registry = Arc::new(TableRegistry::new());
+    serve_registry(Arc::new(TableRegistry::new()), addr, threads)
+}
+
+/// Start the **durable** service: tables persist into `store` (WAL before
+/// ack, snapshot after publish) and every table already in the store is
+/// recovered before the listener accepts its first request — no window
+/// where a client can observe a booted-but-amnesiac service. Returns the
+/// recovery report alongside the registry and server handle.
+pub fn start_durable(
+    addr: &str,
+    threads: usize,
+    store: Arc<tcrowd_store::Store>,
+) -> std::io::Result<(Arc<TableRegistry>, ServerHandle, RecoveryReport)> {
+    let registry = Arc::new(TableRegistry::with_store(store));
+    let report =
+        registry.recover().map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let (registry, handle) = serve_registry(registry, addr, threads)?;
+    Ok((registry, handle, report))
+}
+
+fn serve_registry(
+    registry: Arc<TableRegistry>,
+    addr: &str,
+    threads: usize,
+) -> std::io::Result<(Arc<TableRegistry>, ServerHandle)> {
     let handler_registry = Arc::clone(&registry);
     let handle = http::serve(
         addr,

@@ -1,18 +1,39 @@
 //! The multi-table registry: the service hosts many independent tables,
 //! each with its own schema, policy configuration, ingest state and
-//! refresher thread.
+//! refresher thread — and, when the registry is backed by a
+//! [`tcrowd_store::Store`], its own WAL + snapshot directory with
+//! recover-on-boot.
 
-use crate::table::{TableConfig, TableState};
+use crate::table::{Durability, TableConfig, TableState};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
+use tcrowd_store::{Store, TableMeta};
 use tcrowd_tabular::Schema;
+
+/// What [`TableRegistry::recover`] found on boot.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Tables brought back to life.
+    pub tables: usize,
+    /// Answers reconstructed across all tables.
+    pub answers: u64,
+    /// Tables whose recovery was snapshot-assisted (WAL-tail replay +
+    /// warm-started EM).
+    pub with_snapshot: usize,
+    /// Answers replayed from WAL tails (everything, for tables without a
+    /// usable snapshot).
+    pub replayed: u64,
+    /// Tables whose WAL had a torn tail truncated.
+    pub torn_tails: usize,
+}
 
 /// All hosted tables. Cheap to share (`Arc`); the HTTP handler holds one.
 pub struct TableRegistry {
     tables: RwLock<BTreeMap<String, Arc<TableState>>>,
     next_id: AtomicU64,
+    store: Option<Arc<Store>>,
     started_at: Instant,
 }
 
@@ -23,17 +44,57 @@ impl Default for TableRegistry {
 }
 
 impl TableRegistry {
-    /// An empty registry.
+    /// An empty, memory-only registry (tables die with the process).
     pub fn new() -> TableRegistry {
         TableRegistry {
             tables: RwLock::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
+            store: None,
             started_at: Instant::now(),
         }
     }
 
+    /// An empty registry whose tables persist into `store`. Call
+    /// [`Self::recover`] to bring previously-persisted tables back.
+    pub fn with_store(store: Arc<Store>) -> TableRegistry {
+        TableRegistry { store: Some(store), ..Self::new() }
+    }
+
+    /// The backing store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Recover every table persisted in the backing store: WAL replay
+    /// (snapshot-assisted where possible, torn tails truncated), a fit
+    /// seeded from the snapshot's parameters, refresher threads restarted.
+    /// Idempotent per id (already-hosted ids are left alone); errors abort —
+    /// a durable service must not come up silently missing tables.
+    pub fn recover(&self) -> Result<RecoveryReport, String> {
+        let store = self.store.as_ref().ok_or("registry has no backing store to recover from")?;
+        let mut report = RecoveryReport::default();
+        for rec in store.recover_all().map_err(|e| format!("recovery failed: {e}"))? {
+            let mut tables = self.tables.write().expect("registry lock");
+            if tables.contains_key(&rec.id) {
+                continue;
+            }
+            let config = TableConfig::from_kv(&rec.meta.config);
+            report.tables += 1;
+            report.answers += rec.log.len() as u64;
+            report.replayed += rec.replayed_tail;
+            report.with_snapshot += usize::from(rec.snapshot_epoch.is_some());
+            report.torn_tails += usize::from(rec.torn.is_some());
+            let id = rec.id.clone();
+            let table = TableState::recover(rec, config);
+            tables.insert(id, table);
+        }
+        Ok(report)
+    }
+
     /// Create and register a table. `id: None` allocates `table-N`.
     /// Fails (leaving the registry unchanged) if the id is taken or empty.
+    /// On a store-backed registry the table's WAL Create record is durable
+    /// before this returns.
     pub fn create(
         &self,
         id: Option<String>,
@@ -48,12 +109,16 @@ impl TableRegistry {
             // Ids travel inside URL path segments; restricting them to
             // URL-safe characters keeps every created table addressable
             // (a '/', '%', '+' or space would be split or percent-decoded
-            // away by the router before matching).
+            // away by the router before matching). The same charset keeps
+            // them safe as store directory names.
             Some(id) => {
                 if id.is_empty() || id.len() > 64 {
                     return Err("table id must be 1..=64 characters".into());
                 }
-                if !id.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c)) {
+                if !id.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
+                    || id == "."
+                    || id == ".."
+                {
                     return Err(format!(
                         "table id '{id}' may only contain ASCII letters, digits, '.', '_', '-'"
                     ));
@@ -66,7 +131,17 @@ impl TableRegistry {
         if tables.contains_key(&id) {
             return Err(format!("table '{id}' already exists"));
         }
-        let table = TableState::create(id.clone(), schema, rows, config);
+        let durability = match &self.store {
+            Some(store) => {
+                let meta = TableMeta { rows, schema: schema.clone(), config: config.to_kv() };
+                let wal = store
+                    .create_table(&id, &meta)
+                    .map_err(|e| format!("cannot persist table '{id}': {e}"))?;
+                Some(Durability::new(wal, store.table_dir(&id), meta, 0))
+            }
+            None => None,
+        };
+        let table = TableState::create(id.clone(), schema, rows, config, durability);
         tables.insert(id, Arc::clone(&table));
         Ok(table)
     }
@@ -76,12 +151,28 @@ impl TableRegistry {
         self.tables.read().expect("registry lock").get(id).cloned()
     }
 
-    /// Remove a table, stopping its refresher. Returns whether it existed.
+    /// Remove a table. The tombstone is set *before* the refresher is
+    /// stopped, so a refresh that is already mid-refit cannot publish a
+    /// snapshot for the dead table; on durable tables the tombstone is also
+    /// fsynced into the WAL before the directory is removed, so a crash in
+    /// between cannot resurrect it. Returns whether it existed.
     pub fn remove(&self, id: &str) -> bool {
         let removed = self.tables.write().expect("registry lock").remove(id);
         match removed {
             Some(t) => {
+                t.mark_deleted();
+                if let Err(e) = t.append_tombstone() {
+                    eprintln!("tcrowd-service: {e}");
+                }
                 t.stop_refresher();
+                if let Some(store) = &self.store {
+                    if let Err(e) = store.remove_table_dir(id) {
+                        eprintln!(
+                            "tcrowd-service: cannot remove table dir for '{id}': {e} \
+                             (tombstone is durable; recovery will finish the cleanup)"
+                        );
+                    }
+                }
                 true
             }
             None => false,
@@ -108,12 +199,13 @@ impl TableRegistry {
         self.started_at.elapsed().as_millis()
     }
 
-    /// Stop every table's refresher thread (joins them). Call before
-    /// dropping the registry in tests and on server shutdown; without it the
-    /// threads exit lazily on their next tick.
+    /// Stop every table's refresher thread (joins them) and flush every
+    /// WAL. Call before dropping the registry in tests and on server
+    /// shutdown; without it the threads exit lazily on their next tick.
     pub fn shutdown(&self) {
         for table in self.tables.read().expect("registry lock").values() {
             table.stop_refresher();
+            table.persist_store_snapshot();
         }
     }
 }
@@ -149,8 +241,9 @@ mod tests {
         assert!(reg.create(Some("one".into()), schema(), 5, TableConfig::default()).is_err());
         assert!(reg.create(Some("".into()), schema(), 5, TableConfig::default()).is_err());
         assert!(reg.create(None, schema(), 0, TableConfig::default()).is_err());
-        // Ids that would not survive the HTTP router's path split/decoding.
-        for bad in ["a/b", "a b", "a+b", "a%2Fb", "é", &"x".repeat(65)] {
+        // Ids that would not survive the HTTP router's path split/decoding
+        // (or would escape the store's tables/ directory).
+        for bad in ["a/b", "a b", "a+b", "a%2Fb", "é", ".", "..", &"x".repeat(65)] {
             assert!(
                 reg.create(Some(bad.to_string()), schema(), 5, TableConfig::default()).is_err(),
                 "{bad:?} should be rejected"
@@ -161,6 +254,28 @@ mod tests {
         assert!(reg.remove("one"));
         assert!(!reg.remove("one"));
         assert_eq!(reg.len(), 1);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn removing_a_table_mid_refit_cannot_resurrect_it() {
+        // The deletion race, end to end at the registry level: a handle the
+        // refresher (or any other thread) still holds must become inert the
+        // moment `remove` runs — no publish, no ingest.
+        let reg = TableRegistry::new();
+        let t = reg.create(Some("doomed".into()), schema(), 5, TableConfig::default()).unwrap();
+        t.submit(&[tcrowd_tabular::Answer {
+            worker: tcrowd_tabular::WorkerId(1),
+            cell: tcrowd_tabular::CellId::new(0, 0),
+            value: tcrowd_tabular::Value::Categorical(1),
+        }])
+        .unwrap();
+        let epoch_before = t.snapshot().epoch;
+        assert!(reg.remove("doomed"));
+        assert!(t.is_deleted());
+        assert!(!t.refresh_now(), "dead table must not publish");
+        assert_eq!(t.snapshot().epoch, epoch_before);
+        assert!(t.submit(&[]).is_err(), "dead table must not ingest");
         reg.shutdown();
     }
 }

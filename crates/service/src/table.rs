@@ -1,23 +1,35 @@
-//! Per-table service state: lock-split ingest/read paths and the background
-//! refresher thread.
+//! Per-table service state: lock-split ingest/read paths, the background
+//! refresher thread, and the durability hooks into `tcrowd-store`.
 //!
 //! Each hosted table runs the paper's online loop (Fig. 1 / Algorithm 2)
 //! with the request path split in two:
 //!
 //! * **Ingest** (`POST …/answers`) appends to the [`OnlineTCrowd`] behind a
 //!   `Mutex` — an `O(1)` log push plus the §5.1 incremental posterior
-//!   update. No EM runs on this path.
+//!   update. On a durable table the batch is first framed into the
+//!   write-ahead log (one group-committed record per batch, flushed/fsynced
+//!   per the store's [`tcrowd_store::FsyncPolicy`]) **before** it enters
+//!   memory or is acknowledged: an acked answer is a durable answer.
 //! * **Reads** (assignment, truth, stats) share an immutable [`Snapshot`]
 //!   behind an `RwLock<Arc<…>>`: the log prefix at the freeze epoch, the
-//!   frozen [`AnswerMatrix`] and the last published [`InferenceResult`].
-//!   Readers clone the `Arc` and never contend with ingestion.
+//!   frozen [`AnswerMatrix`], the last published [`InferenceResult`] and a
+//!   pre-fitted [`CorrelationModel`] (so `GET …/assignment` under the
+//!   structure-aware policy stops re-fitting per request). Readers clone
+//!   the `Arc` and never contend with ingestion.
 //!
 //! A per-table **refresher thread** closes the loop: on a configurable
 //! cadence (or immediately once [`TableConfig::refit_every`] answers are
 //! pending) it delta-merges the log tail into the evolving freeze, re-fits
 //! EM (warm-started when configured), and atomically publishes the new
-//! snapshot. This mirrors [`OnlineTCrowd`]'s `refit_every` contract, moved
-//! off the request path.
+//! snapshot. On durable tables every publish is followed by a store
+//! snapshot — `(log@epoch, fit params, WAL offset)` — so crash recovery
+//! replays only the WAL tail and republishes the pre-crash fit (one E-step
+//! at the stored parameters) instead of re-running EM from scratch.
+//!
+//! Deletion uses a **tombstone guard**: `TableRegistry::remove` marks the
+//! table deleted *before* joining the refresher, so a refresh that is
+//! mid-refit when the table dies can never publish (or persist a store
+//! snapshot for) a dead table.
 //!
 //! Known tradeoff: a re-fit holds the ingest `Mutex` for its duration, so
 //! `POST …/answers` landing *during* a refresh stall until it publishes
@@ -26,10 +38,14 @@
 //! see the ROADMAP open item.
 
 use crate::policy::make_policy;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 use std::time::{Duration, Instant};
-use tcrowd_core::{AssignmentContext, InferenceResult, OnlineTCrowd, TCrowd};
+use tcrowd_core::{
+    AssignmentContext, CorrelationModel, FitParams, InferenceResult, OnlineTCrowd, TCrowd,
+};
+use tcrowd_store::{write_snapshot, Recovered, TableMeta, TableSnapshot, Wal, WalPosition};
 use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema};
 
 /// Per-table service policy knobs (the `POST /tables` request body).
@@ -67,6 +83,60 @@ impl Default for TableConfig {
     }
 }
 
+impl TableConfig {
+    /// Serialize as the sorted key/value pairs the store's `TableMeta`
+    /// persists (the WAL Create record).
+    pub fn to_kv(&self) -> Vec<(String, String)> {
+        let mut kv = vec![
+            (
+                "max_answers_per_cell".to_string(),
+                self.max_answers_per_cell.map(|v| v.to_string()).unwrap_or_default(),
+            ),
+            ("policy".to_string(), self.policy.clone()),
+            ("refit_every".to_string(), self.refit_every.to_string()),
+            (
+                "refresh_interval_ms".to_string(),
+                (self.refresh_interval.as_millis() as u64).to_string(),
+            ),
+            ("seed".to_string(), self.seed.to_string()),
+            ("warm_refits".to_string(), self.warm_refits.to_string()),
+        ];
+        kv.sort();
+        kv
+    }
+
+    /// Rebuild from persisted key/value pairs. Missing keys take defaults,
+    /// unknown keys are ignored — config can evolve without a WAL format
+    /// change in either direction.
+    pub fn from_kv(kv: &[(String, String)]) -> TableConfig {
+        let mut config = TableConfig::default();
+        for (k, v) in kv {
+            match k.as_str() {
+                "policy" if !v.is_empty() => config.policy = v.clone(),
+                "refit_every" => {
+                    if let Ok(n) = v.parse() {
+                        config.refit_every = n;
+                    }
+                }
+                "refresh_interval_ms" => {
+                    if let Ok(ms) = v.parse() {
+                        config.refresh_interval = Duration::from_millis(ms);
+                    }
+                }
+                "warm_refits" => config.warm_refits = v == "true",
+                "max_answers_per_cell" => config.max_answers_per_cell = v.parse().ok(),
+                "seed" => {
+                    if let Ok(s) = v.parse() {
+                        config.seed = s;
+                    }
+                }
+                _ => {}
+            }
+        }
+        config
+    }
+}
+
 /// An immutable published view of one table: everything the read endpoints
 /// serve, consistent at one freeze epoch.
 pub struct Snapshot {
@@ -76,6 +146,10 @@ pub struct Snapshot {
     pub matrix: AnswerMatrix,
     /// The inference result published with this freeze.
     pub result: InferenceResult,
+    /// The structure-aware correlation model fitted from this freeze + fit
+    /// (a pure function of the two, cached here so assignment requests stop
+    /// re-fitting it per call).
+    pub correlation: CorrelationModel,
     /// Number of log answers this snapshot covers.
     pub epoch: usize,
     /// How many refreshes this table has published (0 = the initial empty
@@ -83,6 +157,35 @@ pub struct Snapshot {
     pub refreshes: u64,
     /// When this snapshot was published.
     pub published_at: Instant,
+}
+
+/// The durable half of a table: its open WAL, its snapshot directory and
+/// the metadata the store persists. Lock order: the ingest `Mutex` is always
+/// taken before [`Durability::wal`].
+pub struct Durability {
+    wal: Mutex<Wal>,
+    dir: PathBuf,
+    meta: TableMeta,
+    last_snapshot_epoch: AtomicU64,
+    /// Serialises check-watermark → write → advance-watermark so a slow
+    /// writer can never rename an older snapshot over a newer one (the
+    /// refresher and a synchronous `POST …/refresh` can race here).
+    snapshot_gate: Mutex<()>,
+}
+
+impl Durability {
+    /// Wrap an open WAL. `snapshot_epoch` is the epoch of the store snapshot
+    /// already on disk (0 when none) — earlier snapshots are never written
+    /// over later ones.
+    pub fn new(wal: Wal, dir: PathBuf, meta: TableMeta, snapshot_epoch: u64) -> Durability {
+        Durability {
+            wal: Mutex::new(wal),
+            dir,
+            meta,
+            last_snapshot_epoch: AtomicU64::new(snapshot_epoch),
+            snapshot_gate: Mutex::new(()),
+        }
+    }
 }
 
 /// Refresher wake/stop channel.
@@ -103,6 +206,10 @@ pub struct TableState {
     ingest: Mutex<OnlineTCrowd>,
     published: RwLock<Arc<Snapshot>>,
     ingested: AtomicU64,
+    /// Deletion tombstone: set by the registry before the refresher is
+    /// joined, checked before every publish and store-snapshot write.
+    deleted: AtomicBool,
+    durability: Option<Durability>,
     ctl: Arc<RefreshCtl>,
     refresher: Mutex<Option<std::thread::JoinHandle<()>>>,
     created_at: Instant,
@@ -110,17 +217,87 @@ pub struct TableState {
 
 impl TableState {
     /// Create a table (empty log, initial fit published) and start its
-    /// refresher thread.
-    pub fn create(id: String, schema: Schema, rows: usize, config: TableConfig) -> Arc<TableState> {
-        let mut online = OnlineTCrowd::empty(TCrowd::default_full(), schema.clone(), rows);
+    /// refresher thread. `durability` carries the freshly-created WAL for
+    /// durable tables, `None` keeps the table memory-only.
+    pub fn create(
+        id: String,
+        schema: Schema,
+        rows: usize,
+        config: TableConfig,
+        durability: Option<Durability>,
+    ) -> Arc<TableState> {
+        let online = OnlineTCrowd::empty(TCrowd::default_full(), schema.clone(), rows);
+        Self::spawn(id, schema, rows, config, online, durability)
+    }
+
+    /// Resurrect a table from its recovered durable state: the WAL-replayed
+    /// log, and — when a snapshot survived — the persisted fit parameters.
+    ///
+    /// Three cases, strongest first:
+    ///
+    /// 1. **Snapshot covers the whole log** (the steady state — a snapshot
+    ///    follows every publish): the pre-crash *published* state is
+    ///    republished verbatim via [`TCrowd::evaluate_seeded`] — one E-step
+    ///    at the stored parameters, **no EM**. Recovered served truth ≡
+    ///    pre-crash served truth ≡ offline `TCrowd::infer` on the log, to
+    ///    float rounding.
+    /// 2. **A WAL tail extends past the snapshot**: the same refit the
+    ///    refresher would have run for those pending answers — cold by
+    ///    default (published state stays a pure function of the log),
+    ///    warm-seeded from the snapshot fit when the table is configured
+    ///    with `warm_refits`.
+    /// 3. **No usable snapshot**: a cold fit of the replayed log.
+    pub fn recover(rec: Recovered, config: TableConfig) -> Arc<TableState> {
+        let Recovered { id, meta, log, fit, wal, replayed_tail, snapshot_epoch, .. } = rec;
+        let schema = meta.schema.clone();
+        let rows = meta.rows;
+        let model = TCrowd::default_full();
+        let matrix = log.to_matrix();
+        let result = match &fit {
+            Some(seed) if replayed_tail == 0 && seed.shape_matches(rows, schema.num_columns()) => {
+                model.evaluate_seeded(&schema, &matrix, seed)
+            }
+            Some(seed) if config.warm_refits => model.infer_matrix_seeded(&schema, &matrix, seed),
+            _ => model.infer_matrix(&schema, &matrix),
+        };
+        let mut online = OnlineTCrowd::from_fit(model, schema.clone(), log, matrix, result);
+        online.warm_refits = config.warm_refits;
+        let wal = wal.expect("recovered live table carries an open WAL");
+        let dir = wal.path().parent().expect("wal lives in a table dir").to_path_buf();
+        // Seed the persisted-epoch watermark with the on-disk snapshot when
+        // it already covers everything recovered: the follow-up
+        // persist_store_snapshot is then a no-op instead of rewriting a
+        // byte-identical snapshot on every restart.
+        let persisted = if replayed_tail == 0 { snapshot_epoch.unwrap_or(0) } else { 0 };
+        let durability = Durability::new(wal, dir, meta, persisted);
+        let table = Self::spawn(id, schema, rows, config, online, Some(durability));
+        // Persist a fresh store snapshot at the recovered epoch right away:
+        // the recovery fit is exactly what a next crash would want to seed
+        // from, and it re-establishes the fast path after the pre-crash
+        // snapshot was consumed.
+        table.persist_store_snapshot();
+        table
+    }
+
+    fn spawn(
+        id: String,
+        schema: Schema,
+        rows: usize,
+        config: TableConfig,
+        mut online: OnlineTCrowd,
+        durability: Option<Durability>,
+    ) -> Arc<TableState> {
         // The refresher (not the ingest path) owns refit timing.
         online.refit_every = usize::MAX;
         online.warm_refits = config.warm_refits;
+        let correlation = CorrelationModel::fit_matrix(&schema, online.matrix(), online.result());
+        let ingested = online.answers().len() as u64;
         let snapshot = Arc::new(Snapshot {
             log: online.answers().clone(),
             matrix: online.matrix().clone(),
             result: online.result().clone(),
-            epoch: 0,
+            correlation,
+            epoch: online.answers().len(),
             refreshes: 0,
             published_at: Instant::now(),
         });
@@ -131,7 +308,9 @@ impl TableState {
             rows,
             ingest: Mutex::new(online),
             published: RwLock::new(snapshot),
-            ingested: AtomicU64::new(0),
+            ingested: AtomicU64::new(ingested),
+            deleted: AtomicBool::new(false),
+            durability,
             ctl: Arc::new(RefreshCtl { stop: Mutex::new(false), wake: Condvar::new() }),
             refresher: Mutex::new(None),
             created_at: Instant::now(),
@@ -180,7 +359,7 @@ impl TableState {
         self.schema.num_columns()
     }
 
-    /// Total answers accepted since creation.
+    /// Total answers accepted since creation (including recovered ones).
     pub fn ingested(&self) -> u64 {
         self.ingested.load(Ordering::SeqCst)
     }
@@ -190,6 +369,43 @@ impl TableState {
         (self.ingested() as usize).saturating_sub(self.snapshot().epoch)
     }
 
+    /// Whether this table persists to a WAL.
+    pub fn durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Epoch of the last store snapshot written for this table (`None` for
+    /// memory-only tables, `Some(0)` before the first write).
+    pub fn last_store_snapshot_epoch(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.last_snapshot_epoch.load(Ordering::SeqCst))
+    }
+
+    /// Whether the deletion tombstone is set.
+    pub fn is_deleted(&self) -> bool {
+        self.deleted.load(Ordering::SeqCst)
+    }
+
+    /// Set the deletion tombstone: no snapshot (in-memory or on-disk) will
+    /// be published from this point on, even by a refresh already running.
+    pub fn mark_deleted(&self) {
+        self.deleted.store(true, Ordering::SeqCst);
+    }
+
+    /// Durably append the deletion tombstone to the WAL (no-op for
+    /// memory-only tables). Call after [`Self::mark_deleted`]. Takes the
+    /// ingest lock first (the documented ingest→wal order): an in-flight
+    /// `submit` that already passed its tombstone check finishes its append
+    /// before the Delete frame lands, so no acknowledged batch can ever sit
+    /// *after* the tombstone in the WAL.
+    pub(crate) fn append_tombstone(&self) -> Result<(), String> {
+        if let Some(d) = &self.durability {
+            let _online = self.ingest.lock().expect("ingest lock");
+            let mut wal = d.wal.lock().expect("wal lock");
+            wal.append_delete().map_err(|e| format!("tombstone append failed: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// The current published snapshot (cheap: one `Arc` clone).
     pub fn snapshot(&self) -> Arc<Snapshot> {
         Arc::clone(&self.published.read().expect("published lock"))
@@ -197,7 +413,11 @@ impl TableState {
 
     /// Validate and ingest a batch of answers. The whole batch is rejected
     /// (nothing ingested) if any answer is malformed, so callers can safely
-    /// retry verbatim. Returns the number accepted.
+    /// retry verbatim. On durable tables the batch is group-committed to the
+    /// WAL **before** it is applied or acknowledged — under the same lock
+    /// that orders the in-memory log, so WAL order ≡ memory order and
+    /// recovery replays exactly the acknowledged sequence. Returns the
+    /// number accepted.
     pub fn submit(&self, answers: &[Answer]) -> Result<usize, String> {
         for (i, a) in answers.iter().enumerate() {
             if a.cell.row as usize >= self.rows || a.cell.col as usize >= self.cols() {
@@ -216,8 +436,24 @@ impl TableState {
                 ));
             }
         }
+        if self.is_deleted() {
+            return Err(format!("table '{}' was deleted", self.id));
+        }
+        // Nothing to commit: don't write a zero-answer WAL record (13 bytes
+        // plus a flush/fsync per policy) or wake the refresher for it.
+        if answers.is_empty() {
+            return Ok(0);
+        }
         {
             let mut online = self.ingest.lock().expect("ingest lock");
+            if self.is_deleted() {
+                return Err(format!("table '{}' was deleted", self.id));
+            }
+            if let Some(d) = &self.durability {
+                let mut wal = d.wal.lock().expect("wal lock");
+                wal.append_answers(answers)
+                    .map_err(|e| format!("storage: WAL append failed: {e}"))?;
+            }
             for &a in answers {
                 online.add_answer(a);
             }
@@ -234,33 +470,121 @@ impl TableState {
         Ok(answers.len())
     }
 
-    /// Re-fit on everything ingested so far and publish a fresh snapshot.
-    /// No-op (returns `false`) when the published snapshot is already
-    /// current. Runs on the refresher thread normally; `POST …/refresh`
+    /// Re-fit on everything ingested so far and publish a fresh snapshot
+    /// (plus, on durable tables, a store snapshot). No-op (returns `false`)
+    /// when the published snapshot is already current or the table has been
+    /// tombstoned. Runs on the refresher thread normally; `POST …/refresh`
     /// calls it synchronously.
     pub fn refresh_now(&self) -> bool {
-        let snapshot = {
+        let (parts, wal_pos) = {
             let mut online = self.ingest.lock().expect("ingest lock");
             if !online.flush_refit() && online.answers().len() == self.snapshot().epoch {
                 return false;
             }
-            Snapshot {
-                log: online.answers().clone(),
-                matrix: online.matrix().clone(),
-                result: online.result().clone(),
-                epoch: online.answers().len(),
-                refreshes: self.snapshot().refreshes + 1,
-                published_at: Instant::now(),
+            // Capture the WAL position matching this epoch and make those
+            // bytes at least as durable as the snapshot that will refer to
+            // them. Appends happen under the ingest lock too, so the pair is
+            // exact.
+            let wal_pos = self.durability.as_ref().map(|d| {
+                let mut wal = d.wal.lock().expect("wal lock");
+                if let Err(e) = wal.sync() {
+                    eprintln!("tcrowd-service: WAL sync failed for table '{}': {e}", self.id);
+                }
+                wal.position()
+            });
+            if let Some(pos) = wal_pos {
+                debug_assert_eq!(pos.answers as usize, online.answers().len());
+            }
+            ((online.answers().clone(), online.matrix().clone(), online.result().clone()), wal_pos)
+        };
+        // Fit the snapshot's correlation cache outside the ingest lock: it
+        // reads only the cloned freeze + fit.
+        let (log, matrix, result) = parts;
+        let correlation = CorrelationModel::fit_matrix(&self.schema, &matrix, &result);
+        let snapshot = Snapshot {
+            epoch: log.len(),
+            log,
+            matrix,
+            result,
+            correlation,
+            refreshes: self.snapshot().refreshes + 1,
+            published_at: Instant::now(),
+        };
+        // Tombstone guard: a refresh that was mid-refit when the table was
+        // removed must not publish a snapshot for a dead table.
+        if self.is_deleted() {
+            return false;
+        }
+        let published = {
+            let mut slot = self.published.write().expect("published lock");
+            // Publishes can race (refresher tick vs synchronous
+            // `POST …/refresh` that already dropped the ingest lock); never
+            // replace a newer snapshot with an older one.
+            if snapshot.epoch >= slot.epoch {
+                *slot = Arc::new(snapshot);
+                true
+            } else {
+                false
             }
         };
-        let mut slot = self.published.write().expect("published lock");
-        // Publishes can race (refresher tick vs synchronous `POST …/refresh`
-        // that already dropped the ingest lock); never replace a newer
-        // snapshot with an older one.
-        if snapshot.epoch >= slot.epoch {
-            *slot = Arc::new(snapshot);
+        if published {
+            if let Some(pos) = wal_pos {
+                self.write_store_snapshot(pos);
+            }
         }
         true
+    }
+
+    /// Persist the current published snapshot to the store, synchronising
+    /// the WAL position first. Used by recovery to re-establish the
+    /// snapshot fast path.
+    pub fn persist_store_snapshot(&self) {
+        let Some(d) = &self.durability else { return };
+        let pos = {
+            let _online = self.ingest.lock().expect("ingest lock");
+            let mut wal = d.wal.lock().expect("wal lock");
+            if let Err(e) = wal.sync() {
+                eprintln!("tcrowd-service: WAL sync failed for table '{}': {e}", self.id);
+            }
+            wal.position()
+        };
+        self.write_store_snapshot(pos);
+    }
+
+    /// Write the published snapshot to disk if it advances the persisted
+    /// epoch and matches `pos`. Failures are logged, not fatal: the store
+    /// snapshot is a recovery accelerator, the WAL already holds the data.
+    fn write_store_snapshot(&self, pos: WalPosition) {
+        let Some(d) = &self.durability else { return };
+        if self.is_deleted() {
+            return;
+        }
+        let snap = self.snapshot();
+        if snap.epoch as u64 != pos.answers {
+            // A racing refresh published a different epoch; its own call
+            // will persist the matching pair.
+            return;
+        }
+        // Hold the gate across check → write → advance: without it a slow
+        // writer could rename an older snapshot over a newer one after the
+        // newer writer already advanced the watermark.
+        let _gate = d.snapshot_gate.lock().expect("snapshot gate");
+        if d.last_snapshot_epoch.load(Ordering::SeqCst) >= snap.epoch as u64 && snap.epoch != 0 {
+            return;
+        }
+        let table_snap = TableSnapshot {
+            epoch: snap.epoch as u64,
+            wal_offset: pos.offset,
+            meta: d.meta.clone(),
+            log: snap.log.clone(),
+            fit: Some(FitParams::of(&snap.result)),
+        };
+        match write_snapshot(&d.dir, &table_snap) {
+            Ok(()) => d.last_snapshot_epoch.store(snap.epoch as u64, Ordering::SeqCst),
+            Err(e) => {
+                eprintln!("tcrowd-service: snapshot write failed for table '{}': {e}", self.id)
+            }
+        }
     }
 
     /// Select up to `k` cells for `worker` from the published snapshot,
@@ -283,6 +607,7 @@ impl TableState {
             inference: Some(&snap.result),
             max_answers_per_cell: self.config.max_answers_per_cell,
             terminated: None,
+            correlation: Some(&snap.correlation),
         };
         let picks = policy.select(worker, k, &ctx);
         Ok((snap, picks, name))
@@ -308,9 +633,9 @@ impl TableState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcrowd_tabular::{generate_dataset, GeneratorConfig, Value, WorkerId};
+    use tcrowd_tabular::{generate_dataset, Dataset, GeneratorConfig, Value, WorkerId};
 
-    fn make_table(refit_every: usize) -> (Arc<TableState>, tcrowd_tabular::Dataset) {
+    fn make_table(refit_every: usize) -> (Arc<TableState>, Dataset) {
         let d = generate_dataset(
             &GeneratorConfig {
                 rows: 12,
@@ -326,7 +651,7 @@ mod tests {
             refresh_interval: Duration::from_millis(10),
             ..Default::default()
         };
-        let t = TableState::create("t".into(), d.schema.clone(), d.rows(), config);
+        let t = TableState::create("t".into(), d.schema.clone(), d.rows(), config, None);
         (t, d)
     }
 
@@ -334,6 +659,7 @@ mod tests {
     fn ingest_refresh_and_read_paths_agree() {
         let (t, d) = make_table(usize::MAX);
         assert_eq!(t.snapshot().epoch, 0);
+        assert!(!t.durable());
         t.submit(d.answers.all()).unwrap();
         assert_eq!(t.ingested() as usize, d.answers.len());
         // Synchronous refresh publishes everything.
@@ -345,11 +671,23 @@ mod tests {
         // Published estimates equal the batch fit (cold refits).
         let batch = TCrowd::default_full().infer(&d.schema, &d.answers);
         assert_eq!(snap.result.estimates(), batch.estimates());
-        // Assignment works off the snapshot.
+        // Assignment works off the snapshot (and its cached correlation
+        // model: same picks as a per-request fit).
         let (used, picks, name) = t.assign(WorkerId(999), 3, None).unwrap();
         assert_eq!(used.epoch, snap.epoch);
         assert_eq!(picks.len(), 3);
         assert_eq!(name, "structure-aware");
+        let mut fresh = crate::policy::make_policy("structure-aware", t.rows(), 1).unwrap();
+        let uncached_ctx = AssignmentContext {
+            schema: &d.schema,
+            answers: &snap.log,
+            freeze: snap.matrix.freeze_view(),
+            inference: Some(&snap.result),
+            max_answers_per_cell: None,
+            terminated: None,
+            correlation: None,
+        };
+        assert_eq!(picks, fresh.select(WorkerId(999), 3, &uncached_ctx));
         t.stop_refresher();
     }
 
@@ -386,5 +724,49 @@ mod tests {
         };
         assert!(t.submit(&[wrong]).is_err());
         t.stop_refresher();
+    }
+
+    #[test]
+    fn tombstoned_table_refuses_to_publish_mid_refit() {
+        // Regression (deletion race): a refresher that is mid-refit when the
+        // table is removed must not publish a snapshot for the dead table.
+        // Simulated deterministically: ingest, tombstone, then drive the
+        // publish path a racing refresh would run.
+        let (t, d) = make_table(usize::MAX);
+        t.submit(&d.answers.all()[..6]).unwrap();
+        assert!(t.refresh_now());
+        let epoch_before = t.snapshot().epoch;
+        t.submit(&d.answers.all()[6..12]).unwrap();
+        t.mark_deleted();
+        assert!(!t.refresh_now(), "a tombstoned table must not publish");
+        assert_eq!(t.snapshot().epoch, epoch_before, "snapshot must be unchanged");
+        // Ingest after deletion is refused too.
+        assert!(t.submit(&d.answers.all()[..1]).is_err());
+        t.stop_refresher();
+    }
+
+    #[test]
+    fn config_kv_roundtrip() {
+        let config = TableConfig {
+            policy: "entropy".into(),
+            refit_every: 17,
+            refresh_interval: Duration::from_millis(321),
+            warm_refits: true,
+            max_answers_per_cell: Some(9),
+            seed: 42,
+        };
+        let back = TableConfig::from_kv(&config.to_kv());
+        assert_eq!(back.policy, config.policy);
+        assert_eq!(back.refit_every, config.refit_every);
+        assert_eq!(back.refresh_interval, config.refresh_interval);
+        assert_eq!(back.warm_refits, config.warm_refits);
+        assert_eq!(back.max_answers_per_cell, config.max_answers_per_cell);
+        assert_eq!(back.seed, config.seed);
+        // Unknown keys and absent keys degrade to defaults, not errors.
+        let sparse = TableConfig::from_kv(&[("future_knob".into(), "1".into())]);
+        assert_eq!(sparse.policy, TableConfig::default().policy);
+        // None round-trips through the empty string.
+        let none = TableConfig { max_answers_per_cell: None, ..TableConfig::default() };
+        assert_eq!(TableConfig::from_kv(&none.to_kv()).max_answers_per_cell, None);
     }
 }

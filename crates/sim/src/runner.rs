@@ -271,6 +271,7 @@ impl Runner {
                     inference: inference.as_ref(),
                     max_answers_per_cell: self.cfg.max_answers_per_cell,
                     terminated: termination.as_ref().map(|t| t.set()),
+                    correlation: None,
                 };
                 policy.select(worker, batch, &ctx)
             };

@@ -198,6 +198,7 @@ mod tests {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: Some(state.set()),
+            correlation: None,
         };
         let mut policy = InherentGainPolicy::default();
         let picks = policy.select(tcrowd_tabular::WorkerId(42_000), 80, &ctx);

@@ -1,0 +1,101 @@
+//! # tcrowd-store
+//!
+//! The **durability subsystem**: crowd answers are expensive and
+//! unrepeatable, so the answer log — the system of record every posterior,
+//! freeze and EM fit is a pure function of (paper §5, Algorithm 2) — must
+//! survive process death. This crate gives each served table:
+//!
+//! * a per-table append-only **write-ahead log** ([`wal`]) of
+//!   length-prefixed, CRC-32-checksummed binary records (table create,
+//!   answer-batch append, deletion tombstone) with group-commit batching and
+//!   a configurable [`FsyncPolicy`];
+//! * periodic **snapshot files** ([`snapshot`]) of `(log@epoch,
+//!   warm-startable fit parameters, WAL offset)` so recovery replays only
+//!   the WAL tail and seeds EM at the previous optimum instead of
+//!   re-running it from scratch;
+//! * **crash recovery** ([`Store::recover_all`]) that tolerates torn tails
+//!   (truncate at the first bad checksum) and reconstructs a bit-identical
+//!   [`tcrowd_tabular::AnswerLog`] — exactly the acknowledged prefix.
+//!
+//! ```text
+//! ingest batch ──▶ wal.append_answers (frame + CRC + flush/fsync) ──▶ ack
+//!                        │                       refresher, after publish:
+//!                        │                  snapshot.write (log@epoch, fit,
+//!                        ▼                        wal offset; tmp+rename)
+//!        crash ▶ Store::recover_table:
+//!          read snapshot ──▶ replay WAL tail from snapshot.wal_offset
+//!          (none/corrupt ──▶ full replay from byte 0)
+//!          truncate torn tail at first bad checksum
+//!          AnswerLog (bit-identical) + FitParams (warm EM restart)
+//! ```
+//!
+//! Everything is `std`-only and hand-rolled (the build environment has no
+//! `serde`); the byte-level codec lives in `tcrowd_tabular::io::binary` so
+//! the answer wire format is owned by the storage crate that owns the
+//! in-memory answer types.
+//!
+//! The store is deliberately **service-agnostic**: it persists a
+//! [`TableMeta`] (shape + schema + opaque config key/values) and batches of
+//! answers, and knows nothing about HTTP, policies or refresh cadences —
+//! `tcrowd-service` threads a [`Wal`] through its ingest path and calls
+//! [`snapshot::write_snapshot`] after each publish.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use crc::crc32;
+pub use snapshot::{read_snapshot, remove_snapshot, write_snapshot, TableSnapshot, SNAPSHOT_FILE};
+pub use store::{CompactReport, Recovered, SnapshotCheck, Store, VerifyReport};
+pub use wal::{
+    replay, replay_tail, FsyncPolicy, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WalReplay,
+    WAL_FILE,
+};
+
+use std::path::{Path, PathBuf};
+
+/// Errors of the durability layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// On-disk state that cannot be trusted (failed checksum, impossible
+    /// framing, violated invariant), with the file and byte offset.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset of the problem.
+        offset: u64,
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(path: impl AsRef<Path>, offset: u64, message: String) -> StoreError {
+        StoreError::Corrupt { path: path.as_ref().to_path_buf(), offset, message }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Corrupt { path, offset, message } => {
+                write!(f, "corrupt store file {} at byte {offset}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

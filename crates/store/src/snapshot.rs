@@ -1,0 +1,354 @@
+//! Snapshot files: a durable photograph of `(log@epoch, fit parameters)`
+//! plus the WAL byte offset the epoch corresponds to.
+//!
+//! A snapshot exists to make recovery cheap, never to make it possible — the
+//! WAL alone fully determines the table. What the snapshot buys:
+//!
+//! * **decode skip** — recovery resumes WAL decoding at `wal_offset`
+//!   instead of byte zero (the snapshot carries the answers before it);
+//! * **no EM on boot** — the persisted [`FitParams`] let recovery
+//!   republish the pre-crash published fit by *evaluating* the posterior at
+//!   the stored parameters (`TCrowd::evaluate_seeded`, one E-step) when the
+//!   snapshot covers the whole log, and warm-seed the catch-up refit when a
+//!   WAL tail extends past it.
+//!
+//! A corrupt, stale or missing snapshot therefore degrades recovery time,
+//! not correctness: every inconsistency falls back to a full WAL replay and
+//! a cold fit.
+//!
+//! ## File format
+//!
+//! ```text
+//! magic "TCSNAP01" ++ len: u64LE ++ crc: u32LE ++ payload (len bytes)
+//! payload = epoch u64 ++ wal_offset u64 ++ TableMeta ++ log (io::binary) ++ fit?
+//! ```
+//!
+//! Snapshots are written to a temporary file, flushed, fsynced and renamed
+//! into place, so a crash mid-write leaves the previous snapshot intact.
+
+use crate::crc::crc32;
+use crate::wal::{sync_dir, TableMeta};
+use crate::StoreError;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+use tcrowd_core::FitParams;
+use tcrowd_tabular::io::binary::{self, Cursor};
+use tcrowd_tabular::{AnswerLog, WorkerId};
+
+/// File name of the per-table snapshot inside its table directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.snap";
+const TMP_FILE: &str = "snapshot.snap.tmp";
+const MAGIC: &[u8; 8] = b"TCSNAP01";
+/// Header: magic + u64 payload length + u32 CRC.
+const HEADER: usize = 8 + 8 + 4;
+
+/// The decoded content of a snapshot file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    /// Number of answers this snapshot covers (`log.len()`).
+    pub epoch: u64,
+    /// WAL byte offset right after the record that brought the log to
+    /// `epoch` answers — where tail replay resumes.
+    pub wal_offset: u64,
+    /// Table metadata (duplicated from the WAL Create record so the
+    /// snapshot is self-contained).
+    pub meta: TableMeta,
+    /// The answer log at `epoch`, in append order (shape-validated against
+    /// [`TableMeta`] at decode time).
+    pub log: AnswerLog,
+    /// The published fit's warm-start seed, when one existed.
+    pub fit: Option<FitParams>,
+}
+
+fn put_f64_lane(buf: &mut Vec<u8>, lane: &[f64]) {
+    binary::put_u64(buf, lane.len() as u64);
+    for &v in lane {
+        binary::put_f64(buf, v);
+    }
+}
+
+fn get_f64_lane(c: &mut Cursor<'_>) -> Result<Vec<f64>, binary::CodecError> {
+    let n = c.u64()? as usize;
+    if n.saturating_mul(8) > c.remaining() {
+        return Err(binary::CodecError {
+            at: c.position(),
+            message: format!("lane of {n} floats overruns the buffer"),
+        });
+    }
+    (0..n).map(|_| c.f64()).collect()
+}
+
+fn put_fit(buf: &mut Vec<u8>, fit: &FitParams) {
+    binary::put_u64(buf, fit.rows as u64);
+    binary::put_u64(buf, fit.cols as u64);
+    put_f64_lane(buf, &fit.alpha);
+    put_f64_lane(buf, &fit.beta);
+    binary::put_u64(buf, fit.workers.len() as u64);
+    for w in &fit.workers {
+        binary::put_u32(buf, w.0);
+    }
+    put_f64_lane(buf, &fit.phi);
+    binary::put_f64(buf, fit.renorm_shift.0);
+    binary::put_f64(buf, fit.renorm_shift.1);
+}
+
+fn get_fit(c: &mut Cursor<'_>) -> Result<FitParams, binary::CodecError> {
+    let rows = c.u64()? as usize;
+    let cols = c.u64()? as usize;
+    let alpha = get_f64_lane(c)?;
+    let beta = get_f64_lane(c)?;
+    let n_workers = c.u64()? as usize;
+    if n_workers.saturating_mul(4) > c.remaining() {
+        return Err(binary::CodecError {
+            at: c.position(),
+            message: format!("worker lane of {n_workers} ids overruns the buffer"),
+        });
+    }
+    let workers: Vec<WorkerId> =
+        (0..n_workers).map(|_| c.u32().map(WorkerId)).collect::<Result<_, _>>()?;
+    let phi = get_f64_lane(c)?;
+    if phi.len() != workers.len() {
+        return Err(binary::CodecError {
+            at: c.position(),
+            message: format!(
+                "phi lane ({}) does not match worker lane ({})",
+                phi.len(),
+                workers.len()
+            ),
+        });
+    }
+    let renorm_shift = (c.f64()?, c.f64()?);
+    Ok(FitParams { rows, cols, alpha, beta, workers, phi, renorm_shift })
+}
+
+fn encode(snap: &TableSnapshot) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64 + snap.log.len() * 17);
+    binary::put_u64(&mut payload, snap.epoch);
+    binary::put_u64(&mut payload, snap.wal_offset);
+    let mut meta = Vec::new();
+    // TableMeta's codec is private to the wal module; reuse it through the
+    // record-free helper below.
+    crate::wal::encode_meta(&mut meta, &snap.meta);
+    payload.extend_from_slice(&meta);
+    binary::put_log(&mut payload, &snap.log);
+    match &snap.fit {
+        None => binary::put_u8(&mut payload, 0),
+        Some(fit) => {
+            binary::put_u8(&mut payload, 1);
+            put_fit(&mut payload, fit);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(MAGIC);
+    binary::put_u64(&mut out, payload.len() as u64);
+    binary::put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode(path: &Path, bytes: &[u8]) -> Result<TableSnapshot, StoreError> {
+    let corrupt = |at: usize, msg: String| StoreError::corrupt(path, at as u64, msg);
+    if bytes.len() < HEADER || &bytes[..8] != MAGIC {
+        return Err(corrupt(0, "missing snapshot magic".into()));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    // Compare in u64 with the header already subtracted: `HEADER + len`
+    // would overflow on a corrupt/hostile length field.
+    if (bytes.len() - HEADER) as u64 != len {
+        return Err(corrupt(8, format!("payload length {len} does not match file size")));
+    }
+    let payload = &bytes[HEADER..];
+    if crc32(payload) != crc {
+        return Err(corrupt(16, "snapshot checksum mismatch".into()));
+    }
+    let mut c = Cursor::new(payload);
+    let inner = (|| -> Result<TableSnapshot, binary::CodecError> {
+        let epoch = c.u64()?;
+        let wal_offset = c.u64()?;
+        let meta = crate::wal::decode_meta(&mut c)?;
+        let log = binary::get_log(&mut c)?;
+        let fit = match c.u8()? {
+            0 => None,
+            1 => Some(get_fit(&mut c)?),
+            tag => {
+                return Err(binary::CodecError {
+                    at: c.position() - 1,
+                    message: format!("unknown fit tag {tag}"),
+                })
+            }
+        };
+        Ok(TableSnapshot { epoch, wal_offset, meta, log, fit })
+    })();
+    let snap = inner.map_err(|e| corrupt(HEADER + e.at, e.message))?;
+    if !c.is_empty() {
+        return Err(corrupt(HEADER + c.position(), "trailing bytes in snapshot".into()));
+    }
+    if snap.epoch != snap.log.len() as u64 {
+        return Err(corrupt(
+            HEADER,
+            format!("epoch {} does not match {} stored answers", snap.epoch, snap.log.len()),
+        ));
+    }
+    if snap.log.rows() != snap.meta.rows || snap.log.cols() != snap.meta.schema.num_columns() {
+        return Err(corrupt(
+            HEADER,
+            format!(
+                "snapshot log shape {}x{} does not match the table meta ({}x{})",
+                snap.log.rows(),
+                snap.log.cols(),
+                snap.meta.rows,
+                snap.meta.schema.num_columns()
+            ),
+        ));
+    }
+    Ok(snap)
+}
+
+/// Atomically (tmp + rename) write `snap` as `dir`'s current snapshot.
+pub fn write_snapshot(dir: &Path, snap: &TableSnapshot) -> Result<(), StoreError> {
+    let bytes = encode(snap);
+    let tmp = dir.join(TMP_FILE);
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Read `dir`'s snapshot. `Ok(None)` when no snapshot exists;
+/// `Err(StoreError::Corrupt…)` when one exists but cannot be trusted (the
+/// caller falls back to a full WAL replay).
+pub fn read_snapshot(dir: &Path) -> Result<Option<TableSnapshot>, StoreError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+    }
+    decode(&path, &bytes).map(Some)
+}
+
+/// Remove `dir`'s snapshot if present (compaction does this *before*
+/// rewriting the WAL, so a crash in between can never pair a stale snapshot
+/// offset with a new WAL layout).
+pub fn remove_snapshot(dir: &Path) -> std::io::Result<()> {
+    match fs::remove_file(dir.join(SNAPSHOT_FILE)) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcrowd_tabular::{Answer, CellId, Column, ColumnType, Schema, Value};
+
+    fn sample() -> TableSnapshot {
+        TableSnapshot {
+            epoch: 2,
+            wal_offset: 777,
+            meta: TableMeta {
+                rows: 3,
+                schema: Schema::new(
+                    "t",
+                    "k",
+                    vec![
+                        Column::new("c", ColumnType::categorical_with_cardinality(2)),
+                        Column::new("x", ColumnType::Continuous { min: -1.0, max: 1.0 }),
+                    ],
+                ),
+                config: vec![("refit_every".into(), "64".into())],
+            },
+            log: {
+                let mut log = AnswerLog::new(3, 2);
+                log.push(Answer {
+                    worker: WorkerId(3),
+                    cell: CellId::new(0, 0),
+                    value: Value::Categorical(1),
+                });
+                log.push(Answer {
+                    worker: WorkerId(5),
+                    cell: CellId::new(2, 1),
+                    value: Value::Continuous(0.25),
+                });
+                log
+            },
+            fit: Some(FitParams {
+                rows: 3,
+                cols: 2,
+                alpha: vec![1.0, 0.9, 1.2],
+                beta: vec![1.1, 0.8],
+                workers: vec![WorkerId(3), WorkerId(5)],
+                phi: vec![0.2, 0.4],
+                renorm_shift: (0.01, -0.02),
+            }),
+        }
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("tcrowd_store_snap_tests")
+            .join(format!("{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_including_fit() {
+        let dir = tmp_dir("roundtrip");
+        let snap = sample();
+        write_snapshot(&dir, &snap).unwrap();
+        assert_eq!(read_snapshot(&dir).unwrap().unwrap(), snap);
+        // Overwrite with a fit-less snapshot: atomic replacement.
+        let mut no_fit = sample();
+        no_fit.fit = None;
+        write_snapshot(&dir, &no_fit).unwrap();
+        assert_eq!(read_snapshot(&dir).unwrap().unwrap(), no_fit);
+        remove_snapshot(&dir).unwrap();
+        assert_eq!(read_snapshot(&dir).unwrap(), None);
+        remove_snapshot(&dir).unwrap(); // idempotent
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_propagated() {
+        let dir = tmp_dir("corrupt");
+        write_snapshot(&dir, &sample()).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let good = std::fs::read(&path).unwrap();
+        // Any single corrupted byte must be caught (magic, length, crc or
+        // payload).
+        for at in [0usize, 9, 17, HEADER + 3, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[at] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(read_snapshot(&dir).is_err(), "flip at byte {at} went unnoticed");
+        }
+        // Truncations too.
+        for cut in [0usize, 7, HEADER - 1, HEADER + 5, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(read_snapshot(&dir).is_err(), "truncation at {cut} went unnoticed");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_answer_mismatch_is_rejected() {
+        let dir = tmp_dir("epoch");
+        let mut snap = sample();
+        snap.epoch = 9; // claims more answers than it stores
+        write_snapshot(&dir, &snap).unwrap();
+        let err = read_snapshot(&dir).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,558 @@
+//! The data-dir root: one directory per table, each holding a WAL and
+//! (usually) a snapshot, plus the recovery / compaction / verification
+//! orchestration over them.
+//!
+//! ```text
+//! <data-dir>/
+//!   tables/
+//!     <table-id>/
+//!       wal.log         append-only record log (system of record)
+//!       snapshot.snap   latest snapshot (recovery accelerator)
+//! ```
+
+use crate::snapshot::{self, TableSnapshot};
+use crate::wal::{self, FsyncPolicy, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WAL_FILE};
+use crate::StoreError;
+use std::fs;
+use std::path::{Path, PathBuf};
+use tcrowd_core::FitParams;
+use tcrowd_tabular::{Answer, AnswerLog};
+
+/// A data directory hosting many tables' durable state.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+    policy: FsyncPolicy,
+}
+
+/// One table's reconstructed state after a crash (or a clean restart —
+/// recovery cannot tell and does not need to).
+#[derive(Debug)]
+pub struct Recovered {
+    /// The table id (directory name).
+    pub id: String,
+    /// Shape, schema and service configuration from the Create record (or
+    /// the snapshot, when the snapshot path was taken).
+    pub meta: TableMeta,
+    /// The recovered answer log — exactly the longest checksummed prefix of
+    /// the WAL, bit-identical to what was acknowledged.
+    pub log: AnswerLog,
+    /// The persisted warm-start seed, when a snapshot carried one.
+    pub fit: Option<FitParams>,
+    /// Epoch of the snapshot that accelerated recovery (`None` = full
+    /// replay).
+    pub snapshot_epoch: Option<u64>,
+    /// Answers decoded from the WAL tail beyond the snapshot (equals
+    /// `log.len()` on a full replay).
+    pub replayed_tail: u64,
+    /// The torn tail that was truncated, if any.
+    pub torn: Option<TornTail>,
+    /// Whether a deletion tombstone was found — the table is dead and
+    /// `wal` is `None`.
+    pub deleted: bool,
+    /// The reopened WAL, positioned for further appends (absent for dead
+    /// tables).
+    pub wal: Option<Wal>,
+}
+
+/// What `compact` did to one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// WAL bytes before compaction (after torn-tail truncation).
+    pub wal_bytes_before: u64,
+    /// WAL bytes after rewriting (Create + a few large Appends).
+    pub wal_bytes_after: u64,
+    /// WAL records before compaction.
+    pub records_before: usize,
+    /// WAL records after compaction (the Create plus one Append per
+    /// `REWRITE_CHUNK` answers; empty tables keep just the Create).
+    pub records_after: usize,
+    /// Answers carried through (compaction never drops answers).
+    pub answers: u64,
+    /// Whether a warm-start fit was preserved into the fresh snapshot.
+    pub fit_preserved: bool,
+}
+
+/// Snapshot/WAL consistency as seen by `verify`.
+#[derive(Debug, Clone)]
+pub struct SnapshotCheck {
+    /// The snapshot's epoch.
+    pub epoch: u64,
+    /// The snapshot's claimed WAL resume offset.
+    pub wal_offset: u64,
+    /// Whether the snapshot log is exactly the WAL prefix at `epoch` and
+    /// `wal_offset` is a real record boundary.
+    pub consistent: bool,
+    /// Whether the snapshot carries a warm-start fit.
+    pub has_fit: bool,
+}
+
+/// The full integrity report of one table's on-disk state.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// The table id.
+    pub id: String,
+    /// WAL file size in bytes.
+    pub wal_bytes: u64,
+    /// Valid WAL records.
+    pub records: usize,
+    /// Answers in the valid prefix.
+    pub answers: u64,
+    /// Whether a deletion tombstone is present.
+    pub deleted: bool,
+    /// Torn tail, if the file extends past the valid prefix.
+    pub torn: Option<TornTail>,
+    /// Snapshot consistency (absent when no snapshot exists).
+    pub snapshot: Option<SnapshotCheck>,
+    /// Hard failures (empty = the table recovers cleanly). A torn tail is
+    /// *not* an error — it is the condition recovery is designed for.
+    pub errors: Vec<String>,
+}
+
+impl Store {
+    /// Open (creating if needed) a data directory.
+    pub fn open(root: impl Into<PathBuf>, policy: FsyncPolicy) -> std::io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(root.join("tables"))?;
+        Ok(Store { root, policy })
+    }
+
+    /// The data directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The fsync policy new and reopened WALs use.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The directory of one table.
+    pub fn table_dir(&self, id: &str) -> PathBuf {
+        self.root.join("tables").join(id)
+    }
+
+    /// Every table id with a directory on disk, sorted.
+    pub fn table_ids(&self) -> std::io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(self.root.join("tables"))? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    ids.push(name);
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Claim a table id and durably write its Create record. Returns the
+    /// open WAL for ingestion.
+    pub fn create_table(&self, id: &str, meta: &TableMeta) -> Result<Wal, StoreError> {
+        Wal::create(&self.table_dir(id), meta, self.policy)
+    }
+
+    /// Remove a (tombstoned) table's directory.
+    pub fn remove_table_dir(&self, id: &str) -> std::io::Result<()> {
+        match fs::remove_dir_all(self.table_dir(id)) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Recover one table: longest-checksummed-prefix WAL replay (snapshot
+    /// assisted when possible), torn-tail truncation, and a WAL reopened for
+    /// appending.
+    pub fn recover_table(&self, id: &str) -> Result<Recovered, StoreError> {
+        let dir = self.table_dir(id);
+        let wal_path = dir.join(WAL_FILE);
+        if !wal_path.exists() {
+            if snapshot::read_snapshot(&dir).unwrap_or(None).is_some() {
+                // The WAL vanished but a snapshot survived — e.g. a crash
+                // mid `remove_dir_all` that unlinked wal.log (tombstone and
+                // all) before snapshot.snap. Seed an empty file so the
+                // rebuild branch below reconstructs the WAL from the
+                // snapshot: resurrecting a half-deleted table is recoverable
+                // (delete it again); refusing to boot the whole service is
+                // not.
+                fs::write(&wal_path, b"")?;
+            } else {
+                return Err(StoreError::corrupt(
+                    &wal_path,
+                    0,
+                    "table directory exists but has no WAL (crash during creation?)".to_string(),
+                ));
+            }
+        }
+        let file_len = fs::metadata(&wal_path)?.len();
+        // A corrupt snapshot is a recovery *accelerator* failure, not a data
+        // failure: note it and fall back to the full replay.
+        let mut snap = snapshot::read_snapshot(&dir).unwrap_or(None);
+
+        // The fast path trusts `snapshot.wal_offset` to be a record boundary,
+        // which holds for every snapshot this store wrote. If the very first
+        // tail frame fails its checksum, we cannot tell a genuine torn first
+        // record from a misaligned offset (stale snapshot restored next to a
+        // newer WAL) — and truncating on a misaligned offset would destroy
+        // valid acknowledged records. Per `replay_tail`'s contract, that case
+        // falls back to a full replay, which distinguishes the two for free.
+        let mut tail_replay = None;
+        if let Some(s) = &snap {
+            if s.wal_offset <= file_len {
+                let probe = wal::replay_tail(&wal_path, s.wal_offset)?;
+                if probe.records.is_empty() && probe.torn.is_some() {
+                    snap = None;
+                } else {
+                    tail_replay = Some(probe);
+                }
+            }
+        }
+
+        let (meta, log, fit, snapshot_epoch, replayed_tail, valid_len, torn, deleted);
+        match snap {
+            Some(s) if s.wal_offset <= file_len => {
+                // Fast path: resume decoding at the snapshot's offset; the
+                // snapshot's log (shape-validated at decode) absorbs the
+                // tail.
+                let tail = tail_replay.take().expect("tail probed above");
+                snapshot_epoch = Some(s.epoch);
+                replayed_tail = tail.answers.len() as u64;
+                valid_len = tail.valid_len;
+                torn = tail.torn;
+                deleted = tail.deleted;
+                meta = s.meta;
+                fit = s.fit;
+                let mut all = s.log;
+                push_validated(&mut all, &meta, &wal_path, tail.answers)?;
+                log = all;
+            }
+            Some(s) => {
+                // The WAL is *shorter* than the snapshot's offset: un-synced
+                // WAL bytes died with the crash after the snapshot had been
+                // fsynced (possible under `FsyncPolicy::Never`). The snapshot
+                // is the more durable record — rebuild the WAL from it so the
+                // "WAL alone determines the table" invariant holds again.
+                let report = TornTail {
+                    at: file_len,
+                    dropped_bytes: 0,
+                    reason: format!(
+                        "wal ({file_len} bytes) ends before the snapshot offset {}; \
+                         rebuilt from the snapshot",
+                        s.wal_offset
+                    ),
+                };
+                // Same crash-safe order as compaction: drop the stale
+                // snapshot (whose wal_offset describes the OLD layout)
+                // before the rewrite, then persist a fresh one matching the
+                // new layout. Leaving the stale snapshot in place would make
+                // the next recovery take this branch again — rebuilding from
+                // epoch `s.epoch` and destroying any answers acknowledged in
+                // between.
+                snapshot::remove_snapshot(&dir)?;
+                let pos = rewrite_wal(&dir, &s.meta, s.log.all())?;
+                snapshot::write_snapshot(
+                    &dir,
+                    &TableSnapshot {
+                        epoch: s.epoch,
+                        wal_offset: pos.offset,
+                        meta: s.meta.clone(),
+                        log: s.log.clone(),
+                        fit: s.fit.clone(),
+                    },
+                )?;
+                snapshot_epoch = Some(s.epoch);
+                replayed_tail = 0;
+                valid_len = pos.offset;
+                torn = Some(report);
+                deleted = false;
+                meta = s.meta;
+                fit = s.fit;
+                log = s.log;
+            }
+            None => {
+                let full = wal::replay(&wal_path)?;
+                meta = match full.meta {
+                    Some(m) => m,
+                    None => {
+                        return Err(StoreError::corrupt(
+                            &wal_path,
+                            0,
+                            match full.torn {
+                                Some(t) => format!("no valid create record: {}", t.reason),
+                                None => "empty WAL".to_string(),
+                            },
+                        ))
+                    }
+                };
+                snapshot_epoch = None;
+                replayed_tail = full.answers.len() as u64;
+                valid_len = full.valid_len;
+                torn = full.torn;
+                deleted = full.deleted;
+                fit = None;
+                let mut built = AnswerLog::new(meta.rows, meta.schema.num_columns());
+                push_validated(&mut built, &meta, &wal_path, full.answers)?;
+                log = built;
+            }
+        }
+
+        // Drop the torn bytes so future appends extend the valid prefix.
+        let file_len = fs::metadata(&wal_path)?.len();
+        if valid_len < file_len {
+            let f = fs::OpenOptions::new().write(true).open(&wal_path)?;
+            f.set_len(valid_len)?;
+            f.sync_data()?;
+        }
+        let wal = if deleted {
+            None
+        } else {
+            Some(Wal::open_for_append(
+                &wal_path,
+                WalPosition { offset: valid_len, answers: log.len() as u64 },
+                self.policy,
+            )?)
+        };
+        Ok(Recovered {
+            id: id.to_string(),
+            meta,
+            log,
+            fit: if deleted { None } else { fit },
+            snapshot_epoch,
+            replayed_tail,
+            torn,
+            deleted,
+            wal,
+        })
+    }
+
+    /// Recover every live table in the store. Tombstoned tables (deletion
+    /// committed, directory removal lost to the crash) and **aborted
+    /// creations** (a directory whose Create record never became durable —
+    /// the creation was never acknowledged, so there is nothing to lose)
+    /// are cleaned up and skipped. Anything else that fails aborts with the
+    /// failing table's error — a durability layer must not silently serve a
+    /// subset.
+    pub fn recover_all(&self) -> Result<Vec<Recovered>, StoreError> {
+        let mut out = Vec::new();
+        for id in self.table_ids()? {
+            if self.is_aborted_creation(&id)? {
+                self.remove_table_dir(&id)?;
+                continue;
+            }
+            let rec = self.recover_table(&id)?;
+            if rec.deleted {
+                self.remove_table_dir(&id)?;
+                continue;
+            }
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    /// True when `id`'s directory is the residue of a crashed `POST /tables`:
+    /// no usable snapshot *and* a WAL that ends mid-Create-frame (see
+    /// [`wal::CreateProbe`]). Such a creation was never acknowledged
+    /// ([`Wal::create`] fsyncs before returning), so garbage-collecting the
+    /// directory cannot lose data. A table with a valid snapshot is
+    /// recoverable even with a rotted WAL head and is never treated as
+    /// aborted; a *complete-but-undecodable* Create frame is rot, not an
+    /// abort — it surfaces as a recovery error instead of a silent delete.
+    fn is_aborted_creation(&self, id: &str) -> Result<bool, StoreError> {
+        let dir = self.table_dir(id);
+        if snapshot::read_snapshot(&dir).unwrap_or(None).is_some() {
+            return Ok(false);
+        }
+        Ok(wal::probe_create(&dir.join(WAL_FILE))? == wal::CreateProbe::AbortedCreation)
+    }
+
+    /// Rewrite one table's WAL as `Create + a few large Appends` (defragmenting every
+    /// per-batch frame) and write a fresh snapshot at the full epoch. Crash
+    /// safe at every step: the snapshot is removed *before* the WAL rename
+    /// so no stale offset can ever point into the new layout.
+    pub fn compact_table(&self, id: &str) -> Result<CompactReport, StoreError> {
+        let dir = self.table_dir(id);
+        let wal_path = dir.join(WAL_FILE);
+        // One full replay is both the source of truth and the audit figures
+        // — compaction always touches every record anyway, so the snapshot
+        // fast path would save nothing here.
+        let full = wal::replay(&wal_path)?;
+        let meta = full.meta.ok_or_else(|| {
+            StoreError::corrupt(&wal_path, 0, "cannot compact: no valid create record".to_string())
+        })?;
+        if full.deleted {
+            return Err(StoreError::corrupt(
+                &wal_path,
+                0,
+                "cannot compact a deleted table".to_string(),
+            ));
+        }
+        let snap = snapshot::read_snapshot(&dir).unwrap_or(None);
+        // Prefer the longer source, exactly as recovery would (a snapshot
+        // ahead of the WAL is the fsync=never loss case).
+        let (log, fit) = match snap {
+            Some(s) if s.epoch > full.answers.len() as u64 => (s.log, s.fit),
+            snap => {
+                let mut log = AnswerLog::new(meta.rows, meta.schema.num_columns());
+                push_validated(&mut log, &meta, &wal_path, full.answers)?;
+                (log, snap.and_then(|s| s.fit))
+            }
+        };
+
+        snapshot::remove_snapshot(&dir)?;
+        let pos = rewrite_wal(&dir, &meta, log.all())?;
+        snapshot::write_snapshot(
+            &dir,
+            &TableSnapshot {
+                epoch: log.len() as u64,
+                wal_offset: pos.offset,
+                meta: meta.clone(),
+                log: log.clone(),
+                fit: fit.clone(),
+            },
+        )?;
+        Ok(CompactReport {
+            wal_bytes_before: full.valid_len,
+            wal_bytes_after: pos.offset,
+            records_before: full.records.len(),
+            records_after: 1 + log.len().div_ceil(REWRITE_CHUNK),
+            answers: log.len() as u64,
+            fit_preserved: fit.is_some(),
+        })
+    }
+
+    /// Full integrity scan of one table: WAL framing, snapshot/WAL
+    /// consistency, epoch monotonicity.
+    pub fn verify_table(&self, id: &str) -> Result<VerifyReport, StoreError> {
+        let dir = self.table_dir(id);
+        let wal_path = dir.join(WAL_FILE);
+        let mut errors = Vec::new();
+        let full = wal::replay(&wal_path)?;
+        let wal_bytes = fs::metadata(&wal_path)?.len();
+        if full.meta.is_none() {
+            errors.push("no valid create record at the head of the WAL".to_string());
+        }
+        // Epoch monotonicity across records (a violated invariant would mean
+        // the decoder itself is broken — checked anyway: this is the audit
+        // tool).
+        let mut last = RecordInfo { kind: 0, end_offset: 0, answers_after: 0 };
+        for r in &full.records {
+            if r.end_offset <= last.end_offset && !(last.kind == 0 && r.end_offset > 0) {
+                errors.push(format!("non-monotone record offsets at {}", r.end_offset));
+            }
+            if r.answers_after < last.answers_after {
+                errors.push(format!("answer count regressed at offset {}", r.end_offset));
+            }
+            last = *r;
+        }
+        let snapshot = match snapshot::read_snapshot(&dir) {
+            Err(e) => {
+                errors.push(format!("snapshot unreadable: {e}"));
+                None
+            }
+            Ok(None) => None,
+            Ok(Some(s)) => {
+                let mut consistent = true;
+                if s.epoch > full.answers.len() as u64 {
+                    // Legal only after an fsync=never crash; recovery rebuilds
+                    // the WAL from the snapshot. Flag it so operators see it.
+                    errors.push(format!(
+                        "snapshot epoch {} is ahead of the WAL ({} answers) — recovery will \
+                         rebuild the WAL from the snapshot",
+                        s.epoch,
+                        full.answers.len()
+                    ));
+                    consistent = false;
+                } else {
+                    if s.log.all() != &full.answers[..s.epoch as usize] {
+                        errors.push(format!(
+                            "snapshot log is not the WAL prefix at epoch {}",
+                            s.epoch
+                        ));
+                        consistent = false;
+                    }
+                    let boundary = full
+                        .records
+                        .iter()
+                        .any(|r| r.end_offset == s.wal_offset && r.answers_after == s.epoch);
+                    if !boundary {
+                        errors.push(format!(
+                            "snapshot wal_offset {} is not a record boundary at epoch {}",
+                            s.wal_offset, s.epoch
+                        ));
+                        consistent = false;
+                    }
+                }
+                Some(SnapshotCheck {
+                    epoch: s.epoch,
+                    wal_offset: s.wal_offset,
+                    consistent,
+                    has_fit: s.fit.is_some(),
+                })
+            }
+        };
+        Ok(VerifyReport {
+            id: id.to_string(),
+            wal_bytes,
+            records: full.records.len(),
+            answers: full.answers.len() as u64,
+            deleted: full.deleted,
+            torn: full.torn,
+            snapshot,
+            errors,
+        })
+    }
+}
+
+/// How many answers one rewritten Append frame holds (~17 MiB encoded).
+/// Chunking keeps every frame far below the replay sanity bound
+/// (`MAX_RECORD` in the wal module): framing a whole multi-GiB log as one
+/// record would make the rewritten WAL read back as corrupt.
+const REWRITE_CHUNK: usize = 1 << 20;
+
+/// Replace `dir`'s WAL with a freshly-written `Create + chunked Appends`
+/// sequence holding `answers`, atomically (tmp + rename + dir sync).
+fn rewrite_wal(
+    dir: &Path,
+    meta: &TableMeta,
+    answers: &[Answer],
+) -> Result<WalPosition, StoreError> {
+    let tmp_dir = dir.join("wal.rewrite.tmp");
+    fs::remove_dir_all(&tmp_dir).ok();
+    let mut wal = Wal::create(&tmp_dir, meta, FsyncPolicy::Always)?;
+    for chunk in answers.chunks(REWRITE_CHUNK) {
+        wal.append_answers(chunk)?;
+    }
+    wal.sync()?;
+    let pos = wal.position();
+    drop(wal);
+    fs::rename(tmp_dir.join(WAL_FILE), dir.join(WAL_FILE))?;
+    fs::remove_dir_all(&tmp_dir).ok();
+    wal::sync_dir(dir);
+    Ok(pos)
+}
+
+/// Append recovered answers into `log`, validating the shape invariant
+/// every answer passed at ingest time.
+fn push_validated(
+    log: &mut AnswerLog,
+    meta: &TableMeta,
+    wal_path: &Path,
+    answers: Vec<Answer>,
+) -> Result<(), StoreError> {
+    let cols = meta.schema.num_columns();
+    for (i, a) in answers.into_iter().enumerate() {
+        if a.cell.row as usize >= meta.rows || a.cell.col as usize >= cols {
+            return Err(StoreError::corrupt(
+                wal_path,
+                0,
+                format!(
+                    "recovered answer {i} addresses cell ({}, {}) outside the {}x{cols} table",
+                    a.cell.row, a.cell.col, meta.rows
+                ),
+            ));
+        }
+        log.push(a);
+    }
+    Ok(())
+}

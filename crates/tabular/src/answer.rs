@@ -53,7 +53,12 @@ pub struct Answer {
 ///
 /// Shape-aware: constructed for a fixed `rows × cols` table so the per-cell
 /// index can be a dense vector rather than a hash map.
-#[derive(Debug, Clone)]
+///
+/// Equality is derived over shape, answers *and* the derived indexes; since
+/// the indexes are a deterministic function of the push sequence, two logs
+/// compare equal exactly when they hold the same answers in the same order
+/// for the same shape.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnswerLog {
     rows: usize,
     cols: usize,

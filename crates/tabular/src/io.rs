@@ -294,6 +294,425 @@ pub fn read_table(schema: &Schema, path: impl AsRef<Path>) -> Result<Vec<Vec<Val
     Ok(rows)
 }
 
+pub mod binary {
+    //! Stable little-endian **binary codec** for answers, answer logs and
+    //! schemas — the wire format of the `tcrowd-store` durability layer
+    //! (WAL records, snapshot files).
+    //!
+    //! Stability contract: the encoding of every type below is fixed —
+    //! fixed-width little-endian integers, `f64::to_bits` for floats (so
+    //! round-trips are *bit-identical*, not merely approximately equal),
+    //! length-prefixed UTF-8 for strings, a one-byte tag per enum variant.
+    //! New variants may only be added with new tags; existing tags never
+    //! change meaning. The codec carries **no framing or checksums** — the
+    //! store layer wraps payloads in its own CRC frames.
+    //!
+    //! Encoders append to a `Vec<u8>`; decoders consume from a [`Cursor`]
+    //! and fail loudly ([`CodecError`]) on truncation or unknown tags
+    //! instead of guessing.
+
+    use crate::answer::{Answer, AnswerLog, CellId, WorkerId};
+    use crate::schema::{Column, ColumnType, Schema};
+    use crate::value::Value;
+    use std::fmt;
+
+    /// A decode failure: byte position and message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct CodecError {
+        /// Byte offset (within the buffer being decoded) where decoding failed.
+        pub at: usize,
+        /// What went wrong.
+        pub message: String,
+    }
+
+    impl fmt::Display for CodecError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "binary decode error at byte {}: {}", self.at, self.message)
+        }
+    }
+
+    impl std::error::Error for CodecError {}
+
+    /// A bounds-checked reader over an encoded buffer.
+    #[derive(Debug)]
+    pub struct Cursor<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        /// Read from the start of `buf`.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Cursor { buf, pos: 0 }
+        }
+
+        /// Current byte position.
+        #[inline]
+        pub fn position(&self) -> usize {
+            self.pos
+        }
+
+        /// Bytes left to read.
+        #[inline]
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// True once every byte has been consumed.
+        #[inline]
+        pub fn is_empty(&self) -> bool {
+            self.remaining() == 0
+        }
+
+        fn err(&self, message: impl Into<String>) -> CodecError {
+            CodecError { at: self.pos, message: message.into() }
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+            if self.remaining() < n {
+                return Err(self.err(format!("need {n} bytes, {} remain", self.remaining())));
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        /// Read one byte.
+        pub fn u8(&mut self) -> Result<u8, CodecError> {
+            Ok(self.take(1)?[0])
+        }
+
+        /// Read a little-endian `u32`.
+        pub fn u32(&mut self) -> Result<u32, CodecError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        }
+
+        /// Read a little-endian `u64`.
+        pub fn u64(&mut self) -> Result<u64, CodecError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        }
+
+        /// Read an `f64` stored as its IEEE-754 bit pattern (bit-exact).
+        pub fn f64(&mut self) -> Result<f64, CodecError> {
+            Ok(f64::from_bits(self.u64()?))
+        }
+
+        /// Read a `u32`-length-prefixed UTF-8 string.
+        pub fn str(&mut self) -> Result<String, CodecError> {
+            let len = self.u32()? as usize;
+            if len > self.remaining() {
+                return Err(self.err(format!("string of {len} bytes overruns the buffer")));
+            }
+            let bytes = self.take(len)?;
+            String::from_utf8(bytes.to_vec())
+                .map_err(|e| CodecError { at: self.pos, message: format!("invalid UTF-8: {e}") })
+        }
+    }
+
+    /// Append one byte.
+    pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+        buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (bit-exact round-trip).
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        put_u64(buf, v.to_bits());
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+        put_u32(buf, s.len() as u32);
+        buf.extend_from_slice(s.as_bytes());
+    }
+
+    const VALUE_CATEGORICAL: u8 = 0;
+    const VALUE_CONTINUOUS: u8 = 1;
+
+    /// Encode a cell value (tag byte + payload).
+    pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+        match v {
+            Value::Categorical(l) => {
+                put_u8(buf, VALUE_CATEGORICAL);
+                put_u32(buf, *l);
+            }
+            Value::Continuous(x) => {
+                put_u8(buf, VALUE_CONTINUOUS);
+                put_f64(buf, *x);
+            }
+        }
+    }
+
+    /// Decode a cell value.
+    pub fn get_value(c: &mut Cursor<'_>) -> Result<Value, CodecError> {
+        match c.u8()? {
+            VALUE_CATEGORICAL => Ok(Value::Categorical(c.u32()?)),
+            VALUE_CONTINUOUS => Ok(Value::Continuous(c.f64()?)),
+            tag => Err(CodecError {
+                at: c.position() - 1,
+                message: format!("unknown value tag {tag}"),
+            }),
+        }
+    }
+
+    /// Encode one answer: worker, row, col, value.
+    pub fn put_answer(buf: &mut Vec<u8>, a: &Answer) {
+        put_u32(buf, a.worker.0);
+        put_u32(buf, a.cell.row);
+        put_u32(buf, a.cell.col);
+        put_value(buf, &a.value);
+    }
+
+    /// Decode one answer.
+    pub fn get_answer(c: &mut Cursor<'_>) -> Result<Answer, CodecError> {
+        let worker = WorkerId(c.u32()?);
+        let row = c.u32()?;
+        let col = c.u32()?;
+        let value = get_value(c)?;
+        Ok(Answer { worker, cell: CellId::new(row, col), value })
+    }
+
+    /// Encode a batch of answers (count-prefixed).
+    pub fn put_answers(buf: &mut Vec<u8>, answers: &[Answer]) {
+        put_u32(buf, answers.len() as u32);
+        for a in answers {
+            put_answer(buf, a);
+        }
+    }
+
+    /// Decode a batch of answers written by [`put_answers`].
+    pub fn get_answers(c: &mut Cursor<'_>) -> Result<Vec<Answer>, CodecError> {
+        let n = c.u32()? as usize;
+        // 13 bytes is the smallest possible encoded answer; reject counts the
+        // buffer cannot possibly hold before allocating.
+        if n.saturating_mul(13) > c.remaining() {
+            return Err(CodecError {
+                at: c.position(),
+                message: format!("answer count {n} overruns the buffer"),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(get_answer(c)?);
+        }
+        Ok(out)
+    }
+
+    /// Encode a full answer log (shape + answers in insertion order).
+    ///
+    /// Decoding with [`get_log`] reproduces a **bit-identical** log: same
+    /// shape, same answers in the same order — and therefore identical
+    /// derived indexes, freezes and inference results.
+    pub fn put_log(buf: &mut Vec<u8>, log: &AnswerLog) {
+        put_u64(buf, log.rows() as u64);
+        put_u64(buf, log.cols() as u64);
+        put_answers(buf, log.all());
+    }
+
+    /// Decode an answer log written by [`put_log`].
+    pub fn get_log(c: &mut Cursor<'_>) -> Result<AnswerLog, CodecError> {
+        let rows = c.u64()? as usize;
+        let cols = c.u64()? as usize;
+        if rows.saturating_mul(cols) > u32::MAX as usize {
+            return Err(CodecError {
+                at: c.position(),
+                message: format!("implausible log shape {rows}x{cols}"),
+            });
+        }
+        let answers = get_answers(c)?;
+        let mut log = AnswerLog::new(rows, cols);
+        for (i, a) in answers.into_iter().enumerate() {
+            if a.cell.row as usize >= rows || a.cell.col as usize >= cols {
+                return Err(CodecError {
+                    at: c.position(),
+                    message: format!(
+                        "answer {i} addresses cell ({}, {}) outside the {rows}x{cols} table",
+                        a.cell.row, a.cell.col
+                    ),
+                });
+            }
+            log.push(a);
+        }
+        Ok(log)
+    }
+
+    const COLUMN_CATEGORICAL: u8 = 0;
+    const COLUMN_CONTINUOUS: u8 = 1;
+
+    /// Encode a schema (name, key, columns with types and domains).
+    pub fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
+        put_str(buf, &schema.name);
+        put_str(buf, &schema.key);
+        put_u32(buf, schema.columns.len() as u32);
+        for c in &schema.columns {
+            put_str(buf, &c.name);
+            match &c.ty {
+                ColumnType::Categorical { labels } => {
+                    put_u8(buf, COLUMN_CATEGORICAL);
+                    put_u32(buf, labels.len() as u32);
+                    for l in labels {
+                        put_str(buf, l);
+                    }
+                }
+                ColumnType::Continuous { min, max } => {
+                    put_u8(buf, COLUMN_CONTINUOUS);
+                    put_f64(buf, *min);
+                    put_f64(buf, *max);
+                }
+            }
+        }
+    }
+
+    /// Decode a schema written by [`put_schema`].
+    pub fn get_schema(c: &mut Cursor<'_>) -> Result<Schema, CodecError> {
+        let name = c.str()?;
+        let key = c.str()?;
+        let n_cols = c.u32()? as usize;
+        if n_cols == 0 {
+            return Err(CodecError { at: c.position(), message: "schema has no columns".into() });
+        }
+        let mut columns = Vec::with_capacity(n_cols.min(1024));
+        for _ in 0..n_cols {
+            let cname = c.str()?;
+            let ty = match c.u8()? {
+                COLUMN_CATEGORICAL => {
+                    let n_labels = c.u32()? as usize;
+                    if n_labels == 0 {
+                        return Err(CodecError {
+                            at: c.position(),
+                            message: "categorical column with no labels".into(),
+                        });
+                    }
+                    let mut labels = Vec::with_capacity(n_labels.min(4096));
+                    for _ in 0..n_labels {
+                        labels.push(c.str()?);
+                    }
+                    ColumnType::Categorical { labels }
+                }
+                COLUMN_CONTINUOUS => {
+                    let min = c.f64()?;
+                    let max = c.f64()?;
+                    ColumnType::Continuous { min, max }
+                }
+                tag => {
+                    return Err(CodecError {
+                        at: c.position() - 1,
+                        message: format!("unknown column tag {tag}"),
+                    })
+                }
+            };
+            columns.push(Column::new(cname, ty));
+        }
+        Ok(Schema::new(name, key, columns))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::generator::{generate_dataset, GeneratorConfig};
+
+        fn sample() -> crate::dataset::Dataset {
+            generate_dataset(
+                &GeneratorConfig {
+                    rows: 10,
+                    columns: 5,
+                    num_workers: 7,
+                    answers_per_task: 3,
+                    ..Default::default()
+                },
+                11,
+            )
+        }
+
+        #[test]
+        fn log_roundtrip_is_bit_identical() {
+            let d = sample();
+            let mut buf = Vec::new();
+            put_log(&mut buf, &d.answers);
+            let mut c = Cursor::new(&buf);
+            let back = get_log(&mut c).unwrap();
+            assert!(c.is_empty(), "decoder must consume the whole encoding");
+            assert_eq!(back.rows(), d.answers.rows());
+            assert_eq!(back.cols(), d.answers.cols());
+            assert_eq!(back.all(), d.answers.all());
+            // Continuous payloads survive to the bit.
+            for (a, b) in back.all().iter().zip(d.answers.all()) {
+                if let (Value::Continuous(x), Value::Continuous(y)) = (a.value, b.value) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+
+        #[test]
+        fn schema_roundtrip() {
+            let d = sample();
+            let mut buf = Vec::new();
+            put_schema(&mut buf, &d.schema);
+            let back = get_schema(&mut Cursor::new(&buf)).unwrap();
+            assert_eq!(back, d.schema);
+        }
+
+        #[test]
+        fn truncation_is_an_error_at_every_prefix() {
+            let d = sample();
+            let mut buf = Vec::new();
+            put_log(&mut buf, &d.answers);
+            for cut in 0..buf.len() {
+                assert!(
+                    get_log(&mut Cursor::new(&buf[..cut])).is_err(),
+                    "decoding a {cut}-byte prefix of a {}-byte log must fail",
+                    buf.len()
+                );
+            }
+        }
+
+        #[test]
+        fn unknown_tags_and_bad_shapes_are_rejected() {
+            // Unknown value tag.
+            let mut buf = Vec::new();
+            put_u32(&mut buf, 1); // worker
+            put_u32(&mut buf, 0); // row
+            put_u32(&mut buf, 0); // col
+            put_u8(&mut buf, 9); // bad tag
+            assert!(get_answer(&mut Cursor::new(&buf)).is_err());
+
+            // Answer outside the declared shape.
+            let mut log = AnswerLog::new(4, 2);
+            log.push(Answer {
+                worker: WorkerId(0),
+                cell: CellId::new(3, 1),
+                value: Value::Categorical(0),
+            });
+            let mut buf = Vec::new();
+            put_u64(&mut buf, 2); // claim 2 rows…
+            put_u64(&mut buf, 2);
+            put_answers(&mut buf, log.all()); // …but the answer sits on row 3
+            assert!(get_log(&mut Cursor::new(&buf)).is_err());
+
+            // Hostile count that cannot fit the buffer.
+            let mut buf = Vec::new();
+            put_u32(&mut buf, u32::MAX);
+            assert!(get_answers(&mut Cursor::new(&buf)).is_err());
+        }
+
+        #[test]
+        fn strings_with_multibyte_utf8_roundtrip() {
+            let mut buf = Vec::new();
+            put_str(&mut buf, "café ∞ 表");
+            assert_eq!(Cursor::new(&buf).str().unwrap(), "café ∞ 表");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

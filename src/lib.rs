@@ -24,9 +24,14 @@
 //! * [`sim`] — the crowdsourcing-platform simulator and experiment runner,
 //!   with confidence-based adaptive stopping (`sim::stopping`) and crowd
 //!   entity enumeration (`sim::discovery`).
+//! * [`store`] — the durability layer: per-table CRC-framed write-ahead
+//!   logs, snapshot files carrying warm-startable fit parameters, and
+//!   crash recovery that tolerates torn tails (`tcrowd serve --data-dir`,
+//!   `tcrowd store {inspect,verify,compact}`).
 //! * [`service`] — the multi-table HTTP service layer: a std-only JSON API
 //!   plus a background refresher per table driving the incremental
-//!   delta-merge + warm-refit pipeline (`tcrowd serve`).
+//!   delta-merge + warm-refit pipeline (`tcrowd serve`), with WAL-before-ack
+//!   ingest and snapshot-after-publish on durable tables.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +56,7 @@ pub use tcrowd_core as core;
 pub use tcrowd_service as service;
 pub use tcrowd_sim as sim;
 pub use tcrowd_stat as stat;
+pub use tcrowd_store as store;
 pub use tcrowd_tabular as tabular;
 
 /// Convenience re-exports covering the common workflow: generate or load a

@@ -128,6 +128,7 @@ proptest! {
             inference: Some(&r),
             max_answers_per_cell: None,
             terminated: None,
+            correlation: None,
         };
         let fresh = WorkerId(1_000_000);
         for policy in [
