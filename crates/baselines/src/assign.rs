@@ -113,10 +113,10 @@ pub fn raw_uncertainty(ctx: &AssignmentContext<'_>, cell: CellId) -> f64 {
             let l = labels.len();
             let mut counts = vec![0.0f64; l];
             let mut n = 0.0;
-            for a in ctx.answers.for_cell(cell) {
-                counts[a.value.expect_categorical() as usize] += 1.0;
+            ctx.answers.for_each_cell_value(cell, &mut |v| {
+                counts[v.expect_categorical() as usize] += 1.0;
                 n += 1.0;
-            }
+            });
             if n == 0.0 {
                 (l as f64).ln()
             } else {
@@ -126,7 +126,7 @@ pub fn raw_uncertainty(ctx: &AssignmentContext<'_>, cell: CellId) -> f64 {
         }
         ColumnType::Continuous { min, max } => {
             let vals: Vec<f64> =
-                ctx.answers.for_cell(cell).map(|a| a.value.expect_continuous()).collect();
+                ctx.answers.cell_values(cell).iter().map(|v| v.expect_continuous()).collect();
             let spread = if vals.len() < 2 {
                 // No information yet: spread of a uniform over the domain.
                 (max - min) / 12f64.sqrt()
@@ -187,9 +187,9 @@ impl CdasPolicy {
         match ctx.schema.column_type(cell.col as usize) {
             ColumnType::Categorical { labels } => {
                 let mut counts = vec![0.0f64; labels.len()];
-                for a in ctx.answers.for_cell(cell) {
-                    counts[a.value.expect_categorical() as usize] += 1.0;
-                }
+                ctx.answers.for_each_cell_value(cell, &mut |v| {
+                    counts[v.expect_categorical() as usize] += 1.0;
+                });
                 let top = counts.iter().cloned().fold(0.0, f64::max);
                 // Laplace-smoothed majority share (CDAS's quality-sensitive
                 // termination, simplified to anonymous worker accuracy).
@@ -197,14 +197,8 @@ impl CdasPolicy {
             }
             ColumnType::Continuous { .. } => {
                 let vals: Vec<f64> =
-                    ctx.answers.for_cell(cell).map(|a| a.value.expect_continuous()).collect();
-                let col_vals: Vec<f64> = ctx
-                    .answers
-                    .all()
-                    .iter()
-                    .filter(|a| a.cell.col == cell.col)
-                    .map(|a| a.value.expect_continuous())
-                    .collect();
+                    ctx.answers.cell_values(cell).iter().map(|v| v.expect_continuous()).collect();
+                let col_vals: Vec<f64> = ctx.answers.continuous_column_values(cell.col);
                 let scale = std_dev(&col_vals).max(1e-9);
                 let se = std_dev(&vals) / (vals.len() as f64).sqrt();
                 let _ = mean(&vals);

@@ -138,7 +138,7 @@ fn recovery_point(n: usize) -> RecoveryPoint {
     let report = reg.recover().expect("recover (wal only)");
     let no_snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(report.with_snapshot, 0, "first recovery must be snapshot-less");
-    let cold_log_ok = reg.get("t").expect("table").snapshot().log.all() == d.answers.all();
+    let cold_log_ok = reg.get("t").expect("table").snapshot().log.to_vec() == d.answers.all();
     reg.shutdown();
 
     // Path 2: snapshot-assisted — tail replay (empty tail) + warm-seeded EM.
@@ -149,11 +149,11 @@ fn recovery_point(n: usize) -> RecoveryPoint {
     assert_eq!(report.with_snapshot, 1, "second recovery must use the snapshot");
     let t = reg.get("t").expect("table");
     let snap = t.snapshot();
-    let log_identical = cold_log_ok && snap.log.all() == d.answers.all();
+    let log_identical = cold_log_ok && snap.log.to_vec() == d.answers.all();
     assert_eq!(snap.result.iterations, 0, "snapshot recovery must evaluate, not re-fit");
     // Served truth vs offline inference: the snapshot carried the cold
     // fit's parameters, so the evaluated state agrees to float rounding.
-    let offline = TCrowd::default_full().infer(&d.schema, &snap.log);
+    let offline = TCrowd::default_full().infer(&d.schema, &snap.log.to_log());
     let z_divergence = max_z_discrepancy(&snap.result, &offline);
     let replayed_tail_with_snapshot = report.replayed;
     reg.shutdown();

@@ -99,8 +99,9 @@ USAGE:
                   # (tcrowd-store), recover-on-boot after crash or restart
   tcrowd store    <inspect|verify|compact> --data-dir DIR [--table ID]
                   # offline durability tooling: inspect prints per-table WAL/
-                  # snapshot state, verify audits checksums + snapshot/WAL
+                  # snapshot-chain state, verify audits checksums + chain/WAL
                   # consistency (exit 1 on hard errors), compact defragments
+                  # the WAL and collapses the snapshot chain into one base
                   # the WAL and rewrites a fresh full-epoch snapshot";
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
@@ -493,15 +494,21 @@ fn cmd_store(args: &Args) -> Result<(), String> {
     }
     match args.command.as_str() {
         "inspect" => {
-            println!("table\tanswers\trecords\twal_bytes\tsnapshot_epoch\tfit\ttorn\tdeleted");
+            println!(
+                "table\tanswers\trecords\twal_bytes\tsnapshot_epoch\tchain_links\tfit\ttorn\tdeleted"
+            );
             for id in &ids {
                 let v = store.verify_table(id).map_err(|e| format!("{id}: {e}"))?;
-                let (snap_epoch, fit) = match &v.snapshot {
-                    Some(s) => (s.epoch.to_string(), if s.has_fit { "yes" } else { "no" }),
-                    None => ("-".to_string(), "-"),
+                let (snap_epoch, links, fit) = match &v.snapshot {
+                    Some(s) => (
+                        s.epoch.to_string(),
+                        s.links.to_string(),
+                        if s.has_fit { "yes" } else { "no" },
+                    ),
+                    None => ("-".to_string(), "-".to_string(), "-"),
                 };
                 println!(
-                    "{id}\t{}\t{}\t{}\t{snap_epoch}\t{fit}\t{}\t{}",
+                    "{id}\t{}\t{}\t{}\t{snap_epoch}\t{links}\t{fit}\t{}\t{}",
                     v.answers,
                     v.records,
                     v.wal_bytes,
@@ -528,9 +535,11 @@ fn cmd_store(args: &Args) -> Result<(), String> {
                 }
                 if let Some(s) = &v.snapshot {
                     println!(
-                        "  snapshot: epoch {} at wal offset {} ({}consistent, fit {})",
+                        "  snapshot chain: epoch {} at wal offset {}, {} incremental link(s) \
+                         ({}consistent, fit {})",
                         s.epoch,
                         s.wal_offset,
+                        s.links,
                         if s.consistent { "" } else { "IN" },
                         if s.has_fit { "present" } else { "absent" }
                     );

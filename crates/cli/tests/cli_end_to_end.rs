@@ -475,7 +475,7 @@ fn store_subcommands_inspect_verify_compact() {
     let (ok, out) = run("verify");
     assert!(ok, "{out}");
     assert!(out.contains("t: ok"), "{out}");
-    assert!(out.contains("snapshot: epoch 5"), "{out}");
+    assert!(out.contains("snapshot chain: epoch 5"), "{out}");
     let (ok, out) = run("compact");
     assert!(ok, "{out}");
     assert!(out.contains("5 answers"), "{out}");

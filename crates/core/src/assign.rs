@@ -23,14 +23,18 @@ use crate::truth::TruthDist;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tcrowd_stat::clamp_prob;
-use tcrowd_tabular::{AnswerLog, AnswerMatrix, CellId, FrozenView, Schema, Value, WorkerId};
+use tcrowd_tabular::{AnswerMatrix, AnswerQueries, CellId, FrozenView, Schema, Value, WorkerId};
 
 /// Everything a policy may consult when selecting tasks.
 pub struct AssignmentContext<'a> {
     /// The table schema.
     pub schema: &'a Schema,
-    /// The answer history so far.
-    pub answers: &'a AnswerLog,
+    /// The answer history so far, behind the representation-agnostic
+    /// [`AnswerQueries`] trait: library callers pass the live
+    /// [`tcrowd_tabular::AnswerLog`]; snapshot-serving callers (the service
+    /// layer) pass the frozen [`AnswerMatrix`] itself, so a published
+    /// snapshot needs no indexed log at all.
+    pub answers: &'a dyn AnswerQueries,
     /// The caller's frozen columnar view of [`Self::answers`]. Matrix-side
     /// policies (structure-aware, entity-aware) fit their models from this
     /// freeze instead of each `select` call rebuilding one — the runner
@@ -58,16 +62,15 @@ pub struct AssignmentContext<'a> {
 
 impl<'a> AssignmentContext<'a> {
     /// The frozen matrix, checked (in debug builds) to actually cover the
-    /// log: a stale freeze means the caller forgot to delta-merge the log
-    /// tail before assignment, and the fitted correlation/entity models
-    /// would silently ignore the newest answers.
+    /// answer history: a stale freeze means the caller forgot to
+    /// delta-merge the log tail before assignment, and the fitted
+    /// correlation/entity models would silently ignore the newest answers.
     pub fn matrix(&self) -> &'a AnswerMatrix {
-        debug_assert!(
-            !self.freeze.is_stale(self.answers),
-            "assignment context holds a stale freeze: epoch {} vs log length {} — refresh the \
-             matrix (AnswerMatrix::refresh / merge_delta) before selecting",
+        debug_assert_eq!(
             self.freeze.epoch(),
-            self.answers.len()
+            self.answers.len(),
+            "assignment context holds a stale freeze — refresh the matrix \
+             (AnswerMatrix::refresh / merge_delta) before selecting",
         );
         self.freeze.matrix()
     }
@@ -78,24 +81,27 @@ impl<'a> AssignmentContext<'a> {
     }
 
     /// Cells the worker may be assigned: not yet answered by this worker and
-    /// under the redundancy cap.
+    /// under the redundancy cap. Enumerates the table in row-major order.
     pub fn candidates(&self, worker: WorkerId) -> Vec<CellId> {
-        self.answers
-            .cells()
-            .filter(|&c| {
-                if let Some(cap) = self.max_answers_per_cell {
-                    if self.answers.count_for_cell(c) >= cap {
-                        return false;
-                    }
+        let (rows, cols) = (self.answers.rows(), self.answers.cols());
+        let mut out = Vec::new();
+        for slot in 0..rows * cols {
+            let c = CellId::new((slot / cols) as u32, (slot % cols) as u32);
+            if let Some(cap) = self.max_answers_per_cell {
+                if self.answers.count_for_cell(c) >= cap {
+                    continue;
                 }
-                if let Some(stopped) = self.terminated {
-                    if stopped.contains(&c) {
-                        return false;
-                    }
+            }
+            if let Some(stopped) = self.terminated {
+                if stopped.contains(&c) {
+                    continue;
                 }
-                !self.answers.has_answered(worker, c)
-            })
-            .collect()
+            }
+            if !self.answers.has_answered(worker, c) {
+                out.push(c);
+            }
+        }
+        out
     }
 }
 

@@ -67,5 +67,5 @@ pub use em::EmOptions;
 pub use entity::{EntityAwarePolicy, EntityModel, EntityModelOptions, RowGrouping};
 pub use gain::GainEstimator;
 pub use inference::{ColumnFilter, EpsilonSpec, FitParams, InferenceResult, TCrowd, TCrowdOptions};
-pub use online::OnlineTCrowd;
+pub use online::{FitState, OnlineTCrowd};
 pub use truth::TruthDist;

@@ -7,21 +7,160 @@
 //! incremental Bayesian update and re-fits the full model only every
 //! `refit_every` answers (or on demand). Between refits the worker/difficulty
 //! parameters are frozen; after a refit everything is exact again.
+//!
+//! ## Mutate vs. fit state
+//!
+//! The streaming state splits cleanly in two, and the split is load-bearing
+//! for serving deployments:
+//!
+//! * the **mutate state** — the append-only [`AnswerLog`] — is all the
+//!   collection path ever touches: `O(1)` push, `O(Δ)` tail slicing
+//!   ([`AnswerLog::slice_since`]);
+//! * the **fit state** — [`FitState`]: the evolving freeze plus the current
+//!   [`InferenceResult`] — is what EM reads and writes, and it advances
+//!   *only* by absorbing epoch-tagged [`LogSlice`]s.
+//!
+//! [`OnlineTCrowd`] composes the two behind the original single-threaded
+//! API. A service that must not stall collection while EM runs holds them
+//! behind separate locks instead: slice the tail under the ingest lock
+//! (`O(Δ)`), [`FitState::absorb`] + [`FitState::refit`] outside it, then a
+//! brief catch-up ([`FitState::catch_up`]) for the answers that arrived
+//! mid-fit — see `tcrowd-service`.
 
 use crate::assign::apply_answer_incrementally;
 use crate::inference::{InferenceResult, TCrowd};
-use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, Schema, Value};
+use std::sync::Arc;
+use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, LogSlice, Schema, Value};
 
-/// Streaming wrapper around [`TCrowd`].
+/// The fit half of the online loop: the evolving freeze and the inference
+/// result over it, advanced exclusively by epoch-tagged log slices.
+///
+/// A `FitState` never sees the answer log itself — whoever owns the log
+/// hands it [`LogSlice`]s ([`AnswerLog::slice_since`]) and the state
+/// delta-merges them into its freeze ([`AnswerMatrix::merge_delta`]). That
+/// makes it safe to run EM over a `FitState` on one thread while another
+/// keeps appending to the log: the fit works on a consistent prefix, and
+/// [`FitState::catch_up`] folds in whatever arrived mid-fit with the §5.1
+/// incremental posterior update.
+///
+/// The freeze lives behind an [`Arc`] so publishing it (handing an
+/// immutable matrix to readers) is one refcount bump, not an `O(n)` clone.
 #[derive(Debug, Clone)]
-pub struct OnlineTCrowd {
+pub struct FitState {
     model: TCrowd,
     schema: Schema,
-    answers: AnswerLog,
-    /// The evolving freeze: kept current by delta-merging the log tail at
-    /// refit points instead of rebuilding from scratch.
-    matrix: AnswerMatrix,
+    matrix: Arc<AnswerMatrix>,
     result: InferenceResult,
+}
+
+impl FitState {
+    /// An empty fit state for a `rows`-row table (runs the initial fit of
+    /// the empty answer set).
+    pub fn empty(model: TCrowd, schema: Schema, rows: usize) -> FitState {
+        let matrix = AnswerMatrix::build(&AnswerLog::new(rows, schema.num_columns()));
+        let result = model.infer_matrix(&schema, &matrix);
+        FitState { model, schema, matrix: Arc::new(matrix), result }
+    }
+
+    /// Adopt an already-computed fit of `matrix` (the crash-recovery
+    /// constructor — see [`OnlineTCrowd::from_fit`] for the provenance
+    /// contract).
+    pub fn from_parts(
+        model: TCrowd,
+        schema: Schema,
+        matrix: AnswerMatrix,
+        result: InferenceResult,
+    ) -> FitState {
+        assert_eq!(
+            (result.rows(), result.cols()),
+            (matrix.rows(), matrix.cols()),
+            "adopted fit has a different table shape than the freeze"
+        );
+        FitState { model, schema, matrix: Arc::new(matrix), result }
+    }
+
+    /// The epoch this fit state has absorbed up to (= its freeze's epoch).
+    #[inline]
+    pub fn epoch(&self) -> usize {
+        self.matrix.epoch()
+    }
+
+    /// Merge an epoch-tagged log tail into the freeze (`O(Δ)` per-answer
+    /// work plus bulk copies; no EM). Panics if the slice's base is not this
+    /// state's epoch — it belongs to a different prefix.
+    pub fn absorb(&mut self, slice: &LogSlice) {
+        assert_eq!(slice.base(), self.epoch(), "fit state absorbed a slice from a different epoch");
+        if slice.is_empty() {
+            return;
+        }
+        self.matrix = Arc::new(self.matrix.merge_delta(slice.answers()));
+    }
+
+    /// Run full EM over the current freeze: cold by default (the result is a
+    /// pure function of the absorbed prefix), warm-started from the current
+    /// result when `warm` is set.
+    pub fn refit(&mut self, warm: bool) {
+        self.result = if warm {
+            self.model.infer_matrix_warm(&self.schema, &self.matrix, &self.result)
+        } else {
+            self.model.infer_matrix(&self.schema, &self.matrix)
+        };
+    }
+
+    /// Fold in the answers that arrived while a fit was running: absorb the
+    /// slice into the freeze and apply the §5.1 incremental posterior
+    /// update per answer. `O(Δ')` — no EM. The next [`Self::refit`] makes
+    /// the state exact again.
+    pub fn catch_up(&mut self, slice: &LogSlice) {
+        self.absorb(slice);
+        for a in slice.answers() {
+            self.apply_incremental(a);
+        }
+    }
+
+    /// Apply one answer's incremental posterior update to the current
+    /// result (the freeze is *not* advanced — pair with [`Self::absorb`]).
+    pub fn apply_incremental(&mut self, answer: &Answer) {
+        apply_answer_incrementally(&mut self.result, answer.worker, answer.cell, &answer.value);
+    }
+
+    /// The current freeze.
+    #[inline]
+    pub fn matrix(&self) -> &AnswerMatrix {
+        &self.matrix
+    }
+
+    /// The current freeze behind its `Arc` (share with readers for free).
+    #[inline]
+    pub fn matrix_arc(&self) -> Arc<AnswerMatrix> {
+        Arc::clone(&self.matrix)
+    }
+
+    /// The current inference result.
+    #[inline]
+    pub fn result(&self) -> &InferenceResult {
+        &self.result
+    }
+
+    /// The model.
+    #[inline]
+    pub fn model(&self) -> &TCrowd {
+        &self.model
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// Streaming wrapper around [`TCrowd`]: the mutate state (answer log) and
+/// the [`FitState`] composed behind one single-threaded API.
+#[derive(Debug, Clone)]
+pub struct OnlineTCrowd {
+    answers: AnswerLog,
+    fit: FitState,
     since_refit: usize,
     /// Full EM re-fit cadence, in answers (default 64).
     pub refit_every: usize,
@@ -37,16 +176,8 @@ impl OnlineTCrowd {
     pub fn new(model: TCrowd, schema: Schema, answers: AnswerLog) -> Self {
         let matrix = AnswerMatrix::build(&answers);
         let result = model.infer_matrix(&schema, &matrix);
-        OnlineTCrowd {
-            model,
-            schema,
-            answers,
-            matrix,
-            result,
-            since_refit: 0,
-            refit_every: 64,
-            warm_refits: false,
-        }
+        let fit = FitState::from_parts(model, schema, matrix, result);
+        OnlineTCrowd { answers, fit, since_refit: 0, refit_every: 64, warm_refits: false }
     }
 
     /// Start with an empty answer log for a `rows`-row table.
@@ -82,16 +213,8 @@ impl OnlineTCrowd {
             !matrix.is_stale(&answers) && matrix.rows() == answers.rows(),
             "adopted freeze does not cover the answer log"
         );
-        OnlineTCrowd {
-            model,
-            schema,
-            answers,
-            matrix,
-            result,
-            since_refit: 0,
-            refit_every: 64,
-            warm_refits: false,
-        }
+        let fit = FitState::from_parts(model, schema, matrix, result);
+        OnlineTCrowd { answers, fit, since_refit: 0, refit_every: 64, warm_refits: false }
     }
 
     /// Ingest one answer: `O(1)` incremental posterior update, with a full
@@ -99,7 +222,7 @@ impl OnlineTCrowd {
     /// answer triggered a re-fit.
     pub fn add_answer(&mut self, answer: Answer) -> bool {
         assert!(
-            self.schema.column_type(answer.cell.col as usize).accepts(&answer.value),
+            self.fit.schema().column_type(answer.cell.col as usize).accepts(&answer.value),
             "answer value does not match its column type"
         );
         self.answers.push(answer);
@@ -108,7 +231,7 @@ impl OnlineTCrowd {
             self.refit();
             true
         } else {
-            apply_answer_incrementally(&mut self.result, answer.worker, answer.cell, &answer.value);
+            self.fit.apply_incremental(&answer);
             false
         }
     }
@@ -118,14 +241,10 @@ impl OnlineTCrowd {
     /// warm-started from the current result when [`Self::warm_refits`] is
     /// set, cold otherwise.
     pub fn refit(&mut self) {
-        if self.matrix.is_stale(&self.answers) {
-            self.matrix = self.matrix.refresh(&self.answers);
+        if self.fit.epoch() != self.answers.len() {
+            self.fit.absorb(&self.answers.slice_since(self.fit.epoch()));
         }
-        self.result = if self.warm_refits {
-            self.model.infer_matrix_warm(&self.schema, &self.matrix, &self.result)
-        } else {
-            self.model.infer_matrix(&self.schema, &self.matrix)
-        };
+        self.fit.refit(self.warm_refits);
         self.since_refit = 0;
     }
 
@@ -135,7 +254,7 @@ impl OnlineTCrowd {
     /// clean state is a no-op, so over-calling is free. Returns whether a
     /// re-fit actually ran.
     pub fn flush_refit(&mut self) -> bool {
-        if self.since_refit == 0 && !self.matrix.is_stale(&self.answers) {
+        if self.since_refit == 0 && self.fit.epoch() == self.answers.len() {
             return false;
         }
         self.refit();
@@ -145,7 +264,7 @@ impl OnlineTCrowd {
     /// The current freeze of the answer log (kept current at refit points;
     /// may trail the log by up to [`Self::staleness`] answers in between).
     pub fn matrix(&self) -> &AnswerMatrix {
-        &self.matrix
+        self.fit.matrix()
     }
 
     /// A staleness-checkable handle on the current freeze — what an
@@ -153,13 +272,13 @@ impl OnlineTCrowd {
     /// [`Self::pending`] answers between re-fits; call [`Self::flush_refit`]
     /// first when assignment must see every ingested answer.
     pub fn freeze_view(&self) -> tcrowd_tabular::FrozenView<'_> {
-        self.matrix.freeze_view()
+        self.fit.matrix().freeze_view()
     }
 
     /// The current inference state (possibly incrementally updated since the
     /// last full fit).
     pub fn result(&self) -> &InferenceResult {
-        &self.result
+        self.fit.result()
     }
 
     /// The accumulated answer log.
@@ -169,12 +288,12 @@ impl OnlineTCrowd {
 
     /// The schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.fit.schema()
     }
 
     /// Current point estimates.
     pub fn estimates(&self) -> Vec<Vec<Value>> {
-        self.result.estimates()
+        self.fit.result().estimates()
     }
 
     /// Answers ingested since the last full fit.
@@ -328,5 +447,50 @@ mod tests {
             cell: tcrowd_tabular::CellId::new(0, 0),
             value: Value::Continuous(1.0),
         });
+    }
+
+    #[test]
+    fn fit_state_absorb_refit_equals_batch() {
+        // The lock-split protocol a service runs, exercised serially: slice
+        // the log tail, absorb + refit out of band, catch up, repeat. At a
+        // quiescent refit the state must equal the batch fit exactly.
+        let d = dataset(7);
+        let mut log = AnswerLog::new(d.rows(), d.cols());
+        let mut fit = FitState::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        let stream = d.answers.all();
+        let mut fed = 0usize;
+        while fed < stream.len() {
+            // "Collection" appends a burst…
+            let burst = (stream.len() - fed).min(17);
+            for &a in &stream[fed..fed + burst] {
+                log.push(a);
+            }
+            fed += burst;
+            // …the fitter takes the tail slice and fits outside the lock…
+            let slice = log.slice_since(fit.epoch());
+            fit.absorb(&slice);
+            fit.refit(false);
+            // …and a mid-fit arrival is caught up without EM.
+            if fed < stream.len() {
+                log.push(stream[fed]);
+                fed += 1;
+                fit.catch_up(&log.slice_since(fit.epoch()));
+            }
+        }
+        // Final quiescent refit: everything absorbed, no catch-up pending.
+        assert_eq!(fit.epoch(), log.len());
+        fit.refit(false);
+        let batch = TCrowd::default_full().infer(&d.schema, &d.answers);
+        assert_eq!(fit.result().estimates(), batch.estimates());
+        assert_eq!(fit.result().iterations, batch.iterations);
+        assert_eq!(fit.matrix(), &AnswerMatrix::build(&log));
+    }
+
+    #[test]
+    #[should_panic(expected = "different epoch")]
+    fn fit_state_rejects_misaligned_slices() {
+        let d = dataset(8);
+        let mut fit = FitState::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        fit.absorb(&d.answers.slice_since(3)); // state is at epoch 0
     }
 }

@@ -347,7 +347,6 @@ fn get_answers(table: &Arc<TableState>) -> Response {
     let snap = table.snapshot();
     let answers: Vec<Json> = snap
         .log
-        .all()
         .iter()
         .map(|a| {
             Json::obj([
@@ -407,6 +406,14 @@ fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
         ("answers", Json::from(table.ingested() as f64)),
         ("epoch", Json::from(snap.epoch)),
         ("pending", Json::from(table.pending())),
+        // The refresh lag in answers: log epoch − published epoch (the
+        // quantity the ingest-stall CI gate watches), plus what the last
+        // refit cost and how many mid-fit arrivals its catch-up merge
+        // folded in.
+        ("refresh_lag_answers", Json::from(table.pending())),
+        ("last_refit_ms", Json::from(snap.last_refit_ms)),
+        ("catchup_merged", Json::from(snap.catchup_merged)),
+        ("fitted_epoch", Json::from(snap.fitted_epoch)),
         ("workers", Json::from(snap.matrix.num_workers())),
         ("refreshes", Json::from(snap.refreshes as f64)),
         ("refresh_age_ms", Json::from(snap.published_at.elapsed().as_millis() as f64)),
@@ -418,6 +425,13 @@ fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
             "store_snapshot_epoch",
             match table.last_store_snapshot_epoch() {
                 Some(e) => Json::from(e as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "store_snapshot_links",
+            match table.store_snapshot_links() {
+                Some(l) => Json::from(l as f64),
                 None => Json::Null,
             },
         ),

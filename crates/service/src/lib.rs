@@ -9,24 +9,31 @@
 //! ```text
 //!   POST /tables ────────────────▶ TableRegistry ──▶ TableState (one per table)
 //!                                                        │
-//!   POST /tables/:id/answers ──▶ ingest Mutex<OnlineTCrowd>   (O(1) append +
-//!                                    │  pending answers        §5.1 incremental
-//!                                    │                         posterior update)
-//!                         refresher thread (per table):
-//!                            delta-merge log tail ─▶ warm/cold EM re-fit
+//!   POST /tables/:id/answers ──▶ ingest Mutex<AnswerLog>      (O(1) push per
+//!                                    │                         answer — nothing
+//!                                    │                         else under the lock)
+//!                         refresher thread (per table, fitter mutex):
+//!                            O(Δ) tail slice under the ingest lock
+//!                            ─▶ delta-merge + warm/cold EM OUTSIDE the lock
+//!                            ─▶ O(Δ') catch-up slice for mid-fit arrivals
 //!                                    │
-//!                                    ▼ publish atomically
-//!   GET /tables/:id/assignment ─▶ RwLock<Arc<Snapshot>>  (log@epoch, frozen
-//!   GET /tables/:id/truth ──────▶   AnswerMatrix, InferenceResult) — readers
-//!   GET /tables/:id/stats ──────▶   never block ingestion
+//!                                    ▼ publish atomically (O(Δ): SharedLog +
+//!                                      Arc<AnswerMatrix>, no deep clones)
+//!   GET /tables/:id/assignment ─▶ RwLock<Arc<Snapshot>>  (shared log@epoch,
+//!   GET /tables/:id/truth ──────▶   frozen AnswerMatrix, InferenceResult) —
+//!   GET /tables/:id/stats ──────▶   readers never block ingestion
 //! ```
 //!
 //! Reads are served from the last *published snapshot* — a consistent
 //! `(log, freeze, fit)` triple at one epoch — so assignment and truth
 //! queries proceed concurrently with ingestion and with each other; only
 //! the refresher (or an explicit `POST …/refresh`) moves the epoch forward.
-//! With cold re-fits (the default) the published state is a pure function
-//! of the collected answer order: replaying the served log through
+//! EM itself **never runs under the ingest lock**: collection keeps
+//! flowing during a refit (`bench_service` measures the ingest-stall ratio
+//! and CI gates it), and the answers that land mid-fit are folded in by a
+//! catch-up merge before the publish. With cold re-fits (the default) a
+//! quiescent refresh makes the published state a pure function of the
+//! collected answer order: replaying the served log through
 //! `TCrowd::infer` offline reproduces the service's estimates exactly,
 //! which the concurrency tests and `bench_service` assert.
 //!
@@ -39,12 +46,14 @@
 //! A registry built over a [`tcrowd_store::Store`] ([`start_durable`] /
 //! [`TableRegistry::with_store`]) makes every table persistent: ingest
 //! batches are group-committed to a per-table CRC-framed write-ahead log
-//! *before* they are acknowledged, each published snapshot is followed by a
-//! store snapshot `(log@epoch, fit parameters, WAL offset)`, and boot
-//! recovers every table — torn WAL tails truncated at the first bad
-//! checksum, the pre-crash served state republished without re-running EM
-//! when the snapshot covers the log (see [`table::TableState::recover`]).
-//! `GET …/stats` reports `durable` and `store_snapshot_epoch`; a WAL
+//! *before* they are acknowledged, each published snapshot appends an
+//! **incremental store-snapshot delta** (the answers since the last
+//! snapshot + fit parameters + chained WAL offset — `O(Δ)`, collapsed into
+//! a full base periodically), and boot recovers every table — torn WAL
+//! tails truncated at the first bad checksum, the pre-crash served state
+//! republished without re-running EM when the snapshot chain covers the
+//! log (see [`table::TableState::recover`]). `GET …/stats` reports
+//! `durable`, `store_snapshot_epoch` and `store_snapshot_links`; a WAL
 //! failure turns `POST …/answers` into a 503 with nothing ingested, so
 //! clients may retry verbatim.
 //!

@@ -137,7 +137,7 @@ impl TableRegistry {
                 let wal = store
                     .create_table(&id, &meta)
                     .map_err(|e| format!("cannot persist table '{id}': {e}"))?;
-                Some(Durability::new(wal, store.table_dir(&id), meta, 0))
+                Some(Durability::new(wal, store.table_dir(&id), meta))
             }
             None => None,
         };

@@ -1,41 +1,63 @@
-//! Per-table service state: lock-split ingest/read paths, the background
-//! refresher thread, and the durability hooks into `tcrowd-store`.
+//! Per-table service state: lock-split ingest/read/fit paths, the
+//! background refresher thread, and the durability hooks into
+//! `tcrowd-store`.
 //!
 //! Each hosted table runs the paper's online loop (Fig. 1 / Algorithm 2)
-//! with the request path split in two:
+//! with the request path split in **three**:
 //!
-//! * **Ingest** (`POST …/answers`) appends to the [`OnlineTCrowd`] behind a
-//!   `Mutex` — an `O(1)` log push plus the §5.1 incremental posterior
-//!   update. On a durable table the batch is first framed into the
-//!   write-ahead log (one group-committed record per batch, flushed/fsynced
-//!   per the store's [`tcrowd_store::FsyncPolicy`]) **before** it enters
-//!   memory or is acknowledged: an acked answer is a durable answer.
+//! * **Ingest** (`POST …/answers`) appends to the [`AnswerLog`] behind a
+//!   `Mutex` — an `O(1)` log push per answer, nothing else. On a durable
+//!   table the batch is first framed into the write-ahead log (one
+//!   group-committed record per batch, flushed/fsynced per the store's
+//!   [`tcrowd_store::FsyncPolicy`]) **before** it enters memory or is
+//!   acknowledged: an acked answer is a durable answer.
 //! * **Reads** (assignment, truth, stats) share an immutable [`Snapshot`]
-//!   behind an `RwLock<Arc<…>>`: the log prefix at the freeze epoch, the
-//!   frozen [`AnswerMatrix`], the last published [`InferenceResult`] and a
-//!   pre-fitted [`CorrelationModel`] (so `GET …/assignment` under the
-//!   structure-aware policy stops re-fitting per request). Readers clone
-//!   the `Arc` and never contend with ingestion.
+//!   behind an `RwLock<Arc<…>>`: the [`SharedLog`] prefix at the snapshot
+//!   epoch, the frozen [`AnswerMatrix`] (behind an `Arc`), the last
+//!   published [`InferenceResult`] and a pre-fitted [`CorrelationModel`].
+//!   Readers clone the `Arc` and never contend with ingestion.
+//! * **Fits** run under a separate *fitter* mutex and **never hold the
+//!   ingest lock while EM runs**. A refresh holds the ingest lock only for
+//!   `O(Δ)` work — twice, briefly:
 //!
-//! A per-table **refresher thread** closes the loop: on a configurable
-//! cadence (or immediately once [`TableConfig::refit_every`] answers are
-//! pending) it delta-merges the log tail into the evolving freeze, re-fits
-//! EM (warm-started when configured), and atomically publishes the new
-//! snapshot. On durable tables every publish is followed by a store
-//! snapshot — `(log@epoch, fit params, WAL offset)` — so crash recovery
-//! replays only the WAL tail and republishes the pre-crash fit (one E-step
-//! at the stored parameters) instead of re-running EM from scratch.
+//! ```text
+//!   lock ingest ── slice log tail since fit epoch (O(Δ) copy) ── unlock
+//!        │
+//!        ▼  (ingestion keeps flowing)
+//!   merge_delta into the evolving freeze ── EM refit (warm or cold)
+//!        │
+//!   lock ingest ── slice mid-fit arrivals (O(Δ')) + WAL sync/position ── unlock
+//!        │
+//!        ▼
+//!   catch-up merge (freeze + §5.1 incremental posterior per answer)
+//!        │
+//!   publish Arc<Snapshot> atomically ── persist an incremental store
+//!                                        snapshot (answers since the last
+//!                                        one + chained WAL offset)
+//! ```
+//!
+//! The publish itself is `O(Δ)` too: the snapshot's log is a structurally
+//! shared [`SharedLog`] (appending the delta shares every older chunk) and
+//! its freeze is an `Arc` handed over from the fitter — no `O(n)`
+//! log/matrix/fit deep-clone ever happens under *any* lock.
+//!
+//! With cold refits (the default) a snapshot published with an **empty**
+//! catch-up delta is a pure function of the committed answer order — the
+//! 1e-6 offline-agreement gates rely on it. A snapshot that did fold in
+//! mid-fit arrivals marks them in [`Snapshot::catchup_merged`]: those
+//! answers entered the freeze and the posterior incrementally (§5.1) and
+//! become exact at the next refit.
+//!
+//! Durability is `O(Δ)` as well: each publish appends an incremental store
+//! snapshot *delta* (the answers since the last snapshot plus the chained
+//! WAL offset); the chain is collapsed into a fresh full base once it
+//! grows past [`SNAPSHOT_CHAIN_MAX_LINKS`] links or as many answers as the
+//! base itself (geometric, so amortised cost stays linear in the delta).
 //!
 //! Deletion uses a **tombstone guard**: `TableRegistry::remove` marks the
 //! table deleted *before* joining the refresher, so a refresh that is
 //! mid-refit when the table dies can never publish (or persist a store
 //! snapshot for) a dead table.
-//!
-//! Known tradeoff: a re-fit holds the ingest `Mutex` for its duration, so
-//! `POST …/answers` landing *during* a refresh stall until it publishes
-//! (reads never do — they stay on the previous snapshot). Fitting outside
-//! the lock needs a merge protocol for the answers that arrive mid-fit;
-//! see the ROADMAP open item.
 
 use crate::policy::make_policy;
 use std::path::PathBuf;
@@ -43,18 +65,29 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 use std::time::{Duration, Instant};
 use tcrowd_core::{
-    AssignmentContext, CorrelationModel, FitParams, InferenceResult, OnlineTCrowd, TCrowd,
+    AssignmentContext, CorrelationModel, FitParams, FitState, InferenceResult, TCrowd,
 };
-use tcrowd_store::{write_snapshot, Recovered, TableMeta, TableSnapshot, Wal, WalPosition};
-use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema};
+use tcrowd_store::{
+    remove_snapshot_deltas, write_snapshot, write_snapshot_delta, ChainInfo, Recovered,
+    SnapshotDelta, TableMeta, TableSnapshot, Wal, WalPosition,
+};
+use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema, SharedLog};
+
+/// Chain links after which the next store snapshot collapses into a full
+/// base (bounds recovery's chain walk and the table directory's file
+/// count).
+pub const SNAPSHOT_CHAIN_MAX_LINKS: u64 = 32;
+/// Collapse is also triggered once the chain carries at least this many
+/// answers *and* as many as the base — geometric growth, so the amortised
+/// serialization cost per published answer stays constant.
+const SNAPSHOT_CHAIN_MIN_COLLAPSE: u64 = 1024;
 
 /// Per-table service policy knobs (the `POST /tables` request body).
 #[derive(Debug, Clone)]
 pub struct TableConfig {
     /// Default assignment policy (a [`make_policy`] name).
     pub policy: String,
-    /// Pending-answer threshold that wakes the refresher immediately (the
-    /// service-side mirror of [`OnlineTCrowd::refit_every`]).
+    /// Pending-answer threshold that wakes the refresher immediately.
     pub refit_every: usize,
     /// Refresher cadence: every tick with pending answers re-fits and
     /// publishes, threshold reached or not.
@@ -138,13 +171,17 @@ impl TableConfig {
 }
 
 /// An immutable published view of one table: everything the read endpoints
-/// serve, consistent at one freeze epoch.
+/// serve, consistent at one epoch. Publishing one costs `O(Δ)` — the log
+/// is structurally shared and the freeze is an `Arc`.
 pub struct Snapshot {
-    /// The collected answers up to [`Snapshot::epoch`], in arrival order.
-    pub log: AnswerLog,
+    /// The collected answers up to [`Snapshot::epoch`], in arrival order
+    /// (structurally shared with past and future snapshots).
+    pub log: SharedLog,
     /// The frozen columnar store of [`Snapshot::log`].
-    pub matrix: AnswerMatrix,
-    /// The inference result published with this freeze.
+    pub matrix: Arc<AnswerMatrix>,
+    /// The inference result published with this snapshot: the EM fit at
+    /// [`Snapshot::fitted_epoch`], plus the §5.1 incremental update for
+    /// each catch-up answer.
     pub result: InferenceResult,
     /// The structure-aware correlation model fitted from this freeze + fit
     /// (a pure function of the two, cached here so assignment requests stop
@@ -152,6 +189,17 @@ pub struct Snapshot {
     pub correlation: CorrelationModel,
     /// Number of log answers this snapshot covers.
     pub epoch: usize,
+    /// Number of log answers the EM fit itself covered (the catch-up merge
+    /// extends the snapshot past it: `epoch − fitted_epoch =`
+    /// [`Snapshot::catchup_merged`]).
+    pub fitted_epoch: usize,
+    /// Answers that arrived mid-fit and were folded in by the catch-up
+    /// merge (0 at every quiescent refresh — then the published state is
+    /// exactly the cold fit of the log).
+    pub catchup_merged: usize,
+    /// Wall-clock of the out-of-lock work (merge + EM + catch-up) that
+    /// produced this snapshot, in milliseconds (0 for the initial publish).
+    pub last_refit_ms: f64,
     /// How many refreshes this table has published (0 = the initial empty
     /// fit).
     pub refreshes: u64,
@@ -159,32 +207,74 @@ pub struct Snapshot {
     pub published_at: Instant,
 }
 
-/// The durable half of a table: its open WAL, its snapshot directory and
-/// the metadata the store persists. Lock order: the ingest `Mutex` is always
-/// taken before [`Durability::wal`].
+/// The store-snapshot chain position of a durable table: what the next
+/// incremental write chains from.
+#[derive(Debug, Clone, Copy)]
+struct SnapChain {
+    /// Whether a full base snapshot exists on disk.
+    has_base: bool,
+    /// Epoch the chain (base + links) covers.
+    epoch: u64,
+    /// Delta links on top of the base.
+    links: u64,
+    /// Next free delta sequence number.
+    next_seq: u64,
+    /// Answers in the base snapshot.
+    base_answers: u64,
+    /// Answers across the chain's links.
+    chain_answers: u64,
+    /// Force the next write to collapse into a full base (set when recovery
+    /// found a broken chain — the orphan links get cleaned up with it).
+    force_full: bool,
+}
+
+impl SnapChain {
+    fn fresh() -> SnapChain {
+        SnapChain {
+            has_base: false,
+            epoch: 0,
+            links: 0,
+            next_seq: 1,
+            base_answers: 0,
+            chain_answers: 0,
+            force_full: false,
+        }
+    }
+
+    fn from_recovery(info: &ChainInfo, epoch: u64) -> SnapChain {
+        SnapChain {
+            has_base: true,
+            epoch,
+            links: info.links,
+            next_seq: info.max_seq_on_disk + 1,
+            base_answers: info.base_answers,
+            chain_answers: info.chain_answers,
+            force_full: info.broken.is_some(),
+        }
+    }
+}
+
+/// The durable half of a table: its open WAL, its snapshot directory, the
+/// metadata the store persists, and the incremental-snapshot chain
+/// position. Lock order: the ingest `Mutex` is always taken before
+/// [`Durability::wal`]; the chain mutex is leaf-level (nothing else is
+/// acquired under it).
 pub struct Durability {
     wal: Mutex<Wal>,
     dir: PathBuf,
     meta: TableMeta,
-    last_snapshot_epoch: AtomicU64,
-    /// Serialises check-watermark → write → advance-watermark so a slow
-    /// writer can never rename an older snapshot over a newer one (the
-    /// refresher and a synchronous `POST …/refresh` can race here).
-    snapshot_gate: Mutex<()>,
+    chain: Mutex<SnapChain>,
 }
 
 impl Durability {
-    /// Wrap an open WAL. `snapshot_epoch` is the epoch of the store snapshot
-    /// already on disk (0 when none) — earlier snapshots are never written
-    /// over later ones.
-    pub fn new(wal: Wal, dir: PathBuf, meta: TableMeta, snapshot_epoch: u64) -> Durability {
-        Durability {
-            wal: Mutex::new(wal),
-            dir,
-            meta,
-            last_snapshot_epoch: AtomicU64::new(snapshot_epoch),
-            snapshot_gate: Mutex::new(()),
-        }
+    /// Wrap a freshly-created WAL (no snapshot on disk yet — the first
+    /// persisted snapshot writes a full base).
+    pub fn new(wal: Wal, dir: PathBuf, meta: TableMeta) -> Durability {
+        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(SnapChain::fresh()) }
+    }
+
+    fn recovered(wal: Wal, dir: PathBuf, meta: TableMeta, chain: SnapChain) -> Durability {
+        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(chain) }
     }
 }
 
@@ -192,6 +282,27 @@ impl Durability {
 struct RefreshCtl {
     stop: Mutex<bool>,
     wake: Condvar,
+}
+
+/// The fit half of a table: the evolving [`FitState`] plus the
+/// arrival-order [`SharedLog`] mirror at the same epoch. Lives behind the
+/// fitter mutex — held across EM, never while the ingest lock is wanted by
+/// `submit`.
+struct FitPipeline {
+    fit: FitState,
+    shared: SharedLog,
+}
+
+impl FitPipeline {
+    fn absorb(&mut self, slice: &tcrowd_tabular::LogSlice) {
+        self.fit.absorb(slice);
+        self.shared.append(slice);
+    }
+
+    fn catch_up(&mut self, slice: &tcrowd_tabular::LogSlice) {
+        self.fit.catch_up(slice);
+        self.shared.append(slice);
+    }
 }
 
 /// One hosted table.
@@ -203,7 +314,12 @@ pub struct TableState {
     /// Service configuration.
     pub config: TableConfig,
     rows: usize,
-    ingest: Mutex<OnlineTCrowd>,
+    /// The mutate state: the committed answer order. Everything `submit`
+    /// does happens under this lock and is `O(batch)`.
+    ingest: Mutex<AnswerLog>,
+    /// The fit state: evolving freeze + result + shared-log mirror.
+    /// Serialises refreshes; EM runs under it with the ingest lock free.
+    fitter: Mutex<FitPipeline>,
     published: RwLock<Arc<Snapshot>>,
     ingested: AtomicU64,
     /// Deletion tombstone: set by the registry before the refresher is
@@ -226,29 +342,31 @@ impl TableState {
         config: TableConfig,
         durability: Option<Durability>,
     ) -> Arc<TableState> {
-        let online = OnlineTCrowd::empty(TCrowd::default_full(), schema.clone(), rows);
-        Self::spawn(id, schema, rows, config, online, durability)
+        let log = AnswerLog::new(rows, schema.num_columns());
+        let fit = FitState::empty(TCrowd::default_full(), schema.clone(), rows);
+        Self::spawn(id, schema, rows, config, log, fit, durability)
     }
 
     /// Resurrect a table from its recovered durable state: the WAL-replayed
-    /// log, and — when a snapshot survived — the persisted fit parameters.
+    /// log, and — when a snapshot chain survived — the persisted fit
+    /// parameters.
     ///
     /// Three cases, strongest first:
     ///
-    /// 1. **Snapshot covers the whole log** (the steady state — a snapshot
-    ///    follows every publish): the pre-crash *published* state is
+    /// 1. **Chain covers the whole log** (the steady state — a snapshot
+    ///    delta follows every publish): the pre-crash *published* state is
     ///    republished verbatim via [`TCrowd::evaluate_seeded`] — one E-step
     ///    at the stored parameters, **no EM**. Recovered served truth ≡
     ///    pre-crash served truth ≡ offline `TCrowd::infer` on the log, to
     ///    float rounding.
-    /// 2. **A WAL tail extends past the snapshot**: the same refit the
+    /// 2. **A WAL tail extends past the chain**: the same refit the
     ///    refresher would have run for those pending answers — cold by
     ///    default (published state stays a pure function of the log),
-    ///    warm-seeded from the snapshot fit when the table is configured
+    ///    warm-seeded from the chain's fit when the table is configured
     ///    with `warm_refits`.
     /// 3. **No usable snapshot**: a cold fit of the replayed log.
     pub fn recover(rec: Recovered, config: TableConfig) -> Arc<TableState> {
-        let Recovered { id, meta, log, fit, wal, replayed_tail, snapshot_epoch, .. } = rec;
+        let Recovered { id, meta, log, fit, wal, replayed_tail, snapshot_epoch, chain, .. } = rec;
         let schema = meta.schema.clone();
         let rows = meta.rows;
         let model = TCrowd::default_full();
@@ -260,44 +378,50 @@ impl TableState {
             Some(seed) if config.warm_refits => model.infer_matrix_seeded(&schema, &matrix, seed),
             _ => model.infer_matrix(&schema, &matrix),
         };
-        let mut online = OnlineTCrowd::from_fit(model, schema.clone(), log, matrix, result);
-        online.warm_refits = config.warm_refits;
+        let fit_state = FitState::from_parts(model, schema.clone(), matrix, result);
         let wal = wal.expect("recovered live table carries an open WAL");
         let dir = wal.path().parent().expect("wal lives in a table dir").to_path_buf();
-        // Seed the persisted-epoch watermark with the on-disk snapshot when
-        // it already covers everything recovered: the follow-up
-        // persist_store_snapshot is then a no-op instead of rewriting a
-        // byte-identical snapshot on every restart.
-        let persisted = if replayed_tail == 0 { snapshot_epoch.unwrap_or(0) } else { 0 };
-        let durability = Durability::new(wal, dir, meta, persisted);
-        let table = Self::spawn(id, schema, rows, config, online, Some(durability));
-        // Persist a fresh store snapshot at the recovered epoch right away:
-        // the recovery fit is exactly what a next crash would want to seed
-        // from, and it re-establishes the fast path after the pre-crash
-        // snapshot was consumed.
+        // Seed the chain position from the on-disk chain: the follow-up
+        // persist_store_snapshot then appends one O(tail) delta for the
+        // replayed tail (or is a no-op when the chain already covers
+        // everything) instead of rewriting a byte-identical full snapshot
+        // on every restart.
+        let chain_state = match &chain {
+            Some(info) => SnapChain::from_recovery(info, snapshot_epoch.unwrap_or(0)),
+            None => SnapChain::fresh(),
+        };
+        let durability = Durability::recovered(wal, dir, meta, chain_state);
+        let table = Self::spawn(id, schema, rows, config, log, fit_state, Some(durability));
+        // Persist right away: the recovery fit is exactly what a next crash
+        // would want to seed from, and it re-establishes the fast path when
+        // a tail was replayed.
         table.persist_store_snapshot();
         table
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn(
         id: String,
         schema: Schema,
         rows: usize,
         config: TableConfig,
-        mut online: OnlineTCrowd,
+        log: AnswerLog,
+        fit: FitState,
         durability: Option<Durability>,
     ) -> Arc<TableState> {
-        // The refresher (not the ingest path) owns refit timing.
-        online.refit_every = usize::MAX;
-        online.warm_refits = config.warm_refits;
-        let correlation = CorrelationModel::fit_matrix(&schema, online.matrix(), online.result());
-        let ingested = online.answers().len() as u64;
+        assert_eq!(fit.epoch(), log.len(), "fit state must cover the adopted log");
+        let correlation = CorrelationModel::fit_matrix(&schema, fit.matrix(), fit.result());
+        let ingested = log.len() as u64;
+        let shared = SharedLog::from_log(&log);
         let snapshot = Arc::new(Snapshot {
-            log: online.answers().clone(),
-            matrix: online.matrix().clone(),
-            result: online.result().clone(),
+            log: shared.clone(),
+            matrix: fit.matrix_arc(),
+            result: fit.result().clone(),
             correlation,
-            epoch: online.answers().len(),
+            epoch: log.len(),
+            fitted_epoch: log.len(),
+            catchup_merged: 0,
+            last_refit_ms: 0.0,
             refreshes: 0,
             published_at: Instant::now(),
         });
@@ -306,7 +430,8 @@ impl TableState {
             schema,
             config,
             rows,
-            ingest: Mutex::new(online),
+            ingest: Mutex::new(log),
+            fitter: Mutex::new(FitPipeline { fit, shared }),
             published: RwLock::new(snapshot),
             ingested: AtomicU64::new(ingested),
             deleted: AtomicBool::new(false),
@@ -341,7 +466,7 @@ impl TableState {
                 }
             }
             let Some(table) = weak.upgrade() else { return };
-            if table.pending() > 0 {
+            if table.needs_refresh() {
                 table.refresh_now();
             }
         });
@@ -364,9 +489,17 @@ impl TableState {
         self.ingested.load(Ordering::SeqCst)
     }
 
-    /// Answers accepted but not yet covered by the published snapshot.
+    /// Answers accepted but not yet covered by the published snapshot (the
+    /// refresh lag: log epoch − published epoch).
     pub fn pending(&self) -> usize {
         (self.ingested() as usize).saturating_sub(self.snapshot().epoch)
+    }
+
+    /// Whether a refresh would change the published state: answers are
+    /// pending, or the last publish folded in mid-fit arrivals
+    /// incrementally and a settling refit would make it exact again.
+    pub fn needs_refresh(&self) -> bool {
+        self.pending() > 0 || self.snapshot().catchup_merged > 0
     }
 
     /// Whether this table persists to a WAL.
@@ -374,10 +507,16 @@ impl TableState {
         self.durability.is_some()
     }
 
-    /// Epoch of the last store snapshot written for this table (`None` for
+    /// Epoch of the store-snapshot chain written for this table (`None` for
     /// memory-only tables, `Some(0)` before the first write).
     pub fn last_store_snapshot_epoch(&self) -> Option<u64> {
-        self.durability.as_ref().map(|d| d.last_snapshot_epoch.load(Ordering::SeqCst))
+        self.durability.as_ref().map(|d| d.chain.lock().expect("chain lock").epoch)
+    }
+
+    /// Incremental links in the store-snapshot chain (`None` for
+    /// memory-only tables, `Some(0)` right after a full base write).
+    pub fn store_snapshot_links(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.chain.lock().expect("chain lock").links)
     }
 
     /// Whether the deletion tombstone is set.
@@ -399,7 +538,7 @@ impl TableState {
     /// *after* the tombstone in the WAL.
     pub(crate) fn append_tombstone(&self) -> Result<(), String> {
         if let Some(d) = &self.durability {
-            let _online = self.ingest.lock().expect("ingest lock");
+            let _log = self.ingest.lock().expect("ingest lock");
             let mut wal = d.wal.lock().expect("wal lock");
             wal.append_delete().map_err(|e| format!("tombstone append failed: {e}"))?;
         }
@@ -416,8 +555,9 @@ impl TableState {
     /// retry verbatim. On durable tables the batch is group-committed to the
     /// WAL **before** it is applied or acknowledged — under the same lock
     /// that orders the in-memory log, so WAL order ≡ memory order and
-    /// recovery replays exactly the acknowledged sequence. Returns the
-    /// number accepted.
+    /// recovery replays exactly the acknowledged sequence. The lock is held
+    /// for `O(batch)` work only; a concurrent EM refit never blocks this
+    /// path. Returns the number accepted.
     pub fn submit(&self, answers: &[Answer]) -> Result<usize, String> {
         for (i, a) in answers.iter().enumerate() {
             if a.cell.row as usize >= self.rows || a.cell.col as usize >= self.cols() {
@@ -445,7 +585,7 @@ impl TableState {
             return Ok(0);
         }
         {
-            let mut online = self.ingest.lock().expect("ingest lock");
+            let mut log = self.ingest.lock().expect("ingest lock");
             if self.is_deleted() {
                 return Err(format!("table '{}' was deleted", self.id));
             }
@@ -455,7 +595,7 @@ impl TableState {
                     .map_err(|e| format!("storage: WAL append failed: {e}"))?;
             }
             for &a in answers {
-                online.add_answer(a);
+                log.push(a);
             }
         }
         self.ingested.fetch_add(answers.len() as u64, Ordering::SeqCst);
@@ -470,21 +610,42 @@ impl TableState {
         Ok(answers.len())
     }
 
-    /// Re-fit on everything ingested so far and publish a fresh snapshot
-    /// (plus, on durable tables, a store snapshot). No-op (returns `false`)
-    /// when the published snapshot is already current or the table has been
-    /// tombstoned. Runs on the refresher thread normally; `POST …/refresh`
-    /// calls it synchronously.
+    /// Re-fit and publish a fresh snapshot (plus, on durable tables, an
+    /// incremental store snapshot). The ingest lock is held only for two
+    /// `O(Δ)` tail slices; EM and the delta merges run outside it, under
+    /// the fitter mutex (which serialises concurrent refreshes). No-op
+    /// (returns `false`) when the published snapshot is already current or
+    /// the table has been tombstoned. Runs on the refresher thread
+    /// normally; `POST …/refresh` calls it synchronously.
     pub fn refresh_now(&self) -> bool {
-        let (parts, wal_pos) = {
-            let mut online = self.ingest.lock().expect("ingest lock");
-            if !online.flush_refit() && online.answers().len() == self.snapshot().epoch {
+        let mut pipe = self.fitter.lock().expect("fitter lock");
+        // Phase 1 (brief ingest lock): slice the tail since the fit epoch.
+        let tail = {
+            let log = self.ingest.lock().expect("ingest lock");
+            log.slice_since(pipe.fit.epoch())
+        };
+        if tail.is_empty() {
+            let snap = self.snapshot();
+            // Nothing new AND the published state is already the exact fit
+            // of its epoch (no catch-up answers were folded in
+            // incrementally): a refresh would republish the same state.
+            if snap.epoch == pipe.fit.epoch() && snap.catchup_merged == 0 {
                 return false;
             }
-            // Capture the WAL position matching this epoch and make those
-            // bytes at least as durable as the snapshot that will refer to
-            // them. Appends happen under the ingest lock too, so the pair is
-            // exact.
+        }
+        // Phase 2 (no ingest lock): delta-merge + EM while ingestion flows.
+        let t0 = Instant::now();
+        pipe.absorb(&tail);
+        pipe.fit.refit(self.config.warm_refits);
+        let fitted_epoch = pipe.fit.epoch();
+        // Phase 3 (brief ingest lock): catch-up slice for answers that
+        // arrived mid-fit, plus the WAL position matching the final epoch —
+        // captured in the same lock hold, so the (epoch, offset) pair is
+        // exact — with those bytes made at least as durable as the snapshot
+        // that will refer to them.
+        let (catch, wal_pos) = {
+            let log = self.ingest.lock().expect("ingest lock");
+            let catch = log.slice_since(pipe.fit.epoch());
             let wal_pos = self.durability.as_ref().map(|d| {
                 let mut wal = d.wal.lock().expect("wal lock");
                 if let Err(e) = wal.sync() {
@@ -493,20 +654,28 @@ impl TableState {
                 wal.position()
             });
             if let Some(pos) = wal_pos {
-                debug_assert_eq!(pos.answers as usize, online.answers().len());
+                debug_assert_eq!(pos.answers as usize, log.len());
             }
-            ((online.answers().clone(), online.matrix().clone(), online.result().clone()), wal_pos)
+            (catch, wal_pos)
         };
-        // Fit the snapshot's correlation cache outside the ingest lock: it
-        // reads only the cloned freeze + fit.
-        let (log, matrix, result) = parts;
-        let correlation = CorrelationModel::fit_matrix(&self.schema, &matrix, &result);
+        // Catch-up merge, again outside the ingest lock: O(Δ') freeze merge
+        // plus the §5.1 incremental posterior update per answer.
+        let catchup_merged = catch.len();
+        pipe.catch_up(&catch);
+        let last_refit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // The correlation cache reads only the (already immutable) freeze +
+        // fit.
+        let correlation =
+            CorrelationModel::fit_matrix(&self.schema, pipe.fit.matrix(), pipe.fit.result());
         let snapshot = Snapshot {
-            epoch: log.len(),
-            log,
-            matrix,
-            result,
+            log: pipe.shared.clone(),
+            matrix: pipe.fit.matrix_arc(),
+            result: pipe.fit.result().clone(),
             correlation,
+            epoch: pipe.fit.epoch(),
+            fitted_epoch,
+            catchup_merged,
+            last_refit_ms,
             refreshes: self.snapshot().refreshes + 1,
             published_at: Instant::now(),
         };
@@ -517,9 +686,9 @@ impl TableState {
         }
         let published = {
             let mut slot = self.published.write().expect("published lock");
-            // Publishes can race (refresher tick vs synchronous
-            // `POST …/refresh` that already dropped the ingest lock); never
-            // replace a newer snapshot with an older one.
+            // Refreshes are serialised by the fitter mutex, so the epoch can
+            // only advance; keep the guard anyway — never replace a newer
+            // snapshot with an older one.
             if snapshot.epoch >= slot.epoch {
                 *slot = Arc::new(snapshot);
                 true
@@ -536,12 +705,12 @@ impl TableState {
     }
 
     /// Persist the current published snapshot to the store, synchronising
-    /// the WAL position first. Used by recovery to re-establish the
-    /// snapshot fast path.
+    /// the WAL position first. Used by recovery and shutdown to
+    /// re-establish the snapshot fast path.
     pub fn persist_store_snapshot(&self) {
         let Some(d) = &self.durability else { return };
         let pos = {
-            let _online = self.ingest.lock().expect("ingest lock");
+            let _log = self.ingest.lock().expect("ingest lock");
             let mut wal = d.wal.lock().expect("wal lock");
             if let Err(e) = wal.sync() {
                 eprintln!("tcrowd-service: WAL sync failed for table '{}': {e}", self.id);
@@ -552,8 +721,10 @@ impl TableState {
     }
 
     /// Write the published snapshot to disk if it advances the persisted
-    /// epoch and matches `pos`. Failures are logged, not fatal: the store
-    /// snapshot is a recovery accelerator, the WAL already holds the data.
+    /// chain and matches `pos` — as an `O(Δ)` chain delta normally, as a
+    /// full base when the chain is new, broken, or due for collapse.
+    /// Failures are logged, not fatal: the store snapshot is a recovery
+    /// accelerator, the WAL already holds the data.
     fn write_store_snapshot(&self, pos: WalPosition) {
         let Some(d) = &self.durability else { return };
         if self.is_deleted() {
@@ -561,28 +732,84 @@ impl TableState {
         }
         let snap = self.snapshot();
         if snap.epoch as u64 != pos.answers {
-            // A racing refresh published a different epoch; its own call
-            // will persist the matching pair.
+            // A racing persist captured a different epoch; the call whose
+            // position matches its snapshot will write the pair.
             return;
         }
-        // Hold the gate across check → write → advance: without it a slow
-        // writer could rename an older snapshot over a newer one after the
-        // newer writer already advanced the watermark.
-        let _gate = d.snapshot_gate.lock().expect("snapshot gate");
-        if d.last_snapshot_epoch.load(Ordering::SeqCst) >= snap.epoch as u64 && snap.epoch != 0 {
+        // The chain mutex serialises check → write → advance, so a slower
+        // writer can never chain a delta from (or rename a base over) a
+        // position the faster one already superseded.
+        let mut chain = d.chain.lock().expect("chain lock");
+        if chain.has_base && chain.epoch >= snap.epoch as u64 && snap.epoch != 0 {
             return;
         }
-        let table_snap = TableSnapshot {
-            epoch: snap.epoch as u64,
-            wal_offset: pos.offset,
-            meta: d.meta.clone(),
-            log: snap.log.clone(),
-            fit: Some(FitParams::of(&snap.result)),
-        };
-        match write_snapshot(&d.dir, &table_snap) {
-            Ok(()) => d.last_snapshot_epoch.store(snap.epoch as u64, Ordering::SeqCst),
-            Err(e) => {
-                eprintln!("tcrowd-service: snapshot write failed for table '{}': {e}", self.id)
+        let delta_answers = snap.epoch as u64 - chain.epoch;
+        // An unchanged epoch with a healthy chain has nothing to add — don't
+        // append an empty delta (an empty durable table would otherwise grow
+        // one per restart).
+        if chain.has_base && delta_answers == 0 && !chain.force_full {
+            return;
+        }
+        let fit = Some(FitParams::of(&snap.result));
+        let collapse =
+            !chain.has_base || chain.force_full || chain.links + 1 > SNAPSHOT_CHAIN_MAX_LINKS || {
+                let grown = chain.chain_answers + delta_answers;
+                grown >= SNAPSHOT_CHAIN_MIN_COLLAPSE && grown >= chain.base_answers
+            };
+        if collapse {
+            let table_snap = TableSnapshot {
+                epoch: snap.epoch as u64,
+                wal_offset: pos.offset,
+                meta: d.meta.clone(),
+                log: snap.log.to_log(),
+                fit,
+            };
+            match write_snapshot(&d.dir, &table_snap) {
+                Ok(()) => {
+                    // Old links chain from epochs below the new base, so they
+                    // are unreachable the moment the base rename lands;
+                    // removing them afterwards is pure cleanup (crash-safe in
+                    // either order).
+                    if let Err(e) = remove_snapshot_deltas(&d.dir) {
+                        eprintln!(
+                            "tcrowd-service: stale snapshot deltas for table '{}' not removed: {e}",
+                            self.id
+                        );
+                    }
+                    *chain = SnapChain {
+                        has_base: true,
+                        epoch: snap.epoch as u64,
+                        links: 0,
+                        next_seq: 1,
+                        base_answers: snap.epoch as u64,
+                        chain_answers: 0,
+                        force_full: false,
+                    };
+                }
+                Err(e) => {
+                    eprintln!("tcrowd-service: snapshot write failed for table '{}': {e}", self.id)
+                }
+            }
+        } else {
+            let delta = SnapshotDelta {
+                seq: chain.next_seq,
+                parent_epoch: chain.epoch,
+                epoch: snap.epoch as u64,
+                wal_offset: pos.offset,
+                answers: snap.log.range_vec(chain.epoch as usize, snap.epoch),
+                fit,
+            };
+            match write_snapshot_delta(&d.dir, &delta) {
+                Ok(()) => {
+                    chain.epoch = snap.epoch as u64;
+                    chain.links += 1;
+                    chain.next_seq += 1;
+                    chain.chain_answers += delta_answers;
+                }
+                Err(e) => eprintln!(
+                    "tcrowd-service: snapshot delta write failed for table '{}': {e}",
+                    self.id
+                ),
             }
         }
     }
@@ -602,7 +829,9 @@ impl TableState {
         let snap = self.snapshot();
         let ctx = AssignmentContext {
             schema: &self.schema,
-            answers: &snap.log,
+            // The freeze answers the point queries too: a snapshot carries
+            // no indexed log at all.
+            answers: snap.matrix.as_ref(),
             freeze: snap.matrix.freeze_view(),
             inference: Some(&snap.result),
             max_answers_per_cell: self.config.max_answers_per_cell,
@@ -667,8 +896,12 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.epoch, d.answers.len());
         assert_eq!(snap.matrix.len(), d.answers.len());
+        assert_eq!(snap.log.to_vec(), d.answers.all());
         assert_eq!(t.pending(), 0);
-        // Published estimates equal the batch fit (cold refits).
+        // Quiescent refresh: nothing arrived mid-fit, so the published state
+        // is exactly the cold batch fit.
+        assert_eq!(snap.catchup_merged, 0);
+        assert_eq!(snap.fitted_epoch, snap.epoch);
         let batch = TCrowd::default_full().infer(&d.schema, &d.answers);
         assert_eq!(snap.result.estimates(), batch.estimates());
         // Assignment works off the snapshot (and its cached correlation
@@ -680,7 +913,7 @@ mod tests {
         let mut fresh = crate::policy::make_policy("structure-aware", t.rows(), 1).unwrap();
         let uncached_ctx = AssignmentContext {
             schema: &d.schema,
-            answers: &snap.log,
+            answers: snap.matrix.as_ref(),
             freeze: snap.matrix.freeze_view(),
             inference: Some(&snap.result),
             max_answers_per_cell: None,
@@ -742,6 +975,35 @@ mod tests {
         assert_eq!(t.snapshot().epoch, epoch_before, "snapshot must be unchanged");
         // Ingest after deletion is refused too.
         assert!(t.submit(&d.answers.all()[..1]).is_err());
+        t.stop_refresher();
+    }
+
+    #[test]
+    fn catchup_merge_folds_in_mid_fit_arrivals() {
+        // Deterministic re-enactment of the mid-fit race: advance the fit
+        // state to a prefix, let "mid-fit" answers land, then run the
+        // refresh — the catch-up phase must fold them into the published
+        // snapshot (log, freeze and epoch) without an extra refresh cycle.
+        let (t, d) = make_table(usize::MAX);
+        let split = d.answers.len() / 2;
+        t.submit(&d.answers.all()[..split]).unwrap();
+        assert!(t.refresh_now());
+        assert_eq!(t.snapshot().catchup_merged, 0);
+        // Answers land between the fit and the next refresh's catch-up: the
+        // next refresh fits on what its phase-1 slice saw. Here everything
+        // is already committed pre-refresh, so catchup_merged is 0 — the
+        // race itself is exercised under real concurrency in
+        // tests/concurrent.rs; this test pins the bookkeeping invariants.
+        t.submit(&d.answers.all()[split..]).unwrap();
+        assert!(t.refresh_now());
+        let snap = t.snapshot();
+        assert_eq!(snap.epoch, d.answers.len());
+        assert_eq!(snap.fitted_epoch + snap.catchup_merged, snap.epoch);
+        assert_eq!(snap.log.len(), snap.epoch);
+        assert_eq!(snap.matrix.len(), snap.epoch);
+        assert!(snap.last_refit_ms >= 0.0);
+        // The shared log is the committed order.
+        assert_eq!(snap.log.to_vec(), d.answers.all());
         t.stop_refresher();
     }
 

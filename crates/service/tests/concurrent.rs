@@ -122,16 +122,153 @@ fn concurrent_ingest_and_assignment_equal_serial_replay() {
     // published state exactly.
     let mut serial = OnlineTCrowd::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
     serial.refit_every = usize::MAX;
-    for &a in snap.log.all() {
+    for &a in &snap.log.to_vec() {
         serial.add_answer(a);
     }
     serial.flush_refit();
     assert_eq!(serial.estimates(), snap.result.estimates(), "serial replay diverged");
     assert_eq!(max_z_discrepancy(serial.result(), &snap.result), 0.0);
 
-    let batch = TCrowd::default_full().infer(&d.schema, &snap.log);
+    let batch = TCrowd::default_full().infer(&d.schema, &snap.log.to_log());
     assert_eq!(batch.estimates(), snap.result.estimates(), "batch fit diverged");
     assert_eq!(batch.iterations, snap.result.iterations);
+
+    registry.shutdown();
+}
+
+/// The mid-fit race, hammered: submitters push answers continuously while a
+/// dedicated thread drives EM refits back to back (on top of the live
+/// background refresher), so fits constantly overlap ingestion and every
+/// refresh has to catch up answers that arrived mid-fit. Three contracts:
+///
+/// * ingest is never blocked into an error and no answer is lost;
+/// * every published snapshot is internally consistent — the log, freeze
+///   and epoch agree, and `fitted_epoch + catchup_merged == epoch`;
+/// * once ingest quiesces, a settling refresh makes the published state
+///   equal a serial offline `TCrowd::infer` of the committed order within
+///   1e-6 z-units (exactly, with cold refits).
+#[test]
+fn mid_fit_ingest_race_converges_to_offline_inference() {
+    let d = generate_dataset(
+        &GeneratorConfig {
+            rows: 24,
+            columns: 4,
+            num_workers: 24,
+            answers_per_task: 6,
+            ..Default::default()
+        },
+        77,
+    );
+    let registry = Arc::new(TableRegistry::new());
+    let table = registry
+        .create(
+            Some("midfit".into()),
+            d.schema.clone(),
+            d.rows(),
+            TableConfig {
+                refit_every: 16,
+                refresh_interval: Duration::from_millis(5),
+                ..Default::default()
+            },
+        )
+        .expect("create table");
+
+    const SUBMITTERS: usize = 3;
+    let accepted = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let submit_threads: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let table = Arc::clone(&table);
+            let accepted = Arc::clone(&accepted);
+            let mine: Vec<tcrowd_tabular::Answer> =
+                d.answers.all().iter().skip(t).step_by(SUBMITTERS).copied().collect();
+            std::thread::spawn(move || {
+                let mut at = 0usize;
+                let mut step = 1usize;
+                while at < mine.len() {
+                    let hi = (at + step).min(mine.len());
+                    table.submit(&mine[at..hi]).expect("ingest must never be refused mid-fit");
+                    accepted.fetch_add(hi - at, Ordering::SeqCst);
+                    at = hi;
+                    step = step % 4 + 1;
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    // The refit hammer: synchronous refreshes back to back, each one an EM
+    // fit that overlaps ongoing ingestion (plus the background refresher's
+    // own ticks — the fitter mutex serialises them).
+    let refit_thread = {
+        let table = Arc::clone(&table);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut refits = 0usize;
+            let mut max_catchup = 0usize;
+            while !done.load(Ordering::SeqCst) {
+                if table.refresh_now() {
+                    refits += 1;
+                    max_catchup = max_catchup.max(table.snapshot().catchup_merged);
+                }
+                std::thread::yield_now();
+            }
+            (refits, max_catchup)
+        })
+    };
+
+    // Snapshot invariants under fire.
+    let invariant_thread = {
+        let table = Arc::clone(&table);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                let snap = table.snapshot();
+                assert_eq!(snap.log.len(), snap.epoch, "shared log must cover the epoch");
+                assert_eq!(snap.matrix.len(), snap.epoch, "freeze must cover the epoch");
+                assert_eq!(
+                    snap.fitted_epoch + snap.catchup_merged,
+                    snap.epoch,
+                    "catch-up bookkeeping must balance"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    for t in submit_threads {
+        t.join().expect("submitter");
+    }
+    done.store(true, Ordering::SeqCst);
+    let (refits, max_catchup) = refit_thread.join().expect("refit thread");
+    invariant_thread.join().expect("invariant thread");
+    assert!(refits > 0, "the refit hammer must have driven refreshes");
+    assert_eq!(accepted.load(Ordering::SeqCst), d.answers.len());
+
+    // Quiesce: settle until the published state is the exact fit of the
+    // full committed order (at most two refreshes: one absorbs any tail,
+    // one clears a residual catch-up).
+    while table.needs_refresh() {
+        table.refresh_now();
+    }
+    let snap = table.snapshot();
+    assert_eq!(snap.epoch, d.answers.len(), "every accepted answer is published");
+    assert_eq!(snap.catchup_merged, 0, "a settling refresh leaves no incremental residue");
+    println!(
+        "mid-fit torture: {refits} refreshes under load, max catch-up delta {max_catchup} answers"
+    );
+
+    // The committed order as served, replayed offline.
+    let served = snap.log.to_log();
+    let offline = TCrowd::default_full().infer(&d.schema, &served);
+    let divergence = max_z_discrepancy(&offline, &snap.result);
+    assert!(
+        divergence <= 1e-6,
+        "published state diverges from offline inference by {divergence:.3e}"
+    );
+    // Cold refits make it exact, not merely close.
+    assert_eq!(offline.estimates(), snap.result.estimates());
 
     registry.shutdown();
 }

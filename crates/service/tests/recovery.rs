@@ -86,13 +86,13 @@ fn durable_lifecycle_survives_restart_with_snapshot_warm_start() {
     let snap = t.snapshot();
     // Zero acknowledged answers lost, bit-identical order.
     assert_eq!(snap.epoch, d.answers.len());
-    assert_eq!(snap.log.all(), d.answers.all());
+    assert_eq!(snap.log.to_vec(), d.answers.all());
     assert_eq!(t.ingested() as usize, d.answers.len());
     // A WAL tail extends past the snapshot, so recovery re-fits the full
     // log exactly the way the refresher would have (cold by default):
     // served truth ≡ offline inference on the recovered log — exact, and a
     // fortiori within the 1e-6 acceptance bound.
-    let offline = TCrowd::default_full().infer(&d.schema, &snap.log);
+    let offline = TCrowd::default_full().infer(&d.schema, &snap.log.to_log());
     let gap = max_z_discrepancy(&snap.result, &offline);
     assert_eq!(snap.result.estimates(), offline.estimates());
     assert!(gap < 1e-6, "recovered served truth diverges from offline inference: {gap:.3e}");
@@ -156,13 +156,13 @@ fn snapshot_covering_the_full_log_republishes_the_precrash_fit_without_em() {
     assert_eq!(report.replayed, 0, "nothing to replay past a full-epoch snapshot");
     let t = reg.get("t").unwrap();
     let snap = t.snapshot();
-    assert_eq!(snap.log.all(), precrash.log.all());
+    assert_eq!(snap.log.to_vec(), precrash.log.to_vec());
     assert_eq!(snap.result.iterations, 0, "full-epoch snapshot recovery must not run EM");
     // Recovered state ≡ pre-crash published state.
     let pre_gap = max_z_discrepancy(&snap.result, &precrash.result);
     assert!(pre_gap < 1e-9, "recovered state differs from the pre-crash state: {pre_gap:.3e}");
     // …and therefore ≡ offline inference on the log, within the 1e-6 bound.
-    let offline = TCrowd::default_full().infer(&d.schema, &snap.log);
+    let offline = TCrowd::default_full().infer(&d.schema, &snap.log.to_log());
     let gap = max_z_discrepancy(&snap.result, &offline);
     assert!(gap < 1e-6, "recovered served truth diverges from offline inference: {gap:.3e}");
     reg.shutdown();
@@ -195,11 +195,11 @@ fn recovery_without_snapshot_is_exact_cold_replay() {
     assert_eq!(report.replayed, d.answers.len() as u64);
     let t = reg.get("t").unwrap();
     let snap = t.snapshot();
-    assert_eq!(snap.log.all(), d.answers.all());
+    assert_eq!(snap.log.to_vec(), d.answers.all());
     // Cold recovery runs the default model on the recovered log — the
     // published state is the same pure function of the log the service
     // normally serves, so offline agreement is exact.
-    let offline = TCrowd::default_full().infer(&d.schema, &snap.log);
+    let offline = TCrowd::default_full().infer(&d.schema, &snap.log.to_log());
     assert_eq!(snap.result.estimates(), offline.estimates());
     assert_eq!(max_z_discrepancy(&snap.result, &offline), 0.0);
     reg.shutdown();
@@ -314,11 +314,11 @@ proptest! {
                     batch_ends.contains(&snap.epoch),
                     "epoch {} is not a group-commit boundary {:?}", snap.epoch, batch_ends
                 );
-                prop_assert_eq!(snap.log.all(), &answers[..snap.epoch]);
+                prop_assert_eq!(snap.log.to_vec(), &answers[..snap.epoch]);
                 // Served truth ≡ offline inference on the served prefix
                 // (cold recovery fit — exact agreement, asserted at the
                 // 1e-6 contract the acceptance criteria name).
-                let offline = TCrowd::default_full().infer(&d.schema, &snap.log);
+                let offline = TCrowd::default_full().infer(&d.schema, &snap.log.to_log());
                 let gap = max_z_discrepancy(&snap.result, &offline);
                 prop_assert!(gap < 1e-6, "served/offline gap {:.3e}", gap);
                 reg.shutdown();

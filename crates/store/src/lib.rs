@@ -49,7 +49,10 @@ pub mod store;
 pub mod wal;
 
 pub use crc::crc32;
-pub use snapshot::{read_snapshot, remove_snapshot, write_snapshot, TableSnapshot, SNAPSHOT_FILE};
+pub use snapshot::{
+    read_snapshot, read_snapshot_chain, remove_snapshot, remove_snapshot_deltas, write_snapshot,
+    write_snapshot_delta, ChainInfo, SnapshotDelta, TableSnapshot, DELTA_PREFIX, SNAPSHOT_FILE,
+};
 pub use store::{CompactReport, Recovered, SnapshotCheck, Store, VerifyReport};
 pub use wal::{
     replay, replay_tail, FsyncPolicy, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WalReplay,

@@ -1,30 +1,46 @@
 //! Snapshot files: a durable photograph of `(log@epoch, fit parameters)`
-//! plus the WAL byte offset the epoch corresponds to.
+//! plus the WAL byte offset the epoch corresponds to — stored as an
+//! **incremental chain**: one full base snapshot plus delta files each
+//! carrying only the answers since the previous chain element.
 //!
 //! A snapshot exists to make recovery cheap, never to make it possible — the
 //! WAL alone fully determines the table. What the snapshot buys:
 //!
-//! * **decode skip** — recovery resumes WAL decoding at `wal_offset`
-//!   instead of byte zero (the snapshot carries the answers before it);
+//! * **decode skip** — recovery resumes WAL decoding at the chain tip's
+//!   `wal_offset` instead of byte zero (the chain carries the answers
+//!   before it);
 //! * **no EM on boot** — the persisted [`FitParams`] let recovery
 //!   republish the pre-crash published fit by *evaluating* the posterior at
 //!   the stored parameters (`TCrowd::evaluate_seeded`, one E-step) when the
-//!   snapshot covers the whole log, and warm-seed the catch-up refit when a
-//!   WAL tail extends past it.
+//!   chain covers the whole log, and warm-seed the catch-up refit when a
+//!   WAL tail extends past it;
+//! * **O(Δ) persistence** — a publish appends one delta with the answers
+//!   since the last snapshot ([`write_snapshot_delta`]) instead of
+//!   re-serializing the whole log; the writer collapses the chain back
+//!   into a full base periodically (and `tcrowd store compact` always
+//!   does), so chains stay short and geometrically bounded.
 //!
 //! A corrupt, stale or missing snapshot therefore degrades recovery time,
-//! not correctness: every inconsistency falls back to a full WAL replay and
-//! a cold fit.
+//! not correctness: a corrupt *base* falls back to a full WAL replay; a
+//! corrupt *delta* truncates the chain at that link and WAL tail replay
+//! covers the difference ([`ChainInfo::broken`] records what was dropped).
 //!
-//! ## File format
+//! ## File formats
 //!
 //! ```text
-//! magic "TCSNAP01" ++ len: u64LE ++ crc: u32LE ++ payload (len bytes)
-//! payload = epoch u64 ++ wal_offset u64 ++ TableMeta ++ log (io::binary) ++ fit?
+//! snapshot.snap      magic "TCSNAP01" ++ len: u64LE ++ crc: u32LE ++ payload
+//!                    payload = epoch u64 ++ wal_offset u64 ++ TableMeta
+//!                              ++ log (io::binary) ++ fit?
+//! snapshot.delta.N   magic "TCSNPD01" ++ len: u64LE ++ crc: u32LE ++ payload
+//!                    payload = seq u64 ++ parent_epoch u64 ++ epoch u64
+//!                              ++ wal_offset u64 ++ answers ++ fit?
 //! ```
 //!
-//! Snapshots are written to a temporary file, flushed, fsynced and renamed
-//! into place, so a crash mid-write leaves the previous snapshot intact.
+//! A delta is *chained*: it applies only when its `parent_epoch` equals the
+//! epoch reached by the chain so far, and its `wal_offset` supersedes the
+//! tip's. All files are written to a temporary name, flushed, fsynced and
+//! renamed into place, so a crash mid-write leaves the previous chain
+//! intact.
 
 use crate::crc::crc32;
 use crate::wal::{sync_dir, TableMeta};
@@ -34,12 +50,16 @@ use std::io::{Read, Write};
 use std::path::Path;
 use tcrowd_core::FitParams;
 use tcrowd_tabular::io::binary::{self, Cursor};
-use tcrowd_tabular::{AnswerLog, WorkerId};
+use tcrowd_tabular::{Answer, AnswerLog, WorkerId};
 
-/// File name of the per-table snapshot inside its table directory.
+/// File name of the per-table base snapshot inside its table directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.snap";
+/// File-name prefix of incremental snapshot deltas (`snapshot.delta.<seq>`).
+pub const DELTA_PREFIX: &str = "snapshot.delta.";
 const TMP_FILE: &str = "snapshot.snap.tmp";
+const DELTA_TMP_FILE: &str = "snapshot.delta.tmp";
 const MAGIC: &[u8; 8] = b"TCSNAP01";
+const DELTA_MAGIC: &[u8; 8] = b"TCSNPD01";
 /// Header: magic + u64 payload length + u32 CRC.
 const HEADER: usize = 8 + 8 + 4;
 
@@ -206,24 +226,197 @@ fn decode(path: &Path, bytes: &[u8]) -> Result<TableSnapshot, StoreError> {
     Ok(snap)
 }
 
-/// Atomically (tmp + rename) write `snap` as `dir`'s current snapshot.
-pub fn write_snapshot(dir: &Path, snap: &TableSnapshot) -> Result<(), StoreError> {
-    let bytes = encode(snap);
-    let tmp = dir.join(TMP_FILE);
+/// One incremental link of a snapshot chain: the answers appended between
+/// `parent_epoch` and `epoch`, plus the WAL offset and fit at `epoch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    /// Chain sequence number (also the file-name suffix); strictly
+    /// increasing within a chain.
+    pub seq: u64,
+    /// The epoch this delta extends — must equal the chain's epoch so far.
+    pub parent_epoch: u64,
+    /// The epoch reached after applying this delta.
+    pub epoch: u64,
+    /// WAL byte offset right after the record that brought the log to
+    /// `epoch` answers — supersedes the chain tip's offset.
+    pub wal_offset: u64,
+    /// The answers at log positions `parent_epoch .. epoch`, in log order.
+    pub answers: Vec<Answer>,
+    /// The fit published at `epoch` (supersedes the chain tip's fit).
+    pub fit: Option<FitParams>,
+}
+
+/// What a chain read found, beyond the combined [`TableSnapshot`]: the
+/// bookkeeping a writer needs to *extend* the chain, and what `verify`
+/// audits per link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChainInfo {
+    /// Delta links applied on top of the base.
+    pub links: u64,
+    /// Sequence number of the last applied delta (0 when none).
+    pub tip_seq: u64,
+    /// Highest delta sequence present on disk, applied or not — a writer
+    /// must allocate above this so a stale orphan can never shadow a new
+    /// link.
+    pub max_seq_on_disk: u64,
+    /// The base snapshot's epoch.
+    pub base_epoch: u64,
+    /// Answers carried by the base snapshot.
+    pub base_answers: u64,
+    /// Answers carried by the applied delta links.
+    pub chain_answers: u64,
+    /// `(epoch, wal_offset)` of the base and every applied link, in chain
+    /// order — each must be a real WAL record boundary, which `verify`
+    /// checks.
+    pub link_marks: Vec<(u64, u64)>,
+    /// Why the chain was truncated early, if it was (corrupt/mismatched
+    /// link). Recovery proceeds with the prefix — the WAL tail replay
+    /// covers the difference — but `verify` flags it.
+    pub broken: Option<String>,
+}
+
+fn encode_delta(delta: &SnapshotDelta) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(48 + delta.answers.len() * 17);
+    binary::put_u64(&mut payload, delta.seq);
+    binary::put_u64(&mut payload, delta.parent_epoch);
+    binary::put_u64(&mut payload, delta.epoch);
+    binary::put_u64(&mut payload, delta.wal_offset);
+    binary::put_answers(&mut payload, &delta.answers);
+    match &delta.fit {
+        None => binary::put_u8(&mut payload, 0),
+        Some(fit) => {
+            binary::put_u8(&mut payload, 1);
+            put_fit(&mut payload, fit);
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(DELTA_MAGIC);
+    binary::put_u64(&mut out, payload.len() as u64);
+    binary::put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_delta(path: &Path, bytes: &[u8]) -> Result<SnapshotDelta, StoreError> {
+    let corrupt = |at: usize, msg: String| StoreError::corrupt(path, at as u64, msg);
+    if bytes.len() < HEADER || &bytes[..8] != DELTA_MAGIC {
+        return Err(corrupt(0, "missing snapshot-delta magic".into()));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if (bytes.len() - HEADER) as u64 != len {
+        return Err(corrupt(8, format!("payload length {len} does not match file size")));
+    }
+    let payload = &bytes[HEADER..];
+    if crc32(payload) != crc {
+        return Err(corrupt(16, "snapshot-delta checksum mismatch".into()));
+    }
+    let mut c = Cursor::new(payload);
+    let inner = (|| -> Result<SnapshotDelta, binary::CodecError> {
+        let seq = c.u64()?;
+        let parent_epoch = c.u64()?;
+        let epoch = c.u64()?;
+        let wal_offset = c.u64()?;
+        let answers = binary::get_answers(&mut c)?;
+        let fit = match c.u8()? {
+            0 => None,
+            1 => Some(get_fit(&mut c)?),
+            tag => {
+                return Err(binary::CodecError {
+                    at: c.position() - 1,
+                    message: format!("unknown fit tag {tag}"),
+                })
+            }
+        };
+        Ok(SnapshotDelta { seq, parent_epoch, epoch, wal_offset, answers, fit })
+    })();
+    let delta = inner.map_err(|e| corrupt(HEADER + e.at, e.message))?;
+    if !c.is_empty() {
+        return Err(corrupt(HEADER + c.position(), "trailing bytes in snapshot delta".into()));
+    }
+    if delta.epoch < delta.parent_epoch
+        || delta.answers.len() as u64 != delta.epoch - delta.parent_epoch
+    {
+        return Err(corrupt(
+            HEADER,
+            format!(
+                "delta claims epochs {}..{} but stores {} answers",
+                delta.parent_epoch,
+                delta.epoch,
+                delta.answers.len()
+            ),
+        ));
+    }
+    Ok(delta)
+}
+
+/// Write `bytes` to `dir/tmp_name`, fsync, and rename to `dir/final_name`.
+fn write_atomically(
+    dir: &Path,
+    tmp_name: &str,
+    final_name: &str,
+    bytes: &[u8],
+) -> Result<(), StoreError> {
+    let tmp = dir.join(tmp_name);
     {
         let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_data()?;
     }
-    fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    fs::rename(&tmp, dir.join(final_name))?;
     sync_dir(dir);
     Ok(())
 }
 
-/// Read `dir`'s snapshot. `Ok(None)` when no snapshot exists;
-/// `Err(StoreError::Corrupt…)` when one exists but cannot be trusted (the
-/// caller falls back to a full WAL replay).
-pub fn read_snapshot(dir: &Path) -> Result<Option<TableSnapshot>, StoreError> {
+/// Atomically (tmp + rename) write `snap` as `dir`'s current **base**
+/// snapshot. Existing delta links are *not* removed here — a base write at
+/// epoch `E` makes any older delta unreachable (its `parent_epoch` no
+/// longer matches), and the caller deletes them afterwards with
+/// [`remove_snapshot_deltas`]; that order is crash-safe at every step.
+pub fn write_snapshot(dir: &Path, snap: &TableSnapshot) -> Result<(), StoreError> {
+    write_atomically(dir, TMP_FILE, SNAPSHOT_FILE, &encode(snap))
+}
+
+/// Atomically write one chain link as `snapshot.delta.<seq>`. The caller
+/// owns chain discipline: `parent_epoch` must equal the epoch already
+/// durable (base + applied deltas) and `seq` must exceed every sequence on
+/// disk ([`ChainInfo::max_seq_on_disk`]).
+pub fn write_snapshot_delta(dir: &Path, delta: &SnapshotDelta) -> Result<(), StoreError> {
+    write_atomically(
+        dir,
+        DELTA_TMP_FILE,
+        &format!("{DELTA_PREFIX}{}", delta.seq),
+        &encode_delta(delta),
+    )
+}
+
+/// The delta files present in `dir`, sorted by sequence number ascending.
+/// Files whose suffix is not a number are ignored (the tmp file).
+fn delta_files(dir: &Path) -> std::io::Result<Vec<(u64, std::path::PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        other => other?,
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name.strip_prefix(DELTA_PREFIX).and_then(|s| s.parse::<u64>().ok()) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+/// Read `dir`'s snapshot **chain**: the base snapshot with every valid
+/// delta link folded in, plus the chain bookkeeping. `Ok(None)` when no
+/// base snapshot exists; `Err(StoreError::Corrupt…)` when the base exists
+/// but cannot be trusted (the caller falls back to a full WAL replay).
+/// Broken *links* never error — the chain is truncated there and
+/// [`ChainInfo::broken`] records why.
+pub fn read_snapshot_chain(dir: &Path) -> Result<Option<(TableSnapshot, ChainInfo)>, StoreError> {
     let path = dir.join(SNAPSHOT_FILE);
     let mut bytes = Vec::new();
     match File::open(&path) {
@@ -233,17 +426,100 @@ pub fn read_snapshot(dir: &Path) -> Result<Option<TableSnapshot>, StoreError> {
             f.read_to_end(&mut bytes)?;
         }
     }
-    decode(&path, &bytes).map(Some)
+    let mut snap = decode(&path, &bytes)?;
+    let mut info = ChainInfo {
+        base_epoch: snap.epoch,
+        base_answers: snap.log.len() as u64,
+        link_marks: vec![(snap.epoch, snap.wal_offset)],
+        ..ChainInfo::default()
+    };
+    let rows = snap.meta.rows;
+    let cols = snap.meta.schema.num_columns();
+    for (seq, delta_path) in delta_files(dir)? {
+        info.max_seq_on_disk = info.max_seq_on_disk.max(seq);
+        if info.broken.is_some() {
+            continue; // keep scanning only to compute max_seq_on_disk
+        }
+        let delta = match fs::read(&delta_path)
+            .map_err(StoreError::from)
+            .and_then(|bytes| decode_delta(&delta_path, &bytes))
+        {
+            Ok(d) => d,
+            Err(e) => {
+                info.broken = Some(format!("delta {seq}: {e}"));
+                continue;
+            }
+        };
+        if delta.seq != seq {
+            info.broken = Some(format!("delta file {seq} claims sequence {}", delta.seq));
+            continue;
+        }
+        if delta.parent_epoch != snap.epoch {
+            info.broken = Some(format!(
+                "delta {seq} chains from epoch {} but the chain is at {}",
+                delta.parent_epoch, snap.epoch
+            ));
+            continue;
+        }
+        if let Some(bad) = delta
+            .answers
+            .iter()
+            .find(|a| a.cell.row as usize >= rows || a.cell.col as usize >= cols)
+        {
+            info.broken = Some(format!(
+                "delta {seq}: answer addresses cell ({}, {}) outside the {rows}x{cols} table",
+                bad.cell.row, bad.cell.col
+            ));
+            continue;
+        }
+        for a in &delta.answers {
+            snap.log.push(*a);
+        }
+        snap.epoch = delta.epoch;
+        snap.wal_offset = delta.wal_offset;
+        if delta.fit.is_some() {
+            snap.fit = delta.fit;
+        }
+        info.links += 1;
+        info.tip_seq = seq;
+        info.chain_answers += delta.answers.len() as u64;
+        info.link_marks.push((delta.epoch, delta.wal_offset));
+    }
+    debug_assert_eq!(snap.epoch, snap.log.len() as u64);
+    Ok(Some((snap, info)))
 }
 
-/// Remove `dir`'s snapshot if present (compaction does this *before*
-/// rewriting the WAL, so a crash in between can never pair a stale snapshot
-/// offset with a new WAL layout).
+/// Read `dir`'s snapshot chain as one combined [`TableSnapshot`]. `Ok(None)`
+/// when no snapshot exists; `Err(StoreError::Corrupt…)` when the base
+/// exists but cannot be trusted (the caller falls back to a full WAL
+/// replay).
+pub fn read_snapshot(dir: &Path) -> Result<Option<TableSnapshot>, StoreError> {
+    Ok(read_snapshot_chain(dir)?.map(|(snap, _)| snap))
+}
+
+/// Remove `dir`'s delta links, leaving the base snapshot in place (a base
+/// write at a newer epoch makes them unreachable; this reclaims the disk).
+pub fn remove_snapshot_deltas(dir: &Path) -> std::io::Result<()> {
+    for (_, path) in delta_files(dir)? {
+        match fs::remove_file(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            other => other?,
+        }
+    }
+    Ok(())
+}
+
+/// Remove `dir`'s snapshot — base and every delta link — if present
+/// (compaction does this *before* rewriting the WAL, so a crash in between
+/// can never pair a stale snapshot offset with a new WAL layout). The base
+/// is removed first: a crash mid-removal must not leave a headless chain
+/// that silently re-chains under a future base.
 pub fn remove_snapshot(dir: &Path) -> std::io::Result<()> {
     match fs::remove_file(dir.join(SNAPSHOT_FILE)) {
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-        other => other,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        other => other?,
     }
+    remove_snapshot_deltas(dir)
 }
 
 #[cfg(test)]
@@ -338,6 +614,129 @@ mod tests {
             std::fs::write(&path, &good[..cut]).unwrap();
             assert!(read_snapshot(&dir).is_err(), "truncation at {cut} went unnoticed");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn delta_answer(i: u32) -> Answer {
+        Answer {
+            worker: WorkerId(10 + i),
+            cell: CellId::new(i % 3, i % 2),
+            value: if i % 2 == 0 { Value::Categorical(i % 2) } else { Value::Continuous(0.5) },
+        }
+    }
+
+    /// Build `sample()` as a base plus `n` single-answer delta links.
+    fn chained(dir: &std::path::Path, n: u32) -> Vec<Answer> {
+        let base = sample();
+        write_snapshot(dir, &base).unwrap();
+        let mut appended = Vec::new();
+        for i in 0..n {
+            let epoch = base.epoch + i as u64;
+            let a = delta_answer(i);
+            appended.push(a);
+            write_snapshot_delta(
+                dir,
+                &SnapshotDelta {
+                    seq: (i + 1) as u64,
+                    parent_epoch: epoch,
+                    epoch: epoch + 1,
+                    wal_offset: 1000 + i as u64,
+                    answers: vec![a],
+                    fit: base.fit.clone(),
+                },
+            )
+            .unwrap();
+        }
+        appended
+    }
+
+    #[test]
+    fn chain_read_folds_deltas_in_sequence() {
+        let dir = tmp_dir("chain_fold");
+        let appended = chained(&dir, 3);
+        let (snap, info) = read_snapshot_chain(&dir).unwrap().unwrap();
+        assert_eq!(snap.epoch, sample().epoch + 3);
+        assert_eq!(snap.wal_offset, 1002, "tip offset supersedes the base's");
+        assert_eq!(info.links, 3);
+        assert_eq!(info.tip_seq, 3);
+        assert_eq!(info.max_seq_on_disk, 3);
+        assert_eq!(info.base_epoch, sample().epoch);
+        assert_eq!(info.chain_answers, 3);
+        assert_eq!(info.link_marks.len(), 4, "base + three links");
+        assert!(info.broken.is_none());
+        assert_eq!(&snap.log.all()[sample().epoch as usize..], appended.as_slice());
+        assert_eq!(snap.log.all()[..sample().epoch as usize], *sample().log.all());
+        // The convenience reader returns the same combined snapshot.
+        assert_eq!(read_snapshot(&dir).unwrap().unwrap(), snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn broken_link_truncates_the_chain_not_the_base() {
+        let dir = tmp_dir("chain_broken");
+        chained(&dir, 3);
+        // Corrupt the middle link: the chain must stop before it and the
+        // later link must become unreachable, without erroring.
+        let victim = dir.join(format!("{DELTA_PREFIX}2"));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        let (snap, info) = read_snapshot_chain(&dir).unwrap().unwrap();
+        assert_eq!(info.links, 1, "only the first link survives");
+        assert_eq!(snap.epoch, sample().epoch + 1);
+        assert_eq!(snap.wal_offset, 1000);
+        assert!(info.broken.is_some(), "truncation must be reported");
+        assert_eq!(info.max_seq_on_disk, 3, "orphans still reserve their sequences");
+        // A delta chaining from the wrong epoch is equally fatal for the
+        // tail: removing the corrupt file does not resurrect link 3.
+        std::fs::remove_file(&victim).unwrap();
+        let (snap, info) = read_snapshot_chain(&dir).unwrap().unwrap();
+        assert_eq!(info.links, 1);
+        assert_eq!(snap.epoch, sample().epoch + 1);
+        assert!(info.broken.unwrap().contains("chains from epoch"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_snapshot_clears_the_whole_chain() {
+        let dir = tmp_dir("chain_remove");
+        chained(&dir, 2);
+        remove_snapshot(&dir).unwrap();
+        assert_eq!(read_snapshot_chain(&dir).unwrap(), None);
+        assert!(!dir.join(format!("{DELTA_PREFIX}1")).exists());
+        assert!(!dir.join(format!("{DELTA_PREFIX}2")).exists());
+        // And deltas alone can be dropped after a base collapse.
+        chained(&dir, 2);
+        remove_snapshot_deltas(&dir).unwrap();
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        let (_, info) = read_snapshot_chain(&dir).unwrap().unwrap();
+        assert_eq!(info.links, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_rejects_epoch_answer_mismatch() {
+        let dir = tmp_dir("chain_mismatch");
+        let base = sample();
+        write_snapshot(&dir, &base).unwrap();
+        // Claims two epochs of growth but stores one answer.
+        write_snapshot_delta(
+            &dir,
+            &SnapshotDelta {
+                seq: 1,
+                parent_epoch: base.epoch,
+                epoch: base.epoch + 2,
+                wal_offset: 999,
+                answers: vec![delta_answer(0)],
+                fit: None,
+            },
+        )
+        .unwrap();
+        let (snap, info) = read_snapshot_chain(&dir).unwrap().unwrap();
+        assert_eq!(info.links, 0);
+        assert_eq!(snap.epoch, base.epoch);
+        assert!(info.broken.unwrap().contains("stores 1 answers"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,7 +10,7 @@
 //!       snapshot.snap   latest snapshot (recovery accelerator)
 //! ```
 
-use crate::snapshot::{self, TableSnapshot};
+use crate::snapshot::{self, ChainInfo, TableSnapshot};
 use crate::wal::{self, FsyncPolicy, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WAL_FILE};
 use crate::StoreError;
 use std::fs;
@@ -39,9 +39,13 @@ pub struct Recovered {
     pub log: AnswerLog,
     /// The persisted warm-start seed, when a snapshot carried one.
     pub fit: Option<FitParams>,
-    /// Epoch of the snapshot that accelerated recovery (`None` = full
+    /// Epoch of the snapshot chain that accelerated recovery (`None` = full
     /// replay).
     pub snapshot_epoch: Option<u64>,
+    /// The snapshot chain's bookkeeping, when one was used — what a writer
+    /// needs to *extend* the chain (tip epoch, link count, next free
+    /// sequence) instead of starting a fresh full snapshot.
+    pub chain: Option<ChainInfo>,
     /// Answers decoded from the WAL tail beyond the snapshot (equals
     /// `log.len()` on a full replay).
     pub replayed_tail: u64,
@@ -73,17 +77,20 @@ pub struct CompactReport {
     pub fit_preserved: bool,
 }
 
-/// Snapshot/WAL consistency as seen by `verify`.
+/// Snapshot-chain/WAL consistency as seen by `verify`.
 #[derive(Debug, Clone)]
 pub struct SnapshotCheck {
-    /// The snapshot's epoch.
+    /// The chain's combined epoch (base + applied deltas).
     pub epoch: u64,
-    /// The snapshot's claimed WAL resume offset.
+    /// The chain tip's claimed WAL resume offset.
     pub wal_offset: u64,
-    /// Whether the snapshot log is exactly the WAL prefix at `epoch` and
-    /// `wal_offset` is a real record boundary.
+    /// Delta links applied on top of the base.
+    pub links: u64,
+    /// Whether the combined snapshot log is exactly the WAL prefix at
+    /// `epoch` and every chain element's `wal_offset` is a real record
+    /// boundary at its epoch.
     pub consistent: bool,
-    /// Whether the snapshot carries a warm-start fit.
+    /// Whether the chain carries a warm-start fit.
     pub has_fit: bool,
 }
 
@@ -186,9 +193,11 @@ impl Store {
             }
         }
         let file_len = fs::metadata(&wal_path)?.len();
-        // A corrupt snapshot is a recovery *accelerator* failure, not a data
-        // failure: note it and fall back to the full replay.
-        let mut snap = snapshot::read_snapshot(&dir).unwrap_or(None);
+        // A corrupt snapshot *base* is a recovery accelerator failure, not a
+        // data failure: note it and fall back to the full replay. Broken
+        // chain links never error — the chain reader truncates there and
+        // the WAL tail replay covers the difference.
+        let mut snap = snapshot::read_snapshot_chain(&dir).unwrap_or(None);
 
         // The fast path trusts `snapshot.wal_offset` to be a record boundary,
         // which holds for every snapshot this store wrote. If the very first
@@ -198,7 +207,7 @@ impl Store {
         // valid acknowledged records. Per `replay_tail`'s contract, that case
         // falls back to a full replay, which distinguishes the two for free.
         let mut tail_replay = None;
-        if let Some(s) = &snap {
+        if let Some((s, _)) = &snap {
             if s.wal_offset <= file_len {
                 let probe = wal::replay_tail(&wal_path, s.wal_offset)?;
                 if probe.records.is_empty() && probe.torn.is_some() {
@@ -209,14 +218,15 @@ impl Store {
             }
         }
 
-        let (meta, log, fit, snapshot_epoch, replayed_tail, valid_len, torn, deleted);
+        let (meta, log, fit, snapshot_epoch, chain, replayed_tail, valid_len, torn, deleted);
         match snap {
-            Some(s) if s.wal_offset <= file_len => {
+            Some((s, info)) if s.wal_offset <= file_len => {
                 // Fast path: resume decoding at the snapshot's offset; the
                 // snapshot's log (shape-validated at decode) absorbs the
                 // tail.
                 let tail = tail_replay.take().expect("tail probed above");
                 snapshot_epoch = Some(s.epoch);
+                chain = Some(info);
                 replayed_tail = tail.answers.len() as u64;
                 valid_len = tail.valid_len;
                 torn = tail.torn;
@@ -227,7 +237,7 @@ impl Store {
                 push_validated(&mut all, &meta, &wal_path, tail.answers)?;
                 log = all;
             }
-            Some(s) => {
+            Some((s, _)) => {
                 // The WAL is *shorter* than the snapshot's offset: un-synced
                 // WAL bytes died with the crash after the snapshot had been
                 // fsynced (possible under `FsyncPolicy::Never`). The snapshot
@@ -243,12 +253,12 @@ impl Store {
                     ),
                 };
                 // Same crash-safe order as compaction: drop the stale
-                // snapshot (whose wal_offset describes the OLD layout)
-                // before the rewrite, then persist a fresh one matching the
-                // new layout. Leaving the stale snapshot in place would make
-                // the next recovery take this branch again — rebuilding from
-                // epoch `s.epoch` and destroying any answers acknowledged in
-                // between.
+                // snapshot chain (whose wal_offsets describe the OLD layout)
+                // before the rewrite, then persist a fresh full base
+                // matching the new layout. Leaving the stale chain in place
+                // would make the next recovery take this branch again —
+                // rebuilding from epoch `s.epoch` and destroying any answers
+                // acknowledged in between.
                 snapshot::remove_snapshot(&dir)?;
                 let pos = rewrite_wal(&dir, &s.meta, s.log.all())?;
                 snapshot::write_snapshot(
@@ -262,6 +272,12 @@ impl Store {
                     },
                 )?;
                 snapshot_epoch = Some(s.epoch);
+                chain = Some(ChainInfo {
+                    base_epoch: s.epoch,
+                    base_answers: s.log.len() as u64,
+                    link_marks: vec![(s.epoch, pos.offset)],
+                    ..ChainInfo::default()
+                });
                 replayed_tail = 0;
                 valid_len = pos.offset;
                 torn = Some(report);
@@ -286,6 +302,7 @@ impl Store {
                     }
                 };
                 snapshot_epoch = None;
+                chain = None;
                 replayed_tail = full.answers.len() as u64;
                 valid_len = full.valid_len;
                 torn = full.torn;
@@ -319,6 +336,7 @@ impl Store {
             log,
             fit: if deleted { None } else { fit },
             snapshot_epoch,
+            chain: if deleted { None } else { chain },
             replayed_tail,
             torn,
             deleted,
@@ -445,14 +463,22 @@ impl Store {
             }
             last = *r;
         }
-        let snapshot = match snapshot::read_snapshot(&dir) {
+        let snapshot = match snapshot::read_snapshot_chain(&dir) {
             Err(e) => {
                 errors.push(format!("snapshot unreadable: {e}"));
                 None
             }
             Ok(None) => None,
-            Ok(Some(s)) => {
+            Ok(Some((s, info))) => {
                 let mut consistent = true;
+                if let Some(why) = &info.broken {
+                    errors.push(format!(
+                        "snapshot chain truncated after {} link(s): {why} — recovery will \
+                         replay the WAL tail past the valid prefix",
+                        info.links
+                    ));
+                    consistent = false;
+                }
                 if s.epoch > full.answers.len() as u64 {
                     // Legal only after an fsync=never crash; recovery rebuilds
                     // the WAL from the snapshot. Flag it so operators see it.
@@ -466,26 +492,33 @@ impl Store {
                 } else {
                     if s.log.all() != &full.answers[..s.epoch as usize] {
                         errors.push(format!(
-                            "snapshot log is not the WAL prefix at epoch {}",
+                            "snapshot chain log is not the WAL prefix at epoch {}",
                             s.epoch
                         ));
                         consistent = false;
                     }
-                    let boundary = full
-                        .records
-                        .iter()
-                        .any(|r| r.end_offset == s.wal_offset && r.answers_after == s.epoch);
-                    if !boundary {
-                        errors.push(format!(
-                            "snapshot wal_offset {} is not a record boundary at epoch {}",
-                            s.wal_offset, s.epoch
-                        ));
-                        consistent = false;
+                    // Every chain element — the base and each applied delta —
+                    // must point at a real record boundary for its epoch,
+                    // otherwise a recovery landing on that element would fall
+                    // back to a full replay.
+                    for &(epoch, offset) in &info.link_marks {
+                        let boundary = full
+                            .records
+                            .iter()
+                            .any(|r| r.end_offset == offset && r.answers_after == epoch);
+                        if !boundary {
+                            errors.push(format!(
+                                "snapshot chain wal_offset {offset} is not a record boundary \
+                                 at epoch {epoch}"
+                            ));
+                            consistent = false;
+                        }
                     }
                 }
                 Some(SnapshotCheck {
                     epoch: s.epoch,
                     wal_offset: s.wal_offset,
+                    links: info.links,
                     consistent,
                     has_fit: s.fit.is_some(),
                 })

@@ -226,6 +226,75 @@ impl AnswerLog {
     }
 }
 
+/// The point queries assignment policies make against the answer history,
+/// abstracted over the *representation*: the mutable [`AnswerLog`] answers
+/// them from its incremental indexes, the frozen
+/// [`crate::AnswerMatrix`] from its CSR views. Library callers (the
+/// simulator, offline experiments) pass the live log; the service layer
+/// passes the snapshot's freeze, so a published snapshot never needs an
+/// `O(n)`-to-build indexed log at all.
+pub trait AnswerQueries {
+    /// Number of table rows `N`.
+    fn rows(&self) -> usize;
+    /// Number of table columns `M`.
+    fn cols(&self) -> usize;
+    /// Total number of answers `|A|`.
+    fn len(&self) -> usize;
+    /// True when no answers have been recorded.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Number of answers on one cell.
+    fn count_for_cell(&self, cell: CellId) -> usize;
+    /// True if `worker` already answered `cell` (platforms forbid repeats).
+    fn has_answered(&self, worker: WorkerId, cell: CellId) -> bool;
+    /// The values claimed for one cell, in insertion order.
+    fn cell_values(&self, cell: CellId) -> Vec<Value>;
+    /// Visit one cell's values in insertion order without materialising
+    /// them — what per-candidate scoring loops (vote entropy, CDAS
+    /// termination) call once per cell on the assignment hot path.
+    fn for_each_cell_value(&self, cell: CellId, f: &mut dyn FnMut(&Value));
+    /// Every continuous value claimed anywhere in one column (the raw
+    /// answer spread CDAS-style termination scales against).
+    fn continuous_column_values(&self, col: u32) -> Vec<f64>;
+}
+
+impl AnswerQueries for AnswerLog {
+    fn rows(&self) -> usize {
+        AnswerLog::rows(self)
+    }
+    fn cols(&self) -> usize {
+        AnswerLog::cols(self)
+    }
+    fn len(&self) -> usize {
+        AnswerLog::len(self)
+    }
+    fn count_for_cell(&self, cell: CellId) -> usize {
+        AnswerLog::count_for_cell(self, cell)
+    }
+    fn has_answered(&self, worker: WorkerId, cell: CellId) -> bool {
+        AnswerLog::has_answered(self, worker, cell)
+    }
+    fn cell_values(&self, cell: CellId) -> Vec<Value> {
+        self.for_cell(cell).map(|a| a.value).collect()
+    }
+    fn for_each_cell_value(&self, cell: CellId, f: &mut dyn FnMut(&Value)) {
+        for a in self.for_cell(cell) {
+            f(&a.value);
+        }
+    }
+    fn continuous_column_values(&self, col: u32) -> Vec<f64> {
+        self.all()
+            .iter()
+            .filter(|a| a.cell.col == col)
+            .filter_map(|a| match a.value {
+                Value::Continuous(x) => Some(x),
+                Value::Categorical(_) => None,
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,10 +41,11 @@ pub mod metrics;
 pub mod noise;
 pub mod real_sim;
 pub mod schema;
+pub mod shared;
 pub mod tsv;
 pub mod value;
 
-pub use answer::{Answer, AnswerLog, CellId, WorkerId};
+pub use answer::{Answer, AnswerLog, AnswerQueries, CellId, WorkerId};
 pub use dataset::{Dataset, DatasetStatistics};
 pub use generator::{
     generate_dataset, EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig,
@@ -52,4 +53,5 @@ pub use generator::{
 pub use matrix::{AnswerMatrix, FrozenView, MatrixAnswer};
 pub use metrics::{evaluate, evaluate_with_answers, ColumnQuality, QualityReport};
 pub use schema::{Column, ColumnType, Schema};
+pub use shared::{LogSlice, SharedLog};
 pub use value::Value;

@@ -786,6 +786,15 @@ impl AnswerMatrix {
         self.cell_range(cell).map(move |k| self.answer(k))
     }
 
+    /// True if `worker` answered `cell` in this freeze. `O(log W)` id
+    /// resolution plus a scan of the cell's (small) answer run.
+    pub fn has_answered(&self, worker: WorkerId, cell: CellId) -> bool {
+        match self.worker_index(worker) {
+            None => false,
+            Some(w) => self.cell_range(cell).any(|k| self.worker_of[k] == w as u32),
+        }
+    }
+
     // ---- by-worker and by-(worker, row) views ----
 
     /// Payload indices of one worker's answers, grouped by row ascending.
@@ -846,6 +855,48 @@ impl AnswerMatrix {
 impl From<&AnswerLog> for AnswerMatrix {
     fn from(log: &AnswerLog) -> Self {
         AnswerMatrix::build(log)
+    }
+}
+
+/// The freeze answers the same point queries as the mutable log, from its
+/// CSR views. Within a cell both representations agree answer-for-answer
+/// (insertion order is preserved cell-locally); whole-column scans come
+/// back in cell-major rather than arrival order, which every consumer of
+/// this trait treats as a set.
+impl crate::answer::AnswerQueries for AnswerMatrix {
+    fn rows(&self) -> usize {
+        AnswerMatrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        AnswerMatrix::cols(self)
+    }
+    fn len(&self) -> usize {
+        AnswerMatrix::len(self)
+    }
+    fn count_for_cell(&self, cell: CellId) -> usize {
+        AnswerMatrix::count_for_cell(self, cell)
+    }
+    fn has_answered(&self, worker: WorkerId, cell: CellId) -> bool {
+        AnswerMatrix::has_answered(self, worker, cell)
+    }
+    fn cell_values(&self, cell: CellId) -> Vec<Value> {
+        self.cell_answers(cell).map(|a| a.value).collect()
+    }
+    fn for_each_cell_value(&self, cell: CellId, f: &mut dyn FnMut(&Value)) {
+        for k in self.cell_range(cell) {
+            let v = if self.categorical[k] {
+                Value::Categorical(self.labels[k])
+            } else {
+                Value::Continuous(self.values[k])
+            };
+            f(&v);
+        }
+    }
+    fn continuous_column_values(&self, col: u32) -> Vec<f64> {
+        (0..self.len())
+            .filter(|&k| self.col_of[k] == col && !self.categorical[k])
+            .map(|k| self.values[k])
+            .collect()
     }
 }
 
