@@ -1,9 +1,12 @@
 //! Criterion bench behind Figure 12(b): EM truth-inference runtime as a
 //! function of the answer-set size, plus the real-dataset fit, plus the
-//! columnar-vs-naive throughput case backing the `AnswerMatrix` refactor.
+//! columnar-vs-naive throughput case backing the `AnswerMatrix` refactor and
+//! the kernel-level breakdown (E-step / M-step / ELBO, serial vs pooled vs
+//! SIMD path) backing the PR-6 batch-kernel work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tcrowd_core::{EmOptions, TCrowd, TCrowdOptions};
+use tcrowd_core::{EmOptions, InferenceResult, TCrowd, TCrowdOptions};
+use tcrowd_stat::batch::{kernels, BatchKernels, KernelPath};
 use tcrowd_tabular::{generate_dataset, real_sim, CellId, GeneratorConfig, Value};
 
 fn inference_scaling(c: &mut Criterion) {
@@ -41,10 +44,61 @@ fn inference_real_datasets(c: &mut Criterion) {
     group.finish();
 }
 
-/// EM-iteration throughput on the 1 000×10 mixed-type table: the columnar
-/// CSR engine (sequential and threaded E-step) against the naive
-/// `HashMap`-indexed reference path. Verifies estimate agreement (≤ 1e-9),
-/// prints the speedup, and records everything in `BENCH_inference.json`.
+/// Every estimate bit-identical between two fits (labels equal, continuous
+/// means compared by `to_bits`), plus the fitted `φ` lane.
+fn assert_bit_identical(a: &InferenceResult, b: &InferenceResult, rows: u32, cols: u32) -> bool {
+    if a.iterations != b.iterations {
+        return false;
+    }
+    if a.phi.len() != b.phi.len()
+        || a.phi.iter().zip(&b.phi).any(|(x, y)| x.to_bits() != y.to_bits())
+    {
+        return false;
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            match (a.estimate(CellId::new(i, j)), b.estimate(CellId::new(i, j))) {
+                (Value::Categorical(x), Value::Categorical(y)) if x == y => {}
+                (Value::Continuous(x), Value::Continuous(y)) if x.to_bits() == y.to_bits() => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Differential sample check: the generic and AVX2 kernel paths produce
+/// bit-equal sums and gradients on a sweep of the `ln v` clamp range.
+/// Trivially true (and reported as such) on hosts without AVX2.
+fn kernels_equal_sample() -> (bool, bool) {
+    let Some(wide) = BatchKernels::with_path(KernelPath::Avx2) else {
+        return (true, false);
+    };
+    let narrow = BatchKernels::with_path(KernelPath::Generic).unwrap();
+    let n = 1003; // deliberately not a multiple of the 4-lane width
+    let ln_v: Vec<f64> = (0..n).map(|i| -12.0 + 24.0 * i as f64 / (n - 1) as f64).collect();
+    let k: Vec<f64> = (0..n).map(|i| 0.01 + 0.37 * (i % 29) as f64).collect();
+    let p: Vec<f64> = (0..n).map(|i| 0.02 + 0.95 * (i as f64 / n as f64)).collect();
+    let c: Vec<f64> = p.iter().map(|pi| (1.0 - pi) * 3.0f64.ln()).collect();
+    let (mut ga, mut gb) = (vec![0.0; n], vec![0.0; n]);
+    let sa = narrow.gaussian_terms(&ln_v, &k, &mut ga);
+    let sb = wide.gaussian_terms(&ln_v, &k, &mut gb);
+    let mut equal =
+        sa.to_bits() == sb.to_bits() && ga.iter().zip(&gb).all(|(x, y)| x.to_bits() == y.to_bits());
+    let qa = narrow.quality_terms(0.5, &ln_v, &p, &c, &mut ga);
+    let qb = wide.quality_terms(0.5, &ln_v, &p, &c, &mut gb);
+    equal = equal
+        && qa.to_bits() == qb.to_bits()
+        && ga.iter().zip(&gb).all(|(x, y)| x.to_bits() == y.to_bits());
+    (equal, true)
+}
+
+/// EM throughput and kernel breakdown on the 1 000×10 mixed-type table
+/// (50 000 answers): the columnar CSR engine fully serial, with the pooled
+/// E-step + M-step, and the naive `HashMap`-indexed reference path. Verifies
+/// estimate agreement with the reference (≤ 1e-9), serial-vs-parallel
+/// bit-identity, generic-vs-AVX2 kernel bit-equality, and records the
+/// per-phase nanosecond breakdown in `BENCH_inference.json`.
 fn em_throughput(c: &mut Criterion) {
     let cfg =
         GeneratorConfig { rows: 1_000, columns: 10, answers_per_task: 5, ..Default::default() };
@@ -53,13 +107,16 @@ fn em_throughput(c: &mut Criterion) {
         || std::env::var_os("CRITERION_QUICK").is_some();
     let reps = if quick { 1 } else { 3 };
 
-    let seq = TCrowd::default_full();
+    let seq = TCrowd::new(TCrowdOptions {
+        em: EmOptions { parallel_estep: false, parallel_mstep: false, ..Default::default() },
+        ..Default::default()
+    });
     let par = TCrowd::new(TCrowdOptions {
-        em: EmOptions { parallel_estep: true, ..Default::default() },
+        em: EmOptions { parallel_estep: true, parallel_mstep: true, ..Default::default() },
         ..Default::default()
     });
 
-    // Correctness gate before timing: columnar and naive paths must agree.
+    // Correctness gates before timing.
     let fast = seq.infer(&d.schema, &d.answers);
     let naive = seq.infer_reference(&d.schema, &d.answers);
     assert_eq!(fast.iterations, naive.iterations, "EM trajectories diverged");
@@ -74,32 +131,72 @@ fn em_throughput(c: &mut Criterion) {
             }
         }
     }
+    let par_fit = par.infer(&d.schema, &d.answers);
+    let bit_identical = assert_bit_identical(&fast, &par_fit, d.rows() as u32, d.cols() as u32);
+    assert!(bit_identical, "parallel EM diverged bitwise from serial");
+    let (kernels_equal, avx2_checked) = kernels_equal_sample();
+    assert!(kernels_equal, "generic and AVX2 kernels diverged bitwise");
 
-    let time_ns = |f: &dyn Fn() -> usize| -> f64 {
+    let time = |f: &dyn Fn() -> InferenceResult| -> (f64, InferenceResult) {
         let mut best = f64::INFINITY;
+        let mut keep = None;
         for _ in 0..reps {
             let start = std::time::Instant::now();
-            std::hint::black_box(f());
-            best = best.min(start.elapsed().as_nanos() as f64);
+            let r = std::hint::black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            if ns < best {
+                best = ns;
+                keep = Some(r);
+            }
         }
-        best
+        (best, keep.expect("reps >= 1"))
     };
-    let csr_seq = time_ns(&|| seq.infer(&d.schema, &d.answers).iterations);
-    let csr_par = time_ns(&|| par.infer(&d.schema, &d.answers).iterations);
-    let hashmap_naive = time_ns(&|| seq.infer_reference(&d.schema, &d.answers).iterations);
+    let (csr_seq, serial_fit) = time(&|| seq.infer(&d.schema, &d.answers));
+    let (csr_par, par_fit) = time(&|| par.infer(&d.schema, &d.answers));
+    let (hashmap_naive, _) = time(&|| seq.infer_reference(&d.schema, &d.answers));
 
+    let st = serial_fit.timings;
+    let pt = par_fit.timings;
     let speedup = hashmap_naive / csr_seq;
+    let em_speedup = csr_seq / csr_par;
+    let estep_speedup = st.estep_ns as f64 / (pt.estep_ns.max(1)) as f64;
+    let mstep_speedup = st.mstep_ns as f64 / (pt.mstep_ns.max(1)) as f64;
     println!(
-        "em_throughput (1000x10, {} answers): csr {:.1} ms, csr+parallel {:.1} ms, \
-         hashmap-naive {:.1} ms  ->  csr speedup {speedup:.2}x",
+        "em_throughput (1000x10, {} answers): csr-serial {:.1} ms, csr-parallel {:.1} ms \
+         ({} threads), hashmap-naive {:.1} ms  ->  csr speedup {speedup:.2}x, \
+         parallel-over-serial {em_speedup:.2}x",
         d.answers.len(),
         csr_seq / 1e6,
         csr_par / 1e6,
+        pt.threads,
         hashmap_naive / 1e6,
     );
+    println!(
+        "  kernel path {} (avx2 differential check: {}), serial breakdown: estep {:.1} ms, \
+         mstep {:.1} ms ({} objective evals), elbo {:.1} ms; parallel: estep {:.1} ms \
+         ({estep_speedup:.2}x), mstep {:.1} ms ({mstep_speedup:.2}x)",
+        kernels().path().name(),
+        if avx2_checked { "ran" } else { "no avx2 host" },
+        st.estep_ns as f64 / 1e6,
+        st.mstep_ns as f64 / 1e6,
+        st.objective_evals,
+        st.elbo_ns as f64 / 1e6,
+        pt.estep_ns as f64 / 1e6,
+        pt.mstep_ns as f64 / 1e6,
+    );
+    let phase_json = |t: &tcrowd_core::EmTimings| {
+        format!(
+            "{{\"estep_ns\": {}, \"mstep_ns\": {}, \"elbo_ns\": {}, \"objective_evals\": {}, \"threads\": {}}}",
+            t.estep_ns, t.mstep_ns, t.elbo_ns, t.objective_evals, t.threads
+        )
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"em_throughput\",\n  \"dataset\": {{\"rows\": 1000, \"columns\": 10, \"answers\": {}}},\n  \"results_ns_per_inference\": {{\n    \"csr_sequential\": {csr_seq:.0},\n    \"csr_parallel_estep\": {csr_par:.0},\n    \"hashmap_naive\": {hashmap_naive:.0}\n  }},\n  \"csr_speedup_over_naive\": {speedup:.3},\n  \"estimates_equal_within\": 1e-9\n}}\n",
+        "{{\n  \"benchmark\": \"em_throughput\",\n  \"dataset\": {{\"rows\": 1000, \"columns\": 10, \"answers\": {}}},\n  \"results_ns_per_inference\": {{\n    \"csr_sequential\": {csr_seq:.0},\n    \"csr_parallel_estep\": {csr_par:.0},\n    \"csr_parallel\": {csr_par:.0},\n    \"hashmap_naive\": {hashmap_naive:.0}\n  }},\n  \"kernel_breakdown\": {{\n    \"serial\": {},\n    \"parallel\": {}\n  }},\n  \"kernel_path\": \"{}\",\n  \"kernels_equal\": {kernels_equal},\n  \"avx2_differential_checked\": {avx2_checked},\n  \"serial_parallel_bit_identical\": {bit_identical},\n  \"threads\": {},\n  \"csr_speedup_over_naive\": {speedup:.3},\n  \"em_speedup_parallel_over_serial\": {em_speedup:.3},\n  \"estep_speedup\": {estep_speedup:.3},\n  \"mstep_speedup\": {mstep_speedup:.3},\n  \"estimates_equal_within\": 1e-9\n}}\n",
         d.answers.len(),
+        phase_json(&st),
+        phase_json(&pt),
+        kernels().path().name(),
+        pt.threads,
     );
     // Land the record at the workspace root regardless of bench CWD.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
@@ -115,7 +212,7 @@ fn em_throughput(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::from_parameter("csr_sequential"), &d, |b, d| {
         b.iter(|| seq.infer(&d.schema, &d.answers).iterations)
     });
-    group.bench_with_input(BenchmarkId::from_parameter("csr_parallel_estep"), &d, |b, d| {
+    group.bench_with_input(BenchmarkId::from_parameter("csr_parallel"), &d, |b, d| {
         b.iter(|| par.infer(&d.schema, &d.answers).iterations)
     });
     group.bench_with_input(BenchmarkId::from_parameter("hashmap_naive"), &d, |b, d| {

@@ -13,12 +13,14 @@
 //! `φ_u` is the absolute per-worker variance.
 
 #![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
-use crate::model::{
-    cat_answer_ln_likelihood, quality_from_ln_variance_fast, quality_pair_from_ln_variance_fast,
-};
+use crate::model::{cat_answer_ln_likelihood, quality_from_ln_variance_fast};
+use crate::pool::WorkerPool;
 use crate::truth::TruthDist;
+use std::sync::Mutex;
+use std::time::Instant;
+use tcrowd_stat::batch::{kernels, BatchKernels};
 use tcrowd_stat::normal::Normal;
-use tcrowd_stat::optimize::{gradient_ascent, AscentOptions};
+use tcrowd_stat::optimize::{gradient_ascent_with, AscentOptions};
 use tcrowd_stat::{clamp_prob, EPS};
 
 /// Options controlling the EM loop.
@@ -79,6 +81,15 @@ pub struct EmOptions {
     /// Defaults to on exactly when the `parallel` cargo feature is on, so the
     /// threaded path is what the simulator and benches actually exercise.
     pub parallel_estep: bool,
+    /// Split every M-step objective/gradient evaluation across threads
+    /// (fixed chunk boundaries + in-order reduction, so the result is
+    /// **bit-identical** to the serial path at any thread count — tested).
+    /// Defaults to on exactly when the `parallel` cargo feature is on.
+    pub parallel_mstep: bool,
+    /// Thread count for the parallel phases; `0` (the default) means one
+    /// thread per available core. Thread count never affects the fitted
+    /// numbers, only wall-clock.
+    pub threads: usize,
     /// Inner gradient-ascent configuration for the M-step.
     pub mstep: AscentOptions,
 }
@@ -96,6 +107,8 @@ impl Default for EmOptions {
             difficulty_prior_strength: 4.0,
             ln_param_bound: 12.0,
             parallel_estep: cfg!(feature = "parallel"),
+            parallel_mstep: cfg!(feature = "parallel"),
+            threads: 0,
             mstep: AscentOptions {
                 initial_step: 0.25,
                 max_iters: 25,
@@ -169,8 +182,56 @@ pub(crate) struct Workspace {
     pub answers: Vec<IntAnswer>,
     /// CSR offsets into [`Self::answers`], `n_rows * n_cols + 1` entries.
     pub cell_offsets: Vec<u32>,
+    /// Column-kind–segregated SoA runs of the same answers, for the batch
+    /// M-step/ELBO kernels (built once here, reused every iteration).
+    pub runs: MStepRuns,
     /// Quality window ε (Eq. 2), in z-score units.
     pub epsilon: f64,
+}
+
+/// The answers of a [`Workspace`] segregated by column kind into contiguous
+/// structure-of-arrays runs: one continuous run, one categorical run, each
+/// preserving the workspace's cell-major order. The M-step objective over
+/// this layout is two branchless batch loops (see [`BatchKernels`]) instead
+/// of one per-answer `ColKind` match, and the fixed-size chunks the runs are
+/// cut into are the unit of (deterministic) parallelism.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MStepRuns {
+    pub cont_row: Vec<u32>,
+    pub cont_col: Vec<u32>,
+    pub cont_worker: Vec<u32>,
+    pub cont_value: Vec<f64>,
+    pub cat_row: Vec<u32>,
+    pub cat_col: Vec<u32>,
+    pub cat_worker: Vec<u32>,
+    pub cat_label: Vec<u32>,
+    /// `ln(max(L,2) - 1)` per categorical answer — the miss-likelihood
+    /// normaliser, constant across iterations so hoisted out of the kernels.
+    pub cat_ln_card1: Vec<f64>,
+}
+
+impl MStepRuns {
+    fn build(col_kind: &[ColKind], answers: &[IntAnswer]) -> MStepRuns {
+        let mut r = MStepRuns::default();
+        for a in answers {
+            match col_kind[a.col as usize] {
+                ColKind::Cont => {
+                    r.cont_row.push(a.row);
+                    r.cont_col.push(a.col);
+                    r.cont_worker.push(a.worker);
+                    r.cont_value.push(a.value);
+                }
+                ColKind::Cat(l) => {
+                    r.cat_row.push(a.row);
+                    r.cat_col.push(a.col);
+                    r.cat_worker.push(a.worker);
+                    r.cat_label.push(a.label);
+                    r.cat_ln_card1.push(((l.max(2) - 1) as f64).ln());
+                }
+            }
+        }
+        r
+    }
 }
 
 impl Workspace {
@@ -192,10 +253,13 @@ impl Workspace {
         for s in 0..n_rows * n_cols {
             cell_offsets[s + 1] += cell_offsets[s];
         }
-        Workspace { n_rows, n_cols, n_workers, col_kind, answers, cell_offsets, epsilon }
+        let runs = MStepRuns::build(&col_kind, &answers);
+        Workspace { n_rows, n_cols, n_workers, col_kind, answers, cell_offsets, runs, epsilon }
     }
 
+    /// Row-major slot of a cell (test helper; the hot paths inline this).
     #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn cell_slot(&self, row: u32, col: u32) -> usize {
         row as usize * self.n_cols + col as usize
     }
@@ -225,21 +289,29 @@ pub(crate) struct EmState {
     /// renormalised parameters would make the first M-step jump back by
     /// exactly this shift and waste the restart's head start.
     pub renorm_shift: (f64, f64),
+    /// Where the wall-clock of this run went, by EM phase.
+    pub timings: EmTimings,
 }
 
-impl EmState {
-    /// Log effective answer variance `ln(α_i β_j φ_u)` — the categorical
-    /// quality link consumes this directly, without materialising `v`.
-    #[inline]
-    pub fn effective_ln_variance(&self, worker: u32, row: u32, col: u32) -> f64 {
-        self.ln_alpha[row as usize] + self.ln_beta[col as usize] + self.ln_phi[worker as usize]
-    }
-
-    /// Effective answer variance `α_i β_j φ_u`.
-    #[inline]
-    pub fn effective_variance(&self, worker: u32, row: u32, col: u32) -> f64 {
-        self.effective_ln_variance(worker, row, col).exp()
-    }
+/// Per-phase wall-clock breakdown of one EM run. Totals across the whole
+/// run (an EM run performs `iterations + 1` E-steps/ELBO evaluations and
+/// `iterations` M-steps). Surfaced through
+/// [`crate::InferenceResult::timings`], the service `/stats` endpoint and
+/// the inference bench, so refit-lag regressions are attributable to a
+/// phase rather than a single opaque number.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmTimings {
+    /// Total E-step time, nanoseconds.
+    pub estep_ns: u64,
+    /// Total M-step (gradient ascent) time, nanoseconds.
+    pub mstep_ns: u64,
+    /// Total ELBO-evaluation time, nanoseconds.
+    pub elbo_ns: u64,
+    /// Number of M-step objective/gradient evaluations across the run — the
+    /// multiplier that makes the batch-kernel evaluation the hot loop.
+    pub objective_evals: u64,
+    /// Threads the parallel phases were split across (1 = serial).
+    pub threads: usize,
 }
 
 const LN_2PI: f64 = 1.8378770664093453;
@@ -304,6 +376,7 @@ pub(crate) fn run_em_from(ws: &Workspace, opts: &EmOptions, warm: Option<&WarmSt
         iterations: 0,
         converged: false,
         renorm_shift: (0.0, 0.0),
+        timings: EmTimings { threads: 1, ..EmTimings::default() },
     };
     if ws.answers.is_empty() {
         // Nothing to learn; posteriors are the priors.
@@ -311,8 +384,25 @@ pub(crate) fn run_em_from(ws: &Workspace, opts: &EmOptions, warm: Option<&WarmSt
         return state;
     }
 
-    e_step(ws, &mut state, opts);
-    let mut elbo = compute_elbo(ws, &state, opts);
+    // Resolve the batch-kernel path once and spawn the worker pool once —
+    // both are reused across every iteration of this run (pre-PR-6 the
+    // E-step spawned OS threads every call, which ate its own speedup).
+    let kern = kernels();
+    let estep_threads = thread_count(opts.parallel_estep, opts.threads);
+    let mstep_threads = thread_count(opts.parallel_mstep, opts.threads);
+    let pool_threads = estep_threads.max(mstep_threads);
+    let pool = (pool_threads > 1).then(|| WorkerPool::new(pool_threads));
+    let epool = pool.as_ref().filter(|_| estep_threads > 1);
+    let mpool = pool.as_ref().filter(|_| mstep_threads > 1);
+    let mut scratch = EmScratch::new(ws);
+    state.timings.threads = pool_threads;
+
+    let t = Instant::now();
+    e_step_with(ws, &mut state, epool);
+    state.timings.estep_ns += t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let mut elbo = compute_elbo(ws, &state, opts, kern, &mut scratch, mpool);
+    state.timings.elbo_ns += t.elapsed().as_nanos() as u64;
     state.trace.push(elbo);
 
     let mut prev_params: Vec<f64> = Vec::new();
@@ -323,9 +413,16 @@ pub(crate) fn run_em_from(ws: &Workspace, opts: &EmOptions, warm: Option<&WarmSt
             prev_params.extend_from_slice(&state.ln_beta);
             prev_params.extend_from_slice(&state.ln_phi);
         }
-        m_step(ws, &mut state, opts);
-        e_step(ws, &mut state, opts);
-        let next = compute_elbo(ws, &state, opts);
+        let t = Instant::now();
+        let evals = m_step(ws, &mut state, opts, kern, &mut scratch, mpool);
+        state.timings.mstep_ns += t.elapsed().as_nanos() as u64;
+        state.timings.objective_evals += evals as u64;
+        let t = Instant::now();
+        e_step_with(ws, &mut state, epool);
+        state.timings.estep_ns += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let next = compute_elbo(ws, &state, opts, kern, &mut scratch, mpool);
+        state.timings.elbo_ns += t.elapsed().as_nanos() as u64;
         state.trace.push(next);
         state.iterations = iter;
         if (next - elbo).abs() < opts.tol * (1.0 + elbo.abs()) {
@@ -369,14 +466,35 @@ fn initial_truths(ws: &Workspace) -> Vec<TruthDist> {
     out
 }
 
+/// Threads to split a parallel phase across: the option override, else one
+/// per available core; always `1` when the phase (or the `parallel`
+/// feature) is off.
+fn thread_count(phase_enabled: bool, requested: usize) -> usize {
+    if !cfg!(feature = "parallel") || !phase_enabled {
+        return 1;
+    }
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
 /// Posterior of one cell under the current parameters (Eq. 4).
-fn cell_posterior(ws: &Workspace, state: &EmState, slot: usize) -> Option<TruthDist> {
+fn cell_posterior(
+    ws: &Workspace,
+    la: &[f64],
+    lb: &[f64],
+    lp: &[f64],
+    slot: usize,
+) -> Option<TruthDist> {
     let cell = ws.cell_answers(slot);
     if cell.is_empty() {
         return None; // posterior stays at the prior
     }
     let row = (slot / ws.n_cols) as u32;
     let col = (slot % ws.n_cols) as u32;
+    let ln_v_of = |a: &IntAnswer| la[row as usize] + lb[col as usize] + lp[a.worker as usize];
     Some(match ws.col_kind[col as usize] {
         ColKind::Cont => {
             // Streamed precision-weighted update — same accumulation order as
@@ -384,7 +502,7 @@ fn cell_posterior(ws: &Workspace, state: &EmState, slot: usize) -> Option<TruthD
             let mut prec = 1.0; // standard-normal prior: 1/var
             let mut weighted = 0.0; // prior mean / var
             for a in cell {
-                let v = tcrowd_stat::clamp_var(state.effective_variance(a.worker, row, col));
+                let v = tcrowd_stat::clamp_var(ln_v_of(a).exp());
                 prec += 1.0 / v;
                 weighted += a.value / v;
             }
@@ -395,8 +513,7 @@ fn cell_posterior(ws: &Workspace, state: &EmState, slot: usize) -> Option<TruthD
             let l_us = l.max(1) as usize;
             let mut ln_p = vec![0.0f64; l_us]; // uniform prior cancels
             for a in cell {
-                let ln_v = state.effective_ln_variance(a.worker, row, col);
-                let q = quality_from_ln_variance_fast(ws.epsilon, ln_v);
+                let q = quality_from_ln_variance_fast(ws.epsilon, ln_v_of(a));
                 // Only two distinct likelihood values exist per answer.
                 let ln_hit = cat_answer_ln_likelihood(q, l, true);
                 let ln_miss = cat_answer_ln_likelihood(q, l, false);
@@ -415,110 +532,282 @@ fn cell_posterior(ws: &Workspace, state: &EmState, slot: usize) -> Option<TruthD
     })
 }
 
-/// Cells a worker thread claims per cursor fetch. Small enough to
-/// load-balance a skewed table (one thread stuck on a dense cell run does
-/// not strand the rest of the sweep behind a fixed chunk boundary), large
-/// enough that the atomic traffic is negligible against the per-cell math.
-const ESTEP_STEAL_BATCH: usize = 64;
+/// Cell slots per E-step chunk. With the persistent pool a chunk claim is
+/// one atomic increment plus an uncontended mutex lock, so the batch no
+/// longer has to amortise a thread spawn; 64 keeps the claim traffic
+/// negligible against the per-cell math while still load-balancing a
+/// skewed answer distribution (chunks are *claimed* dynamically — only the
+/// chunk *boundaries* are fixed, and each cell's posterior is independent,
+/// so scheduling never affects the result).
+const ESTEP_CHUNK: usize = 64;
+
+/// Below this many cells a parallel E-step costs more in dispatch than it
+/// saves in compute; run serial regardless of the pool.
+const ESTEP_PARALLEL_MIN: usize = 256;
+
+/// E-step (Eq. 4), serial entry point (tests and tiny tables).
+#[cfg(test)]
+pub(crate) fn e_step(ws: &Workspace, state: &mut EmState, _opts: &EmOptions) {
+    e_step_with(ws, state, None);
+}
 
 /// E-step (Eq. 4): recompute every cell's posterior from the current
-/// parameters. Cells are independent, so with `opts.parallel_estep` (and the
-/// `parallel` cargo feature) the work is split across threads (the paper's
-/// §7 notes this acceleration). The split is a **work-stealing** one: threads
-/// claim batches of cell slots off a shared atomic cursor, so a skewed
-/// answer distribution (or a 1-core CI box giving one thread all the time
-/// slices) cannot leave threads idle the way fixed chunking did. Each thread
-/// writes its posteriors into a thread-local list keyed by slot, and the
-/// slot-keyed merge makes the result bit-identical to the serial path
-/// regardless of scheduling — which is tested.
-pub(crate) fn e_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
+/// parameters. Cells are independent, so with a pool the slots are split
+/// into fixed 64-slot chunks claimed off the pool's cursor (the paper's §7
+/// notes this acceleration). Each chunk writes its posteriors directly into
+/// its disjoint slice of `state.truths`, so there is no merge step and the
+/// result is bit-identical to the serial path regardless of scheduling —
+/// which is tested.
+pub(crate) fn e_step_with(ws: &Workspace, state: &mut EmState, pool: Option<&WorkerPool>) {
     let n_slots = ws.n_rows * ws.n_cols;
-    let threads = if cfg!(feature = "parallel") && opts.parallel_estep {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        1
-    };
-    if threads <= 1 || n_slots < 256 {
-        for slot in 0..n_slots {
-            if let Some(t) = cell_posterior(ws, state, slot) {
-                state.truths[slot] = t;
+    let EmState { ln_alpha, ln_beta, ln_phi, truths, .. } = state;
+    let (la, lb, lp) = (&ln_alpha[..], &ln_beta[..], &ln_phi[..]);
+    match pool.filter(|p| p.threads() > 1 && n_slots >= ESTEP_PARALLEL_MIN) {
+        None => {
+            for slot in 0..n_slots {
+                if let Some(t) = cell_posterior(ws, la, lb, lp, slot) {
+                    truths[slot] = t;
+                }
             }
         }
-        return;
-    }
-    // Compute into thread-local buffers so `state` stays immutable while
-    // shared; the cursor hands out disjoint slot batches.
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let shared: &EmState = state;
-    let mut done: Vec<Vec<(u32, TruthDist)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let cursor = &cursor;
-                scope.spawn(move || {
-                    let mut local: Vec<(u32, TruthDist)> = Vec::new();
-                    loop {
-                        let start = cursor
-                            .fetch_add(ESTEP_STEAL_BATCH, std::sync::atomic::Ordering::Relaxed);
-                        if start >= n_slots {
-                            break;
-                        }
-                        for slot in start..(start + ESTEP_STEAL_BATCH).min(n_slots) {
-                            if let Some(t) = cell_posterior(ws, shared, slot) {
-                                local.push((slot as u32, t));
-                            }
-                        }
+        Some(p) => {
+            let tasks: Vec<Mutex<(usize, &mut [TruthDist])>> = truths
+                .chunks_mut(ESTEP_CHUNK)
+                .enumerate()
+                .map(|(i, c)| Mutex::new((i * ESTEP_CHUNK, c)))
+                .collect();
+            p.run(tasks.len(), &|ci| {
+                let mut guard = tasks[ci].lock().expect("estep chunk mutex");
+                let (base, chunk) = &mut *guard;
+                for (off, out) in chunk.iter_mut().enumerate() {
+                    if let Some(t) = cell_posterior(ws, la, lb, lp, *base + off) {
+                        *out = t;
                     }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("E-step worker panicked")).collect()
-    });
-    for local in &mut done {
-        for (slot, t) in local.drain(..) {
-            state.truths[slot as usize] = t;
+                }
+            });
         }
     }
 }
 
-/// Per-answer sufficient statistics cached for the M-step.
-struct MStepCache {
-    /// Continuous answers: `K = (a − T^µ)² + T^φ`.
+/// Answers per M-step chunk: the unit of parallelism for the batch-kernel
+/// evaluation. Boundaries are **fixed** by this constant (never by thread
+/// count), each chunk writes only its own disjoint slices, and the chunk
+/// partial sums are reduced serially in chunk order — which is what makes
+/// the parallel objective bit-identical to the serial one. 4096 answers is
+/// ~100 µs of kernel work, comfortably above the per-chunk claim cost.
+const MSTEP_CHUNK: usize = 4096;
+
+/// Reusable buffer set for one EM run: the per-answer caches, the staging
+/// arrays the batch kernels read/write, and the parameter pack buffer.
+/// Allocated once per `run_em_from` (sized by the workspace's SoA runs) —
+/// pre-PR-6 the M-step allocated two full-length cache `Vec`s per call and
+/// a gradient `Vec` per objective evaluation.
+pub(crate) struct EmScratch {
+    /// Continuous answers: `K = (a − T^µ)² + T^φ` (rebuilt per posterior).
     cont_k: Vec<f64>,
-    /// Categorical answers: posterior probability that the answer is correct.
+    /// Categorical answers: posterior probability the answer is correct.
     cat_p: Vec<f64>,
+    /// Categorical answers: `(1 − p)·ln(L−1)`, the constant miss term.
+    cat_c: Vec<f64>,
+    /// Staging: per-answer effective `ln v` under the evaluated parameters.
+    cont_ln_v: Vec<f64>,
+    cat_ln_v: Vec<f64>,
+    /// Staging: per-answer `∂term/∂ln v` written by the kernels.
+    cont_g: Vec<f64>,
+    cat_g: Vec<f64>,
+    /// Packed-parameter buffer for the gradient-ascent start point.
+    x: Vec<f64>,
 }
 
-fn build_cache(ws: &Workspace, state: &EmState) -> MStepCache {
-    let mut cont_k = vec![0.0; ws.answers.len()];
-    let mut cat_p = vec![0.0; ws.answers.len()];
-    for (i, a) in ws.answers.iter().enumerate() {
-        let slot = ws.cell_slot(a.row, a.col);
-        match &state.truths[slot] {
-            TruthDist::Continuous(n) => {
-                let d = a.value - n.mean;
-                cont_k[i] = d * d + n.var;
-            }
-            TruthDist::Categorical(p) => {
-                cat_p[i] = clamp_prob(p.get(a.label as usize).copied().unwrap_or(0.0));
+impl EmScratch {
+    pub(crate) fn new(ws: &Workspace) -> EmScratch {
+        let nc = ws.runs.cont_row.len();
+        let nk = ws.runs.cat_row.len();
+        EmScratch {
+            cont_k: vec![0.0; nc],
+            cat_p: vec![0.0; nk],
+            cat_c: vec![0.0; nk],
+            cont_ln_v: vec![0.0; nc],
+            cat_ln_v: vec![0.0; nk],
+            cont_g: vec![0.0; nc],
+            cat_g: vec![0.0; nk],
+            x: Vec::new(),
+        }
+    }
+}
+
+/// Refresh the per-answer sufficient statistics from the current posteriors
+/// (used by both the M-step objective and the ELBO, which see different
+/// posteriors within one iteration).
+fn build_cache(ws: &Workspace, truths: &[TruthDist], scratch: &mut EmScratch) {
+    let r = &ws.runs;
+    for j in 0..r.cont_row.len() {
+        let slot = r.cont_row[j] as usize * ws.n_cols + r.cont_col[j] as usize;
+        let TruthDist::Continuous(n) = &truths[slot] else {
+            unreachable!("continuous answer on non-continuous posterior")
+        };
+        let d = r.cont_value[j] - n.mean;
+        scratch.cont_k[j] = d * d + n.var;
+    }
+    for j in 0..r.cat_row.len() {
+        let slot = r.cat_row[j] as usize * ws.n_cols + r.cat_col[j] as usize;
+        let TruthDist::Categorical(p) = &truths[slot] else {
+            unreachable!("categorical answer on non-categorical posterior")
+        };
+        let pc = clamp_prob(p.get(r.cat_label[j] as usize).copied().unwrap_or(0.0));
+        scratch.cat_p[j] = pc;
+        scratch.cat_c[j] = (1.0 - pc) * r.cat_ln_card1[j];
+    }
+}
+
+/// One fixed chunk of a run: the slices a single kernel invocation reads
+/// and writes. Chunks are disjoint, so the `Mutex` is uncontended — it
+/// exists to hand the `&mut` slices across the pool's shared-closure
+/// boundary, not to serialize anything.
+struct ChunkTask<'a> {
+    cat: bool,
+    rows: &'a [u32],
+    cols: &'a [u32],
+    workers: &'a [u32],
+    /// Cont: the `K` cache. Cat: the hit-probability cache `p`.
+    aux: &'a [f64],
+    /// Cat only: the miss-constant cache `c`.
+    aux2: &'a [f64],
+    ln_v: &'a mut [f64],
+    g: &'a mut [f64],
+    /// The chunk's objective partial sum, written by the job.
+    q: f64,
+}
+
+/// Gather the effective log-variances `ln(α_i β_j φ_u)` of one chunk.
+/// `None` parameter slices contribute zero (difficulties frozen by the
+/// ablation flags); the clamp is the M-step's optimiser box (the ELBO
+/// evaluates unclamped, exactly like the pre-batch code).
+#[allow(clippy::too_many_arguments)] // three param lanes + three index runs
+fn fill_ln_v(
+    la: Option<&[f64]>,
+    lb: Option<&[f64]>,
+    lp: &[f64],
+    clamp: Option<f64>,
+    rows: &[u32],
+    cols: &[u32],
+    workers: &[u32],
+    out: &mut [f64],
+) {
+    for j in 0..out.len() {
+        let va = la.map_or(0.0, |v| v[rows[j] as usize]);
+        let vb = lb.map_or(0.0, |v| v[cols[j] as usize]);
+        out[j] = va + vb + lp[workers[j] as usize];
+    }
+    if let Some(b) = clamp {
+        for v in out.iter_mut() {
+            *v = v.clamp(-b, b);
+        }
+    }
+}
+
+/// The Σ-over-answers part of both the M-step objective and the ELBO:
+/// per-answer Gaussian terms over the continuous run plus categorical
+/// quality terms over the categorical run, evaluated by the batch kernels
+/// chunk by chunk (optionally across the pool). Returns the summed
+/// objective contribution; per-answer `∂/∂ln v` lands in
+/// `scratch.cont_g` / `scratch.cat_g`.
+///
+/// **Determinism:** chunk boundaries come from [`MSTEP_CHUNK`], each chunk
+/// writes only its own slices, and the partial sums are folded serially in
+/// chunk order after the barrier — so the result is bit-identical at any
+/// thread count, including one.
+#[allow(clippy::too_many_arguments)] // the two param groups are documented above
+fn eval_answers(
+    ws: &Workspace,
+    la: Option<&[f64]>,
+    lb: Option<&[f64]>,
+    lp: &[f64],
+    clamp: Option<f64>,
+    kern: BatchKernels,
+    scratch: &mut EmScratch,
+    pool: Option<&WorkerPool>,
+) -> f64 {
+    let r = &ws.runs;
+    let EmScratch { cont_k, cat_p, cat_c, cont_ln_v, cat_ln_v, cont_g, cat_g, .. } = scratch;
+    let mut tasks: Vec<Mutex<ChunkTask>> = Vec::new();
+    for (i, (ln_v, g)) in
+        cont_ln_v.chunks_mut(MSTEP_CHUNK).zip(cont_g.chunks_mut(MSTEP_CHUNK)).enumerate()
+    {
+        let s = i * MSTEP_CHUNK;
+        let e = s + ln_v.len();
+        tasks.push(Mutex::new(ChunkTask {
+            cat: false,
+            rows: &r.cont_row[s..e],
+            cols: &r.cont_col[s..e],
+            workers: &r.cont_worker[s..e],
+            aux: &cont_k[s..e],
+            aux2: &[],
+            ln_v,
+            g,
+            q: 0.0,
+        }));
+    }
+    for (i, (ln_v, g)) in
+        cat_ln_v.chunks_mut(MSTEP_CHUNK).zip(cat_g.chunks_mut(MSTEP_CHUNK)).enumerate()
+    {
+        let s = i * MSTEP_CHUNK;
+        let e = s + ln_v.len();
+        tasks.push(Mutex::new(ChunkTask {
+            cat: true,
+            rows: &r.cat_row[s..e],
+            cols: &r.cat_col[s..e],
+            workers: &r.cat_worker[s..e],
+            aux: &cat_p[s..e],
+            aux2: &cat_c[s..e],
+            ln_v,
+            g,
+            q: 0.0,
+        }));
+    }
+    let job = |ci: usize| {
+        let mut guard = tasks[ci].lock().expect("mstep chunk mutex");
+        let t = &mut *guard;
+        fill_ln_v(la, lb, lp, clamp, t.rows, t.cols, t.workers, t.ln_v);
+        t.q = if t.cat {
+            kern.quality_terms(ws.epsilon, t.ln_v, t.aux, t.aux2, t.g)
+        } else {
+            kern.gaussian_terms(t.ln_v, t.aux, t.g)
+        };
+    };
+    match pool.filter(|p| p.threads() > 1 && tasks.len() > 1) {
+        Some(p) => p.run(tasks.len(), &job),
+        None => {
+            for ci in 0..tasks.len() {
+                job(ci);
             }
         }
     }
-    MStepCache { cont_k, cat_p }
+    // In-order reduction: cont chunks first, then cat chunks.
+    tasks.iter().map(|t| t.lock().expect("mstep chunk mutex").q).sum()
 }
 
 /// M-step (Eq. 5): gradient ascent on the expected complete-data
-/// log-likelihood over the active log-parameters.
-fn m_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
-    let cache = build_cache(ws, state);
+/// log-likelihood over the active log-parameters, the objective evaluated
+/// by the batch kernels (optionally across the pool). Returns the number
+/// of objective evaluations the inner ascent performed.
+fn m_step(
+    ws: &Workspace,
+    state: &mut EmState,
+    opts: &EmOptions,
+    kern: BatchKernels,
+    scratch: &mut EmScratch,
+    pool: Option<&WorkerPool>,
+) -> usize {
+    build_cache(ws, &state.truths, scratch);
     let learn_a = opts.learn_row_difficulty;
     let learn_b = opts.learn_col_difficulty;
     let na = if learn_a { ws.n_rows } else { 0 };
     let nb = if learn_b { ws.n_cols } else { 0 };
-    let nu = ws.n_workers;
 
-    // Pack the active parameters.
-    let mut x0 = Vec::with_capacity(na + nb + nu);
+    // Pack the active parameters into the reused buffer.
+    let mut x0 = std::mem::take(&mut scratch.x);
+    x0.clear();
     if learn_a {
         x0.extend_from_slice(&state.ln_alpha);
     }
@@ -531,42 +820,45 @@ fn m_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
     let phi_center = initial_phi(ws.epsilon, opts.init_quality).ln();
     let lam_phi = opts.phi_prior_strength;
     let lam_diff = opts.difficulty_prior_strength;
-    let objective = |x: &[f64]| -> (f64, Vec<f64>) {
+    let objective = |x: &[f64], grad: &mut [f64]| -> f64 {
         let (la, rest) = x.split_at(na);
         let (lb, lp) = rest.split_at(nb);
-        let get_ln_v = |a: &IntAnswer| -> f64 {
-            let va = if learn_a { la[a.row as usize] } else { 0.0 };
-            let vb = if learn_b { lb[a.col as usize] } else { 0.0 };
-            va + vb + lp[a.worker as usize]
-        };
-        let mut q_val = 0.0;
-        let mut grad = vec![0.0; x.len()];
-        for (i, a) in ws.answers.iter().enumerate() {
-            let ln_v = get_ln_v(a).clamp(-bound, bound);
-            // g = ∂(per-answer term)/∂ln v — identical for α, β, φ.
-            let g = match ws.col_kind[a.col as usize] {
-                ColKind::Cont => {
-                    let v = ln_v.exp();
-                    let k = cache.cont_k[i];
-                    q_val += -0.5 * (LN_2PI + ln_v) - k / (2.0 * v);
-                    -0.5 + k / (2.0 * v)
-                }
-                ColKind::Cat(l) => {
-                    // The categorical link needs only x = ε/√(2v), so `v`
-                    // itself is never materialised on this branch.
-                    let p = cache.cat_p[i];
-                    let (q, dq) = quality_pair_from_ln_variance_fast(ws.epsilon, ln_v);
-                    q_val += p * q.ln() + (1.0 - p) * ((1.0 - q) / (l.max(2) - 1) as f64).ln();
-                    (p / q - (1.0 - p) / (1.0 - q)) * dq
-                }
-            };
-            if learn_a {
-                grad[a.row as usize] += g;
+        let mut q_val = eval_answers(
+            ws,
+            learn_a.then_some(la),
+            learn_b.then_some(lb),
+            lp,
+            Some(bound),
+            kern,
+            scratch,
+            pool,
+        );
+        // Serial scatter of the per-answer ∂/∂ln v into the parameter
+        // gradient, in fixed run order — `g` is identical for α, β and φ,
+        // and the three scatter targets are disjoint parameter ranges.
+        grad.fill(0.0);
+        let r = &ws.runs;
+        if learn_a {
+            for (j, &row) in r.cont_row.iter().enumerate() {
+                grad[row as usize] += scratch.cont_g[j];
             }
-            if learn_b {
-                grad[na + a.col as usize] += g;
+            for (j, &row) in r.cat_row.iter().enumerate() {
+                grad[row as usize] += scratch.cat_g[j];
             }
-            grad[na + nb + a.worker as usize] += g;
+        }
+        if learn_b {
+            for (j, &col) in r.cont_col.iter().enumerate() {
+                grad[na + col as usize] += scratch.cont_g[j];
+            }
+            for (j, &col) in r.cat_col.iter().enumerate() {
+                grad[na + col as usize] += scratch.cat_g[j];
+            }
+        }
+        for (j, &w) in r.cont_worker.iter().enumerate() {
+            grad[na + nb + w as usize] += scratch.cont_g[j];
+        }
+        for (j, &w) in r.cat_worker.iter().enumerate() {
+            grad[na + nb + w as usize] += scratch.cat_g[j];
         }
         // MAP priors (see field docs on EmOptions).
         for (i, &v) in la.iter().enumerate() {
@@ -582,10 +874,11 @@ fn m_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
             q_val -= 0.5 * lam_phi * d * d;
             grad[na + nb + i] -= lam_phi * d;
         }
-        (q_val, grad)
+        q_val
     };
 
-    let result = gradient_ascent(objective, &x0, &opts.mstep);
+    let result = gradient_ascent_with(objective, &x0, &opts.mstep);
+    scratch.x = x0; // hand the pack buffer back for the next iteration
     let x = result.params;
     let (la, rest) = x.split_at(na);
     let (lb, lp) = rest.split_at(nb);
@@ -601,6 +894,7 @@ fn m_step(ws: &Workspace, state: &mut EmState, opts: &EmOptions) {
     {
         *v = v.clamp(-bound, bound);
     }
+    result.evaluations
 }
 
 /// Identifiability polish applied once after EM converges: set the geometric
@@ -638,7 +932,20 @@ fn renormalize(state: &mut EmState, opts: &EmOptions) -> (f64, f64) {
 /// parameters. Monotone non-decreasing across EM iterations (each M-step
 /// only accepts improving steps, each E-step sets the posterior to the exact
 /// conditional), which is property-tested.
-pub(crate) fn compute_elbo(ws: &Workspace, state: &EmState, opts: &EmOptions) -> f64 {
+///
+/// The per-answer expectation is exactly the [`eval_answers`] sum the
+/// M-step maximises — same kernels, same chunk order — evaluated at the
+/// *state* parameters, unclamped (the optimiser box only applies inside
+/// the ascent). What remains here is the per-cell part: prior expectation
+/// and posterior entropy.
+pub(crate) fn compute_elbo(
+    ws: &Workspace,
+    state: &EmState,
+    opts: &EmOptions,
+    kern: BatchKernels,
+    scratch: &mut EmScratch,
+    pool: Option<&WorkerPool>,
+) -> f64 {
     let phi_center = initial_phi(ws.epsilon, opts.init_quality).ln();
     let mut elbo = 0.0;
     if opts.learn_row_difficulty {
@@ -653,40 +960,35 @@ pub(crate) fn compute_elbo(ws: &Workspace, state: &EmState, opts: &EmOptions) ->
     elbo -= 0.5
         * opts.phi_prior_strength
         * state.ln_phi.iter().map(|v| (v - phi_center) * (v - phi_center)).sum::<f64>();
-    for row in 0..ws.n_rows as u32 {
-        for col in 0..ws.n_cols as u32 {
-            let slot = ws.cell_slot(row, col);
-            let cell = ws.cell_answers(slot);
-            if cell.is_empty() {
-                continue;
+    build_cache(ws, &state.truths, scratch);
+    elbo += eval_answers(
+        ws,
+        Some(&state.ln_alpha),
+        Some(&state.ln_beta),
+        &state.ln_phi,
+        None,
+        kern,
+        scratch,
+        pool,
+    );
+    for slot in 0..ws.n_rows * ws.n_cols {
+        if ws.cell_answers(slot).is_empty() {
+            continue;
+        }
+        match &state.truths[slot] {
+            TruthDist::Continuous(n) => {
+                // Prior N(0,1) expectation + posterior entropy.
+                elbo += -0.5 * LN_2PI - (n.mean * n.mean + n.var) / 2.0;
+                elbo += n.differential_entropy();
             }
-            match &state.truths[slot] {
-                TruthDist::Continuous(n) => {
-                    for a in cell {
-                        let v = state.effective_variance(a.worker, row, col);
-                        let d = a.value - n.mean;
-                        elbo += -0.5 * (LN_2PI + v.ln()) - (d * d + n.var) / (2.0 * v);
-                    }
-                    // Prior N(0,1) expectation + posterior entropy.
-                    elbo += -0.5 * LN_2PI - (n.mean * n.mean + n.var) / 2.0;
-                    elbo += n.differential_entropy();
-                }
-                TruthDist::Categorical(p) => {
-                    let l = match ws.col_kind[col as usize] {
-                        ColKind::Cat(l) => l,
-                        ColKind::Cont => unreachable!(),
-                    };
-                    for a in cell {
-                        let ln_v = state.effective_ln_variance(a.worker, row, col);
-                        let q = quality_from_ln_variance_fast(ws.epsilon, ln_v);
-                        let pc = clamp_prob(p.get(a.label as usize).copied().unwrap_or(0.0));
-                        elbo += pc * cat_answer_ln_likelihood(q, l, true)
-                            + (1.0 - pc) * cat_answer_ln_likelihood(q, l, false);
-                    }
-                    // Uniform prior expectation + Shannon entropy.
-                    elbo += -(l.max(1) as f64).ln();
-                    elbo += tcrowd_stat::entropy::shannon(p);
-                }
+            TruthDist::Categorical(p) => {
+                let l = match ws.col_kind[slot % ws.n_cols] {
+                    ColKind::Cat(l) => l,
+                    ColKind::Cont => unreachable!(),
+                };
+                // Uniform prior expectation + Shannon entropy.
+                elbo += -(l.max(1) as f64).ln();
+                elbo += tcrowd_stat::entropy::shannon(p);
             }
         }
     }
@@ -865,9 +1167,23 @@ mod tests {
             iterations: 0,
             converged: false,
             renorm_shift: (0.0, 0.0),
+            timings: EmTimings::default(),
         };
         e_step(&ws, &mut state, &EmOptions::default());
-        let cache = build_cache(&ws, &state);
+        // Dense per-answer caches, independent of the SoA scratch layout.
+        let mut cache_cont_k = vec![0.0; ws.answers.len()];
+        let mut cache_cat_p = vec![0.0; ws.answers.len()];
+        for (i, a) in ws.answers.iter().enumerate() {
+            match &state.truths[ws.cell_slot(a.row, a.col)] {
+                TruthDist::Continuous(n) => {
+                    let d = a.value - n.mean;
+                    cache_cont_k[i] = d * d + n.var;
+                }
+                TruthDist::Categorical(p) => {
+                    cache_cat_p[i] = clamp_prob(p.get(a.label as usize).copied().unwrap_or(0.0));
+                }
+            }
+        }
         // Re-create the m-step objective inline (full parameter set).
         let (na, nb) = (ws.n_rows, ws.n_cols);
         let f = |x: &[f64]| -> f64 {
@@ -878,10 +1194,10 @@ mod tests {
                 let v = (la[a.row as usize] + lb[a.col as usize] + lp[a.worker as usize]).exp();
                 match ws.col_kind[a.col as usize] {
                     ColKind::Cont => {
-                        q_val += -0.5 * (LN_2PI + v.ln()) - cache.cont_k[i] / (2.0 * v);
+                        q_val += -0.5 * (LN_2PI + v.ln()) - cache_cont_k[i] / (2.0 * v);
                     }
                     ColKind::Cat(l) => {
-                        let p = cache.cat_p[i];
+                        let p = cache_cat_p[i];
                         let q = quality_from_variance(ws.epsilon, v);
                         q_val += p * q.ln() + (1.0 - p) * ((1.0 - q) / (l - 1) as f64).ln();
                     }
@@ -902,9 +1218,9 @@ mod tests {
             let v =
                 (x[a.row as usize] + x[na + a.col as usize] + x[na + nb + a.worker as usize]).exp();
             let g = match ws.col_kind[a.col as usize] {
-                ColKind::Cont => -0.5 + cache.cont_k[i] / (2.0 * v),
+                ColKind::Cont => -0.5 + cache_cont_k[i] / (2.0 * v),
                 ColKind::Cat(_) => {
-                    let p = cache.cat_p[i];
+                    let p = cache_cat_p[i];
                     let q = quality_from_variance(ws.epsilon, v);
                     (p / q - (1.0 - p) / (1.0 - q)) * quality_dlnv(ws.epsilon, v)
                 }
@@ -977,6 +1293,68 @@ mod tests {
     #[test]
     fn default_parallel_estep_matches_the_parallel_feature() {
         assert_eq!(EmOptions::default().parallel_estep, cfg!(feature = "parallel"));
+    }
+
+    #[test]
+    fn default_parallel_mstep_matches_the_parallel_feature() {
+        assert_eq!(EmOptions::default().parallel_mstep, cfg!(feature = "parallel"));
+    }
+
+    #[test]
+    fn parallel_mstep_matches_serial_exactly() {
+        let phis = [0.05, 0.2, 0.6, 2.0, 0.1, 0.4, 0.9, 1.5];
+        // 50 rows × 6 cols × 8 workers = 2400 answers — several M-step
+        // chunks of each kind once split, and big enough that the pooled
+        // path genuinely runs chunks on more than one thread.
+        let (ws, _, _) = synth_workspace(50, 3, 3, &phis, 37);
+        let serial = run_em(
+            &ws,
+            &EmOptions { parallel_estep: false, parallel_mstep: false, ..Default::default() },
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = run_em(
+                &ws,
+                &EmOptions {
+                    parallel_estep: false,
+                    parallel_mstep: true,
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial.iterations, parallel.iterations, "threads = {threads}");
+            for (a, b) in serial.ln_phi.iter().zip(&parallel.ln_phi) {
+                assert_eq!(a.to_bits(), b.to_bits(), "ln φ not bit-identical ({threads} threads)");
+            }
+            for (a, b) in serial.ln_alpha.iter().zip(&parallel.ln_alpha) {
+                assert_eq!(a.to_bits(), b.to_bits(), "ln α not bit-identical ({threads} threads)");
+            }
+            assert_eq!(serial.truths, parallel.truths, "threads = {threads}");
+            assert_eq!(serial.trace, parallel.trace, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fully_parallel_em_matches_serial_exactly() {
+        // Both phases pooled at once — the pool is shared across E and M.
+        let phis = [0.05, 0.2, 0.6, 2.0, 0.1, 0.4, 0.9, 1.5];
+        let (ws, _, _) = synth_workspace(60, 3, 3, &phis, 41);
+        let serial = run_em(
+            &ws,
+            &EmOptions { parallel_estep: false, parallel_mstep: false, ..Default::default() },
+        );
+        let parallel = run_em(
+            &ws,
+            &EmOptions {
+                parallel_estep: true,
+                parallel_mstep: true,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.iterations, parallel.iterations);
+        assert_eq!(serial.truths, parallel.truths);
+        assert_eq!(serial.ln_phi, parallel.ln_phi);
+        assert_eq!(serial.trace, parallel.trace);
     }
 
     #[test]

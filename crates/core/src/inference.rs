@@ -7,7 +7,9 @@
 //! mapping the fitted z-space posteriors back to the original scales.
 
 #![allow(clippy::needless_range_loop)] // index loops here walk several parallel arrays
-use crate::em::{initial_phi, run_em_from, ColKind, EmOptions, IntAnswer, WarmStart, Workspace};
+use crate::em::{
+    initial_phi, run_em_from, ColKind, EmOptions, EmTimings, IntAnswer, WarmStart, Workspace,
+};
 use crate::model::quality_from_variance;
 use crate::truth::TruthDist;
 use std::collections::HashMap;
@@ -338,6 +340,7 @@ impl TCrowd {
             iterations: state.iterations,
             converged: state.converged,
             renorm_shift: state.renorm_shift,
+            timings: state.timings,
         }
     }
 }
@@ -439,6 +442,8 @@ pub struct InferenceResult {
     /// The gauge shift the post-EM identifiability polish applied (mean
     /// `ln α`, mean `ln β`); lets a warm restart seed in the raw gauge.
     renorm_shift: (f64, f64),
+    /// Wall-clock breakdown of the EM run by kernel phase.
+    pub timings: EmTimings,
 }
 
 impl InferenceResult {

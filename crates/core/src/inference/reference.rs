@@ -19,7 +19,7 @@
 //! eliminates.
 
 use super::{EpsilonSpec, InferenceResult, TCrowd};
-use crate::em::{initial_phi, ColKind, EmOptions};
+use crate::em::{initial_phi, ColKind, EmOptions, EmTimings};
 use crate::model::{cat_answer_ln_likelihood, quality_dlnv, quality_from_variance};
 use crate::truth::TruthDist;
 use std::collections::HashMap;
@@ -176,6 +176,7 @@ impl TCrowd {
             iterations,
             converged,
             renorm_shift,
+            timings: EmTimings::default(),
         }
     }
 }

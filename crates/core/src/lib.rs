@@ -44,7 +44,12 @@
 //! [`StructureAwarePolicy`] for assignment, and [`EntityAwarePolicy`] for the
 //! §7 entity-correlation extension.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool (`pool`) is the one
+// sanctioned island of `unsafe` in this crate — it publishes a borrowed job
+// closure to its helper threads as a lifetime-erased pointer behind a strict
+// completion barrier (see `pool`'s module docs), opted in with a
+// module-level `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assign;
@@ -56,6 +61,7 @@ pub mod gain;
 pub mod inference;
 pub mod model;
 pub mod online;
+pub(crate) mod pool;
 pub mod truth;
 
 pub use assign::{
@@ -63,7 +69,7 @@ pub use assign::{
     InherentGainPolicy, StructureAwarePolicy,
 };
 pub use correlation::{CorrelationModel, ErrorObservation, PredictedError};
-pub use em::EmOptions;
+pub use em::{EmOptions, EmTimings};
 pub use entity::{EntityAwarePolicy, EntityModel, EntityModelOptions, RowGrouping};
 pub use gain::GainEstimator;
 pub use inference::{ColumnFilter, EpsilonSpec, FitParams, InferenceResult, TCrowd, TCrowdOptions};

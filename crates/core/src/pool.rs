@@ -1,0 +1,291 @@
+//! A persistent fork-join worker pool for the EM hot loops.
+//!
+//! The M-step evaluates its objective dozens of times per EM iteration and
+//! the E-step runs once per iteration; spawning OS threads per call (the
+//! pre-PR-6 `std::thread::scope` E-step) costs more than the work it splits
+//! on all but the largest tables. This pool spawns its helpers **once per EM
+//! run** and then hands them jobs with a mutex/condvar epoch handshake — a
+//! job dispatch is two uncontended lock round-trips, not `threads` spawns.
+//!
+//! A job is a chunk-indexed closure: [`WorkerPool::run`]`(chunks, f)` calls
+//! `f(i)` exactly once for every `i in 0..chunks`, splitting the indices
+//! across the helpers *and the calling thread* via an atomic cursor
+//! (work-stealing at chunk granularity — which thread runs a chunk is
+//! scheduling-dependent, so determinism must come from the chunks
+//! themselves writing disjoint outputs, which is how both EM phases use it).
+//!
+//! ## Safety
+//!
+//! This module is the `tcrowd-core` island of `unsafe` (see the crate-level
+//! `deny(unsafe_code)` note): the borrowed job closure is published to the
+//! helpers as a lifetime-erased raw pointer. Soundness rests on a strict
+//! barrier discipline:
+//!
+//! * `run` does not return until every chunk has finished **and** every
+//!   helper has left the steal loop (`active == 0`), so no helper can hold
+//!   or dereference the pointer after `run` returns — the closure outlives
+//!   every use.
+//! * A helper only dereferences the pointer after claiming a valid chunk
+//!   index from the cursor of the epoch it observed under the lock; once a
+//!   cursor is exhausted the pointer is never touched again, and the next
+//!   epoch's cursor is only reset after the previous `run` returned (which
+//!   required `active == 0` — no straggler can claim a fresh index against
+//!   a stale pointer).
+//! * Panics inside a chunk are caught (a panicking helper would otherwise
+//!   die silently and deadlock the barrier), recorded, and re-raised on the
+//!   calling thread after the barrier.
+
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Lifetime-erased borrowed job closure (`&dyn Fn(usize) + Sync` in truth;
+/// see the module docs for why the erasure is sound).
+type Job = *const (dyn Fn(usize) + Sync);
+
+/// The raw pointer is handed between threads only inside the barrier
+/// discipline above; the underlying closure is `Sync`.
+#[derive(Clone, Copy)]
+struct SendJob(Job);
+unsafe impl Send for SendJob {}
+
+struct PoolState {
+    /// Bumped once per published job; helpers use it to tell "new work"
+    /// from a spurious wakeup.
+    epoch: u64,
+    job: Option<SendJob>,
+    chunks: usize,
+    /// Helpers currently inside the steal loop of the published job.
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Helpers wait here for a new epoch.
+    work_cv: Condvar,
+    /// `run` waits here for the completion barrier.
+    done_cv: Condvar,
+    /// Next unclaimed chunk of the current job.
+    cursor: AtomicUsize,
+    /// Chunks finished in the current job.
+    completed: AtomicUsize,
+}
+
+/// Persistent fork-join pool; see the module docs.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    helpers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool that splits jobs `threads` ways: `threads - 1` helper threads
+    /// plus the thread that calls [`Self::run`].
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                chunks: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+        });
+        let helpers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || helper_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, helpers, threads }
+    }
+
+    /// Number of threads a job is split across (helpers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(i)` for every `i in 0..chunks`, splitting across the pool.
+    /// Blocks until every chunk has completed; re-raises on the calling
+    /// thread if any chunk panicked.
+    pub fn run(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        // SAFETY (lifetime erasure): `*const dyn Trait` carries an implicit
+        // `'static` bound, so the borrowed closure is transmuted into it; the
+        // barrier discipline in the module docs keeps every dereference
+        // within `f`'s real lifetime.
+        let job: Job = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), Job>(f as *const _)
+        };
+        self.shared.cursor.store(0, Ordering::Relaxed);
+        self.shared.completed.store(0, Ordering::Relaxed);
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.job = Some(SendJob(job));
+            st.chunks = chunks;
+            st.epoch += 1;
+            st.panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is worker zero.
+        steal_chunks(&self.shared, job, chunks);
+        // Completion barrier: all chunks done and no helper still inside
+        // the steal loop (it may hold the job pointer until it leaves).
+        let mut st = self.shared.state.lock().expect("pool mutex");
+        while self.shared.completed.load(Ordering::Acquire) < chunks || st.active > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool condvar");
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("worker pool job panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.helpers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn helper_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let (job, chunks) = {
+            let mut st = shared.state.lock().expect("pool mutex");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(j) = st.job {
+                        // Register as active *under the lock* that showed us
+                        // the job — `run` cannot pass its barrier (and free
+                        // the closure) until we deregister.
+                        st.active += 1;
+                        break (j.0, st.chunks);
+                    }
+                    // Epoch moved but the job is already cleared: that run
+                    // completed without us; wait for the next one.
+                }
+                st = shared.work_cv.wait(st).expect("pool condvar");
+            }
+        };
+        steal_chunks(shared, job, chunks);
+        let mut st = shared.state.lock().expect("pool mutex");
+        st.active -= 1;
+        drop(st);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Claim and execute chunks off the shared cursor until it is exhausted.
+fn steal_chunks(shared: &Shared, job: Job, chunks: usize) {
+    loop {
+        let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= chunks {
+            return;
+        }
+        // SAFETY: `i < chunks` means the current job is still live — `run`
+        // cannot have returned (its barrier needs `completed == chunks`),
+        // so the closure behind `job` is still in scope on `run`'s caller.
+        let f = unsafe { &*job };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            shared.state.lock().expect("pool mutex").panicked = true;
+        }
+        if shared.completed.fetch_add(1, Ordering::AcqRel) + 1 == chunks {
+            // Wake the barrier under the lock so the wakeup cannot be lost.
+            let _guard = shared.state.lock().expect("pool mutex");
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for chunks in [0usize, 1, 3, 7, 64, 1000] {
+            let hits: Vec<AtomicU64> = (0..chunks).map(|_| AtomicU64::new(0)).collect();
+            pool.run(chunks, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i} of {chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn reusable_across_many_jobs() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(16, &|i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 100 * (0..16).sum::<usize>() as u64);
+    }
+
+    #[test]
+    fn single_threaded_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let sum = AtomicU64::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn chunk_panic_propagates_after_the_barrier() {
+        let pool = WorkerPool::new(2);
+        let done = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // Every non-panicking chunk still completed (the barrier held).
+        assert_eq!(done.load(Ordering::Relaxed), 7);
+        // And the pool is still usable afterwards.
+        let ok = AtomicU64::new(0);
+        pool.run(4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+}

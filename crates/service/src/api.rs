@@ -412,6 +412,11 @@ fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
         // folded in.
         ("refresh_lag_answers", Json::from(table.pending())),
         ("last_refit_ms", Json::from(snap.last_refit_ms)),
+        // Kernel-phase breakdown of the EM inside that refit (E-step
+        // posteriors vs M-step gradient ascent), from the fit's own timers.
+        ("last_estep_ms", Json::from(snap.result.timings.estep_ns as f64 / 1e6)),
+        ("last_mstep_ms", Json::from(snap.result.timings.mstep_ns as f64 / 1e6)),
+        ("em_threads", Json::from(snap.result.timings.threads)),
         ("catchup_merged", Json::from(snap.catchup_merged)),
         ("fitted_epoch", Json::from(snap.fitted_epoch)),
         ("workers", Json::from(snap.matrix.num_workers())),

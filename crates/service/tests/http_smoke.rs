@@ -96,6 +96,11 @@ fn full_loop_over_the_wire() {
     assert_eq!(stats.get("pending").unwrap().as_u64(), Some(0));
     assert_eq!(stats.get("workers").unwrap().as_u64(), Some(2));
     assert_eq!(stats.get("em_converged").unwrap().as_bool(), Some(true));
+    // Kernel-phase breakdown of the published refit.
+    assert!(stats.get("last_refit_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(stats.get("last_estep_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(stats.get("last_mstep_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(stats.get("em_threads").unwrap().as_u64().unwrap() >= 1);
 
     // Truth estimates have the right shape and datatypes.
     let (status, truth) = client.get("/tables/smoke/truth");

@@ -29,13 +29,19 @@
 //!   compare methods cell-by-cell.
 //! * [`lut`] — Hermite-interpolated fast `erf` / `e^{-x²}` kernels for the
 //!   EM hot loop (built from the exact implementations at first use).
+//! * [`batch`] — the same kernels over `&[f64]` slices: a portable scalar
+//!   path and a bit-identical AVX2 path behind runtime dispatch.
 //! * [`optimize`] — adaptive gradient ascent used by the EM M-step.
 //! * [`linreg`] — simple linear regression (quality-calibration case study).
 //! * [`sample`] — Box–Muller Gaussian sampling on top of any [`rand::Rng`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 batch path (`batch::avx2`) is the
+// one sanctioned island of `unsafe` (intrinsics + gathers), opted in with a
+// module-level `allow` and guarded by runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bernoulli;
 pub mod bivariate;
 pub mod bootstrap;

@@ -27,10 +27,10 @@ use std::f64::consts::FRAC_2_SQRT_PI;
 use std::sync::OnceLock;
 
 /// Upper end of the interpolation grid.
-const X_MAX: f64 = 6.0;
+pub(crate) const X_MAX: f64 = 6.0;
 /// Grid resolution: 512 intervals per unit.
-const PER_UNIT: usize = 512;
-const N: usize = (X_MAX as usize) * PER_UNIT;
+pub(crate) const PER_UNIT: usize = 512;
+pub(crate) const N: usize = (X_MAX as usize) * PER_UNIT;
 const H: f64 = 1.0 / PER_UNIT as f64;
 
 /// `(value, derivative)` per grid node.
@@ -74,6 +74,29 @@ fn erf_table() -> &'static Table {
 fn gauss_table() -> &'static Table {
     static TABLE: OnceLock<Table> = OnceLock::new();
     TABLE.get_or_init(|| Table::build(|x| (-x * x).exp(), |x| -2.0 * x * (-x * x).exp()))
+}
+
+/// Flatten a table into `[f₀, H·d₀, f₁, H·d₁, …]` for the batch kernels.
+///
+/// Pre-scaling the derivative by `H` folds the `(H * d)` multiply of
+/// [`Table::eval`] into the table build; `H` is a power of two so the product
+/// is exact and the flattened evaluation stays bit-identical to `eval`. The
+/// flat `&[f64]` layout (rather than `&[(f64, f64)]`, whose layout Rust does
+/// not guarantee) is what the AVX2 gather loads index into.
+fn flatten(t: &Table) -> Vec<f64> {
+    t.nodes.iter().flat_map(|&(f, d)| [f, H * d]).collect()
+}
+
+/// Flat erf node table for the batch kernels: `2·(N+1)` values.
+pub(crate) fn erf_nodes_flat() -> &'static [f64] {
+    static FLAT: OnceLock<Vec<f64>> = OnceLock::new();
+    FLAT.get_or_init(|| flatten(erf_table()))
+}
+
+/// Flat `e^{-x²}` node table for the batch kernels: `2·(N+1)` values.
+pub(crate) fn gauss_nodes_flat() -> &'static [f64] {
+    static FLAT: OnceLock<Vec<f64>> = OnceLock::new();
+    FLAT.get_or_init(|| flatten(gauss_table()))
 }
 
 /// Fast `erf(x)` for `x ≥ 0`; absolute error `< 4e-12`.

@@ -47,6 +47,8 @@ pub struct AscentResult {
     pub iterations: usize,
     /// Whether the tolerance criterion was met before `max_iters`.
     pub converged: bool,
+    /// Number of objective evaluations performed (accepted + backtracked).
+    pub evaluations: usize,
 }
 
 /// Maximise `f` starting from `x0`.
@@ -59,9 +61,36 @@ pub fn gradient_ascent<F>(f: F, x0: &[f64], opts: &AscentOptions) -> AscentResul
 where
     F: Fn(&[f64]) -> (f64, Vec<f64>),
 {
+    gradient_ascent_with(
+        |x, grad| {
+            let (v, g) = f(x);
+            assert_eq!(g.len(), grad.len(), "gradient dimension mismatch");
+            grad.copy_from_slice(&g);
+            v
+        },
+        x0,
+        opts,
+    )
+}
+
+/// Allocation-free form of [`gradient_ascent`]: the objective writes its
+/// gradient into a caller-owned buffer instead of returning a fresh `Vec`.
+///
+/// `f(x, grad)` fills `grad` (same length as `x`) and returns the value.
+/// This is the EM M-step entry point — the objective there is evaluated
+/// dozens of times per EM iteration over buffers of `rows + cols + workers`
+/// parameters, and the four vectors this routine juggles (current/trial
+/// point, current/trial gradient) are allocated exactly once and swapped.
+pub fn gradient_ascent_with<F>(mut f: F, x0: &[f64], opts: &AscentOptions) -> AscentResult
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
     let mut x = x0.to_vec();
-    let (mut value, mut grad) = f(&x);
-    assert_eq!(grad.len(), x.len(), "gradient dimension mismatch");
+    let mut grad = vec![0.0; x.len()];
+    let mut trial = vec![0.0; x.len()];
+    let mut trial_grad = vec![0.0; x.len()];
+    let mut value = f(&x, &mut grad);
+    let mut evaluations = 1usize;
     let mut step = opts.initial_step;
     let mut iterations = 0;
     let mut converged = false;
@@ -77,14 +106,16 @@ where
         let mut accepted = false;
         let mut local_step = step;
         for bt in 0..=opts.max_backtracks {
-            let trial: Vec<f64> =
-                x.iter().zip(&grad).map(|(xi, gi)| xi + local_step * gi / gnorm.max(1.0)).collect();
-            let (tv, tg) = f(&trial);
+            for i in 0..x.len() {
+                trial[i] = x[i] + local_step * grad[i] / gnorm.max(1.0);
+            }
+            let tv = f(&trial, &mut trial_grad);
+            evaluations += 1;
             if tv > value && tv.is_finite() {
                 let improvement = tv - value;
-                x = trial;
+                std::mem::swap(&mut x, &mut trial);
+                std::mem::swap(&mut grad, &mut trial_grad);
                 value = tv;
-                grad = tg;
                 iterations += 1;
                 // Reward an immediately successful step with growth.
                 step = if bt == 0 { local_step * opts.growth } else { local_step };
@@ -104,7 +135,7 @@ where
             break;
         }
     }
-    AscentResult { params: x, value, iterations, converged }
+    AscentResult { params: x, value, iterations, converged, evaluations }
 }
 
 /// Central-difference numerical gradient, for testing analytic gradients.

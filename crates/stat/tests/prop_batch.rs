@@ -1,0 +1,178 @@
+//! Differential tests for the batch kernels: the portable generic path and
+//! the AVX2 wide path must be **bit-equal** for every input — including the
+//! clamp boundaries (±`ln_param_bound` ⇒ ln v = ±12 by default), tiny/huge
+//! variances, lane-tail lengths (n % 4 ≠ 0) and empty slices. On hosts
+//! without AVX2 the wide-path assertions are skipped (the generic-vs-naive
+//! accuracy tests still run); CI runs at least one AVX2-capable job.
+
+use proptest::prelude::*;
+use tcrowd_stat::batch::{BatchKernels, KernelPath};
+
+fn wide() -> Option<BatchKernels> {
+    BatchKernels::with_path(KernelPath::Avx2)
+}
+
+fn generic() -> BatchKernels {
+    BatchKernels::with_path(KernelPath::Generic).unwrap()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        assert_eq!(
+            a[i].to_bits(),
+            b[i].to_bits(),
+            "{what}[{i}]: generic {} vs wide {}",
+            a[i],
+            b[i]
+        );
+    }
+}
+
+/// Edge inputs every fixed test sweeps: clamp boundaries, tiny and huge
+/// log-variances, exact zero, and values straddling the erf grid edge.
+fn edge_ln_v() -> Vec<f64> {
+    vec![
+        -12.0,
+        -11.999999999,
+        -8.0,
+        -2.0,
+        -1e-12,
+        0.0,
+        1e-12,
+        0.25,
+        1.0,
+        5.0,
+        7.999,
+        11.999999999,
+        12.0,
+        -0.0,
+    ]
+}
+
+#[test]
+fn kernel_paths_bit_equal_on_edge_inputs() {
+    let Some(w) = wide() else {
+        eprintln!("skipping: no AVX2 on this host");
+        return;
+    };
+    let g = generic();
+    for eps in [1e-3, 0.05, 0.5, 1.0, 17.0] {
+        let ln_v = edge_ln_v();
+        let n = ln_v.len();
+        let k: Vec<f64> = (0..n).map(|i| 1e-6 + i as f64 * 0.83).collect();
+        let p: Vec<f64> = (0..n).map(|i| 1e-12 + (i as f64 / n as f64) * (1.0 - 2e-12)).collect();
+        let c: Vec<f64> = p.iter().map(|pi| (1.0 - pi) * 3.0f64.ln()).collect();
+
+        let (mut gg, mut gw) = (vec![0.0; n], vec![0.0; n]);
+        let sg = g.gaussian_terms(&ln_v, &k, &mut gg);
+        let sw = w.gaussian_terms(&ln_v, &k, &mut gw);
+        assert_eq!(sg.to_bits(), sw.to_bits(), "gaussian sum, eps {eps}");
+        assert_bits_eq(&gg, &gw, "gaussian grad");
+
+        let sg = g.quality_terms(eps, &ln_v, &p, &c, &mut gg);
+        let sw = w.quality_terms(eps, &ln_v, &p, &c, &mut gw);
+        assert_eq!(sg.to_bits(), sw.to_bits(), "quality sum, eps {eps}");
+        assert_bits_eq(&gg, &gw, "quality grad");
+
+        let (mut qg, mut qw) = (vec![0.0; n], vec![0.0; n]);
+        let (mut dg, mut dw) = (vec![0.0; n], vec![0.0; n]);
+        g.quality_pairs_from_ln_variance(eps, &ln_v, &mut qg, &mut dg);
+        w.quality_pairs_from_ln_variance(eps, &ln_v, &mut qw, &mut dw);
+        assert_bits_eq(&qg, &qw, "q");
+        assert_bits_eq(&dg, &dw, "dq");
+    }
+}
+
+#[test]
+fn kernel_paths_bit_equal_on_every_tail_length() {
+    let Some(w) = wide() else {
+        eprintln!("skipping: no AVX2 on this host");
+        return;
+    };
+    let g = generic();
+    // 0..=9 exercises empty, sub-lane, exactly-one-lane and lane+tail shapes.
+    for n in 0..=9usize {
+        let ln_v: Vec<f64> = (0..n).map(|i| -12.0 + i as f64 * 2.7).collect();
+        let k: Vec<f64> = (0..n).map(|i| 0.5 + i as f64).collect();
+        let p: Vec<f64> = (0..n).map(|i| 0.1 + 0.09 * i as f64).collect();
+        let c: Vec<f64> = p.iter().map(|pi| (1.0 - pi) * 1.5).collect();
+        let (mut gg, mut gw) = (vec![0.0; n], vec![0.0; n]);
+        let sg = g.gaussian_terms(&ln_v, &k, &mut gg);
+        let sw = w.gaussian_terms(&ln_v, &k, &mut gw);
+        assert_eq!(sg.to_bits(), sw.to_bits(), "gaussian sum, n={n}");
+        assert_bits_eq(&gg, &gw, "gaussian grad");
+        let sg = g.quality_terms(0.7, &ln_v, &p, &c, &mut gg);
+        let sw = w.quality_terms(0.7, &ln_v, &p, &c, &mut gw);
+        assert_eq!(sg.to_bits(), sw.to_bits(), "quality sum, n={n}");
+        assert_bits_eq(&gg, &gw, "quality grad");
+    }
+}
+
+proptest! {
+    #[test]
+    fn gaussian_terms_paths_bit_equal(
+        ln_v in prop::collection::vec(-12.0f64..12.0, 1..70),
+        seed in any::<u64>(),
+    ) {
+        let Some(w) = wide() else { return Ok(()); };
+        let g = generic();
+        let n = ln_v.len();
+        let k: Vec<f64> = (0..n)
+            .map(|i| {
+                let r = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                1e-9 + (r >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+            })
+            .collect();
+        let (mut gg, mut gw) = (vec![0.0; n], vec![0.0; n]);
+        let sg = g.gaussian_terms(&ln_v, &k, &mut gg);
+        let sw = w.gaussian_terms(&ln_v, &k, &mut gw);
+        prop_assert_eq!(sg.to_bits(), sw.to_bits());
+        for i in 0..n {
+            prop_assert_eq!(gg[i].to_bits(), gw[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn quality_terms_paths_bit_equal(
+        ln_v in prop::collection::vec(-12.0f64..12.0, 1..70),
+        p0 in prop::collection::vec(0.0f64..1.0, 70..71),
+        eps in 1e-3f64..4.0,
+        card in 2u32..12,
+    ) {
+        let Some(w) = wide() else { return Ok(()); };
+        let g = generic();
+        let n = ln_v.len();
+        let p: Vec<f64> = p0[..n].iter().map(|&x| tcrowd_stat::clamp_prob(x)).collect();
+        let ln_card1 = ((card - 1) as f64).ln();
+        let c: Vec<f64> = p.iter().map(|pi| (1.0 - pi) * ln_card1).collect();
+        let (mut gg, mut gw) = (vec![0.0; n], vec![0.0; n]);
+        let sg = g.quality_terms(eps, &ln_v, &p, &c, &mut gg);
+        let sw = w.quality_terms(eps, &ln_v, &p, &c, &mut gw);
+        prop_assert_eq!(sg.to_bits(), sw.to_bits());
+        for i in 0..n {
+            prop_assert_eq!(gg[i].to_bits(), gw[i].to_bits());
+        }
+    }
+
+    /// The generic path itself must agree with a naive libm evaluation —
+    /// this bounds *accuracy*, while the tests above bound *equality*.
+    #[test]
+    fn generic_gaussian_matches_naive_libm(
+        ln_v in prop::collection::vec(-12.0f64..12.0, 1..40),
+    ) {
+        let g = generic();
+        let n = ln_v.len();
+        let k: Vec<f64> = (0..n).map(|i| 0.01 + i as f64 * 0.5).collect();
+        let mut grad = vec![0.0; n];
+        let total = g.gaussian_terms(&ln_v, &k, &mut grad);
+        let mut naive = 0.0;
+        for i in 0..n {
+            let v = ln_v[i].exp();
+            naive += -0.5 * ((2.0 * std::f64::consts::PI).ln() + ln_v[i]) - k[i] / (2.0 * v);
+            let expect = -0.5 + k[i] / (2.0 * v);
+            prop_assert!((grad[i] - expect).abs() <= 1e-10 * expect.abs().max(1.0));
+        }
+        prop_assert!((total - naive).abs() <= 1e-9 * naive.abs().max(1.0));
+    }
+}
