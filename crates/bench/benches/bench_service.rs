@@ -52,46 +52,87 @@ struct Client {
     stream: BufReader<TcpStream>,
 }
 
+/// Transient connection failures a client worker absorbs (reconnecting
+/// with backoff) before it gives up and fails the bench.
+const CLIENT_RETRIES: usize = 5;
+
 impl Client {
-    fn connect(addr: SocketAddr) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect");
-        stream.set_nodelay(true).expect("nodelay");
-        Client { addr, stream: BufReader::new(stream) }
+    fn try_connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { addr, stream: BufReader::new(stream) })
     }
 
+    fn connect(addr: SocketAddr) -> Client {
+        Client::try_connect(addr).expect("connect")
+    }
+
+    /// One request with bounded retry: a transient connection error (the
+    /// server timed out the keep-alive connection, a reset mid-handshake)
+    /// reconnects with exponential backoff and resends, rather than
+    /// aborting the whole closed-loop worker.
     fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        let mut delay = Duration::from_millis(10);
+        for attempt in 0..=CLIENT_RETRIES {
+            match self.try_request(method, path, body) {
+                Ok(reply) => return reply,
+                Err(e) if attempt < CLIENT_RETRIES => {
+                    eprintln!(
+                        "bench_service: transient failure on {method} {path} \
+                         (attempt {}): {e}; reconnecting",
+                        attempt + 1
+                    );
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(500));
+                    if let Ok(fresh) = Client::try_connect(self.addr) {
+                        *self = fresh;
+                    }
+                }
+                Err(e) => panic!("{method} {path} failed after {CLIENT_RETRIES} retries: {e}"),
+            }
+        }
+        unreachable!("retry loop returns or panics")
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Json)> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let raw = format!(
             "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
-        // One reconnect attempt covers a keep-alive connection the server
-        // timed out between requests.
-        if self.stream.get_ref().write_all(raw.as_bytes()).is_err() {
-            *self = Client::connect(self.addr);
-            self.stream.get_ref().write_all(raw.as_bytes()).expect("write request");
-        }
+        self.stream.get_ref().write_all(raw.as_bytes())?;
         let mut status_line = String::new();
-        self.stream.read_line(&mut status_line).expect("status line");
+        if self.stream.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before status line"));
+        }
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+            .ok_or_else(|| bad(&format!("bad status line {status_line:?}")))?;
         let mut len = 0usize;
         loop {
             let mut line = String::new();
-            self.stream.read_line(&mut line).expect("header");
+            if self.stream.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
             if line.trim_end().is_empty() {
                 break;
             }
             if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-                len = v.trim().parse().expect("content-length");
+                len = v.trim().parse().map_err(|_| bad("bad content-length"))?;
             }
         }
         let mut body = vec![0u8; len];
-        self.stream.read_exact(&mut body).expect("body");
-        let text = String::from_utf8(body).expect("utf-8");
-        (status, tcrowd_service::json::parse(&text).expect("json body"))
+        self.stream.read_exact(&mut body)?;
+        let text = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+        let json = tcrowd_service::json::parse(&text).map_err(|e| bad(&e))?;
+        Ok((status, json))
     }
 
     fn get(&mut self, path: &str) -> (u16, Json) {
@@ -215,9 +256,21 @@ fn run_client(addr: SocketAddr, table: &TableSpec, worker: u32, posted: &AtomicU
             .collect();
         let n = answers.len();
         let body = Json::obj([("answers", Json::Arr(answers))]).to_string();
-        let t0 = Instant::now();
-        let (status, reply) = client.post(&format!("/tables/{}/answers", table.id), &body);
-        out.post_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+        // 429 (backpressure) and 503 (storage degraded) mean the batch was
+        // NOT acknowledged: wait out the hint and resend verbatim instead
+        // of aborting the worker.
+        let mut backoff = Duration::from_millis(REFRESH_MS as u64 / 2);
+        let (status, reply) = loop {
+            let t0 = Instant::now();
+            let (status, reply) = client.post(&format!("/tables/{}/answers", table.id), &body);
+            out.post_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+            if status == 429 || status == 503 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(1_000));
+                continue;
+            }
+            break (status, reply);
+        };
         assert_eq!(status, 200, "ingest failed: {reply}");
         assert_eq!(reply.get("accepted").and_then(Json::as_u64), Some(n as u64));
         out.answers_posted += n;

@@ -93,10 +93,13 @@ USAGE:
                   # runs every policy at equal budget, one series per policy
   tcrowd serve    [--addr HOST:PORT] [--threads T] [--demo]
                   [--data-dir DIR] [--fsync always|flush|never]
+                  [--max-pending N]
                   # multi-table HTTP service (tcrowd-service crate); --demo
                   # pre-creates a generated 40x5 table named 'demo'.
                   # --data-dir makes tables durable: per-table WAL + snapshots
-                  # (tcrowd-store), recover-on-boot after crash or restart
+                  # (tcrowd-store), recover-on-boot after crash or restart.
+                  # --max-pending bounds each table's refresh lag: ingest
+                  # answers 429 Retry-After past N pending answers
   tcrowd store    <inspect|verify|compact> --data-dir DIR [--table ID]
                   # offline durability tooling: inspect prints per-table WAL/
                   # snapshot-chain state, verify audits checksums + chain/WAL
@@ -454,6 +457,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             (registry, server)
         }
     };
+    if let Some(bound) = args.get("max-pending") {
+        let bound: usize = bound.parse().map_err(|_| "--max-pending must be a positive integer")?;
+        if bound == 0 {
+            return Err("--max-pending must be a positive integer".into());
+        }
+        registry.set_default_max_pending(bound);
+        println!("backpressure: tables default to max_pending={bound} (429 past the bound)");
+    }
     if args.has_switch("demo") && registry.get("demo").is_none() {
         let d = generate_dataset(
             &GeneratorConfig { rows: 40, columns: 5, num_workers: 25, ..Default::default() },

@@ -22,11 +22,7 @@ fn ok_json(body: Json) -> Response {
 pub fn route(registry: &TableRegistry, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => ok_json(Json::obj([
-            ("status", Json::from("ok")),
-            ("tables", Json::from(registry.len())),
-            ("uptime_ms", Json::from(registry.uptime_ms() as f64)),
-        ])),
+        ("GET", ["healthz"]) => healthz(registry),
         ("GET", ["tables"]) => ok_json(Json::obj([(
             "tables",
             Json::Arr(registry.list().into_iter().map(Json::from).collect()),
@@ -53,6 +49,25 @@ pub fn route(registry: &TableRegistry, req: &Request) -> Response {
         }
         _ => err_json(404, "unknown endpoint"),
     }
+}
+
+/// Service health: `"ok"` only when every hosted table is `healthy`;
+/// otherwise `"degraded"` with the unhealthy tables listed so an operator
+/// (or load balancer) can see at a glance which tables are limping.
+fn healthz(registry: &TableRegistry) -> Response {
+    let health = registry.health();
+    let unhealthy: Vec<Json> = health
+        .iter()
+        .filter(|(_, h)| *h != "healthy")
+        .map(|(id, h)| Json::obj([("id", Json::from(id.clone())), ("health", Json::from(*h))]))
+        .collect();
+    let status = if unhealthy.is_empty() { "ok" } else { "degraded" };
+    ok_json(Json::obj([
+        ("status", Json::from(status)),
+        ("tables", Json::from(registry.len())),
+        ("degraded_tables", Json::Arr(unhealthy)),
+        ("uptime_ms", Json::from(registry.uptime_ms() as f64)),
+    ]))
 }
 
 // ---- schema and value codecs ----
@@ -229,6 +244,12 @@ fn create_table(registry: &TableRegistry, req: &Request) -> Response {
     if let Some(seed) = body.get("seed").and_then(Json::as_u64) {
         config.seed = seed;
     }
+    if let Some(bound) = body.get("max_pending").and_then(Json::as_u64) {
+        if bound == 0 {
+            return err_json(400, "'max_pending' must be a positive integer");
+        }
+        config.max_pending = Some(bound as usize);
+    }
     let id = body.get("id").and_then(Json::as_str).map(str::to_string);
     match registry.create(id, schema, rows, config) {
         Ok(table) => Response::json(
@@ -338,7 +359,15 @@ fn post_answers(table: &Arc<TableState>, req: &Request) -> Response {
         ])),
         // A WAL failure is the server's problem, not the client's — and the
         // batch was NOT acknowledged, so the client may retry verbatim.
-        Err(e) if e.starts_with("storage:") => err_json(503, e),
+        // `Retry-After` hints at the table's next repair attempt.
+        Err(e) if e.starts_with("storage:") => {
+            err_json(503, e).with_header("Retry-After", table.retry_after_secs())
+        }
+        // Backpressure: the refresher has fallen behind the `max_pending`
+        // bound; the batch was NOT acknowledged — retry after a refresh.
+        Err(e) if e.starts_with("overloaded:") => {
+            err_json(429, e).with_header("Retry-After", table.retry_after_secs())
+        }
         Err(e) => err_json(400, e),
     }
 }
@@ -398,6 +427,7 @@ fn truth(table: &Arc<TableState>, req: &Request) -> Response {
 }
 
 fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
+    let health = table.health();
     Json::obj([
         ("id", Json::from(table.id.clone())),
         ("rows", Json::from(table.rows())),
@@ -437,6 +467,37 @@ fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
             "store_snapshot_links",
             match table.store_snapshot_links() {
                 Some(l) => Json::from(l as f64),
+                None => Json::Null,
+            },
+        ),
+        ("health", Json::from(health.health)),
+        (
+            "health_reason",
+            match health.reason {
+                Some(r) => Json::from(r),
+                None => Json::Null,
+            },
+        ),
+        (
+            "degraded_since_ms",
+            match health.degraded_since_ms {
+                Some(ms) => Json::from(ms as f64),
+                None => Json::Null,
+            },
+        ),
+        ("refit_failures", Json::from(health.refit_failures as f64)),
+        ("persist_failures", Json::from(health.persist_failures as f64)),
+        (
+            "last_error",
+            match health.last_error {
+                Some(e) => Json::from(e),
+                None => Json::Null,
+            },
+        ),
+        (
+            "max_pending",
+            match table.config.max_pending {
+                Some(b) => Json::from(b),
                 None => Json::Null,
             },
         ),

@@ -52,12 +52,26 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers (`Retry-After` on 429/503 responses), written verbatim
+    /// after the framing headers.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: impl std::fmt::Display) -> Response {
-        Response { status, body: body.to_string().into_bytes(), content_type: "application/json" }
+        Response {
+            status,
+            body: body.to_string().into_bytes(),
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl std::fmt::Display) -> Response {
+        self.headers.push((name, value.to_string()));
+        self
     }
 }
 
@@ -71,7 +85,9 @@ fn status_text(code: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "",
     }
 }
@@ -205,14 +221,21 @@ pub fn write_response(
     resp: &Response,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()

@@ -57,11 +57,30 @@
 //! failure turns `POST …/answers` into a 503 with nothing ingested, so
 //! clients may retry verbatim.
 //!
+//! ## Graceful degradation
+//!
+//! Tables survive disk failures, refit panics and overload without ever
+//! dropping an acknowledged answer or refusing a read. Each table runs a
+//! health state machine over three independent failure axes — **refit**
+//! (a panicked/failed EM refit leaves the last good snapshot served and
+//! retries with exponential backoff + jitter), **persist** (a failed
+//! store-snapshot write keeps serving and re-attempts in the background),
+//! and **WAL** (a broken log flips ingest to `503 Retry-After` while reads
+//! keep working, then is rebuilt from the in-memory answer log — exactly
+//! the acked set — by the refresher). Lock poisoning is recovered
+//! everywhere, so one panicked thread never bricks a table. A `max_pending`
+//! bound (per table, or server-wide via `serve --max-pending`) answers
+//! `429 Retry-After` when the refresher falls too far behind. `GET
+//! …/stats` reports `health`, `degraded_since_ms`, `refit_failures`,
+//! `persist_failures` and `last_error`; `GET /healthz` aggregates per-table
+//! health. The `chaos` test suite drives all of this with injected fault
+//! schedules ([`tcrowd_store::FaultyIo`]).
+//!
 //! ## Endpoints
 //!
 //! | Method & path | Meaning |
 //! |---|---|
-//! | `GET /healthz` | liveness + table count |
+//! | `GET /healthz` | liveness + table count + per-table health aggregation |
 //! | `GET /tables` | hosted table ids |
 //! | `POST /tables` | create a table (body below) |
 //! | `DELETE /tables/:id` | drop a table and its refresher |
@@ -119,7 +138,7 @@ pub use http::{serve, Handler, Request, Response, ServerHandle};
 pub use json::Json;
 pub use policy::{make_policy, POLICY_NAMES};
 pub use registry::{RecoveryReport, TableRegistry};
-pub use table::{Durability, Snapshot, TableConfig, TableState};
+pub use table::{Durability, HealthView, Snapshot, TableConfig, TableState};
 
 use std::sync::Arc;
 

@@ -6,7 +6,7 @@
 
 use crate::table::{Durability, TableConfig, TableState};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use tcrowd_store::{Store, TableMeta};
@@ -35,6 +35,10 @@ pub struct TableRegistry {
     next_id: AtomicU64,
     store: Option<Arc<Store>>,
     started_at: Instant,
+    /// Server-wide backpressure default applied to tables created without
+    /// an explicit `max_pending` (0 = unbounded; set from `serve
+    /// --max-pending`).
+    default_max_pending: AtomicUsize,
 }
 
 impl Default for TableRegistry {
@@ -51,6 +55,21 @@ impl TableRegistry {
             next_id: AtomicU64::new(1),
             store: None,
             started_at: Instant::now(),
+            default_max_pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Set the backpressure default for tables created without an explicit
+    /// `max_pending` (0 clears it). Tables already hosted keep their bound.
+    pub fn set_default_max_pending(&self, bound: usize) {
+        self.default_max_pending.store(bound, Ordering::SeqCst);
+    }
+
+    /// The server-wide `max_pending` default, if set.
+    pub fn default_max_pending(&self) -> Option<usize> {
+        match self.default_max_pending.load(Ordering::SeqCst) {
+            0 => None,
+            n => Some(n),
         }
     }
 
@@ -74,7 +93,7 @@ impl TableRegistry {
         let store = self.store.as_ref().ok_or("registry has no backing store to recover from")?;
         let mut report = RecoveryReport::default();
         for rec in store.recover_all().map_err(|e| format!("recovery failed: {e}"))? {
-            let mut tables = self.tables.write().expect("registry lock");
+            let mut tables = self.tables.write().unwrap_or_else(|p| p.into_inner());
             if tables.contains_key(&rec.id) {
                 continue;
             }
@@ -85,7 +104,7 @@ impl TableRegistry {
             report.with_snapshot += usize::from(rec.snapshot_epoch.is_some());
             report.torn_tails += usize::from(rec.torn.is_some());
             let id = rec.id.clone();
-            let table = TableState::recover(rec, config);
+            let table = TableState::recover(rec, config, store.io_handle());
             tables.insert(id, table);
         }
         Ok(report)
@@ -100,10 +119,13 @@ impl TableRegistry {
         id: Option<String>,
         schema: Schema,
         rows: usize,
-        config: TableConfig,
+        mut config: TableConfig,
     ) -> Result<Arc<TableState>, String> {
         if rows == 0 {
             return Err("a table needs at least one row".into());
+        }
+        if config.max_pending.is_none() {
+            config.max_pending = self.default_max_pending();
         }
         let id = match id {
             // Ids travel inside URL path segments; restricting them to
@@ -127,7 +149,7 @@ impl TableRegistry {
             }
             None => format!("table-{}", self.next_id.fetch_add(1, Ordering::SeqCst)),
         };
-        let mut tables = self.tables.write().expect("registry lock");
+        let mut tables = self.tables.write().unwrap_or_else(|p| p.into_inner());
         if tables.contains_key(&id) {
             return Err(format!("table '{id}' already exists"));
         }
@@ -137,7 +159,7 @@ impl TableRegistry {
                 let wal = store
                     .create_table(&id, &meta)
                     .map_err(|e| format!("cannot persist table '{id}': {e}"))?;
-                Some(Durability::new(wal, store.table_dir(&id), meta))
+                Some(Durability::new(wal, store.table_dir(&id), meta, store.io_handle()))
             }
             None => None,
         };
@@ -148,7 +170,7 @@ impl TableRegistry {
 
     /// Look up a table.
     pub fn get(&self, id: &str) -> Option<Arc<TableState>> {
-        self.tables.read().expect("registry lock").get(id).cloned()
+        self.tables.read().unwrap_or_else(|p| p.into_inner()).get(id).cloned()
     }
 
     /// Remove a table. The tombstone is set *before* the refresher is
@@ -157,7 +179,7 @@ impl TableRegistry {
     /// fsynced into the WAL before the directory is removed, so a crash in
     /// between cannot resurrect it. Returns whether it existed.
     pub fn remove(&self, id: &str) -> bool {
-        let removed = self.tables.write().expect("registry lock").remove(id);
+        let removed = self.tables.write().unwrap_or_else(|p| p.into_inner()).remove(id);
         match removed {
             Some(t) => {
                 t.mark_deleted();
@@ -181,12 +203,24 @@ impl TableRegistry {
 
     /// Ids of every hosted table, sorted.
     pub fn list(&self) -> Vec<String> {
-        self.tables.read().expect("registry lock").keys().cloned().collect()
+        self.tables.read().unwrap_or_else(|p| p.into_inner()).keys().cloned().collect()
     }
 
     /// Number of hosted tables.
     pub fn len(&self) -> usize {
-        self.tables.read().expect("registry lock").len()
+        self.tables.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Per-table health, sorted by table id: `(id, health string)` where the
+    /// health string is `"healthy"`, `"degraded"` or `"recovering"`. Used by
+    /// `GET /healthz` to aggregate service health.
+    pub fn health(&self) -> Vec<(String, &'static str)> {
+        self.tables
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(id, t)| (id.clone(), t.health().health))
+            .collect()
     }
 
     /// True when no tables are hosted.
@@ -203,7 +237,7 @@ impl TableRegistry {
     /// WAL. Call before dropping the registry in tests and on server
     /// shutdown; without it the threads exit lazily on their next tick.
     pub fn shutdown(&self) {
-        for table in self.tables.read().expect("registry lock").values() {
+        for table in self.tables.read().unwrap_or_else(|p| p.into_inner()).values() {
             table.stop_refresher();
             table.persist_store_snapshot();
         }

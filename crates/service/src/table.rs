@@ -68,8 +68,9 @@ use tcrowd_core::{
     AssignmentContext, CorrelationModel, FitParams, FitState, InferenceResult, TCrowd,
 };
 use tcrowd_store::{
-    remove_snapshot_deltas, write_snapshot, write_snapshot_delta, ChainInfo, Recovered,
-    SnapshotDelta, TableMeta, TableSnapshot, Wal, WalPosition,
+    remove_snapshot, remove_snapshot_deltas, rewrite_wal, write_snapshot_delta_with_io,
+    write_snapshot_with_io, ChainInfo, IoHandle, Recovered, SnapshotDelta, TableMeta,
+    TableSnapshot, Wal, WalPosition, WAL_FILE,
 };
 use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema, SharedLog};
 
@@ -101,6 +102,12 @@ pub struct TableConfig {
     pub max_answers_per_cell: Option<usize>,
     /// Seed for stochastic policies (random baseline, entity grouping).
     pub seed: u64,
+    /// Backpressure bound: when the refresh lag ([`TableState::pending`])
+    /// reaches this many answers, ingest is refused with an `overloaded:`
+    /// error (HTTP 429 + `Retry-After`) until the refresher catches up —
+    /// bounding how stale the served snapshot can get under overload.
+    /// `None` = unbounded (the default).
+    pub max_pending: Option<usize>,
 }
 
 impl Default for TableConfig {
@@ -112,6 +119,7 @@ impl Default for TableConfig {
             warm_refits: false,
             max_answers_per_cell: None,
             seed: 1,
+            max_pending: None,
         }
     }
 }
@@ -124,6 +132,10 @@ impl TableConfig {
             (
                 "max_answers_per_cell".to_string(),
                 self.max_answers_per_cell.map(|v| v.to_string()).unwrap_or_default(),
+            ),
+            (
+                "max_pending".to_string(),
+                self.max_pending.map(|v| v.to_string()).unwrap_or_default(),
             ),
             ("policy".to_string(), self.policy.clone()),
             ("refit_every".to_string(), self.refit_every.to_string()),
@@ -158,6 +170,7 @@ impl TableConfig {
                 }
                 "warm_refits" => config.warm_refits = v == "true",
                 "max_answers_per_cell" => config.max_answers_per_cell = v.parse().ok(),
+                "max_pending" => config.max_pending = v.parse().ok(),
                 "seed" => {
                     if let Ok(s) = v.parse() {
                         config.seed = s;
@@ -264,17 +277,28 @@ pub struct Durability {
     dir: PathBuf,
     meta: TableMeta,
     chain: Mutex<SnapChain>,
+    /// The store's I/O handle, kept so snapshot writes and the WAL-rebuild
+    /// repair path go through the same (possibly fault-injected) layer the
+    /// WAL does.
+    io: IoHandle,
 }
 
 impl Durability {
     /// Wrap a freshly-created WAL (no snapshot on disk yet — the first
-    /// persisted snapshot writes a full base).
-    pub fn new(wal: Wal, dir: PathBuf, meta: TableMeta) -> Durability {
-        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(SnapChain::fresh()) }
+    /// persisted snapshot writes a full base). `io` must be the handle of
+    /// the store that created the WAL.
+    pub fn new(wal: Wal, dir: PathBuf, meta: TableMeta, io: IoHandle) -> Durability {
+        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(SnapChain::fresh()), io }
     }
 
-    fn recovered(wal: Wal, dir: PathBuf, meta: TableMeta, chain: SnapChain) -> Durability {
-        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(chain) }
+    fn recovered(
+        wal: Wal,
+        dir: PathBuf,
+        meta: TableMeta,
+        chain: SnapChain,
+        io: IoHandle,
+    ) -> Durability {
+        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(chain), io }
     }
 }
 
@@ -282,6 +306,137 @@ impl Durability {
 struct RefreshCtl {
     stop: Mutex<bool>,
     wake: Condvar,
+}
+
+/// Recover a mutex guard even when a sibling thread panicked while holding
+/// the lock. Safe for every lock it is used on: the ingest log is
+/// append-only (a panicked pusher leaves a valid, possibly shorter log —
+/// and WAL-before-ack means nothing un-acked is served), the WAL carries
+/// its own poison flag, the chain/health/ctl/refresher structs are plain
+/// bookkeeping, and the fitter pipeline is re-validated via
+/// `fitter_dirty`/rebuild before use.
+fn lock_recover<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Initial retry backoff after a contained failure.
+const BACKOFF_MIN_MS: u64 = 50;
+/// Backoff ceiling: a persistently-faulty disk is probed at least this
+/// often (plus jitter).
+const BACKOFF_MAX_MS: u64 = 5_000;
+
+/// The table's degradation state machine, behind a leaf-level mutex
+/// (nothing else is ever acquired while it is held).
+///
+/// ```text
+/// Healthy ──failure──▶ Degraded{reason} ──retry due──▶ Recovering
+///    ▲                      ▲                              │
+///    └──────── all clear ───┴────────── still failing ─────┘
+/// ```
+///
+/// Three independent failure axes can be degraded at once; the table is
+/// `Healthy` only when all are clear:
+/// * `refit_broken` — the fit step panicked or failed; the last good
+///   snapshot keeps being served and the pipeline is rebuilt from the
+///   ingest log on the next (backed-off) attempt.
+/// * `persist_pending` — a store-snapshot write failed; serving and ingest
+///   continue (the WAL holds the data), persistence is re-attempted in the
+///   background.
+/// * `wal_broken` — the WAL refused a write/sync and poisoned itself;
+///   ingest answers 503 while reads keep working, and the repair path
+///   rebuilds the log from memory (exactly the acked prefix).
+#[derive(Debug)]
+struct HealthState {
+    refit_broken: bool,
+    persist_pending: bool,
+    wal_broken: bool,
+    /// A repair attempt is executing right now.
+    recovering: bool,
+    refit_failures: u64,
+    persist_failures: u64,
+    last_error: Option<String>,
+    degraded_since: Option<Instant>,
+    retry_at: Option<Instant>,
+    backoff_ms: u64,
+    /// splitmix64 state for backoff jitter (deterministic per seed).
+    jitter: u64,
+}
+
+impl HealthState {
+    fn new(seed: u64) -> HealthState {
+        HealthState {
+            refit_broken: false,
+            persist_pending: false,
+            wal_broken: false,
+            recovering: false,
+            refit_failures: 0,
+            persist_failures: 0,
+            last_error: None,
+            degraded_since: None,
+            retry_at: None,
+            backoff_ms: 0,
+            jitter: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        self.refit_broken || self.persist_pending || self.wal_broken
+    }
+
+    /// Exponential backoff with deterministic jitter (up to +50% of the
+    /// base), so many tables degraded by one disk don't retry in lockstep.
+    fn schedule_retry(&mut self) {
+        self.backoff_ms = if self.backoff_ms == 0 {
+            BACKOFF_MIN_MS
+        } else {
+            (self.backoff_ms * 2).min(BACKOFF_MAX_MS)
+        };
+        self.jitter = self.jitter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let jitter_ms = (z ^ (z >> 31)) % (self.backoff_ms / 2 + 1);
+        self.retry_at = Some(Instant::now() + Duration::from_millis(self.backoff_ms + jitter_ms));
+    }
+
+    fn note_failure(&mut self, error: String) {
+        self.last_error = Some(error);
+        if self.degraded_since.is_none() {
+            self.degraded_since = Some(Instant::now());
+        }
+        self.schedule_retry();
+    }
+
+    /// Clear the shared degradation bookkeeping once every axis is clear
+    /// (`last_error` stays — it reports the most recent problem even after
+    /// recovery).
+    fn settle(&mut self) {
+        if !self.degraded() {
+            self.degraded_since = None;
+            self.retry_at = None;
+            self.backoff_ms = 0;
+        }
+    }
+}
+
+/// A point-in-time, lock-free copy of a table's health for `/stats` and
+/// `/healthz`.
+#[derive(Debug, Clone)]
+pub struct HealthView {
+    /// `"healthy"`, `"degraded"` or `"recovering"`.
+    pub health: &'static str,
+    /// Why the table is degraded (`None` when healthy).
+    pub reason: Option<String>,
+    /// Milliseconds spent in the current degraded episode.
+    pub degraded_since_ms: Option<u64>,
+    /// Refit panics/failures contained since creation.
+    pub refit_failures: u64,
+    /// Store-snapshot persist failures since creation.
+    pub persist_failures: u64,
+    /// The most recent contained error (sticky across recovery).
+    pub last_error: Option<String>,
+    /// Milliseconds until the next repair attempt (0 = due now).
+    pub retry_after_ms: Option<u64>,
 }
 
 /// The fit half of a table: the evolving [`FitState`] plus the
@@ -329,6 +484,15 @@ pub struct TableState {
     ctl: Arc<RefreshCtl>,
     refresher: Mutex<Option<std::thread::JoinHandle<()>>>,
     created_at: Instant,
+    /// Degradation state machine (leaf lock — see [`HealthState`]).
+    health: Mutex<HealthState>,
+    /// Set when a caught panic may have left the fitter pipeline
+    /// inconsistent; the next refresh rebuilds it from the ingest log
+    /// before touching it.
+    fitter_dirty: AtomicBool,
+    /// Chaos hook: the next N fit steps panic (contained by the refresh
+    /// path's `catch_unwind`).
+    refit_panic_budget: AtomicU64,
 }
 
 impl TableState {
@@ -365,7 +529,7 @@ impl TableState {
     ///    warm-seeded from the chain's fit when the table is configured
     ///    with `warm_refits`.
     /// 3. **No usable snapshot**: a cold fit of the replayed log.
-    pub fn recover(rec: Recovered, config: TableConfig) -> Arc<TableState> {
+    pub fn recover(rec: Recovered, config: TableConfig, io: IoHandle) -> Arc<TableState> {
         let Recovered { id, meta, log, fit, wal, replayed_tail, snapshot_epoch, chain, .. } = rec;
         let schema = meta.schema.clone();
         let rows = meta.rows;
@@ -390,7 +554,7 @@ impl TableState {
             Some(info) => SnapChain::from_recovery(info, snapshot_epoch.unwrap_or(0)),
             None => SnapChain::fresh(),
         };
-        let durability = Durability::recovered(wal, dir, meta, chain_state);
+        let durability = Durability::recovered(wal, dir, meta, chain_state, io);
         let table = Self::spawn(id, schema, rows, config, log, fit_state, Some(durability));
         // Persist right away: the recovery fit is exactly what a next crash
         // would want to seed from, and it re-establishes the fast path when
@@ -425,6 +589,7 @@ impl TableState {
             refreshes: 0,
             published_at: Instant::now(),
         });
+        let seed = config.seed;
         let table = Arc::new(TableState {
             id,
             schema,
@@ -439,13 +604,21 @@ impl TableState {
             ctl: Arc::new(RefreshCtl { stop: Mutex::new(false), wake: Condvar::new() }),
             refresher: Mutex::new(None),
             created_at: Instant::now(),
+            health: Mutex::new(HealthState::new(seed)),
+            fitter_dirty: AtomicBool::new(false),
+            refit_panic_budget: AtomicU64::new(0),
         });
         let weak: Weak<TableState> = Arc::downgrade(&table);
         let ctl = Arc::clone(&table.ctl);
         let interval = table.config.refresh_interval;
+        // The refresher must be unkillable by a sibling panic: every lock
+        // here recovers from poisoning (the stop flag is a plain bool — a
+        // poisoned guard is still a valid bool), and the tick body contains
+        // its own failures, so one panicked request thread can never strand
+        // a table without its refresher.
         let handle = std::thread::spawn(move || loop {
             {
-                let guard = ctl.stop.lock().expect("refresher ctl");
+                let guard = lock_recover(&ctl.stop);
                 if *guard {
                     return;
                 }
@@ -458,19 +631,19 @@ impl TableState {
                     None => return,
                 };
                 if !over_threshold {
-                    let (guard, _) =
-                        ctl.wake.wait_timeout(guard, interval).expect("refresher wait");
+                    let guard = match ctl.wake.wait_timeout(guard, interval) {
+                        Ok((g, _)) => g,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
                     if *guard {
                         return;
                     }
                 }
             }
             let Some(table) = weak.upgrade() else { return };
-            if table.needs_refresh() {
-                table.refresh_now();
-            }
+            table.tick();
         });
-        *table.refresher.lock().expect("refresher handle") = Some(handle);
+        *lock_recover(&table.refresher) = Some(handle);
         table
     }
 
@@ -510,13 +683,13 @@ impl TableState {
     /// Epoch of the store-snapshot chain written for this table (`None` for
     /// memory-only tables, `Some(0)` before the first write).
     pub fn last_store_snapshot_epoch(&self) -> Option<u64> {
-        self.durability.as_ref().map(|d| d.chain.lock().expect("chain lock").epoch)
+        self.durability.as_ref().map(|d| lock_recover(&d.chain).epoch)
     }
 
     /// Incremental links in the store-snapshot chain (`None` for
     /// memory-only tables, `Some(0)` right after a full base write).
     pub fn store_snapshot_links(&self) -> Option<u64> {
-        self.durability.as_ref().map(|d| d.chain.lock().expect("chain lock").links)
+        self.durability.as_ref().map(|d| lock_recover(&d.chain).links)
     }
 
     /// Whether the deletion tombstone is set.
@@ -538,16 +711,19 @@ impl TableState {
     /// *after* the tombstone in the WAL.
     pub(crate) fn append_tombstone(&self) -> Result<(), String> {
         if let Some(d) = &self.durability {
-            let _log = self.ingest.lock().expect("ingest lock");
-            let mut wal = d.wal.lock().expect("wal lock");
+            let _log = lock_recover(&self.ingest);
+            let mut wal = lock_recover(&d.wal);
             wal.append_delete().map_err(|e| format!("tombstone append failed: {e}"))?;
         }
         Ok(())
     }
 
-    /// The current published snapshot (cheap: one `Arc` clone).
+    /// The current published snapshot (cheap: one `Arc` clone). Recovers
+    /// from lock poisoning: the slot always holds a complete `Arc` (it is
+    /// only ever replaced whole), so the last good snapshot stays servable
+    /// no matter which thread panicked.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.published.read().expect("published lock"))
+        Arc::clone(&self.published.read().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// Validate and ingest a batch of answers. The whole batch is rejected
@@ -584,15 +760,32 @@ impl TableState {
         if answers.is_empty() {
             return Ok(0);
         }
+        // Backpressure: past `max_pending` answers of refresh lag, new
+        // answers would only push the served snapshot further behind the
+        // log — refuse (the client retries after the refresher catches up)
+        // instead of letting staleness grow without bound.
+        if let Some(limit) = self.config.max_pending {
+            if self.pending() >= limit {
+                return Err(format!(
+                    "overloaded: {} pending answers at the max_pending bound of {limit}; \
+                     retry after the next refresh",
+                    self.pending()
+                ));
+            }
+        }
         {
-            let mut log = self.ingest.lock().expect("ingest lock");
+            let mut log = lock_recover(&self.ingest);
             if self.is_deleted() {
                 return Err(format!("table '{}' was deleted", self.id));
             }
             if let Some(d) = &self.durability {
-                let mut wal = d.wal.lock().expect("wal lock");
-                wal.append_answers(answers)
-                    .map_err(|e| format!("storage: WAL append failed: {e}"))?;
+                let mut wal = lock_recover(&d.wal);
+                if let Err(e) = wal.append_answers(answers) {
+                    drop(wal);
+                    drop(log);
+                    self.record_wal_failure(format!("WAL append failed: {e}"));
+                    return Err(format!("storage: WAL append failed: {e}"));
+                }
             }
             for &a in answers {
                 log.push(a);
@@ -604,7 +797,7 @@ impl TableState {
             // against the refresher's below-threshold check, so the wake
             // either lands while it waits or the re-check sees the new
             // pending count — never lost in the check→wait window.
-            let _guard = self.ctl.stop.lock().expect("refresher ctl");
+            let _guard = lock_recover(&self.ctl.stop);
             self.ctl.wake.notify_one();
         }
         Ok(answers.len())
@@ -618,10 +811,26 @@ impl TableState {
     /// the table has been tombstoned. Runs on the refresher thread
     /// normally; `POST …/refresh` calls it synchronously.
     pub fn refresh_now(&self) -> bool {
-        let mut pipe = self.fitter.lock().expect("fitter lock");
+        let mut pipe = match self.fitter.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                // A sibling panicked under the fitter lock (without the
+                // refresh path's containment — e.g. an OOM-adjacent abort
+                // path): its half-mutated pipeline cannot be trusted.
+                self.fitter_dirty.store(true, Ordering::SeqCst);
+                poisoned.into_inner()
+            }
+        };
+        if self.fitter_dirty.swap(false, Ordering::SeqCst) {
+            // Rebuild from the system of record: an empty pipeline whose
+            // next absorb covers the whole ingest log (one cold fit — the
+            // same work a fresh recovery would do).
+            pipe.fit = FitState::empty(TCrowd::default_full(), self.schema.clone(), self.rows);
+            pipe.shared = SharedLog::from_log(&AnswerLog::new(self.rows, self.cols()));
+        }
         // Phase 1 (brief ingest lock): slice the tail since the fit epoch.
         let tail = {
-            let log = self.ingest.lock().expect("ingest lock");
+            let log = lock_recover(&self.ingest);
             log.slice_since(pipe.fit.epoch())
         };
         if tail.is_empty() {
@@ -630,13 +839,27 @@ impl TableState {
             // of its epoch (no catch-up answers were folded in
             // incrementally): a refresh would republish the same state.
             if snap.epoch == pipe.fit.epoch() && snap.catchup_merged == 0 {
+                self.note_refit_success();
                 return false;
             }
         }
         // Phase 2 (no ingest lock): delta-merge + EM while ingestion flows.
+        // Contained: a panic here (EM numerical edge, injected chaos) marks
+        // the pipeline dirty and degrades the table instead of killing the
+        // refresher and poisoning the fitter for everyone else. The guard
+        // itself outlives the catch, so the mutex is NOT poisoned by a
+        // caught panic.
         let t0 = Instant::now();
-        pipe.absorb(&tail);
-        pipe.fit.refit(self.config.warm_refits);
+        let fit_attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.maybe_inject_refit_panic();
+            pipe.absorb(&tail);
+            pipe.fit.refit(self.config.warm_refits);
+        }));
+        if let Err(payload) = fit_attempt {
+            self.fitter_dirty.store(true, Ordering::SeqCst);
+            self.record_refit_failure(format!("refit panicked: {}", panic_message(&payload)));
+            return false;
+        }
         let fitted_epoch = pipe.fit.epoch();
         // Phase 3 (brief ingest lock): catch-up slice for answers that
         // arrived mid-fit, plus the WAL position matching the final epoch —
@@ -644,35 +867,58 @@ impl TableState {
         // exact — with those bytes made at least as durable as the snapshot
         // that will refer to them.
         let (catch, wal_pos) = {
-            let log = self.ingest.lock().expect("ingest lock");
+            let log = lock_recover(&self.ingest);
             let catch = log.slice_since(pipe.fit.epoch());
-            let wal_pos = self.durability.as_ref().map(|d| {
-                let mut wal = d.wal.lock().expect("wal lock");
-                if let Err(e) = wal.sync() {
-                    eprintln!("tcrowd-service: WAL sync failed for table '{}': {e}", self.id);
+            let mut wal_failure = None;
+            let wal_pos = self.durability.as_ref().and_then(|d| {
+                let mut wal = lock_recover(&d.wal);
+                match wal.sync() {
+                    Ok(()) => Some(wal.position()),
+                    Err(e) => {
+                        // The publish still proceeds (readers get the fresh
+                        // snapshot); only the store persist is skipped — its
+                        // offset could point past the durable prefix.
+                        wal_failure = Some(format!("WAL sync failed: {e}"));
+                        None
+                    }
                 }
-                wal.position()
             });
             if let Some(pos) = wal_pos {
                 debug_assert_eq!(pos.answers as usize, log.len());
+            }
+            drop(log);
+            if let Some(msg) = wal_failure {
+                self.record_wal_failure(msg);
             }
             (catch, wal_pos)
         };
         // Catch-up merge, again outside the ingest lock: O(Δ') freeze merge
         // plus the §5.1 incremental posterior update per answer.
         let catchup_merged = catch.len();
-        pipe.catch_up(&catch);
+        let finish = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipe.catch_up(&catch);
+            let correlation =
+                CorrelationModel::fit_matrix(&self.schema, pipe.fit.matrix(), pipe.fit.result());
+            (pipe.fit.epoch(), pipe.fit.matrix_arc(), pipe.fit.result().clone(), correlation)
+        }));
+        let (epoch, matrix, result, correlation) = match finish {
+            Ok(parts) => parts,
+            Err(payload) => {
+                self.fitter_dirty.store(true, Ordering::SeqCst);
+                self.record_refit_failure(format!(
+                    "catch-up merge panicked: {}",
+                    panic_message(&payload)
+                ));
+                return false;
+            }
+        };
         let last_refit_ms = t0.elapsed().as_secs_f64() * 1e3;
-        // The correlation cache reads only the (already immutable) freeze +
-        // fit.
-        let correlation =
-            CorrelationModel::fit_matrix(&self.schema, pipe.fit.matrix(), pipe.fit.result());
         let snapshot = Snapshot {
             log: pipe.shared.clone(),
-            matrix: pipe.fit.matrix_arc(),
-            result: pipe.fit.result().clone(),
+            matrix,
+            result,
             correlation,
-            epoch: pipe.fit.epoch(),
+            epoch,
             fitted_epoch,
             catchup_merged,
             last_refit_ms,
@@ -685,7 +931,7 @@ impl TableState {
             return false;
         }
         let published = {
-            let mut slot = self.published.write().expect("published lock");
+            let mut slot = self.published.write().unwrap_or_else(|p| p.into_inner());
             // Refreshes are serialised by the fitter mutex, so the epoch can
             // only advance; keep the guard anyway — never replace a newer
             // snapshot with an older one.
@@ -696,6 +942,7 @@ impl TableState {
                 false
             }
         };
+        self.note_refit_success();
         if published {
             if let Some(pos) = wal_pos {
                 self.write_store_snapshot(pos);
@@ -710,20 +957,28 @@ impl TableState {
     pub fn persist_store_snapshot(&self) {
         let Some(d) = &self.durability else { return };
         let pos = {
-            let _log = self.ingest.lock().expect("ingest lock");
-            let mut wal = d.wal.lock().expect("wal lock");
-            if let Err(e) = wal.sync() {
-                eprintln!("tcrowd-service: WAL sync failed for table '{}': {e}", self.id);
+            let _log = lock_recover(&self.ingest);
+            let mut wal = lock_recover(&d.wal);
+            match wal.sync() {
+                Ok(()) => Some(wal.position()),
+                Err(e) => {
+                    drop(wal);
+                    drop(_log);
+                    self.record_wal_failure(format!("WAL sync failed: {e}"));
+                    None
+                }
             }
-            wal.position()
         };
-        self.write_store_snapshot(pos);
+        if let Some(pos) = pos {
+            self.write_store_snapshot(pos);
+        }
     }
 
     /// Write the published snapshot to disk if it advances the persisted
     /// chain and matches `pos` — as an `O(Δ)` chain delta normally, as a
     /// full base when the chain is new, broken, or due for collapse.
-    /// Failures are logged, not fatal: the store snapshot is a recovery
+    /// Failures degrade the table (`persist_failures` + background
+    /// re-attempt), never stop serving: the store snapshot is a recovery
     /// accelerator, the WAL already holds the data.
     fn write_store_snapshot(&self, pos: WalPosition) {
         let Some(d) = &self.durability else { return };
@@ -739,8 +994,11 @@ impl TableState {
         // The chain mutex serialises check → write → advance, so a slower
         // writer can never chain a delta from (or rename a base over) a
         // position the faster one already superseded.
-        let mut chain = d.chain.lock().expect("chain lock");
+        let mut chain = lock_recover(&d.chain);
         if chain.has_base && chain.epoch >= snap.epoch as u64 && snap.epoch != 0 {
+            // Already persisted (possibly by the background re-attempt).
+            drop(chain);
+            self.note_persist_success();
             return;
         }
         let delta_answers = snap.epoch as u64 - chain.epoch;
@@ -748,6 +1006,8 @@ impl TableState {
         // append an empty delta (an empty durable table would otherwise grow
         // one per restart).
         if chain.has_base && delta_answers == 0 && !chain.force_full {
+            drop(chain);
+            self.note_persist_success();
             return;
         }
         let fit = Some(FitParams::of(&snap.result));
@@ -756,7 +1016,7 @@ impl TableState {
                 let grown = chain.chain_answers + delta_answers;
                 grown >= SNAPSHOT_CHAIN_MIN_COLLAPSE && grown >= chain.base_answers
             };
-        if collapse {
+        let outcome = if collapse {
             let table_snap = TableSnapshot {
                 epoch: snap.epoch as u64,
                 wal_offset: pos.offset,
@@ -764,7 +1024,7 @@ impl TableState {
                 log: snap.log.to_log(),
                 fit,
             };
-            match write_snapshot(&d.dir, &table_snap) {
+            match write_snapshot_with_io(&d.dir, &table_snap, &d.io) {
                 Ok(()) => {
                     // Old links chain from epochs below the new base, so they
                     // are unreachable the moment the base rename lands;
@@ -785,10 +1045,9 @@ impl TableState {
                         chain_answers: 0,
                         force_full: false,
                     };
+                    Ok(())
                 }
-                Err(e) => {
-                    eprintln!("tcrowd-service: snapshot write failed for table '{}': {e}", self.id)
-                }
+                Err(e) => Err(format!("snapshot write failed: {e}")),
             }
         } else {
             let delta = SnapshotDelta {
@@ -799,18 +1058,21 @@ impl TableState {
                 answers: snap.log.range_vec(chain.epoch as usize, snap.epoch),
                 fit,
             };
-            match write_snapshot_delta(&d.dir, &delta) {
+            match write_snapshot_delta_with_io(&d.dir, &delta, &d.io) {
                 Ok(()) => {
                     chain.epoch = snap.epoch as u64;
                     chain.links += 1;
                     chain.next_seq += 1;
                     chain.chain_answers += delta_answers;
+                    Ok(())
                 }
-                Err(e) => eprintln!(
-                    "tcrowd-service: snapshot delta write failed for table '{}': {e}",
-                    self.id
-                ),
+                Err(e) => Err(format!("snapshot delta write failed: {e}")),
             }
+        };
+        drop(chain);
+        match outcome {
+            Ok(()) => self.note_persist_success(),
+            Err(msg) => self.record_persist_failure(msg),
         }
     }
 
@@ -851,11 +1113,205 @@ impl TableState {
     /// this on removal/shutdown; a table dropped without it would leave the
     /// thread parked until its weak upgrade fails on the next tick.
     pub fn stop_refresher(&self) {
-        *self.ctl.stop.lock().expect("refresher ctl") = true;
+        *lock_recover(&self.ctl.stop) = true;
         self.ctl.wake.notify_all();
-        if let Some(handle) = self.refresher.lock().expect("refresher handle").take() {
+        if let Some(handle) = lock_recover(&self.refresher).take() {
             let _ = handle.join();
         }
+    }
+
+    // ------------------------- health machinery -------------------------
+
+    /// A point-in-time copy of the degradation state (for `/stats` and
+    /// `/healthz`).
+    pub fn health(&self) -> HealthView {
+        let h = lock_recover(&self.health);
+        let health = if h.recovering {
+            "recovering"
+        } else if h.degraded() {
+            "degraded"
+        } else {
+            "healthy"
+        };
+        let mut reasons: Vec<&str> = Vec::new();
+        if h.wal_broken {
+            reasons.push("wal-broken: ingest disabled until the log is rebuilt");
+        }
+        if h.refit_broken {
+            reasons.push("refit-failing: serving the last good snapshot");
+        }
+        if h.persist_pending {
+            reasons.push("persist-failing: store snapshot re-attempt pending");
+        }
+        HealthView {
+            health,
+            reason: if reasons.is_empty() { None } else { Some(reasons.join("; ")) },
+            degraded_since_ms: h.degraded_since.map(|t| t.elapsed().as_millis() as u64),
+            refit_failures: h.refit_failures,
+            persist_failures: h.persist_failures,
+            last_error: h.last_error.clone(),
+            retry_after_ms: h
+                .retry_at
+                .map(|t| t.saturating_duration_since(Instant::now()).as_millis() as u64),
+        }
+    }
+
+    /// The `Retry-After` hint (seconds, ≥ 1) a refused client should wait:
+    /// the remaining repair backoff when degraded, one refresh interval for
+    /// plain backpressure.
+    pub fn retry_after_secs(&self) -> u64 {
+        let backoff = {
+            let h = lock_recover(&self.health);
+            if h.degraded() {
+                h.retry_at.map(|t| t.saturating_duration_since(Instant::now()).as_secs())
+            } else {
+                None
+            }
+        };
+        backoff.unwrap_or(self.config.refresh_interval.as_secs()).max(1)
+    }
+
+    /// Chaos hook: make the next `n` fit steps panic inside the refresh
+    /// path's containment (each consumes one budget unit).
+    pub fn inject_refit_panics(&self, n: u64) {
+        self.refit_panic_budget.store(n, Ordering::SeqCst);
+    }
+
+    fn maybe_inject_refit_panic(&self) {
+        if self
+            .refit_panic_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_ok()
+        {
+            panic!("injected refit panic (chaos budget)");
+        }
+    }
+
+    fn record_refit_failure(&self, msg: String) {
+        eprintln!("tcrowd-service: table '{}' refit contained: {msg}", self.id);
+        let mut h = lock_recover(&self.health);
+        h.refit_broken = true;
+        h.refit_failures += 1;
+        h.note_failure(msg);
+    }
+
+    fn record_persist_failure(&self, msg: String) {
+        eprintln!("tcrowd-service: table '{}' persist degraded: {msg}", self.id);
+        let mut h = lock_recover(&self.health);
+        h.persist_pending = true;
+        h.persist_failures += 1;
+        h.note_failure(msg);
+    }
+
+    fn record_wal_failure(&self, msg: String) {
+        eprintln!("tcrowd-service: table '{}' WAL degraded: {msg}", self.id);
+        let mut h = lock_recover(&self.health);
+        h.wal_broken = true;
+        h.note_failure(msg);
+    }
+
+    fn note_refit_success(&self) {
+        let mut h = lock_recover(&self.health);
+        if h.refit_broken {
+            h.refit_broken = false;
+            h.settle();
+        }
+    }
+
+    fn note_persist_success(&self) {
+        let mut h = lock_recover(&self.health);
+        if h.persist_pending {
+            h.persist_pending = false;
+            h.settle();
+        }
+    }
+
+    /// One refresher-loop iteration: run due repairs, then refresh unless
+    /// the fit path is in backoff.
+    pub(crate) fn tick(&self) {
+        let (wal_broken, persist_pending, refit_broken, due) = {
+            let h = lock_recover(&self.health);
+            let due = h.degraded() && h.retry_at.is_none_or(|t| Instant::now() >= t);
+            (h.wal_broken, h.persist_pending, h.refit_broken, due)
+        };
+        if due {
+            lock_recover(&self.health).recovering = true;
+            if wal_broken {
+                self.try_rebuild_wal();
+            }
+            let wal_still_broken = lock_recover(&self.health).wal_broken;
+            if persist_pending && !wal_still_broken {
+                self.persist_store_snapshot();
+            }
+            lock_recover(&self.health).recovering = false;
+        }
+        let refit_blocked = {
+            let h = lock_recover(&self.health);
+            h.refit_broken && h.retry_at.is_some_and(|t| Instant::now() < t)
+        };
+        if !refit_blocked && (self.needs_refresh() || (refit_broken && due)) {
+            self.refresh_now();
+        }
+    }
+
+    /// Repair a poisoned WAL by rewriting it from the in-memory ingest log.
+    /// Sound because of WAL-before-ack: an append either committed before
+    /// its batch entered the log, or errored before the log was touched —
+    /// so the in-memory log is *exactly* the acknowledged answer set, and a
+    /// log rewritten from it loses nothing and invents nothing. The stale
+    /// snapshot chain (whose offsets describe the old byte layout) is
+    /// removed first; the chain resets and the next persist writes a fresh
+    /// full base.
+    fn try_rebuild_wal(&self) {
+        let Some(d) = &self.durability else { return };
+        if self.is_deleted() {
+            return;
+        }
+        let result: Result<(), String> = (|| {
+            let log = lock_recover(&self.ingest);
+            let mut wal = lock_recover(&d.wal);
+            if !wal.is_poisoned() {
+                // Already healthy (e.g. a racing repair, or the failure was
+                // an fsync refused by a poisoned WAL that a restart fixed).
+                return Ok(());
+            }
+            let policy = wal.fsync_policy();
+            remove_snapshot(&d.dir).map_err(|e| format!("stale snapshot removal: {e}"))?;
+            let pos = rewrite_wal(&d.dir, &d.meta, log.all(), &d.io)
+                .map_err(|e| format!("log rewrite: {e}"))?;
+            debug_assert_eq!(pos.answers as usize, log.len());
+            let fresh =
+                Wal::open_for_append_with_io(d.dir.join(WAL_FILE), pos, policy, d.io.clone())
+                    .map_err(|e| format!("rebuilt log reopen: {e}"))?;
+            *wal = fresh;
+            *lock_recover(&d.chain) = SnapChain::fresh();
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                eprintln!("tcrowd-service: table '{}' WAL rebuilt; ingest re-enabled", self.id);
+                let mut h = lock_recover(&self.health);
+                h.wal_broken = false;
+                // The chain was reset — persist a fresh base on the next
+                // tick (immediately due).
+                h.persist_pending = true;
+                h.backoff_ms = 0;
+                h.retry_at = Some(Instant::now());
+            }
+            Err(msg) => self.record_wal_failure(format!("WAL rebuild failed: {msg}")),
+        }
+    }
+}
+
+/// Best-effort panic payload → message (panics carry `&str` or `String`
+/// nearly always).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1016,6 +1472,7 @@ mod tests {
             warm_refits: true,
             max_answers_per_cell: Some(9),
             seed: 42,
+            max_pending: Some(1_000),
         };
         let back = TableConfig::from_kv(&config.to_kv());
         assert_eq!(back.policy, config.policy);
@@ -1024,6 +1481,7 @@ mod tests {
         assert_eq!(back.warm_refits, config.warm_refits);
         assert_eq!(back.max_answers_per_cell, config.max_answers_per_cell);
         assert_eq!(back.seed, config.seed);
+        assert_eq!(back.max_pending, config.max_pending);
         // Unknown keys and absent keys degrade to defaults, not errors.
         let sparse = TableConfig::from_kv(&[("future_knob".into(), "1".into())]);
         assert_eq!(sparse.policy, TableConfig::default().policy);

@@ -1,0 +1,388 @@
+//! Chaos suite: the real service under scripted fault schedules, over the
+//! real HTTP wire. Each scenario injects a failure mode through the store's
+//! [`FaultyIo`] (or the table's refit-panic budget), then asserts the
+//! graceful-degradation contract end to end:
+//!
+//! * **zero acknowledged-answer loss** — every batch answered `200` is in
+//!   the served log (and, for durable tables, survives a full restart);
+//! * **reads never stop** — `GET …/truth` and `GET …/assignment` keep
+//!   serving the last good snapshot throughout the fault;
+//! * `GET …/stats` reports the `Degraded` reason while faulted and the
+//!   table returns to `Healthy` once the fault clears;
+//! * the settled published state equals offline [`TCrowd::infer`] on the
+//!   acknowledged log within 1e-6 z-units.
+
+mod common;
+
+use common::Client;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcrowd_core::{TCrowd, TruthDist};
+use tcrowd_service::Json;
+use tcrowd_store::{FaultOp, FaultyIo, FsyncPolicy, Store, EIO, ENOSPC};
+use tcrowd_tabular::{Answer, AnswerLog, CellId, Column, ColumnType, Schema, Value, WorkerId};
+
+const ROWS: usize = 6;
+const LABELS: [&str; 3] = ["x", "y", "z"];
+
+fn schema() -> Schema {
+    Schema::new(
+        "chaos",
+        "key",
+        vec![
+            Column::new(
+                "kind",
+                ColumnType::Categorical { labels: LABELS.iter().map(|s| s.to_string()).collect() },
+            ),
+            Column::new("size", ColumnType::Continuous { min: 0.0, max: 10.0 }),
+        ],
+    )
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("tcrowd_service_chaos_tests")
+        .join(format!("{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Deterministic mixed-type answers; `salt` varies the stream per batch.
+fn some_answers(n: usize, salt: u32) -> Vec<Answer> {
+    (0..n as u32)
+        .map(|i| {
+            let i = i + salt;
+            let col = i % 2;
+            let value = if col == 0 {
+                Value::Categorical((i / 2) % 3)
+            } else {
+                Value::Continuous(f64::from(i % 7) + 0.5)
+            };
+            Answer { worker: WorkerId(i % 5), cell: CellId::new(i % ROWS as u32, col), value }
+        })
+        .collect()
+}
+
+fn create_table(client: &Client, id: &str, refresh_interval_ms: u64) {
+    let body = format!(
+        r#"{{
+            "id": "{id}", "rows": {ROWS}, "seed": 7,
+            "refit_every": 100000, "refresh_interval_ms": {refresh_interval_ms},
+            "schema": {{"columns": [
+                {{"name": "kind", "type": "categorical", "labels": ["x", "y", "z"]}},
+                {{"name": "size", "type": "continuous", "min": 0, "max": 10}}
+            ]}}
+        }}"#
+    );
+    let (status, r) = client.post("/tables", &body);
+    assert_eq!(status, 201, "{r}");
+}
+
+fn post_answers(
+    client: &Client,
+    id: &str,
+    answers: &[Answer],
+) -> (u16, Vec<(String, String)>, Json) {
+    let batch: Vec<Json> = answers
+        .iter()
+        .map(|a| {
+            Json::obj([
+                ("worker", Json::from(a.worker.0)),
+                ("row", Json::from(a.cell.row)),
+                ("col", Json::from(a.cell.col)),
+                (
+                    "value",
+                    match a.value {
+                        Value::Categorical(l) => Json::from(l),
+                        Value::Continuous(x) => Json::from(x),
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let body = Json::obj([("answers", Json::Arr(batch))]).to_string();
+    client.request_with_headers("POST", &format!("/tables/{id}/answers"), Some(&body))
+}
+
+fn stats(client: &Client, id: &str) -> Json {
+    let (status, s) = client.get(&format!("/tables/{id}/stats"));
+    assert_eq!(status, 200, "{s}");
+    s
+}
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if pred() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Published, drained, and exact: pending and catch-up residue both zero.
+fn wait_settled(client: &Client, id: &str, epoch: usize) {
+    wait_until(&format!("table '{id}' settled at epoch {epoch}"), || {
+        let s = stats(client, id);
+        s.get("pending").unwrap().as_u64() == Some(0)
+            && s.get("catchup_merged").unwrap().as_u64() == Some(0)
+            && s.get("epoch").unwrap().as_u64() == Some(epoch as u64)
+            && s.get("health").unwrap().as_str() == Some("healthy")
+    });
+}
+
+/// The zero-loss half of the contract: the served log is exactly the acked
+/// answer sequence, bit-identical, in ack order.
+fn assert_served_equals_acked(client: &Client, id: &str, acked: &[Answer]) {
+    let (_, served) = client.get(&format!("/tables/{id}/answers"));
+    let served = served.get("answers").unwrap().as_array().unwrap();
+    assert_eq!(served.len(), acked.len(), "acked vs served answer count");
+    for (got, want) in served.iter().zip(acked) {
+        assert_eq!(got.get("worker").unwrap().as_u64(), Some(u64::from(want.worker.0)));
+        assert_eq!(got.get("row").unwrap().as_u64(), Some(u64::from(want.cell.row)));
+        assert_eq!(got.get("col").unwrap().as_u64(), Some(u64::from(want.cell.col)));
+        match want.value {
+            Value::Categorical(l) => {
+                assert_eq!(got.get("value").unwrap().as_str(), Some(LABELS[l as usize]));
+            }
+            Value::Continuous(x) => {
+                let y = got.get("value").unwrap().as_f64().unwrap();
+                assert_eq!(y.to_bits(), x.to_bits(), "continuous payloads survive to the bit");
+            }
+        }
+    }
+}
+
+/// The settled-state half: served z-space truth vs offline `TCrowd::infer`
+/// replayed on the acked log.
+fn offline_z_divergence(client: &Client, id: &str, acked: &[Answer]) -> f64 {
+    let mut log = AnswerLog::new(ROWS, 2);
+    for &a in acked {
+        log.push(a);
+    }
+    let offline = TCrowd::default_full().infer(&schema(), &log);
+    let (_, tz) = client.get(&format!("/tables/{id}/truth?z=1"));
+    let rows = tz.get("truth_z").unwrap().as_array().unwrap();
+    let mut max_diff = 0.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        for (j, cell) in row.as_array().unwrap().iter().enumerate() {
+            match offline.truth_z(CellId::new(i as u32, j as u32)) {
+                TruthDist::Categorical(p) => {
+                    let probs = cell.get("probs").unwrap().as_array().unwrap();
+                    for (a, b) in probs.iter().zip(p) {
+                        max_diff = max_diff.max((a.as_f64().unwrap() - b).abs());
+                    }
+                }
+                TruthDist::Continuous(n) => {
+                    max_diff =
+                        max_diff.max((cell.get("mean").unwrap().as_f64().unwrap() - n.mean).abs());
+                }
+            }
+        }
+    }
+    max_diff
+}
+
+fn assert_reads_serve(client: &Client, id: &str) {
+    assert_eq!(client.get(&format!("/tables/{id}/truth")).0, 200, "truth must keep serving");
+    assert_eq!(
+        client.get(&format!("/tables/{id}/assignment?worker=1&k=2")).0,
+        200,
+        "assignment must keep serving"
+    );
+}
+
+fn assert_healthz_degraded(client: &Client, id: &str) {
+    let (_, h) = client.get("/healthz");
+    assert_eq!(h.get("status").unwrap().as_str(), Some("degraded"), "{h}");
+    let listed = h.get("degraded_tables").unwrap().as_array().unwrap();
+    assert!(
+        listed.iter().any(|t| t.get("id").unwrap().as_str() == Some(id)),
+        "'{id}' must be listed in {h}"
+    );
+}
+
+/// Scenario 1 — **ENOSPC mid-publish-persist**: snapshot writes fail while
+/// the WAL stays healthy. The table keeps ingesting and publishing
+/// (`Degraded` on the persist axis only), reads never stop, and once the
+/// disk heals the background re-attempt persists the full chain.
+#[test]
+fn enospc_on_snapshot_persist_degrades_and_recovers() {
+    let dir = fresh_dir("persist");
+    let io = FaultyIo::new();
+    let store = Arc::new(Store::open_with_io(&dir, FsyncPolicy::Always, io.clone() as _).unwrap());
+    let (registry, server, _) =
+        tcrowd_service::start_durable("127.0.0.1:0", 2, store).expect("start server");
+    let client = Client { addr: server.addr() };
+    create_table(&client, "t", 40);
+    let mut acked: Vec<Answer> = Vec::new();
+
+    // Healthy baseline: ingest, publish, persist.
+    let batch = some_answers(30, 0);
+    assert_eq!(post_answers(&client, "t", &batch).0, 200);
+    acked.extend_from_slice(&batch);
+    wait_settled(&client, "t", acked.len());
+
+    // The disk runs out of space for snapshot files (WAL writes unaffected).
+    io.break_op(FaultOp::Write, Some("snapshot"), ENOSPC);
+    let batch = some_answers(20, 1_000);
+    assert_eq!(post_answers(&client, "t", &batch).0, 200, "ingest must survive persist faults");
+    acked.extend_from_slice(&batch);
+    wait_until("persist degradation", || {
+        let s = stats(&client, "t");
+        s.get("persist_failures").unwrap().as_u64().unwrap() >= 1
+            && s.get("health").unwrap().as_str() == Some("degraded")
+    });
+    let s = stats(&client, "t");
+    assert!(s.get("health_reason").unwrap().as_str().unwrap().contains("persist-failing"), "{s}");
+    assert!(s.get("degraded_since_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(s.get("last_error").unwrap().as_str().is_some());
+    assert_reads_serve(&client, "t");
+    assert_healthz_degraded(&client, "t");
+    // Ingest still acks (the WAL is fine).
+    let batch = some_answers(10, 2_000);
+    assert_eq!(post_answers(&client, "t", &batch).0, 200);
+    acked.extend_from_slice(&batch);
+
+    // The disk heals; the background re-attempt persists everything.
+    io.heal();
+    wait_settled(&client, "t", acked.len());
+    wait_until("store snapshot catches up", || {
+        stats(&client, "t").get("store_snapshot_epoch").unwrap().as_u64()
+            == Some(acked.len() as u64)
+    });
+    assert_served_equals_acked(&client, "t", &acked);
+    let div = offline_z_divergence(&client, "t", &acked);
+    assert!(div < 1e-6, "settled state diverges from offline infer by {div:.3e}");
+
+    registry.shutdown();
+    server.shutdown();
+    // Durable zero-loss: a cold restart recovers exactly the acked log.
+    let rec = Store::open(&dir, FsyncPolicy::Always).unwrap().recover_table("t").unwrap();
+    assert_eq!(rec.log.all(), acked.as_slice(), "restart must recover every acked answer");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Scenario 2 — **fsync failure under ingest load**: the WAL breaks, ingest
+/// flips to `503 Retry-After` with nothing acknowledged, reads keep
+/// serving; once the disk heals the refresher rebuilds the WAL from the
+/// in-memory log (exactly the acked set) and ingest resumes.
+#[test]
+fn fsync_failure_degrades_ingest_to_503_until_the_wal_is_rebuilt() {
+    let dir = fresh_dir("wal");
+    let io = FaultyIo::new();
+    let store = Arc::new(Store::open_with_io(&dir, FsyncPolicy::Always, io.clone() as _).unwrap());
+    let (registry, server, _) =
+        tcrowd_service::start_durable("127.0.0.1:0", 2, store).expect("start server");
+    let client = Client { addr: server.addr() };
+    create_table(&client, "t", 40);
+    let mut acked: Vec<Answer> = Vec::new();
+
+    let batch = some_answers(25, 0);
+    assert_eq!(post_answers(&client, "t", &batch).0, 200);
+    acked.extend_from_slice(&batch);
+    wait_settled(&client, "t", acked.len());
+
+    // The disk starts failing fsync on the WAL.
+    io.break_op(FaultOp::Sync, Some("wal.log"), EIO);
+    let nacked = some_answers(10, 5_000);
+    let (status, headers, r) = post_answers(&client, "t", &nacked);
+    assert_eq!(status, 503, "{r}");
+    assert!(r.get("error").unwrap().as_str().unwrap().starts_with("storage:"), "{r}");
+    let retry_after: u64 =
+        Client::header(&headers, "retry-after").expect("Retry-After header").parse().unwrap();
+    assert!(retry_after >= 1);
+    // The WAL is poisoned: a verbatim retry is also refused, nothing lands.
+    assert_eq!(post_answers(&client, "t", &nacked).0, 503);
+    let s = stats(&client, "t");
+    assert_ne!(s.get("health").unwrap().as_str(), Some("healthy"), "{s}");
+    assert!(s.get("health_reason").unwrap().as_str().unwrap().contains("wal-broken"), "{s}");
+    assert_eq!(s.get("epoch").unwrap().as_u64(), Some(acked.len() as u64));
+    assert_reads_serve(&client, "t");
+    assert_healthz_degraded(&client, "t");
+
+    // The disk heals; the refresher rebuilds the WAL and re-enables ingest.
+    io.heal();
+    wait_until("WAL rebuild re-enables ingest", || {
+        stats(&client, "t").get("health").unwrap().as_str() == Some("healthy")
+    });
+    // The client retries its NACKed batch verbatim — now acknowledged.
+    assert_eq!(post_answers(&client, "t", &nacked).0, 200);
+    acked.extend_from_slice(&nacked);
+    wait_settled(&client, "t", acked.len());
+    wait_until("store snapshot catches up", || {
+        stats(&client, "t").get("store_snapshot_epoch").unwrap().as_u64()
+            == Some(acked.len() as u64)
+    });
+    assert_served_equals_acked(&client, "t", &acked);
+    let div = offline_z_divergence(&client, "t", &acked);
+    assert!(div < 1e-6, "settled state diverges from offline infer by {div:.3e}");
+
+    registry.shutdown();
+    server.shutdown();
+    let rec = Store::open(&dir, FsyncPolicy::Always).unwrap().recover_table("t").unwrap();
+    assert_eq!(rec.log.all(), acked.as_slice(), "rebuilt WAL must hold exactly the acked log");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Scenario 3 — **injected refit panics**: EM blows up mid-refit, five
+/// times in a row. Every panic is contained (the refresher thread and the
+/// fitter survive), the last good snapshot keeps serving, ingest keeps
+/// acking, and the backoff retry ladder rebuilds the fit pipeline and
+/// settles the table back to `Healthy`.
+#[test]
+fn injected_refit_panics_are_contained_and_retried_to_recovery() {
+    const PANICS: u64 = 5;
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", 2).expect("start server");
+    let client = Client { addr: server.addr() };
+    create_table(&client, "t", 40);
+    let mut acked: Vec<Answer> = Vec::new();
+
+    let batch = some_answers(30, 0);
+    assert_eq!(post_answers(&client, "t", &batch).0, 200);
+    acked.extend_from_slice(&batch);
+    wait_settled(&client, "t", acked.len());
+    let good_epoch = acked.len();
+
+    // Arm the chaos budget, then trigger refreshes with new answers.
+    let table = registry.get("t").expect("table");
+    table.inject_refit_panics(PANICS);
+    let batch = some_answers(12, 9_000);
+    assert_eq!(post_answers(&client, "t", &batch).0, 200);
+    acked.extend_from_slice(&batch);
+
+    wait_until("refit degradation", || {
+        stats(&client, "t").get("refit_failures").unwrap().as_u64().unwrap() >= 1
+    });
+    let s = stats(&client, "t");
+    assert_ne!(s.get("health").unwrap().as_str(), Some("healthy"), "{s}");
+    assert!(s.get("health_reason").unwrap().as_str().unwrap().contains("refit-failing"), "{s}");
+    assert!(s.get("last_error").unwrap().as_str().unwrap().contains("panicked"), "{s}");
+    // The last good snapshot keeps serving while the fit is broken.
+    assert_eq!(s.get("epoch").unwrap().as_u64(), Some(good_epoch as u64));
+    assert_reads_serve(&client, "t");
+    assert_healthz_degraded(&client, "t");
+    // Ingest still acks mid-degradation.
+    let batch = some_answers(8, 11_000);
+    assert_eq!(post_answers(&client, "t", &batch).0, 200);
+    acked.extend_from_slice(&batch);
+
+    // The backoff ladder burns the whole budget, then recovers.
+    wait_settled(&client, "t", acked.len());
+    let s = stats(&client, "t");
+    assert_eq!(
+        s.get("refit_failures").unwrap().as_u64(),
+        Some(PANICS),
+        "every armed panic must have been contained exactly once: {s}"
+    );
+    // `last_error` stays sticky for post-mortems even after recovery.
+    assert!(s.get("last_error").unwrap().as_str().unwrap().contains("panicked"), "{s}");
+    assert_served_equals_acked(&client, "t", &acked);
+    let div = offline_z_divergence(&client, "t", &acked);
+    assert!(div < 1e-6, "settled state diverges from offline infer by {div:.3e}");
+
+    registry.shutdown();
+    server.shutdown();
+}

@@ -13,6 +13,18 @@ pub struct Client {
 impl Client {
     /// One request over a fresh connection; returns (status, parsed body).
     pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+        let (status, _, json) = self.request_with_headers(method, path, body);
+        (status, json)
+    }
+
+    /// Like [`Self::request`], also returning the response headers as
+    /// lowercase `(name, value)` pairs (for `Retry-After` assertions).
+    pub fn request_with_headers(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> (u16, Vec<(String, String)>, Json) {
         let mut stream = TcpStream::connect(self.addr).expect("connect");
         let body = body.unwrap_or("");
         let raw = format!(
@@ -30,11 +42,15 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
         let mut len = 0usize;
+        let mut headers = Vec::new();
         loop {
             let mut line = String::new();
             reader.read_line(&mut line).expect("header");
             if line.trim_end().is_empty() {
                 break;
+            }
+            if let Some((name, value)) = line.trim_end().split_once(':') {
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
             if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
                 len = v.trim().parse().expect("content-length");
@@ -45,7 +61,14 @@ impl Client {
         let text = String::from_utf8(body).expect("utf-8 body");
         let json = tcrowd_service::json::parse(&text)
             .unwrap_or_else(|e| panic!("unparsable body {text:?}: {e}"));
-        (status, json)
+        (status, headers, json)
+    }
+
+    /// First value of a (lowercase) response header from
+    /// [`Self::request_with_headers`] output.
+    #[allow(dead_code)]
+    pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     pub fn get(&self, path: &str) -> (u16, Json) {

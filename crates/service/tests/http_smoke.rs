@@ -35,6 +35,7 @@ fn full_loop_over_the_wire() {
     assert_eq!(status, 200);
     assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
     assert_eq!(health.get("tables").unwrap().as_u64(), Some(0));
+    assert!(health.get("degraded_tables").unwrap().as_array().unwrap().is_empty());
 
     // Create a table; verify the echo.
     let (status, created) = client.post("/tables", CREATE_BODY);
@@ -101,6 +102,12 @@ fn full_loop_over_the_wire() {
     assert!(stats.get("last_estep_ms").unwrap().as_f64().unwrap() >= 0.0);
     assert!(stats.get("last_mstep_ms").unwrap().as_f64().unwrap() >= 0.0);
     assert!(stats.get("em_threads").unwrap().as_u64().unwrap() >= 1);
+    // Health accounting: an undisturbed table is healthy with clean counters.
+    assert_eq!(stats.get("health").unwrap().as_str(), Some("healthy"));
+    assert_eq!(stats.get("refit_failures").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("persist_failures").unwrap().as_u64(), Some(0));
+    assert!(matches!(stats.get("degraded_since_ms"), Some(Json::Null)));
+    assert!(matches!(stats.get("last_error"), Some(Json::Null)));
 
     // Truth estimates have the right shape and datatypes.
     let (status, truth) = client.get("/tables/smoke/truth");
@@ -133,6 +140,59 @@ fn full_loop_over_the_wire() {
     assert_eq!(client.request("DELETE", "/tables/smoke", None).0, 200);
     assert_eq!(client.get("/tables/smoke/stats").0, 404);
     assert_eq!(client.get("/healthz").1.get("tables").unwrap().as_u64(), Some(0));
+
+    registry.shutdown();
+    server.shutdown();
+}
+
+/// Backpressure over the wire: a table created with `max_pending` answers
+/// `429 Too Many Requests` (with a `Retry-After` hint) once the refresher
+/// lag reaches the bound, and accepts again after a refresh drains it.
+#[test]
+fn overload_gets_429_with_retry_after_at_the_max_pending_bound() {
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", 2).expect("start server");
+    let client = Client { addr: server.addr() };
+    // A table whose refresher never fires on its own, bounded at 3 pending.
+    let create = r#"{
+        "id": "bounded", "rows": 4, "max_pending": 3,
+        "refit_every": 100000, "refresh_interval_ms": 60000,
+        "schema": {"columns": [
+            {"name": "kind", "type": "categorical", "labels": ["x", "y"]}
+        ]}
+    }"#;
+    let (status, created) = client.post("/tables", create);
+    assert_eq!(status, 201, "{created}");
+    let (_, stats) = client.get("/tables/bounded/stats");
+    assert_eq!(stats.get("max_pending").unwrap().as_u64(), Some(3));
+
+    // Fill the bound...
+    for i in 0..3 {
+        let body = format!(r#"{{"worker":{i},"row":0,"col":0,"value":0}}"#);
+        let (status, r) = client.post("/tables/bounded/answers", &body);
+        assert_eq!(status, 200, "{r}");
+    }
+    // ...the next answer is shed with 429 + Retry-After, nothing ingested.
+    let (status, headers, r) = client.request_with_headers(
+        "POST",
+        "/tables/bounded/answers",
+        Some(r#"{"worker":9,"row":1,"col":0,"value":1}"#),
+    );
+    assert_eq!(status, 429, "{r}");
+    assert!(r.get("error").unwrap().as_str().unwrap().contains("overloaded"), "{r}");
+    let retry_after: u64 =
+        Client::header(&headers, "retry-after").expect("Retry-After header").parse().unwrap();
+    assert!(retry_after >= 1);
+    let (_, stats) = client.get("/tables/bounded/stats");
+    assert_eq!(stats.get("pending").unwrap().as_u64(), Some(3), "shed batch must not ingest");
+    // Overload is load, not damage: the table stays healthy and reads work.
+    assert_eq!(stats.get("health").unwrap().as_str(), Some("healthy"));
+    assert_eq!(client.get("/tables/bounded/truth").0, 200);
+
+    // A refresh drains the lag; ingest resumes.
+    assert_eq!(client.post("/tables/bounded/refresh", "").0, 200);
+    let (status, r) =
+        client.post("/tables/bounded/answers", r#"{"worker":9,"row":1,"col":0,"value":1}"#);
+    assert_eq!(status, 200, "{r}");
 
     registry.shutdown();
     server.shutdown();

@@ -43,10 +43,11 @@
 //! intact.
 
 use crate::crc::crc32;
+use crate::io::{real_io, IoHandle};
 use crate::wal::{sync_dir, TableMeta};
 use crate::StoreError;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 use tcrowd_core::FitParams;
 use tcrowd_tabular::io::binary::{self, Cursor};
@@ -350,20 +351,22 @@ fn decode_delta(path: &Path, bytes: &[u8]) -> Result<SnapshotDelta, StoreError> 
     Ok(delta)
 }
 
-/// Write `bytes` to `dir/tmp_name`, fsync, and rename to `dir/final_name`.
+/// Write `bytes` to `dir/tmp_name`, fsync, and rename to `dir/final_name`,
+/// with every fallible step routed through `io` (fault injection).
 fn write_atomically(
     dir: &Path,
     tmp_name: &str,
     final_name: &str,
     bytes: &[u8],
+    io: &IoHandle,
 ) -> Result<(), StoreError> {
     let tmp = dir.join(tmp_name);
     {
         let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_data()?;
+        io.write_all(&tmp, &mut f, bytes)?;
+        io.sync_data(&tmp, &f)?;
     }
-    fs::rename(&tmp, dir.join(final_name))?;
+    io.rename(&tmp, &dir.join(final_name))?;
     sync_dir(dir);
     Ok(())
 }
@@ -374,7 +377,16 @@ fn write_atomically(
 /// longer matches), and the caller deletes them afterwards with
 /// [`remove_snapshot_deltas`]; that order is crash-safe at every step.
 pub fn write_snapshot(dir: &Path, snap: &TableSnapshot) -> Result<(), StoreError> {
-    write_atomically(dir, TMP_FILE, SNAPSHOT_FILE, &encode(snap))
+    write_snapshot_with_io(dir, snap, &real_io())
+}
+
+/// [`write_snapshot`] with an explicit [`IoHandle`] (fault injection).
+pub fn write_snapshot_with_io(
+    dir: &Path,
+    snap: &TableSnapshot,
+    io: &IoHandle,
+) -> Result<(), StoreError> {
+    write_atomically(dir, TMP_FILE, SNAPSHOT_FILE, &encode(snap), io)
 }
 
 /// Atomically write one chain link as `snapshot.delta.<seq>`. The caller
@@ -382,11 +394,21 @@ pub fn write_snapshot(dir: &Path, snap: &TableSnapshot) -> Result<(), StoreError
 /// durable (base + applied deltas) and `seq` must exceed every sequence on
 /// disk ([`ChainInfo::max_seq_on_disk`]).
 pub fn write_snapshot_delta(dir: &Path, delta: &SnapshotDelta) -> Result<(), StoreError> {
+    write_snapshot_delta_with_io(dir, delta, &real_io())
+}
+
+/// [`write_snapshot_delta`] with an explicit [`IoHandle`] (fault injection).
+pub fn write_snapshot_delta_with_io(
+    dir: &Path,
+    delta: &SnapshotDelta,
+    io: &IoHandle,
+) -> Result<(), StoreError> {
     write_atomically(
         dir,
         DELTA_TMP_FILE,
         &format!("{DELTA_PREFIX}{}", delta.seq),
         &encode_delta(delta),
+        io,
     )
 }
 

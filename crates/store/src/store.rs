@@ -10,6 +10,7 @@
 //!       snapshot.snap   latest snapshot (recovery accelerator)
 //! ```
 
+use crate::io::{real_io, IoHandle};
 use crate::snapshot::{self, ChainInfo, TableSnapshot};
 use crate::wal::{self, FsyncPolicy, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WAL_FILE};
 use crate::StoreError;
@@ -23,6 +24,7 @@ use tcrowd_tabular::{Answer, AnswerLog};
 pub struct Store {
     root: PathBuf,
     policy: FsyncPolicy,
+    io: IoHandle,
 }
 
 /// One table's reconstructed state after a crash (or a clean restart —
@@ -119,9 +121,26 @@ pub struct VerifyReport {
 impl Store {
     /// Open (creating if needed) a data directory.
     pub fn open(root: impl Into<PathBuf>, policy: FsyncPolicy) -> std::io::Result<Store> {
+        Store::open_with_io(root, policy, real_io())
+    }
+
+    /// [`Store::open`] with an explicit [`IoHandle`]: every durable write
+    /// this store (and the WALs/snapshots it hands out) performs goes
+    /// through `io`, so a [`crate::FaultyIo`] here fault-injects the whole
+    /// table lifecycle.
+    pub fn open_with_io(
+        root: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        io: IoHandle,
+    ) -> std::io::Result<Store> {
         let root = root.into();
         fs::create_dir_all(root.join("tables"))?;
-        Ok(Store { root, policy })
+        Ok(Store { root, policy, io })
+    }
+
+    /// The I/O handle this store threads through its WALs and snapshots.
+    pub fn io_handle(&self) -> IoHandle {
+        self.io.clone()
     }
 
     /// The data directory root.
@@ -157,7 +176,7 @@ impl Store {
     /// Claim a table id and durably write its Create record. Returns the
     /// open WAL for ingestion.
     pub fn create_table(&self, id: &str, meta: &TableMeta) -> Result<Wal, StoreError> {
-        Wal::create(&self.table_dir(id), meta, self.policy)
+        Wal::create_with_io(&self.table_dir(id), meta, self.policy, self.io.clone())
     }
 
     /// Remove a (tombstoned) table's directory.
@@ -260,8 +279,8 @@ impl Store {
                 // rebuilding from epoch `s.epoch` and destroying any answers
                 // acknowledged in between.
                 snapshot::remove_snapshot(&dir)?;
-                let pos = rewrite_wal(&dir, &s.meta, s.log.all())?;
-                snapshot::write_snapshot(
+                let pos = rewrite_wal(&dir, &s.meta, s.log.all(), &self.io)?;
+                snapshot::write_snapshot_with_io(
                     &dir,
                     &TableSnapshot {
                         epoch: s.epoch,
@@ -270,6 +289,7 @@ impl Store {
                         log: s.log.clone(),
                         fit: s.fit.clone(),
                     },
+                    &self.io,
                 )?;
                 snapshot_epoch = Some(s.epoch);
                 chain = Some(ChainInfo {
@@ -324,10 +344,11 @@ impl Store {
         let wal = if deleted {
             None
         } else {
-            Some(Wal::open_for_append(
+            Some(Wal::open_for_append_with_io(
                 &wal_path,
                 WalPosition { offset: valid_len, answers: log.len() as u64 },
                 self.policy,
+                self.io.clone(),
             )?)
         };
         Ok(Recovered {
@@ -418,8 +439,8 @@ impl Store {
         };
 
         snapshot::remove_snapshot(&dir)?;
-        let pos = rewrite_wal(&dir, &meta, log.all())?;
-        snapshot::write_snapshot(
+        let pos = rewrite_wal(&dir, &meta, log.all(), &self.io)?;
+        snapshot::write_snapshot_with_io(
             &dir,
             &TableSnapshot {
                 epoch: log.len() as u64,
@@ -428,6 +449,7 @@ impl Store {
                 log: log.clone(),
                 fit: fit.clone(),
             },
+            &self.io,
         )?;
         Ok(CompactReport {
             wal_bytes_before: full.valid_len,
@@ -545,21 +567,25 @@ const REWRITE_CHUNK: usize = 1 << 20;
 
 /// Replace `dir`'s WAL with a freshly-written `Create + chunked Appends`
 /// sequence holding `answers`, atomically (tmp + rename + dir sync).
-fn rewrite_wal(
+/// Public so the service's degraded-WAL repair path can rebuild a poisoned
+/// log from the in-memory answer set (which, by WAL-before-ack, is exactly
+/// the acknowledged prefix).
+pub fn rewrite_wal(
     dir: &Path,
     meta: &TableMeta,
     answers: &[Answer],
+    io: &IoHandle,
 ) -> Result<WalPosition, StoreError> {
     let tmp_dir = dir.join("wal.rewrite.tmp");
     fs::remove_dir_all(&tmp_dir).ok();
-    let mut wal = Wal::create(&tmp_dir, meta, FsyncPolicy::Always)?;
+    let mut wal = Wal::create_with_io(&tmp_dir, meta, FsyncPolicy::Always, io.clone())?;
     for chunk in answers.chunks(REWRITE_CHUNK) {
         wal.append_answers(chunk)?;
     }
     wal.sync()?;
     let pos = wal.position();
     drop(wal);
-    fs::rename(tmp_dir.join(WAL_FILE), dir.join(WAL_FILE))?;
+    io.rename(&tmp_dir.join(WAL_FILE), &dir.join(WAL_FILE))?;
     fs::remove_dir_all(&tmp_dir).ok();
     wal::sync_dir(dir);
     Ok(pos)

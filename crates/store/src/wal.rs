@@ -35,9 +35,10 @@
 //! is complete.
 
 use crate::crc::crc32;
+use crate::io::{real_io, IoHandle};
 use crate::StoreError;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use tcrowd_tabular::io::binary::{self, Cursor};
 use tcrowd_tabular::{Answer, Schema};
@@ -196,6 +197,8 @@ pub struct Wal {
     offset: u64,
     answers: u64,
     policy: FsyncPolicy,
+    /// All file writes/fsyncs go through this handle ([`crate::io`]).
+    io: IoHandle,
     /// Set when an append failed mid-record: an unknown number of bytes of
     /// the failed frame may already sit in the file, so any further write
     /// would land *after* garbage and be unrecoverable. A poisoned WAL
@@ -226,6 +229,16 @@ impl Wal {
     /// once). Creation is always flushed+fsynced regardless of policy:
     /// tables are born durable.
     pub fn create(dir: &Path, meta: &TableMeta, policy: FsyncPolicy) -> Result<Wal, StoreError> {
+        Wal::create_with_io(dir, meta, policy, real_io())
+    }
+
+    /// [`Wal::create`] with an explicit [`IoHandle`] (fault injection).
+    pub fn create_with_io(
+        dir: &Path,
+        meta: &TableMeta,
+        policy: FsyncPolicy,
+        io: IoHandle,
+    ) -> Result<Wal, StoreError> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(WAL_FILE);
         let file = OpenOptions::new().write(true).create_new(true).open(&path)?;
@@ -233,11 +246,11 @@ impl Wal {
         meta.encode(&mut payload);
         let bytes = frame(&payload);
         let mut wal =
-            Wal { file, buf: Vec::new(), path, offset: 0, answers: 0, policy, poisoned: false };
+            Wal { file, buf: Vec::new(), path, offset: 0, answers: 0, policy, io, poisoned: false };
         wal.buf.extend_from_slice(&bytes);
         wal.guarded(|w| {
             w.write_buf()?;
-            w.file.sync_data()
+            w.io.sync_data(&w.path, &w.file)
         })?;
         wal.offset = bytes.len() as u64;
         sync_dir(dir);
@@ -251,6 +264,17 @@ impl Wal {
         path: impl Into<PathBuf>,
         position: WalPosition,
         policy: FsyncPolicy,
+    ) -> Result<Wal, StoreError> {
+        Wal::open_for_append_with_io(path, position, policy, real_io())
+    }
+
+    /// [`Wal::open_for_append`] with an explicit [`IoHandle`] (fault
+    /// injection).
+    pub fn open_for_append_with_io(
+        path: impl Into<PathBuf>,
+        position: WalPosition,
+        policy: FsyncPolicy,
+        io: IoHandle,
     ) -> Result<Wal, StoreError> {
         let path = path.into();
         let mut file = OpenOptions::new().write(true).open(&path)?;
@@ -270,6 +294,7 @@ impl Wal {
             offset: position.offset,
             answers: position.answers,
             policy,
+            io,
             poisoned: false,
         })
     }
@@ -287,6 +312,12 @@ impl Wal {
     /// Whether a failed write has poisoned this WAL (see [`Wal`] docs).
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// The fsync policy this WAL was opened with (so a repair path can
+    /// reopen a rebuilt log under the same durability contract).
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.policy
     }
 
     fn check_poisoned(&self) -> Result<(), StoreError> {
@@ -307,7 +338,7 @@ impl Wal {
     /// must poison.
     fn write_buf(&mut self) -> std::io::Result<()> {
         if !self.buf.is_empty() {
-            self.file.write_all(&self.buf)?;
+            self.io.write_all(&self.path, &mut self.file, &self.buf)?;
             self.buf.clear();
         }
         Ok(())
@@ -335,7 +366,7 @@ impl Wal {
         match self.policy {
             FsyncPolicy::Always => {
                 self.write_buf()?;
-                self.file.sync_data()
+                self.io.sync_data(&self.path, &self.file)
             }
             FsyncPolicy::Flush => self.write_buf(),
             FsyncPolicy::Never => {
@@ -387,7 +418,7 @@ impl Wal {
         self.buf.extend_from_slice(&bytes);
         self.guarded(|w| {
             w.write_buf()?;
-            w.file.sync_data()
+            w.io.sync_data(&w.path, &w.file)
         })?;
         self.offset += bytes.len() as u64;
         Ok(())
@@ -406,7 +437,7 @@ impl Wal {
         }
         let res = (|| {
             self.write_buf()?;
-            self.file.sync_data()
+            self.io.sync_data(&self.path, &self.file)
         })();
         if res.is_err() {
             self.poisoned = true;
