@@ -1,0 +1,529 @@
+//! Adversarial-worker defense benchmark: an adversarial crowd (spammers,
+//! a collusion ring, sleeper agents) replayed against the live service over
+//! HTTP, three ways. Records `BENCH_trust.json`.
+//!
+//! ## Protocol
+//!
+//! One simulated [`WorkerPool`] with an adversarial mix generates a single
+//! deterministic answer trace (every worker answers every cell, in rounds).
+//! The trace is posted to three tables on one live server:
+//!
+//! * **clean** — only the honest workers' answers (the no-attack baseline);
+//! * **off** — the full trace, trust subsystem disabled (`trust_auto: false`);
+//! * **on** — the full trace, automatic quarantine enabled.
+//!
+//! The honest answer streams are byte-identical across the three tables by
+//! construction (one trace, filtered — not re-drawn). After every round the
+//! harness forces a refresh on each table and reads `GET …/workers` on the
+//! defended table, recording *when* each adversary is quarantined.
+//!
+//! ## Gates (asserted after the JSON is written)
+//!
+//! * ≥ 30% of the pool are spammers — the attack is real;
+//! * defense-on accuracy ≥ 90% of the clean baseline, and strictly above
+//!   defense-off — quarantine recovers the paper's accuracy under attack;
+//! * detection precision and recall over the archetype ground truth, where
+//!   "detected" means flagged Suspect or Quarantined — Suspect is the state
+//!   machine's verdict for uniform spam the EM partly absorbs, quarantine is
+//!   for definitive spam and the collusion ring;
+//! * the defended table's served log still contains **every** posted answer
+//!   — quarantine filters the fit, never the data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use tcrowd_service::Json;
+use tcrowd_sim::{AdversaryConfig, WorkerPool, WorkerPoolConfig};
+use tcrowd_tabular::{
+    generate_dataset, CellId, ColumnType, Dataset, GeneratorConfig, Value, WorkerId,
+};
+
+/// Pool composition: 30 workers, 40% spammers (the gate requires ≥ 30%),
+/// one 6-member collusion ring, 2 sleeper agents. Uniform spam alone barely
+/// moves T-Crowd's estimates (the paper's robustness result) — the ring is
+/// the attack that actually damages the undefended fit, because coordinated
+/// identical answers masquerade as high-quality consensus.
+const POOL: usize = 30;
+const SPAMMER_FRAC: f64 = 0.4;
+const COLLUDER_FRAC: f64 = 0.2;
+const SLEEPER_FRAC: f64 = 0.067;
+/// Rounds of collection; every worker covers every cell once over a run.
+const ROUNDS: usize = 6;
+
+/// A keep-alive HTTP/JSON client over one `TcpStream` (reconnects once on a
+/// transient error).
+struct Client {
+    addr: SocketAddr,
+    stream: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client { addr, stream: BufReader::new(stream) }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        match self.try_request(method, path, body) {
+            Ok(reply) => reply,
+            Err(_) => {
+                *self = Client::connect(self.addr);
+                self.try_request(method, path, body).expect("request after reconnect")
+            }
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, Json)> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.get_ref().write_all(raw.as_bytes())?;
+        let mut status_line = String::new();
+        if self.stream.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before status line"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(&format!("bad status line {status_line:?}")))?;
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.stream.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                len = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+            }
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        let text = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+        Ok((status, tcrowd_service::json::parse(&text).map_err(|e| bad(&e))?))
+    }
+
+    fn get(&mut self, path: &str) -> (u16, Json) {
+        self.request("GET", path, "")
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> (u16, Json) {
+        self.request("POST", path, body)
+    }
+}
+
+fn create_body(id: &str, dataset: &Dataset, trust_auto: bool) -> String {
+    let columns: Vec<Json> = dataset
+        .schema
+        .columns
+        .iter()
+        .map(|c| match &c.ty {
+            ColumnType::Categorical { labels } => Json::obj([
+                ("name", Json::from(c.name.clone())),
+                ("type", Json::from("categorical")),
+                ("labels", Json::Arr(labels.iter().map(|l| Json::from(l.clone())).collect())),
+            ]),
+            ColumnType::Continuous { min, max } => Json::obj([
+                ("name", Json::from(c.name.clone())),
+                ("type", Json::from("continuous")),
+                ("min", Json::from(*min)),
+                ("max", Json::from(*max)),
+            ]),
+        })
+        .collect();
+    Json::obj([
+        ("id", Json::from(id)),
+        ("rows", Json::from(dataset.rows())),
+        ("schema", Json::obj([("columns", Json::Arr(columns))])),
+        ("refit_every", Json::from(1_000_000usize)),
+        ("refresh_interval_ms", Json::from(600_000usize)),
+        ("trust_auto", Json::Bool(trust_auto)),
+        // Uniform spam against T-Crowd lands in the 0.40–0.55 quality band
+        // (the EM's difficulty terms absorb part of the noise) and the
+        // early fits are polluted by the not-yet-quarantined ring, which
+        // depresses *everyone's* quality. So outright quarantine stays
+        // conservative (hard floor + the collusion signal) and the Suspect
+        // band holds the ambiguous middle: honest workers recover above
+        // `suspect_exit` once the ring is gone, spammers do not.
+        ("trust_suspect_enter", Json::from(0.58)),
+        ("trust_suspect_exit", Json::from(0.66)),
+        ("trust_quarantine_enter", Json::from(0.42)),
+        ("trust_quarantine_exit", Json::from(0.60)),
+    ])
+    .to_string()
+}
+
+/// Post one round's slice of the trace to a table, in bounded batches.
+fn post_round(client: &mut Client, id: &str, round: &[(WorkerId, CellId, Value)]) {
+    for chunk in round.chunks(128) {
+        let answers: Vec<Json> = chunk
+            .iter()
+            .map(|(w, cell, v)| {
+                Json::obj([
+                    ("worker", Json::from(w.0)),
+                    ("row", Json::from(cell.row)),
+                    ("col", Json::from(cell.col)),
+                    (
+                        "value",
+                        match v {
+                            Value::Categorical(l) => Json::from(*l),
+                            Value::Continuous(x) => Json::from(*x),
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let body = Json::obj([("answers", Json::Arr(answers))]).to_string();
+        let (status, reply) = client.post(&format!("/tables/{id}/answers"), &body);
+        assert_eq!(status, 200, "ingest into {id} failed: {reply}");
+    }
+}
+
+/// Categorical accuracy + continuous MNAD of a table's served truth against
+/// the simulation ground truth, and the combined score the gates compare
+/// (continuous-valued, so "strictly beats" never ties by accident).
+fn measure_accuracy(client: &mut Client, id: &str, dataset: &Dataset) -> (f64, f64, f64) {
+    let (status, truth) = client.get(&format!("/tables/{id}/truth"));
+    assert_eq!(status, 200, "{truth}");
+    let rows = truth.get("estimates").unwrap().as_array().unwrap();
+    let (mut cat_n, mut cat_hits) = (0usize, 0usize);
+    let (mut cont_n, mut nad_sum) = (0usize, 0.0f64);
+    for (i, row) in rows.iter().enumerate() {
+        for (j, est) in row.as_array().unwrap().iter().enumerate() {
+            match (dataset.schema.column_type(j), &dataset.truth[i][j]) {
+                (ColumnType::Categorical { labels }, Value::Categorical(t)) => {
+                    cat_n += 1;
+                    let name = est.as_str().expect("categorical estimates are label strings");
+                    if labels.iter().position(|l| l == name) == Some(*t as usize) {
+                        cat_hits += 1;
+                    }
+                }
+                (ColumnType::Continuous { min, max }, Value::Continuous(t)) => {
+                    cont_n += 1;
+                    nad_sum += (est.as_f64().expect("number") - t).abs() / (max - min);
+                }
+                _ => unreachable!("truth shape matches schema"),
+            }
+        }
+    }
+    let cat_accuracy = cat_hits as f64 / cat_n.max(1) as f64;
+    let mnad = nad_sum / cont_n.max(1) as f64;
+    // Equal-weight combination on the accuracy scale.
+    let score = 0.5 * cat_accuracy + 0.5 * (1.0 - mnad);
+    (cat_accuracy, mnad, score)
+}
+
+/// Every worker's current trust state from `GET …/workers`.
+fn worker_states(client: &mut Client, id: &str) -> Vec<(u32, String)> {
+    let (status, report) = client.get(&format!("/tables/{id}/workers"));
+    assert_eq!(status, 200, "{report}");
+    report
+        .get("workers")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|w| {
+            (
+                w.get("worker").unwrap().as_u64().unwrap() as u32,
+                w.get("state").unwrap().as_str().unwrap().to_string(),
+            )
+        })
+        .collect()
+}
+
+fn trust_defense(c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test")
+        || std::env::var_os("CRITERION_QUICK").is_some();
+    let rows = if quick { 12 } else { 24 };
+    let cols = 4usize;
+
+    let dataset = generate_dataset(
+        &GeneratorConfig {
+            rows,
+            columns: cols,
+            num_workers: POOL,
+            answers_per_task: 1,
+            ..Default::default()
+        },
+        83,
+    );
+    let cells = rows * cols;
+    let mut pool = WorkerPool::new(
+        &dataset.schema,
+        &dataset.truth,
+        WorkerPoolConfig {
+            num_workers: POOL,
+            // Honest means honest here: adversaries are modelled explicitly
+            // through archetypes, so the background population carries no
+            // generator-level spammers and a tighter quality spread (the
+            // archetype ground truth is what detection is scored against).
+            quality: tcrowd_tabular::generator::WorkerQualityConfig {
+                spammer_fraction: 0.0,
+                sigma_ln_phi: 0.45,
+                ..Default::default()
+            },
+            // No per-row familiarity degradation: honest answers reflect the
+            // worker's own variance, so the honest and spammer fitted-quality
+            // bands separate and detection is scored against a real signal.
+            familiarity: None,
+            adversaries: AdversaryConfig {
+                spammer_frac: SPAMMER_FRAC,
+                colluder_frac: COLLUDER_FRAC,
+                colluder_groups: 1,
+                sleeper_frac: SLEEPER_FRAC,
+                // Sleepers build a reputation for a third of the run, then turn.
+                sleeper_wake_after: (cells / 3) as u32,
+            },
+            ..Default::default()
+        },
+        83,
+    );
+    let adversaries: Vec<u32> = (0..POOL as u32)
+        .filter(|w| pool.archetype(WorkerId(*w)).adversarial())
+        .collect();
+    let spammers = (0..POOL as u32)
+        .filter(|w| pool.archetype(WorkerId(*w)) == tcrowd_sim::Archetype::Spammer)
+        .count();
+    let spammer_share = spammers as f64 / POOL as f64;
+
+    // ---- One deterministic trace, in rounds: round r covers the cells with
+    // `index % ROUNDS == r`, every worker answering each of them once.
+    let trace: Vec<Vec<(WorkerId, CellId, Value)>> = (0..ROUNDS)
+        .map(|r| {
+            let mut round = Vec::new();
+            for idx in (r..cells).step_by(ROUNDS) {
+                let cell = CellId::new((idx / cols) as u32, (idx % cols) as u32);
+                for w in 0..POOL as u32 {
+                    let w = WorkerId(w);
+                    round.push((w, cell, pool.answer(w, cell)));
+                }
+            }
+            round
+        })
+        .collect();
+    let total_posted: usize = trace.iter().map(Vec::len).sum();
+
+    // ---- Three tables on one live server.
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", 4).expect("start server");
+    let mut client = Client::connect(server.addr());
+    for (id, auto) in [("clean", false), ("off", false), ("on", true)] {
+        let (status, reply) = client.post("/tables", &create_body(id, &dataset, auto));
+        assert_eq!(status, 201, "create {id} failed: {reply}");
+    }
+
+    // ---- Replay round by round; refresh after each; record when the
+    // defended table first flags (Suspect) and first quarantines each worker.
+    let mut first_flagged: std::collections::BTreeMap<u32, usize> =
+        std::collections::BTreeMap::new();
+    let mut first_quarantined: std::collections::BTreeMap<u32, usize> =
+        std::collections::BTreeMap::new();
+    for (r, round) in trace.iter().enumerate() {
+        let honest_only: Vec<(WorkerId, CellId, Value)> = round
+            .iter()
+            .filter(|(w, _, _)| !pool.archetype(*w).adversarial())
+            .copied()
+            .collect();
+        post_round(&mut client, "clean", &honest_only);
+        post_round(&mut client, "off", round);
+        post_round(&mut client, "on", round);
+        for id in ["clean", "off", "on"] {
+            let (status, reply) = client.post(&format!("/tables/{id}/refresh"), "");
+            assert_eq!(status, 200, "refresh {id} failed: {reply}");
+        }
+        for (w, state) in worker_states(&mut client, "on") {
+            if state != "trusted" {
+                first_flagged.entry(w).or_insert(r + 1);
+            }
+            if state == "quarantined" {
+                first_quarantined.entry(w).or_insert(r + 1);
+            }
+        }
+    }
+
+    // ---- Measure: accuracy on all three tables, detection on the defended
+    // one, log immutability despite quarantine.
+    let (clean_cat, clean_mnad, clean_score) = measure_accuracy(&mut client, "clean", &dataset);
+    let (off_cat, off_mnad, off_score) = measure_accuracy(&mut client, "off", &dataset);
+    let (on_cat, on_mnad, on_score) = measure_accuracy(&mut client, "on", &dataset);
+
+    // Detection is scored over *flagged* workers — Suspect or Quarantined in
+    // the final state. Suspect is the state machine's designed verdict for
+    // uniform spammers (their fitted quality hovers in the ambiguous band the
+    // EM partly absorbs); outright quarantine is reserved for definitive spam
+    // and the collusion ring, which is what actually damages accuracy.
+    let final_states = worker_states(&mut client, "on");
+    let detected: Vec<u32> = final_states
+        .iter()
+        .filter(|(_, state)| state != "trusted")
+        .map(|(w, _)| *w)
+        .collect();
+    let tp = detected.iter().filter(|w| adversaries.contains(w)).count();
+    let precision = if detected.is_empty() { 0.0 } else { tp as f64 / detected.len() as f64 };
+    let recall = tp as f64 / adversaries.len().max(1) as f64;
+    let ttq: Vec<usize> = adversaries
+        .iter()
+        .filter_map(|w| first_quarantined.get(w).copied())
+        .collect();
+    let ttq_mean =
+        if ttq.is_empty() { 0.0 } else { ttq.iter().sum::<usize>() as f64 / ttq.len() as f64 };
+    let ttf: Vec<usize> =
+        adversaries.iter().filter_map(|w| first_flagged.get(w).copied()).collect();
+    let ttf_mean =
+        if ttf.is_empty() { 0.0 } else { ttf.iter().sum::<usize>() as f64 / ttf.len() as f64 };
+
+    let (_, served) = client.get("/tables/on/answers");
+    let served_answers = served.get("answers").unwrap().as_array().unwrap().len();
+    let (_, stats) = client.get("/tables/on/stats");
+    let quarantined_workers = stats.get("quarantined_workers").unwrap().as_u64().unwrap();
+
+    println!(
+        "bench_trust: {POOL} workers ({} adversarial, {spammers} spammers = {:.0}%), \
+         {total_posted} answers over {ROUNDS} rounds",
+        adversaries.len(),
+        spammer_share * 100.0
+    );
+    println!(
+        "bench_trust accuracy (cat | mnad | score): clean {clean_cat:.3} | {clean_mnad:.3} | \
+         {clean_score:.3}; off {off_cat:.3} | {off_mnad:.3} | {off_score:.3}; \
+         on {on_cat:.3} | {on_mnad:.3} | {on_score:.3}"
+    );
+    println!(
+        "bench_trust detection: {} flagged ({} quarantined), {tp} true positives -> \
+         precision {precision:.2} recall {recall:.2}; mean time-to-flag {ttf_mean:.1} rounds, \
+         mean time-to-quarantine {ttq_mean:.1} rounds",
+        detected.len(),
+        quarantined_workers
+    );
+    // Per-worker diagnostic table — what a CI failure needs to be triaged.
+    let (_, report) = client.get("/tables/on/workers");
+    for w in report.get("workers").unwrap().as_array().unwrap() {
+        let id = w.get("worker").unwrap().as_u64().unwrap() as u32;
+        println!(
+            "bench_trust   worker {id:>2} [{:?}]: state {} score {:.3} agreement {:.2}",
+            pool.archetype(WorkerId(id)),
+            w.get("state").unwrap().as_str().unwrap(),
+            w.get("trust_score").unwrap().as_f64().unwrap(),
+            w.get("max_agreement").unwrap().as_f64().unwrap(),
+        );
+    }
+
+    // ---- BENCH_trust.json (written before the gates, so CI always reads
+    // this run's numbers).
+    let accuracy_of = |cat: f64, mnad: f64, score: f64| {
+        Json::obj([
+            ("categorical_accuracy", Json::from(cat)),
+            ("continuous_mnad", Json::from(mnad)),
+            ("score", Json::from(score)),
+        ])
+    };
+    let doc = Json::obj([
+        ("benchmark", Json::from("trust_adversarial_defense")),
+        (
+            "protocol",
+            Json::obj([
+                ("workers", Json::from(POOL)),
+                ("adversaries", Json::from(adversaries.len())),
+                ("spammer_frac", Json::from(spammer_share)),
+                ("colluder_frac", Json::from(COLLUDER_FRAC)),
+                ("sleeper_frac", Json::from(SLEEPER_FRAC)),
+                ("rows", Json::from(rows)),
+                ("cols", Json::from(cols)),
+                ("rounds", Json::from(ROUNDS)),
+                ("answers_posted", Json::from(total_posted)),
+                ("quick", Json::Bool(quick)),
+                ("transport", Json::from("HTTP/1.1 keep-alive over loopback")),
+            ]),
+        ),
+        (
+            "accuracy",
+            Json::obj([
+                ("clean", accuracy_of(clean_cat, clean_mnad, clean_score)),
+                ("defense_off", accuracy_of(off_cat, off_mnad, off_score)),
+                ("defense_on", accuracy_of(on_cat, on_mnad, on_score)),
+                ("on_over_clean", Json::from(on_score / clean_score.max(1e-9))),
+            ]),
+        ),
+        (
+            "detection",
+            Json::obj([
+                ("true_adversaries", Json::from(adversaries.len())),
+                ("flagged", Json::from(detected.len())),
+                ("quarantined", Json::from(quarantined_workers as f64)),
+                ("true_positives", Json::from(tp)),
+                ("precision", Json::from(precision)),
+                ("recall", Json::from(recall)),
+                ("time_to_flag_rounds_mean", Json::from(ttf_mean)),
+                ("time_to_quarantine_rounds_mean", Json::from(ttq_mean)),
+                (
+                    "time_to_quarantine_rounds",
+                    Json::Arr(ttq.iter().map(|r| Json::from(*r)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "log_immutability",
+            Json::obj([
+                ("answers_posted", Json::from(total_posted)),
+                ("answers_served", Json::from(served_answers)),
+                ("quarantined_workers", Json::from(quarantined_workers as f64)),
+            ]),
+        ),
+        (
+            "gates",
+            Json::obj([
+                ("min_spammer_frac", Json::from(0.3)),
+                ("accuracy_recovery_min", Json::from(0.9)),
+                ("precision_min", Json::from(0.75)),
+                ("recall_min", Json::from(0.75)),
+            ]),
+        ),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trust.json");
+    if let Err(e) = std::fs::write(out, format!("{doc}\n")) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    // ---- Gates.
+    assert!(spammer_share >= 0.3, "attack too weak: {spammer_share:.2} spammers");
+    assert!(
+        on_score >= 0.9 * clean_score,
+        "defense-on score {on_score:.3} is below 90% of the clean baseline {clean_score:.3}"
+    );
+    assert!(
+        on_score > off_score,
+        "defense-on score {on_score:.3} must strictly beat defense-off {off_score:.3}"
+    );
+    assert!(precision >= 0.75, "detection precision {precision:.2} below 0.75");
+    assert!(recall >= 0.75, "detection recall {recall:.2} below 0.75");
+    assert_eq!(
+        served_answers, total_posted,
+        "quarantine must never drop answers from the served log"
+    );
+    assert!(quarantined_workers > 0, "the defended table quarantined nobody");
+
+    // ---- Criterion case: the trust-report endpoint on the loaded table.
+    let mut group = c.benchmark_group("trust");
+    group.sample_size(if quick { 2 } else { 10 });
+    group.bench_function("workers_report_http", |b| {
+        b.iter(|| {
+            let (status, reply) = client.get("/tables/on/workers");
+            assert_eq!(status, 200);
+            reply.get("workers").unwrap().as_array().unwrap().len()
+        })
+    });
+    group.finish();
+
+    drop(client);
+    registry.shutdown();
+    server.shutdown();
+}
+
+criterion_group!(benches, trust_defense);
+criterion_main!(benches);

@@ -506,7 +506,8 @@ fn cmd_store(args: &Args) -> Result<(), String> {
     match args.command.as_str() {
         "inspect" => {
             println!(
-                "table\tanswers\trecords\twal_bytes\tsnapshot_epoch\tchain_links\tfit\ttorn\tdeleted"
+                "table\tanswers\trecords\twal_bytes\tquarantine_records\tquarantined\t\
+                 snapshot_epoch\tchain_links\tfit\ttorn\tdeleted"
             );
             for id in &ids {
                 let v = store.verify_table(id).map_err(|e| format!("{id}: {e}"))?;
@@ -519,10 +520,12 @@ fn cmd_store(args: &Args) -> Result<(), String> {
                     None => ("-".to_string(), "-".to_string(), "-"),
                 };
                 println!(
-                    "{id}\t{}\t{}\t{}\t{snap_epoch}\t{links}\t{fit}\t{}\t{}",
+                    "{id}\t{}\t{}\t{}\t{}\t{}\t{snap_epoch}\t{links}\t{fit}\t{}\t{}",
                     v.answers,
                     v.records,
                     v.wal_bytes,
+                    v.quarantine_records,
+                    v.quarantined,
                     v.torn.as_ref().map(|t| format!("@{}", t.at)).unwrap_or_else(|| "-".into()),
                     if v.deleted { "yes" } else { "no" },
                 );
@@ -542,6 +545,13 @@ fn cmd_store(args: &Args) -> Result<(), String> {
                     println!(
                         "  torn tail at byte {} ({} bytes dropped): {} — recovery will truncate",
                         t.at, t.dropped_bytes, t.reason
+                    );
+                }
+                if v.quarantine_records > 0 || v.quarantined > 0 {
+                    println!(
+                        "  quarantine: {} record(s), {} worker(s) currently quarantined \
+                         (fit-level filter — every logged answer above is retained)",
+                        v.quarantine_records, v.quarantined
                     );
                 }
                 if let Some(s) = &v.snapshot {

@@ -423,6 +423,111 @@ fn serve_data_dir_survives_sigkill_with_zero_acked_loss() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Quarantine durability: a manual quarantine survives SIGKILL + restart
+/// (it is a WAL record, not in-memory state), never drops logged answers,
+/// and the offline `store inspect`/`verify` tools decode the record kind.
+/// A release is a second record that wins on replay.
+#[test]
+fn quarantine_survives_sigkill_and_store_tools_decode_it() {
+    let dir = workdir("quarantine-sigkill");
+    let data_dir = dir.join("data");
+    let data_flag = data_dir.to_str().unwrap().to_string();
+
+    let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
+    let create = http(
+        &addr,
+        "POST",
+        "/tables",
+        r#"{"id":"t","rows":4,"refit_every":1000000,"refresh_interval_ms":600000,
+            "schema":{"columns":[
+              {"name":"kind","type":"categorical","labels":["a","b"]}]}}"#,
+    );
+    assert!(create.starts_with("HTTP/1.1 201"), "{create}");
+    for w in 0..3u32 {
+        for row in 0..4u32 {
+            let reply = http(
+                &addr,
+                "POST",
+                "/tables/t/answers",
+                // Worker 2 contradicts the consensus — the one we quarantine.
+                &format!(
+                    r#"{{"worker":{w},"row":{row},"col":0,"value":{}}}"#,
+                    if w == 2 { 1 - row % 2 } else { row % 2 }
+                ),
+            );
+            assert!(reply.contains("\"accepted\":1"), "{reply}");
+        }
+    }
+    let q = http(&addr, "POST", "/tables/t/workers/2/quarantine", "");
+    assert!(q.starts_with("HTTP/1.1 200"), "{q}");
+    // SIGKILL — the quarantine record must already be durable.
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+
+    let run = |sub: &str| -> (bool, String) {
+        let out = bin()
+            .args(["store", sub, "--data-dir", &data_flag])
+            .output()
+            .expect("run store subcommand");
+        (
+            out.status.success(),
+            format!(
+                "{}{}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        )
+    };
+    // Offline tools decode the quarantine record kind against the cold dir.
+    let (ok, out) = run("inspect");
+    assert!(ok, "{out}");
+    // table, answers, records, wal_bytes, then quarantine_records=1 and
+    // quarantined=1 — all 12 answers still in the log.
+    let row = out.lines().find(|l| l.starts_with("t\t")).expect("inspect row");
+    let fields: Vec<&str> = row.split('\t').collect();
+    assert_eq!(fields[1], "12", "answers retained: {out}");
+    assert_eq!(fields[4], "1", "quarantine records: {out}");
+    assert_eq!(fields[5], "1", "quarantined workers: {out}");
+    let (ok, out) = run("verify");
+    assert!(ok, "{out}");
+    assert!(out.contains("t: ok"), "{out}");
+    assert!(out.contains("quarantine: 1 record(s), 1 worker(s) currently quarantined"), "{out}");
+
+    // Restart: recovery replays the quarantine; the log keeps every answer.
+    let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
+    let served = http(&addr, "GET", "/tables/t/answers", "");
+    assert!(served.contains("\"epoch\":12"), "{served}");
+    let workers = http(&addr, "GET", "/tables/t/workers", "");
+    assert!(
+        workers.contains(r#""worker":2,"state":"quarantined""#)
+            || workers.contains(r#""state":"quarantined""#),
+        "worker 2 must stay quarantined across restart: {workers}"
+    );
+    let stats = http(&addr, "GET", "/tables/t/stats", "");
+    assert!(stats.contains("\"quarantined_workers\":1"), "{stats}");
+    // Release, then crash again: the release record wins on replay.
+    let r = http(&addr, "POST", "/tables/t/workers/2/release", "");
+    assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+
+    let (ok, out) = run("inspect");
+    assert!(ok, "{out}");
+    let row = out.lines().find(|l| l.starts_with("t\t")).expect("inspect row");
+    let fields: Vec<&str> = row.split('\t').collect();
+    assert_eq!(fields[4], "2", "two quarantine records after release: {out}");
+    assert_eq!(fields[5], "0", "released worker no longer quarantined: {out}");
+
+    let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
+    let workers = http(&addr, "GET", "/tables/t/workers", "");
+    assert!(!workers.contains("\"state\":\"quarantined\""), "{workers}");
+    let stats = http(&addr, "GET", "/tables/t/stats", "");
+    assert!(stats.contains("\"quarantined_workers\":0"), "{stats}");
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `tcrowd store inspect|verify|compact` against a directory a served
 /// session left behind.
 #[test]

@@ -30,7 +30,7 @@
 use crate::assign::apply_answer_incrementally;
 use crate::inference::{InferenceResult, TCrowd};
 use std::sync::Arc;
-use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, LogSlice, Schema, Value};
+use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, LogSlice, Schema, Value, WorkerId};
 
 /// The fit half of the online loop: the evolving freeze and the inference
 /// result over it, advanced exclusively by epoch-tagged log slices.
@@ -51,6 +51,12 @@ pub struct FitState {
     schema: Schema,
     matrix: Arc<AnswerMatrix>,
     result: InferenceResult,
+    /// Quarantined workers, sorted ascending. The freeze always covers the
+    /// full log; when this is non-empty, [`FitState::refit`] fits over
+    /// [`AnswerMatrix::without_workers`] and [`FitState::catch_up`] skips
+    /// these workers' incremental updates — the exclusion is a property of
+    /// the *fit*, never of the data.
+    exclude: Vec<WorkerId>,
 }
 
 impl FitState {
@@ -59,7 +65,7 @@ impl FitState {
     pub fn empty(model: TCrowd, schema: Schema, rows: usize) -> FitState {
         let matrix = AnswerMatrix::build(&AnswerLog::new(rows, schema.num_columns()));
         let result = model.infer_matrix(&schema, &matrix);
-        FitState { model, schema, matrix: Arc::new(matrix), result }
+        FitState { model, schema, matrix: Arc::new(matrix), result, exclude: Vec::new() }
     }
 
     /// Adopt an already-computed fit of `matrix` (the crash-recovery
@@ -76,7 +82,28 @@ impl FitState {
             (matrix.rows(), matrix.cols()),
             "adopted fit has a different table shape than the freeze"
         );
-        FitState { model, schema, matrix: Arc::new(matrix), result }
+        FitState { model, schema, matrix: Arc::new(matrix), result, exclude: Vec::new() }
+    }
+
+    /// Replace the quarantined-worker set (deduplicated and sorted
+    /// internally). Returns whether the set actually changed; when it did,
+    /// the current result still reflects the old set until the next
+    /// [`Self::refit`]. Note an adopted result ([`Self::from_parts`]) is
+    /// trusted to match whatever set the caller fit it under.
+    pub fn set_exclusions(&mut self, mut excluded: Vec<WorkerId>) -> bool {
+        excluded.sort_unstable();
+        excluded.dedup();
+        if excluded == self.exclude {
+            return false;
+        }
+        self.exclude = excluded;
+        true
+    }
+
+    /// The quarantined-worker set the next refit will exclude (sorted).
+    #[inline]
+    pub fn exclusions(&self) -> &[WorkerId] {
+        &self.exclude
     }
 
     /// The epoch this fit state has absorbed up to (= its freeze's epoch).
@@ -98,23 +125,36 @@ impl FitState {
 
     /// Run full EM over the current freeze: cold by default (the result is a
     /// pure function of the absorbed prefix), warm-started from the current
-    /// result when `warm` is set.
+    /// result when `warm` is set. With a non-empty exclusion set
+    /// ([`Self::set_exclusions`]) EM runs over the filtered freeze instead —
+    /// identical to fitting a log that never contained those workers'
+    /// answers, while the published freeze keeps covering the full log.
     pub fn refit(&mut self, warm: bool) {
-        self.result = if warm {
-            self.model.infer_matrix_warm(&self.schema, &self.matrix, &self.result)
+        let fit_over = |matrix: &AnswerMatrix, result: &InferenceResult| {
+            if warm {
+                self.model.infer_matrix_warm(&self.schema, matrix, result)
+            } else {
+                self.model.infer_matrix(&self.schema, matrix)
+            }
+        };
+        self.result = if self.exclude.is_empty() {
+            fit_over(&self.matrix, &self.result)
         } else {
-            self.model.infer_matrix(&self.schema, &self.matrix)
+            fit_over(&self.matrix.without_workers(&self.exclude), &self.result)
         };
     }
 
     /// Fold in the answers that arrived while a fit was running: absorb the
     /// slice into the freeze and apply the §5.1 incremental posterior
-    /// update per answer. `O(Δ')` — no EM. The next [`Self::refit`] makes
-    /// the state exact again.
+    /// update per answer (skipping excluded workers — their answers join the
+    /// freeze but must not move the posteriors). `O(Δ')` — no EM. The next
+    /// [`Self::refit`] makes the state exact again.
     pub fn catch_up(&mut self, slice: &LogSlice) {
         self.absorb(slice);
         for a in slice.answers() {
-            self.apply_incremental(a);
+            if self.exclude.binary_search(&a.worker).is_err() {
+                self.apply_incremental(a);
+            }
         }
     }
 
@@ -484,6 +524,60 @@ mod tests {
         assert_eq!(fit.result().estimates(), batch.estimates());
         assert_eq!(fit.result().iterations, batch.iterations);
         assert_eq!(fit.matrix(), &AnswerMatrix::build(&log));
+    }
+
+    #[test]
+    fn fit_state_exclusions_match_a_log_without_those_workers() {
+        let d = dataset(9);
+        let mut log = AnswerLog::new(d.rows(), d.cols());
+        for &a in d.answers.all() {
+            log.push(a);
+        }
+        let excluded: Vec<tcrowd_tabular::WorkerId> = log.workers().take(3).collect();
+        let mut fit = FitState::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        fit.absorb(&log.slice_since(0));
+        assert!(fit.set_exclusions(excluded.clone()));
+        assert!(!fit.set_exclusions(excluded.clone()), "same set again is a no-op");
+        fit.refit(false);
+        // The freeze still covers the full log; only the fit is filtered.
+        assert_eq!(fit.matrix().len(), log.len());
+        let batch =
+            TCrowd::default_full().infer(&d.schema, &log.without_workers(&excluded));
+        assert_eq!(fit.result().estimates(), batch.estimates());
+        assert_eq!(fit.result().iterations, batch.iterations);
+        // Excluded workers carry no fitted quality; the rest match the batch.
+        for w in &excluded {
+            assert_eq!(fit.result().quality_of(*w), None);
+        }
+        // Dropping the exclusion restores the unfiltered fit bit-for-bit.
+        assert!(fit.set_exclusions(Vec::new()));
+        fit.refit(false);
+        let full = TCrowd::default_full().infer(&d.schema, &log);
+        assert_eq!(fit.result().estimates(), full.estimates());
+        assert_eq!(fit.result().iterations, full.iterations);
+    }
+
+    #[test]
+    fn catch_up_skips_excluded_workers() {
+        let d = dataset(10);
+        let stream = d.answers.all();
+        let split = stream.len() / 2;
+        let mut log = AnswerLog::new(d.rows(), d.cols());
+        for &a in &stream[..split] {
+            log.push(a);
+        }
+        let excluded = vec![stream[split].worker];
+        let mut fit = FitState::empty(TCrowd::default_full(), d.schema.clone(), d.rows());
+        fit.absorb(&log.slice_since(0));
+        fit.set_exclusions(excluded.clone());
+        fit.refit(false);
+        let before = fit.result().clone();
+        // Catch up with a tail that starts with the excluded worker's answer:
+        // the freeze advances, the posteriors ignore it.
+        log.push(stream[split]);
+        fit.catch_up(&log.slice_since(fit.epoch()));
+        assert_eq!(fit.epoch(), log.len());
+        assert_eq!(fit.result().estimates(), before.estimates());
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub fn route(registry: &TableRegistry, req: &Request) -> Response {
                 ("GET", ["truth"]) => truth(&table, req),
                 ("GET", ["stats"]) => stats(&table),
                 ("POST", ["refresh"]) => refresh(&table),
+                ("GET", ["workers"]) => workers(&table),
+                ("POST", ["workers", w, "quarantine"]) => set_quarantine(&table, w, true),
+                ("POST", ["workers", w, "release"]) => set_quarantine(&table, w, false),
                 ("DELETE", []) => {
                     registry.remove(id);
                     ok_json(Json::obj([("deleted", Json::from(id.to_string()))]))
@@ -249,6 +252,48 @@ fn create_table(registry: &TableRegistry, req: &Request) -> Response {
             return err_json(400, "'max_pending' must be a positive integer");
         }
         config.max_pending = Some(bound as usize);
+    }
+    if let Some(auto) = body.get("trust_auto").and_then(Json::as_bool) {
+        config.trust_auto = auto;
+    }
+    if let Some(n) = body.get("trust_min_answers").and_then(Json::as_u64) {
+        config.trust.min_answers = n as usize;
+    }
+    if let Some(x) = body.get("trust_suspect_enter").and_then(Json::as_f64) {
+        config.trust.suspect_enter = x;
+    }
+    if let Some(x) = body.get("trust_suspect_exit").and_then(Json::as_f64) {
+        config.trust.suspect_exit = x;
+    }
+    if let Some(x) = body.get("trust_quarantine_enter").and_then(Json::as_f64) {
+        config.trust.quarantine_enter = x;
+    }
+    if let Some(x) = body.get("trust_quarantine_exit").and_then(Json::as_f64) {
+        config.trust.quarantine_exit = x;
+    }
+    if let Some(n) = body.get("trust_collusion_overlap").and_then(Json::as_u64) {
+        config.trust.collusion_min_overlap = n as usize;
+    }
+    if let Some(x) = body.get("trust_collusion_agreement").and_then(Json::as_f64) {
+        config.trust.collusion_agreement = x;
+    }
+    if let Some(n) = body.get("trust_collusion_collisions").and_then(Json::as_u64) {
+        config.trust.collusion_value_collisions = n as usize;
+    }
+    if let Err(e) = config.trust.validate() {
+        return err_json(400, format!("trust config: {e}"));
+    }
+    if let Some(rate) = body.get("worker_rate").and_then(Json::as_f64) {
+        if !rate.is_finite() || rate < 0.0 {
+            return err_json(400, "'worker_rate' must be a finite non-negative number");
+        }
+        config.worker_rate = rate;
+    }
+    if let Some(burst) = body.get("worker_burst").and_then(Json::as_u64) {
+        if burst == 0 || burst > u32::MAX as u64 {
+            return err_json(400, "'worker_burst' must be a positive u32");
+        }
+        config.worker_burst = burst as u32;
     }
     let id = body.get("id").and_then(Json::as_str).map(str::to_string);
     match registry.create(id, schema, rows, config) {
@@ -501,6 +546,28 @@ fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
                 None => Json::Null,
             },
         ),
+        // Trust subsystem counters: the state-machine census at the last
+        // publish, the decision sequence number, and how many batches the
+        // per-worker rate limit refused.
+        ("trust_auto", Json::from(table.config.trust_auto)),
+        ("trust_seq", Json::from(table.trust_seq() as f64)),
+        (
+            "suspect_workers",
+            Json::from(
+                snap.trust
+                    .workers
+                    .iter()
+                    .filter(|s| s.state == tcrowd_trust::TrustState::Suspect)
+                    .count(),
+            ),
+        ),
+        ("quarantined_workers", Json::from(snap.trust.quarantine.len())),
+        (
+            "manual_quarantines",
+            Json::from(snap.trust.quarantine.iter().filter(|q| q.manual).count()),
+        ),
+        ("rate_limited_batches", Json::from(table.rate_limited() as f64)),
+        ("worker_rate", Json::from(table.config.worker_rate)),
     ])
 }
 
@@ -515,6 +582,68 @@ fn refresh(table: &Arc<TableState>) -> Response {
         ("refitted", Json::from(refitted)),
         ("stats", snapshot_stats(table, &snap)),
     ]))
+}
+
+/// `GET …/workers`: the per-worker trust report from the published
+/// snapshot (one `Arc` clone — no trust or fitter lock taken).
+fn workers(table: &Arc<TableState>) -> Response {
+    let snap = table.snapshot();
+    let rows: Vec<Json> = snap
+        .trust
+        .workers
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("worker", Json::from(s.trust.worker.0)),
+                ("answers", Json::from(s.trust.answers)),
+                (
+                    "quality",
+                    match s.trust.quality {
+                        Some(q) => Json::from(q),
+                        None => Json::Null,
+                    },
+                ),
+                ("trust_score", Json::from(s.trust.score)),
+                ("max_agreement", Json::from(s.trust.max_agreement)),
+                ("value_collisions", Json::from(s.trust.value_collisions)),
+                (
+                    "collusion_partner",
+                    match s.trust.partner {
+                        Some(p) => Json::from(p.0),
+                        None => Json::Null,
+                    },
+                ),
+                ("state", Json::from(s.state.name())),
+                ("manual", Json::from(s.manual)),
+            ])
+        })
+        .collect();
+    ok_json(Json::obj([
+        ("epoch", Json::from(snap.epoch)),
+        ("trust_seq", Json::from(snap.trust.seq as f64)),
+        ("quarantined", Json::from(snap.trust.quarantine.len())),
+        ("workers", Json::Arr(rows)),
+    ]))
+}
+
+/// `POST …/workers/:w/{quarantine,release}`: a manual trust decision. The
+/// decision is WAL-durable before it is acknowledged and reaches inference
+/// at the next refresh (`POST …/refresh` forces it).
+fn set_quarantine(table: &Arc<TableState>, worker: &str, quarantined: bool) -> Response {
+    let Ok(worker) = worker.parse::<u32>() else {
+        return err_json(400, "worker id must be a u32");
+    };
+    match table.set_worker_quarantine(WorkerId(worker), quarantined) {
+        Ok(state) => ok_json(Json::obj([
+            ("worker", Json::from(worker)),
+            ("state", Json::from(state.name())),
+            ("trust_seq", Json::from(table.trust_seq() as f64)),
+        ])),
+        Err(e) if e.starts_with("storage:") => {
+            err_json(503, e).with_header("Retry-After", table.retry_after_secs())
+        }
+        Err(e) => err_json(400, e),
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,27 @@
 //! health. The `chaos` test suite drives all of this with injected fault
 //! schedules ([`tcrowd_store::FaultyIo`]).
 //!
+//! ## Worker trust & quarantine
+//!
+//! Every refit scores each worker from the fitted quality posteriors
+//! ([`tcrowd_trust::score_workers`]: fitted quality, or a shadow quality
+//! for already-excluded workers, plus a pairwise-agreement collusion
+//! signal) and — when `trust_auto` is on — walks a hysteresis state
+//! machine `Trusted → Suspect → Quarantined` with separate enter/exit
+//! thresholds so scores hovering at a boundary don't flap between refits.
+//! Quarantine is a **fit-level filter**, never a data mutation: the
+//! answer log and WAL keep every answer, EM simply runs over a view that
+//! excludes the quarantined workers' answers
+//! ([`tcrowd_core::FitState::set_exclusions`]), so releasing a worker is
+//! instant and bit-identically restores the unfiltered fit. Decisions are
+//! durable — each change appends a full-replacement quarantine record (WAL
+//! record kind 4) before it takes effect, and recovery reapplies the
+//! latest set. Manual decisions (`POST …/workers/:w/quarantine`) pin the
+//! worker against auto-release; `…/release` un-pins. A per-worker
+//! token-bucket rate limit (`worker_rate`/`worker_burst`) refuses
+//! flooding workers at ingest with `429 Retry-After`. `GET …/workers`
+//! serves the trust report straight off the published snapshot.
+//!
 //! ## Endpoints
 //!
 //! | Method & path | Meaning |
@@ -88,8 +109,11 @@
 //! | `POST /tables/:id/answers` | ingest one answer or `{"answers": [...]}` |
 //! | `GET /tables/:id/answers` | dump the published answer log |
 //! | `GET /tables/:id/truth[?z=1]` | current estimates (or z-space posteriors) |
-//! | `GET /tables/:id/stats` | ingest/refresh/EM counters |
+//! | `GET /tables/:id/stats` | ingest/refresh/EM/trust counters |
 //! | `POST /tables/:id/refresh` | force a re-fit + publish now |
+//! | `GET /tables/:id/workers` | per-worker trust report (answers, quality, score, state) |
+//! | `POST /tables/:id/workers/:w/quarantine` | manually quarantine worker `w` (WAL-durable) |
+//! | `POST /tables/:id/workers/:w/release` | release worker `w` |
 //!
 //! ## Wire format
 //!
@@ -138,7 +162,9 @@ pub use http::{serve, Handler, Request, Response, ServerHandle};
 pub use json::Json;
 pub use policy::{make_policy, POLICY_NAMES};
 pub use registry::{RecoveryReport, TableRegistry};
-pub use table::{Durability, HealthView, Snapshot, TableConfig, TableState};
+pub use table::{
+    Durability, HealthView, Snapshot, TableConfig, TableState, TrustView, WorkerStatus,
+};
 
 use std::sync::Arc;
 

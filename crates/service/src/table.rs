@@ -60,6 +60,7 @@
 //! snapshot for) a dead table.
 
 use crate::policy::make_policy;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
@@ -69,10 +70,11 @@ use tcrowd_core::{
 };
 use tcrowd_store::{
     remove_snapshot, remove_snapshot_deltas, rewrite_wal, write_snapshot_delta_with_io,
-    write_snapshot_with_io, ChainInfo, IoHandle, Recovered, SnapshotDelta, TableMeta,
-    TableSnapshot, Wal, WalPosition, WAL_FILE,
+    write_snapshot_with_io, ChainInfo, IoHandle, QuarantineEntry, Recovered, SnapshotDelta,
+    TableMeta, TableSnapshot, Wal, WalPosition, WAL_FILE,
 };
-use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema, SharedLog};
+use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema, SharedLog, WorkerId};
+use tcrowd_trust::{advance, score_workers, TrustConfig, TrustState, WorkerTrust};
 
 /// Chain links after which the next store snapshot collapses into a full
 /// base (bounds recovery's chain walk and the table directory's file
@@ -108,6 +110,20 @@ pub struct TableConfig {
     /// bounding how stale the served snapshot can get under overload.
     /// `None` = unbounded (the default).
     pub max_pending: Option<usize>,
+    /// Run the trust state machine automatically on every refit: workers
+    /// whose trust score pins near chance (or who show a collusion signal)
+    /// are demoted `Trusted → Suspect → Quarantined` and auto-promoted back
+    /// when their score recovers past the hysteresis exit thresholds. Off
+    /// by default — manual quarantine always works regardless.
+    pub trust_auto: bool,
+    /// Thresholds for the trust scorer and hysteresis state machine.
+    pub trust: TrustConfig,
+    /// Per-worker ingest rate limit in answers/second (token bucket;
+    /// `0` = unlimited, the default). A worker over budget gets the whole
+    /// batch refused with an `overloaded:` error (HTTP 429 + `Retry-After`).
+    pub worker_rate: f64,
+    /// Token-bucket burst capacity for [`TableConfig::worker_rate`].
+    pub worker_burst: u32,
 }
 
 impl Default for TableConfig {
@@ -120,6 +136,10 @@ impl Default for TableConfig {
             max_answers_per_cell: None,
             seed: 1,
             max_pending: None,
+            trust_auto: false,
+            trust: TrustConfig::default(),
+            worker_rate: 0.0,
+            worker_burst: 64,
         }
     }
 }
@@ -144,7 +164,21 @@ impl TableConfig {
                 (self.refresh_interval.as_millis() as u64).to_string(),
             ),
             ("seed".to_string(), self.seed.to_string()),
+            ("trust_auto".to_string(), self.trust_auto.to_string()),
+            ("trust_collusion_agreement".to_string(), self.trust.collusion_agreement.to_string()),
+            (
+                "trust_collusion_collisions".to_string(),
+                self.trust.collusion_value_collisions.to_string(),
+            ),
+            ("trust_collusion_overlap".to_string(), self.trust.collusion_min_overlap.to_string()),
+            ("trust_min_answers".to_string(), self.trust.min_answers.to_string()),
+            ("trust_quarantine_enter".to_string(), self.trust.quarantine_enter.to_string()),
+            ("trust_quarantine_exit".to_string(), self.trust.quarantine_exit.to_string()),
+            ("trust_suspect_enter".to_string(), self.trust.suspect_enter.to_string()),
+            ("trust_suspect_exit".to_string(), self.trust.suspect_exit.to_string()),
             ("warm_refits".to_string(), self.warm_refits.to_string()),
+            ("worker_burst".to_string(), self.worker_burst.to_string()),
+            ("worker_rate".to_string(), self.worker_rate.to_string()),
         ];
         kv.sort();
         kv
@@ -176,11 +210,169 @@ impl TableConfig {
                         config.seed = s;
                     }
                 }
+                "trust_auto" => config.trust_auto = v == "true",
+                "trust_min_answers" => {
+                    if let Ok(n) = v.parse() {
+                        config.trust.min_answers = n;
+                    }
+                }
+                "trust_suspect_enter" => {
+                    if let Ok(x) = v.parse() {
+                        config.trust.suspect_enter = x;
+                    }
+                }
+                "trust_suspect_exit" => {
+                    if let Ok(x) = v.parse() {
+                        config.trust.suspect_exit = x;
+                    }
+                }
+                "trust_quarantine_enter" => {
+                    if let Ok(x) = v.parse() {
+                        config.trust.quarantine_enter = x;
+                    }
+                }
+                "trust_quarantine_exit" => {
+                    if let Ok(x) = v.parse() {
+                        config.trust.quarantine_exit = x;
+                    }
+                }
+                "trust_collusion_overlap" => {
+                    if let Ok(n) = v.parse() {
+                        config.trust.collusion_min_overlap = n;
+                    }
+                }
+                "trust_collusion_agreement" => {
+                    if let Ok(x) = v.parse() {
+                        config.trust.collusion_agreement = x;
+                    }
+                }
+                "trust_collusion_collisions" => {
+                    if let Ok(n) = v.parse() {
+                        config.trust.collusion_value_collisions = n;
+                    }
+                }
+                "worker_rate" => {
+                    if let Ok(x) = v.parse() {
+                        config.worker_rate = x;
+                    }
+                }
+                "worker_burst" => {
+                    if let Ok(n) = v.parse() {
+                        config.worker_burst = n;
+                    }
+                }
                 _ => {}
             }
         }
         config
     }
+}
+
+/// Per-worker trust bookkeeping: the hysteresis state plus whether an
+/// operator pinned it (`manual` entries are never auto-released).
+#[derive(Debug, Clone, Copy)]
+struct TrustEntry {
+    state: TrustState,
+    manual: bool,
+}
+
+/// The table's trust registry. Lock order: this mutex may be held while
+/// taking the WAL mutex (so quarantine decisions serialise their
+/// full-replacement WAL records in decision order) — never the reverse.
+struct TrustRegistry {
+    /// Workers in a non-`Trusted` state, or operator-pinned. Auto entries
+    /// that recover to `Trusted` are dropped, keeping the map at the size
+    /// of the problem rather than the workforce.
+    states: BTreeMap<WorkerId, TrustEntry>,
+    /// The quarantine set last durably appended to the WAL — compared
+    /// before every append so an unchanged set never writes a record.
+    persisted: Vec<QuarantineEntry>,
+}
+
+/// The quarantined subset of a trust registry, sorted by worker.
+fn quarantined_set(states: &BTreeMap<WorkerId, TrustEntry>) -> Vec<QuarantineEntry> {
+    states
+        .iter()
+        .filter(|(_, e)| e.state == TrustState::Quarantined)
+        .map(|(&w, e)| QuarantineEntry { worker: w, manual: e.manual })
+        .collect()
+}
+
+/// One worker's row in the published trust report.
+#[derive(Debug, Clone)]
+pub struct WorkerStatus {
+    /// Evidence and scores from [`tcrowd_trust::score_workers`] (answer
+    /// count, fitted or shadow quality, collusion signal).
+    pub trust: WorkerTrust,
+    /// Hysteresis state at publish time.
+    pub state: TrustState,
+    /// Operator-pinned (manual quarantine).
+    pub manual: bool,
+}
+
+/// The trust report published with a [`Snapshot`]: every scored worker,
+/// the quarantine decision set, and the exclusion set the published fit
+/// actually ran under. Readers get it with the snapshot's `Arc` clone —
+/// `GET …/workers` never takes the trust or fitter lock.
+#[derive(Debug, Clone)]
+pub struct TrustView {
+    /// Per-worker rows, ascending by worker id.
+    pub workers: Vec<WorkerStatus>,
+    /// The quarantine decision set when this snapshot was published.
+    pub quarantine: Vec<QuarantineEntry>,
+    /// The workers the published fit excluded (lags `quarantine` by at
+    /// most one refresh).
+    pub excluded: Vec<WorkerId>,
+    /// The table's trust sequence number at publish.
+    pub seq: u64,
+}
+
+/// Build the published trust view: the score report overlaid with registry
+/// states, plus registry-only workers (e.g. quarantined before their first
+/// answer) appended with empty evidence.
+fn build_trust_view(
+    report: Vec<WorkerTrust>,
+    states: &BTreeMap<WorkerId, TrustEntry>,
+    quarantine: Vec<QuarantineEntry>,
+    excluded: Vec<WorkerId>,
+    seq: u64,
+) -> TrustView {
+    let mut workers: Vec<WorkerStatus> = report
+        .into_iter()
+        .map(|t| {
+            let e = states.get(&t.worker);
+            WorkerStatus {
+                state: e.map_or(TrustState::Trusted, |e| e.state),
+                manual: e.is_some_and(|e| e.manual),
+                trust: t,
+            }
+        })
+        .collect();
+    for (&w, e) in states {
+        if !workers.iter().any(|s| s.trust.worker == w) {
+            workers.push(WorkerStatus {
+                trust: WorkerTrust {
+                    worker: w,
+                    answers: 0,
+                    quality: None,
+                    score: 1.0,
+                    max_agreement: 0.0,
+                    partner: None,
+                    value_collisions: 0,
+                },
+                state: e.state,
+                manual: e.manual,
+            });
+        }
+    }
+    workers.sort_by_key(|s| s.trust.worker);
+    TrustView { workers, quarantine, excluded, seq }
+}
+
+/// Per-worker token bucket for the ingest rate limit.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
 }
 
 /// An immutable published view of one table: everything the read endpoints
@@ -218,6 +410,9 @@ pub struct Snapshot {
     pub refreshes: u64,
     /// When this snapshot was published.
     pub published_at: Instant,
+    /// The trust report published with this snapshot (worker scores,
+    /// states, and the exclusion set the fit ran under).
+    pub trust: Arc<TrustView>,
 }
 
 /// The store-snapshot chain position of a durable table: what the next
@@ -493,6 +688,15 @@ pub struct TableState {
     /// Chaos hook: the next N fit steps panic (contained by the refresh
     /// path's `catch_unwind`).
     refit_panic_budget: AtomicU64,
+    /// Worker trust registry (see [`TrustRegistry`] for the lock-order
+    /// contract with the WAL mutex).
+    trust: Mutex<TrustRegistry>,
+    /// Bumped on every trust-state or quarantine-set change.
+    trust_seq: AtomicU64,
+    /// Batches refused by the per-worker ingest rate limit.
+    rate_limited: AtomicU64,
+    /// Per-worker token buckets (leaf lock; only `submit` touches it).
+    buckets: Mutex<HashMap<u32, Bucket>>,
 }
 
 impl TableState {
@@ -508,7 +712,7 @@ impl TableState {
     ) -> Arc<TableState> {
         let log = AnswerLog::new(rows, schema.num_columns());
         let fit = FitState::empty(TCrowd::default_full(), schema.clone(), rows);
-        Self::spawn(id, schema, rows, config, log, fit, durability)
+        Self::spawn(id, schema, rows, config, log, fit, durability, Vec::new())
     }
 
     /// Resurrect a table from its recovered durable state: the WAL-replayed
@@ -530,19 +734,31 @@ impl TableState {
     ///    with `warm_refits`.
     /// 3. **No usable snapshot**: a cold fit of the replayed log.
     pub fn recover(rec: Recovered, config: TableConfig, io: IoHandle) -> Arc<TableState> {
-        let Recovered { id, meta, log, fit, wal, replayed_tail, snapshot_epoch, chain, .. } = rec;
+        let Recovered {
+            id, meta, log, fit, wal, replayed_tail, snapshot_epoch, chain, quarantine, ..
+        } = rec;
         let schema = meta.schema.clone();
         let rows = meta.rows;
         let model = TCrowd::default_full();
         let matrix = log.to_matrix();
+        // A recovered quarantine set means the persisted fit parameters were
+        // computed over the *filtered* matrix — seed/evaluate over the same
+        // filtered view, while the adopted freeze keeps covering the full
+        // log (exclusion is a property of the fit, never the data).
+        let excluded: Vec<WorkerId> = quarantine.iter().map(|q| q.worker).collect();
+        let filtered = if excluded.is_empty() { None } else { Some(matrix.without_workers(&excluded)) };
+        let fit_matrix = filtered.as_ref().unwrap_or(&matrix);
         let result = match &fit {
             Some(seed) if replayed_tail == 0 && seed.shape_matches(rows, schema.num_columns()) => {
-                model.evaluate_seeded(&schema, &matrix, seed)
+                model.evaluate_seeded(&schema, fit_matrix, seed)
             }
-            Some(seed) if config.warm_refits => model.infer_matrix_seeded(&schema, &matrix, seed),
-            _ => model.infer_matrix(&schema, &matrix),
+            Some(seed) if config.warm_refits => {
+                model.infer_matrix_seeded(&schema, fit_matrix, seed)
+            }
+            _ => model.infer_matrix(&schema, fit_matrix),
         };
-        let fit_state = FitState::from_parts(model, schema.clone(), matrix, result);
+        let mut fit_state = FitState::from_parts(model, schema.clone(), matrix, result);
+        fit_state.set_exclusions(excluded);
         let wal = wal.expect("recovered live table carries an open WAL");
         let dir = wal.path().parent().expect("wal lives in a table dir").to_path_buf();
         // Seed the chain position from the on-disk chain: the follow-up
@@ -555,7 +771,8 @@ impl TableState {
             None => SnapChain::fresh(),
         };
         let durability = Durability::recovered(wal, dir, meta, chain_state, io);
-        let table = Self::spawn(id, schema, rows, config, log, fit_state, Some(durability));
+        let table =
+            Self::spawn(id, schema, rows, config, log, fit_state, Some(durability), quarantine);
         // Persist right away: the recovery fit is exactly what a next crash
         // would want to seed from, and it re-establishes the fast path when
         // a tail was replayed.
@@ -572,11 +789,24 @@ impl TableState {
         log: AnswerLog,
         fit: FitState,
         durability: Option<Durability>,
+        quarantine: Vec<QuarantineEntry>,
     ) -> Arc<TableState> {
         assert_eq!(fit.epoch(), log.len(), "fit state must cover the adopted log");
         let correlation = CorrelationModel::fit_matrix(&schema, fit.matrix(), fit.result());
         let ingested = log.len() as u64;
         let shared = SharedLog::from_log(&log);
+        let mut states = BTreeMap::new();
+        for q in &quarantine {
+            states.insert(q.worker, TrustEntry { state: TrustState::Quarantined, manual: q.manual });
+        }
+        let report = score_workers(fit.result(), fit.matrix(), &config.trust);
+        let trust_view = Arc::new(build_trust_view(
+            report,
+            &states,
+            quarantine.clone(),
+            fit.exclusions().to_vec(),
+            0,
+        ));
         let snapshot = Arc::new(Snapshot {
             log: shared.clone(),
             matrix: fit.matrix_arc(),
@@ -588,6 +818,7 @@ impl TableState {
             last_refit_ms: 0.0,
             refreshes: 0,
             published_at: Instant::now(),
+            trust: trust_view,
         });
         let seed = config.seed;
         let table = Arc::new(TableState {
@@ -607,6 +838,10 @@ impl TableState {
             health: Mutex::new(HealthState::new(seed)),
             fitter_dirty: AtomicBool::new(false),
             refit_panic_budget: AtomicU64::new(0),
+            trust: Mutex::new(TrustRegistry { states, persisted: quarantine }),
+            trust_seq: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            buckets: Mutex::new(HashMap::new()),
         });
         let weak: Weak<TableState> = Arc::downgrade(&table);
         let ctl = Arc::clone(&table.ctl);
@@ -669,10 +904,89 @@ impl TableState {
     }
 
     /// Whether a refresh would change the published state: answers are
-    /// pending, or the last publish folded in mid-fit arrivals
-    /// incrementally and a settling refit would make it exact again.
+    /// pending, the last publish folded in mid-fit arrivals incrementally
+    /// and a settling refit would make it exact again, or the quarantine
+    /// decision set has moved past the exclusions the published fit used.
     pub fn needs_refresh(&self) -> bool {
-        self.pending() > 0 || self.snapshot().catchup_merged > 0
+        self.pending() > 0 || self.snapshot().catchup_merged > 0 || self.trust_pending()
+    }
+
+    /// Whether the published fit's exclusion set lags the current
+    /// quarantine decisions (a refresh closes the gap).
+    fn trust_pending(&self) -> bool {
+        let quarantined: Vec<WorkerId> =
+            self.quarantine_entries().iter().map(|q| q.worker).collect();
+        quarantined != self.snapshot().trust.excluded
+    }
+
+    /// Monotonic counter bumped on every trust-state or quarantine-set
+    /// change (manual or automatic).
+    pub fn trust_seq(&self) -> u64 {
+        self.trust_seq.load(Ordering::SeqCst)
+    }
+
+    /// Batches refused by the per-worker ingest rate limit since creation.
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited.load(Ordering::SeqCst)
+    }
+
+    /// The current quarantine decision set (sorted by worker id).
+    pub fn quarantine_entries(&self) -> Vec<QuarantineEntry> {
+        quarantined_set(&lock_recover(&self.trust).states)
+    }
+
+    /// Manually quarantine (`quarantined = true`, pinned against
+    /// auto-release) or release `worker`. The decision is appended to the
+    /// WAL as a full-replacement quarantine record **before** it takes
+    /// effect — a trust decision that silently reverted on crash would be
+    /// worse than none — and reaches inference at the next refresh (the
+    /// refresher is woken; `POST …/refresh` forces it synchronously).
+    /// Returns the worker's new trust state.
+    pub fn set_worker_quarantine(
+        &self,
+        worker: WorkerId,
+        quarantined: bool,
+    ) -> Result<TrustState, String> {
+        let mut reg = lock_recover(&self.trust);
+        let prev = reg.states.get(&worker).copied();
+        if quarantined {
+            reg.states.insert(worker, TrustEntry { state: TrustState::Quarantined, manual: true });
+        } else {
+            reg.states.remove(&worker);
+        }
+        let set = quarantined_set(&reg.states);
+        if set != reg.persisted {
+            if let Err(e) = self.append_quarantine_record(&set) {
+                // Roll back: the in-memory decision must not outrun the WAL.
+                match prev {
+                    Some(p) => {
+                        reg.states.insert(worker, p);
+                    }
+                    None => {
+                        reg.states.remove(&worker);
+                    }
+                }
+                drop(reg);
+                self.record_wal_failure(format!("quarantine record append failed: {e}"));
+                return Err(format!("storage: quarantine record append failed: {e}"));
+            }
+            reg.persisted = set;
+        }
+        drop(reg);
+        self.trust_seq.fetch_add(1, Ordering::SeqCst);
+        // Wake the refresher so the decision reaches the fit promptly.
+        let _guard = lock_recover(&self.ctl.stop);
+        self.ctl.wake.notify_one();
+        Ok(if quarantined { TrustState::Quarantined } else { TrustState::Trusted })
+    }
+
+    /// Durably append the full-replacement quarantine record (no-op for
+    /// memory-only tables). Callers hold the trust lock — the documented
+    /// trust → wal order.
+    fn append_quarantine_record(&self, set: &[QuarantineEntry]) -> Result<(), String> {
+        let Some(d) = &self.durability else { return Ok(()) };
+        let mut wal = lock_recover(&d.wal);
+        wal.append_quarantine(set).map(|_| ()).map_err(|e| e.to_string())
     }
 
     /// Whether this table persists to a WAL.
@@ -773,6 +1087,7 @@ impl TableState {
                 ));
             }
         }
+        self.check_rate_limit(answers)?;
         {
             let mut log = lock_recover(&self.ingest);
             if self.is_deleted() {
@@ -803,6 +1118,47 @@ impl TableState {
         Ok(answers.len())
     }
 
+    /// Per-worker token-bucket admission: each worker's bucket refills at
+    /// `worker_rate` answers/second up to `worker_burst`. The whole batch
+    /// is admitted or refused atomically (the first worker over budget
+    /// names the offender); a refused batch debits nothing and costs no
+    /// ingest-lock hold. Quarantine does NOT feed into this — quarantined
+    /// workers' answers are still collected (and excluded at fit time), so
+    /// un-quarantine stays instant and exact.
+    fn check_rate_limit(&self, answers: &[Answer]) -> Result<(), String> {
+        let rate = self.config.worker_rate;
+        if rate <= 0.0 {
+            return Ok(());
+        }
+        let burst = f64::from(self.config.worker_burst).max(1.0);
+        let mut counts: BTreeMap<u32, f64> = BTreeMap::new();
+        for a in answers {
+            *counts.entry(a.worker.0).or_insert(0.0) += 1.0;
+        }
+        let now = Instant::now();
+        let mut buckets = lock_recover(&self.buckets);
+        for (&w, &n) in &counts {
+            let b = buckets.entry(w).or_insert(Bucket { tokens: burst, last: now });
+            let dt = now.saturating_duration_since(b.last).as_secs_f64();
+            b.tokens = (b.tokens + dt * rate).min(burst);
+            b.last = now;
+            if n > b.tokens + 1e-9 {
+                self.rate_limited.fetch_add(1, Ordering::SeqCst);
+                return Err(format!(
+                    "overloaded: worker {w} exceeded the per-worker rate limit \
+                     ({rate} answers/s, burst {}); retry shortly",
+                    self.config.worker_burst
+                ));
+            }
+        }
+        for (&w, &n) in &counts {
+            if let Some(b) = buckets.get_mut(&w) {
+                b.tokens -= n;
+            }
+        }
+        Ok(())
+    }
+
     /// Re-fit and publish a fresh snapshot (plus, on durable tables, an
     /// incremental store snapshot). The ingest lock is held only for two
     /// `O(Δ)` tail slices; EM and the delta merges run outside it, under
@@ -824,8 +1180,12 @@ impl TableState {
         if self.fitter_dirty.swap(false, Ordering::SeqCst) {
             // Rebuild from the system of record: an empty pipeline whose
             // next absorb covers the whole ingest log (one cold fit — the
-            // same work a fresh recovery would do).
+            // same work a fresh recovery would do). The exclusion set is
+            // re-seeded from the trust registry so the rebuilt fit filters
+            // from its first refit.
             pipe.fit = FitState::empty(TCrowd::default_full(), self.schema.clone(), self.rows);
+            pipe.fit
+                .set_exclusions(self.quarantine_entries().iter().map(|q| q.worker).collect());
             pipe.shared = SharedLog::from_log(&AnswerLog::new(self.rows, self.cols()));
         }
         // Phase 1 (brief ingest lock): slice the tail since the fit epoch.
@@ -835,10 +1195,16 @@ impl TableState {
         };
         if tail.is_empty() {
             let snap = self.snapshot();
+            let trust_dirty = {
+                let q: Vec<WorkerId> =
+                    self.quarantine_entries().iter().map(|e| e.worker).collect();
+                q.as_slice() != pipe.fit.exclusions()
+            };
             // Nothing new AND the published state is already the exact fit
-            // of its epoch (no catch-up answers were folded in
-            // incrementally): a refresh would republish the same state.
-            if snap.epoch == pipe.fit.epoch() && snap.catchup_merged == 0 {
+            // of its epoch (no catch-up answers folded in incrementally, no
+            // quarantine decision waiting to be applied): a refresh would
+            // republish the same state.
+            if snap.epoch == pipe.fit.epoch() && snap.catchup_merged == 0 && !trust_dirty {
                 self.note_refit_success();
                 return false;
             }
@@ -854,12 +1220,16 @@ impl TableState {
             self.maybe_inject_refit_panic();
             pipe.absorb(&tail);
             pipe.fit.refit(self.config.warm_refits);
+            self.apply_trust(&mut pipe)
         }));
-        if let Err(payload) = fit_attempt {
-            self.fitter_dirty.store(true, Ordering::SeqCst);
-            self.record_refit_failure(format!("refit panicked: {}", panic_message(&payload)));
-            return false;
-        }
+        let trust_report = match fit_attempt {
+            Ok(report) => report,
+            Err(payload) => {
+                self.fitter_dirty.store(true, Ordering::SeqCst);
+                self.record_refit_failure(format!("refit panicked: {}", panic_message(&payload)));
+                return false;
+            }
+        };
         let fitted_epoch = pipe.fit.epoch();
         // Phase 3 (brief ingest lock): catch-up slice for answers that
         // arrived mid-fit, plus the WAL position matching the final epoch —
@@ -913,6 +1283,16 @@ impl TableState {
             }
         };
         let last_refit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let trust_view = {
+            let reg = lock_recover(&self.trust);
+            Arc::new(build_trust_view(
+                trust_report,
+                &reg.states,
+                quarantined_set(&reg.states),
+                pipe.fit.exclusions().to_vec(),
+                self.trust_seq.load(Ordering::SeqCst),
+            ))
+        };
         let snapshot = Snapshot {
             log: pipe.shared.clone(),
             matrix,
@@ -924,6 +1304,7 @@ impl TableState {
             last_refit_ms,
             refreshes: self.snapshot().refreshes + 1,
             published_at: Instant::now(),
+            trust: trust_view,
         };
         // Tombstone guard: a refresh that was mid-refit when the table was
         // removed must not publish a snapshot for a dead table.
@@ -949,6 +1330,60 @@ impl TableState {
             }
         }
         true
+    }
+
+    /// Score every worker from the just-refit result, advance the
+    /// hysteresis state machine (when `trust_auto` is on — manual pins are
+    /// never auto-released), and apply the resulting quarantine set to the
+    /// fit: when the set changed, one bounded extra refit over the filtered
+    /// freeze runs so the published result never mixes quarantined workers
+    /// in. A changed set is durably appended to the WAL (full-replacement
+    /// record) before it is considered persisted; an append failure keeps
+    /// the in-memory decision (safety first — the workers stay excluded)
+    /// and degrades the table so the repair path re-persists it. Runs under
+    /// the fitter lock, inside the refresh path's panic containment.
+    /// Returns the score report for the published trust view.
+    fn apply_trust(&self, pipe: &mut FitPipeline) -> Vec<WorkerTrust> {
+        let mut report = score_workers(pipe.fit.result(), pipe.fit.matrix(), &self.config.trust);
+        let mut reg = lock_recover(&self.trust);
+        if self.config.trust_auto {
+            for t in &report {
+                let entry = reg
+                    .states
+                    .entry(t.worker)
+                    .or_insert(TrustEntry { state: TrustState::Trusted, manual: false });
+                if entry.manual {
+                    continue;
+                }
+                let next = advance(entry.state, t, &self.config.trust);
+                if next != entry.state {
+                    entry.state = next;
+                    self.trust_seq.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            reg.states.retain(|_, e| e.manual || e.state != TrustState::Trusted);
+        }
+        let set = quarantined_set(&reg.states);
+        if set != reg.persisted {
+            match self.append_quarantine_record(&set) {
+                Ok(()) => reg.persisted = set.clone(),
+                Err(e) => {
+                    self.record_wal_failure(format!("quarantine record append failed: {e}"))
+                }
+            }
+        }
+        drop(reg);
+        let excluded: Vec<WorkerId> = set.iter().map(|q| q.worker).collect();
+        if pipe.fit.set_exclusions(excluded) {
+            self.trust_seq.fetch_add(1, Ordering::SeqCst);
+            pipe.fit.refit(self.config.warm_refits);
+            // Re-score over the filtered fit so the published report agrees
+            // with the published result (quarantined workers show shadow
+            // scores, not stale fitted qualities). States advanced above
+            // from the pre-change fit and are not re-advanced here.
+            report = score_workers(pipe.fit.result(), pipe.fit.matrix(), &self.config.trust);
+        }
+        report
     }
 
     /// Persist the current published snapshot to the store, synchronising
@@ -1023,6 +1458,7 @@ impl TableState {
                 meta: d.meta.clone(),
                 log: snap.log.to_log(),
                 fit,
+                quarantine: snap.trust.quarantine.clone(),
             };
             match write_snapshot_with_io(&d.dir, &table_snap, &d.io) {
                 Ok(()) => {
@@ -1057,6 +1493,7 @@ impl TableState {
                 wal_offset: pos.offset,
                 answers: snap.log.range_vec(chain.epoch as usize, snap.epoch),
                 fit,
+                quarantine: snap.trust.quarantine.clone(),
             };
             match write_snapshot_delta_with_io(&d.dir, &delta, &d.io) {
                 Ok(()) => {
@@ -1267,6 +1704,11 @@ impl TableState {
         if self.is_deleted() {
             return;
         }
+        // Captured before the ingest/WAL locks: the trust lock must never
+        // be taken under the WAL lock (trust → wal is the documented
+        // order). A decision racing the rebuild re-appends on the next
+        // refresh — the record is a full replacement, so that is benign.
+        let quarantine = self.quarantine_entries();
         let result: Result<(), String> = (|| {
             let log = lock_recover(&self.ingest);
             let mut wal = lock_recover(&d.wal);
@@ -1277,7 +1719,7 @@ impl TableState {
             }
             let policy = wal.fsync_policy();
             remove_snapshot(&d.dir).map_err(|e| format!("stale snapshot removal: {e}"))?;
-            let pos = rewrite_wal(&d.dir, &d.meta, log.all(), &d.io)
+            let pos = rewrite_wal(&d.dir, &d.meta, log.all(), &quarantine, &d.io)
                 .map_err(|e| format!("log rewrite: {e}"))?;
             debug_assert_eq!(pos.answers as usize, log.len());
             let fresh =
@@ -1473,6 +1915,19 @@ mod tests {
             max_answers_per_cell: Some(9),
             seed: 42,
             max_pending: Some(1_000),
+            trust_auto: true,
+            trust: tcrowd_trust::TrustConfig {
+                min_answers: 5,
+                suspect_enter: 0.61,
+                suspect_exit: 0.77,
+                quarantine_enter: 0.33,
+                quarantine_exit: 0.52,
+                collusion_min_overlap: 4,
+                collusion_agreement: 0.875,
+                collusion_value_collisions: 6,
+            },
+            worker_rate: 12.5,
+            worker_burst: 7,
         };
         let back = TableConfig::from_kv(&config.to_kv());
         assert_eq!(back.policy, config.policy);
@@ -1482,11 +1937,165 @@ mod tests {
         assert_eq!(back.max_answers_per_cell, config.max_answers_per_cell);
         assert_eq!(back.seed, config.seed);
         assert_eq!(back.max_pending, config.max_pending);
+        assert!(back.trust_auto);
+        assert_eq!(back.trust, config.trust);
+        assert_eq!(back.worker_rate, config.worker_rate);
+        assert_eq!(back.worker_burst, config.worker_burst);
         // Unknown keys and absent keys degrade to defaults, not errors.
         let sparse = TableConfig::from_kv(&[("future_knob".into(), "1".into())]);
         assert_eq!(sparse.policy, TableConfig::default().policy);
         // None round-trips through the empty string.
         let none = TableConfig { max_answers_per_cell: None, ..TableConfig::default() };
         assert_eq!(TableConfig::from_kv(&none.to_kv()).max_answers_per_cell, None);
+    }
+
+    #[test]
+    fn manual_quarantine_filters_the_fit_and_release_restores_it() {
+        let (t, d) = make_table(usize::MAX);
+        t.submit(d.answers.all()).unwrap();
+        assert!(t.refresh_now());
+        let baseline = t.snapshot();
+        let w = d.answers.all()[0].worker;
+        assert_eq!(t.set_worker_quarantine(w, true).unwrap(), TrustState::Quarantined);
+        // The woken background refresher may apply the decision before this
+        // synchronous refresh — either way the published state must filter.
+        t.refresh_now();
+        let snap = t.snapshot();
+        assert_eq!(snap.trust.excluded, vec![w]);
+        assert_eq!(snap.trust.quarantine.len(), 1);
+        assert!(snap.trust.quarantine[0].manual);
+        assert!(snap.result.quality_of(w).is_none(), "excluded worker has no fitted quality");
+        // The quarantine is a fit-level filter: the log is untouched.
+        assert_eq!(snap.epoch, baseline.epoch);
+        assert_eq!(snap.log.to_vec(), baseline.log.to_vec());
+        // The published estimates equal a batch fit of a log that never
+        // contained the worker's answers.
+        let batch = TCrowd::default_full().infer(&d.schema, &d.answers.without_workers(&[w]));
+        assert_eq!(snap.result.estimates(), batch.estimates());
+        // The worker still shows up in the trust report, with a shadow score.
+        let row = snap.trust.workers.iter().find(|s| s.trust.worker == w).unwrap();
+        assert_eq!(row.state, TrustState::Quarantined);
+        assert!(row.trust.quality.is_none());
+        // Release: bit-identical to the baseline full fit.
+        assert_eq!(t.set_worker_quarantine(w, false).unwrap(), TrustState::Trusted);
+        t.refresh_now();
+        let back = t.snapshot();
+        assert!(back.trust.excluded.is_empty());
+        assert_eq!(back.result.estimates(), baseline.result.estimates());
+        assert_eq!(back.result.iterations, baseline.result.iterations);
+        assert!(t.trust_seq() >= 2);
+        t.stop_refresher();
+    }
+
+    #[test]
+    fn per_worker_rate_limit_refuses_whole_batches() {
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 8,
+                columns: 2,
+                num_workers: 4,
+                answers_per_task: 2,
+                ..Default::default()
+            },
+            11,
+        );
+        let config = TableConfig {
+            refit_every: usize::MAX,
+            worker_rate: 0.001, // effectively no refill within the test
+            worker_burst: 4,
+            ..Default::default()
+        };
+        let t = TableState::create("rl".into(), d.schema.clone(), d.rows(), config, None);
+        let by_worker = |w: u32| -> Vec<Answer> {
+            d.answers.all().iter().copied().filter(|a| a.worker == WorkerId(w)).collect()
+        };
+        let w0 = by_worker(0);
+        assert!(w0.len() >= 4, "generator should give worker 0 at least burst answers");
+        // Within burst: admitted.
+        t.submit(&w0[..4]).unwrap();
+        // Bucket drained: the whole next batch is refused with the
+        // backpressure prefix (→ 429 + Retry-After at the HTTP layer).
+        let err = t.submit(&w0[..1]).unwrap_err();
+        assert!(err.starts_with("overloaded:"), "{err}");
+        assert!(err.contains("worker 0"), "{err}");
+        assert_eq!(t.rate_limited(), 1);
+        // Other workers are unaffected.
+        let w1 = by_worker(1);
+        t.submit(&w1[..1]).unwrap();
+        // A mixed batch containing the throttled worker is refused whole.
+        let mixed = vec![w1[1], w0[4 % w0.len()]];
+        assert!(t.submit(&mixed).unwrap_err().starts_with("overloaded:"));
+        assert_eq!(t.ingested() as usize, 5, "refused batches must ingest nothing");
+        t.stop_refresher();
+    }
+
+    #[test]
+    fn auto_trust_quarantines_a_spammer_and_defends_accuracy() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 20,
+                columns: 3,
+                num_workers: 10,
+                answers_per_task: 4,
+                ..Default::default()
+            },
+            13,
+        );
+        let config = TableConfig {
+            refit_every: usize::MAX,
+            trust_auto: true,
+            trust: tcrowd_trust::TrustConfig {
+                min_answers: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let t = TableState::create("spam".into(), d.schema.clone(), d.rows(), config, None);
+        t.submit(d.answers.all()).unwrap();
+        // A spammer answering uniformly at random over every cell.
+        let mut rng = StdRng::seed_from_u64(77);
+        let spam: Vec<Answer> = (0..d.rows() as u32)
+            .flat_map(|i| (0..d.schema.num_columns() as u32).map(move |j| (i, j)))
+            .map(|(i, j)| Answer {
+                worker: WorkerId(500),
+                cell: CellId::new(i, j),
+                value: match d.schema.column_type(j as usize) {
+                    tcrowd_tabular::ColumnType::Categorical { labels } => {
+                        Value::Categorical(rng.gen_range(0..labels.len() as u32))
+                    }
+                    tcrowd_tabular::ColumnType::Continuous { min, max } => {
+                        Value::Continuous(rng.gen_range(*min..*max))
+                    }
+                },
+            })
+            .collect();
+        t.submit(&spam).unwrap();
+        // Drive refits until the hysteresis machine walks the spammer down
+        // to Quarantined (Trusted → Suspect → Quarantined needs ≥2 refits).
+        for _ in 0..4 {
+            t.refresh_now();
+        }
+        let snap = t.snapshot();
+        let row = snap.trust.workers.iter().find(|s| s.trust.worker == WorkerId(500)).unwrap();
+        assert_eq!(
+            row.state,
+            TrustState::Quarantined,
+            "spammer score {} should pin near chance and quarantine",
+            row.trust.score
+        );
+        assert!(!row.manual, "auto decision must not be operator-pinned");
+        assert_eq!(snap.trust.excluded, vec![WorkerId(500)]);
+        // Defense: with the spammer excluded the estimates equal the fit of
+        // the honest log alone.
+        let honest = TCrowd::default_full().infer(&d.schema, &d.answers);
+        assert_eq!(snap.result.estimates(), honest.estimates());
+        // No honest worker got quarantined alongside.
+        for s in &snap.trust.workers {
+            if s.trust.worker != WorkerId(500) {
+                assert_ne!(s.state, TrustState::Quarantined, "honest {:?}", s.trust.worker);
+            }
+        }
+        t.stop_refresher();
     }
 }

@@ -198,6 +198,156 @@ fn overload_gets_429_with_retry_after_at_the_max_pending_bound() {
     server.shutdown();
 }
 
+/// Worker trust over the wire: `/stats` exposes the trust counters, the
+/// manual quarantine/release endpoints round-trip through a refresh (the
+/// quarantined worker's answers stay in the served log but leave the fit),
+/// and `GET …/workers` reports per-worker state.
+#[test]
+fn manual_quarantine_round_trips_over_the_wire() {
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", 2).expect("start server");
+    let client = Client { addr: server.addr() };
+    let create = r#"{
+        "id": "trust", "rows": 6,
+        "refit_every": 100000, "refresh_interval_ms": 60000,
+        "schema": {"columns": [
+            {"name": "kind", "type": "categorical", "labels": ["x", "y"]},
+            {"name": "size", "type": "continuous", "min": 0, "max": 10}
+        ]}
+    }"#;
+    assert_eq!(client.post("/tables", create).0, 201);
+
+    // Three mostly-agreeing honest workers follow a row-dependent pattern
+    // (worker 3 slips once, keeping the fit away from the perfect-agreement
+    // degeneracy); worker 7 contradicts the majority everywhere.
+    let mut batch = Vec::new();
+    for row in 0..6u32 {
+        for w in [1u32, 2, 3] {
+            let label = if w == 3 && row == 0 { 1 } else { row % 2 };
+            batch.push(format!(r#"{{"worker":{w},"row":{row},"col":0,"value":{label}}}"#));
+            let size = 2.0 + f64::from(row) + 0.1 * f64::from(w);
+            batch.push(format!(r#"{{"worker":{w},"row":{row},"col":1,"value":{size}}}"#));
+        }
+        batch.push(format!(r#"{{"worker":7,"row":{row},"col":0,"value":{}}}"#, 1 - row % 2));
+        batch.push(format!(r#"{{"worker":7,"row":{row},"col":1,"value":{}}}"#, (row % 2) * 9));
+    }
+    let body = format!(r#"{{"answers":[{}]}}"#, batch.join(","));
+    let (status, r) = client.post("/tables/trust/answers", &body);
+    assert_eq!(status, 200, "{r}");
+    assert_eq!(client.post("/tables/trust/refresh", "").0, 200);
+
+    // Stats expose the trust counters with their defaults.
+    let (_, stats) = client.get("/tables/trust/stats");
+    assert_eq!(stats.get("trust_auto").unwrap().as_bool(), Some(false));
+    assert_eq!(stats.get("quarantined_workers").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("manual_quarantines").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("rate_limited_batches").unwrap().as_u64(), Some(0));
+    assert!(stats.get("trust_seq").unwrap().as_u64().is_some());
+    assert!(stats.get("suspect_workers").unwrap().as_u64().is_some());
+
+    // The per-worker report covers all three workers, all trusted.
+    let (status, report) = client.get("/tables/trust/workers");
+    assert_eq!(status, 200, "{report}");
+    let workers = report.get("workers").unwrap().as_array().unwrap();
+    assert_eq!(workers.len(), 4);
+    for w in workers {
+        assert_eq!(w.get("state").unwrap().as_str(), Some("trusted"));
+        assert_eq!(w.get("answers").unwrap().as_u64(), Some(12));
+        assert!(w.get("quality").unwrap().as_f64().is_some());
+    }
+
+    // Manually quarantine worker 7 and refresh: the fit excludes it, the
+    // log keeps its answers, and /workers flags it.
+    let (status, q) = client.post("/tables/trust/workers/7/quarantine", "");
+    assert_eq!(status, 200, "{q}");
+    assert_eq!(q.get("state").unwrap().as_str(), Some("quarantined"));
+    assert_eq!(client.post("/tables/trust/refresh", "").0, 200);
+    let (_, stats) = client.get("/tables/trust/stats");
+    assert_eq!(stats.get("quarantined_workers").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("manual_quarantines").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("answers").unwrap().as_u64(), Some(48), "log keeps every answer");
+    let (_, report) = client.get("/tables/trust/workers");
+    let w7 = report
+        .get("workers")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|w| w.get("worker").unwrap().as_u64() == Some(7))
+        .expect("worker 7 in report");
+    assert_eq!(w7.get("state").unwrap().as_str(), Some("quarantined"));
+    assert_eq!(w7.get("manual").unwrap().as_bool(), Some(true));
+    assert!(matches!(w7.get("quality"), Some(Json::Null)), "excluded from the fit: {w7}");
+    // The honest consensus wins every categorical cell once 7 is out.
+    let (_, truth) = client.get("/tables/trust/truth");
+    for (i, row) in truth.get("estimates").unwrap().as_array().unwrap().iter().enumerate() {
+        let want = if i % 2 == 0 { "x" } else { "y" };
+        assert_eq!(row.as_array().unwrap()[0].as_str(), Some(want), "{truth}");
+    }
+
+    // Release restores the worker; unknown workers and bad ids are 400.
+    let (status, rel) = client.post("/tables/trust/workers/7/release", "");
+    assert_eq!(status, 200, "{rel}");
+    assert_eq!(rel.get("state").unwrap().as_str(), Some("trusted"));
+    assert_eq!(client.post("/tables/trust/refresh", "").0, 200);
+    let (_, stats) = client.get("/tables/trust/stats");
+    assert_eq!(stats.get("quarantined_workers").unwrap().as_u64(), Some(0));
+    assert_eq!(client.post("/tables/trust/workers/bogus/quarantine", "").0, 400);
+    assert_eq!(client.get("/tables/nope/workers").0, 404);
+
+    registry.shutdown();
+    server.shutdown();
+}
+
+/// Per-worker rate limiting over the wire: a table with `worker_rate` set
+/// answers `429 Too Many Requests` + `Retry-After` once one worker exhausts
+/// its token bucket, without touching other workers.
+#[test]
+fn per_worker_rate_limit_gets_429_with_retry_after() {
+    let (registry, server) = tcrowd_service::start("127.0.0.1:0", 2).expect("start server");
+    let client = Client { addr: server.addr() };
+    let create = r#"{
+        "id": "limited", "rows": 4,
+        "worker_rate": 0.001, "worker_burst": 3,
+        "refit_every": 100000, "refresh_interval_ms": 60000,
+        "schema": {"columns": [
+            {"name": "kind", "type": "categorical", "labels": ["x", "y"]}
+        ]}
+    }"#;
+    let (status, created) = client.post("/tables", create);
+    assert_eq!(status, 201, "{created}");
+    let (_, stats) = client.get("/tables/limited/stats");
+    assert_eq!(stats.get("worker_rate").unwrap().as_f64(), Some(0.001));
+
+    // Worker 5 burns its burst of 3...
+    for i in 0..3 {
+        let body = format!(r#"{{"worker":5,"row":{i},"col":0,"value":0}}"#);
+        let (status, r) = client.post("/tables/limited/answers", &body);
+        assert_eq!(status, 200, "{r}");
+    }
+    // ...then gets shed with 429 + Retry-After, nothing ingested.
+    let (status, headers, r) = client.request_with_headers(
+        "POST",
+        "/tables/limited/answers",
+        Some(r#"{"worker":5,"row":3,"col":0,"value":1}"#),
+    );
+    assert_eq!(status, 429, "{r}");
+    let err = r.get("error").unwrap().as_str().unwrap();
+    assert!(err.contains("worker 5") && err.contains("rate limit"), "{r}");
+    let retry_after: u64 =
+        Client::header(&headers, "retry-after").expect("Retry-After header").parse().unwrap();
+    assert!(retry_after >= 1);
+    // Another worker is unaffected; the stats count the shed batch.
+    let (status, r) =
+        client.post("/tables/limited/answers", r#"{"worker":6,"row":0,"col":0,"value":0}"#);
+    assert_eq!(status, 200, "{r}");
+    let (_, stats) = client.get("/tables/limited/stats");
+    assert_eq!(stats.get("pending").unwrap().as_u64(), Some(4));
+    assert_eq!(stats.get("rate_limited_batches").unwrap().as_u64(), Some(1));
+
+    registry.shutdown();
+    server.shutdown();
+}
+
 /// The served estimates must be replayable offline: post a realistic answer
 /// set, refresh, download the log, and check the service's truth equals
 /// `TCrowd::infer` on the replayed log — exactly (cold re-fits make the

@@ -39,6 +39,6 @@ pub mod runner;
 pub mod stopping;
 
 pub use discovery::{DiscoveryState, EntityUniverse, ProposalOracle};
-pub use pool::{ArrivalOrder, WorkerPool, WorkerPoolConfig};
+pub use pool::{AdversaryConfig, Archetype, ArrivalOrder, WorkerPool, WorkerPoolConfig};
 pub use runner::{ExperimentConfig, InferenceBackend, RunResult, Runner, SeriesPoint};
 pub use stopping::{StoppingRule, TerminationState};

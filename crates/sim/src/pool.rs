@@ -38,6 +38,68 @@ pub enum ArrivalOrder {
     },
 }
 
+/// Behavioural archetype of a simulated worker (the adversarial extension
+/// behind `bench_trust`: spam, collusion rings and sleeper agents attacking
+/// the trust subsystem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    /// Answers through the paper's worker model (Eq. 1/3).
+    Honest,
+    /// Answers uniformly at random over the column domain — quality pins
+    /// near chance no matter how many answers are collected.
+    Spammer,
+    /// Member of a collusion ring: every member of the same ring gives the
+    /// exact same scripted (hash-derived, truth-independent) answer to any
+    /// cell, producing near-perfect pairwise agreement.
+    Colluder {
+        /// Ring index in `0..colluder_groups`.
+        group: u32,
+    },
+    /// Honest for its first `wake_after` answers to build up a reputation,
+    /// then turns into a spammer.
+    Sleeper {
+        /// Answer count after which the worker turns.
+        wake_after: u32,
+    },
+}
+
+impl Archetype {
+    /// Whether this archetype ever submits non-honest answers.
+    pub fn adversarial(&self) -> bool {
+        !matches!(self, Archetype::Honest)
+    }
+}
+
+/// Adversarial mix of the pool. All fractions default to zero — a fully
+/// honest pool whose random streams are bit-identical to a pool built
+/// before the adversary machinery existed (archetype assignment is pure
+/// arithmetic and consumes no randomness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryConfig {
+    /// Fraction of the pool answering uniformly at random.
+    pub spammer_frac: f64,
+    /// Fraction of the pool organised into collusion rings.
+    pub colluder_frac: f64,
+    /// Number of independent collusion rings the colluders split into.
+    pub colluder_groups: usize,
+    /// Fraction of the pool acting as sleeper agents.
+    pub sleeper_frac: f64,
+    /// Answers a sleeper gives honestly before turning.
+    pub sleeper_wake_after: u32,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            spammer_frac: 0.0,
+            colluder_frac: 0.0,
+            colluder_groups: 1,
+            sleeper_frac: 0.0,
+            sleeper_wake_after: 32,
+        }
+    }
+}
+
 /// Configuration of the simulated crowd.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerPoolConfig {
@@ -59,6 +121,8 @@ pub struct WorkerPoolConfig {
     pub difficulty_sigma: f64,
     /// Average cell difficulty `µ{α_i β_j}`.
     pub avg_difficulty: f64,
+    /// Adversarial mix (all-zero default: fully honest pool).
+    pub adversaries: AdversaryConfig,
 }
 
 impl Default for WorkerPoolConfig {
@@ -72,8 +136,60 @@ impl Default for WorkerPoolConfig {
             arrival: ArrivalOrder::default(),
             difficulty_sigma: 0.35,
             avg_difficulty: 1.0,
+            adversaries: AdversaryConfig::default(),
         }
     }
+}
+
+/// Deterministic archetype assignment: honest workers occupy the low ids,
+/// adversaries the tail (spammers, then colluders round-robined over their
+/// rings, then sleepers). Pure arithmetic — no randomness consumed — so a
+/// zero mix leaves every random stream untouched.
+fn assign_archetypes(cfg: &WorkerPoolConfig) -> Vec<Archetype> {
+    let adv = &cfg.adversaries;
+    for (name, f) in [
+        ("spammer_frac", adv.spammer_frac),
+        ("colluder_frac", adv.colluder_frac),
+        ("sleeper_frac", adv.sleeper_frac),
+    ] {
+        assert!(f.is_finite() && (0.0..=1.0).contains(&f), "{name} must be in [0, 1]");
+    }
+    let n = cfg.num_workers;
+    let n_spam = (adv.spammer_frac * n as f64).round() as usize;
+    let n_coll = (adv.colluder_frac * n as f64).round() as usize;
+    let n_sleep = (adv.sleeper_frac * n as f64).round() as usize;
+    assert!(
+        n_spam + n_coll + n_sleep <= n,
+        "adversary fractions sum past the pool size ({n_spam}+{n_coll}+{n_sleep} > {n})"
+    );
+    if n_coll > 0 {
+        assert!(adv.colluder_groups > 0, "colluders need at least one ring");
+    }
+    let mut kinds = vec![Archetype::Honest; n];
+    let mut at = n - n_spam - n_coll - n_sleep;
+    for _ in 0..n_spam {
+        kinds[at] = Archetype::Spammer;
+        at += 1;
+    }
+    for i in 0..n_coll {
+        kinds[at] = Archetype::Colluder { group: (i % adv.colluder_groups) as u32 };
+        at += 1;
+    }
+    for _ in 0..n_sleep {
+        kinds[at] = Archetype::Sleeper { wake_after: adv.sleeper_wake_after };
+        at += 1;
+    }
+    kinds
+}
+
+/// SplitMix64 — the colluders' shared script generator: one hash per
+/// (seed, ring, cell), identical for every ring member, independent of
+/// the truth and of any RNG stream.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The simulated crowd bound to one table's ground truth.
@@ -99,6 +215,13 @@ pub struct WorkerPool {
     round_pos: usize,
     /// Cumulative participation distribution (Zipf arrivals only).
     zipf_cdf: Vec<f64>,
+    /// Behavioural archetype per worker (simulation ground truth for
+    /// detection precision/recall).
+    archetypes: Vec<Archetype>,
+    /// Answers given so far per worker (drives sleeper wake-up).
+    answers_given: Vec<u32>,
+    /// Seed of the colluders' shared answer script.
+    script_seed: u64,
 }
 
 impl WorkerPool {
@@ -164,6 +287,9 @@ impl WorkerPool {
                 }
                 _ => Vec::new(),
             },
+            archetypes: assign_archetypes(&cfg),
+            answers_given: vec![0; cfg.num_workers],
+            script_seed: seed ^ 0x5C21_97ED,
         }
     }
 
@@ -232,8 +358,32 @@ impl WorkerPool {
         factor
     }
 
-    /// The worker answers a cell (the external-HIT round trip).
+    /// The worker answers a cell (the external-HIT round trip), through its
+    /// archetype's behaviour.
     pub fn answer(&mut self, worker: WorkerId, cell: CellId) -> Value {
+        let given = self.answers_given[worker.0 as usize];
+        self.answers_given[worker.0 as usize] += 1;
+        match self.archetypes[worker.0 as usize] {
+            Archetype::Honest => self.honest_answer(worker, cell),
+            Archetype::Spammer => self.random_answer(cell),
+            Archetype::Colluder { group } => self.scripted_answer(group, cell),
+            Archetype::Sleeper { wake_after } => {
+                if given < wake_after {
+                    self.honest_answer(worker, cell)
+                } else {
+                    self.random_answer(cell)
+                }
+            }
+        }
+    }
+
+    /// Behavioural archetype of a worker (simulation ground truth, used by
+    /// `bench_trust` to score detection precision/recall).
+    pub fn archetype(&self, worker: WorkerId) -> Archetype {
+        self.archetypes[worker.0 as usize]
+    }
+
+    fn honest_answer(&mut self, worker: WorkerId, cell: CellId) -> Value {
         let phi = self.phis[worker.0 as usize];
         let fam = self.familiarity(worker, cell.row);
         let variance = self.alpha[cell.row as usize] * self.beta[cell.col as usize] * phi * fam;
@@ -244,6 +394,38 @@ impl WorkerPool {
             variance,
             self.cfg.epsilon,
         )
+    }
+
+    /// Uniform over the column domain, independent of the truth.
+    fn random_answer(&mut self, cell: CellId) -> Value {
+        let domain = match self.schema.column_type(cell.col as usize) {
+            ColumnType::Categorical { labels } => Err(labels.len() as u32),
+            ColumnType::Continuous { min, max } => Ok((*min, *max)),
+        };
+        match domain {
+            Err(k) => Value::Categorical(self.answer_rng.gen_range(0..k)),
+            Ok((min, max)) => Value::Continuous(self.answer_rng.gen_range(min..max)),
+        }
+    }
+
+    /// The ring's shared script: one hash-derived value per (seed, ring,
+    /// cell), identical for every member and independent of the truth.
+    fn scripted_answer(&self, group: u32, cell: CellId) -> Value {
+        let h = splitmix64(
+            self.script_seed
+                ^ (u64::from(group) << 48)
+                ^ (u64::from(cell.row) << 20)
+                ^ u64::from(cell.col),
+        );
+        match self.schema.column_type(cell.col as usize) {
+            ColumnType::Categorical { labels } => {
+                Value::Categorical((h % labels.len() as u64) as u32)
+            }
+            ColumnType::Continuous { min, max } => {
+                let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+                Value::Continuous(min + (max - min) * unit)
+            }
+        }
     }
 
     /// The table's schema.
@@ -370,6 +552,125 @@ mod tests {
         assert_eq!(before, after);
         assert!(before.iter().any(|f| *f > 1.0), "some rows unfamiliar");
         assert!(before.contains(&1.0), "some rows familiar");
+    }
+
+    #[test]
+    fn zero_adversary_mix_is_fully_honest_and_stream_identical() {
+        let d = table(6);
+        let base = WorkerPoolConfig { num_workers: 10, ..Default::default() };
+        let explicit = WorkerPoolConfig {
+            adversaries: AdversaryConfig {
+                spammer_frac: 0.0,
+                colluder_frac: 0.0,
+                sleeper_frac: 0.0,
+                ..Default::default()
+            },
+            ..base
+        };
+        let mut a = WorkerPool::new(&d.schema, &d.truth, base, 7);
+        let mut b = WorkerPool::new(&d.schema, &d.truth, explicit, 7);
+        for w in 0..10u32 {
+            assert_eq!(a.archetype(WorkerId(w)), Archetype::Honest);
+        }
+        for i in 0..60u32 {
+            let wa = a.next_worker();
+            assert_eq!(wa, b.next_worker());
+            let c = CellId::new(i % d.rows() as u32, i % d.cols() as u32);
+            assert_eq!(a.answer(wa, c), b.answer(wa, c), "streams must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn adversarial_archetypes_behave_to_spec() {
+        let d = table(7);
+        let cfg = WorkerPoolConfig {
+            num_workers: 20,
+            familiarity: None,
+            adversaries: AdversaryConfig {
+                spammer_frac: 0.25,
+                colluder_frac: 0.2,
+                colluder_groups: 2,
+                sleeper_frac: 0.1,
+                sleeper_wake_after: 3,
+            },
+            ..Default::default()
+        };
+        let mut pool = WorkerPool::new(&d.schema, &d.truth, cfg, 21);
+        // Deterministic tail layout: 9 honest, 5 spammers, 4 colluders over
+        // 2 rings, 2 sleepers.
+        let kinds: Vec<Archetype> =
+            (0..20u32).map(|w| pool.archetype(WorkerId(w))).collect();
+        assert_eq!(kinds.iter().filter(|a| **a == Archetype::Honest).count(), 9);
+        assert_eq!(kinds.iter().filter(|a| **a == Archetype::Spammer).count(), 5);
+        assert_eq!(
+            kinds.iter().filter(|a| matches!(a, Archetype::Colluder { .. })).count(),
+            4
+        );
+        assert_eq!(
+            kinds.iter().filter(|a| matches!(a, Archetype::Sleeper { .. })).count(),
+            2
+        );
+        assert!(kinds[..9].iter().all(|a| !a.adversarial()), "honest workers keep the low ids");
+
+        // Ring members give the exact same answer to the same cell; distinct
+        // rings disagree somewhere.
+        let rings: Vec<(u32, u32)> = (0..20u32)
+            .filter_map(|w| match pool.archetype(WorkerId(w)) {
+                Archetype::Colluder { group } => Some((w, group)),
+                _ => None,
+            })
+            .collect();
+        let (same_a, same_b) = (rings[0], rings[2]);
+        assert_eq!(same_a.1, same_b.1, "round-robin ring assignment");
+        let other = rings.iter().find(|(_, g)| *g != same_a.1).unwrap();
+        let mut cross_ring_diff = false;
+        for i in 0..d.rows() as u32 {
+            for j in 0..d.cols() as u32 {
+                let c = CellId::new(i, j);
+                let va = pool.answer(WorkerId(same_a.0), c);
+                let vb = pool.answer(WorkerId(same_b.0), c);
+                assert_eq!(va, vb, "same ring, same script");
+                if pool.answer(WorkerId(other.0), c) != va {
+                    cross_ring_diff = true;
+                }
+            }
+        }
+        assert!(cross_ring_diff, "different rings follow different scripts");
+
+        // A sleeper answers honestly (= truth-correlated) before its wake
+        // count, then spams: compare its pre/post answers on an easy
+        // categorical column against the truth.
+        let sleeper = (0..20u32)
+            .find(|w| matches!(pool.archetype(WorkerId(*w)), Archetype::Sleeper { .. }))
+            .unwrap();
+        let col = d.schema.categorical_columns()[0] as u32;
+        let first: Vec<Value> =
+            (0..3u32).map(|i| pool.answer(WorkerId(sleeper), CellId::new(i % 3, col))).collect();
+        // After 3 answers the sleeper is awake; its answers now come from the
+        // uniform stream — verify over many draws they hit multiple labels
+        // on a cell the honest model answers consistently.
+        let mut labels_seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            match pool.answer(WorkerId(sleeper), CellId::new(0, col)) {
+                Value::Categorical(l) => labels_seen.insert(l),
+                Value::Continuous(_) => unreachable!("categorical column"),
+            };
+        }
+        assert!(labels_seen.len() > 1, "awake sleeper spams uniformly: {labels_seen:?}");
+        assert_eq!(first.len(), 3);
+
+        // Determinism with a full adversarial mix.
+        let mut p2 = WorkerPool::new(&d.schema, &d.truth, cfg, 21);
+        let mut replay = Vec::new();
+        for i in 0..30u32 {
+            let w = p2.next_worker();
+            replay.push((w, p2.answer(w, CellId::new(i % d.rows() as u32, 0))));
+        }
+        let mut p3 = WorkerPool::new(&d.schema, &d.truth, cfg, 21);
+        for (i, (w, v)) in replay.iter().enumerate() {
+            assert_eq!(*w, p3.next_worker());
+            assert_eq!(*v, p3.answer(*w, CellId::new(i as u32 % d.rows() as u32, 0)));
+        }
     }
 
     #[test]

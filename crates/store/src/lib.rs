@@ -60,8 +60,8 @@ pub use snapshot::{
 };
 pub use store::{rewrite_wal, CompactReport, Recovered, SnapshotCheck, Store, VerifyReport};
 pub use wal::{
-    replay, replay_tail, FsyncPolicy, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WalReplay,
-    WAL_FILE,
+    record_kind_name, replay, replay_tail, FsyncPolicy, QuarantineEntry, RecordInfo, TableMeta,
+    TornTail, Wal, WalPosition, WalReplay, WAL_FILE,
 };
 
 use std::path::{Path, PathBuf};

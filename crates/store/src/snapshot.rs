@@ -28,13 +28,22 @@
 //! ## File formats
 //!
 //! ```text
-//! snapshot.snap      magic "TCSNAP01" ++ len: u64LE ++ crc: u32LE ++ payload
+//! snapshot.snap      magic "TCSNAP02" ++ len: u64LE ++ crc: u32LE ++ payload
 //!                    payload = epoch u64 ++ wal_offset u64 ++ TableMeta
-//!                              ++ log (io::binary) ++ fit?
-//! snapshot.delta.N   magic "TCSNPD01" ++ len: u64LE ++ crc: u32LE ++ payload
+//!                              ++ log (io::binary) ++ fit? ++ quarantine
+//! snapshot.delta.N   magic "TCSNPD02" ++ len: u64LE ++ crc: u32LE ++ payload
 //!                    payload = seq u64 ++ parent_epoch u64 ++ epoch u64
 //!                              ++ wal_offset u64 ++ answers ++ fit?
+//!                              ++ quarantine
 //! ```
+//!
+//! `quarantine` is the complete quarantined-worker set at the file's epoch
+//! (same codec as the WAL's Quarantine record); a delta's set supersedes the
+//! chain's, mirroring the WAL's last-record-wins semantics. It must live in
+//! the snapshot because snapshot-assisted recovery replays only the WAL
+//! *tail* — a Quarantine record before `wal_offset` would otherwise be
+//! skipped. Version-01 files (pre-quarantine) fail the magic check and take
+//! the corrupt-base path: a full WAL replay, which is always correct.
 //!
 //! A delta is *chained*: it applies only when its `parent_epoch` equals the
 //! epoch reached by the chain so far, and its `wal_offset` supersedes the
@@ -44,7 +53,7 @@
 
 use crate::crc::crc32;
 use crate::io::{real_io, IoHandle};
-use crate::wal::{sync_dir, TableMeta};
+use crate::wal::{sync_dir, QuarantineEntry, TableMeta};
 use crate::StoreError;
 use std::fs::{self, File, OpenOptions};
 use std::io::Read;
@@ -59,8 +68,8 @@ pub const SNAPSHOT_FILE: &str = "snapshot.snap";
 pub const DELTA_PREFIX: &str = "snapshot.delta.";
 const TMP_FILE: &str = "snapshot.snap.tmp";
 const DELTA_TMP_FILE: &str = "snapshot.delta.tmp";
-const MAGIC: &[u8; 8] = b"TCSNAP01";
-const DELTA_MAGIC: &[u8; 8] = b"TCSNPD01";
+const MAGIC: &[u8; 8] = b"TCSNAP02";
+const DELTA_MAGIC: &[u8; 8] = b"TCSNPD02";
 /// Header: magic + u64 payload length + u32 CRC.
 const HEADER: usize = 8 + 8 + 4;
 
@@ -80,6 +89,10 @@ pub struct TableSnapshot {
     pub log: AnswerLog,
     /// The published fit's warm-start seed, when one existed.
     pub fit: Option<FitParams>,
+    /// The complete quarantined-worker set at `epoch` (sorted by worker).
+    /// Carried here because tail replay would miss Quarantine records
+    /// before `wal_offset`.
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 fn put_f64_lane(buf: &mut Vec<u8>, lane: &[f64]) {
@@ -160,6 +173,7 @@ fn encode(snap: &TableSnapshot) -> Vec<u8> {
             put_fit(&mut payload, fit);
         }
     }
+    crate::wal::encode_quarantine(&mut payload, &snap.quarantine);
     let mut out = Vec::with_capacity(HEADER + payload.len());
     out.extend_from_slice(MAGIC);
     binary::put_u64(&mut out, payload.len() as u64);
@@ -200,7 +214,8 @@ fn decode(path: &Path, bytes: &[u8]) -> Result<TableSnapshot, StoreError> {
                 })
             }
         };
-        Ok(TableSnapshot { epoch, wal_offset, meta, log, fit })
+        let quarantine = crate::wal::decode_quarantine(&mut c)?;
+        Ok(TableSnapshot { epoch, wal_offset, meta, log, fit, quarantine })
     })();
     let snap = inner.map_err(|e| corrupt(HEADER + e.at, e.message))?;
     if !c.is_empty() {
@@ -245,6 +260,9 @@ pub struct SnapshotDelta {
     pub answers: Vec<Answer>,
     /// The fit published at `epoch` (supersedes the chain tip's fit).
     pub fit: Option<FitParams>,
+    /// The complete quarantined-worker set at `epoch` (supersedes the chain
+    /// tip's set — last link wins, like the WAL's Quarantine records).
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 /// What a chain read found, beyond the combined [`TableSnapshot`]: the
@@ -290,6 +308,7 @@ fn encode_delta(delta: &SnapshotDelta) -> Vec<u8> {
             put_fit(&mut payload, fit);
         }
     }
+    crate::wal::encode_quarantine(&mut payload, &delta.quarantine);
     let mut out = Vec::with_capacity(HEADER + payload.len());
     out.extend_from_slice(DELTA_MAGIC);
     binary::put_u64(&mut out, payload.len() as u64);
@@ -329,7 +348,8 @@ fn decode_delta(path: &Path, bytes: &[u8]) -> Result<SnapshotDelta, StoreError> 
                 })
             }
         };
-        Ok(SnapshotDelta { seq, parent_epoch, epoch, wal_offset, answers, fit })
+        let quarantine = crate::wal::decode_quarantine(&mut c)?;
+        Ok(SnapshotDelta { seq, parent_epoch, epoch, wal_offset, answers, fit, quarantine })
     })();
     let delta = inner.map_err(|e| corrupt(HEADER + e.at, e.message))?;
     if !c.is_empty() {
@@ -502,6 +522,7 @@ pub fn read_snapshot_chain(dir: &Path) -> Result<Option<(TableSnapshot, ChainInf
         if delta.fit.is_some() {
             snap.fit = delta.fit;
         }
+        snap.quarantine = delta.quarantine;
         info.links += 1;
         info.tip_seq = seq;
         info.chain_answers += delta.answers.len() as u64;
@@ -588,6 +609,10 @@ mod tests {
                 phi: vec![0.2, 0.4],
                 renorm_shift: (0.01, -0.02),
             }),
+            quarantine: vec![
+                QuarantineEntry { worker: WorkerId(5), manual: true },
+                QuarantineEntry { worker: WorkerId(7), manual: false },
+            ],
         }
     }
 
@@ -665,6 +690,10 @@ mod tests {
                     wal_offset: 1000 + i as u64,
                     answers: vec![a],
                     fit: base.fit.clone(),
+                    quarantine: vec![QuarantineEntry {
+                        worker: WorkerId(100 + i),
+                        manual: false,
+                    }],
                 },
             )
             .unwrap();
@@ -688,6 +717,8 @@ mod tests {
         assert!(info.broken.is_none());
         assert_eq!(&snap.log.all()[sample().epoch as usize..], appended.as_slice());
         assert_eq!(snap.log.all()[..sample().epoch as usize], *sample().log.all());
+        // The tip delta's quarantine set supersedes the base's.
+        assert_eq!(snap.quarantine, vec![QuarantineEntry { worker: WorkerId(102), manual: false }]);
         // The convenience reader returns the same combined snapshot.
         assert_eq!(read_snapshot(&dir).unwrap().unwrap(), snap);
         std::fs::remove_dir_all(&dir).ok();
@@ -752,6 +783,7 @@ mod tests {
                 wal_offset: 999,
                 answers: vec![delta_answer(0)],
                 fit: None,
+                quarantine: Vec::new(),
             },
         )
         .unwrap();

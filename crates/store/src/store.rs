@@ -12,7 +12,10 @@
 
 use crate::io::{real_io, IoHandle};
 use crate::snapshot::{self, ChainInfo, TableSnapshot};
-use crate::wal::{self, FsyncPolicy, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WAL_FILE};
+use crate::wal::{
+    self, FsyncPolicy, QuarantineEntry, RecordInfo, TableMeta, TornTail, Wal, WalPosition,
+    WAL_FILE,
+};
 use crate::StoreError;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -41,6 +44,10 @@ pub struct Recovered {
     pub log: AnswerLog,
     /// The persisted warm-start seed, when a snapshot carried one.
     pub fit: Option<FitParams>,
+    /// The quarantined-worker set in force at the recovered position: the
+    /// latest WAL Quarantine record, falling back to the snapshot's set when
+    /// the replayed tail carried none.
+    pub quarantine: Vec<QuarantineEntry>,
     /// Epoch of the snapshot chain that accelerated recovery (`None` = full
     /// replay).
     pub snapshot_epoch: Option<u64>,
@@ -111,6 +118,11 @@ pub struct VerifyReport {
     pub deleted: bool,
     /// Torn tail, if the file extends past the valid prefix.
     pub torn: Option<TornTail>,
+    /// Quarantine records in the valid WAL prefix.
+    pub quarantine_records: usize,
+    /// Workers in the effective quarantined set (latest WAL record, or the
+    /// snapshot's set when the snapshot is ahead of the WAL).
+    pub quarantined: usize,
     /// Snapshot consistency (absent when no snapshot exists).
     pub snapshot: Option<SnapshotCheck>,
     /// Hard failures (empty = the table recovers cleanly). A torn tail is
@@ -237,12 +249,13 @@ impl Store {
             }
         }
 
-        let (meta, log, fit, snapshot_epoch, chain, replayed_tail, valid_len, torn, deleted);
+        let (meta, log, fit, quarantine, snapshot_epoch, chain, replayed_tail, valid_len, torn, deleted);
         match snap {
             Some((s, info)) if s.wal_offset <= file_len => {
                 // Fast path: resume decoding at the snapshot's offset; the
                 // snapshot's log (shape-validated at decode) absorbs the
-                // tail.
+                // tail. A Quarantine record in the tail supersedes the
+                // snapshot's set (records are full replacements).
                 let tail = tail_replay.take().expect("tail probed above");
                 snapshot_epoch = Some(s.epoch);
                 chain = Some(info);
@@ -252,6 +265,7 @@ impl Store {
                 deleted = tail.deleted;
                 meta = s.meta;
                 fit = s.fit;
+                quarantine = tail.quarantine.unwrap_or(s.quarantine);
                 let mut all = s.log;
                 push_validated(&mut all, &meta, &wal_path, tail.answers)?;
                 log = all;
@@ -279,7 +293,7 @@ impl Store {
                 // rebuilding from epoch `s.epoch` and destroying any answers
                 // acknowledged in between.
                 snapshot::remove_snapshot(&dir)?;
-                let pos = rewrite_wal(&dir, &s.meta, s.log.all(), &self.io)?;
+                let pos = rewrite_wal(&dir, &s.meta, s.log.all(), &s.quarantine, &self.io)?;
                 snapshot::write_snapshot_with_io(
                     &dir,
                     &TableSnapshot {
@@ -288,6 +302,7 @@ impl Store {
                         meta: s.meta.clone(),
                         log: s.log.clone(),
                         fit: s.fit.clone(),
+                        quarantine: s.quarantine.clone(),
                     },
                     &self.io,
                 )?;
@@ -304,6 +319,7 @@ impl Store {
                 deleted = false;
                 meta = s.meta;
                 fit = s.fit;
+                quarantine = s.quarantine;
                 log = s.log;
             }
             None => {
@@ -328,6 +344,7 @@ impl Store {
                 torn = full.torn;
                 deleted = full.deleted;
                 fit = None;
+                quarantine = full.quarantine.unwrap_or_default();
                 let mut built = AnswerLog::new(meta.rows, meta.schema.num_columns());
                 push_validated(&mut built, &meta, &wal_path, full.answers)?;
                 log = built;
@@ -356,6 +373,7 @@ impl Store {
             meta,
             log,
             fit: if deleted { None } else { fit },
+            quarantine: if deleted { Vec::new() } else { quarantine },
             snapshot_epoch,
             chain: if deleted { None } else { chain },
             replayed_tail,
@@ -428,18 +446,20 @@ impl Store {
         }
         let snap = snapshot::read_snapshot(&dir).unwrap_or(None);
         // Prefer the longer source, exactly as recovery would (a snapshot
-        // ahead of the WAL is the fsync=never loss case).
-        let (log, fit) = match snap {
-            Some(s) if s.epoch > full.answers.len() as u64 => (s.log, s.fit),
+        // ahead of the WAL is the fsync=never loss case). The quarantine set
+        // follows the same choice: the WAL's latest record when the WAL is
+        // the source, the snapshot's set otherwise.
+        let (log, fit, quarantine) = match snap {
+            Some(s) if s.epoch > full.answers.len() as u64 => (s.log, s.fit, s.quarantine),
             snap => {
                 let mut log = AnswerLog::new(meta.rows, meta.schema.num_columns());
                 push_validated(&mut log, &meta, &wal_path, full.answers)?;
-                (log, snap.and_then(|s| s.fit))
+                (log, snap.and_then(|s| s.fit), full.quarantine.clone().unwrap_or_default())
             }
         };
 
         snapshot::remove_snapshot(&dir)?;
-        let pos = rewrite_wal(&dir, &meta, log.all(), &self.io)?;
+        let pos = rewrite_wal(&dir, &meta, log.all(), &quarantine, &self.io)?;
         snapshot::write_snapshot_with_io(
             &dir,
             &TableSnapshot {
@@ -448,6 +468,7 @@ impl Store {
                 meta: meta.clone(),
                 log: log.clone(),
                 fit: fit.clone(),
+                quarantine: quarantine.clone(),
             },
             &self.io,
         )?;
@@ -455,7 +476,7 @@ impl Store {
             wal_bytes_before: full.valid_len,
             wal_bytes_after: pos.offset,
             records_before: full.records.len(),
-            records_after: 1 + log.len().div_ceil(REWRITE_CHUNK),
+            records_after: 1 + log.len().div_ceil(REWRITE_CHUNK) + usize::from(!quarantine.is_empty()),
             answers: log.len() as u64,
             fit_preserved: fit.is_some(),
         })
@@ -519,6 +540,24 @@ impl Store {
                         ));
                         consistent = false;
                     }
+                    // The quarantine set recovery would adopt (tail record,
+                    // else the snapshot's set) must agree with what a full
+                    // replay sees — a disagreement means the snapshot and
+                    // WAL tell different stories about who is excluded.
+                    if s.wal_offset <= wal_bytes {
+                        if let Ok(tail) = wal::replay_tail(&wal_path, s.wal_offset) {
+                            let recovered =
+                                tail.quarantine.unwrap_or_else(|| s.quarantine.clone());
+                            if recovered != full.quarantine.clone().unwrap_or_default() {
+                                errors.push(format!(
+                                    "snapshot quarantine set ({} workers) disagrees with the \
+                                     WAL's latest quarantine record",
+                                    s.quarantine.len()
+                                ));
+                                consistent = false;
+                            }
+                        }
+                    }
                     // Every chain element — the base and each applied delta —
                     // must point at a real record boundary for its epoch,
                     // otherwise a recovery landing on that element would fall
@@ -546,6 +585,19 @@ impl Store {
                 })
             }
         };
+        let quarantine_records =
+            full.records.iter().filter(|r| wal::record_kind_name(r.kind) == "quarantine").count();
+        let quarantined = match (&full.quarantine, &snapshot) {
+            // Snapshot ahead of the WAL: its set is what recovery adopts.
+            (None, Some(c)) if c.epoch > full.answers.len() as u64 => {
+                snapshot::read_snapshot(&dir)
+                    .ok()
+                    .flatten()
+                    .map(|s| s.quarantine.len())
+                    .unwrap_or(0)
+            }
+            (q, _) => q.as_ref().map(|q| q.len()).unwrap_or(0),
+        };
         Ok(VerifyReport {
             id: id.to_string(),
             wal_bytes,
@@ -553,6 +605,8 @@ impl Store {
             answers: full.answers.len() as u64,
             deleted: full.deleted,
             torn: full.torn,
+            quarantine_records,
+            quarantined,
             snapshot,
             errors,
         })
@@ -565,15 +619,17 @@ impl Store {
 /// record would make the rewritten WAL read back as corrupt.
 const REWRITE_CHUNK: usize = 1 << 20;
 
-/// Replace `dir`'s WAL with a freshly-written `Create + chunked Appends`
-/// sequence holding `answers`, atomically (tmp + rename + dir sync).
-/// Public so the service's degraded-WAL repair path can rebuild a poisoned
-/// log from the in-memory answer set (which, by WAL-before-ack, is exactly
-/// the acknowledged prefix).
+/// Replace `dir`'s WAL with a freshly-written `Create + chunked Appends
+/// (+ Quarantine)` sequence holding `answers` and the current quarantined
+/// set, atomically (tmp + rename + dir sync). Public so the service's
+/// degraded-WAL repair path can rebuild a poisoned log from the in-memory
+/// answer set (which, by WAL-before-ack, is exactly the acknowledged
+/// prefix).
 pub fn rewrite_wal(
     dir: &Path,
     meta: &TableMeta,
     answers: &[Answer],
+    quarantine: &[QuarantineEntry],
     io: &IoHandle,
 ) -> Result<WalPosition, StoreError> {
     let tmp_dir = dir.join("wal.rewrite.tmp");
@@ -581,6 +637,9 @@ pub fn rewrite_wal(
     let mut wal = Wal::create_with_io(&tmp_dir, meta, FsyncPolicy::Always, io.clone())?;
     for chunk in answers.chunks(REWRITE_CHUNK) {
         wal.append_answers(chunk)?;
+    }
+    if !quarantine.is_empty() {
+        wal.append_quarantine(quarantine)?;
     }
     wal.sync()?;
     let pos = wal.position();

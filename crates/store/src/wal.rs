@@ -10,7 +10,7 @@
 //! payload = kind: u8 ++ body   (tcrowd_tabular::io::binary codec)
 //! ```
 //!
-//! `crc` is the CRC-32 of the payload. Three record kinds exist:
+//! `crc` is the CRC-32 of the payload. Four record kinds exist:
 //!
 //! * **Create** (`kind 1`) — the table's birth certificate: shape, schema
 //!   and service configuration. Always the first record of a WAL.
@@ -22,6 +22,13 @@
 //!   removed after the tombstone commits; recovery that finds the tombstone
 //!   (crash between the two steps) finishes the cleanup instead of
 //!   resurrecting the table.
+//! * **Quarantine** (`kind 4`) — the complete quarantined-worker set at a
+//!   point in the log, with a manual/automatic flag per worker. Records are
+//!   *full replacements* (the last one wins), so replay is idempotent and a
+//!   record torn off the tail loses only the newest decision, never corrupts
+//!   the set. Quarantine excludes a worker from truth inference; it never
+//!   touches the answers themselves, which is why it is a separate record
+//!   kind and not a rewrite of Append history.
 //!
 //! ## Torn tails
 //!
@@ -41,7 +48,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use tcrowd_tabular::io::binary::{self, Cursor};
-use tcrowd_tabular::{Answer, Schema};
+use tcrowd_tabular::{Answer, Schema, WorkerId};
 
 /// File name of the per-table WAL inside its table directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -55,6 +62,62 @@ const MAX_RECORD: u32 = 1 << 30;
 const KIND_CREATE: u8 = 1;
 const KIND_APPEND: u8 = 2;
 const KIND_DELETE: u8 = 3;
+const KIND_QUARANTINE: u8 = 4;
+
+/// Human-readable name of a record kind byte (for `inspect`/`verify`).
+pub fn record_kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_CREATE => "create",
+        KIND_APPEND => "append",
+        KIND_DELETE => "delete",
+        KIND_QUARANTINE => "quarantine",
+        _ => "unknown",
+    }
+}
+
+/// One quarantined worker in a Quarantine record (and in snapshots):
+/// who, and whether an operator pinned the decision by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QuarantineEntry {
+    /// The quarantined worker.
+    pub worker: WorkerId,
+    /// `true` when the quarantine was imposed via the manual endpoint —
+    /// manual decisions are never auto-released by the trust scorer.
+    pub manual: bool,
+}
+
+/// Encode a quarantined-worker set (shared between WAL records and
+/// snapshots): `count: u32 ++ (worker: u32 ++ flags: u8)*`, flag bit 0 =
+/// manual.
+pub(crate) fn encode_quarantine(buf: &mut Vec<u8>, entries: &[QuarantineEntry]) {
+    binary::put_u32(buf, entries.len() as u32);
+    for e in entries {
+        binary::put_u32(buf, e.worker.0);
+        buf.push(e.manual as u8);
+    }
+}
+
+/// Decode a quarantined-worker set (see [`encode_quarantine`]). Rejects
+/// unknown flag bits so a future format change fails loudly instead of
+/// being silently misread.
+pub(crate) fn decode_quarantine(
+    c: &mut Cursor<'_>,
+) -> Result<Vec<QuarantineEntry>, binary::CodecError> {
+    let n = c.u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let worker = WorkerId(c.u32()?);
+        let flags = c.u8()?;
+        if flags > 1 {
+            return Err(binary::CodecError {
+                at: c.position(),
+                message: format!("unknown quarantine flags 0b{flags:b}"),
+            });
+        }
+        entries.push(QuarantineEntry { worker, manual: flags & 1 == 1 });
+    }
+    Ok(entries)
+}
 
 /// When the WAL pushes bytes toward the platters.
 ///
@@ -408,6 +471,31 @@ impl Wal {
         Ok(self.position())
     }
 
+    /// Append a Quarantine record carrying the **complete** quarantined
+    /// worker set (`entries` need not be sorted; the record is normalised).
+    /// Always flushed and fsynced regardless of policy: a quarantine is a
+    /// safety decision — losing it to a buffered crash would re-admit a
+    /// known-bad worker's answers to truth inference after recovery.
+    pub fn append_quarantine(
+        &mut self,
+        entries: &[QuarantineEntry],
+    ) -> Result<WalPosition, StoreError> {
+        self.check_poisoned()?;
+        let mut sorted = entries.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup_by_key(|e| e.worker);
+        let mut payload = vec![KIND_QUARANTINE];
+        encode_quarantine(&mut payload, &sorted);
+        let bytes = frame(&payload);
+        self.buf.extend_from_slice(&bytes);
+        self.guarded(|w| {
+            w.write_buf()?;
+            w.io.sync_data(&w.path, &w.file)
+        })?;
+        self.offset += bytes.len() as u64;
+        Ok(self.position())
+    }
+
     /// Append the deletion tombstone. Tombstones are always flushed and
     /// fsynced — a table must not resurrect because its deletion was sitting
     /// in a buffer.
@@ -534,6 +622,11 @@ pub struct WalReplay {
     pub records: Vec<RecordInfo>,
     /// Whether a deletion tombstone was found.
     pub deleted: bool,
+    /// The latest quarantined-worker set in the valid prefix (`None` when no
+    /// Quarantine record was seen — for a tail replay that means "whatever
+    /// the snapshot said still stands", which is why this is not an empty
+    /// `Vec`).
+    pub quarantine: Option<Vec<QuarantineEntry>>,
     /// Byte length of the valid prefix (absolute, even for tail replays).
     pub valid_len: u64,
     /// Present when the file extends past the valid prefix.
@@ -576,6 +669,7 @@ fn decode_records(bytes: &[u8], base_offset: u64, expect_create: bool) -> WalRep
         answers: Vec::new(),
         records: Vec::new(),
         deleted: false,
+        quarantine: None,
         valid_len: base_offset,
         torn: None,
     };
@@ -651,6 +745,23 @@ fn decode_records(bytes: &[u8], base_offset: u64, expect_create: bool) -> WalRep
                 } else {
                     out.deleted = true;
                     None
+                }
+            }
+            KIND_QUARANTINE => {
+                if expect_create && is_first {
+                    Some("first record is not a create record".to_string())
+                } else if out.deleted {
+                    Some("quarantine after deletion tombstone".to_string())
+                } else {
+                    match decode_quarantine(&mut c) {
+                        // Full-replacement semantics: the last record wins.
+                        Ok(entries) if c.is_empty() => {
+                            out.quarantine = Some(entries);
+                            None
+                        }
+                        Ok(_) => Some("trailing bytes after quarantine record".into()),
+                        Err(e) => Some(format!("undecodable quarantine record: {e}")),
+                    }
                 }
             }
             other => Some(format!("unknown record kind {other}")),
@@ -797,6 +908,46 @@ mod tests {
         assert!(r.torn.is_none());
         // Reopening at a stale position is rejected.
         assert!(Wal::open_for_append(dir.join(WAL_FILE), pos, FsyncPolicy::Flush).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_records_replace_and_survive_replay() {
+        let dir = tmp("quarantine");
+        let m = meta();
+        let mut wal = Wal::create(&dir, &m, FsyncPolicy::Flush).unwrap();
+        wal.append_answers(&(0..4).map(answer).collect::<Vec<_>>()).unwrap();
+        let q1 = vec![
+            QuarantineEntry { worker: WorkerId(3), manual: false },
+            QuarantineEntry { worker: WorkerId(1), manual: true },
+        ];
+        wal.append_quarantine(&q1).unwrap();
+        wal.append_answers(&(4..6).map(answer).collect::<Vec<_>>()).unwrap();
+        // A later record replaces the whole set.
+        let q2 = vec![QuarantineEntry { worker: WorkerId(1), manual: true }];
+        let p_before_last = wal.position();
+        wal.append_quarantine(&q2).unwrap();
+        drop(wal);
+        let r = replay(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(r.answers.len(), 6, "quarantine records carry no answers");
+        assert_eq!(r.quarantine, Some(q2.clone()), "last record wins");
+        assert!(r.torn.is_none());
+        // Entries come back sorted by worker regardless of append order.
+        let tail = replay_tail(&dir.join(WAL_FILE), 0).is_ok();
+        assert!(tail);
+        let head = replay_tail(&dir.join(WAL_FILE), p_before_last.offset).unwrap();
+        assert_eq!(head.quarantine, Some(q2));
+        // A tail that saw no quarantine record reports None, not empty.
+        let full = replay(&dir.join(WAL_FILE)).unwrap();
+        let first_q = full.records.iter().find(|rec| rec.kind == KIND_QUARANTINE).unwrap();
+        let no_q_tail = replay_tail(&dir.join(WAL_FILE), first_q.end_offset).unwrap();
+        assert_eq!(no_q_tail.answers.len(), 2);
+        // The second quarantine record is after this offset, so it IS seen;
+        // cut the file right before it to get a quarantine-free tail.
+        let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        std::fs::write(dir.join(WAL_FILE), &bytes[..p_before_last.offset as usize]).unwrap();
+        let cut_tail = replay_tail(&dir.join(WAL_FILE), first_q.end_offset).unwrap();
+        assert_eq!(cut_tail.quarantine, None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -132,6 +132,7 @@ fn snapshot_assisted_recovery_replays_only_the_tail() {
             meta: meta(),
             log: log_of(&answers[..pos.answers as usize]),
             fit: None,
+            quarantine: Vec::new(),
         },
     )
     .unwrap();
@@ -225,6 +226,7 @@ fn wal_rebuild_from_snapshot_refreshes_the_snapshot_so_later_appends_survive() {
             meta: meta(),
             log: log_of(&answers[..30]),
             fit: None,
+            quarantine: Vec::new(),
         },
     )
     .unwrap();
@@ -303,6 +305,7 @@ fn half_deleted_directory_with_surviving_snapshot_boots_instead_of_bricking() {
             meta: meta(),
             log: log_of(&answers),
             fit: None,
+            quarantine: Vec::new(),
         },
     )
     .unwrap();
@@ -392,6 +395,71 @@ fn compact_preserves_answers_and_passes_verify() {
 }
 
 #[test]
+fn quarantine_survives_recovery_snapshots_and_compaction() {
+    use tcrowd_store::QuarantineEntry;
+    let dir = fresh_dir("quarantine");
+    let store = Store::open(&dir, FsyncPolicy::Flush).unwrap();
+    let answers = random_answers(80, 13);
+    let mut wal = store.create_table("t", &meta()).unwrap();
+    wal.append_answers(&answers[..40]).unwrap();
+    let set = vec![
+        QuarantineEntry { worker: WorkerId(2), manual: false },
+        QuarantineEntry { worker: WorkerId(5), manual: true },
+    ];
+    wal.append_answers(&answers[40..]).unwrap();
+    wal.append_quarantine(&set).unwrap();
+    wal.sync().unwrap();
+    let pos = wal.position();
+    drop(wal);
+
+    // Full-replay recovery sees the set; the log is untouched by it.
+    let rec = store.recover_table("t").unwrap();
+    assert_eq!(rec.quarantine, set);
+    assert_eq!(rec.log.all(), answers.as_slice(), "quarantine never mutates the log");
+    drop(rec);
+
+    // Snapshot-assisted recovery: the snapshot carries the set, and a tail
+    // Quarantine record supersedes it.
+    tcrowd_store::write_snapshot(
+        &store.table_dir("t"),
+        &TableSnapshot {
+            epoch: pos.answers,
+            wal_offset: pos.offset,
+            meta: meta(),
+            log: log_of(&answers),
+            fit: None,
+            quarantine: set.clone(),
+        },
+    )
+    .unwrap();
+    let rec = store.recover_table("t").unwrap();
+    assert_eq!(rec.snapshot_epoch, Some(pos.answers));
+    assert_eq!(rec.quarantine, set, "snapshot set adopted when the tail is silent");
+    let shrunk = vec![QuarantineEntry { worker: WorkerId(5), manual: true }];
+    rec.wal.unwrap().append_quarantine(&shrunk).unwrap();
+    let rec = store.recover_table("t").unwrap();
+    assert_eq!(rec.quarantine, shrunk, "tail record supersedes the snapshot's set");
+    assert_eq!(rec.log.all(), answers.as_slice());
+    drop(rec);
+
+    // Verify reports the records and the effective set; compaction carries
+    // the set through the rewritten WAL and fresh snapshot.
+    let verify = store.verify_table("t").unwrap();
+    assert!(verify.errors.is_empty(), "{:?}", verify.errors);
+    assert_eq!(verify.quarantine_records, 2);
+    assert_eq!(verify.quarantined, 1);
+    store.compact_table("t").unwrap();
+    let verify = store.verify_table("t").unwrap();
+    assert!(verify.errors.is_empty(), "{:?}", verify.errors);
+    assert_eq!(verify.quarantine_records, 1, "compaction keeps one replacement record");
+    assert_eq!(verify.quarantined, 1);
+    let rec = store.recover_table("t").unwrap();
+    assert_eq!(rec.quarantine, shrunk);
+    assert_eq!(rec.log.all(), answers.as_slice());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn misaligned_snapshot_offset_falls_back_to_full_replay_without_data_loss() {
     // Regression: a CRC-valid snapshot whose wal_offset is NOT a record
     // boundary (e.g. restored from a backup next to a newer WAL) makes the
@@ -415,6 +483,7 @@ fn misaligned_snapshot_offset_falls_back_to_full_replay_without_data_loss() {
             meta: meta(),
             log: log_of(&answers[..20]),
             fit: None,
+            quarantine: Vec::new(),
         },
     )
     .unwrap();
@@ -448,6 +517,7 @@ fn verify_flags_inconsistent_snapshots() {
             meta: meta(),
             log: log_of(&answers),
             fit: None,
+            quarantine: Vec::new(),
         },
     )
     .unwrap();
@@ -484,6 +554,7 @@ fn incremental_snapshot_chain_assists_recovery_and_survives_compaction() {
             meta: meta(),
             log: log_of(&answers[..marks[0].answers as usize]),
             fit: None,
+            quarantine: Vec::new(),
         },
     )
     .unwrap();
@@ -497,6 +568,7 @@ fn incremental_snapshot_chain_assists_recovery_and_survives_compaction() {
                 wal_offset: w[1].offset,
                 answers: answers[w[0].answers as usize..w[1].answers as usize].to_vec(),
                 fit: None,
+                quarantine: Vec::new(),
             },
         )
         .unwrap();
@@ -582,6 +654,7 @@ proptest! {
                         meta: meta(),
                         log: log_of(&answers[..pos.answers as usize]),
                         fit: None,
+                        quarantine: Vec::new(),
                     }).unwrap();
                     chain_files.push((tdir.join(tcrowd_store::SNAPSHOT_FILE), pos.answers, pos.offset));
                 }
@@ -594,6 +667,7 @@ proptest! {
                         wal_offset: pos.offset,
                         answers: answers[p as usize..pos.answers as usize].to_vec(),
                         fit: None,
+                        quarantine: Vec::new(),
                     }).unwrap();
                     chain_files.push((
                         tdir.join(format!("{}{seq}", tcrowd_store::DELTA_PREFIX)),
@@ -737,6 +811,7 @@ proptest! {
                     meta: meta(),
                     log: log_of(&answers[..pos.answers as usize]),
                     fit: None,
+                    quarantine: Vec::new(),
                 },
                 &(io.clone() as _),
             );

@@ -17,6 +17,10 @@
 //!   carries an [`epoch`](matrix::AnswerMatrix::epoch) marking the log
 //!   length it covers, and [`FrozenView`] is the copyable
 //!   staleness-checkable handle consumers hold across log appends.
+//! * [`quarantine`] — worker-exclusion filter views: serve inference and
+//!   assignment queries minus a quarantined worker set without deleting
+//!   anything from the log ([`QuarantineView`],
+//!   [`AnswerMatrix::without_workers`](matrix::AnswerMatrix::without_workers)).
 //! * [`dataset`] — ground truth + answers + statistics (Table 6).
 //! * [`generator`] — the synthetic data generator of §6.5.1.
 //! * [`noise`] — the γ-noise injector of §6.5.2.
@@ -39,6 +43,7 @@ pub mod io;
 pub mod matrix;
 pub mod metrics;
 pub mod noise;
+pub mod quarantine;
 pub mod real_sim;
 pub mod schema;
 pub mod shared;
@@ -51,6 +56,7 @@ pub use generator::{
     generate_dataset, EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig,
 };
 pub use matrix::{AnswerMatrix, FrozenView, MatrixAnswer};
+pub use quarantine::QuarantineView;
 pub use metrics::{evaluate, evaluate_with_answers, ColumnQuality, QualityReport};
 pub use schema::{Column, ColumnType, Schema};
 pub use shared::{LogSlice, SharedLog};
