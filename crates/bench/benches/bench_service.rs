@@ -142,6 +142,49 @@ impl Client {
     fn post(&mut self, path: &str, body: &str) -> (u16, Json) {
         self.request("POST", path, body)
     }
+
+    /// One GET whose body comes back as raw text (the `/metrics` scrape —
+    /// Prometheus exposition, not JSON).
+    fn get_text(&mut self, path: &str) -> String {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let run = |client: &mut Client| -> std::io::Result<String> {
+            let raw = format!("GET {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\n\r\n");
+            client.stream.get_ref().write_all(raw.as_bytes())?;
+            let mut status_line = String::new();
+            client.stream.read_line(&mut status_line)?;
+            if status_line.split_whitespace().nth(1) != Some("200") {
+                return Err(bad(&format!("bad status line {status_line:?}")));
+            }
+            let mut len = 0usize;
+            loop {
+                let mut line = String::new();
+                if client.stream.read_line(&mut line)? == 0 {
+                    return Err(bad("connection closed mid-headers"));
+                }
+                if line.trim_end().is_empty() {
+                    break;
+                }
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    len = v.trim().parse().map_err(|_| bad("bad content-length"))?;
+                }
+            }
+            let mut body = vec![0u8; len];
+            client.stream.read_exact(&mut body)?;
+            String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))
+        };
+        run(self).unwrap_or_else(|e| panic!("GET {path} failed: {e}"))
+    }
+}
+
+/// The value of `name{table="<table>"}` in a Prometheus exposition.
+fn scrape_value(text: &str, name: &str, table: &str) -> f64 {
+    let series = format!("{name}{{table=\"{table}\"}} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&series))
+        .unwrap_or_else(|| panic!("series {series}… missing from /metrics:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("unparsable sample for {series}: {e}"))
 }
 
 struct TableSpec {
@@ -420,6 +463,21 @@ fn service_load(c: &mut Criterion) {
     // Measured, not assumed: a nonzero value fails both the assert below and
     // the CI guard reading the JSON.
     let dropped = samples.answers_posted as i64 - total_served as i64;
+
+    // ---- /metrics cross-check: the observability registry's ingest
+    // counters, scraped over the wire, must agree with the bench's own
+    // acked-answer count exactly — a drifting counter means instrumentation
+    // missed (or double-counted) an acked batch.
+    let exposition = admin.get_text("/metrics");
+    tcrowd_obs::lint(&exposition).unwrap_or_else(|e| panic!("/metrics failed lint: {e}"));
+    let counted: f64 =
+        specs.iter().map(|s| scrape_value(&exposition, "tcrowd_ingest_answers_total", s.id)).sum();
+    let counter_drift = counted as i64 - samples.answers_posted as i64;
+    println!(
+        "bench_service /metrics cross-check: registry counted {counted:.0} ingested answers \
+         vs {} acked POSTs -> drift {counter_drift}",
+        samples.answers_posted
+    );
 
     let throughput = samples.answers_posted as f64 / wall_s;
     let assign_p50 = percentile(&samples.assign_us, 0.50);
@@ -715,6 +773,7 @@ fn service_load(c: &mut Criterion) {
         ),
         ("answers_total", Json::from(samples.answers_posted)),
         ("dropped_answers", Json::from(dropped as f64)),
+        ("metrics_counter_drift", Json::from(counter_drift as f64)),
         ("wall_seconds", Json::from(wall_s)),
         ("throughput_answers_per_sec", Json::from(throughput)),
         ("assignment_latency_us_p50", Json::from(assign_p50)),
@@ -754,6 +813,12 @@ fn service_load(c: &mut Criterion) {
     assert_eq!(
         dropped, 0,
         "dropped answers: posted {} vs served {total_served}",
+        samples.answers_posted
+    );
+    assert_eq!(
+        counter_drift, 0,
+        "registry ingest counter drifted from the acked-answer count: \
+         counted {counted:.0} vs acked {}",
         samples.answers_posted
     );
     {

@@ -74,7 +74,12 @@ impl Client {
         }
     }
 
-    fn try_request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, Json)> {
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Json)> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let raw = format!(
             "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
@@ -285,9 +290,8 @@ fn trust_defense(c: &mut Criterion) {
         },
         83,
     );
-    let adversaries: Vec<u32> = (0..POOL as u32)
-        .filter(|w| pool.archetype(WorkerId(*w)).adversarial())
-        .collect();
+    let adversaries: Vec<u32> =
+        (0..POOL as u32).filter(|w| pool.archetype(WorkerId(*w)).adversarial()).collect();
     let spammers = (0..POOL as u32)
         .filter(|w| pool.archetype(WorkerId(*w)) == tcrowd_sim::Archetype::Spammer)
         .count();
@@ -325,11 +329,8 @@ fn trust_defense(c: &mut Criterion) {
     let mut first_quarantined: std::collections::BTreeMap<u32, usize> =
         std::collections::BTreeMap::new();
     for (r, round) in trace.iter().enumerate() {
-        let honest_only: Vec<(WorkerId, CellId, Value)> = round
-            .iter()
-            .filter(|(w, _, _)| !pool.archetype(*w).adversarial())
-            .copied()
-            .collect();
+        let honest_only: Vec<(WorkerId, CellId, Value)> =
+            round.iter().filter(|(w, _, _)| !pool.archetype(*w).adversarial()).copied().collect();
         post_round(&mut client, "clean", &honest_only);
         post_round(&mut client, "off", round);
         post_round(&mut client, "on", round);
@@ -359,18 +360,13 @@ fn trust_defense(c: &mut Criterion) {
     // EM partly absorbs); outright quarantine is reserved for definitive spam
     // and the collusion ring, which is what actually damages accuracy.
     let final_states = worker_states(&mut client, "on");
-    let detected: Vec<u32> = final_states
-        .iter()
-        .filter(|(_, state)| state != "trusted")
-        .map(|(w, _)| *w)
-        .collect();
+    let detected: Vec<u32> =
+        final_states.iter().filter(|(_, state)| state != "trusted").map(|(w, _)| *w).collect();
     let tp = detected.iter().filter(|w| adversaries.contains(w)).count();
     let precision = if detected.is_empty() { 0.0 } else { tp as f64 / detected.len() as f64 };
     let recall = tp as f64 / adversaries.len().max(1) as f64;
-    let ttq: Vec<usize> = adversaries
-        .iter()
-        .filter_map(|w| first_quarantined.get(w).copied())
-        .collect();
+    let ttq: Vec<usize> =
+        adversaries.iter().filter_map(|w| first_quarantined.get(w).copied()).collect();
     let ttq_mean =
         if ttq.is_empty() { 0.0 } else { ttq.iter().sum::<usize>() as f64 / ttq.len() as f64 };
     let ttf: Vec<usize> =

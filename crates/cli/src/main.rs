@@ -58,6 +58,7 @@ fn main() {
         "simulate" => cmd_simulate(&args),
         "compare" => cmd_compare(&args),
         "serve" => cmd_serve(&args),
+        "events" => cmd_events(&args),
         "" | "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -100,6 +101,11 @@ USAGE:
                   # (tcrowd-store), recover-on-boot after crash or restart.
                   # --max-pending bounds each table's refresh lag: ingest
                   # answers 429 Retry-After past N pending answers
+  tcrowd events   --table ID [--addr HOST:PORT] [--since SEQ] [--max N]
+                  # tail a served table's lifecycle event ring (ingest
+                  # commits, refits, snapshots, WAL + health transitions)
+                  # over GET /tables/:id/events; prints seq, timestamp,
+                  # kind, detail and the request correlation id
   tcrowd store    <inspect|verify|compact> --data-dir DIR [--table ID]
                   # offline durability tooling: inspect prints per-table WAL/
                   # snapshot-chain state, verify audits checksums + chain/WAL
@@ -482,11 +488,70 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     // The actual bound address matters when --addr used port 0.
     println!("tcrowd-service listening on http://{}", server.addr());
-    println!("endpoints: /healthz /tables /tables/:id/{{assignment,answers,truth,stats,refresh}}");
+    println!(
+        "endpoints: /healthz /metrics /tables \
+         /tables/:id/{{assignment,answers,truth,stats,refresh,events}}"
+    );
     // Serve until killed; the worker pool does all the work.
     loop {
         std::thread::park();
     }
+}
+
+/// One plain HTTP/1.0 GET against a running service (std-only; 1.0 so the
+/// server closes the connection and `read_to_string` terminates).
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: tcrowd\r\n\r\n").as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("cannot read response: {e}"))?;
+    let (head, body) =
+        raw.split_once("\r\n\r\n").ok_or_else(|| "malformed HTTP response".to_string())?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!("{addr}{path} answered {status}: {}", body.trim()));
+    }
+    Ok(body.to_string())
+}
+
+fn cmd_events(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8077");
+    let table = args.require("table")?;
+    let since: u64 = args.get_parsed("since", 0u64)?;
+    let max: usize = args.get_parsed("max", 100usize)?;
+    let body = http_get(addr, &format!("/tables/{table}/events?since={since}&max={max}"))?;
+    let doc = tcrowd_service::json::parse(&body).map_err(|e| format!("bad response JSON: {e}"))?;
+    let events = doc
+        .get("events")
+        .and_then(tcrowd_service::Json::as_array)
+        .ok_or_else(|| "response has no 'events' array".to_string())?;
+    if doc.get("truncated").and_then(tcrowd_service::Json::as_bool) == Some(true) {
+        println!("(ring wrapped: events between --since and the oldest shown were overwritten)");
+    }
+    for e in events {
+        let num = |k: &str| e.get(k).and_then(tcrowd_service::Json::as_f64).unwrap_or(0.0) as u64;
+        let text =
+            |k: &str| e.get(k).and_then(tcrowd_service::Json::as_str).unwrap_or("").to_string();
+        let rid = match e.get("request_id").and_then(tcrowd_service::Json::as_str) {
+            Some(r) => format!(" [{r}]"),
+            None => String::new(),
+        };
+        println!(
+            "#{:<6} +{:>8}ms  {:<24} {}{rid}",
+            num("seq"),
+            num("at_ms"),
+            text("kind"),
+            text("detail")
+        );
+    }
+    let next = doc.get("next_since").and_then(tcrowd_service::Json::as_f64).unwrap_or(0.0) as u64;
+    println!("({} event(s); resume with --since {next})", events.len());
+    Ok(())
 }
 
 fn cmd_store(args: &Args) -> Result<(), String> {

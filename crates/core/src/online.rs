@@ -541,8 +541,7 @@ mod tests {
         fit.refit(false);
         // The freeze still covers the full log; only the fit is filtered.
         assert_eq!(fit.matrix().len(), log.len());
-        let batch =
-            TCrowd::default_full().infer(&d.schema, &log.without_workers(&excluded));
+        let batch = TCrowd::default_full().infer(&d.schema, &log.without_workers(&excluded));
         assert_eq!(fit.result().estimates(), batch.estimates());
         assert_eq!(fit.result().iterations, batch.iterations);
         // Excluded workers carry no fitted quality; the rest match the batch.

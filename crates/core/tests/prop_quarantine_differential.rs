@@ -13,9 +13,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tcrowd_core::{FitState, TCrowd};
-use tcrowd_tabular::{
-    Answer, AnswerLog, AnswerMatrix, CellId, QuarantineView, Value, WorkerId,
-};
+use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, QuarantineView, Value, WorkerId};
 
 /// A random mixed-type answer log: shape from the strategy, contents from a
 /// seeded RNG (workers repeat, cells repeat, both value kinds appear).
@@ -72,9 +70,7 @@ fn assert_fits_equal(
 ) -> Result<(), TestCaseError> {
     prop_assert_eq!(filtered.rows(), rebuilt.rows());
     prop_assert_eq!(filtered.cols(), rebuilt.cols());
-    for (i, (fr, rr)) in
-        filtered.estimates().iter().zip(rebuilt.estimates().iter()).enumerate()
-    {
+    for (i, (fr, rr)) in filtered.estimates().iter().zip(rebuilt.estimates().iter()).enumerate() {
         for (j, (fv, rv)) in fr.iter().zip(rr.iter()).enumerate() {
             match (fv, rv) {
                 (Value::Categorical(a), Value::Categorical(b)) => {

@@ -1,0 +1,39 @@
+//! # tcrowd-obs — observability primitives for the T-Crowd service
+//!
+//! Std-only (no external crates) building blocks the service layer threads
+//! through store, core, and CLI:
+//!
+//! - [`metrics`] — a lock-free metrics [`Registry`] of atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-boundary log-scale latency [`Histogram`]s
+//!   (p50/p90/p99/max derivable from the buckets). Handles are `Arc`s; the
+//!   hot path touches only atomics, never the registry map.
+//! - [`render`] — hand-rolled Prometheus text exposition (version 0.0.4):
+//!   `# TYPE` discipline, `_bucket`/`_sum`/`_count` histogram expansion,
+//!   label escaping, plus a [`lint`] parser used by tests and CI to keep the
+//!   exposition well-formed.
+//! - [`events`] — a per-table [`EventRing`]: a bounded ring buffer of
+//!   structured lifecycle events (ingest committed, refit started /
+//!   published / panicked, snapshot persisted / failed, WAL poisoned /
+//!   rebuilt, health and quarantine transitions) with globally monotonic
+//!   sequence numbers, monotonic timestamps, and an optional
+//!   request-correlation id. `since(seq)` pagination stays correct across
+//!   ring wraparound because sequence numbers never reset.
+//!
+//! ## Enable/disable semantics
+//!
+//! A registry carries a shared `enabled` flag. Counters, histograms, and
+//! event rings check it with one relaxed atomic load and early-return when
+//! disabled — the "compiled-to-no-op" arm of the overhead benchmark.
+//! **Gauges are never gated**: `/healthz` is served from health gauges, so
+//! they must stay correct even with metrics collection off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod render;
+
+pub use events::{Event, EventPage, EventRing};
+pub use metrics::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS_NS};
+pub use render::lint;

@@ -1,0 +1,324 @@
+//! Prometheus text exposition (format version 0.0.4), hand-rolled on std.
+//!
+//! [`Registry::render`] produces the scrape body: one `# TYPE` line per
+//! metric name, counter/gauge samples, and the
+//! `_bucket{le=}`/`_sum`/`_count` expansion for histograms, with label
+//! values escaped per the spec (`\` → `\\`, `"` → `\"`, newline → `\n`).
+//!
+//! [`lint`] is the matching parser: it re-reads an exposition body and
+//! fails on a sample without a preceding `# TYPE`, a duplicate series, or
+//! a label value that does not round-trip. CI runs it against the real
+//! `/metrics` output so the hand-rolled writer cannot drift from the
+//! format.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+
+use crate::metrics::{Kind, Metric, Registry, LATENCY_BUCKETS_NS};
+
+/// Content type a `/metrics` response should carry.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a label value per the exposition format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Format a nanosecond boundary as seconds the way Prometheus `le` labels
+/// expect (plain decimal, no exponent for our range).
+fn seconds(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    format!("{s}")
+}
+
+/// Format a float sample value (`f64` `Display` is already shortest-digits).
+fn float(v: f64) -> String {
+    format!("{v}")
+}
+
+impl Registry {
+    /// Render every registered series as Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let map = self.series.read().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::with_capacity(4096);
+        let mut typed: BTreeMap<&str, Kind> = BTreeMap::new();
+        for (key, metric) in map.iter() {
+            let name = key.name.as_str();
+            if !typed.contains_key(name) {
+                typed.insert(name, metric.kind());
+                let ty = match metric.kind() {
+                    Kind::Counter => "counter",
+                    Kind::Gauge => "gauge",
+                    Kind::Histogram => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {name} {ty}");
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", render_labels(&key.labels, None), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", render_labels(&key.labels, None), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (idx, &c) in counts.iter().enumerate() {
+                        cum += c;
+                        let le = if idx < LATENCY_BUCKETS_NS.len() {
+                            seconds(LATENCY_BUCKETS_NS[idx])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            render_labels(&key.labels, Some(("le", &le)))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        render_labels(&key.labels, None),
+                        float(h.sum_seconds())
+                    );
+                    let _ = writeln!(out, "{name}_count{} {cum}", render_labels(&key.labels, None));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parse an exposition body and verify it is well-formed:
+///
+/// - every sample line's base metric name has a preceding `# TYPE`;
+/// - histogram samples only use the `_bucket`/`_sum`/`_count` suffixes of a
+///   declared histogram, and `_bucket` carries an `le` label;
+/// - no series (name + label set) appears twice;
+/// - labels parse, meaning every escape round-trips.
+///
+/// Returns `Err(reason)` on the first violation.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| format!("line {n}: TYPE without name"))?;
+            let ty = it.next().ok_or_else(|| format!("line {n}: TYPE without kind"))?;
+            if !matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {n}: unknown TYPE kind {ty}"));
+            }
+            if types.insert(name.to_string(), ty.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (series, _value) = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        let base = base_name(&series.name, &types)
+            .ok_or_else(|| format!("line {n}: sample {} has no preceding # TYPE", series.name))?;
+        if types[&base] == "histogram" {
+            let suffix = &series.name[base.len()..];
+            if !matches!(suffix, "_bucket" | "_sum" | "_count") {
+                return Err(format!("line {n}: bad histogram suffix {suffix}"));
+            }
+            if suffix == "_bucket" && !series.labels.iter().any(|(k, _)| k == "le") {
+                return Err(format!("line {n}: _bucket sample without le label"));
+            }
+        }
+        let key = format!("{} {:?}", series.name, series.labels);
+        if !seen.insert(key) {
+            return Err(format!("line {n}: duplicate series {}", series.name));
+        }
+    }
+    Ok(())
+}
+
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+/// Resolve a sample name to its declared base name: exact match, or a
+/// declared histogram name plus `_bucket`/`_sum`/`_count`.
+fn base_name(sample: &str, types: &BTreeMap<String, String>) -> Option<String> {
+    if types.contains_key(sample) {
+        return Some(sample.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = sample.strip_suffix(suffix) {
+            if types.get(stripped).map(String::as_str) == Some("histogram") {
+                return Some(stripped.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn parse_sample(line: &str) -> Result<(Sample, f64), String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or_else(|| "no value separator".to_string())?;
+    let name = line[..name_end].to_string();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let mut rest = &line[name_end..];
+    if rest.starts_with('{') {
+        let mut chars = rest[1..].char_indices();
+        let body_start = 1;
+        loop {
+            // key
+            let mut key = String::new();
+            for (_, c) in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            if key.is_empty() {
+                return Err("empty label key".to_string());
+            }
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err("label value not quoted".to_string()),
+            }
+            // value, with escapes
+            let mut val = String::new();
+            let mut closed = false;
+            while let Some((_, c)) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some((_, '\\')) => val.push('\\'),
+                        Some((_, '"')) => val.push('"'),
+                        Some((_, 'n')) => val.push('\n'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    c => val.push(c),
+                }
+            }
+            if !closed {
+                return Err("unterminated label value".to_string());
+            }
+            labels.push((key, val));
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((i, '}')) => {
+                    rest = &rest[body_start + i + 1..];
+                    break;
+                }
+                other => return Err(format!("bad label separator {other:?}")),
+            }
+        }
+    }
+    let value_str = rest.trim();
+    let value = if value_str == "+Inf" {
+        f64::INFINITY
+    } else {
+        value_str
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| "missing value".to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {value_str:?}: {e}"))?
+    };
+    Ok((Sample { name, labels }, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_lintable_and_escapes() {
+        let r = Registry::new();
+        r.counter("tc_ingest_total", &[("table", "weird\"name\\with\nstuff")]).add(3);
+        r.gauge("tc_health", &[("table", "t1")]).set(1);
+        r.histogram("tc_lat_seconds", &[("endpoint", "/tables/:id/answers")]).observe_ns(2_500);
+        let text = r.render();
+        lint(&text).unwrap();
+        assert!(text.contains("# TYPE tc_ingest_total counter"));
+        assert!(text.contains("# TYPE tc_lat_seconds histogram"));
+        assert!(text.contains("tc_lat_seconds_bucket"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("weird\\\"name\\\\with\\nstuff"));
+    }
+
+    #[test]
+    fn label_escaping_roundtrips() {
+        let raw = "a\\b\"c\nd";
+        let line = format!("m{{l=\"{}\"}} 1", escape_label_value(raw));
+        let (sample, v) = parse_sample(&line).unwrap();
+        assert_eq!(sample.labels, vec![("l".to_string(), raw.to_string())]);
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn lint_rejects_missing_type() {
+        assert!(lint("no_type_here 1\n").is_err());
+    }
+
+    #[test]
+    fn lint_rejects_duplicate_series() {
+        let text = "# TYPE m counter\nm{a=\"1\"} 1\nm{a=\"1\"} 2\n";
+        let err = lint(text).unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+    }
+
+    #[test]
+    fn lint_rejects_bucket_without_le() {
+        let text = "# TYPE h histogram\nh_bucket{table=\"t\"} 1\n";
+        assert!(lint(text).unwrap_err().contains("le label"));
+    }
+
+    #[test]
+    fn histogram_bucket_counts_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("h_seconds", &[]);
+        h.observe_ns(500); // first bucket
+        h.observe_ns(3_000); // third bucket (le 5µs)
+        let text = r.render();
+        lint(&text).unwrap();
+        assert!(text.contains("h_seconds_bucket{le=\"0.000001\"} 1"));
+        assert!(text.contains("h_seconds_bucket{le=\"0.000005\"} 2"));
+        assert!(text.contains("h_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("h_seconds_count 2"));
+    }
+}

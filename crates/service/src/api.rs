@@ -23,12 +23,13 @@ pub fn route(registry: &TableRegistry, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => healthz(registry),
+        ("GET", ["metrics"]) => metrics(registry),
         ("GET", ["tables"]) => ok_json(Json::obj([(
             "tables",
             Json::Arr(registry.list().into_iter().map(Json::from).collect()),
         )])),
         ("POST", ["tables"]) => create_table(registry, req),
-        (_, ["tables"] | ["healthz"]) => err_json(405, "method not allowed"),
+        (_, ["tables"] | ["healthz"] | ["metrics"]) => err_json(405, "method not allowed"),
         (method, ["tables", id, rest @ ..]) => {
             let Some(table) = registry.get(id) else {
                 return err_json(404, format!("no table '{id}'"));
@@ -39,6 +40,7 @@ pub fn route(registry: &TableRegistry, req: &Request) -> Response {
                 ("GET", ["answers"]) => get_answers(&table),
                 ("GET", ["truth"]) => truth(&table, req),
                 ("GET", ["stats"]) => stats(&table),
+                ("GET", ["events"]) => events(&table, req),
                 ("POST", ["refresh"]) => refresh(&table),
                 ("GET", ["workers"]) => workers(&table),
                 ("POST", ["workers", w, "quarantine"]) => set_quarantine(&table, w, true),
@@ -70,6 +72,54 @@ fn healthz(registry: &TableRegistry) -> Response {
         ("tables", Json::from(registry.len())),
         ("degraded_tables", Json::Arr(unhealthy)),
         ("uptime_ms", Json::from(registry.uptime_ms() as f64)),
+    ]))
+}
+
+/// Prometheus text exposition of every registered series.
+fn metrics(registry: &TableRegistry) -> Response {
+    Response {
+        status: 200,
+        body: registry.obs().render().into_bytes(),
+        content_type: tcrowd_obs::render::CONTENT_TYPE,
+        headers: Vec::new(),
+    }
+}
+
+/// Replay the table's lifecycle event ring: `?since=S` resumes after
+/// sequence `S` (0 = from the oldest retained event), `&max=N` caps the
+/// page (default 100, max 1000). `truncated: true` warns that events
+/// between `since` and the oldest retained one were overwritten.
+fn events(table: &Arc<TableState>, req: &Request) -> Response {
+    let since = match req.query_param("since").map(str::parse::<u64>).transpose() {
+        Ok(s) => s.unwrap_or(0),
+        Err(_) => return err_json(400, "'since' must be an unsigned integer"),
+    };
+    let max = match req.query_param("max").map(str::parse::<usize>).transpose() {
+        Ok(m) => m.unwrap_or(100).clamp(1, 1000),
+        Err(_) => return err_json(400, "'max' must be an unsigned integer"),
+    };
+    let page = table.obs().events().since(since, max);
+    let events: Vec<Json> = page
+        .events
+        .iter()
+        .map(|e| {
+            let mut fields = vec![
+                ("seq", Json::from(e.seq as f64)),
+                ("at_ms", Json::from(e.at_ms as f64)),
+                ("kind", Json::from(e.kind)),
+                ("detail", Json::from(e.detail.clone())),
+            ];
+            if let Some(rid) = &e.request_id {
+                fields.push(("request_id", Json::from(rid.clone())));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    ok_json(Json::obj([
+        ("table", Json::from(table.id.clone())),
+        ("next_since", Json::from(page.next_since as f64)),
+        ("truncated", Json::from(page.truncated)),
+        ("events", Json::Arr(events)),
     ]))
 }
 
@@ -396,7 +446,7 @@ fn post_answers(table: &Arc<TableState>, req: &Request) -> Response {
             Err(e) => return err_json(400, format!("answer {i}: {e}")),
         }
     }
-    match table.submit(&answers) {
+    match table.submit_traced(&answers, Some(&req.request_id)) {
         Ok(accepted) => ok_json(Json::obj([
             ("accepted", Json::from(accepted)),
             ("ingested_total", Json::from(table.ingested() as f64)),

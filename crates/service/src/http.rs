@@ -10,7 +10,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
@@ -34,6 +34,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the connection should be kept open after responding.
     pub keep_alive: bool,
+    /// Correlation id: the sanitized `X-Request-Id` header when the client
+    /// sent one, otherwise a server-generated `req-<hex>`. Echoed back on
+    /// the response and threaded into event traces.
+    pub request_id: String,
 }
 
 impl Request {
@@ -141,6 +145,28 @@ const MAX_LINE: u64 = 8 * 1024;
 /// Most headers accepted per request.
 const MAX_HEADERS: usize = 100;
 
+/// Longest accepted `X-Request-Id` value; anything longer is truncated so a
+/// hostile client cannot bloat event traces.
+const MAX_REQUEST_ID: usize = 64;
+
+/// Source of server-generated correlation ids.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Keep a client-supplied correlation id loggable: URL/label-safe charset,
+/// bounded length. Returns `None` when nothing usable remains.
+fn sanitize_request_id(raw: &str) -> Option<String> {
+    let id: String = raw
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || "._-".contains(*c))
+        .take(MAX_REQUEST_ID)
+        .collect();
+    if id.is_empty() {
+        None
+    } else {
+        Some(id)
+    }
+}
+
 /// `read_line` with the [`MAX_LINE`] allocation cap.
 fn read_line_capped(
     reader: &mut BufReader<TcpStream>,
@@ -168,6 +194,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
+    let mut request_id: Option<String> = None;
     for header_count in 0usize.. {
         if header_count >= MAX_HEADERS {
             return Err(bad("too many headers"));
@@ -199,6 +226,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
                     keep_alive = true;
                 }
             }
+            "x-request-id" => request_id = sanitize_request_id(value),
             _ => {}
         }
     }
@@ -208,7 +236,9 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
         Some((p, q)) => (decode_percent(p), parse_query(q)),
         None => (decode_percent(&target), Vec::new()),
     };
-    Ok(Some(Request { method, path, query, body, keep_alive }))
+    let request_id = request_id
+        .unwrap_or_else(|| format!("req-{:x}", NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)));
+    Ok(Some(Request { method, path, query, body, keep_alive, request_id }))
 }
 
 fn bad(msg: &str) -> std::io::Error {
@@ -334,7 +364,10 @@ fn handle_connection(stream: TcpStream, handler: &Handler) {
         match read_request(&mut reader) {
             Ok(Some(req)) => {
                 let keep = req.keep_alive;
-                let resp = handler(&req);
+                let mut resp = handler(&req);
+                // Echo the correlation id so clients can match responses to
+                // their own ids (or learn the server-generated one).
+                resp.headers.push(("X-Request-Id", req.request_id.clone()));
                 if write_response(&mut writer, &resp, keep).is_err() || !keep {
                     return;
                 }

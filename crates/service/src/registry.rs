@@ -4,6 +4,7 @@
 //! [`tcrowd_store::Store`], its own WAL + snapshot directory with
 //! recover-on-boot.
 
+use crate::obs::ServiceObs;
 use crate::table::{Durability, TableConfig, TableState};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -39,6 +40,9 @@ pub struct TableRegistry {
     /// an explicit `max_pending` (0 = unbounded; set from `serve
     /// --max-pending`).
     default_max_pending: AtomicUsize,
+    /// Registry-wide observability: the metrics registry `/metrics`
+    /// renders and the per-table event rings.
+    obs: Arc<ServiceObs>,
 }
 
 impl Default for TableRegistry {
@@ -56,7 +60,13 @@ impl TableRegistry {
             store: None,
             started_at: Instant::now(),
             default_max_pending: AtomicUsize::new(0),
+            obs: Arc::new(ServiceObs::new()),
         }
+    }
+
+    /// The registry-wide observability handle (metrics + event rings).
+    pub fn obs(&self) -> &Arc<ServiceObs> {
+        &self.obs
     }
 
     /// Set the backpressure default for tables created without an explicit
@@ -104,7 +114,7 @@ impl TableRegistry {
             report.with_snapshot += usize::from(rec.snapshot_epoch.is_some());
             report.torn_tails += usize::from(rec.torn.is_some());
             let id = rec.id.clone();
-            let table = TableState::recover(rec, config, store.io_handle());
+            let table = TableState::recover(rec, config, store.io_handle(), self.obs.table(&id));
             tables.insert(id, table);
         }
         Ok(report)
@@ -163,7 +173,14 @@ impl TableRegistry {
             }
             None => None,
         };
-        let table = TableState::create(id.clone(), schema, rows, config, durability);
+        let table = TableState::create_with_obs(
+            id.clone(),
+            schema,
+            rows,
+            config,
+            durability,
+            self.obs.table(&id),
+        );
         tables.insert(id, Arc::clone(&table));
         Ok(table)
     }
@@ -195,6 +212,7 @@ impl TableRegistry {
                         );
                     }
                 }
+                self.obs.remove_table(id);
                 true
             }
             None => false,
@@ -211,16 +229,13 @@ impl TableRegistry {
         self.tables.read().unwrap_or_else(|p| p.into_inner()).len()
     }
 
-    /// Per-table health, sorted by table id: `(id, health string)` where the
-    /// health string is `"healthy"`, `"degraded"` or `"recovering"`. Used by
-    /// `GET /healthz` to aggregate service health.
+    /// Per-table health, sorted by table id: `(id, health string)` where
+    /// the health string is `"healthy"`, `"degraded"` or `"recovering"`.
+    /// Read from the observability health gauges, so `GET /healthz` never
+    /// takes any table's ingest or fitter lock — a wedged table cannot
+    /// wedge the health probe.
     pub fn health(&self) -> Vec<(String, &'static str)> {
-        self.tables
-            .read()
-            .unwrap_or_else(|p| p.into_inner())
-            .iter()
-            .map(|(id, t)| (id.clone(), t.health().health))
-            .collect()
+        self.obs.table_health()
     }
 
     /// True when no tables are hosted.

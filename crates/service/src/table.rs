@@ -59,6 +59,7 @@
 //! mid-refit when the table dies can never publish (or persist a store
 //! snapshot for) a dead table.
 
+use crate::obs::{TableObs, HEALTH_DEGRADED, HEALTH_HEALTHY, HEALTH_RECOVERING};
 use crate::policy::make_policy;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -69,8 +70,8 @@ use tcrowd_core::{
     AssignmentContext, CorrelationModel, FitParams, FitState, InferenceResult, TCrowd,
 };
 use tcrowd_store::{
-    remove_snapshot, remove_snapshot_deltas, rewrite_wal, write_snapshot_delta_with_io,
-    write_snapshot_with_io, ChainInfo, IoHandle, QuarantineEntry, Recovered, SnapshotDelta,
+    remove_snapshot, remove_snapshot_deltas, rewrite_wal, write_snapshot_delta_observed,
+    write_snapshot_observed, ChainInfo, IoHandle, QuarantineEntry, Recovered, SnapshotDelta,
     TableMeta, TableSnapshot, Wal, WalPosition, WAL_FILE,
 };
 use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema, SharedLog, WorkerId};
@@ -697,6 +698,8 @@ pub struct TableState {
     rate_limited: AtomicU64,
     /// Per-worker token buckets (leaf lock; only `submit` touches it).
     buckets: Mutex<HashMap<u32, Bucket>>,
+    /// Per-table metrics and the lifecycle event ring ([`crate::obs`]).
+    obs: Arc<TableObs>,
 }
 
 impl TableState {
@@ -710,9 +713,24 @@ impl TableState {
         config: TableConfig,
         durability: Option<Durability>,
     ) -> Arc<TableState> {
+        let obs = TableObs::standalone(&id);
+        Self::create_with_obs(id, schema, rows, config, durability, obs)
+    }
+
+    /// [`TableState::create`] with an externally-registered observability
+    /// bundle (the registry path, so the table's series appear in the
+    /// shared `/metrics` registry).
+    pub fn create_with_obs(
+        id: String,
+        schema: Schema,
+        rows: usize,
+        config: TableConfig,
+        durability: Option<Durability>,
+        obs: Arc<TableObs>,
+    ) -> Arc<TableState> {
         let log = AnswerLog::new(rows, schema.num_columns());
         let fit = FitState::empty(TCrowd::default_full(), schema.clone(), rows);
-        Self::spawn(id, schema, rows, config, log, fit, durability, Vec::new())
+        Self::spawn(id, schema, rows, config, log, fit, durability, Vec::new(), obs)
     }
 
     /// Resurrect a table from its recovered durable state: the WAL-replayed
@@ -733,9 +751,23 @@ impl TableState {
     ///    warm-seeded from the chain's fit when the table is configured
     ///    with `warm_refits`.
     /// 3. **No usable snapshot**: a cold fit of the replayed log.
-    pub fn recover(rec: Recovered, config: TableConfig, io: IoHandle) -> Arc<TableState> {
+    pub fn recover(
+        rec: Recovered,
+        config: TableConfig,
+        io: IoHandle,
+        obs: Arc<TableObs>,
+    ) -> Arc<TableState> {
         let Recovered {
-            id, meta, log, fit, wal, replayed_tail, snapshot_epoch, chain, quarantine, ..
+            id,
+            meta,
+            log,
+            fit,
+            wal,
+            replayed_tail,
+            snapshot_epoch,
+            chain,
+            quarantine,
+            ..
         } = rec;
         let schema = meta.schema.clone();
         let rows = meta.rows;
@@ -746,7 +778,8 @@ impl TableState {
         // filtered view, while the adopted freeze keeps covering the full
         // log (exclusion is a property of the fit, never the data).
         let excluded: Vec<WorkerId> = quarantine.iter().map(|q| q.worker).collect();
-        let filtered = if excluded.is_empty() { None } else { Some(matrix.without_workers(&excluded)) };
+        let filtered =
+            if excluded.is_empty() { None } else { Some(matrix.without_workers(&excluded)) };
         let fit_matrix = filtered.as_ref().unwrap_or(&matrix);
         let result = match &fit {
             Some(seed) if replayed_tail == 0 && seed.shape_matches(rows, schema.num_columns()) => {
@@ -771,8 +804,17 @@ impl TableState {
             None => SnapChain::fresh(),
         };
         let durability = Durability::recovered(wal, dir, meta, chain_state, io);
-        let table =
-            Self::spawn(id, schema, rows, config, log, fit_state, Some(durability), quarantine);
+        let table = Self::spawn(
+            id,
+            schema,
+            rows,
+            config,
+            log,
+            fit_state,
+            Some(durability),
+            quarantine,
+            obs,
+        );
         // Persist right away: the recovery fit is exactly what a next crash
         // would want to seed from, and it re-establishes the fast path when
         // a tail was replayed.
@@ -790,6 +832,7 @@ impl TableState {
         fit: FitState,
         durability: Option<Durability>,
         quarantine: Vec<QuarantineEntry>,
+        obs: Arc<TableObs>,
     ) -> Arc<TableState> {
         assert_eq!(fit.epoch(), log.len(), "fit state must cover the adopted log");
         let correlation = CorrelationModel::fit_matrix(&schema, fit.matrix(), fit.result());
@@ -797,7 +840,8 @@ impl TableState {
         let shared = SharedLog::from_log(&log);
         let mut states = BTreeMap::new();
         for q in &quarantine {
-            states.insert(q.worker, TrustEntry { state: TrustState::Quarantined, manual: q.manual });
+            states
+                .insert(q.worker, TrustEntry { state: TrustState::Quarantined, manual: q.manual });
         }
         let report = score_workers(fit.result(), fit.matrix(), &config.trust);
         let trust_view = Arc::new(build_trust_view(
@@ -821,6 +865,14 @@ impl TableState {
             trust: trust_view,
         });
         let seed = config.seed;
+        // Route WAL append/fsync timings into this table's histograms, and
+        // seed the gauges `/healthz` and `/metrics` read before the first
+        // transition or publish.
+        if let Some(d) = &durability {
+            lock_recover(&d.wal).set_obs(obs.store_sink());
+        }
+        obs.set_health(HEALTH_HEALTHY);
+        obs.set_trust(0, quarantine.len(), 0);
         let table = Arc::new(TableState {
             id,
             schema,
@@ -842,6 +894,7 @@ impl TableState {
             trust_seq: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
             buckets: Mutex::new(HashMap::new()),
+            obs,
         });
         let weak: Weak<TableState> = Arc::downgrade(&table);
         let ctl = Arc::clone(&table.ctl);
@@ -974,6 +1027,15 @@ impl TableState {
         }
         drop(reg);
         self.trust_seq.fetch_add(1, Ordering::SeqCst);
+        self.obs.event(
+            "quarantine",
+            format!(
+                "worker {} {} (manual)",
+                worker.0,
+                if quarantined { "quarantined" } else { "released" }
+            ),
+            None,
+        );
         // Wake the refresher so the decision reaches the fit promptly.
         let _guard = lock_recover(&self.ctl.stop);
         self.ctl.wake.notify_one();
@@ -1049,6 +1111,17 @@ impl TableState {
     /// for `O(batch)` work only; a concurrent EM refit never blocks this
     /// path. Returns the number accepted.
     pub fn submit(&self, answers: &[Answer]) -> Result<usize, String> {
+        self.submit_traced(answers, None)
+    }
+
+    /// [`TableState::submit`] carrying the originating request's
+    /// correlation id, so the traced `ingest_committed` event links back to
+    /// the HTTP request that caused it.
+    pub fn submit_traced(
+        &self,
+        answers: &[Answer],
+        request_id: Option<&str>,
+    ) -> Result<usize, String> {
         for (i, a) in answers.iter().enumerate() {
             if a.cell.row as usize >= self.rows || a.cell.col as usize >= self.cols() {
                 return Err(format!(
@@ -1107,6 +1180,7 @@ impl TableState {
             }
         }
         self.ingested.fetch_add(answers.len() as u64, Ordering::SeqCst);
+        self.obs.ingest_committed(answers.len(), request_id);
         if self.pending() >= self.config.refit_every {
             // Notify while holding the refresher's mutex: this serialises
             // against the refresher's below-threshold check, so the wake
@@ -1184,8 +1258,7 @@ impl TableState {
             // re-seeded from the trust registry so the rebuilt fit filters
             // from its first refit.
             pipe.fit = FitState::empty(TCrowd::default_full(), self.schema.clone(), self.rows);
-            pipe.fit
-                .set_exclusions(self.quarantine_entries().iter().map(|q| q.worker).collect());
+            pipe.fit.set_exclusions(self.quarantine_entries().iter().map(|q| q.worker).collect());
             pipe.shared = SharedLog::from_log(&AnswerLog::new(self.rows, self.cols()));
         }
         // Phase 1 (brief ingest lock): slice the tail since the fit epoch.
@@ -1196,8 +1269,7 @@ impl TableState {
         if tail.is_empty() {
             let snap = self.snapshot();
             let trust_dirty = {
-                let q: Vec<WorkerId> =
-                    self.quarantine_entries().iter().map(|e| e.worker).collect();
+                let q: Vec<WorkerId> = self.quarantine_entries().iter().map(|e| e.worker).collect();
                 q.as_slice() != pipe.fit.exclusions()
             };
             // Nothing new AND the published state is already the exact fit
@@ -1215,6 +1287,11 @@ impl TableState {
         // refresher and poisoning the fitter for everyone else. The guard
         // itself outlives the catch, so the mutex is NOT poisoned by a
         // caught panic.
+        self.obs.event(
+            "refit_started",
+            format!("epoch {} (+{} pending)", pipe.fit.epoch(), tail.len()),
+            None,
+        );
         let t0 = Instant::now();
         let fit_attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.maybe_inject_refit_panic();
@@ -1226,6 +1303,7 @@ impl TableState {
             Ok(report) => report,
             Err(payload) => {
                 self.fitter_dirty.store(true, Ordering::SeqCst);
+                self.obs.event("refit_panicked", panic_message(&payload), None);
                 self.record_refit_failure(format!("refit panicked: {}", panic_message(&payload)));
                 return false;
             }
@@ -1275,6 +1353,7 @@ impl TableState {
             Ok(parts) => parts,
             Err(payload) => {
                 self.fitter_dirty.store(true, Ordering::SeqCst);
+                self.obs.event("refit_panicked", panic_message(&payload), None);
                 self.record_refit_failure(format!(
                     "catch-up merge panicked: {}",
                     panic_message(&payload)
@@ -1283,6 +1362,7 @@ impl TableState {
             }
         };
         let last_refit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (estep_ns, mstep_ns) = (result.timings.estep_ns, result.timings.mstep_ns);
         let trust_view = {
             let reg = lock_recover(&self.trust);
             Arc::new(build_trust_view(
@@ -1325,6 +1405,16 @@ impl TableState {
         };
         self.note_refit_success();
         if published {
+            self.obs.observe_refit((last_refit_ms * 1e6) as u64, estep_ns, mstep_ns);
+            let snap = self.snapshot();
+            let suspects =
+                snap.trust.workers.iter().filter(|s| s.state == TrustState::Suspect).count();
+            self.obs.set_trust(suspects, snap.trust.quarantine.len(), snap.trust.seq);
+            self.obs.event(
+                "refit_published",
+                format!("epoch {epoch} (fitted {fitted_epoch}, catch-up {catchup_merged})"),
+                None,
+            );
             if let Some(pos) = wal_pos {
                 self.write_store_snapshot(pos);
             }
@@ -1357,6 +1447,11 @@ impl TableState {
                 }
                 let next = advance(entry.state, t, &self.config.trust);
                 if next != entry.state {
+                    self.obs.event(
+                        "trust",
+                        format!("worker {} {:?} -> {next:?} (auto)", t.worker.0, entry.state),
+                        None,
+                    );
                     entry.state = next;
                     self.trust_seq.fetch_add(1, Ordering::SeqCst);
                 }
@@ -1367,9 +1462,7 @@ impl TableState {
         if set != reg.persisted {
             match self.append_quarantine_record(&set) {
                 Ok(()) => reg.persisted = set.clone(),
-                Err(e) => {
-                    self.record_wal_failure(format!("quarantine record append failed: {e}"))
-                }
+                Err(e) => self.record_wal_failure(format!("quarantine record append failed: {e}")),
             }
         }
         drop(reg);
@@ -1460,7 +1553,7 @@ impl TableState {
                 fit,
                 quarantine: snap.trust.quarantine.clone(),
             };
-            match write_snapshot_with_io(&d.dir, &table_snap, &d.io) {
+            match write_snapshot_observed(&d.dir, &table_snap, &d.io, &self.obs.store_sink()) {
                 Ok(()) => {
                     // Old links chain from epochs below the new base, so they
                     // are unreachable the moment the base rename lands;
@@ -1495,7 +1588,7 @@ impl TableState {
                 fit,
                 quarantine: snap.trust.quarantine.clone(),
             };
-            match write_snapshot_delta_with_io(&d.dir, &delta, &d.io) {
+            match write_snapshot_delta_observed(&d.dir, &delta, &d.io, &self.obs.store_sink()) {
                 Ok(()) => {
                     chain.epoch = snap.epoch as u64;
                     chain.links += 1;
@@ -1508,8 +1601,22 @@ impl TableState {
         };
         drop(chain);
         match outcome {
-            Ok(()) => self.note_persist_success(),
-            Err(msg) => self.record_persist_failure(msg),
+            Ok(()) => {
+                self.obs.event(
+                    "snapshot_persisted",
+                    format!(
+                        "epoch {} ({})",
+                        snap.epoch,
+                        if collapse { "full base" } else { "chain delta" }
+                    ),
+                    None,
+                );
+                self.note_persist_success()
+            }
+            Err(msg) => {
+                self.obs.event("snapshot_persist_failed", msg.clone(), None);
+                self.record_persist_failure(msg)
+            }
         }
     }
 
@@ -1624,43 +1731,81 @@ impl TableState {
         }
     }
 
+    /// This table's observability bundle (metrics handles + event ring).
+    pub fn obs(&self) -> &Arc<TableObs> {
+        &self.obs
+    }
+
+    /// Run `f` under the health lock; afterwards (lock released), if the
+    /// derived healthy/degraded/recovering state changed, update the
+    /// health gauge and trace a `health` transition event. Every health
+    /// mutation goes through here, so the gauge — which `/healthz` is
+    /// served from — can never drift from the state machine.
+    fn mutate_health<R>(&self, f: impl FnOnce(&mut HealthState) -> R) -> R {
+        let (r, before, after) = {
+            let mut h = lock_recover(&self.health);
+            let before = health_code_of(&h);
+            let r = f(&mut h);
+            (r, before, health_code_of(&h))
+        };
+        if before != after {
+            self.obs.set_health(after);
+            self.obs.event(
+                "health",
+                format!(
+                    "{} -> {}",
+                    crate::obs::health_name(before),
+                    crate::obs::health_name(after)
+                ),
+                None,
+            );
+        }
+        r
+    }
+
     fn record_refit_failure(&self, msg: String) {
         eprintln!("tcrowd-service: table '{}' refit contained: {msg}", self.id);
-        let mut h = lock_recover(&self.health);
-        h.refit_broken = true;
-        h.refit_failures += 1;
-        h.note_failure(msg);
+        self.mutate_health(|h| {
+            h.refit_broken = true;
+            h.refit_failures += 1;
+            h.note_failure(msg);
+        });
     }
 
     fn record_persist_failure(&self, msg: String) {
         eprintln!("tcrowd-service: table '{}' persist degraded: {msg}", self.id);
-        let mut h = lock_recover(&self.health);
-        h.persist_pending = true;
-        h.persist_failures += 1;
-        h.note_failure(msg);
+        self.mutate_health(|h| {
+            h.persist_pending = true;
+            h.persist_failures += 1;
+            h.note_failure(msg);
+        });
     }
 
     fn record_wal_failure(&self, msg: String) {
         eprintln!("tcrowd-service: table '{}' WAL degraded: {msg}", self.id);
-        let mut h = lock_recover(&self.health);
-        h.wal_broken = true;
-        h.note_failure(msg);
+        self.obs.event("wal_poisoned", msg.clone(), None);
+        self.mutate_health(|h| {
+            h.wal_broken = true;
+            h.note_failure(msg);
+        });
     }
 
     fn note_refit_success(&self) {
-        let mut h = lock_recover(&self.health);
-        if h.refit_broken {
-            h.refit_broken = false;
-            h.settle();
-        }
+        self.mutate_health(|h| {
+            if h.refit_broken {
+                h.refit_broken = false;
+                h.settle();
+            }
+        });
     }
 
     fn note_persist_success(&self) {
-        let mut h = lock_recover(&self.health);
-        if h.persist_pending {
-            h.persist_pending = false;
-            h.settle();
-        }
+        self.mutate_health(|h| {
+            if h.persist_pending {
+                h.persist_pending = false;
+                h.settle();
+            }
+        });
     }
 
     /// One refresher-loop iteration: run due repairs, then refresh unless
@@ -1672,7 +1817,7 @@ impl TableState {
             (h.wal_broken, h.persist_pending, h.refit_broken, due)
         };
         if due {
-            lock_recover(&self.health).recovering = true;
+            self.mutate_health(|h| h.recovering = true);
             if wal_broken {
                 self.try_rebuild_wal();
             }
@@ -1680,7 +1825,7 @@ impl TableState {
             if persist_pending && !wal_still_broken {
                 self.persist_store_snapshot();
             }
-            lock_recover(&self.health).recovering = false;
+            self.mutate_health(|h| h.recovering = false);
         }
         let refit_blocked = {
             let h = lock_recover(&self.health);
@@ -1732,16 +1877,34 @@ impl TableState {
         match result {
             Ok(()) => {
                 eprintln!("tcrowd-service: table '{}' WAL rebuilt; ingest re-enabled", self.id);
-                let mut h = lock_recover(&self.health);
-                h.wal_broken = false;
-                // The chain was reset — persist a fresh base on the next
-                // tick (immediately due).
-                h.persist_pending = true;
-                h.backoff_ms = 0;
-                h.retry_at = Some(Instant::now());
+                self.obs.event(
+                    "wal_rebuilt",
+                    "log rewritten from the acknowledged prefix; ingest re-enabled".to_string(),
+                    None,
+                );
+                self.mutate_health(|h| {
+                    h.wal_broken = false;
+                    // The chain was reset — persist a fresh base on the next
+                    // tick (immediately due).
+                    h.persist_pending = true;
+                    h.backoff_ms = 0;
+                    h.retry_at = Some(Instant::now());
+                });
             }
             Err(msg) => self.record_wal_failure(format!("WAL rebuild failed: {msg}")),
         }
+    }
+}
+
+/// The `tcrowd_table_health` gauge code for a health state (recovering
+/// wins over degraded, matching [`TableState::health`]).
+fn health_code_of(h: &HealthState) -> i64 {
+    if h.recovering {
+        HEALTH_RECOVERING
+    } else if h.degraded() {
+        HEALTH_DEGRADED
+    } else {
+        HEALTH_HEALTHY
     }
 }
 
@@ -1780,6 +1943,52 @@ mod tests {
         };
         let t = TableState::create("t".into(), d.schema.clone(), d.rows(), config, None);
         (t, d)
+    }
+
+    /// `GET /healthz` is served from the observability health gauges, so it
+    /// must answer while a table's ingest AND fitter locks are both held
+    /// (a wedged refit or a stalled ingest cannot wedge the health probe).
+    #[test]
+    fn healthz_answers_with_ingest_and_fitter_locks_held() {
+        let reg = Arc::new(crate::registry::TableRegistry::new());
+        let d = generate_dataset(
+            &GeneratorConfig {
+                rows: 4,
+                columns: 2,
+                num_workers: 3,
+                answers_per_task: 1,
+                ..Default::default()
+            },
+            1,
+        );
+        let t = reg
+            .create(Some("wedged".into()), d.schema.clone(), d.rows(), TableConfig::default())
+            .unwrap();
+        // Wedge the table the way a stuck refit + stuck ingest would.
+        let _ingest = t.ingest.lock().unwrap();
+        let _fitter = t.fitter.lock().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let probe_reg = Arc::clone(&reg);
+        std::thread::spawn(move || {
+            let req = crate::http::Request {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                query: Vec::new(),
+                body: Vec::new(),
+                keep_alive: false,
+                request_id: "probe".into(),
+            };
+            tx.send(crate::api::route(&probe_reg, &req)).ok();
+        });
+        let resp = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("/healthz must not block on table locks");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        drop(_fitter);
+        drop(_ingest);
+        reg.shutdown();
     }
 
     #[test]
@@ -2045,10 +2254,7 @@ mod tests {
         let config = TableConfig {
             refit_every: usize::MAX,
             trust_auto: true,
-            trust: tcrowd_trust::TrustConfig {
-                min_answers: 8,
-                ..Default::default()
-            },
+            trust: tcrowd_trust::TrustConfig { min_answers: 8, ..Default::default() },
             ..Default::default()
         };
         let t = TableState::create("spam".into(), d.schema.clone(), d.rows(), config, None);

@@ -194,6 +194,52 @@ fn assert_reads_serve(client: &Client, id: &str) {
     );
 }
 
+/// All events of the table's lifecycle ring, oldest first, as
+/// `(kind, detail)` pairs.
+fn event_log(client: &Client, id: &str) -> Vec<(String, String)> {
+    let (status, page) = client.get(&format!("/tables/{id}/events?max=1000"));
+    assert_eq!(status, 200, "{page}");
+    assert_eq!(page.get("truncated").unwrap().as_bool(), Some(false), "ring must not have wrapped");
+    page.get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| {
+            (
+                e.get("kind").unwrap().as_str().unwrap().to_string(),
+                e.get("detail").unwrap().as_str().unwrap().to_string(),
+            )
+        })
+        .collect()
+}
+
+/// The event-trace half of the degradation contract: every health
+/// transition the table went through is in the event log, in order, as a
+/// connected chain `healthy -> … -> healthy` that passed through
+/// `degraded` (and through every `via` state given) along the way.
+fn assert_health_transitions_traced(client: &Client, id: &str, via: &[&str]) {
+    let transitions: Vec<String> = event_log(client, id)
+        .into_iter()
+        .filter(|(kind, _)| kind == "health")
+        .map(|(_, detail)| detail)
+        .collect();
+    assert!(!transitions.is_empty(), "a degraded-and-recovered table must trace transitions");
+    let mut state = "healthy".to_string();
+    for t in &transitions {
+        let (from, to) = t.split_once(" -> ").unwrap_or_else(|| panic!("bad transition {t:?}"));
+        assert_eq!(from, state, "transition chain must connect: {transitions:?}");
+        state = to.to_string();
+    }
+    assert_eq!(state, "healthy", "the chain must end recovered: {transitions:?}");
+    for want in ["degraded"].iter().chain(via) {
+        assert!(
+            transitions.iter().any(|t| t.ends_with(&format!("-> {want}"))),
+            "no transition into '{want}': {transitions:?}"
+        );
+    }
+}
+
 fn assert_healthz_degraded(client: &Client, id: &str) {
     let (_, h) = client.get("/healthz");
     assert_eq!(h.get("status").unwrap().as_str(), Some("degraded"), "{h}");
@@ -256,6 +302,15 @@ fn enospc_on_snapshot_persist_degrades_and_recovers() {
     assert_served_equals_acked(&client, "t", &acked);
     let div = offline_z_divergence(&client, "t", &acked);
     assert!(div < 1e-6, "settled state diverges from offline infer by {div:.3e}");
+
+    // The whole degradation arc is in the event log, in order: the failed
+    // persist, the health transitions, and a successful persist after heal.
+    assert_health_transitions_traced(&client, "t", &[]);
+    let log = event_log(&client, "t");
+    let last_fail = log.iter().rposition(|(k, _)| k == "snapshot_persist_failed");
+    let last_ok = log.iter().rposition(|(k, _)| k == "snapshot_persisted");
+    assert!(last_fail.is_some(), "the ENOSPC persist must be traced: {log:?}");
+    assert!(last_ok > last_fail, "a healed persist must follow the failure: {log:?}");
 
     registry.shutdown();
     server.shutdown();
@@ -320,6 +375,15 @@ fn fsync_failure_degrades_ingest_to_503_until_the_wal_is_rebuilt() {
     let div = offline_z_divergence(&client, "t", &acked);
     assert!(div < 1e-6, "settled state diverges from offline infer by {div:.3e}");
 
+    // Event trace: poisoning before rebuild, and the health chain walked
+    // healthy -> degraded -> recovering -> … -> healthy in order.
+    assert_health_transitions_traced(&client, "t", &["recovering"]);
+    let log = event_log(&client, "t");
+    let poisoned = log.iter().position(|(k, _)| k == "wal_poisoned");
+    let rebuilt = log.iter().position(|(k, _)| k == "wal_rebuilt");
+    assert!(poisoned.is_some(), "the fsync failure must be traced: {log:?}");
+    assert!(rebuilt > poisoned, "the rebuild must follow the poisoning: {log:?}");
+
     registry.shutdown();
     server.shutdown();
     let rec = Store::open(&dir, FsyncPolicy::Always).unwrap().recover_table("t").unwrap();
@@ -382,6 +446,12 @@ fn injected_refit_panics_are_contained_and_retried_to_recovery() {
     assert_served_equals_acked(&client, "t", &acked);
     let div = offline_z_divergence(&client, "t", &acked);
     assert!(div < 1e-6, "settled state diverges from offline infer by {div:.3e}");
+
+    // Every contained panic is traced, and the health chain closes.
+    assert_health_transitions_traced(&client, "t", &[]);
+    let log = event_log(&client, "t");
+    let panics = log.iter().filter(|(k, _)| k == "refit_panicked").count();
+    assert_eq!(panics as u64, PANICS, "every contained panic must be traced: {log:?}");
 
     registry.shutdown();
     server.shutdown();

@@ -78,4 +78,58 @@ impl Client {
     pub fn post(&self, path: &str, body: &str) -> (u16, Json) {
         self.request("POST", path, Some(body))
     }
+
+    /// A GET whose body is returned as raw text (for `/metrics`, which is
+    /// Prometheus exposition, not JSON). Returns
+    /// `(status, lowercase headers, body text)`.
+    #[allow(dead_code)]
+    pub fn get_raw(&self, path: &str) -> (u16, Vec<(String, String)>, String) {
+        self.raw_request("GET", path, &[], None)
+    }
+
+    /// One request with caller-chosen extra headers, body returned as raw
+    /// text (for `X-Request-Id` correlation tests).
+    #[allow(dead_code)]
+    pub fn raw_request(
+        &self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> (u16, Vec<(String, String)>, String) {
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        let body = body.unwrap_or("");
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+        for (name, value) in extra_headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+        stream.write_all(raw.as_bytes()).expect("write request");
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut len = 0usize;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.trim_end().split_once(':') {
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                len = v.trim().parse().expect("content-length");
+            }
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("body");
+        (status, headers, String::from_utf8(body).expect("utf-8 body"))
+    }
 }

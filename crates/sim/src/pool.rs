@@ -598,18 +598,11 @@ mod tests {
         let mut pool = WorkerPool::new(&d.schema, &d.truth, cfg, 21);
         // Deterministic tail layout: 9 honest, 5 spammers, 4 colluders over
         // 2 rings, 2 sleepers.
-        let kinds: Vec<Archetype> =
-            (0..20u32).map(|w| pool.archetype(WorkerId(w))).collect();
+        let kinds: Vec<Archetype> = (0..20u32).map(|w| pool.archetype(WorkerId(w))).collect();
         assert_eq!(kinds.iter().filter(|a| **a == Archetype::Honest).count(), 9);
         assert_eq!(kinds.iter().filter(|a| **a == Archetype::Spammer).count(), 5);
-        assert_eq!(
-            kinds.iter().filter(|a| matches!(a, Archetype::Colluder { .. })).count(),
-            4
-        );
-        assert_eq!(
-            kinds.iter().filter(|a| matches!(a, Archetype::Sleeper { .. })).count(),
-            2
-        );
+        assert_eq!(kinds.iter().filter(|a| matches!(a, Archetype::Colluder { .. })).count(), 4);
+        assert_eq!(kinds.iter().filter(|a| matches!(a, Archetype::Sleeper { .. })).count(), 2);
         assert!(kinds[..9].iter().all(|a| !a.adversarial()), "honest workers keep the low ids");
 
         // Ring members give the exact same answer to the same cell; distinct

@@ -45,6 +45,7 @@
 
 pub mod crc;
 pub mod io;
+pub mod obs;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -53,10 +54,12 @@ pub use crc::crc32;
 pub use io::{
     real_io, Fault, FaultKind, FaultOp, FaultyIo, IoHandle, RealIo, StoreIo, EIO, ENOSPC,
 };
+pub use obs::{noop_obs, NoopObs, ObsHandle, ObsSink};
 pub use snapshot::{
     read_snapshot, read_snapshot_chain, remove_snapshot, remove_snapshot_deltas, write_snapshot,
-    write_snapshot_delta, write_snapshot_delta_with_io, write_snapshot_with_io, ChainInfo,
-    SnapshotDelta, TableSnapshot, DELTA_PREFIX, SNAPSHOT_FILE,
+    write_snapshot_delta, write_snapshot_delta_observed, write_snapshot_delta_with_io,
+    write_snapshot_observed, write_snapshot_with_io, ChainInfo, SnapshotDelta, TableSnapshot,
+    DELTA_PREFIX, SNAPSHOT_FILE,
 };
 pub use store::{rewrite_wal, CompactReport, Recovered, SnapshotCheck, Store, VerifyReport};
 pub use wal::{

@@ -1,0 +1,39 @@
+//! Observability sink: the durability layer reports WAL append, fsync, and
+//! snapshot-persist durations through an [`ObsSink`] handle without
+//! depending on any metrics implementation — the same injection shape as
+//! [`StoreIo`](crate::StoreIo). The service layer implements the trait
+//! over its metrics registry; everything else runs on the free
+//! [`NoopObs`].
+//!
+//! All durations are nanoseconds; every method has an empty default body so
+//! a sink implements only what it cares about.
+
+use std::sync::Arc;
+
+/// Receiver for durability-layer timing observations.
+pub trait ObsSink: Send + Sync + std::fmt::Debug {
+    /// A WAL answer-batch append completed (encode + buffer + commit),
+    /// taking `_ns` nanoseconds.
+    fn wal_append_ns(&self, _ns: u64) {}
+
+    /// A WAL fsync (`sync_data`) completed, taking `_ns` nanoseconds.
+    fn wal_fsync_ns(&self, _ns: u64) {}
+
+    /// A snapshot (base or delta) was written and renamed into place,
+    /// taking `_ns` nanoseconds.
+    fn snapshot_persist_ns(&self, _ns: u64) {}
+}
+
+/// A shared, dynamically-dispatched [`ObsSink`] handle.
+pub type ObsHandle = Arc<dyn ObsSink>;
+
+/// The default sink: drops every observation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObs;
+
+impl ObsSink for NoopObs {}
+
+/// The sink every non-instrumented path uses.
+pub fn noop_obs() -> ObsHandle {
+    Arc::new(NoopObs)
+}

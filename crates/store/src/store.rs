@@ -13,8 +13,7 @@
 use crate::io::{real_io, IoHandle};
 use crate::snapshot::{self, ChainInfo, TableSnapshot};
 use crate::wal::{
-    self, FsyncPolicy, QuarantineEntry, RecordInfo, TableMeta, TornTail, Wal, WalPosition,
-    WAL_FILE,
+    self, FsyncPolicy, QuarantineEntry, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WAL_FILE,
 };
 use crate::StoreError;
 use std::fs;
@@ -249,7 +248,18 @@ impl Store {
             }
         }
 
-        let (meta, log, fit, quarantine, snapshot_epoch, chain, replayed_tail, valid_len, torn, deleted);
+        let (
+            meta,
+            log,
+            fit,
+            quarantine,
+            snapshot_epoch,
+            chain,
+            replayed_tail,
+            valid_len,
+            torn,
+            deleted,
+        );
         match snap {
             Some((s, info)) if s.wal_offset <= file_len => {
                 // Fast path: resume decoding at the snapshot's offset; the
@@ -476,7 +486,9 @@ impl Store {
             wal_bytes_before: full.valid_len,
             wal_bytes_after: pos.offset,
             records_before: full.records.len(),
-            records_after: 1 + log.len().div_ceil(REWRITE_CHUNK) + usize::from(!quarantine.is_empty()),
+            records_after: 1
+                + log.len().div_ceil(REWRITE_CHUNK)
+                + usize::from(!quarantine.is_empty()),
             answers: log.len() as u64,
             fit_preserved: fit.is_some(),
         })
@@ -546,8 +558,7 @@ impl Store {
                     // WAL tell different stories about who is excluded.
                     if s.wal_offset <= wal_bytes {
                         if let Ok(tail) = wal::replay_tail(&wal_path, s.wal_offset) {
-                            let recovered =
-                                tail.quarantine.unwrap_or_else(|| s.quarantine.clone());
+                            let recovered = tail.quarantine.unwrap_or_else(|| s.quarantine.clone());
                             if recovered != full.quarantine.clone().unwrap_or_default() {
                                 errors.push(format!(
                                     "snapshot quarantine set ({} workers) disagrees with the \
@@ -589,13 +600,11 @@ impl Store {
             full.records.iter().filter(|r| wal::record_kind_name(r.kind) == "quarantine").count();
         let quarantined = match (&full.quarantine, &snapshot) {
             // Snapshot ahead of the WAL: its set is what recovery adopts.
-            (None, Some(c)) if c.epoch > full.answers.len() as u64 => {
-                snapshot::read_snapshot(&dir)
-                    .ok()
-                    .flatten()
-                    .map(|s| s.quarantine.len())
-                    .unwrap_or(0)
-            }
+            (None, Some(c)) if c.epoch > full.answers.len() as u64 => snapshot::read_snapshot(&dir)
+                .ok()
+                .flatten()
+                .map(|s| s.quarantine.len())
+                .unwrap_or(0),
             (q, _) => q.as_ref().map(|q| q.len()).unwrap_or(0),
         };
         Ok(VerifyReport {

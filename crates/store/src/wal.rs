@@ -43,6 +43,7 @@
 
 use crate::crc::crc32;
 use crate::io::{real_io, IoHandle};
+use crate::obs::{noop_obs, ObsHandle};
 use crate::StoreError;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom};
@@ -262,6 +263,9 @@ pub struct Wal {
     policy: FsyncPolicy,
     /// All file writes/fsyncs go through this handle ([`crate::io`]).
     io: IoHandle,
+    /// Timing observations (append / fsync durations) go through this sink
+    /// ([`crate::obs`]); defaults to the free no-op.
+    obs: ObsHandle,
     /// Set when an append failed mid-record: an unknown number of bytes of
     /// the failed frame may already sit in the file, so any further write
     /// would land *after* garbage and be unrecoverable. A poisoned WAL
@@ -308,8 +312,17 @@ impl Wal {
         let mut payload = vec![KIND_CREATE];
         meta.encode(&mut payload);
         let bytes = frame(&payload);
-        let mut wal =
-            Wal { file, buf: Vec::new(), path, offset: 0, answers: 0, policy, io, poisoned: false };
+        let mut wal = Wal {
+            file,
+            buf: Vec::new(),
+            path,
+            offset: 0,
+            answers: 0,
+            policy,
+            io,
+            obs: noop_obs(),
+            poisoned: false,
+        };
         wal.buf.extend_from_slice(&bytes);
         wal.guarded(|w| {
             w.write_buf()?;
@@ -358,6 +371,7 @@ impl Wal {
             answers: position.answers,
             policy,
             io,
+            obs: noop_obs(),
             poisoned: false,
         })
     }
@@ -381,6 +395,22 @@ impl Wal {
     /// reopen a rebuilt log under the same durability contract).
     pub fn fsync_policy(&self) -> FsyncPolicy {
         self.policy
+    }
+
+    /// Route append/fsync timing observations to `obs` (default: no-op).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// `sync_data` through the io handle, reporting the duration of a
+    /// successful fsync to the obs sink.
+    fn timed_sync(&self) -> std::io::Result<()> {
+        let t = std::time::Instant::now();
+        let res = self.io.sync_data(&self.path, &self.file);
+        if res.is_ok() {
+            self.obs.wal_fsync_ns(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        res
     }
 
     fn check_poisoned(&self) -> Result<(), StoreError> {
@@ -429,7 +459,7 @@ impl Wal {
         match self.policy {
             FsyncPolicy::Always => {
                 self.write_buf()?;
-                self.io.sync_data(&self.path, &self.file)
+                self.timed_sync()
             }
             FsyncPolicy::Flush => self.write_buf(),
             FsyncPolicy::Never => {
@@ -448,6 +478,7 @@ impl Wal {
     /// could be written but never read back).
     pub fn append_answers(&mut self, batch: &[Answer]) -> Result<WalPosition, StoreError> {
         self.check_poisoned()?;
+        let t = std::time::Instant::now();
         let mut payload = vec![KIND_APPEND];
         binary::put_answers(&mut payload, batch);
         if payload.len() as u64 > MAX_RECORD as u64 {
@@ -468,6 +499,7 @@ impl Wal {
         self.guarded(Wal::commit)?;
         self.offset += bytes.len() as u64;
         self.answers += batch.len() as u64;
+        self.obs.wal_append_ns(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         Ok(self.position())
     }
 
@@ -490,7 +522,7 @@ impl Wal {
         self.buf.extend_from_slice(&bytes);
         self.guarded(|w| {
             w.write_buf()?;
-            w.io.sync_data(&w.path, &w.file)
+            w.timed_sync()
         })?;
         self.offset += bytes.len() as u64;
         Ok(self.position())
@@ -506,7 +538,7 @@ impl Wal {
         self.buf.extend_from_slice(&bytes);
         self.guarded(|w| {
             w.write_buf()?;
-            w.io.sync_data(&w.path, &w.file)
+            w.timed_sync()
         })?;
         self.offset += bytes.len() as u64;
         Ok(())
@@ -525,7 +557,7 @@ impl Wal {
         }
         let res = (|| {
             self.write_buf()?;
-            self.io.sync_data(&self.path, &self.file)
+            self.timed_sync()
         })();
         if res.is_err() {
             self.poisoned = true;

@@ -56,8 +56,8 @@ pub use generator::{
     generate_dataset, EntityGroups, GeneratorConfig, RowFamiliarity, WorkerQualityConfig,
 };
 pub use matrix::{AnswerMatrix, FrozenView, MatrixAnswer};
-pub use quarantine::QuarantineView;
 pub use metrics::{evaluate, evaluate_with_answers, ColumnQuality, QualityReport};
+pub use quarantine::QuarantineView;
 pub use schema::{Column, ColumnType, Schema};
 pub use shared::{LogSlice, SharedLog};
 pub use value::Value;

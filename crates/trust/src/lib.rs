@@ -158,9 +158,9 @@ impl TrustState {
             "trusted" => Ok(TrustState::Trusted),
             "suspect" => Ok(TrustState::Suspect),
             "quarantined" => Ok(TrustState::Quarantined),
-            other => Err(format!(
-                "unknown trust state '{other}' (expected trusted|suspect|quarantined)"
-            )),
+            other => {
+                Err(format!("unknown trust state '{other}' (expected trusted|suspect|quarantined)"))
+            }
         }
     }
 }
@@ -235,7 +235,15 @@ pub fn score_workers(
             let quality = result.quality_of(worker);
             let score = quality.unwrap_or_else(|| shadow_quality(result, matrix, i));
             let (max_agreement, partner, value_collisions) = agreement[i];
-            WorkerTrust { worker, answers, quality, score, max_agreement, partner, value_collisions }
+            WorkerTrust {
+                worker,
+                answers,
+                quality,
+                score,
+                max_agreement,
+                partner,
+                value_collisions,
+            }
         })
         .collect()
 }
@@ -263,8 +271,7 @@ fn shadow_quality(result: &InferenceResult, matrix: &AnswerMatrix, i: usize) -> 
         } else if let TruthDist::Continuous(n) = result.truth_z(cell) {
             if let Some((m, s)) = result.scaler(cell.col as usize) {
                 let az = (matrix.answer_values()[k] - m) / s;
-                let difficulty =
-                    result.alpha[cell.row as usize] * result.beta[cell.col as usize];
+                let difficulty = result.alpha[cell.row as usize] * result.beta[cell.col as usize];
                 cont_n += 1;
                 cont_sq += (az - n.mean).powi(2) / difficulty.max(tcrowd_stat::EPS);
             }
@@ -296,8 +303,10 @@ fn pairwise_agreement(
     matrix: &AnswerMatrix,
     min_overlap: usize,
 ) -> Vec<(f64, Option<WorkerId>, usize)> {
+    /// `(shared, agree, collide)` tallies for one unordered worker pair.
+    type PairStats = (u32, u32, u32);
     let workers = matrix.answer_workers();
-    let mut pairs: HashMap<(u32, u32), (u32, u32, u32)> = HashMap::new();
+    let mut pairs: HashMap<(u32, u32), PairStats> = HashMap::new();
     let offsets = matrix.cell_offsets();
     for slot in 0..offsets.len().saturating_sub(1) {
         let (lo, hi) = (offsets[slot] as usize, offsets[slot + 1] as usize);
@@ -317,10 +326,9 @@ fn pairwise_agreement(
             }
         }
     }
-    let mut sorted: Vec<((u32, u32), (u32, u32, u32))> = pairs.into_iter().collect();
+    let mut sorted: Vec<((u32, u32), PairStats)> = pairs.into_iter().collect();
     sorted.sort_unstable_by_key(|&(k, _)| k);
-    let mut best: Vec<(f64, Option<WorkerId>, usize)> =
-        vec![(0.0, None, 0); matrix.num_workers()];
+    let mut best: Vec<(f64, Option<WorkerId>, usize)> = vec![(0.0, None, 0); matrix.num_workers()];
     for ((wa, wb), (shared, agree, collide)) in sorted {
         for (me, other) in [(wa, wb), (wb, wa)] {
             let slot = &mut best[me as usize];
@@ -531,8 +539,7 @@ mod tests {
         // …but NOT value collisions: a ring that captured the fit and
         // awarded itself a perfect quality is still caught by bit-identical
         // continuous answers.
-        let captured =
-            WorkerTrust { max_agreement: 1.0, value_collisions: 10, ..t(40, 1.0) };
+        let captured = WorkerTrust { max_agreement: 1.0, value_collisions: 10, ..t(40, 1.0) };
         assert!(captured.colluding(&cfg));
         assert_eq!(advance(Trusted, &captured, &cfg), Suspect);
         assert_eq!(advance(Suspect, &captured, &cfg), Quarantined);
