@@ -1,0 +1,43 @@
+"""Shared helpers for the CI gate scripts in ci/gates/.
+
+Every gate follows the same protocol: load a BENCH_*.json produced by the
+bench run earlier in the job, re-check the recorded numbers independently
+of the bench's own asserts, print failures prefixed with the gate name,
+append a one-line verdict to $GITHUB_STEP_SUMMARY (when set), and exit
+non-zero on any failure.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    """Load a bench JSON document, failing the gate loudly if absent."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"GATE ERROR: cannot read {path}: {e}")
+        sys.exit(1)
+
+
+def summary_line(line):
+    """Append one line to the GitHub Actions step summary (no-op locally)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        f.write(line.rstrip("\n") + "\n")
+
+
+def finish(gate, failures, ok_line):
+    """Print failures (or the ok line), mirror the verdict into the step
+    summary, and exit accordingly."""
+    if failures:
+        for f_ in failures:
+            print(f"{gate} GATE:", f_)
+        summary_line(f"- ❌ **{gate.lower()}**: " + "; ".join(failures))
+        sys.exit(1)
+    print(ok_line)
+    summary_line(f"- ✅ **{gate.lower()}**: {ok_line}")

@@ -1,0 +1,81 @@
+"""Durability contract over BENCH_persistence.json.
+
+Zero acknowledged-answer loss (recovered log bit-identical to the
+ingested one) and recovered-state agreement with offline inference at
+1e-6 z-units, at every measured log length; snapshot recovery must not
+regress to slower-than-replay. Two group-commit/segmentation gates ride
+on top:
+
+* `fsync=always` ingest throughput must land within the recorded bound
+  (3x) of `flush` — the whole point of the commit thread coalescing
+  concurrent batches into one fsync;
+* recovery wall-clock must be independent of the WAL segment count (a
+  multi-segment chain within the recorded bound, 1.5x, of a single
+  segment), with the multi-segment run actually rotated (> 1 segment)
+  and bit-identical.
+"""
+
+from _common import finish, load
+
+bench = load("BENCH_persistence.json")
+failures = []
+gate = bench["recovered_state_equal_within"]
+for p in bench["recovery"]:
+    if not p["recovered_log_identical"]:
+        failures.append(f"{p['answers']} answers: recovered log differs (acked loss)")
+    if p["recovered_z_divergence"] > gate:
+        failures.append(
+            f"{p['answers']} answers: recovered truth diverges by "
+            f"{p['recovered_z_divergence']:.3e} (> {gate})"
+        )
+    if p["replayed_tail_with_snapshot"] != 0:
+        failures.append(f"{p['answers']} answers: snapshot recovery replayed a tail")
+    if p["speedup"] < 1.0:
+        failures.append(
+            f"{p['answers']} answers: snapshot recovery slower than full replay "
+            f"({p['speedup']:.2f}x)"
+        )
+modes = {i["mode"]: i for i in bench["ingest"]}
+for required in ("memory-only", "wal-fsync-never", "wal-fsync-flush", "wal-fsync-always"):
+    if required not in modes or modes[required]["answers_per_sec"] <= 0:
+        failures.append(f"ingest mode {required} missing or drove no load")
+
+# Group-commit gate: always within the bound of flush, with real coalescing.
+ratio = bench["always_vs_flush_overhead"]
+ratio_bound = bench["always_vs_flush_bound"]
+if ratio > ratio_bound:
+    failures.append(
+        f"fsync=always is {ratio:.2f}x slower than flush (> {ratio_bound}x): "
+        f"group commit is not closing the fsync gap"
+    )
+always = modes.get("wal-fsync-always", {})
+if always.get("frames_per_fsync", 0) <= 1.0:
+    failures.append(
+        "fsync=always never coalesced (frames_per_fsync "
+        f"{always.get('frames_per_fsync', 0):.2f} <= 1): the commit thread "
+        "is serialising one fsync per batch"
+    )
+
+# Segment-rotation gate: recovery cost independent of the file layout.
+seg = bench["recovery_segments"]
+if seg["segments_multi"] <= 1:
+    failures.append("segmented recovery measured a single segment — rotation never happened")
+if not seg["recovered_identical"]:
+    failures.append("segmented recovery lost or reordered answers")
+if seg["ratio"] > seg["bound"]:
+    failures.append(
+        f"recovery at {seg['segments_multi']:.0f} segments costs {seg['ratio']:.2f}x "
+        f"one segment (> {seg['bound']}x): replay is not bounded by the live tail"
+    )
+
+p = bench["recovery"][-1]
+finish(
+    "DURABILITY",
+    failures,
+    f"durability gates ok: {p['answers']} answers recover in "
+    f"{p['snapshot_ms']:.0f} ms with snapshot vs {p['no_snapshot_ms']:.0f} ms replay "
+    f"({p['speedup']:.1f}x), divergence {p['recovered_z_divergence']:.1e}; "
+    f"always/flush {ratio:.2f}x (bound {ratio_bound}x, "
+    f"{always.get('frames_per_fsync', 0):.1f} frames/fsync); "
+    f"{seg['segments_multi']:.0f}-segment recovery {seg['ratio']:.2f}x of one segment",
+)

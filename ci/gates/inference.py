@@ -1,0 +1,42 @@
+"""Inference-kernel contract over BENCH_inference.json.
+
+The SIMD batch kernels must be bit-equal across dispatch paths and the
+pooled E/M-steps bit-identical to the serial ones (both are also
+asserted inside the bench — a false here means the bench's own gate was
+bypassed). On a multi-core runner the pooled M-step must be strictly
+faster than serial; on a single core the pooled path degrades to the
+serial code, so require no regression instead.
+"""
+
+from _common import finish, load
+
+bench = load("BENCH_inference.json")
+failures = []
+if not bench["kernels_equal"]:
+    failures.append("generic and AVX2 kernels are not bit-equal")
+if not bench["serial_parallel_bit_identical"]:
+    failures.append("parallel EM is not bit-identical to serial")
+serial = bench["kernel_breakdown"]["serial"]
+parallel = bench["kernel_breakdown"]["parallel"]
+if serial["mstep_ns"] <= 0 or serial["objective_evals"] <= 0:
+    failures.append("kernel breakdown missing: no M-step work was timed")
+threads = bench["threads"]
+if threads > 1:
+    if bench["mstep_speedup"] <= 1.0:
+        failures.append(
+            f"pooled M-step not faster than serial on {threads} threads: "
+            f"{bench['mstep_speedup']:.3f}x"
+        )
+elif bench["em_speedup_parallel_over_serial"] < 0.85:
+    failures.append(
+        f"single-thread pooled path regressed vs serial: "
+        f"{bench['em_speedup_parallel_over_serial']:.3f}x"
+    )
+finish(
+    "INFERENCE",
+    failures,
+    f"inference gates ok: kernel path {bench['kernel_path']}, {threads} thread(s), "
+    f"mstep {serial['mstep_ns']/1e6:.0f} ms serial -> {parallel['mstep_ns']/1e6:.0f} ms "
+    f"pooled ({bench['mstep_speedup']:.2f}x), estep {bench['estep_speedup']:.2f}x, "
+    f"naive-vs-csr {bench['csr_speedup_over_naive']:.2f}x",
+)

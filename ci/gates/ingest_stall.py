@@ -1,0 +1,36 @@
+"""Ingest-stall contract over BENCH_service.json (EM off the ingest path).
+
+A refit window must not stall ingestion: the p99 ingest latency of
+samples overlapping refit windows is bounded by bound_ratio (5x) times
+the quiescent p99 (floored at p99_floor_us so loopback noise cannot fail
+the gate). Before the out-of-lock refit pipeline the in-window p99
+equalled the refit duration itself — hundreds of times over this bound.
+"""
+
+from _common import finish, load
+
+bench = load("BENCH_service.json")
+stall = bench["ingest_stall"]
+failures = []
+if stall["refit_windows"] < 2:
+    failures.append(f"only {stall['refit_windows']} refit windows — vacuous measurement")
+if stall["during_refit_samples"] < 20:
+    failures.append(
+        f"only {stall['during_refit_samples']} ingest samples overlapped refit windows"
+    )
+baseline = max(stall["quiescent_p99_us"], stall["p99_floor_us"])
+bound = stall["bound_ratio"] * baseline
+if stall["during_refit_p99_us"] > bound:
+    failures.append(
+        f"ingest p99 during refit windows is {stall['during_refit_p99_us']:.0f} us "
+        f"(> {stall['bound_ratio']}x the {baseline:.0f} us quiescent baseline): "
+        f"a refit is blocking the ingest path"
+    )
+finish(
+    "INGEST-STALL",
+    failures,
+    f"ingest-stall gate ok: p99 {stall['during_refit_p99_us']:.0f} us during "
+    f"{stall['refit_windows']} refit windows (mean {stall['refit_ms_mean']:.0f} ms) vs "
+    f"{stall['quiescent_p99_us']:.0f} us quiescent "
+    f"({stall['stall_ratio_p99']:.2f}x, bound {stall['bound_ratio']}x)",
+)

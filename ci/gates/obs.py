@@ -1,0 +1,34 @@
+"""Instrumentation-overhead contract over BENCH_obs.json.
+
+The instrumentation delta per batch, relative to the service's measured
+p50 ingest service time, must stay under the recorded bound — and both
+A/B lanes must have actually measured something.
+"""
+
+from _common import finish, load
+
+bench = load("BENCH_obs.json")
+failures = []
+lanes = bench["http_closed_loop"]
+for lane in ("enabled", "disabled"):
+    if lanes[lane]["answers_total"] <= 0:
+        failures.append(f"{lane} lane drove no load")
+gate = bench["gate"]
+if gate["service_p50_ingest_us_per_batch"] <= 0:
+    failures.append("no service ingest latency was measured")
+overhead = bench["ingest_throughput_overhead_pct"]
+bound = bench["overhead_bound_pct"]
+if overhead > bound:
+    failures.append(
+        f"instrumentation costs {overhead:.3f}% of ingest throughput "
+        f"(> {bound}%): {gate['instrumentation_delta_ns_per_batch']:.0f} ns/batch "
+        f"against {gate['service_p50_ingest_us_per_batch']:.1f} us/batch"
+    )
+finish(
+    "OBS",
+    failures,
+    f"obs gates ok: instrumentation delta "
+    f"{gate['instrumentation_delta_ns_per_batch']:.0f} ns/batch = "
+    f"{overhead:.3f}% of the {gate['service_p50_ingest_us_per_batch']:.1f} us "
+    f"p50 ingest service time (bound {bound}%)",
+)

@@ -1,0 +1,31 @@
+"""Incremental-refresh regression guard over BENCH_refresh.json.
+
+The delta-merge + warm-start pipeline must not be slower than the
+full-rebuild + cold-EM pipeline at the 50k-answer point — neither the
+whole refit nor the matrix refresh alone.
+"""
+
+from _common import finish, load
+
+bench = load("BENCH_refresh.json")
+point = next(p for p in bench["points"] if p["answers"] == 50_000)
+failures = []
+if point["speedup"] < 1.0:
+    failures.append(
+        f"delta-merge-warm refit slower than full-rebuild-cold at 50k: "
+        f"speedup {point['speedup']:.3f}x"
+    )
+if point["matrix_merge_ns"] > point["matrix_build_ns"]:
+    failures.append(
+        f"merge_delta slower than a full rebuild at 50k: "
+        f"{point['matrix_merge_ns']:.0f} ns vs {point['matrix_build_ns']:.0f} ns"
+    )
+gate = bench["converged_estimates_max_z_diff"]
+if gate > bench["estimates_equal_within"]:
+    failures.append(f"converged warm/cold estimates diverge: {gate:.3e}")
+finish(
+    "REFRESH",
+    failures,
+    f"refresh guard ok: {point['speedup']:.2f}x refit speedup at 50k, "
+    f"converged agreement {gate:.2e}",
+)

@@ -1,0 +1,34 @@
+"""Service-layer contract over BENCH_service.json.
+
+The closed-loop run must drop nothing and its served truth must match an
+offline TCrowd::infer on the served log within 1e-6 z-units (the
+acceptance gates of the service layer).
+"""
+
+from _common import finish, load
+
+bench = load("BENCH_service.json")
+failures = []
+if bench["dropped_answers"] != 0:
+    failures.append(f"dropped answers: {bench['dropped_answers']}")
+if bench["metrics_counter_drift"] != 0:
+    failures.append(
+        f"registry ingest counter drifted from the acked-answer count "
+        f"by {bench['metrics_counter_drift']}"
+    )
+gate = bench["offline_estimates_equal_within"]
+for t in bench["tables"]:
+    if t["offline_z_divergence"] > gate:
+        failures.append(
+            f"table {t['id']}: served truth diverges from offline "
+            f"inference by {t['offline_z_divergence']:.3e} (> {gate})"
+        )
+if bench["answers_total"] <= 0 or bench["throughput_answers_per_sec"] <= 0:
+    failures.append("no load was driven through the service")
+finish(
+    "SERVICE",
+    failures,
+    f"service gates ok: {bench['answers_total']} answers at "
+    f"{bench['throughput_answers_per_sec']:.0f}/s, "
+    f"assignment p99 {bench['assignment_latency_us_p99']:.0f} us",
+)

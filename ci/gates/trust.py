@@ -1,0 +1,39 @@
+"""Adversarial-defense contract over BENCH_trust.json.
+
+The attack must be real (>= 30% spammers), defense-on accuracy must
+recover to >= 90% of the clean baseline and strictly beat defense-off,
+detection must be sharp, and quarantine must never drop a logged answer.
+"""
+
+from _common import finish, load
+
+bench = load("BENCH_trust.json")
+failures = []
+acc = bench["accuracy"]
+det = bench["detection"]
+log = bench["log_immutability"]
+if bench["protocol"]["spammer_frac"] < 0.3:
+    failures.append(f"attack too weak: {bench['protocol']['spammer_frac']:.2f} spammers")
+clean, off, on = (acc[k]["score"] for k in ("clean", "defense_off", "defense_on"))
+if on < 0.9 * clean:
+    failures.append(f"defense-on score {on:.3f} < 90% of clean {clean:.3f}")
+if on <= off:
+    failures.append(f"defense-on score {on:.3f} does not beat defense-off {off:.3f}")
+if det["precision"] < 0.75:
+    failures.append(f"detection precision {det['precision']:.2f} < 0.75")
+if det["recall"] < 0.75:
+    failures.append(f"detection recall {det['recall']:.2f} < 0.75")
+if det["quarantined"] <= 0:
+    failures.append("the defended table quarantined nobody")
+if log["answers_served"] != log["answers_posted"]:
+    failures.append(
+        f"quarantine dropped answers: {log['answers_served']} served "
+        f"of {log['answers_posted']} posted"
+    )
+finish(
+    "TRUST",
+    failures,
+    f"trust gates ok: on {on:.3f} vs clean {clean:.3f} / off {off:.3f}; "
+    f"precision {det['precision']:.2f} recall {det['recall']:.2f}, "
+    f"{det['quarantined']:.0f} quarantined",
+)

@@ -108,10 +108,12 @@ USAGE:
                   # kind, detail and the request correlation id
   tcrowd store    <inspect|verify|compact> --data-dir DIR [--table ID]
                   # offline durability tooling: inspect prints per-table WAL/
-                  # snapshot-chain state, verify audits checksums + chain/WAL
-                  # consistency (exit 1 on hard errors), compact defragments
-                  # the WAL and collapses the snapshot chain into one base
-                  # the WAL and rewrites a fresh full-epoch snapshot";
+                  # segment/snapshot-chain state ('N+' segments = cold head
+                  # compacted away under a covering snapshot), verify audits
+                  # checksums + segment-chain continuity + chain/WAL
+                  # consistency (exit 1 on hard errors), compact collapses
+                  # the segment chain into one defragmented WAL segment and
+                  # rewrites a fresh full-epoch snapshot";
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let dir = Path::new(args.require("out-dir")?);
@@ -571,7 +573,7 @@ fn cmd_store(args: &Args) -> Result<(), String> {
     match args.command.as_str() {
         "inspect" => {
             println!(
-                "table\tanswers\trecords\twal_bytes\tquarantine_records\tquarantined\t\
+                "table\tanswers\trecords\twal_bytes\tsegments\tquarantine_records\tquarantined\t\
                  snapshot_epoch\tchain_links\tfit\ttorn\tdeleted"
             );
             for id in &ids {
@@ -584,8 +586,11 @@ fn cmd_store(args: &Args) -> Result<(), String> {
                     ),
                     None => ("-".to_string(), "-".to_string(), "-"),
                 };
+                // `3+` marks a head-compacted chain: cold segments below the
+                // snapshot were deleted, so the count covers live files only.
+                let segments = format!("{}{}", v.segments, if v.head_compacted { "+" } else { "" });
                 println!(
-                    "{id}\t{}\t{}\t{}\t{}\t{}\t{snap_epoch}\t{links}\t{fit}\t{}\t{}",
+                    "{id}\t{}\t{}\t{}\t{segments}\t{}\t{}\t{snap_epoch}\t{links}\t{fit}\t{}\t{}",
                     v.answers,
                     v.records,
                     v.wal_bytes,
@@ -603,8 +608,16 @@ fn cmd_store(args: &Args) -> Result<(), String> {
                 let v = store.verify_table(id).map_err(|e| format!("{id}: {e}"))?;
                 let status = if v.errors.is_empty() { "ok" } else { "FAIL" };
                 println!(
-                    "{id}: {status} — {} answers in {} records ({} bytes)",
-                    v.answers, v.records, v.wal_bytes
+                    "{id}: {status} — {} answers in {} records ({} bytes, {} segment(s){})",
+                    v.answers,
+                    v.records,
+                    v.wal_bytes,
+                    v.segments,
+                    if v.head_compacted {
+                        ", head compacted — snapshot is load-bearing"
+                    } else {
+                        ""
+                    }
                 );
                 if let Some(t) = &v.torn {
                     println!(
@@ -644,12 +657,15 @@ fn cmd_store(args: &Args) -> Result<(), String> {
             for id in &ids {
                 let r = store.compact_table(id).map_err(|e| format!("{id}: {e}"))?;
                 println!(
-                    "{id}: {} answers, {} records -> {}, {} -> {} wal bytes, fit {}",
+                    "{id}: {} answers, {} records -> {}, {} -> {} wal bytes, \
+                     {} -> {} segment(s), fit {}",
                     r.answers,
                     r.records_before,
                     r.records_after,
                     r.wal_bytes_before,
                     r.wal_bytes_after,
+                    r.segments_before,
+                    r.segments_after,
                     if r.fit_preserved { "preserved" } else { "absent" }
                 );
             }

@@ -481,13 +481,14 @@ fn quarantine_survives_sigkill_and_store_tools_decode_it() {
     // Offline tools decode the quarantine record kind against the cold dir.
     let (ok, out) = run("inspect");
     assert!(ok, "{out}");
-    // table, answers, records, wal_bytes, then quarantine_records=1 and
-    // quarantined=1 — all 12 answers still in the log.
+    // table, answers, records, wal_bytes, segments, then
+    // quarantine_records=1 and quarantined=1 — all 12 answers in the log.
     let row = out.lines().find(|l| l.starts_with("t\t")).expect("inspect row");
     let fields: Vec<&str> = row.split('\t').collect();
     assert_eq!(fields[1], "12", "answers retained: {out}");
-    assert_eq!(fields[4], "1", "quarantine records: {out}");
-    assert_eq!(fields[5], "1", "quarantined workers: {out}");
+    assert_eq!(fields[4], "1", "single live segment: {out}");
+    assert_eq!(fields[5], "1", "quarantine records: {out}");
+    assert_eq!(fields[6], "1", "quarantined workers: {out}");
     let (ok, out) = run("verify");
     assert!(ok, "{out}");
     assert!(out.contains("t: ok"), "{out}");
@@ -515,8 +516,8 @@ fn quarantine_survives_sigkill_and_store_tools_decode_it() {
     assert!(ok, "{out}");
     let row = out.lines().find(|l| l.starts_with("t\t")).expect("inspect row");
     let fields: Vec<&str> = row.split('\t').collect();
-    assert_eq!(fields[4], "2", "two quarantine records after release: {out}");
-    assert_eq!(fields[5], "0", "released worker no longer quarantined: {out}");
+    assert_eq!(fields[5], "2", "two quarantine records after release: {out}");
+    assert_eq!(fields[6], "0", "released worker no longer quarantined: {out}");
 
     let (mut child, addr) = spawn_serve(&["--data-dir", &data_flag]);
     let workers = http(&addr, "GET", "/tables/t/workers", "");

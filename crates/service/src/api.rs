@@ -565,6 +565,30 @@ fn snapshot_stats(table: &Arc<TableState>, snap: &Snapshot) -> Json {
                 None => Json::Null,
             },
         ),
+        // Group-commit coalescing counters and the live WAL segment count
+        // (null for memory-only tables; the commit counters are also null
+        // once the committer has shut down on the deletion path).
+        (
+            "commit_groups",
+            match table.commit_stats() {
+                Some(s) => Json::from(s.groups as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "commit_frames",
+            match table.commit_stats() {
+                Some(s) => Json::from(s.frames as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "wal_segments",
+            match table.wal_segments() {
+                Some(n) => Json::from(n as f64),
+                None => Json::Null,
+            },
+        ),
         ("health", Json::from(health.health)),
         (
             "health_reason",

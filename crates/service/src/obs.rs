@@ -139,6 +139,10 @@ pub struct TableObs {
     wal_append_seconds: Arc<Histogram>,
     wal_fsync_seconds: Arc<Histogram>,
     snapshot_persist_seconds: Arc<Histogram>,
+    commit_seconds: Arc<Histogram>,
+    commit_groups: Arc<Counter>,
+    commit_frames: Arc<Counter>,
+    wal_segments: Arc<Gauge>,
     health: Arc<Gauge>,
     quarantined_workers: Arc<Gauge>,
     suspect_workers: Arc<Gauge>,
@@ -158,6 +162,10 @@ impl TableObs {
             wal_append_seconds: reg.histogram("tcrowd_wal_append_seconds", &t),
             wal_fsync_seconds: reg.histogram("tcrowd_wal_fsync_seconds", &t),
             snapshot_persist_seconds: reg.histogram("tcrowd_snapshot_persist_seconds", &t),
+            commit_seconds: reg.histogram("tcrowd_commit_seconds", &t),
+            commit_groups: reg.counter("tcrowd_commit_groups_total", &t),
+            commit_frames: reg.counter("tcrowd_commit_frames_total", &t),
+            wal_segments: reg.gauge("tcrowd_wal_segments", &t),
             health: reg.gauge("tcrowd_table_health", &t),
             quarantined_workers: reg.gauge("tcrowd_quarantined_workers", &t),
             suspect_workers: reg.gauge("tcrowd_suspect_workers", &t),
@@ -239,6 +247,16 @@ impl tcrowd_store::ObsSink for StoreSink {
     fn snapshot_persist_ns(&self, ns: u64) {
         self.obs.snapshot_persist_seconds.observe_ns(ns);
     }
+
+    fn commit_group(&self, frames: u64, _answers: u64, ns: u64) {
+        self.obs.commit_groups.inc();
+        self.obs.commit_frames.add(frames);
+        self.obs.commit_seconds.observe_ns(ns);
+    }
+
+    fn wal_segments(&self, live: u64) {
+        self.obs.wal_segments.set(live.min(i64::MAX as u64) as i64);
+    }
 }
 
 #[cfg(test)]
@@ -278,10 +296,17 @@ mod tests {
         sink.wal_append_ns(1_000);
         sink.wal_fsync_ns(2_000);
         sink.snapshot_persist_ns(3_000);
+        sink.commit_group(4, 40, 5_000);
+        sink.commit_group(2, 20, 6_000);
+        sink.wal_segments(3);
         let text = obs.render();
         assert!(text.contains("tcrowd_wal_append_seconds_count{table=\"t\"} 1"));
         assert!(text.contains("tcrowd_wal_fsync_seconds_count{table=\"t\"} 1"));
         assert!(text.contains("tcrowd_snapshot_persist_seconds_count{table=\"t\"} 1"));
+        assert!(text.contains("tcrowd_commit_groups_total{table=\"t\"} 2"));
+        assert!(text.contains("tcrowd_commit_frames_total{table=\"t\"} 6"));
+        assert!(text.contains("tcrowd_commit_seconds_count{table=\"t\"} 2"));
+        assert!(text.contains("tcrowd_wal_segments{table=\"t\"} 3"));
     }
 
     #[test]

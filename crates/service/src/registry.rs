@@ -254,6 +254,9 @@ impl TableRegistry {
     pub fn shutdown(&self) {
         for table in self.tables.read().unwrap_or_else(|p| p.into_inner()).values() {
             table.stop_refresher();
+            // Drain + join the commit thread first so every queued batch is
+            // committed before the snapshot pins the durable mark.
+            table.shutdown_committer();
             table.persist_store_snapshot();
         }
     }

@@ -70,8 +70,9 @@ use tcrowd_core::{
     AssignmentContext, CorrelationModel, FitParams, FitState, InferenceResult, TCrowd,
 };
 use tcrowd_store::{
-    remove_snapshot, remove_snapshot_deltas, rewrite_wal, write_snapshot_delta_observed,
-    write_snapshot_observed, ChainInfo, IoHandle, QuarantineEntry, Recovered, SnapshotDelta,
+    compact_cold_segments, count_segments, remove_snapshot, remove_snapshot_deltas, rewrite_wal,
+    write_snapshot_delta_observed, write_snapshot_observed, ChainInfo, CommitSink, CommitStatsView,
+    CommittedBatch, DurableMark, GroupCommit, IoHandle, QuarantineEntry, Recovered, SnapshotDelta,
     TableMeta, TableSnapshot, Wal, WalPosition, WAL_FILE,
 };
 use tcrowd_tabular::{Answer, AnswerLog, AnswerMatrix, CellId, Schema, SharedLog, WorkerId};
@@ -463,16 +464,30 @@ impl SnapChain {
     }
 }
 
-/// The durable half of a table: its open WAL, its snapshot directory, the
-/// metadata the store persists, and the incremental-snapshot chain
-/// position. Lock order: the ingest `Mutex` is always taken before
-/// [`Durability::wal`]; the chain mutex is leaf-level (nothing else is
-/// acquired under it).
+/// The durable half of a table: its open WAL (shared with the per-table
+/// commit thread), its snapshot directory, the metadata the store
+/// persists, and the incremental-snapshot chain position.
+///
+/// Lock order: the ingest `Mutex` is always taken before
+/// [`Durability::wal`] by direct appenders (quarantine records,
+/// tombstones, the rebuild path); the commit thread takes the WAL mutex
+/// *alone* and its sink takes the ingest mutex *alone* — neither nests,
+/// so the commit thread can never deadlock against a direct appender.
+/// The chain mutex is leaf-level (nothing else is acquired under it).
 pub struct Durability {
-    wal: Mutex<Wal>,
+    wal: Arc<Mutex<Wal>>,
     dir: PathBuf,
     meta: TableMeta,
     chain: Mutex<SnapChain>,
+    /// The commit thread coalescing concurrent `submit` batches into one
+    /// `write+fsync` each ([`GroupCommit`]). `None` until
+    /// [`Durability::start_committer`] runs in `spawn`, and again after
+    /// [`Durability::shutdown_committer`] on the deletion path.
+    committer: Mutex<Option<Arc<GroupCommit>>>,
+    /// The commit thread's durable watermark: the WAL position whose
+    /// answers are both committed and in the in-memory log. Snapshots pin
+    /// to this instead of syncing the WAL under the ingest lock.
+    mark: DurableMark,
     /// The store's I/O handle, kept so snapshot writes and the WAL-rebuild
     /// repair path go through the same (possibly fault-injected) layer the
     /// WAL does.
@@ -484,7 +499,7 @@ impl Durability {
     /// persisted snapshot writes a full base). `io` must be the handle of
     /// the store that created the WAL.
     pub fn new(wal: Wal, dir: PathBuf, meta: TableMeta, io: IoHandle) -> Durability {
-        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(SnapChain::fresh()), io }
+        Durability::recovered(wal, dir, meta, SnapChain::fresh(), io)
     }
 
     fn recovered(
@@ -494,7 +509,67 @@ impl Durability {
         chain: SnapChain,
         io: IoHandle,
     ) -> Durability {
-        Durability { wal: Mutex::new(wal), dir, meta, chain: Mutex::new(chain), io }
+        let mark = DurableMark::starting_at(wal.position());
+        Durability {
+            wal: Arc::new(Mutex::new(wal)),
+            dir,
+            meta,
+            chain: Mutex::new(chain),
+            committer: Mutex::new(None),
+            mark,
+            io,
+        }
+    }
+
+    /// Start the table's commit thread: committed batches are pushed into
+    /// `log` (under its lock) and the durable mark advanced before any
+    /// submitter is acked. Called once from `spawn`, after the ingest log
+    /// exists behind its `Arc`.
+    fn start_committer(&self, log: Arc<Mutex<AnswerLog>>, obs: tcrowd_store::ObsHandle) {
+        let sink = Arc::new(ServiceSink { log, mark: self.mark.clone() });
+        let committer = GroupCommit::spawn(Arc::clone(&self.wal), sink, obs);
+        *lock_recover(&self.committer) = Some(Arc::new(committer));
+    }
+
+    /// A clone of the live commit-thread handle, if any.
+    fn committer(&self) -> Option<Arc<GroupCommit>> {
+        lock_recover(&self.committer).clone()
+    }
+
+    /// Drain the submission queue, commit what is queued, and join the
+    /// commit thread. After this returns no new batch can be acked — the
+    /// deletion path calls it *before* appending the tombstone so the
+    /// `Delete` frame is provably the last answer-bearing record.
+    /// Idempotent. Must not be called with the ingest or WAL lock held
+    /// (the committer takes both while draining).
+    fn shutdown_committer(&self) {
+        let committer = lock_recover(&self.committer).take();
+        if let Some(c) = committer {
+            c.shutdown();
+        }
+    }
+}
+
+/// The service's [`CommitSink`]: delivers each durably-committed group
+/// into the in-memory log and advances the durable mark in the same
+/// ingest-lock hold, so "log length == mark.answers == acked prefix" is
+/// an invariant every ingest-lock holder can rely on.
+struct ServiceSink {
+    log: Arc<Mutex<AnswerLog>>,
+    mark: DurableMark,
+}
+
+impl CommitSink for ServiceSink {
+    fn committed(&self, batches: &[CommittedBatch<'_>]) {
+        let mut log = lock_recover(&self.log);
+        for batch in batches {
+            for &a in batch.answers {
+                log.push(a);
+            }
+        }
+        if let Some(last) = batches.last() {
+            self.mark.set(last.position);
+        }
     }
 }
 
@@ -665,9 +740,11 @@ pub struct TableState {
     /// Service configuration.
     pub config: TableConfig,
     rows: usize,
-    /// The mutate state: the committed answer order. Everything `submit`
-    /// does happens under this lock and is `O(batch)`.
-    ingest: Mutex<AnswerLog>,
+    /// The mutate state: the committed answer order. On a durable table
+    /// only the commit thread's [`ServiceSink`] pushes here (in WAL
+    /// order); memory-only tables push directly from `submit`. Either
+    /// way every mutation is `O(batch)` under this lock.
+    ingest: Arc<Mutex<AnswerLog>>,
     /// The fit state: evolving freeze + result + shared-log mirror.
     /// Serialises refreshes; EM runs under it with the ingest lock free.
     fitter: Mutex<FitPipeline>,
@@ -865,11 +942,15 @@ impl TableState {
             trust: trust_view,
         });
         let seed = config.seed;
-        // Route WAL append/fsync timings into this table's histograms, and
-        // seed the gauges `/healthz` and `/metrics` read before the first
-        // transition or publish.
+        let ingest = Arc::new(Mutex::new(log));
+        // Route WAL append/fsync timings into this table's histograms, seed
+        // the gauges `/healthz` and `/metrics` read before the first
+        // transition or publish, and start the commit thread — it needs the
+        // ingest log behind its `Arc`, which only exists from here on.
         if let Some(d) = &durability {
             lock_recover(&d.wal).set_obs(obs.store_sink());
+            d.start_committer(Arc::clone(&ingest), obs.store_sink());
+            obs.store_sink().wal_segments(count_segments(&d.dir));
         }
         obs.set_health(HEALTH_HEALTHY);
         obs.set_trust(0, quarantine.len(), 0);
@@ -878,7 +959,7 @@ impl TableState {
             schema,
             config,
             rows,
-            ingest: Mutex::new(log),
+            ingest,
             fitter: Mutex::new(FitPipeline { fit, shared }),
             published: RwLock::new(snapshot),
             ingested: AtomicU64::new(ingested),
@@ -1056,6 +1137,26 @@ impl TableState {
         self.durability.is_some()
     }
 
+    /// Group-commit coalescing counters (`None` for memory-only tables or
+    /// after the commit thread shut down on the deletion path).
+    pub fn commit_stats(&self) -> Option<CommitStatsView> {
+        self.durability.as_ref().and_then(|d| d.committer().map(|c| c.stats()))
+    }
+
+    /// Live WAL segments on disk (`None` for memory-only tables).
+    pub fn wal_segments(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| count_segments(&d.dir))
+    }
+
+    /// Drain, commit, and join the commit thread (idempotent; no-op for
+    /// memory-only tables). The registry calls this on shutdown so queued
+    /// batches are on disk before the process exits.
+    pub fn shutdown_committer(&self) {
+        if let Some(d) = &self.durability {
+            d.shutdown_committer();
+        }
+    }
+
     /// Epoch of the store-snapshot chain written for this table (`None` for
     /// memory-only tables, `Some(0)` before the first write).
     pub fn last_store_snapshot_epoch(&self) -> Option<u64> {
@@ -1080,13 +1181,15 @@ impl TableState {
     }
 
     /// Durably append the deletion tombstone to the WAL (no-op for
-    /// memory-only tables). Call after [`Self::mark_deleted`]. Takes the
-    /// ingest lock first (the documented ingest→wal order): an in-flight
-    /// `submit` that already passed its tombstone check finishes its append
-    /// before the Delete frame lands, so no acknowledged batch can ever sit
-    /// *after* the tombstone in the WAL.
+    /// memory-only tables). Call after [`Self::mark_deleted`]. Shuts the
+    /// commit thread down first — that drains and commits every batch
+    /// already queued and refuses anything submitted later, so no
+    /// acknowledged batch can ever sit *after* the Delete frame in the
+    /// WAL. Must not be called with the ingest or WAL lock held (the
+    /// drain takes both).
     pub(crate) fn append_tombstone(&self) -> Result<(), String> {
         if let Some(d) = &self.durability {
+            d.shutdown_committer();
             let _log = lock_recover(&self.ingest);
             let mut wal = lock_recover(&d.wal);
             wal.append_delete().map_err(|e| format!("tombstone append failed: {e}"))?;
@@ -1104,12 +1207,14 @@ impl TableState {
 
     /// Validate and ingest a batch of answers. The whole batch is rejected
     /// (nothing ingested) if any answer is malformed, so callers can safely
-    /// retry verbatim. On durable tables the batch is group-committed to the
-    /// WAL **before** it is applied or acknowledged — under the same lock
-    /// that orders the in-memory log, so WAL order ≡ memory order and
-    /// recovery replays exactly the acknowledged sequence. The lock is held
-    /// for `O(batch)` work only; a concurrent EM refit never blocks this
-    /// path. Returns the number accepted.
+    /// retry verbatim. On durable tables the batch is handed to the table's
+    /// commit thread, which coalesces concurrent batches into one
+    /// `write+fsync` and applies them to the in-memory log — in WAL order,
+    /// under the ingest lock — **before** this call returns, so WAL order ≡
+    /// memory order and recovery replays exactly the acknowledged sequence.
+    /// The submitter parks on its commit ticket holding **no** lock; no
+    /// request thread ever holds a lock across an fsync. Returns the number
+    /// accepted.
     pub fn submit(&self, answers: &[Answer]) -> Result<usize, String> {
         self.submit_traced(answers, None)
     }
@@ -1161,22 +1266,37 @@ impl TableState {
             }
         }
         self.check_rate_limit(answers)?;
-        {
-            let mut log = lock_recover(&self.ingest);
-            if self.is_deleted() {
-                return Err(format!("table '{}' was deleted", self.id));
-            }
-            if let Some(d) = &self.durability {
-                let mut wal = lock_recover(&d.wal);
-                if let Err(e) = wal.append_answers(answers) {
-                    drop(wal);
-                    drop(log);
-                    self.record_wal_failure(format!("WAL append failed: {e}"));
-                    return Err(format!("storage: WAL append failed: {e}"));
+        match &self.durability {
+            Some(d) => {
+                // Group-commit path: enqueue and park on the ticket with no
+                // lock held. The commit thread pushes the batch into the
+                // ingest log (under the ingest lock, in WAL order) before
+                // resolving the ticket, so an `Ok` here means the answers
+                // are both durable and readable. The deletion path shuts
+                // the committer down *before* writing its tombstone, so a
+                // post-tombstone submit fails here rather than acking.
+                let Some(committer) = d.committer() else {
+                    return Err(format!("table '{}' was deleted", self.id));
+                };
+                if self.is_deleted() {
+                    return Err(format!("table '{}' was deleted", self.id));
+                }
+                let ticket = committer
+                    .submit(answers.to_vec())
+                    .map_err(|e| format!("storage: WAL append failed: {e}"))?;
+                if let Err(e) = ticket.wait() {
+                    self.record_wal_failure(e.clone());
+                    return Err(format!("storage: {e}"));
                 }
             }
-            for &a in answers {
-                log.push(a);
+            None => {
+                let mut log = lock_recover(&self.ingest);
+                if self.is_deleted() {
+                    return Err(format!("table '{}' was deleted", self.id));
+                }
+                for &a in answers {
+                    log.push(a);
+                }
             }
         }
         self.ingested.fetch_add(answers.len() as u64, Ordering::SeqCst);
@@ -1310,36 +1430,39 @@ impl TableState {
         };
         let fitted_epoch = pipe.fit.epoch();
         // Phase 3 (brief ingest lock): catch-up slice for answers that
-        // arrived mid-fit, plus the WAL position matching the final epoch —
-        // captured in the same lock hold, so the (epoch, offset) pair is
-        // exact — with those bytes made at least as durable as the snapshot
-        // that will refer to them.
+        // arrived mid-fit, plus the durable watermark matching the final
+        // epoch — read in the same lock hold, so the (epoch, offset) pair
+        // is exact. The mark is maintained by the commit thread's sink
+        // under this very lock, so no WAL I/O happens here at all.
         let (catch, wal_pos) = {
             let log = lock_recover(&self.ingest);
             let catch = log.slice_since(pipe.fit.epoch());
-            let mut wal_failure = None;
-            let wal_pos = self.durability.as_ref().and_then(|d| {
-                let mut wal = lock_recover(&d.wal);
-                match wal.sync() {
-                    Ok(()) => Some(wal.position()),
-                    Err(e) => {
-                        // The publish still proceeds (readers get the fresh
-                        // snapshot); only the store persist is skipped — its
-                        // offset could point past the durable prefix.
-                        wal_failure = Some(format!("WAL sync failed: {e}"));
-                        None
-                    }
-                }
-            });
+            let wal_pos = self.durability.as_ref().map(|d| d.mark.get());
             if let Some(pos) = wal_pos {
                 debug_assert_eq!(pos.answers as usize, log.len());
             }
-            drop(log);
-            if let Some(msg) = wal_failure {
-                self.record_wal_failure(msg);
-            }
             (catch, wal_pos)
         };
+        // Make the marked bytes at least as durable as the snapshot that
+        // will refer to them — under the WAL lock alone, with ingestion
+        // flowing (under `fsync=always` this fsync finds nothing new).
+        let wal_pos = wal_pos.and_then(|pos| {
+            let d = self.durability.as_ref().expect("wal_pos implies durability");
+            let sync = {
+                let mut wal = lock_recover(&d.wal);
+                wal.sync()
+            };
+            match sync {
+                Ok(()) => Some(pos),
+                Err(e) => {
+                    // The publish still proceeds (readers get the fresh
+                    // snapshot); only the store persist is skipped — its
+                    // offset could point past the durable prefix.
+                    self.record_wal_failure(format!("WAL sync failed: {e}"));
+                    None
+                }
+            }
+        });
         // Catch-up merge, again outside the ingest lock: O(Δ') freeze merge
         // plus the §5.1 incremental posterior update per answer.
         let catchup_merged = catch.len();
@@ -1479,26 +1602,25 @@ impl TableState {
         report
     }
 
-    /// Persist the current published snapshot to the store, synchronising
-    /// the WAL position first. Used by recovery and shutdown to
+    /// Persist the current published snapshot to the store, pinned to the
+    /// commit thread's durable watermark (synced first, under the WAL lock
+    /// alone — never under ingest). Used by recovery and shutdown to
     /// re-establish the snapshot fast path.
     pub fn persist_store_snapshot(&self) {
         let Some(d) = &self.durability else { return };
         let pos = {
-            let _log = lock_recover(&self.ingest);
-            let mut wal = lock_recover(&d.wal);
-            match wal.sync() {
-                Ok(()) => Some(wal.position()),
-                Err(e) => {
-                    drop(wal);
-                    drop(_log);
-                    self.record_wal_failure(format!("WAL sync failed: {e}"));
-                    None
-                }
-            }
+            let log = lock_recover(&self.ingest);
+            let pos = d.mark.get();
+            debug_assert_eq!(pos.answers as usize, log.len());
+            pos
         };
-        if let Some(pos) = pos {
-            self.write_store_snapshot(pos);
+        let sync = {
+            let mut wal = lock_recover(&d.wal);
+            wal.sync()
+        };
+        match sync {
+            Ok(()) => self.write_store_snapshot(pos),
+            Err(e) => self.record_wal_failure(format!("WAL sync failed: {e}")),
         }
     }
 
@@ -1574,6 +1696,30 @@ impl TableState {
                         chain_answers: 0,
                         force_full: false,
                     };
+                    // The new base covers every answer at or below
+                    // `pos.offset`: rotated WAL segments wholly below it are
+                    // replay-dead weight — delete the cold prefix so
+                    // recovery's replay stays bounded by the live tail.
+                    match compact_cold_segments(&d.dir, pos.offset) {
+                        Ok(removed) if removed > 0 => {
+                            self.obs.event(
+                                "wal_compacted",
+                                format!(
+                                    "{removed} cold segment(s) removed below offset {}",
+                                    pos.offset
+                                ),
+                                None,
+                            );
+                            self.obs.store_sink().wal_segments(count_segments(&d.dir));
+                        }
+                        Ok(_) => {}
+                        // Best-effort: a failed unlink costs replay time, not
+                        // correctness — the next collapse retries.
+                        Err(e) => eprintln!(
+                            "tcrowd-service: cold WAL segments for table '{}' not compacted: {e}",
+                            self.id
+                        ),
+                    }
                     Ok(())
                 }
                 Err(e) => Err(format!("snapshot write failed: {e}")),
@@ -1871,6 +2017,10 @@ impl TableState {
                 Wal::open_for_append_with_io(d.dir.join(WAL_FILE), pos, policy, d.io.clone())
                     .map_err(|e| format!("rebuilt log reopen: {e}"))?;
             *wal = fresh;
+            // Reset the durable mark under the same ingest-lock hold: the
+            // rewritten log's byte layout replaces the old one, and `pos`
+            // covers exactly the in-memory (acked) prefix.
+            d.mark.set(pos);
             *lock_recover(&d.chain) = SnapChain::fresh();
             Ok(())
         })();
@@ -1882,6 +2032,8 @@ impl TableState {
                     "log rewritten from the acknowledged prefix; ingest re-enabled".to_string(),
                     None,
                 );
+                // The rewrite collapses the chain to a single segment.
+                self.obs.store_sink().wal_segments(count_segments(&d.dir));
                 self.mutate_health(|h| {
                     h.wal_broken = false;
                     // The chain was reset — persist a fresh base on the next

@@ -191,6 +191,9 @@ fn stats_schema_is_exhaustive() {
         "durable",
         "store_snapshot_epoch",
         "store_snapshot_links",
+        "commit_groups",
+        "commit_frames",
+        "wal_segments",
         "health",
         "health_reason",
         "degraded_since_ms",

@@ -43,18 +43,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod crc;
 pub mod io;
 pub mod obs;
+pub mod segment;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use commit::{
+    CommitSink, CommitStatsView, CommittedBatch, DurableMark, GroupCommit, MarkSink, Ticket,
+};
 pub use crc::crc32;
 pub use io::{
     real_io, Fault, FaultKind, FaultOp, FaultyIo, IoHandle, RealIo, StoreIo, EIO, ENOSPC,
 };
 pub use obs::{noop_obs, NoopObs, ObsHandle, ObsSink};
+pub use segment::{
+    compact_cold_segments, count_segments, parse_segment_file_name, scan_segments,
+    segment_file_name, SegmentInfo, SegmentScan, SEGMENT_MAX_DEFAULT,
+};
 pub use snapshot::{
     read_snapshot, read_snapshot_chain, remove_snapshot, remove_snapshot_deltas, write_snapshot,
     write_snapshot_delta, write_snapshot_delta_observed, write_snapshot_delta_with_io,
@@ -63,8 +72,8 @@ pub use snapshot::{
 };
 pub use store::{rewrite_wal, CompactReport, Recovered, SnapshotCheck, Store, VerifyReport};
 pub use wal::{
-    record_kind_name, replay, replay_tail, FsyncPolicy, QuarantineEntry, RecordInfo, TableMeta,
-    TornTail, Wal, WalPosition, WalReplay, WAL_FILE,
+    record_kind_name, replay, replay_tail, truncate_to_valid, FsyncPolicy, QuarantineEntry,
+    RecordInfo, TableMeta, TornTail, Wal, WalPosition, WalReplay, WAL_FILE,
 };
 
 use std::path::{Path, PathBuf};

@@ -22,6 +22,14 @@ pub trait ObsSink: Send + Sync + std::fmt::Debug {
     /// A snapshot (base or delta) was written and renamed into place,
     /// taking `_ns` nanoseconds.
     fn snapshot_persist_ns(&self, _ns: u64) {}
+
+    /// The commit thread durably committed one group: `_frames` coalesced
+    /// batches carrying `_answers` answers, in `_ns` nanoseconds end to end
+    /// (queue drain → append → fsync → sink delivery).
+    fn commit_group(&self, _frames: u64, _answers: u64, _ns: u64) {}
+
+    /// The live WAL segment count changed (rotation or cold compaction).
+    fn wal_segments(&self, _live: u64) {}
 }
 
 /// A shared, dynamically-dispatched [`ObsSink`] handle.

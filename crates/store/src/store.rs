@@ -6,11 +6,16 @@
 //! <data-dir>/
 //!   tables/
 //!     <table-id>/
-//!       wal.log         append-only record log (system of record)
-//!       snapshot.snap   latest snapshot (recovery accelerator)
+//!       wal.log            WAL segment 0 (system of record; may be
+//!                          compacted away once a snapshot covers it)
+//!       wal.<seq>.log      rotated WAL segments (header-chained)
+//!       snapshot.snap      latest snapshot base (recovery accelerator —
+//!                          and recovery *requirement* once cold segments
+//!                          are compacted)
 //! ```
 
 use crate::io::{real_io, IoHandle};
+use crate::segment;
 use crate::snapshot::{self, ChainInfo, TableSnapshot};
 use crate::wal::{
     self, FsyncPolicy, QuarantineEntry, RecordInfo, TableMeta, TornTail, Wal, WalPosition, WAL_FILE,
@@ -27,6 +32,7 @@ pub struct Store {
     root: PathBuf,
     policy: FsyncPolicy,
     io: IoHandle,
+    segment_max: u64,
 }
 
 /// One table's reconstructed state after a crash (or a clean restart —
@@ -83,6 +89,11 @@ pub struct CompactReport {
     pub answers: u64,
     /// Whether a warm-start fit was preserved into the fresh snapshot.
     pub fit_preserved: bool,
+    /// Live WAL segment files before the rewrite.
+    pub segments_before: u64,
+    /// Live WAL segment files after the rewrite (always 1: the rewritten
+    /// log is a single fresh `wal.log`).
+    pub segments_after: u64,
 }
 
 /// Snapshot-chain/WAL consistency as seen by `verify`.
@@ -107,11 +118,17 @@ pub struct SnapshotCheck {
 pub struct VerifyReport {
     /// The table id.
     pub id: String,
-    /// WAL file size in bytes.
+    /// Physical bytes across every live WAL segment.
     pub wal_bytes: u64,
-    /// Valid WAL records.
+    /// Live WAL segment files in the chain.
+    pub segments: u64,
+    /// Whether segment 0 (the Create record) was compacted away — the
+    /// snapshot chain is then load-bearing, not just an accelerator.
+    pub head_compacted: bool,
+    /// Valid WAL records in the surviving chain.
     pub records: usize,
-    /// Answers in the valid prefix.
+    /// Answers the WAL accounts for, in absolute terms: answers vouched
+    /// for by a compacted-away head plus those decoded from the chain.
     pub answers: u64,
     /// Whether a deletion tombstone is present.
     pub deleted: bool,
@@ -146,7 +163,20 @@ impl Store {
     ) -> std::io::Result<Store> {
         let root = root.into();
         fs::create_dir_all(root.join("tables"))?;
-        Ok(Store { root, policy, io })
+        Ok(Store { root, policy, io, segment_max: segment::SEGMENT_MAX_DEFAULT })
+    }
+
+    /// Override the WAL segment rotation threshold for every table this
+    /// store creates or recovers (tests and benches use small values to
+    /// exercise rotation; `u64::MAX` disables it).
+    pub fn with_segment_max(mut self, max: u64) -> Store {
+        self.segment_max = max.max(1);
+        self
+    }
+
+    /// The WAL segment rotation threshold (bytes).
+    pub fn segment_max(&self) -> u64 {
+        self.segment_max
     }
 
     /// The I/O handle this store threads through its WALs and snapshots.
@@ -187,7 +217,18 @@ impl Store {
     /// Claim a table id and durably write its Create record. Returns the
     /// open WAL for ingestion.
     pub fn create_table(&self, id: &str, meta: &TableMeta) -> Result<Wal, StoreError> {
-        Wal::create_with_io(&self.table_dir(id), meta, self.policy, self.io.clone())
+        let mut wal = Wal::create_with_io(&self.table_dir(id), meta, self.policy, self.io.clone())?;
+        wal.set_segment_max(self.segment_max);
+        Ok(wal)
+    }
+
+    /// Delete this table's cold WAL segments — every non-active segment
+    /// wholly below `covered`, a logical offset the durable snapshot-chain
+    /// base vouches for (see [`segment::compact_cold_segments`]). Safe
+    /// while the table is live and its WAL open: only immutable,
+    /// never-again-read files are unlinked. Returns how many were removed.
+    pub fn compact_cold_segments(&self, id: &str, covered: u64) -> std::io::Result<u64> {
+        segment::compact_cold_segments(&self.table_dir(id), covered)
     }
 
     /// Remove a (tombstoned) table's directory.
@@ -204,7 +245,19 @@ impl Store {
     pub fn recover_table(&self, id: &str) -> Result<Recovered, StoreError> {
         let dir = self.table_dir(id);
         let wal_path = dir.join(WAL_FILE);
-        if !wal_path.exists() {
+        let mut scan = segment::scan_segments(&dir)?;
+        if scan.segments.is_empty() {
+            if let Some(reason) = scan.orphan_reason.take() {
+                // Segment-named files exist but none chains — the head of
+                // whatever survived is unreadable. This is rot, not a clean
+                // "no WAL": deleting or seeding over it could destroy a
+                // recoverable tail, so surface it.
+                return Err(StoreError::corrupt(
+                    &wal_path,
+                    0,
+                    format!("WAL segment chain is unreadable: {reason}"),
+                ));
+            }
             if snapshot::read_snapshot(&dir).unwrap_or(None).is_some() {
                 // The WAL vanished but a snapshot survived — e.g. a crash
                 // mid `remove_dir_all` that unlinked wal.log (tombstone and
@@ -214,6 +267,7 @@ impl Store {
                 // (delete it again); refusing to boot the whole service is
                 // not.
                 fs::write(&wal_path, b"")?;
+                scan = segment::scan_segments(&dir)?;
             } else {
                 return Err(StoreError::corrupt(
                     &wal_path,
@@ -222,12 +276,29 @@ impl Store {
                 ));
             }
         }
-        let file_len = fs::metadata(&wal_path)?.len();
+        let head_compacted = scan.head_compacted();
+        // Logical end/base of the on-disk chain: every offset comparison
+        // below is against these, never a single file's length.
+        let log_end = scan.end_offset();
+        let chain_base = scan.base_offset();
         // A corrupt snapshot *base* is a recovery accelerator failure, not a
         // data failure: note it and fall back to the full replay. Broken
         // chain links never error — the chain reader truncates there and
-        // the WAL tail replay covers the difference.
+        // the WAL tail replay covers the difference. Once cold segments were
+        // compacted, though, the full-replay fallback is gone **by design**
+        // and a missing/corrupt snapshot is fatal.
         let mut snap = snapshot::read_snapshot_chain(&dir).unwrap_or(None);
+        if head_compacted && snap.is_none() {
+            return Err(StoreError::corrupt(
+                &wal_path,
+                chain_base,
+                format!(
+                    "WAL head is compacted away (chain starts at logical offset {chain_base}) \
+                     but no snapshot is readable — cold-segment compaction only ever runs \
+                     against a durable snapshot base, so this is snapshot loss/rot"
+                ),
+            ));
+        }
 
         // The fast path trusts `snapshot.wal_offset` to be a record boundary,
         // which holds for every snapshot this store wrote. If the very first
@@ -235,16 +306,45 @@ impl Store {
         // record from a misaligned offset (stale snapshot restored next to a
         // newer WAL) — and truncating on a misaligned offset would destroy
         // valid acknowledged records. Per `replay_tail`'s contract, that case
-        // falls back to a full replay, which distinguishes the two for free.
+        // falls back to a full replay, which distinguishes the two for free
+        // (except on a head-compacted chain, where no full replay exists and
+        // the ambiguity is fatal).
         let mut tail_replay = None;
         if let Some((s, _)) = &snap {
-            if s.wal_offset <= file_len {
+            if s.wal_offset <= log_end && s.wal_offset >= chain_base {
                 let probe = wal::replay_tail(&wal_path, s.wal_offset)?;
                 if probe.records.is_empty() && probe.torn.is_some() {
+                    if head_compacted {
+                        return Err(StoreError::corrupt(
+                            &wal_path,
+                            s.wal_offset,
+                            "snapshot offset is not a valid record boundary and the WAL head \
+                             is compacted away — no full replay can arbitrate"
+                                .to_string(),
+                        ));
+                    }
                     snap = None;
                 } else {
                     tail_replay = Some(probe);
                 }
+            }
+        }
+
+        if let Some((s, _)) = &snap {
+            if s.wal_offset < chain_base {
+                // Compaction only ever deletes segments below the chain
+                // base, and base offsets never regress — a snapshot pointing
+                // below the surviving chain means the snapshot files were
+                // swapped/rotted. Rebuilding from it would silently drop the
+                // acknowledged tail still on disk; refuse instead.
+                return Err(StoreError::corrupt(
+                    &wal_path,
+                    s.wal_offset,
+                    format!(
+                        "snapshot offset {} is below the compacted chain head {chain_base}",
+                        s.wal_offset
+                    ),
+                ));
             }
         }
 
@@ -261,7 +361,7 @@ impl Store {
             deleted,
         );
         match snap {
-            Some((s, info)) if s.wal_offset <= file_len => {
+            Some((s, info)) if s.wal_offset <= log_end => {
                 // Fast path: resume decoding at the snapshot's offset; the
                 // snapshot's log (shape-validated at decode) absorbs the
                 // tail. A Quarantine record in the tail supersedes the
@@ -287,10 +387,10 @@ impl Store {
                 // is the more durable record — rebuild the WAL from it so the
                 // "WAL alone determines the table" invariant holds again.
                 let report = TornTail {
-                    at: file_len,
+                    at: log_end,
                     dropped_bytes: 0,
                     reason: format!(
-                        "wal ({file_len} bytes) ends before the snapshot offset {}; \
+                        "wal ({log_end} logical bytes) ends before the snapshot offset {}; \
                          rebuilt from the snapshot",
                         s.wal_offset
                     ),
@@ -339,7 +439,7 @@ impl Store {
                     None => {
                         return Err(StoreError::corrupt(
                             &wal_path,
-                            0,
+                            full.base_offset,
                             match full.torn {
                                 Some(t) => format!("no valid create record: {}", t.reason),
                                 None => "empty WAL".to_string(),
@@ -361,22 +461,21 @@ impl Store {
             }
         }
 
-        // Drop the torn bytes so future appends extend the valid prefix.
-        let file_len = fs::metadata(&wal_path)?.len();
-        if valid_len < file_len {
-            let f = fs::OpenOptions::new().write(true).open(&wal_path)?;
-            f.set_len(valid_len)?;
-            f.sync_data()?;
-        }
+        // Drop the torn bytes (truncating the containing segment, deleting
+        // later/orphaned segments) so future appends extend the valid
+        // prefix. Idempotent no-op on a clean chain.
+        wal::truncate_to_valid(&dir, valid_len)?;
         let wal = if deleted {
             None
         } else {
-            Some(Wal::open_for_append_with_io(
+            let mut w = Wal::open_for_append_with_io(
                 &wal_path,
                 WalPosition { offset: valid_len, answers: log.len() as u64 },
                 self.policy,
                 self.io.clone(),
-            )?)
+            )?;
+            w.set_segment_max(self.segment_max);
+            Some(w)
         };
         Ok(Recovered {
             id: id.to_string(),
@@ -430,6 +529,13 @@ impl Store {
         if snapshot::read_snapshot(&dir).unwrap_or(None).is_some() {
             return Ok(false);
         }
+        // A rotated segment can only exist after at least one successful
+        // rotation, which happens strictly after the Create was durable and
+        // acknowledged — whatever state `wal.log` is in (compacted away,
+        // rotted), this directory is not creation residue.
+        if !segment::rotated_segment_files(&dir)?.is_empty() {
+            return Ok(false);
+        }
         Ok(wal::probe_create(&dir.join(WAL_FILE))? == wal::CreateProbe::AbortedCreation)
     }
 
@@ -440,34 +546,26 @@ impl Store {
     pub fn compact_table(&self, id: &str) -> Result<CompactReport, StoreError> {
         let dir = self.table_dir(id);
         let wal_path = dir.join(WAL_FILE);
-        // One full replay is both the source of truth and the audit figures
-        // — compaction always touches every record anyway, so the snapshot
-        // fast path would save nothing here.
-        let full = wal::replay(&wal_path)?;
-        let meta = full.meta.ok_or_else(|| {
-            StoreError::corrupt(&wal_path, 0, "cannot compact: no valid create record".to_string())
-        })?;
-        if full.deleted {
+        // Audit figures first: what the chain looked like before the
+        // rewrite. (Compaction touches every live record anyway, so this
+        // costs nothing extra.)
+        let before = wal::replay(&wal_path)?;
+        let segments_before = segment::count_segments(&dir);
+        let wal_bytes_before = before.valid_len - before.base_offset;
+        let records_before = before.records.len();
+        // Recovery is the arbiter of `(log, fit, quarantine)`: it already
+        // implements snapshot-vs-WAL preference, head-compacted chains and
+        // torn tails. Re-deriving those rules here would be a second
+        // codepath to keep correct.
+        let Recovered { meta, log, fit, quarantine, wal, deleted, .. } = self.recover_table(id)?;
+        drop(wal);
+        if deleted {
             return Err(StoreError::corrupt(
                 &wal_path,
                 0,
                 "cannot compact a deleted table".to_string(),
             ));
         }
-        let snap = snapshot::read_snapshot(&dir).unwrap_or(None);
-        // Prefer the longer source, exactly as recovery would (a snapshot
-        // ahead of the WAL is the fsync=never loss case). The quarantine set
-        // follows the same choice: the WAL's latest record when the WAL is
-        // the source, the snapshot's set otherwise.
-        let (log, fit, quarantine) = match snap {
-            Some(s) if s.epoch > full.answers.len() as u64 => (s.log, s.fit, s.quarantine),
-            snap => {
-                let mut log = AnswerLog::new(meta.rows, meta.schema.num_columns());
-                push_validated(&mut log, &meta, &wal_path, full.answers)?;
-                (log, snap.and_then(|s| s.fit), full.quarantine.clone().unwrap_or_default())
-            }
-        };
-
         snapshot::remove_snapshot(&dir)?;
         let pos = rewrite_wal(&dir, &meta, log.all(), &quarantine, &self.io)?;
         snapshot::write_snapshot_with_io(
@@ -483,14 +581,16 @@ impl Store {
             &self.io,
         )?;
         Ok(CompactReport {
-            wal_bytes_before: full.valid_len,
+            wal_bytes_before,
             wal_bytes_after: pos.offset,
-            records_before: full.records.len(),
+            records_before,
             records_after: 1
                 + log.len().div_ceil(REWRITE_CHUNK)
                 + usize::from(!quarantine.is_empty()),
             answers: log.len() as u64,
             fit_preserved: fit.is_some(),
+            segments_before,
+            segments_after: 1,
         })
     }
 
@@ -500,17 +600,37 @@ impl Store {
         let dir = self.table_dir(id);
         let wal_path = dir.join(WAL_FILE);
         let mut errors = Vec::new();
+        let scan = segment::scan_segments(&dir)?;
         let full = wal::replay(&wal_path)?;
-        let wal_bytes = fs::metadata(&wal_path)?.len();
-        if full.meta.is_none() {
+        let head_compacted = scan.head_compacted();
+        let segments = scan.segments.len() as u64;
+        let wal_bytes = scan.total_bytes();
+        // The number of answers a full replay accounts for, in *absolute*
+        // terms: answers vouched for by the compacted-away head plus those
+        // decoded from the surviving chain.
+        let replayed_answers = full.base_answers + full.answers.len() as u64;
+        if let Some(reason) = &scan.orphan_reason {
+            // An orphan may be a rotation/rewrite crash leftover (harmless)
+            // or a segment stranded by a lost/rotted predecessor (acked data
+            // unreachable) — verify cannot tell, so it flags both.
+            errors.push(format!(
+                "segment file(s) do not continue the chain and will be deleted by recovery: \
+                 {reason}"
+            ));
+        }
+        if full.meta.is_none() && !head_compacted {
             errors.push("no valid create record at the head of the WAL".to_string());
         }
         // Epoch monotonicity across records (a violated invariant would mean
         // the decoder itself is broken — checked anyway: this is the audit
-        // tool).
-        let mut last = RecordInfo { kind: 0, end_offset: 0, answers_after: 0 };
+        // tool). The sentinel starts at the chain base so a head-compacted
+        // chain's first record compares against where the chain begins.
+        let mut last =
+            RecordInfo { kind: 0, end_offset: full.base_offset, answers_after: full.base_answers };
         for r in &full.records {
-            if r.end_offset <= last.end_offset && !(last.kind == 0 && r.end_offset > 0) {
+            if r.end_offset <= last.end_offset
+                && !(last.kind == 0 && r.end_offset > full.base_offset)
+            {
                 errors.push(format!("non-monotone record offsets at {}", r.end_offset));
             }
             if r.answers_after < last.answers_after {
@@ -534,18 +654,31 @@ impl Store {
                     ));
                     consistent = false;
                 }
-                if s.epoch > full.answers.len() as u64 {
+                if s.epoch > replayed_answers {
                     // Legal only after an fsync=never crash; recovery rebuilds
                     // the WAL from the snapshot. Flag it so operators see it.
                     errors.push(format!(
-                        "snapshot epoch {} is ahead of the WAL ({} answers) — recovery will \
-                         rebuild the WAL from the snapshot",
-                        s.epoch,
-                        full.answers.len()
+                        "snapshot epoch {} is ahead of the WAL ({replayed_answers} answers) — \
+                         recovery will rebuild the WAL from the snapshot",
+                        s.epoch
+                    ));
+                    consistent = false;
+                } else if s.epoch < full.base_answers {
+                    // Compaction only ever deletes segments the snapshot
+                    // *base* vouches for, so the chain can never end up ahead
+                    // of its own snapshot — this is file swap/rot.
+                    errors.push(format!(
+                        "snapshot epoch {} is below the compacted chain head ({} answers \
+                         precede the surviving WAL)",
+                        s.epoch, full.base_answers
                     ));
                     consistent = false;
                 } else {
-                    if s.log.all() != &full.answers[..s.epoch as usize] {
+                    // Only the overlap is comparable: the snapshot carries the
+                    // whole log, the chain only answers past `base_answers`.
+                    if s.log.all()[full.base_answers as usize..]
+                        != full.answers[..(s.epoch - full.base_answers) as usize]
+                    {
                         errors.push(format!(
                             "snapshot chain log is not the WAL prefix at epoch {}",
                             s.epoch
@@ -555,29 +688,46 @@ impl Store {
                     // The quarantine set recovery would adopt (tail record,
                     // else the snapshot's set) must agree with what a full
                     // replay sees — a disagreement means the snapshot and
-                    // WAL tell different stories about who is excluded.
-                    if s.wal_offset <= wal_bytes {
-                        if let Ok(tail) = wal::replay_tail(&wal_path, s.wal_offset) {
-                            let recovered = tail.quarantine.unwrap_or_else(|| s.quarantine.clone());
-                            if recovered != full.quarantine.clone().unwrap_or_default() {
-                                errors.push(format!(
-                                    "snapshot quarantine set ({} workers) disagrees with the \
-                                     WAL's latest quarantine record",
-                                    s.quarantine.len()
-                                ));
-                                consistent = false;
-                            }
+                    // WAL tell different stories about who is excluded. On a
+                    // head-compacted chain with no surviving quarantine
+                    // record the snapshot *is* the only source, so there is
+                    // nothing to cross-check.
+                    if let Ok(tail) = wal::replay_tail(&wal_path, s.wal_offset) {
+                        let recovered = tail.quarantine.unwrap_or_else(|| s.quarantine.clone());
+                        let replayed_set = match (&full.quarantine, head_compacted) {
+                            (None, true) => None,
+                            (q, _) => Some(q.clone().unwrap_or_default()),
+                        };
+                        if replayed_set.is_some_and(|expect| recovered != expect) {
+                            errors.push(format!(
+                                "snapshot quarantine set ({} workers) disagrees with the \
+                                 WAL's latest quarantine record",
+                                s.quarantine.len()
+                            ));
+                            consistent = false;
                         }
                     }
                     // Every chain element — the base and each applied delta —
                     // must point at a real record boundary for its epoch,
                     // otherwise a recovery landing on that element would fall
-                    // back to a full replay.
+                    // back to a full replay. The chain base itself is a valid
+                    // boundary (a snapshot taken exactly at the compaction
+                    // point has no surviving record ending there).
                     for &(epoch, offset) in &info.link_marks {
-                        let boundary = full
-                            .records
-                            .iter()
-                            .any(|r| r.end_offset == offset && r.answers_after == epoch);
+                        if offset < full.base_offset {
+                            errors.push(format!(
+                                "snapshot chain wal_offset {offset} lies below the compacted \
+                                 chain head at {}",
+                                full.base_offset
+                            ));
+                            consistent = false;
+                            continue;
+                        }
+                        let boundary = (offset == full.base_offset && epoch == full.base_answers)
+                            || full
+                                .records
+                                .iter()
+                                .any(|r| r.end_offset == offset && r.answers_after == epoch);
                         if !boundary {
                             errors.push(format!(
                                 "snapshot chain wal_offset {offset} is not a record boundary \
@@ -596,22 +746,36 @@ impl Store {
                 })
             }
         };
+        if head_compacted && snapshot.is_none() {
+            errors.push(format!(
+                "the WAL head is compacted away (chain starts at logical offset {}) but no \
+                 snapshot chain is readable — the table cannot recover",
+                full.base_offset
+            ));
+        }
         let quarantine_records =
             full.records.iter().filter(|r| wal::record_kind_name(r.kind) == "quarantine").count();
         let quarantined = match (&full.quarantine, &snapshot) {
-            // Snapshot ahead of the WAL: its set is what recovery adopts.
-            (None, Some(c)) if c.epoch > full.answers.len() as u64 => snapshot::read_snapshot(&dir)
-                .ok()
-                .flatten()
-                .map(|s| s.quarantine.len())
-                .unwrap_or(0),
-            (q, _) => q.as_ref().map(|q| q.len()).unwrap_or(0),
+            (Some(q), _) => q.len(),
+            // Snapshot ahead of the WAL — or the head (with any quarantine
+            // record it held) compacted away: the snapshot's set is what
+            // recovery adopts.
+            (None, Some(c)) if head_compacted || c.epoch > replayed_answers => {
+                snapshot::read_snapshot(&dir)
+                    .ok()
+                    .flatten()
+                    .map(|s| s.quarantine.len())
+                    .unwrap_or(0)
+            }
+            (None, _) => 0,
         };
         Ok(VerifyReport {
             id: id.to_string(),
             wal_bytes,
+            segments,
+            head_compacted,
             records: full.records.len(),
-            answers: full.answers.len() as u64,
+            answers: replayed_answers,
             deleted: full.deleted,
             torn: full.torn,
             quarantine_records,
@@ -644,6 +808,9 @@ pub fn rewrite_wal(
     let tmp_dir = dir.join("wal.rewrite.tmp");
     fs::remove_dir_all(&tmp_dir).ok();
     let mut wal = Wal::create_with_io(&tmp_dir, meta, FsyncPolicy::Always, io.clone())?;
+    // The rewritten log is a single segment by definition — a rotation
+    // inside the tmp dir would leave files the rename below cannot move.
+    wal.set_segment_max(u64::MAX);
     for chunk in answers.chunks(REWRITE_CHUNK) {
         wal.append_answers(chunk)?;
     }
@@ -655,6 +822,13 @@ pub fn rewrite_wal(
     drop(wal);
     io.rename(&tmp_dir.join(WAL_FILE), &dir.join(WAL_FILE))?;
     fs::remove_dir_all(&tmp_dir).ok();
+    // The fresh log replaces the *whole* chain; stale rotated segments
+    // describe the old layout and must go. Rename-first ordering keeps this
+    // crash safe: a crash here leaves them as base-offset-discontinuity
+    // orphans, which the next recovery deletes.
+    for stale in segment::rotated_segment_files(dir)? {
+        fs::remove_file(&stale)?;
+    }
     wal::sync_dir(dir);
     Ok(pos)
 }

@@ -29,14 +29,23 @@
 //!   the set. Quarantine excludes a worker from truth inference; it never
 //!   touches the answers themselves, which is why it is a separate record
 //!   kind and not a rewrite of Append history.
+//! * **Segment** (`kind 5`) — the first record of every rotated segment
+//!   file (see [`crate::segment`]): `{seq, base_offset, answers_before}`,
+//!   chaining the segment to where its predecessor ended. Offsets stay
+//!   *logical* (cumulative across segments), so positions and snapshot
+//!   offsets are rotation-oblivious.
 //!
 //! ## Torn tails
 //!
-//! A crash can leave a partially-written frame at the end of the file.
-//! Replay tolerates this by construction: decoding stops at the first frame
-//! whose header is truncated, whose length is implausible, or whose CRC does
-//! not match, and reports the byte offset of the valid prefix — recovery
-//! truncates there and continues. An acknowledged batch is never dropped:
+//! A crash can leave a partially-written frame at the end of the active
+//! segment. Replay tolerates this by construction: decoding stops at the
+//! first frame whose header is truncated, whose length is implausible, or
+//! whose CRC does not match, and reports the logical offset of the valid
+//! prefix — recovery truncates there ([`truncate_to_valid`]) and continues.
+//! Rotation only ever happens at record boundaries and fsyncs the outgoing
+//! segment, so a tear in a *non-last* segment is rot, not a crash artifact;
+//! replay stops there too and recovery drops the later segments (they are
+//! unreachable past the tear). An acknowledged batch is never dropped:
 //! acknowledgement happens only after its frame is fully written (and
 //! flushed/fsynced per [`FsyncPolicy`]), so the frame before any torn bytes
 //! is complete.
@@ -44,6 +53,7 @@
 use crate::crc::crc32;
 use crate::io::{real_io, IoHandle};
 use crate::obs::{noop_obs, ObsHandle};
+use crate::segment::{self, SegmentHeader, KIND_SEGMENT};
 use crate::StoreError;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom};
@@ -64,6 +74,7 @@ const KIND_CREATE: u8 = 1;
 const KIND_APPEND: u8 = 2;
 const KIND_DELETE: u8 = 3;
 const KIND_QUARANTINE: u8 = 4;
+// KIND_SEGMENT (5) lives in `crate::segment`.
 
 /// Human-readable name of a record kind byte (for `inspect`/`verify`).
 pub fn record_kind_name(kind: u8) -> &'static str {
@@ -72,6 +83,7 @@ pub fn record_kind_name(kind: u8) -> &'static str {
         KIND_APPEND => "append",
         KIND_DELETE => "delete",
         KIND_QUARANTINE => "quarantine",
+        KIND_SEGMENT => "segment",
         _ => "unknown",
     }
 }
@@ -217,10 +229,11 @@ pub(crate) fn decode_meta(c: &mut Cursor<'_>) -> Result<TableMeta, binary::Codec
     TableMeta::decode(c)
 }
 
-/// A committed position in the WAL: byte length of the file and the number
-/// of answers every record up to there carries. Snapshots persist the pair
-/// so recovery can resume decoding at `offset` instead of at byte zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A committed position in the WAL: logical byte length of the segment
+/// chain and the number of answers every record up to there carries.
+/// Snapshots persist the pair so recovery can resume decoding at `offset`
+/// instead of at byte zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalPosition {
     /// Byte offset just past the last committed record.
     pub offset: u64,
@@ -257,7 +270,18 @@ pub struct Wal {
     /// Frames committed to the caller but not yet written to the file
     /// (non-empty only under [`FsyncPolicy::Never`] between syncs).
     buf: Vec<u8>,
+    /// The table directory (segments live here).
+    dir: PathBuf,
+    /// Path of the **active** segment file.
     path: PathBuf,
+    /// Active segment sequence number.
+    seg_seq: u64,
+    /// Logical offset of the active segment's physical byte 0.
+    seg_base: u64,
+    /// Rotate once the active segment reaches this many physical bytes.
+    segment_max: u64,
+    /// Logical offset (cumulative across segments) just past the last
+    /// committed record.
     offset: u64,
     answers: u64,
     policy: FsyncPolicy,
@@ -282,6 +306,7 @@ impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Wal")
             .field("path", &self.path)
+            .field("segment", &self.seg_seq)
             .field("offset", &self.offset)
             .field("answers", &self.answers)
             .field("policy", &self.policy)
@@ -315,7 +340,11 @@ impl Wal {
         let mut wal = Wal {
             file,
             buf: Vec::new(),
+            dir: dir.to_path_buf(),
             path,
+            seg_seq: 0,
+            seg_base: 0,
+            segment_max: segment::SEGMENT_MAX_DEFAULT,
             offset: 0,
             answers: 0,
             policy,
@@ -333,7 +362,9 @@ impl Wal {
         Ok(wal)
     }
 
-    /// Reopen a recovered WAL for appending. `position` is the validated
+    /// Reopen a recovered WAL for appending. `path` is the table's
+    /// `wal.log` path (the directory is what matters — the **last** segment
+    /// of the chain is the one opened); `position` is the validated logical
     /// prefix the caller just replayed (and truncated to); appends continue
     /// from there.
     pub fn open_for_append(
@@ -353,20 +384,36 @@ impl Wal {
         io: IoHandle,
     ) -> Result<Wal, StoreError> {
         let path = path.into();
-        let mut file = OpenOptions::new().write(true).open(&path)?;
+        let dir = path.parent().map(Path::to_path_buf).unwrap_or_else(|| PathBuf::from("."));
+        let scan = segment::scan_segments(&dir)?;
+        let (active, seg_seq, seg_base) = match scan.segments.last() {
+            Some(last) => (last.path.clone(), last.seq, last.base),
+            None => (path.clone(), 0, 0),
+        };
+        let mut file = OpenOptions::new().write(true).open(&active)?;
         let len = file.metadata()?.len();
-        if len != position.offset {
+        if seg_base + len != position.offset {
             return Err(StoreError::corrupt(
-                &path,
+                &active,
                 position.offset,
-                format!("cannot append at {}: file is {len} bytes", position.offset),
+                format!(
+                    "cannot append at logical offset {}: active segment {} spans {}..{}",
+                    position.offset,
+                    seg_seq,
+                    seg_base,
+                    seg_base + len
+                ),
             ));
         }
         file.seek(SeekFrom::End(0))?;
         Ok(Wal {
             file,
             buf: Vec::new(),
-            path,
+            dir,
+            path: active,
+            seg_seq,
+            seg_base,
+            segment_max: segment::SEGMENT_MAX_DEFAULT,
             offset: position.offset,
             answers: position.answers,
             policy,
@@ -376,9 +423,26 @@ impl Wal {
         })
     }
 
-    /// Path of the underlying file.
+    /// Path of the active segment file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The table directory the segment chain lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the active segment.
+    pub fn segment_seq(&self) -> u64 {
+        self.seg_seq
+    }
+
+    /// Override the rotation threshold (bytes of the active segment).
+    /// `u64::MAX` disables rotation (used by `rewrite_wal`, whose output
+    /// must be a single fresh segment).
+    pub fn set_segment_max(&mut self, max: u64) {
+        self.segment_max = max.max(1);
     }
 
     /// The committed position (grows with every append).
@@ -473,34 +537,120 @@ impl Wal {
 
     /// Append one batch of answers as a single group-committed record.
     /// Returns the position after the record — only once this returns may
-    /// the batch be acknowledged to the client. Batches whose encoding
-    /// would exceed the replay sanity bound are rejected up front (they
-    /// could be written but never read back).
+    /// the batch be acknowledged to the client.
     pub fn append_answers(&mut self, batch: &[Answer]) -> Result<WalPosition, StoreError> {
+        let positions = self.append_group(&[batch])?;
+        Ok(positions[0])
+    }
+
+    /// Append many batches — one frame each — under a **single** commit
+    /// (one flush/fsync for the whole group, per policy). Returns the
+    /// per-batch positions, in order; only once this returns may any of the
+    /// batches be acknowledged. This is the commit thread's
+    /// ([`crate::GroupCommit`]) primitive: coalescing is what closes the
+    /// `fsync=always` throughput gap. Batches whose encoding would exceed
+    /// the replay sanity bound are rejected up front (they could be written
+    /// but never read back).
+    pub fn append_group(&mut self, batches: &[&[Answer]]) -> Result<Vec<WalPosition>, StoreError> {
         self.check_poisoned()?;
         let t = std::time::Instant::now();
-        let mut payload = vec![KIND_APPEND];
-        binary::put_answers(&mut payload, batch);
-        if payload.len() as u64 > MAX_RECORD as u64 {
-            return Err(StoreError::corrupt(
-                &self.path,
-                self.offset,
-                format!(
-                    "batch of {} answers encodes to {} bytes, above the {} record bound — \
-                     split it",
-                    batch.len(),
-                    payload.len(),
-                    MAX_RECORD
-                ),
-            ));
+        let mut positions = Vec::with_capacity(batches.len());
+        let mut offset = self.offset;
+        let mut answers = self.answers;
+        let staged = self.buf.len();
+        for batch in batches {
+            let mut payload = vec![KIND_APPEND];
+            binary::put_answers(&mut payload, batch);
+            if payload.len() as u64 > MAX_RECORD as u64 {
+                // Reject the whole group without staging anything new.
+                self.buf.truncate(staged);
+                return Err(StoreError::corrupt(
+                    &self.path,
+                    self.offset,
+                    format!(
+                        "batch of {} answers encodes to {} bytes, above the {} record bound — \
+                         split it",
+                        batch.len(),
+                        payload.len(),
+                        MAX_RECORD
+                    ),
+                ));
+            }
+            let bytes = frame(&payload);
+            self.buf.extend_from_slice(&bytes);
+            offset += bytes.len() as u64;
+            answers += batch.len() as u64;
+            positions.push(WalPosition { offset, answers });
         }
-        let bytes = frame(&payload);
-        self.buf.extend_from_slice(&bytes);
         self.guarded(Wal::commit)?;
-        self.offset += bytes.len() as u64;
-        self.answers += batch.len() as u64;
+        self.offset = offset;
+        self.answers = answers;
         self.obs.wal_append_ns(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-        Ok(self.position())
+        // Rotation failure does NOT fail the append: the group is already
+        // durable per policy and will be acknowledged; the failed rotation
+        // poisons the WAL so the *next* write degrades loudly instead. The
+        // inverse (failing an already-durable append) would let recovery
+        // resurrect a NACKed batch.
+        let _ = self.maybe_rotate();
+        Ok(positions)
+    }
+
+    /// Rotate the active segment once it crosses the size trigger: fsync it
+    /// (it becomes immutable), then tmp-write + fsync + rename a new
+    /// segment starting with a Segment header record, and switch appends
+    /// over. Any failure poisons the WAL — half a rotation must not accept
+    /// further writes.
+    fn maybe_rotate(&mut self) -> Result<(), StoreError> {
+        if self.offset - self.seg_base < self.segment_max || self.poisoned {
+            return Ok(());
+        }
+        // The outgoing segment becomes a *middle* segment, which replay
+        // assumes is complete on disk — flush and fsync it regardless of
+        // policy before the new segment exists.
+        self.guarded(|w| {
+            w.write_buf()?;
+            w.io.sync_data(&w.path, &w.file)
+        })?;
+        let seq = self.seg_seq + 1;
+        let name = segment::segment_file_name(seq);
+        let final_path = self.dir.join(&name);
+        let tmp_path = self.dir.join(format!("{name}.tmp"));
+        let header = SegmentHeader { seq, base_offset: self.offset, answers_before: self.answers };
+        let mut payload = vec![KIND_SEGMENT];
+        segment::encode_header_body(&mut payload, &header);
+        let bytes = frame(&payload);
+        let io = self.io.clone();
+        let result = (|| -> std::io::Result<File> {
+            match std::fs::remove_file(&tmp_path) {
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e),
+                _ => {}
+            }
+            let mut f =
+                OpenOptions::new().write(true).create(true).truncate(true).open(&tmp_path)?;
+            io.write_all(&tmp_path, &mut f, &bytes)?;
+            io.sync_data(&tmp_path, &f)?;
+            io.rename(&tmp_path, &final_path)?;
+            sync_dir(&self.dir);
+            let mut f = OpenOptions::new().write(true).open(&final_path)?;
+            f.seek(SeekFrom::End(0))?;
+            Ok(f)
+        })();
+        match result {
+            Ok(file) => {
+                self.file = file;
+                self.path = final_path;
+                self.seg_seq = seq;
+                self.seg_base = self.offset;
+                self.offset += bytes.len() as u64;
+                self.obs.wal_segments(segment::count_segments(&self.dir));
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                self.buf.clear();
+                Err(e.into())
+            }
+        }
     }
 
     /// Append a Quarantine record carrying the **complete** quarantined
@@ -525,7 +675,9 @@ impl Wal {
             w.timed_sync()
         })?;
         self.offset += bytes.len() as u64;
-        Ok(self.position())
+        let pos = self.position();
+        let _ = self.maybe_rotate();
+        Ok(pos)
     }
 
     /// Append the deletion tombstone. Tombstones are always flushed and
@@ -659,49 +811,126 @@ pub struct WalReplay {
     /// the snapshot said still stands", which is why this is not an empty
     /// `Vec`).
     pub quarantine: Option<Vec<QuarantineEntry>>,
-    /// Byte length of the valid prefix (absolute, even for tail replays).
+    /// Logical offset where this replay started: 0 for an intact chain,
+    /// the first surviving segment's base after head compaction, the tail
+    /// offset for [`replay_tail`].
+    pub base_offset: u64,
+    /// Answers committed before `base_offset` (0 for tail replays, whose
+    /// caller knows its own epoch).
+    pub base_answers: u64,
+    /// Logical byte length of the valid prefix (absolute, even for tail
+    /// replays).
     pub valid_len: u64,
-    /// Present when the file extends past the valid prefix.
+    /// Present when the chain extends past the valid prefix.
     pub torn: Option<TornTail>,
 }
 
-/// Replay a whole WAL file from byte zero. The first record must be a valid
-/// Create; a file whose head is unreadable yields `meta: None` and a torn
-/// tail at offset 0.
+/// Replay a whole WAL segment chain. `path` is the table's `wal.log` path;
+/// the sibling rotated segments are discovered and chained automatically.
+/// For an intact chain the first record must be a valid Create; for a
+/// head-compacted chain (`wal.log` deleted, rotated segments remain) the
+/// replay starts at the first surviving segment's base and `meta` is
+/// `None` — the caller must have a snapshot to recover from.
 pub fn replay(path: &Path) -> Result<WalReplay, StoreError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    Ok(decode_records(&bytes, 0, true))
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_else(|| PathBuf::from("."));
+    let scan = segment::scan_segments(&dir)?;
+    if scan.segments.is_empty() {
+        // No recognisable segments: preserve the single-file behaviour
+        // (including the NotFound error for a missing file).
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        return Ok(decode_records(&bytes, 0, Some(0), true));
+    }
+    let base = scan.base_offset();
+    let mut bytes = Vec::with_capacity((scan.end_offset() - base) as usize);
+    for seg in &scan.segments {
+        File::open(&seg.path)?.read_to_end(&mut bytes)?;
+    }
+    let mut out = decode_records(&bytes, base, Some(scan.base_answers()), !scan.head_compacted());
+    if out.torn.is_none() {
+        if let Some(reason) = scan.orphan_reason {
+            // Chain-valid bytes end cleanly but orphaned segment files sit
+            // past the end — report them as the torn tail so recovery's
+            // truncation pass cleans them up.
+            out.torn = Some(TornTail { at: out.valid_len, dropped_bytes: 0, reason });
+        }
+    }
+    Ok(out)
 }
 
-/// Replay only the records at and after byte `offset` — the snapshot-assisted
-/// recovery path. The caller owns the claim that `offset` is a record
-/// boundary; a wrong claim fails the first CRC and surfaces as a torn tail
-/// at `offset`, which the caller must treat as "fall back to a full replay",
-/// not as data loss.
+/// Replay only the records at and after logical byte `offset` — the
+/// snapshot-assisted recovery path. The caller owns the claim that `offset`
+/// is a record boundary; a wrong claim fails the first CRC and surfaces as
+/// a torn tail at `offset`, which the caller must treat as "fall back to a
+/// full replay", not as data loss.
 pub fn replay_tail(path: &Path, offset: u64) -> Result<WalReplay, StoreError> {
-    let mut file = File::open(path)?;
-    let len = file.metadata()?.len();
-    if offset > len {
+    let dir = path.parent().map(Path::to_path_buf).unwrap_or_else(|| PathBuf::from("."));
+    let scan = segment::scan_segments(&dir)?;
+    if scan.segments.is_empty() {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if offset > len {
+            return Err(StoreError::corrupt(
+                path,
+                offset,
+                format!("tail offset {offset} beyond the {len}-byte file"),
+            ));
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut bytes = Vec::with_capacity((len - offset) as usize);
+        file.read_to_end(&mut bytes)?;
+        return Ok(decode_records(&bytes, offset, None, false));
+    }
+    let end = scan.end_offset();
+    if offset > end {
         return Err(StoreError::corrupt(
             path,
             offset,
-            format!("tail offset {offset} beyond the {len}-byte file"),
+            format!("tail offset {offset} beyond the {end}-byte chain"),
         ));
     }
-    file.seek(SeekFrom::Start(offset))?;
-    let mut bytes = Vec::with_capacity((len - offset) as usize);
-    file.read_to_end(&mut bytes)?;
-    Ok(decode_records(&bytes, offset, false))
+    if offset < scan.base_offset() {
+        return Err(StoreError::corrupt(
+            path,
+            offset,
+            format!(
+                "tail offset {offset} is below the compacted chain head {}",
+                scan.base_offset()
+            ),
+        ));
+    }
+    // The last segment whose base is at or below the offset holds it.
+    let idx = scan
+        .segments
+        .iter()
+        .rposition(|s| s.base <= offset)
+        .expect("offset >= base_offset implies a containing segment");
+    let mut bytes = Vec::with_capacity((end - offset) as usize);
+    for (i, seg) in scan.segments.iter().enumerate().skip(idx) {
+        let mut file = File::open(&seg.path)?;
+        if i == idx {
+            file.seek(SeekFrom::Start(offset - seg.base))?;
+        }
+        file.read_to_end(&mut bytes)?;
+    }
+    Ok(decode_records(&bytes, offset, None, false))
 }
 
-fn decode_records(bytes: &[u8], base_offset: u64, expect_create: bool) -> WalReplay {
+fn decode_records(
+    bytes: &[u8],
+    base_offset: u64,
+    base_answers: Option<u64>,
+    expect_create: bool,
+) -> WalReplay {
+    let abs_base = base_answers.unwrap_or(0);
     let mut out = WalReplay {
         meta: None,
         answers: Vec::new(),
         records: Vec::new(),
         deleted: false,
         quarantine: None,
+        base_offset,
+        base_answers: abs_base,
         valid_len: base_offset,
         torn: None,
     };
@@ -796,6 +1025,36 @@ fn decode_records(bytes: &[u8], base_offset: u64, expect_create: bool) -> WalRep
                     }
                 }
             }
+            KIND_SEGMENT => {
+                if expect_create && is_first {
+                    Some("first record is not a create record".to_string())
+                } else {
+                    match segment::decode_header_body(&mut c) {
+                        Ok(h) if c.is_empty() => {
+                            let at = base_offset + pos;
+                            if h.base_offset != at {
+                                Some(format!(
+                                    "segment header claims base offset {} at logical offset {at}",
+                                    h.base_offset
+                                ))
+                            } else if base_answers
+                                .is_some_and(|b| h.answers_before != b + out.answers.len() as u64)
+                            {
+                                Some(format!(
+                                    "segment header claims {} answers before it; the chain \
+                                     carries {}",
+                                    h.answers_before,
+                                    abs_base + out.answers.len() as u64
+                                ))
+                            } else {
+                                None
+                            }
+                        }
+                        Ok(_) => Some("trailing bytes after segment header".into()),
+                        Err(e) => Some(format!("undecodable segment header: {e}")),
+                    }
+                }
+            }
             other => Some(format!("unknown record kind {other}")),
         };
         if let Some(reason) = decode_failure {
@@ -807,10 +1066,37 @@ fn decode_records(bytes: &[u8], base_offset: u64, expect_create: bool) -> WalRep
         out.records.push(RecordInfo {
             kind,
             end_offset: out.valid_len,
-            answers_after: out.answers.len() as u64,
+            answers_after: abs_base + out.answers.len() as u64,
         });
     }
     out
+}
+
+/// Enforce a replayed valid prefix on disk: truncate the segment containing
+/// logical offset `valid_len`, delete every later segment, and clear
+/// orphaned segment files and rotation residue. Idempotent and cheap when
+/// there is nothing to drop; recovery runs it after every replay.
+pub fn truncate_to_valid(dir: &Path, valid_len: u64) -> Result<(), StoreError> {
+    let scan = segment::scan_segments(dir)?;
+    for orphan in &scan.orphans {
+        std::fs::remove_file(orphan)?;
+    }
+    segment::remove_stale_tmp(dir)?;
+    for seg in &scan.segments {
+        if seg.seq != 0 && seg.base >= valid_len {
+            // Entirely past the prefix: the whole segment goes. (Segment 0
+            // is kept and truncated instead — `wal.log` existing, possibly
+            // empty, is what marks a non-head-compacted table.)
+            std::fs::remove_file(&seg.path)?;
+        } else if seg.base + seg.len > valid_len {
+            let keep = valid_len.saturating_sub(seg.base);
+            let f = std::fs::OpenOptions::new().write(true).open(&seg.path)?;
+            f.set_len(keep)?;
+            f.sync_data()?;
+        }
+    }
+    sync_dir(dir);
+    Ok(())
 }
 
 #[cfg(test)]
